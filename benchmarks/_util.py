@@ -1,0 +1,31 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``test_bench_*`` module regenerates one table/figure of the paper
+(see the experiment index in DESIGN.md).  Each prints its rows (visible
+with ``pytest benchmarks/ --benchmark-only -s`` or ``-rA``), records the
+headline numbers in ``benchmark.extra_info``, and *asserts the shape*
+of the paper's result so the reproduction is regression-checked, not
+just displayed.
+"""
+
+from __future__ import annotations
+
+from repro.units import format_quantity
+
+
+def print_table(title: str, header: list[str],
+                rows: list[list[str]]) -> None:
+    """Render an aligned text table to stdout."""
+    widths = [max(len(str(cell)) for cell in column)
+              for column in zip(header, *rows)]
+    print(f"\n== {title} ==")
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def fmt(value: float, unit: str = "") -> str:
+    """Engineering-notation cell."""
+    return format_quantity(value, unit)

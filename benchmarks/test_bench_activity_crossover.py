@@ -1,0 +1,117 @@
+"""E8 / ref. [11] claim: STSCL beats subthreshold CMOS where leakage
+dominates -- low activity rates, low clock rates, leaky device classes.
+
+Comparison protocol:
+
+* CMOS gets its best case -- minimum-energy supply, race-to-idle -- but
+  with a 0.35 V deployment floor (its subthreshold delay is
+  exponentially sensitive to VT and V_DD, the paper's own Fig. 3
+  argument, so corner-robust products cannot ride the absolute
+  energy optimum).
+* The device class is swept via the leakage multiplier: 1x is this
+  repo's low-leakage 0.18 um flavour, 30x a generic-logic flavour,
+  1000x the scaled high-performance devices whose leakage trend the
+  paper cites (ref. [3]).
+* STSCL appears twice: flat (depth-10 bias, its worst case) and
+  pipelined to depth 1 with latch-merged cells (the paper's Sec. III-B
+  configuration, at no tail-current overhead).
+"""
+
+import numpy as np
+import pytest
+
+from _util import fmt, print_table
+from repro.digital.cmos_baseline import CmosGateModel, CmosSystemModel
+from repro.stscl.power import required_tail_current, system_power
+
+N_GATES = 200
+LOGIC_DEPTH = 10
+V_SW, C_LOAD = 0.2, 35e-15
+VDD_STSCL = 0.5
+VDD_FLOOR_CMOS = 0.35
+
+
+def stscl_power(f_clock: float, depth: int = LOGIC_DEPTH) -> float:
+    """STSCL block biased for ``depth`` gates per cycle (depth 1 =
+    the pipelined Sec. III-B configuration)."""
+    i_ss = required_tail_current(V_SW, C_LOAD, depth, f_clock)
+    return system_power(N_GATES, i_ss, VDD_STSCL)
+
+
+def cmos_system(alpha: float, leakage: float) -> CmosSystemModel:
+    return CmosSystemModel(gate=CmosGateModel(), n_gates=N_GATES,
+                           alpha=alpha, logic_depth=LOGIC_DEPTH,
+                           leakage_multiplier=leakage,
+                           vdd_floor=VDD_FLOOR_CMOS)
+
+
+def cmos_power(f_clock: float, alpha: float, leakage: float) -> float:
+    system = cmos_system(alpha, leakage)
+    vdd, _energy = system.minimum_energy_supply(f_clock)
+    return system.total_power(vdd, f_clock)
+
+
+def find_crossover(alpha: float, leakage: float, depth: int) -> float:
+    """Clock rate where the two powers cross (STSCL wins below)."""
+    frequencies = np.logspace(0, 7, 71)
+    ratio = np.array([stscl_power(f, depth)
+                      / cmos_power(f, alpha, leakage)
+                      for f in frequencies])
+    below = np.nonzero(ratio < 1.0)[0]
+    if below.size == 0:
+        return float("nan")
+    return float(frequencies[int(below[-1])])
+
+
+def test_bench_activity_crossover(benchmark):
+    benchmark(stscl_power, 1e4)
+
+    rows = []
+    crossovers = {}
+    for leakage in (1.0, 30.0, 1000.0):
+        for alpha in (0.01, 0.05, 0.2):
+            flat = find_crossover(alpha, leakage, LOGIC_DEPTH)
+            pipelined = find_crossover(alpha, leakage, 1)
+            crossovers[(leakage, alpha)] = pipelined
+            rows.append([f"x{leakage:g}", f"{alpha:.2f}",
+                         fmt(flat, "Hz"), fmt(pipelined, "Hz")])
+    print_table(
+        "ref [11] -- crossover clock rate (STSCL wins below) by device "
+        "leakage class and activity",
+        ["leakage", "activity", "flat STSCL", "pipelined STSCL"], rows)
+
+    # Shape 1: leakier devices push the crossover up by orders of
+    # magnitude (the scaling trend that motivates the paper).
+    assert crossovers[(1000.0, 0.05)] > 30.0 * crossovers[(1.0, 0.05)]
+    # Shape 2: lower activity -> higher crossover ("especially more
+    # pronounced in low activity rate systems").
+    assert (crossovers[(30.0, 0.01)] >= crossovers[(30.0, 0.05)]
+            >= crossovers[(30.0, 0.2)])
+    # Magnitude: for generic-logic leakage at sensor-node activity,
+    # pipelined STSCL wins through the kS/s range the ADC uses.
+    assert crossovers[(30.0, 0.05)] > 1e3
+
+    benchmark.extra_info["crossover_generic_a05"] = crossovers[
+        (30.0, 0.05)]
+
+
+def test_bench_energy_per_op_comparison(benchmark):
+    """Energy per clock cycle at the paper's sensor-node operating
+    point (kS/s class, generic-logic leakage)."""
+    f_clock = 1e3
+    alpha = 0.05
+    leakage = 30.0
+
+    def stscl_energy() -> float:
+        return stscl_power(f_clock, depth=1) / f_clock
+
+    e_stscl = benchmark.pedantic(stscl_energy, rounds=3, iterations=1)
+    system = cmos_system(alpha, leakage)
+    vdd, _ = system.minimum_energy_supply(f_clock)
+    e_cmos = system.total_power(vdd, f_clock) / f_clock
+    print(f"\nenergy/cycle @1 kHz, alpha={alpha}, leakage x{leakage:g}: "
+          f"STSCL {fmt(e_stscl, 'J')} vs CMOS {fmt(e_cmos, 'J')} "
+          f"(CMOS at V_DD = {vdd:.2f} V)")
+    assert e_stscl < e_cmos
+    benchmark.extra_info["e_stscl_fJ"] = e_stscl * 1e15
+    benchmark.extra_info["e_cmos_fJ"] = e_cmos * 1e15

@@ -1,0 +1,111 @@
+"""E12 / Fig. 8 and Sec. III-B: the STSCL encoder itself.
+
+Paper: "The encoder circuit consisting of 196 STSCL gates", built from
+majority detector cells (Fig. 8), pipelined to a logic depth of
+practically one gate.  We audit the synthesised gate count, prove the
+function exhaustively, and run the sync-correction ablation (gates vs
+boundary-error tolerance).
+"""
+
+import numpy as np
+import pytest
+
+from _util import print_table
+from repro.adc import FaiAdc
+from repro.digital.encoder import (EncoderSpec, build_fai_encoder,
+                                   coarse_thermometer,
+                                   cyclic_fine_thermometer, encode_batch,
+                                   reference_encode)
+from repro.digital.simulator import CycleSimulator
+from repro.digital.sta import analyze_timing
+from repro.stscl import StsclGateDesign
+
+
+@pytest.fixture(scope="module")
+def variants():
+    return {
+        "plain (paper-style)": build_fai_encoder(EncoderSpec()),
+        "plain + fine majority": build_fai_encoder(
+            EncoderSpec(fine_bubble_correction=True)),
+        "ref-[14] sync snap": build_fai_encoder(
+            EncoderSpec(sync_correction=True)),
+    }
+
+
+def test_bench_encoder_gate_audit(benchmark, variants):
+    design = StsclGateDesign.default(1e-9)
+    benchmark(build_fai_encoder, EncoderSpec())
+
+    rows = []
+    for name, netlist in variants.items():
+        timing = analyze_timing(netlist, design)
+        sim = CycleSimulator(netlist)
+        rows.append([name, str(netlist.tail_count()),
+                     f"{timing.weighted_depth:.1f}",
+                     str(sim.latency()),
+                     f"{timing.f_max / 1e3:.0f}kHz"])
+    print_table("Sec. III-B -- encoder variants @ I_SS = 1 nA "
+                "(paper: 196 gates, depth ~1)",
+                ["variant", "tails", "depth", "latency", "f_max"],
+                rows)
+
+    plain = variants["plain (paper-style)"]
+    majority = variants["plain + fine majority"]
+    # Same ballpark as the paper's 196 gates.
+    assert 120 <= plain.tail_count() <= 220
+    assert 150 <= majority.tail_count() <= 230
+    # Depth ~one (stacked) cell.
+    timing = analyze_timing(plain, design)
+    assert timing.weighted_depth <= 1.5
+    benchmark.extra_info["tails_plain"] = plain.tail_count()
+    benchmark.extra_info["tails_majority"] = majority.tail_count()
+
+
+def test_bench_encoder_exhaustive_function(benchmark):
+    """All 256 codes through the vectorised encoder (the conversion
+    hot path) -- correctness plus throughput measurement."""
+    spec = EncoderSpec()
+    values = np.arange(256)
+    coarse = np.array([coarse_thermometer(v, spec) for v in values])
+    fine = np.array([cyclic_fine_thermometer(v, spec) for v in values])
+
+    result = benchmark(encode_batch, coarse, fine, spec)
+    assert np.array_equal(result, values)
+
+
+def test_bench_sync_correction_ablation(benchmark, variants):
+    """Gates-vs-robustness: the ref-[14] snap decode tolerates ~6x the
+    coarse boundary error of the plain decode, for ~2.7x the gates."""
+    adc = FaiAdc(ideal=True, seed=0)
+    cfg = adc.config
+    ramp = np.linspace(cfg.v_low + cfg.lsb, cfg.v_high - cfg.lsb, 2048)
+    fine = adc.fine.fine_code(ramp)
+    expected = adc.convert_batch(ramp)
+
+    def worst_error(offset_lsb: float, spec: EncoderSpec) -> int:
+        taps = adc.coarse.ladder.tap_voltages() + offset_lsb * cfg.lsb
+        coarse = ramp[:, None] > taps[None, :]
+        return int(np.max(np.abs(
+            encode_batch(coarse, fine, spec) - expected)))
+
+    plain_spec = EncoderSpec()
+    sync_spec = EncoderSpec(sync_correction=True)
+    benchmark.pedantic(worst_error, args=(1.0, plain_spec), rounds=1,
+                       iterations=1)
+
+    rows = []
+    for offset in (0.5, 1.5, 3.0, 6.0, 12.0):
+        rows.append([f"{offset:.1f} LSB",
+                     str(worst_error(offset, plain_spec)),
+                     str(worst_error(offset, sync_spec))])
+    print_table("ablation -- worst code error vs injected coarse "
+                "offset", ["coarse offset", "plain decode",
+                           "sync decode"], rows)
+
+    assert worst_error(6.0, plain_spec) > 8
+    assert worst_error(6.0, sync_spec) <= 1
+    assert worst_error(12.0, sync_spec) <= 1
+    gates_plain = variants["plain (paper-style)"].tail_count()
+    gates_sync = variants["ref-[14] sync snap"].tail_count()
+    print(f"gate cost: {gates_plain} -> {gates_sync} tails")
+    benchmark.extra_info["gates_ratio"] = gates_sync / gates_plain

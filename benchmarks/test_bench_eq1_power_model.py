@@ -1,0 +1,96 @@
+"""E11 / Eq. (1): P_STSCL = 2 ln2 V_SW C_L N_L f_op V_DD.
+
+The equation rests on two facts we verify against the transistor level:
+the cell's supply current is exactly I_SS (no activity or leakage
+component), and the delay law t_d = ln2 V_SW C_L / I_SS holds, so the
+required I_SS at a given f_op is the Eq. (1) value.
+"""
+
+import numpy as np
+import pytest
+
+from _util import fmt, print_table
+from repro.spice import TransientOptions, operating_point, transient
+from repro.spice.waveforms import step_wave
+from repro.stscl import StsclGateDesign
+from repro.stscl.netlist_gen import (stscl_buffer_chain_circuit,
+                                     stscl_inverter_circuit)
+from repro.stscl.power import eq1_cell_power, required_tail_current
+
+
+def test_bench_eq1_static_current(benchmark):
+    """Transistor level: supply current == I_SS over three decades."""
+    rows = []
+    errors = []
+    for i_ss in (10e-12, 1e-9, 100e-9):
+        design = StsclGateDesign.default(i_ss)
+        circuit, _ = stscl_inverter_circuit(design, 1.0)
+        op = operating_point(circuit)
+        measured = abs(op.current("vvdd"))
+        errors.append(abs(measured / i_ss - 1.0))
+        rows.append([fmt(i_ss, "A"), fmt(measured, "A"),
+                     f"{100 * (measured / i_ss - 1):+.2f}%"])
+    print_table("Eq. (1) premise -- supply current vs programmed I_SS",
+                ["I_SS", "I_supply (SPICE)", "error"], rows)
+    assert max(errors) < 0.05
+
+    design = StsclGateDesign.default(1e-9)
+    benchmark(eq1_cell_power, 0.2, 35e-15, 1, 80e3, 1.0)
+    benchmark.extra_info["max_current_error"] = float(max(errors))
+    del design
+
+
+def test_bench_eq1_power_vs_spice(benchmark):
+    """End-to-end: pick f_op, compute the Eq. (1) cell power, bias a
+    transistor-level chain with that current, and confirm it (a) meets
+    the frequency and (b) burns the predicted power."""
+    f_op = 10e3
+    v_sw, c_load, vdd = 0.2, 35e-15, 1.0
+    i_ss = required_tail_current(v_sw, c_load, 1, f_op)
+    predicted_power = eq1_cell_power(v_sw, c_load, 1, f_op, vdd)
+
+    design = StsclGateDesign(i_ss=i_ss, v_sw=v_sw, c_load=c_load)
+
+    def run():
+        t_d = design.delay()
+        circuit, _ = stscl_buffer_chain_circuit(
+            design, vdd, 3,
+            in_p=step_wave(vdd - v_sw, vdd, 5 * t_d, t_d / 10),
+            in_n=step_wave(vdd, vdd - v_sw, 5 * t_d, t_d / 10))
+        result = transient(circuit, 25 * t_d,
+                           TransientOptions(dt_max=t_d / 25))
+        mid = vdd - v_sw / 2
+        delay = float(result.crossing_times("s3_outp", mid)[0]
+                      - result.crossing_times("s2_outp", mid)[0])
+        op = operating_point(circuit)
+        # three cells on the vdd rail
+        power_per_cell = abs(op.current("vvdd")) * vdd / 3.0
+        return delay, power_per_cell
+
+    delay, power = benchmark.pedantic(run, rounds=1, iterations=1)
+    f_achieved = 1.0 / (2.0 * delay)
+    print(f"\nEq.(1) @ f_op = {fmt(f_op, 'Hz')}: "
+          f"predicted P = {fmt(predicted_power, 'W')}, "
+          f"SPICE P = {fmt(power, 'W')}, "
+          f"achieved f = {fmt(f_achieved, 'Hz')}")
+    # Power is exact (it is I_SS * VDD); frequency within self-loading.
+    assert power == pytest.approx(predicted_power, rel=0.05)
+    assert f_op / f_achieved < 1.8
+    benchmark.extra_info["predicted_nW"] = predicted_power * 1e9
+    benchmark.extra_info["spice_nW"] = power * 1e9
+
+
+def test_bench_eq1_linearity_in_depth_and_frequency(benchmark):
+    """The two proportionalities of Eq. (1) on one table."""
+    benchmark(required_tail_current, 0.2, 35e-15, 4, 1e4)
+    rows = []
+    for depth in (1, 4, 16):
+        for f_op in (1e3, 1e5):
+            p = eq1_cell_power(0.2, 35e-15, depth, f_op, 1.0)
+            rows.append([str(depth), fmt(f_op, "Hz"), fmt(p, "W")])
+    print_table("Eq. (1) -- P(N_L, f_op) at V_SW = 0.2 V, "
+                "C_L = 35 fF, V_DD = 1 V",
+                ["N_L", "f_op", "P_cell"], rows)
+    p_base = eq1_cell_power(0.2, 35e-15, 1, 1e3, 1.0)
+    assert eq1_cell_power(0.2, 35e-15, 16, 1e5, 1.0) == pytest.approx(
+        1600.0 * p_base)

@@ -1,0 +1,79 @@
+"""E4 / Fig. 11: measured INL and DNL of the converter.
+
+Paper (measured silicon): INL = 1.0 LSB, DNL = 0.4 LSB.
+
+We run a Monte-Carlo population of chips (Pelgrom mismatch in the
+ladder, folders, interpolators and comparators) and report the median
+chip -- the statistically honest counterpart of the paper's single
+measured die.
+"""
+
+import numpy as np
+import pytest
+
+from _util import print_table
+from repro.adc import FaiAdc, linearity_test
+from repro.analysis import MonteCarlo, estimate_yield
+
+
+@pytest.fixture(scope="module")
+def population():
+    def metrics(seed):
+        adc = FaiAdc(ideal=False, seed=seed)
+        report = linearity_test(adc, samples_per_code=12)
+        return {"inl": report.inl_max, "dnl": report.dnl_max,
+                "missing": float(len(report.missing_codes))}
+
+    return MonteCarlo(metrics, n_runs=10, seed_base=0).run()
+
+
+def test_bench_fig11_inl_dnl(benchmark, population):
+    adc = FaiAdc(ideal=False, seed=1)
+    benchmark(linearity_test, adc, 4)
+
+    rows = []
+    for name in ("inl", "dnl"):
+        summary = population[name]
+        rows.append([name.upper(),
+                     f"{summary.median:.2f}",
+                     f"{summary.p05:.2f}..{summary.p95:.2f}",
+                     "1.0" if name == "inl" else "0.4"])
+    print_table("Fig. 11 -- static linearity over 10 chips [LSB]",
+                ["metric", "median", "5..95 %", "paper"], rows)
+
+    assert population["inl"].median == pytest.approx(1.0, abs=0.4)
+    assert population["dnl"].median == pytest.approx(0.55, abs=0.35)
+    assert population["missing"].median <= 2.0
+
+    benchmark.extra_info["inl_median"] = population["inl"].median
+    benchmark.extra_info["dnl_median"] = population["dnl"].median
+
+
+def test_bench_fig11_inl_profile_shape(benchmark):
+    """The INL profile of one chip: mismatch accumulates into the
+    classic low-frequency bow rather than isolated spikes."""
+    adc = FaiAdc(ideal=False, seed=1)
+    report = benchmark.pedantic(linearity_test, args=(adc,),
+                                kwargs={"samples_per_code": 16},
+                                rounds=1, iterations=1)
+    inl = report.inl
+    # The worst INL should not be an isolated one-code spike: its two
+    # neighbours carry a substantial fraction of it.
+    worst = int(np.argmax(np.abs(inl)))
+    neighbourhood = np.abs(inl[max(0, worst - 2):worst + 3])
+    assert np.median(neighbourhood) > 0.4 * np.abs(inl[worst])
+    print(f"\nworst INL {inl[worst]:+.2f} LSB at code {worst}")
+
+
+def test_bench_fig11_yield(benchmark, population):
+    """Extension: parametric yield against the paper's spec point."""
+    report = estimate_yield(population, {
+        "inl": lambda v: v <= 1.5,
+        "dnl": lambda v: v <= 1.0,
+    })
+    benchmark.pedantic(estimate_yield, args=(
+        population, {"inl": lambda v: v <= 1.5}), rounds=1, iterations=1)
+    print(f"\nyield at (INL<=1.5, DNL<=1.0): "
+          f"{100 * report.yield_fraction:.0f}% "
+          f"({report.n_pass}/{report.n_total})")
+    assert report.yield_fraction >= 0.5

@@ -1,0 +1,126 @@
+"""E6 / Fig. 3: the design/process/performance decoupling of STSCL vs
+the tight coupling of CMOS.
+
+Fig. 3 is conceptual; we make it quantitative: delay sensitivity to
+supply and to process corner, for the STSCL gate (transistor level)
+and the subthreshold CMOS baseline.
+"""
+
+import numpy as np
+import pytest
+
+from _util import fmt, print_table
+from repro.devices.parameters import GENERIC_180NM
+from repro.devices.process import ProcessCorner, corner_technology
+from repro.digital.cmos_baseline import CmosGateModel
+from repro.spice import TransientOptions, transient
+from repro.spice.waveforms import step_wave
+from repro.stscl import StsclGateDesign, supply_sensitivity
+from repro.stscl.netlist_gen import stscl_buffer_chain_circuit
+
+
+def stscl_spice_delay(design: StsclGateDesign, vdd: float) -> float:
+    t_d = design.delay()
+    circuit, _ = stscl_buffer_chain_circuit(
+        design, vdd, 3,
+        in_p=step_wave(vdd - design.v_sw, vdd, 5 * t_d, t_d / 10),
+        in_n=step_wave(vdd, vdd - design.v_sw, 5 * t_d, t_d / 10))
+    result = transient(circuit, 25 * t_d,
+                       TransientOptions(dt_max=t_d / 25))
+    mid = vdd - design.v_sw / 2
+    return float(result.crossing_times("s3_outp", mid)[0]
+                 - result.crossing_times("s2_outp", mid)[0])
+
+
+@pytest.fixture(scope="module")
+def supply_rows():
+    design = StsclGateDesign.default(1e-9)
+    cmos = CmosGateModel()
+    rows = []
+    for vdd in (0.45, 0.5, 0.55):
+        rows.append((vdd, stscl_spice_delay(design, max(vdd, 0.45)),
+                     cmos.delay(vdd)))
+    return rows
+
+
+def test_bench_fig3_supply_decoupling(benchmark, supply_rows):
+    benchmark(supply_sensitivity, 0.5)
+
+    rows = [[f"{vdd:.2f}V", fmt(d_scl, "s"), fmt(d_cmos, "s")]
+            for vdd, d_scl, d_cmos in supply_rows]
+    print_table("Fig. 3 -- delay vs V_DD (+/-10 %): STSCL vs "
+                "subthreshold CMOS", ["V_DD", "t_d STSCL", "t_d CMOS"],
+                rows)
+
+    d_scl = [r[1] for r in supply_rows]
+    d_cmos = [r[2] for r in supply_rows]
+    scl_spread = max(d_scl) / min(d_scl)
+    cmos_spread = max(d_cmos) / min(d_cmos)
+    print(f"delay spread over +/-10% V_DD: STSCL x{scl_spread:.2f},"
+          f" CMOS x{cmos_spread:.1f}")
+    assert scl_spread < 1.15          # essentially flat
+    assert cmos_spread > 5.0          # exponential
+    # Analytic sensitivities agree in sign and magnitude class.
+    comparison = supply_sensitivity(0.5)
+    assert comparison.stscl == 0.0
+    assert comparison.cmos_subthreshold < -10.0
+
+    benchmark.extra_info["stscl_spread"] = float(scl_spread)
+    benchmark.extra_info["cmos_spread"] = float(cmos_spread)
+
+
+def test_bench_fig3_process_decoupling(benchmark):
+    """Across FF/TT/SS corners: the STSCL delay (set by I_SS, C_L and
+    V_SW only) barely moves, while the CMOS on-current moves by the
+    corner VT shift's exponential."""
+    rows = []
+    spreads = {}
+    for corner in (ProcessCorner.FF, ProcessCorner.TT, ProcessCorner.SS):
+        tech = corner_technology(GENERIC_180NM, corner)
+        scl = StsclGateDesign(i_ss=1e-9, tech=tech)
+        cmos = CmosGateModel(tech=tech)
+        rows.append([corner.name, fmt(scl.delay(), "s"),
+                     f"{scl.noise_margin():.3f}V",
+                     fmt(cmos.delay(0.5), "s")])
+        spreads.setdefault("scl", []).append(scl.delay())
+        spreads.setdefault("nm", []).append(scl.noise_margin())
+        spreads.setdefault("cmos", []).append(cmos.delay(0.5))
+
+    print_table("Fig. 3 -- corners: STSCL vs subthreshold CMOS",
+                ["corner", "t_d STSCL", "NM STSCL", "t_d CMOS"], rows)
+
+    benchmark(StsclGateDesign.default(1e-9).delay)
+
+    assert max(spreads["scl"]) / min(spreads["scl"]) < 1.01
+    assert max(spreads["nm"]) / min(spreads["nm"]) < 1.05
+    assert max(spreads["cmos"]) / min(spreads["cmos"]) > 10.0
+    benchmark.extra_info["cmos_corner_spread"] = float(
+        max(spreads["cmos"]) / min(spreads["cmos"]))
+
+
+def test_bench_fig3_temperature_decoupling(benchmark):
+    """The temperature axis of the same argument: STSCL delay is
+    temperature-free and its noise margin degrades gently (1/T gain),
+    while subthreshold CMOS delay collapses by >20x from -20 to
+    85 degC."""
+    from repro.stscl import (delay_spread, noise_margin_slope,
+                             thermal_comparison)
+
+    design = StsclGateDesign.default(1e-9)
+    rows_data = benchmark(thermal_comparison, design,
+                          (-20.0, 27.0, 85.0))
+    rows = [[f"{r.temp_c:.0f}C", fmt(r.stscl_delay, "s"),
+             f"{1e3 * r.stscl_noise_margin:.1f}mV",
+             fmt(r.cmos_delay, "s")] for r in rows_data]
+    print_table("Fig. 3 -- temperature: STSCL vs subthreshold CMOS "
+                "(CMOS at 0.4 V)",
+                ["T_j", "t_d STSCL", "NM STSCL", "t_d CMOS"], rows)
+
+    assert delay_spread(rows_data, "stscl_delay") == pytest.approx(1.0)
+    assert delay_spread(rows_data, "cmos_delay") > 20.0
+    slope = noise_margin_slope(rows_data)
+    print(f"STSCL noise-margin tempco: {1e6 * slope:.0f} uV/K "
+          "(budgetable, linear)")
+    assert -1e-3 < slope < 0.0
+    benchmark.extra_info["cmos_thermal_spread"] = delay_spread(
+        rows_data, "cmos_delay")

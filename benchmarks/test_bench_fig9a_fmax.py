@@ -1,0 +1,92 @@
+"""E1 / Fig. 9a: maximum encoder operating frequency vs tail current.
+
+Paper: the 196-gate pipelined encoder's maximum clock scales linearly
+with the per-gate tail bias current; the usable range spans ~pA (the
+800 S/s operating point) to ~100 nA (MHz-class).
+
+We regenerate the curve from the STA of the actual encoder netlist and
+cross-check one point against a transistor-level transient measurement.
+"""
+
+import numpy as np
+import pytest
+
+from _util import fmt, print_table
+from repro.digital.encoder import EncoderSpec, build_fai_encoder
+from repro.digital.sta import analyze_timing
+from repro.spice import TransientOptions, transient
+from repro.spice.waveforms import step_wave
+from repro.stscl import StsclGateDesign
+from repro.stscl.netlist_gen import stscl_buffer_chain_circuit
+from repro.units import decades
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return build_fai_encoder(EncoderSpec())
+
+
+@pytest.fixture(scope="module")
+def curve(encoder):
+    currents = decades(1e-12, 1e-6, points_per_decade=2)
+    f_max = [analyze_timing(encoder,
+                            StsclGateDesign.default(i)).f_max
+             for i in currents]
+    return np.asarray(currents), np.asarray(f_max)
+
+
+def spice_fmax(i_ss: float) -> float:
+    """Measured stage delay of a transistor-level buffer chain,
+    converted to a maximum clock (same half-period criterion)."""
+    design = StsclGateDesign.default(i_ss)
+    t_d = design.delay()
+    vdd = 1.0
+    circuit, _ = stscl_buffer_chain_circuit(
+        design, vdd, 3,
+        in_p=step_wave(vdd - design.v_sw, vdd, 5 * t_d, t_d / 10),
+        in_n=step_wave(vdd, vdd - design.v_sw, 5 * t_d, t_d / 10))
+    result = transient(circuit, 25 * t_d,
+                       TransientOptions(dt_max=t_d / 25))
+    mid = vdd - design.v_sw / 2
+    t2 = result.crossing_times("s2_outp", mid)[0]
+    t3 = result.crossing_times("s3_outp", mid)[0]
+    return 1.0 / (2.0 * (t3 - t2))
+
+
+def test_bench_fig9a_fmax_vs_tail_current(benchmark, curve, encoder):
+    currents, f_max = curve
+
+    design = StsclGateDesign.default(1e-9)
+    benchmark(analyze_timing, encoder, design)
+
+    rows = [[fmt(i, "A"), fmt(f, "Hz")]
+            for i, f in zip(currents, f_max)]
+    print_table("Fig. 9a -- encoder f_max vs I_SS/gate",
+                ["I_SS", "f_max"], rows)
+
+    # Shape: exactly linear (slope 1 in log-log).
+    slope = np.polyfit(np.log10(currents), np.log10(f_max), 1)[0]
+    assert slope == pytest.approx(1.0, abs=1e-6)
+
+    # Paper anchors: ~800 S/s near 10 pA/gate, ~80 kS/s near 1 nA/gate.
+    f_at = lambda i: np.interp(np.log10(i), np.log10(currents),
+                               np.log10(f_max))
+    assert 10 ** f_at(10e-12) == pytest.approx(800.0, rel=0.15)
+    assert 10 ** f_at(1e-9) == pytest.approx(80e3, rel=0.15)
+
+    benchmark.extra_info["slope_loglog"] = float(slope)
+    benchmark.extra_info["fmax_at_1nA"] = float(10 ** f_at(1e-9))
+
+
+def test_bench_fig9a_spice_crosscheck(benchmark):
+    """One transistor-level point: the MNA-measured f_max at 1 nA sits
+    on the analytic line within the self-loading factor."""
+    measured = benchmark.pedantic(spice_fmax, args=(1e-9,), rounds=1,
+                                  iterations=1)
+    design = StsclGateDesign.default(1e-9)
+    analytic = design.max_frequency(1)
+    print(f"\nSPICE f_max @1nA: {fmt(measured, 'Hz')}  "
+          f"(analytic {fmt(analytic, 'Hz')}, "
+          f"ratio {analytic / measured:.2f})")
+    assert 1.0 < analytic / measured < 1.8
+    benchmark.extra_info["spice_fmax_1nA"] = float(measured)

@@ -1,0 +1,79 @@
+"""E10 / Fig. 7: the current-programmable reference ladder.
+
+Paper: conventional resistors cannot take the ladder below ~1 uW; the
+subthreshold-PMOS ladder's resistivity is programmed by I_RES (so it
+scales with the sampling rate), and sharing bias cells (Fig. 7d) cuts
+the control overhead.
+"""
+
+import numpy as np
+import pytest
+
+from _util import fmt, print_table
+from repro.analog.ladder import LadderBiasScheme, ResistorLadder
+from repro.units import decades
+
+N_TAPS = 7           # coarse flash, 8 segments
+C_TAP = 100e-15
+VDD = 1.0
+
+
+def build(i_res: float, share: int) -> ResistorLadder:
+    return ResistorLadder(n_taps=N_TAPS, v_low=0.2, v_high=0.8,
+                          i_res=i_res,
+                          bias_scheme=LadderBiasScheme(share=share))
+
+
+def test_bench_ladder_power_scaling(benchmark):
+    benchmark(build, 1e-9, 4)
+
+    rows = []
+    powers, settlings = [], []
+    for i_res in decades(100e-12, 100e-9, points_per_decade=1):
+        ladder = build(i_res, share=4)
+        power = ladder.power(VDD)
+        settle = ladder.settling_time(C_TAP)
+        usable_fs = 1.0 / (2.0 * 7.0 * settle)  # 7 tau to 8-bit settle
+        powers.append(power)
+        settlings.append(settle)
+        rows.append([fmt(i_res, "A"), fmt(ladder.total_resistance(),
+                                          "Ohm"),
+                     fmt(power, "W"), fmt(usable_fs, "S/s")])
+    print_table("Fig. 7 -- ladder vs control current I_RES",
+                ["I_RES", "R_total", "P_ladder", "usable f_s"], rows)
+
+    # Power scales up, settling scales down, both linearly with I_RES.
+    powers, settlings = np.asarray(powers), np.asarray(settlings)
+    assert powers[-1] / powers[0] == pytest.approx(1000.0, rel=0.05)
+    assert settlings[0] / settlings[-1] == pytest.approx(1000.0,
+                                                         rel=0.05)
+    # Sub-1 uW operation (impossible with conventional resistors).
+    assert powers[0] < 1e-6
+    benchmark.extra_info["min_ladder_power_nW"] = float(powers[0] * 1e9)
+
+
+def test_bench_ladder_shared_bias_ablation(benchmark):
+    """Fig. 7c vs 7d: per-resistor bias cells vs shared cells."""
+    i_res = 10e-9
+    rows = []
+    control = {}
+    for share in (1, 2, 4, 8):
+        ladder = build(i_res, share)
+        cells = ladder.bias_scheme.control_current(
+            ladder.n_segments, i_res)
+        control[share] = cells
+        rows.append([str(share), fmt(cells, "A"),
+                     fmt(ladder.power(VDD), "W")])
+    print_table("Fig. 7d -- bias sharing (8 ladder segments, "
+                "I_RES = 10 nA)",
+                ["share", "control current", "P_ladder"], rows)
+
+    benchmark(build(i_res, 4).power, VDD)
+
+    assert control[4] == pytest.approx(control[1] / 4.0)
+    assert control[8] == pytest.approx(control[1] / 8.0)
+    # Tap accuracy does not depend on the sharing (same elements).
+    assert np.allclose(build(i_res, 1).tap_voltages(),
+                       build(i_res, 8).tap_voltages())
+    benchmark.extra_info["control_saving_x4"] = float(
+        control[1] / control[4])

@@ -1,0 +1,82 @@
+"""E9 / Sec. III-B and ref. [13]: pipelining and compound gates.
+
+Paper: Eq. (1) penalises logic depth linearly; latch-merged cells
+(Fig. 8) and pipelining to depth ~1 recover the penalty.  Ref. [13]'s
+32-bit pipelined adder achieves ~5 fJ/stage PDP.
+"""
+
+import pytest
+
+from _util import fmt, print_table
+from repro.digital.sta import analyze_timing
+from repro.stscl import PipelinedAdder, StsclGateDesign
+from repro.stscl.power import pipelining_gain
+
+
+def test_bench_pipelining_power_gain(benchmark):
+    """Eq. (1)-level accounting of the pipelining trade."""
+    result = benchmark(pipelining_gain, 196, 8, 80e3, 0.2, 35e-15, 1.0,
+                       0.0)
+    rows = [
+        ["flat depth-8", fmt(result.i_ss_flat, "A"),
+         fmt(result.power_flat, "W")],
+        ["pipelined depth-1", fmt(result.i_ss_pipelined, "A"),
+         fmt(result.power_pipelined, "W")],
+    ]
+    print_table("Sec. III-B -- pipelining a 196-gate depth-8 block "
+                "@80 kHz", ["design", "I_SS/gate", "P_total"], rows)
+    print(f"power gain: x{result.gain:.1f}")
+    assert result.gain == pytest.approx(8.0)
+    benchmark.extra_info["gain"] = result.gain
+
+
+@pytest.fixture(scope="module")
+def adder_netlists():
+    builds = {}
+    for granularity in (32, 4, 1):
+        adder = PipelinedAdder(width=32, granularity=granularity)
+        builds[granularity] = (adder, adder.build())
+    return builds
+
+
+def test_bench_adder_design_space(benchmark, adder_netlists):
+    """32-bit adder: logic depth vs tail count across pipeline
+    granularities -- the designer's actual trade-off."""
+    design = StsclGateDesign.default(1e-9)
+    rows = []
+    stats = {}
+    for granularity, (adder, netlist) in sorted(adder_netlists.items(),
+                                                reverse=True):
+        timing = analyze_timing(netlist, design)
+        f_req = 10e3
+        # bias each variant for the same 10 kHz add rate
+        i_needed = design.i_ss * f_req / timing.f_max
+        power = netlist.tail_count() * i_needed * 0.4
+        rows.append([f"every {granularity} bit(s)",
+                     str(netlist.tail_count()),
+                     f"{timing.weighted_depth:.1f}",
+                     fmt(power, "W")])
+        stats[granularity] = power
+    print_table("ref [13] -- 32-bit adder @10 kadd/s, V_DD = 0.4 V",
+                ["pipelining", "tails", "depth", "power"], rows)
+
+    benchmark(analyze_timing, adder_netlists[1][1], design)
+
+    # Full pipelining wins on power despite the alignment latches.
+    assert stats[1] < stats[32]
+    benchmark.extra_info["power_flat"] = stats[32]
+    benchmark.extra_info["power_pipelined"] = stats[1]
+
+
+def test_bench_adder_pdp_anchor(benchmark, adder_netlists):
+    """Ref [13]: ~5 fJ/stage power-delay product."""
+    adder, netlist = adder_netlists[1]
+    design = StsclGateDesign.default(1e-9)
+    pdp = benchmark(adder.pdp_per_stage, design, 0.4)
+    print(f"\nPDP/stage: {fmt(pdp, 'J')} (paper [13]: ~5 fJ)")
+    assert pdp == pytest.approx(5e-15, rel=0.5)
+    benchmark.extra_info["pdp_fj"] = pdp * 1e15
+
+    # And the pipelined netlist actually adds correctly.
+    assert adder.simulate_add(netlist, 123456789, 987654321) \
+        == 123456789 + 987654321

@@ -1,0 +1,92 @@
+"""E13 (extension) / Sec. II-B, refs [22]-[23]: the power-scalable
+gm-C filter -- the paper's canonical scalable analog block.
+
+Claim structure: scaling the bias current must move the corner
+frequency linearly while gain response (Q), linear range and dynamic
+range stay put -- the requirements Sec. II-B lists for scalable analog
+circuits ("gain and phase margin should remain unchanged while UGBW
+needs to be scaled with respect to the bias current").
+"""
+
+import numpy as np
+import pytest
+
+from _util import fmt, print_table
+from repro.analog.filters import GmCBiquad, gm_c_biquad_circuit
+from repro.spice import ac_analysis
+from repro.units import decades
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    base = GmCBiquad(i_bias=1e-9, q=1.0 / np.sqrt(2.0))
+    rows = []
+    for i_bias in decades(1e-12, 1e-7, points_per_decade=1):
+        flt = base.with_bias(i_bias)
+        rows.append((i_bias, flt.corner_frequency(), flt.q,
+                     flt.linear_range(), flt.power(1.0),
+                     flt.dynamic_range_estimate()))
+    return rows
+
+
+def test_bench_filter_tuning_range(benchmark, sweep_rows):
+    flt = GmCBiquad(i_bias=1e-9)
+    benchmark(flt.corner_frequency)
+
+    rows = [[fmt(i, "A"), fmt(f0, "Hz"), f"{q:.3f}",
+             fmt(lin, "V"), fmt(p, "W"), f"{dr:.1f}dB"]
+            for i, f0, q, lin, p, dr in sweep_rows]
+    print_table("refs [22]-[23] -- gm-C biquad vs bias current",
+                ["I_bias", "f_0", "Q", "lin. range", "power", "DR"],
+                rows)
+
+    currents = np.array([r[0] for r in sweep_rows])
+    corners = np.array([r[1] for r in sweep_rows])
+    # Five decades of corner from five decades of current, slope 1.
+    slope = np.polyfit(np.log10(currents), np.log10(corners), 1)[0]
+    assert slope == pytest.approx(1.0, abs=1e-6)
+    # Q, linear range and DR are bias-invariant columns.
+    assert np.ptp([r[2] for r in sweep_rows]) == 0.0
+    assert np.ptp([r[3] for r in sweep_rows]) < 1e-12
+    assert np.ptp([r[5] for r in sweep_rows]) < 1e-9
+
+    benchmark.extra_info["tuning_decades"] = float(
+        np.log10(corners[-1] / corners[0]))
+
+
+def test_bench_filter_response_shape_invariance(benchmark):
+    """The normalised |H(f/f_0)| must be the *same curve* at every
+    bias -- 'gain and phase margin remain unchanged'."""
+    base = GmCBiquad(i_bias=1e-9, q=1.0 / np.sqrt(2.0))
+    offsets = np.logspace(-1.5, 1.5, 25)
+
+    def shape(i_bias: float) -> np.ndarray:
+        flt = base.with_bias(i_bias)
+        return np.abs(flt.transfer(offsets * flt.corner_frequency()))
+
+    reference = benchmark.pedantic(shape, args=(1e-9,), rounds=1,
+                                   iterations=1)
+    for i_bias in (1e-12, 1e-7):
+        assert np.allclose(shape(i_bias), reference, rtol=1e-9)
+    print("\nnormalised response identical at 1 pA, 1 nA and 100 nA "
+          "bias (max dev < 1e-9)")
+
+
+def test_bench_filter_mna_crosscheck(benchmark):
+    """The VCCS-level MNA netlist reproduces the analytic corner at
+    two bias extremes."""
+    def corner_from_mna(i_bias: float) -> float:
+        flt = GmCBiquad(i_bias=i_bias, q=1.0 / np.sqrt(2.0))
+        f0 = flt.corner_frequency()
+        freqs = np.logspace(np.log10(f0) - 2, np.log10(f0) + 2, 81)
+        return ac_analysis(gm_c_biquad_circuit(flt),
+                           freqs).bandwidth_3db("lp")
+
+    measured = benchmark.pedantic(corner_from_mna, args=(1e-9,),
+                                  rounds=1, iterations=1)
+    flt = GmCBiquad(i_bias=1e-9, q=1.0 / np.sqrt(2.0))
+    print(f"\nMNA corner {fmt(measured, 'Hz')} vs analytic "
+          f"{fmt(flt.corner_frequency(), 'Hz')}")
+    assert measured == pytest.approx(flt.corner_frequency(), rel=0.05)
+    assert corner_from_mna(1e-11) == pytest.approx(
+        GmCBiquad(i_bias=1e-11).corner_frequency(), rel=0.05)

@@ -1,0 +1,81 @@
+"""A complete analog front end: anti-aliasing filter + ADC, one knob.
+
+The paper's Sec. II-B argument made concrete: because the gm-C filter
+(refs [22][23]) and the converter scale from the same current, changing
+the sampling rate automatically drags the anti-aliasing corner along --
+no second control loop, no re-design.
+
+The demo digitises a two-tone signal (wanted tone + an alias-band
+interferer) at two sampling rates and shows the alias staying
+suppressed at both, with power scaling linearly.
+
+Run:  python examples/filter_frontend.py
+"""
+
+import numpy as np
+
+from repro.adc import FaiAdc
+from repro.adc.metrics import sine_test
+from repro.analog.filters import GmCBiquad
+from repro.pmu import PowerManagementUnit
+from repro.units import format_quantity as fmt
+
+#: Filter corner placed at 40 % of Nyquist at every rate.
+CORNER_FRACTION = 0.4 * 0.5
+
+
+def run_at(pmu: PowerManagementUnit, base_filter: GmCBiquad,
+           f_s: float) -> None:
+    adc = pmu.tuned_adc(f_s)
+    cfg = adc.config
+
+    # One knob: the filter bias comes from the same scaling law.
+    f_corner = CORNER_FRACTION * f_s
+    i_filter = base_filter.i_bias * (
+        f_corner / base_filter.corner_frequency())
+    flt = base_filter.with_bias(i_filter)
+
+    n = 2048
+    wanted_cycles = 67
+    f_in = f_s * wanted_cycles / n
+    f_alias = 0.9 * f_s  # folds to 0.1 f_s after sampling
+    t = np.arange(n) / f_s
+    mid = 0.5 * (cfg.v_low + cfg.v_high)
+    amp = 0.30 * cfg.full_scale
+
+    wanted = amp * np.sin(2.0 * np.pi * f_in * t)
+    alias = amp * np.sin(2.0 * np.pi * f_alias * t)
+
+    gain_wanted = abs(flt.transfer(np.array([f_in]))[0])
+    gain_alias = abs(flt.transfer(np.array([f_alias]))[0])
+    filtered = mid + gain_wanted * wanted + gain_alias * alias
+
+    codes = adc.convert_batch(filtered, noisy=True)
+    report = sine_test(codes, cfg.n_bits)
+
+    point = pmu.operating_point(f_s)
+    total_power = point.total_power + flt.power(point.vdd)
+    print(f"f_s = {fmt(f_s, 'S/s'):>9} | corner {fmt(f_corner, 'Hz'):>9}"
+          f" | alias gain {20*np.log10(gain_alias):6.1f} dB"
+          f" | SNDR {report.sndr_db:5.1f} dB"
+          f" | total {fmt(total_power, 'W')}")
+
+
+def main() -> None:
+    adc = FaiAdc(ideal=False, seed=6)
+    pmu = PowerManagementUnit(adc)
+    base_filter = GmCBiquad(i_bias=1e-9, q=1.0 / np.sqrt(2.0))
+
+    print("anti-aliased acquisition, single-knob scaling "
+          f"(filter corner = {CORNER_FRACTION:.2f} f_s)\n")
+    for f_s in (2e3, 8e3, 80e3):
+        run_at(pmu, base_filter, f_s)
+
+    print("\nwithout the filter, the 0.9 f_s interferer would fold "
+          "into band at full strength;\nwith it, the alias stays "
+          ">25 dB down at every rate because the corner scales with "
+          "f_s.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP-660
+editable installs fail; this shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or ``python setup.py develop``) work.  All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9", "networkx>=2.8"],
+)

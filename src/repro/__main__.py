@@ -1,0 +1,109 @@
+"""Command-line front end: quick platform reports without writing code.
+
+Usage:
+
+    python -m repro report --rate 8k            # platform at a rate
+    python -m repro characterize --seed 3       # INL/DNL/ENOB of a chip
+    python -m repro gate --iss 1n               # one gate's numbers
+    python -m repro sweep                       # the power-scaling table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .units import format_quantity, parse_quantity
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .platform_msys import MixedSignalPlatform
+
+    platform = MixedSignalPlatform.build(seed=args.seed)
+    report = platform.set_sample_rate(parse_quantity(args.rate))
+    print(report.describe())
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from .adc import FaiAdc, dynamic_test, linearity_test
+
+    adc = FaiAdc(ideal=args.ideal, seed=args.seed)
+    linearity = linearity_test(adc, samples_per_code=args.density)
+    dynamic = dynamic_test(adc, f_sample=80e3, n_samples=2048, cycles=67)
+    print(f"chip seed {args.seed}"
+          f"{' (ideal)' if args.ideal else ''}:")
+    print(f"  INL  : {linearity.inl_max:.2f} LSB   (paper 1.0)")
+    print(f"  DNL  : {linearity.dnl_max:.2f} LSB   (paper 0.4)")
+    print(f"  ENOB : {dynamic.enob:.2f}       (paper 6.5)")
+    print(f"  SNDR : {dynamic.sndr_db:.1f} dB")
+    if linearity.missing_codes:
+        print(f"  missing codes: {linearity.missing_codes}")
+    return 0
+
+
+def _cmd_gate(args: argparse.Namespace) -> int:
+    from .stscl import StsclGateDesign, minimum_supply
+
+    gate = StsclGateDesign.default(parse_quantity(args.iss))
+    for key, value in gate.summary().items():
+        print(f"  {key:22}: {value:.4g}")
+    print(f"  {'minimum_supply':22}: {minimum_supply(gate):.4g}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .adc import FaiAdc
+    from .pmu import PowerManagementUnit
+
+    pmu = PowerManagementUnit(FaiAdc(ideal=False, seed=args.seed))
+    print(f"{'f_s':>10} {'P_total':>10} {'P_digital':>10} {'E/sample':>10}")
+    for f_s in (800.0, 2e3, 8e3, 20e3, 80e3):
+        point = pmu.operating_point(f_s)
+        print(f"{format_quantity(f_s, 'S/s'):>10} "
+              f"{format_quantity(point.total_power, 'W'):>10} "
+              f"{format_quantity(point.digital_power, 'W'):>10} "
+              f"{format_quantity(point.energy_per_sample, 'J'):>10}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Subthreshold source-coupled mixed-signal platform "
+                    "(Tajalli & Leblebici, DATE 2010 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="platform operating point")
+    p_report.add_argument("--rate", default="8k",
+                          help="sampling rate, e.g. 8k or 80kS/s")
+    p_report.add_argument("--seed", type=int, default=7)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_char = sub.add_parser("characterize",
+                            help="INL/DNL/ENOB of one chip")
+    p_char.add_argument("--seed", type=int, default=1)
+    p_char.add_argument("--ideal", action="store_true")
+    p_char.add_argument("--density", type=int, default=16,
+                        help="ramp samples per code")
+    p_char.set_defaults(func=_cmd_characterize)
+
+    p_gate = sub.add_parser("gate", help="one STSCL gate's numbers")
+    p_gate.add_argument("--iss", default="1n",
+                        help="tail current, e.g. 1n or 10pA")
+    p_gate.set_defaults(func=_cmd_gate)
+
+    p_sweep = sub.add_parser("sweep", help="the power-scaling table")
+    p_sweep.add_argument("--seed", type=int, default=1)
+    p_sweep.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

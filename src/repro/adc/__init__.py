@@ -1,0 +1,44 @@
+"""The 8-bit folding-and-interpolating ADC (paper Sec. III, Fig. 4).
+
+Composition:
+
+* a track/hold front end (:mod:`repro.adc.sample_hold`);
+* a coarse flash sub-ADC over the PMOS reference ladder
+  (:mod:`repro.adc.flash`);
+* a fine path -- staggered current-mode folders, x8 current
+  interpolation, comparator bank (:mod:`repro.adc.folding`);
+* the STSCL digital encoder (golden model or the actual 156-cell gate
+  netlist, :mod:`repro.digital.encoder`);
+* metrology: INL/DNL histogram and FFT/ENOB testing
+  (:mod:`repro.adc.metrics`).
+
+Every analog block carries the full mismatch error model, and a single
+control current scales the whole converter -- the property experiments
+E3 (power scaling) and E4 (INL/DNL) quantify.
+"""
+
+from .config import FaiAdcConfig
+from .sample_hold import SampleHold
+from .flash import CoarseFlash
+from .folding import FineFoldingPath
+from .fai import FaiAdc
+from .metrics import (
+    inl_dnl_from_codes,
+    inl_dnl_from_transitions,
+    code_transition_levels,
+    LinearityReport,
+    sine_test,
+    SineTestReport,
+    enob_from_sndr,
+    coherent_frequency,
+)
+from .testbench import ramp_codes, linearity_test, dynamic_test
+
+__all__ = [
+    "FaiAdcConfig", "SampleHold", "CoarseFlash", "FineFoldingPath",
+    "FaiAdc",
+    "inl_dnl_from_codes", "inl_dnl_from_transitions",
+    "code_transition_levels", "LinearityReport",
+    "sine_test", "SineTestReport", "enob_from_sndr", "coherent_frequency",
+    "ramp_codes", "linearity_test", "dynamic_test",
+]

@@ -1,0 +1,91 @@
+"""Static configuration of the FAI ADC.
+
+The defaults replicate the paper's converter: 8 bits (3 coarse + 5
+fine), folding factor 8, interpolation factor 8 from 4 physical
+folders, medium accuracy / sub-MHz / biomedical target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DesignError
+
+
+@dataclass(frozen=True)
+class FaiAdcConfig:
+    """Geometry and range of the converter.
+
+    Attributes:
+        coarse_bits: Flash sub-ADC resolution (MSBs).
+        fine_bits: Folding/interpolating path resolution (LSBs).
+        n_folders: Physical folding amplifiers; the interpolation
+            factor is 2**fine_bits / n_folders (8 in the paper: one 2x
+            merged into the folder and two 2x current interpolators).
+        v_low / v_high: Input full-scale range [V].
+        vdd: Supply voltage [V] (the paper's chip tolerates 1.0-1.25 V).
+    """
+
+    coarse_bits: int = 3
+    fine_bits: int = 5
+    n_folders: int = 4
+    v_low: float = 0.2
+    v_high: float = 0.8
+    vdd: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.coarse_bits < 1 or self.fine_bits < 2:
+            raise DesignError("need coarse_bits >= 1 and fine_bits >= 2")
+        if self.v_high <= self.v_low:
+            raise DesignError("v_high must exceed v_low")
+        if self.vdd <= self.v_high:
+            raise DesignError("supply must exceed the input range top")
+        if self.n_fine_signals % self.n_folders != 0:
+            raise DesignError(
+                f"2**fine_bits ({self.n_fine_signals}) must be a "
+                f"multiple of n_folders ({self.n_folders})")
+
+    @property
+    def n_bits(self) -> int:
+        return self.coarse_bits + self.fine_bits
+
+    @property
+    def n_codes(self) -> int:
+        return 2 ** self.n_bits
+
+    @property
+    def n_segments(self) -> int:
+        """Coarse segments = folding factor."""
+        return 2 ** self.coarse_bits
+
+    @property
+    def folding_factor(self) -> int:
+        return self.n_segments
+
+    @property
+    def n_fine_signals(self) -> int:
+        """Fine comparators / zero-crossing signals per segment."""
+        return 2 ** self.fine_bits
+
+    @property
+    def interpolation_factor(self) -> int:
+        """Signals generated per physical folder (paper: 8)."""
+        return self.n_fine_signals // self.n_folders
+
+    @property
+    def full_scale(self) -> float:
+        return self.v_high - self.v_low
+
+    @property
+    def lsb(self) -> float:
+        """One LSB [V]."""
+        return self.full_scale / self.n_codes
+
+    def code_to_voltage(self, code: float) -> float:
+        """Centre voltage of ``code`` [V]."""
+        return self.v_low + (code + 0.5) * self.lsb
+
+    def voltage_to_code(self, voltage: float) -> int:
+        """Ideal quantisation of ``voltage`` (clamped to range)."""
+        code = int((voltage - self.v_low) / self.lsb)
+        return max(0, min(self.n_codes - 1, code))

@@ -1,0 +1,71 @@
+"""Coarse flash sub-ADC: PMOS reference ladder + comparator bank.
+
+Extracts the 3 MSBs (paper Fig. 4, left).  Its thermometer output feeds
+the encoder's majority bubble-correction stage; the reflection-robust
+fine decode tolerates its boundary offsets to within ~1 LSB (see
+:mod:`repro.adc.fai`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analog.comparator import ComparatorBank
+from ..analog.ladder import LadderBiasScheme, ResistorLadder
+from ..errors import ModelError
+from .config import FaiAdcConfig
+
+
+class CoarseFlash:
+    """The coarse flash converter.
+
+    One comparator per internal segment boundary (2^c - 1 of them), each
+    comparing the held input against its ladder tap.
+    """
+
+    def __init__(self, config: FaiAdcConfig, i_comparator: float,
+                 i_res: float, ladder_sigma: float = 0.0,
+                 comparator_ideal: bool = True,
+                 pair_w: float = 24.0e-6, pair_l: float = 6.0e-6,
+                 seed: int | None = None) -> None:
+        self.config = config
+        n_taps = config.n_segments - 1
+        if n_taps < 1:
+            raise ModelError("coarse flash needs at least one boundary")
+        self.ladder = ResistorLadder(
+            n_taps=n_taps, v_low=config.v_low, v_high=config.v_high,
+            i_res=i_res, sigma_rel=ladder_sigma,
+            bias_scheme=LadderBiasScheme(share=4),
+            seed=None if seed is None else seed + 1)
+        # "Using large enough transistor sizes can minimize the effect
+        # of current mismatch" (Sec. III-B): the coarse decisions gate
+        # whole 32-LSB segments, so their pairs are drawn big.
+        self.bank = ComparatorBank(
+            n=n_taps, i_bias=i_comparator, ideal=comparator_ideal,
+            pair_w=pair_w, pair_l=pair_l,
+            seed=None if seed is None else seed + 2)
+
+    def with_bias(self, i_comparator: float, i_res: float) -> "CoarseFlash":
+        """Same chip at new bias currents (PMU scaling)."""
+        clone = CoarseFlash.__new__(CoarseFlash)
+        clone.config = self.config
+        clone.ladder = self.ladder.with_control(i_res)
+        clone.bank = self.bank.with_bias(i_comparator)
+        return clone
+
+    def thermometer(self, v_in: float) -> tuple[bool, ...]:
+        """One conversion: the raw thermometer word (LSB tap first)."""
+        taps = self.ladder.tap_voltages()
+        offsets = self.bank.offsets()
+        return tuple(bool(v_in > t + o) for t, o in zip(taps, offsets))
+
+    def thermometer_batch(self, v_in: np.ndarray) -> np.ndarray:
+        """Vectorised conversions: shape (n_samples, n_taps) booleans."""
+        v_in = np.asarray(v_in, dtype=float)
+        thresholds = self.ladder.tap_voltages() + self.bank.offsets()
+        return v_in[:, None] > thresholds[None, :]
+
+    def power(self, vdd: float) -> float:
+        """Ladder + comparator power [W]."""
+        comparators = self.bank.n * self.bank.i_bias * vdd
+        return self.ladder.power(vdd) + comparators

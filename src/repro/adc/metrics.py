@@ -1,0 +1,199 @@
+"""ADC metrology: INL/DNL (histogram method) and FFT dynamic testing.
+
+These are the instruments behind Fig. 11 (INL = 1.0 LSB, DNL = 0.4 LSB)
+and the in-text ENOB = 6.5 figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class LinearityReport:
+    """Static-linearity result.
+
+    Attributes:
+        dnl: Per-code differential non-linearity [LSB] (first/last code
+            excluded from the extrema, as is standard).
+        inl: Per-transition integral non-linearity [LSB], endpoint-fit.
+        dnl_max: max |DNL| over interior codes.
+        inl_max: max |INL|.
+        missing_codes: Codes that never occurred.
+    """
+
+    dnl: np.ndarray
+    inl: np.ndarray
+    dnl_max: float
+    inl_max: float
+    missing_codes: tuple[int, ...]
+
+
+def inl_dnl_from_codes(codes: np.ndarray, n_bits: int) -> LinearityReport:
+    """Histogram linearity test from a uniform-ramp code record.
+
+    ``codes`` must come from an input sweeping uniformly across (at
+    least) the full scale; every interior code's hit count is then
+    proportional to its analog width.
+    """
+    codes = np.asarray(codes, dtype=int)
+    n_codes = 2 ** n_bits
+    if codes.size < 4 * n_codes:
+        raise AnalysisError(
+            f"need >= {4 * n_codes} samples for a {n_bits}-bit histogram "
+            f"test, got {codes.size}")
+    if codes.min() < 0 or codes.max() >= n_codes:
+        raise AnalysisError("codes outside the converter range")
+    histogram = np.bincount(codes, minlength=n_codes).astype(float)
+    interior = histogram[1:-1]
+    if np.all(interior == 0.0):
+        raise AnalysisError("no interior codes hit; is the ramp connected?")
+    average = interior[interior > 0].mean() if np.any(interior > 0) else 1.0
+    dnl_interior = interior / average - 1.0
+    dnl = np.concatenate([[0.0], dnl_interior, [0.0]])
+    inl = np.concatenate([[0.0], np.cumsum(dnl_interior)])
+    # Endpoint fit: force INL to zero at both ends.
+    drift = np.linspace(0.0, inl[-1], inl.size)
+    inl = inl - drift
+    missing = tuple(int(c) for c in range(1, n_codes - 1)
+                    if histogram[c] == 0)
+    return LinearityReport(
+        dnl=dnl, inl=inl,
+        dnl_max=float(np.max(np.abs(dnl_interior))),
+        inl_max=float(np.max(np.abs(inl))),
+        missing_codes=missing)
+
+
+def code_transition_levels(convert, n_bits: int, v_low: float,
+                           v_high: float,
+                           resolution: float | None = None) -> np.ndarray:
+    """Measure every code transition voltage by bisection.
+
+    ``convert`` maps a voltage to a code (must be monotone, as the FAI
+    converter is in range).  Returns the 2^n - 1 transition voltages
+    T[c] (input level where the output first reaches code c+1...).
+    This is the servo-loop measurement method; its INL/DNL must agree
+    with the histogram method, which the integration tests enforce.
+    """
+    n_codes = 2 ** n_bits
+    if v_high <= v_low:
+        raise AnalysisError("v_high must exceed v_low")
+    resolution = resolution or (v_high - v_low) / n_codes / 256.0
+    transitions = np.empty(n_codes - 1)
+    lo_bound = v_low
+    for target in range(1, n_codes):
+        lo, hi = lo_bound, v_high
+        if convert(lo) >= target:
+            transitions[target - 1] = lo
+            continue
+        if convert(hi) < target:
+            transitions[target - 1] = hi
+            continue
+        while hi - lo > resolution:
+            mid = 0.5 * (lo + hi)
+            if convert(mid) >= target:
+                hi = mid
+            else:
+                lo = mid
+        transitions[target - 1] = 0.5 * (lo + hi)
+        lo_bound = lo  # monotone: next transition cannot be lower
+    return transitions
+
+
+def inl_dnl_from_transitions(transitions: np.ndarray,
+                             n_bits: int) -> LinearityReport:
+    """INL/DNL from measured transition levels (endpoint fit).
+
+    DNL[c] for interior code c is (T[c] - T[c-1])/LSB - 1 with the LSB
+    taken from the endpoint line through the first and last
+    transitions; INL accumulates it.
+    """
+    transitions = np.asarray(transitions, dtype=float)
+    n_codes = 2 ** n_bits
+    if transitions.shape != (n_codes - 1,):
+        raise AnalysisError(
+            f"expected {n_codes - 1} transitions, got "
+            f"{transitions.shape}")
+    lsb = (transitions[-1] - transitions[0]) / (n_codes - 2)
+    if lsb <= 0.0:
+        raise AnalysisError("non-monotone transition record")
+    widths = np.diff(transitions)
+    dnl_interior = widths / lsb - 1.0
+    dnl = np.concatenate([[0.0], dnl_interior, [0.0]])
+    inl_mid = np.concatenate([[0.0], np.cumsum(dnl_interior)])
+    inl = inl_mid - np.linspace(0.0, inl_mid[-1], inl_mid.size)
+    return LinearityReport(
+        dnl=dnl, inl=inl,
+        dnl_max=float(np.max(np.abs(dnl_interior))),
+        inl_max=float(np.max(np.abs(inl))),
+        missing_codes=tuple(int(c) + 1
+                            for c in np.nonzero(widths <= 0.0)[0]))
+
+
+@dataclass(frozen=True)
+class SineTestReport:
+    """Dynamic (FFT) test result.
+
+    Attributes:
+        sndr_db: Signal-to-noise-and-distortion ratio [dB].
+        sfdr_db: Spurious-free dynamic range [dB].
+        enob: Effective number of bits.
+        signal_bin: FFT bin of the test tone.
+    """
+
+    sndr_db: float
+    sfdr_db: float
+    enob: float
+    signal_bin: int
+
+
+def enob_from_sndr(sndr_db: float) -> float:
+    """ENOB = (SNDR - 1.76) / 6.02."""
+    return (sndr_db - 1.76) / 6.02
+
+
+def coherent_frequency(f_sample: float, n_samples: int,
+                       cycles: int) -> float:
+    """Coherent test frequency: an odd/coprime number of full cycles in
+    the record (no spectral leakage, no repeated codes)."""
+    if n_samples < 2 or cycles < 1:
+        raise AnalysisError("need n_samples >= 2 and cycles >= 1")
+    if math.gcd(cycles, n_samples) != 1:
+        raise AnalysisError(
+            f"cycles ({cycles}) must be coprime with n_samples "
+            f"({n_samples}) for coherent sampling")
+    return f_sample * cycles / n_samples
+
+
+def sine_test(codes: np.ndarray, n_bits: int) -> SineTestReport:
+    """FFT analysis of a coherently sampled sine-wave code record."""
+    codes = np.asarray(codes, dtype=float)
+    n = codes.size
+    if n < 64:
+        raise AnalysisError(f"need >= 64 samples, got {n}")
+    centred = codes - codes.mean()
+    spectrum = np.fft.rfft(centred)
+    power = np.abs(spectrum) ** 2
+    power[0] = 0.0
+    signal_bin = int(np.argmax(power))
+    if signal_bin == 0:
+        raise AnalysisError("no signal tone found")
+    signal_power = power[signal_bin]
+    # Guard bins around the carrier absorb the residual skirt.
+    noise = power.copy()
+    lo = max(1, signal_bin - 1)
+    noise[lo:signal_bin + 2] = 0.0
+    noise[0] = 0.0
+    noise_power = noise.sum()
+    if noise_power <= 0.0:
+        raise AnalysisError("zero noise power; record too short?")
+    sndr = 10.0 * math.log10(signal_power / noise_power)
+    sfdr = 10.0 * math.log10(signal_power / noise.max())
+    return SineTestReport(sndr_db=sndr, sfdr_db=sfdr,
+                          enob=enob_from_sndr(sndr),
+                          signal_bin=signal_bin)

@@ -1,0 +1,111 @@
+"""Track-and-hold front end.
+
+A simple switched source-follower/track switch model with the three
+error mechanisms that matter at nW power levels:
+
+* finite tracking bandwidth (switch conductance scales with the bias
+  current -- the PMU scales this block too);
+* kT/C sampling noise on the hold capacitor;
+* aperture jitter against a moving input.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import BOLTZMANN, T_NOMINAL, thermal_voltage
+from ..errors import ModelError
+
+
+@dataclass
+class SampleHold:
+    """Track-and-hold stage.
+
+    Attributes:
+        i_bias: Switch/buffer bias current [A].
+        c_hold: Hold capacitance [F].
+        n: Subthreshold slope factor of the switch device.
+        jitter_rms: Aperture jitter [s].
+        noisy: Enable kT/C noise (off for deterministic static tests).
+        seed: RNG seed for the noise draws.
+        temperature: Junction temperature [K].
+    """
+
+    i_bias: float = 10e-9
+    c_hold: float = 200e-15
+    n: float = 1.3
+    jitter_rms: float = 0.0
+    noisy: bool = False
+    seed: int | None = None
+    temperature: float = T_NOMINAL
+
+    def __post_init__(self) -> None:
+        if self.i_bias <= 0.0:
+            raise ModelError(f"i_bias must be positive: {self.i_bias}")
+        if self.c_hold <= 0.0:
+            raise ModelError(f"c_hold must be positive: {self.c_hold}")
+        self._rng = np.random.default_rng(self.seed)
+
+    def with_bias(self, i_bias: float) -> "SampleHold":
+        """Retuned copy (the PMU scaling operation)."""
+        return SampleHold(i_bias=i_bias, c_hold=self.c_hold, n=self.n,
+                          jitter_rms=self.jitter_rms, noisy=self.noisy,
+                          seed=self.seed, temperature=self.temperature)
+
+    def track_conductance(self) -> float:
+        """On-conductance of the weak-inversion track switch [S]."""
+        ut = thermal_voltage(self.temperature)
+        return self.i_bias / (self.n * ut)
+
+    def tracking_bandwidth(self) -> float:
+        """-3 dB tracking bandwidth [Hz]."""
+        return self.track_conductance() / (2.0 * math.pi * self.c_hold)
+
+    def settling_error(self, f_sample: float,
+                       track_fraction: float = 0.5) -> float:
+        """Relative residual tracking error at ``f_sample``.
+
+        exp(-T_track / tau) with T_track a fraction of the sample
+        period.
+        """
+        if f_sample <= 0.0:
+            raise ModelError(f"f_sample must be positive: {f_sample}")
+        tau = self.c_hold / self.track_conductance()
+        t_track = track_fraction / f_sample
+        return math.exp(-t_track / tau)
+
+    def noise_rms(self) -> float:
+        """kT/C sampled-noise rms [V]."""
+        return math.sqrt(BOLTZMANN * self.temperature / self.c_hold)
+
+    def max_sample_rate(self, resolution_bits: int,
+                        track_fraction: float = 0.5) -> float:
+        """Highest f_s settling to within half an LSB at
+        ``resolution_bits``."""
+        if resolution_bits < 1:
+            raise ModelError(f"bits must be >= 1: {resolution_bits}")
+        tau = self.c_hold / self.track_conductance()
+        n_tau = (resolution_bits + 1) * math.log(2.0)
+        return track_fraction / (n_tau * tau)
+
+    def sample(self, waveform, t_sample: np.ndarray) -> np.ndarray:
+        """Sample ``waveform(t)`` at the instants ``t_sample``.
+
+        Applies jitter and kT/C noise when enabled; the deterministic
+        settling error is a gain term small enough to fold into the
+        conversion (checked by :meth:`settling_error` at design time).
+        """
+        t_sample = np.asarray(t_sample, dtype=float)
+        if self.jitter_rms > 0.0 and self.noisy:
+            t_eff = t_sample + self._rng.normal(
+                0.0, self.jitter_rms, size=t_sample.shape)
+        else:
+            t_eff = t_sample
+        values = np.asarray([waveform(float(t)) for t in t_eff])
+        if self.noisy:
+            values = values + self._rng.normal(
+                0.0, self.noise_rms(), size=values.shape)
+        return values

@@ -1,0 +1,115 @@
+"""Bias generation and distribution: mirrors and the single-knob tree.
+
+Fig. 1's architecture: one controlling bias current I_C feeds a mirror
+tree whose branches bias every analog block, and a fixed *fraction*
+I_C,DIG of it biases the STSCL replica generator -- so one knob scales
+the whole mixed-signal system (the claim the E3 power-scaling benchmark
+demonstrates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import T_NOMINAL, thermal_voltage
+from ..devices.mismatch import MismatchModel, PELGROM_180NM
+from ..errors import DesignError, ModelError
+
+
+@dataclass(frozen=True)
+class CurrentMirror:
+    """A weak-inversion current mirror with Pelgrom gain error.
+
+    Attributes:
+        ratio: Nominal output/input current ratio.
+        w, l: Device size [m] (sets the mismatch sigma).
+        gain_error: Frozen relative gain error of this instance.
+    """
+
+    ratio: float = 1.0
+    w: float = 2.0e-6
+    l: float = 2.0e-6
+    gain_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ratio <= 0.0:
+            raise ModelError(f"ratio must be positive: {self.ratio}")
+
+    def output(self, i_in: float) -> float:
+        """Mirrored current [A]."""
+        if i_in < 0.0:
+            raise ModelError(f"input current must be >= 0: {i_in}")
+        return i_in * self.ratio * (1.0 + self.gain_error)
+
+    @classmethod
+    def sampled(cls, ratio: float, rng: np.random.Generator,
+                w: float = 2.0e-6, l: float = 2.0e-6,
+                mismatch: MismatchModel = PELGROM_180NM,
+                n: float = 1.3,
+                temperature: float = T_NOMINAL) -> "CurrentMirror":
+        """Draw one mirror instance with Pelgrom-scaled gain error."""
+        ut = thermal_voltage(temperature)
+        sigma = mismatch.sigma_mirror_gain(w, l, n, ut)
+        return cls(ratio=ratio, w=w, l=l,
+                   gain_error=float(rng.normal(0.0, sigma)))
+
+
+@dataclass
+class BiasTree:
+    """The single-knob bias distribution of Fig. 1.
+
+    Branches are registered with a name and a ratio relative to the
+    master control current I_C; reading a branch applies the (optionally
+    mismatched) mirror.  ``digital_fraction`` is the paper's
+    I_C,DIG / I_C.
+    """
+
+    digital_fraction: float = 0.05
+    seed: int | None = None
+    ideal: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.digital_fraction <= 1.0:
+            raise DesignError(
+                f"digital_fraction must be in (0,1]: "
+                f"{self.digital_fraction}")
+        self._rng = np.random.default_rng(self.seed)
+        self._branches: dict[str, CurrentMirror] = {}
+        self.add_branch("digital", self.digital_fraction)
+
+    def add_branch(self, name: str, ratio: float) -> None:
+        """Register a mirror branch ``name`` at ``ratio`` : 1."""
+        if name in self._branches:
+            raise DesignError(f"branch {name!r} already exists")
+        if self.ideal:
+            self._branches[name] = CurrentMirror(ratio=ratio)
+        else:
+            self._branches[name] = CurrentMirror.sampled(
+                ratio, self._rng)
+
+    def branch_current(self, name: str, i_control: float) -> float:
+        """Bias current delivered to branch ``name`` at master
+        current ``i_control`` [A]."""
+        if i_control <= 0.0:
+            raise DesignError(
+                f"control current must be positive: {i_control}")
+        try:
+            mirror = self._branches[name]
+        except KeyError:
+            raise DesignError(f"no branch named {name!r}") from None
+        return mirror.output(i_control)
+
+    def digital_current(self, i_control: float) -> float:
+        """I_C,DIG = fraction * I_C (Sec. III intro)."""
+        return self.branch_current("digital", i_control)
+
+    def total_current(self, i_control: float) -> float:
+        """Sum over all branches plus the master itself [A]."""
+        branches = sum(m.output(i_control)
+                       for m in self._branches.values())
+        return i_control + branches
+
+    def branch_names(self) -> list[str]:
+        return list(self._branches)

@@ -1,0 +1,159 @@
+"""Clocked comparator: pre-amplifier plus regenerative latch.
+
+The FAI ADC's decision elements.  The pre-amplifier (Fig. 6) both
+reduces the input-referred latch offset by its gain and isolates the
+inputs from kickback; the latch regenerates to full logic levels within
+the clock phase when the amplified difference exceeds its metastability
+window.
+
+Error model (all the mechanisms the measured INL/DNL of Fig. 11 needs):
+
+* input-referred offset (preamp pair mismatch, dominant);
+* input-referred noise (thermal, optional);
+* metastability: inputs smaller than the regeneration window resolve
+  randomly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import T_NOMINAL, thermal_voltage
+from ..devices.mismatch import MismatchModel, PELGROM_180NM
+from ..errors import ModelError
+from .preamp import Preamp
+
+
+@dataclass
+class Comparator:
+    """One clocked comparator.
+
+    Attributes:
+        preamp: The input pre-amplifier (carries bias and offset).
+        noise_rms: Input-referred rms noise [V].
+        metastability_window: Input magnitude below which the decision
+            is random [V] (after preamp gain this is sub-LSB for any
+            sane design; kept for failure-injection tests).
+        rng: Random generator for noise/metastability; None = ideal
+            deterministic comparator.
+    """
+
+    preamp: Preamp
+    noise_rms: float = 0.0
+    metastability_window: float = 0.0
+    rng: np.random.Generator | None = None
+
+    def with_bias(self, i_bias: float) -> "Comparator":
+        """Retuned copy (the PMU scaling operation)."""
+        return Comparator(preamp=self.preamp.with_bias(i_bias),
+                          noise_rms=self.noise_rms,
+                          metastability_window=self.metastability_window,
+                          rng=self.rng)
+
+    def decide(self, v_pos: float, v_neg: float) -> bool:
+        """One clocked decision: True when v_pos > v_neg (plus errors)."""
+        difference = v_pos - v_neg - self.preamp.offset
+        if self.rng is not None and self.noise_rms > 0.0:
+            difference += float(self.rng.normal(0.0, self.noise_rms))
+        if abs(difference) < self.metastability_window:
+            if self.rng is None:
+                return difference >= 0.0
+            return bool(self.rng.random() < 0.5)
+        return difference > 0.0
+
+    def decide_array(self, v_pos: np.ndarray,
+                     v_neg: np.ndarray | float) -> np.ndarray:
+        """Vectorised decisions (noise applied elementwise)."""
+        difference = (np.asarray(v_pos, dtype=float)
+                      - np.asarray(v_neg, dtype=float)
+                      - self.preamp.offset)
+        if self.rng is not None and self.noise_rms > 0.0:
+            difference = difference + self.rng.normal(
+                0.0, self.noise_rms, size=difference.shape)
+        return difference > 0.0
+
+    def max_clock(self) -> float:
+        """Highest clock rate the preamp bandwidth supports [Hz].
+
+        The preamp must settle within half a clock period; its -3 dB
+        bandwidth scales with the bias current, which is how the whole
+        comparator bank follows the PMU.
+        """
+        return self.preamp.bandwidth()
+
+
+def _default_preamp() -> Preamp:
+    return Preamp(i_bias=1e-9)
+
+
+@dataclass
+class ComparatorBank:
+    """A bank of matched comparators sharing one bias rail.
+
+    Offsets are drawn once at construction (a "chip") from the Pelgrom
+    model at the given pair size, so repeated conversions see the same
+    static errors -- as a real chip does.
+    """
+
+    n: int
+    i_bias: float
+    pair_w: float = 2.0e-6
+    pair_l: float = 0.5e-6
+    mismatch: MismatchModel = field(
+        default_factory=lambda: PELGROM_180NM)
+    noise_rms: float = 0.0
+    seed: int | None = None
+    temperature: float = T_NOMINAL
+    ideal: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ModelError(f"need at least one comparator: {self.n}")
+        if self.i_bias <= 0.0:
+            raise ModelError(f"i_bias must be positive: {self.i_bias}")
+        rng = np.random.default_rng(self.seed)
+        sigma = self.mismatch.sigma_pair_offset(self.pair_w, self.pair_l)
+        self.comparators: list[Comparator] = []
+        for _k in range(self.n):
+            offset = 0.0 if self.ideal else float(rng.normal(0.0, sigma))
+            preamp = Preamp(i_bias=self.i_bias, offset=offset,
+                            temperature=self.temperature)
+            noise_rng = np.random.default_rng(rng.integers(2 ** 32)) \
+                if self.noise_rms > 0.0 else None
+            self.comparators.append(Comparator(
+                preamp=preamp, noise_rms=self.noise_rms, rng=noise_rng))
+
+    def offsets(self) -> np.ndarray:
+        """The drawn input-referred offsets [V]."""
+        return np.array([c.preamp.offset for c in self.comparators])
+
+    def with_bias(self, i_bias: float) -> "ComparatorBank":
+        """Same chip (same offsets) at a new bias current."""
+        clone = ComparatorBank.__new__(ComparatorBank)
+        clone.n = self.n
+        clone.i_bias = i_bias
+        clone.pair_w, clone.pair_l = self.pair_w, self.pair_l
+        clone.mismatch = self.mismatch
+        clone.noise_rms = self.noise_rms
+        clone.seed = self.seed
+        clone.temperature = self.temperature
+        clone.ideal = self.ideal
+        clone.comparators = [c.with_bias(i_bias) for c in self.comparators]
+        return clone
+
+    def decide_all(self, v_pos: np.ndarray,
+                   v_neg: np.ndarray | float = 0.0) -> tuple[bool, ...]:
+        """One clocked decision per comparator.
+
+        ``v_pos`` supplies each comparator's positive input (length n);
+        ``v_neg`` a shared or per-comparator negative input.
+        """
+        v_pos = np.asarray(v_pos, dtype=float)
+        if v_pos.shape != (self.n,):
+            raise ModelError(
+                f"expected {self.n} inputs, got shape {v_pos.shape}")
+        v_neg = np.broadcast_to(np.asarray(v_neg, dtype=float), (self.n,))
+        return tuple(c.decide(float(p), float(m))
+                     for c, p, m in zip(self.comparators, v_pos, v_neg))

@@ -1,0 +1,127 @@
+"""Power-scalable gm-C filters (paper Sec. II-B, refs [22] and [23]).
+
+The paper offers "widely-tunable and power-scalable" filters as the
+canonical scalable analog block: a gm-C biquad's corner frequency is
+f_0 = gm / (2 pi C) with gm = I / (2 n U_T), so the corner rides
+*linearly* on the bias current while the quality factor (a gm ratio)
+and the linear input range (n U_T) stay put -- exactly the
+"compatible power-frequency behaviour" that lets one PMU drive analog
+and digital together.
+
+:class:`GmCBiquad` is the behavioural model;
+:func:`gm_c_biquad_circuit` builds the same two-integrator loop from
+VCCS elements for the MNA engine, so the analytic transfer is
+cross-checked by AC analysis in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import T_NOMINAL, thermal_voltage
+from ..devices.parameters import GENERIC_180NM, Technology
+from ..errors import ModelError
+from ..spice.netlist import Circuit
+from .transconductor import SubthresholdTransconductor
+
+
+@dataclass(frozen=True)
+class GmCBiquad:
+    """A two-integrator-loop gm-C low-pass biquad.
+
+    Topology (Tow-Thomas-style): four identical transconductors of
+    value gm and two capacitors C; the damping transconductor is scaled
+    by 1/Q.  Transfer to the low-pass output:
+
+        H(s) = w0^2 / (s^2 + s w0/Q + w0^2),   w0 = gm / C.
+
+    Attributes:
+        i_bias: Tail current of each transconductor [A] -- the knob.
+        c: Integration capacitance [F].
+        q: Quality factor (a transconductance *ratio*: bias-invariant).
+        tech: Technology (slope factor).
+        temperature: Junction temperature [K].
+    """
+
+    i_bias: float
+    c: float = 10e-12
+    q: float = 0.707
+    tech: Technology = field(default_factory=lambda: GENERIC_180NM)
+    temperature: float = T_NOMINAL
+
+    def __post_init__(self) -> None:
+        if self.i_bias <= 0.0:
+            raise ModelError(f"i_bias must be positive: {self.i_bias}")
+        if self.c <= 0.0:
+            raise ModelError(f"capacitance must be positive: {self.c}")
+        if self.q <= 0.0:
+            raise ModelError(f"Q must be positive: {self.q}")
+
+    def with_bias(self, i_bias: float) -> "GmCBiquad":
+        """Retuned copy (the PMU scaling operation)."""
+        return GmCBiquad(i_bias=i_bias, c=self.c, q=self.q,
+                         tech=self.tech, temperature=self.temperature)
+
+    def transconductor(self) -> SubthresholdTransconductor:
+        """One of the four identical gm cells."""
+        return SubthresholdTransconductor(
+            i_bias=self.i_bias, tech=self.tech,
+            temperature=self.temperature)
+
+    @property
+    def gm(self) -> float:
+        """Cell transconductance [S]."""
+        return self.transconductor().transconductance()
+
+    def corner_frequency(self) -> float:
+        """f_0 = gm / (2 pi C) [Hz]; linear in the bias current."""
+        return self.gm / (2.0 * math.pi * self.c)
+
+    def transfer(self, frequencies: np.ndarray) -> np.ndarray:
+        """Complex low-pass transfer H(j 2 pi f)."""
+        s = 2j * np.pi * np.asarray(frequencies, dtype=float)
+        w0 = 2.0 * math.pi * self.corner_frequency()
+        return w0 ** 2 / (s ** 2 + s * w0 / self.q + w0 ** 2)
+
+    def power(self, vdd: float) -> float:
+        """Static power: four tail currents [W]."""
+        if vdd <= 0.0:
+            raise ModelError(f"vdd must be positive: {vdd}")
+        return 4.0 * self.i_bias * vdd
+
+    def linear_range(self) -> float:
+        """Input linear range [V]; bias-invariant (set by n U_T)."""
+        return self.transconductor().linear_range()
+
+    def dynamic_range_estimate(self) -> float:
+        """Rough DR: linear range over the kT/C noise of one
+        integrator, in dB.  Bias-invariant -- scaling power does not
+        cost fidelity, the property the paper's platform relies on."""
+        ktc = math.sqrt(1.380649e-23 * self.temperature / self.c)
+        return 20.0 * math.log10(self.linear_range() / ktc)
+
+
+def gm_c_biquad_circuit(biquad: GmCBiquad) -> Circuit:
+    """The same biquad as an MNA netlist of VCCS integrators.
+
+    Two-integrator loop: gm1 drives the band-pass node (damped by the
+    gm/Q cell), gm2 integrates it into the low-pass output, and the
+    loop closes through gm3.  AC magnitude at ``lp`` matches
+    :meth:`GmCBiquad.transfer` -- the cross-check the tests enforce.
+    """
+    gm = biquad.gm
+    circuit = Circuit("gmc_biquad")
+    circuit.add_vsource("vin", "in", "0", 0.0, ac_mag=1.0)
+    # Band-pass node.
+    circuit.add_vccs("g_in", "0", "bp", "in", "0", gm)
+    circuit.add_vccs("g_damp", "bp", "0", "bp", "0", gm / biquad.q)
+    circuit.add_capacitor("c_bp", "bp", "0", biquad.c)
+    # Low-pass node.
+    circuit.add_vccs("g_fwd", "0", "lp", "bp", "0", gm)
+    circuit.add_capacitor("c_lp", "lp", "0", biquad.c)
+    # Loop closure (negative feedback).
+    circuit.add_vccs("g_fb", "bp", "0", "lp", "0", gm)
+    return circuit

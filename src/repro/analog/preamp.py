@@ -1,0 +1,194 @@
+"""The comparator pre-amplifier with the D_Well decoupling trick
+(paper Fig. 6, experiment E5).
+
+The pre-amplifier is a double differential stage built like an STSCL
+gate (same loads, same tail).  Its bandwidth problem: the PMOS load's
+nwell-substrate junction D_Well hangs directly on the output node and,
+at nA bias levels, R_L is so large that this junction capacitance
+dominates the pole.  The fix (Fig. 6b): insert a very-high-valued
+series device M_C between the output and the bulk/well node, so the
+well capacitance is reached only through R_C -- which turns the plain
+pole into a pole-zero pair and recovers bandwidth (Fig. 6d).
+
+Transfer function of the output network (gm drive into the load):
+
+    without decoupling:  Z(s) = R_L || 1/s(C_out + C_well)
+    with decoupling:     Z(s) = R_L || 1/sC_out || (R_C + 1/sC_well)
+
+:func:`preamp_output_circuit` builds the same network for the MNA
+engine so the analytic model is cross-checked by AC analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import T_NOMINAL, thermal_voltage
+from ..devices.parameters import GENERIC_180NM, Technology
+from ..errors import ModelError
+from ..spice.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class Preamp:
+    """Double differential pre-amplifier (Fig. 6c).
+
+    Computes out = A * [(in1p - in1n) - (in2p - in2n)] with tanh
+    limiting, plus the dynamic model of the decoupled/plain load.
+
+    Attributes:
+        i_bias: Tail current [A].
+        v_sw: Output swing (load drop at full steer) [V].
+        c_out: Intrinsic output capacitance (wiring + next stage) [F].
+        c_well: D_Well junction capacitance [F].
+        r_c_ratio: R_C expressed as a multiple of R_L.  The paper calls
+            M_C "a very high-valued load resistance": R_C must exceed
+            R_L by a few times, or the well branch still loads the
+            mid-band (at R_C = 5 R_L the mid-band plateau sits at
+            5/6 of DC, above the -3 dB line, and the bandwidth extends
+            to the C_out pole).
+        decoupled: Whether M_C is present (Fig. 6b) or the well sits
+            directly on the output (Fig. 6a).
+        offset: Input-referred offset [V] (mismatch).
+        tech: Technology.
+        temperature: Junction temperature [K].
+    """
+
+    i_bias: float
+    v_sw: float = 0.2
+    c_out: float = 10e-15
+    c_well: float = 60e-15
+    r_c_ratio: float = 5.0
+    decoupled: bool = True
+    offset: float = 0.0
+    tech: Technology = field(default_factory=lambda: GENERIC_180NM)
+    temperature: float = T_NOMINAL
+
+    def __post_init__(self) -> None:
+        if self.i_bias <= 0.0:
+            raise ModelError(f"i_bias must be positive: {self.i_bias}")
+        if self.v_sw <= 0.0:
+            raise ModelError(f"v_sw must be positive: {self.v_sw}")
+        if self.c_out < 0.0 or self.c_well < 0.0:
+            raise ModelError("capacitances must be >= 0")
+        if self.r_c_ratio <= 0.0:
+            raise ModelError(f"r_c_ratio must be positive: {self.r_c_ratio}")
+
+    def with_bias(self, i_bias: float) -> "Preamp":
+        """Retuned copy (the PMU scaling operation)."""
+        return Preamp(i_bias=i_bias, v_sw=self.v_sw, c_out=self.c_out,
+                      c_well=self.c_well, r_c_ratio=self.r_c_ratio,
+                      decoupled=self.decoupled, offset=self.offset,
+                      tech=self.tech, temperature=self.temperature)
+
+    @property
+    def load_resistance(self) -> float:
+        """R_L = V_SW / I_bias [ohm] (same law as the STSCL gate)."""
+        return self.v_sw / self.i_bias
+
+    def dc_gain(self) -> float:
+        """A = g_m R_L = V_SW / (2 n U_T)."""
+        ut = thermal_voltage(self.temperature)
+        return self.v_sw / (2.0 * self.tech.nmos.n * ut)
+
+    def output_voltage(self, v1: np.ndarray | float,
+                       v2: np.ndarray | float = 0.0) -> np.ndarray | float:
+        """Static differential output for the double-difference input."""
+        ut = thermal_voltage(self.temperature)
+        scale = 2.0 * self.tech.nmos.n * ut
+        drive = (np.asarray(v1, dtype=float) - np.asarray(v2, dtype=float)
+                 - self.offset)
+        result = self.v_sw * np.tanh(drive / scale)
+        return float(result) if np.ndim(result) == 0 else result
+
+    # -- dynamics -----------------------------------------------------------
+
+    def transfer(self, frequencies: np.ndarray) -> np.ndarray:
+        """Complex small-signal transfer H(jw) normalised to DC gain 1."""
+        s = 2j * np.pi * np.asarray(frequencies, dtype=float)
+        r_l = self.load_resistance
+        if not self.decoupled:
+            return 1.0 / (1.0 + s * r_l * (self.c_out + self.c_well))
+        r_c = self.r_c_ratio * r_l
+        z_well = r_c + 1.0 / (s * self.c_well)
+        y_total = 1.0 / r_l + s * self.c_out + 1.0 / z_well
+        return (1.0 / r_l) / y_total
+
+    def bandwidth(self) -> float:
+        """-3 dB bandwidth [Hz] from the analytic transfer."""
+        r_l = self.load_resistance
+        if not self.decoupled:
+            return 1.0 / (2.0 * math.pi * r_l * (self.c_out + self.c_well))
+        # Numeric search on the analytic transfer (pole-zero pair).
+        f0 = 1.0 / (2.0 * math.pi * r_l
+                    * (self.c_out + self.c_well))
+        freqs = np.logspace(math.log10(f0) - 1.0, math.log10(f0) + 4.0,
+                            1001)
+        mags = np.abs(self.transfer(freqs))
+        below = np.nonzero(mags < 1.0 / math.sqrt(2.0))[0]
+        if below.size == 0:
+            return float(freqs[-1])
+        k = int(below[0])
+        if k == 0:
+            return float(freqs[0])
+        f1, f2 = freqs[k - 1], freqs[k]
+        m1, m2 = mags[k - 1], mags[k]
+        frac = (m1 - 1.0 / math.sqrt(2.0)) / (m1 - m2)
+        return float(f1 * (f2 / f1) ** frac)
+
+    def step_settling_time(self, fraction: float = 0.9,
+                           horizon_tau: float = 20.0) -> float:
+        """Time for the step response to reach ``fraction`` of final [s].
+
+        Evaluated by numerically integrating the one/two-pole network;
+        the decoupled load settles markedly faster (Fig. 6d).
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ModelError(f"fraction must be in (0,1): {fraction}")
+        r_l = self.load_resistance
+        tau_ref = r_l * (self.c_out + self.c_well)
+        dt = tau_ref / 2000.0
+        steps = int(horizon_tau * tau_ref / dt)
+        v_out, v_well = 0.0, 0.0
+        i_in = 1.0 / r_l  # unit final value
+        r_c = self.r_c_ratio * r_l
+        for k in range(steps):
+            if self.decoupled:
+                i_well = (v_out - v_well) / r_c
+                dv_out = (i_in - v_out / r_l - i_well) / self.c_out
+                dv_well = i_well / self.c_well
+                v_out += dv_out * dt
+                v_well += dv_well * dt
+            else:
+                dv_out = (i_in - v_out / r_l) / (self.c_out + self.c_well)
+                v_out += dv_out * dt
+            if v_out >= fraction:
+                return (k + 1) * dt
+        raise ModelError(
+            f"output did not reach {fraction} within {horizon_tau} tau")
+
+
+def preamp_output_circuit(preamp: Preamp,
+                          unit_gm: float = 1e-6) -> Circuit:
+    """MNA model of the pre-amplifier output network for AC analysis.
+
+    A VCCS of transconductance ``unit_gm`` drives the load network from
+    a unit AC source, so ``out`` carries gm * Z(jw); normalising by the
+    DC value gives the same curve as :meth:`Preamp.transfer` -- the
+    cross-check used by the E5 benchmark and the integration tests.
+    """
+    circuit = Circuit("preamp_output")
+    circuit.add_vsource("vin", "in", "0", 0.0, ac_mag=1.0)
+    circuit.add_vccs("gmin", "0", "out", "in", "0", unit_gm)
+    circuit.add_resistor("rl", "out", "0", preamp.load_resistance)
+    circuit.add_capacitor("cout", "out", "0", preamp.c_out)
+    if preamp.decoupled:
+        r_c = preamp.r_c_ratio * preamp.load_resistance
+        circuit.add_resistor("rc", "out", "well", r_c)
+        circuit.add_capacitor("cwell", "well", "0", preamp.c_well)
+    else:
+        circuit.add_capacitor("cwell", "out", "0", preamp.c_well)
+    return circuit

@@ -1,0 +1,84 @@
+"""Subthreshold differential transconductor: the V-to-I primitive.
+
+A source-coupled pair in weak inversion steers its tail current as
+
+    I_diff(v) = I_bias * tanh(v / (2 n U_T))
+
+-- the same element that switches an STSCL gate, reused linearly around
+v = 0.  Scaling I_bias scales g_m (and with it every downstream
+bandwidth) proportionally while the linear input range, set only by
+n U_T, stays constant: that is the "compatible power-frequency
+behaviour" the paper builds the common PMU on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import T_NOMINAL, thermal_voltage
+from ..devices.parameters import GENERIC_180NM, Technology
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class SubthresholdTransconductor:
+    """A weak-inversion differential pair used as a transconductor.
+
+    Attributes:
+        i_bias: Tail current [A].
+        tech: Technology (slope factor source).
+        offset: Input-referred offset [V] (mismatch).
+        gain_error: Relative tail-current error (mismatch).
+        temperature: Junction temperature [K].
+    """
+
+    i_bias: float
+    tech: Technology = field(default_factory=lambda: GENERIC_180NM)
+    offset: float = 0.0
+    gain_error: float = 0.0
+    temperature: float = T_NOMINAL
+
+    def __post_init__(self) -> None:
+        if self.i_bias <= 0.0:
+            raise ModelError(f"i_bias must be positive: {self.i_bias}")
+
+    def with_bias(self, i_bias: float) -> "SubthresholdTransconductor":
+        """Retuned copy -- the PMU scaling operation."""
+        return SubthresholdTransconductor(
+            i_bias=i_bias, tech=self.tech, offset=self.offset,
+            gain_error=self.gain_error, temperature=self.temperature)
+
+    @property
+    def _scale(self) -> float:
+        """Input normalisation 2 n U_T [V]."""
+        return 2.0 * self.tech.nmos.n * thermal_voltage(self.temperature)
+
+    def output_current(self, v_diff: np.ndarray | float) -> np.ndarray | float:
+        """Differential output current at input ``v_diff`` [A]."""
+        effective = np.asarray(v_diff, dtype=float) - self.offset
+        i_tail = self.i_bias * (1.0 + self.gain_error)
+        result = i_tail * np.tanh(effective / self._scale)
+        return float(result) if np.isscalar(v_diff) else result
+
+    def transconductance(self) -> float:
+        """Small-signal g_m at balance [S]: I_bias / (2 n U_T)."""
+        return self.i_bias * (1.0 + self.gain_error) / self._scale
+
+    def linear_range(self, compression: float = 0.01) -> float:
+        """Input amplitude where gm drops by ``compression`` [V].
+
+        Independent of I_bias -- the structural reason the block scales.
+        """
+        if not 0.0 < compression < 1.0:
+            raise ModelError(f"compression must be in (0,1): {compression}")
+        # gm(v)/gm(0) = sech^2(v/s); solve sech^2 = 1 - compression.
+        return self._scale * math.acosh(1.0 / math.sqrt(1.0 - compression))
+
+    def bandwidth(self, c_load: float) -> float:
+        """Unity-gain bandwidth g_m / (2 pi C) [Hz] into ``c_load``."""
+        if c_load <= 0.0:
+            raise ModelError(f"c_load must be positive: {c_load}")
+        return self.transconductance() / (2.0 * math.pi * c_load)

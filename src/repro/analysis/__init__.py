@@ -1,0 +1,26 @@
+"""Statistical analysis machinery: Monte-Carlo, sweeps, sensitivity,
+yield.
+
+These drive the PVT and mismatch experiments (E4, E6) and are generic
+enough to reuse on any model in the library.
+"""
+
+from .montecarlo import MonteCarlo, MonteCarloSummary
+from .sweep import sweep_1d, SweepTable
+from .sensitivity import finite_difference_sensitivity
+from .yield_est import estimate_yield, YieldReport
+from .noise import (
+    StageNoise,
+    adc_noise_budget,
+    chain_input_noise,
+    scl_stage_noise,
+)
+
+__all__ = [
+    "MonteCarlo", "MonteCarloSummary",
+    "sweep_1d", "SweepTable",
+    "finite_difference_sensitivity",
+    "estimate_yield", "YieldReport",
+    "StageNoise", "adc_noise_budget", "chain_input_noise",
+    "scl_stage_noise",
+]

@@ -1,0 +1,90 @@
+"""Generic Monte-Carlo runner over seeded chip instances.
+
+The convention throughout the library: a *seed* fully determines one
+chip's mismatch pattern.  The runner maps seeds through a user metric
+function and summarises the distribution -- this is how the Fig. 11
+INL/DNL numbers are reproduced as a population rather than one lucky
+sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class MonteCarloSummary:
+    """Distribution summary of one scalar metric.
+
+    Attributes:
+        name: Metric label.
+        values: Raw per-seed values.
+        mean / std / median: Moments.
+        p05 / p95: 5th / 95th percentiles.
+    """
+
+    name: str
+    values: np.ndarray
+    mean: float
+    std: float
+    median: float
+    p05: float
+    p95: float
+
+    @classmethod
+    def from_values(cls, name: str, values) -> "MonteCarloSummary":
+        array = np.asarray(list(values), dtype=float)
+        if array.size == 0:
+            raise AnalysisError(f"no samples for metric {name!r}")
+        return cls(name=name, values=array,
+                   mean=float(array.mean()), std=float(array.std()),
+                   median=float(np.median(array)),
+                   p05=float(np.percentile(array, 5)),
+                   p95=float(np.percentile(array, 95)))
+
+
+class MonteCarlo:
+    """Run ``metric_fn(seed) -> dict[str, float]`` over many seeds.
+
+    Example::
+
+        def chip_metrics(seed):
+            adc = FaiAdc(seed=seed)
+            report = linearity_test(adc)
+            return {"inl": report.inl_max, "dnl": report.dnl_max}
+
+        mc = MonteCarlo(chip_metrics, n_runs=25)
+        print(mc.run()["inl"].median)
+    """
+
+    def __init__(self, metric_fn: Callable[[int], dict[str, float]],
+                 n_runs: int = 25, seed_base: int = 0) -> None:
+        if n_runs < 1:
+            raise AnalysisError(f"n_runs must be >= 1: {n_runs}")
+        self.metric_fn = metric_fn
+        self.n_runs = n_runs
+        self.seed_base = seed_base
+
+    def run(self) -> dict[str, MonteCarloSummary]:
+        """Execute all runs; returns per-metric summaries."""
+        collected: dict[str, list[float]] = {}
+        expected_keys: set[str] | None = None
+        for k in range(self.n_runs):
+            metrics = self.metric_fn(self.seed_base + k)
+            if not metrics:
+                raise AnalysisError("metric function returned no metrics")
+            if expected_keys is None:
+                expected_keys = set(metrics)
+            elif set(metrics) != expected_keys:
+                raise AnalysisError(
+                    "metric function returned inconsistent metric sets: "
+                    f"{sorted(expected_keys)} vs {sorted(metrics)}")
+            for name, value in metrics.items():
+                collected.setdefault(name, []).append(float(value))
+        return {name: MonteCarloSummary.from_values(name, values)
+                for name, values in collected.items()}

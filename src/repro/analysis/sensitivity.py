@@ -1,0 +1,35 @@
+"""Normalised finite-difference sensitivities.
+
+S = (dM/M) / (dP/P): the percent change of a metric per percent change
+of a parameter.  The Fig. 3 contrast is exactly a sensitivity table:
+STSCL delay vs V_DD ~ 0, subthreshold CMOS delay vs V_DD ~ -V_DD/(nU_T).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import AnalysisError
+
+
+def finite_difference_sensitivity(metric_fn: Callable[[float], float],
+                                  parameter_value: float,
+                                  relative_step: float = 0.01) -> float:
+    """Normalised sensitivity of ``metric_fn`` at ``parameter_value``.
+
+    Central differences with a relative step; raises on a zero metric
+    (the normalisation would be meaningless).
+    """
+    if parameter_value == 0.0:
+        raise AnalysisError("cannot normalise around a zero parameter")
+    if not 0.0 < relative_step < 0.5:
+        raise AnalysisError(
+            f"relative_step must be in (0, 0.5): {relative_step}")
+    delta = parameter_value * relative_step
+    up = metric_fn(parameter_value + delta)
+    down = metric_fn(parameter_value - delta)
+    centre = metric_fn(parameter_value)
+    if centre == 0.0:
+        raise AnalysisError("metric is zero at the evaluation point")
+    derivative = (up - down) / (2.0 * delta)
+    return derivative * parameter_value / centre

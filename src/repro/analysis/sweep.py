@@ -1,0 +1,63 @@
+"""One-dimensional parameter sweeps with tabular results.
+
+A thin, explicit helper: benchmarks sweep a knob (tail current,
+sampling rate, supply) through a metric function and want aligned
+arrays back for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class SweepTable:
+    """Aligned sweep results.
+
+    Attributes:
+        parameter: Swept-knob label.
+        values: Swept values.
+        metrics: Metric name -> array aligned with ``values``.
+    """
+
+    parameter: str
+    values: np.ndarray
+    metrics: dict[str, np.ndarray]
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise AnalysisError(f"no metric {name!r} in sweep") from None
+
+    def rows(self):
+        """Iterate (value, {metric: value}) pairs -- printing helper."""
+        for k, value in enumerate(self.values):
+            yield float(value), {name: float(column[k])
+                                 for name, column in self.metrics.items()}
+
+
+def sweep_1d(parameter: str, values: Sequence[float],
+             metric_fn: Callable[[float], dict[str, float]]) -> SweepTable:
+    """Evaluate ``metric_fn`` at each value; collect aligned columns."""
+    values_array = np.asarray(list(values), dtype=float)
+    if values_array.size == 0:
+        raise AnalysisError("empty sweep")
+    collected: dict[str, list[float]] = {}
+    for value in values_array:
+        metrics = metric_fn(float(value))
+        if not metrics:
+            raise AnalysisError("metric function returned no metrics")
+        for name, metric in metrics.items():
+            collected.setdefault(name, []).append(float(metric))
+    lengths = {len(v) for v in collected.values()}
+    if lengths != {values_array.size}:
+        raise AnalysisError("metric function returned inconsistent sets")
+    return SweepTable(parameter=parameter, values=values_array,
+                      metrics={name: np.asarray(vals)
+                               for name, vals in collected.items()})

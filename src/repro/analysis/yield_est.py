@@ -1,0 +1,57 @@
+"""Parametric yield estimation from Monte-Carlo populations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .montecarlo import MonteCarloSummary
+
+
+@dataclass(frozen=True)
+class YieldReport:
+    """Fraction of chips meeting every spec.
+
+    Attributes:
+        yield_fraction: Passing fraction in [0, 1].
+        n_total: Population size.
+        n_pass: Passing count.
+        failures: Spec name -> number of chips failing it.
+    """
+
+    yield_fraction: float
+    n_total: int
+    n_pass: int
+    failures: dict[str, int]
+
+
+def estimate_yield(summaries: Mapping[str, MonteCarloSummary],
+                   specs: Mapping[str, Callable[[float], bool]]) -> YieldReport:
+    """Apply per-metric pass predicates chip-by-chip.
+
+    ``specs`` maps metric names (keys of ``summaries``) to predicates,
+    e.g. ``{"inl": lambda v: v <= 1.0}``.
+    """
+    if not specs:
+        raise AnalysisError("no specs given")
+    missing = [name for name in specs if name not in summaries]
+    if missing:
+        raise AnalysisError(f"specs reference unknown metrics: {missing}")
+    sizes = {summaries[name].values.size for name in specs}
+    if len(sizes) != 1:
+        raise AnalysisError("metric populations have different sizes")
+    (n_total,) = sizes
+
+    passing = np.ones(n_total, dtype=bool)
+    failures: dict[str, int] = {}
+    for name, predicate in specs.items():
+        ok = np.array([bool(predicate(float(v)))
+                       for v in summaries[name].values])
+        failures[name] = int((~ok).sum())
+        passing &= ok
+    n_pass = int(passing.sum())
+    return YieldReport(yield_fraction=n_pass / n_total, n_total=n_total,
+                       n_pass=n_pass, failures=failures)

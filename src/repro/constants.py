@@ -1,0 +1,58 @@
+"""Physical constants used throughout the library.
+
+All values are SI.  The thermal voltage helper is the single place the
+k*T/q computation lives; every model that needs U_T goes through it so a
+temperature change propagates consistently.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Absolute zero offset: 0 degC in kelvin.
+ZERO_CELSIUS = 273.15
+
+#: Reference temperature for model parameters [K] (27 degC, SPICE default).
+T_NOMINAL = ZERO_CELSIUS + 27.0
+
+#: Permittivity of free space [F/m].
+EPSILON_0 = 8.8541878128e-12
+
+#: Relative permittivity of SiO2.
+EPSILON_SIO2 = 3.9
+
+#: Relative permittivity of silicon.
+EPSILON_SI = 11.7
+
+#: ln(2), used in the STSCL delay/power expressions of the paper (Eq. 1).
+LN2 = math.log(2.0)
+
+
+def thermal_voltage(temperature: float = T_NOMINAL) -> float:
+    """Return the thermal voltage U_T = k*T/q [V] at ``temperature`` [K].
+
+    >>> round(thermal_voltage(300.15), 6)
+    0.025865
+    """
+    if temperature <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature} K")
+    return BOLTZMANN * temperature / ELEMENTARY_CHARGE
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from Celsius to kelvin."""
+    kelvin = temp_c + ZERO_CELSIUS
+    if kelvin <= 0.0:
+        raise ValueError(f"{temp_c} degC is at or below absolute zero")
+    return kelvin
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from kelvin to Celsius."""
+    return temp_k - ZERO_CELSIUS

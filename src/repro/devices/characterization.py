@@ -1,0 +1,143 @@
+"""Device characterisation: the QA sweeps a PDK ships with.
+
+Given a :class:`~repro.devices.mosfet.Mosfet`, these helpers generate
+the standard curves (I_D-V_G, I_D-V_D) and extract the figures of
+merit every subthreshold design decision hangs on:
+
+* threshold voltage (constant-current method),
+* subthreshold swing [mV/decade],
+* on/off current ratio,
+* gm/I_D sweep against the EKV ideal.
+
+They exist so the calibration in ``devices/parameters.py`` is auditable
+-- ``tests/unit/devices/test_characterization.py`` pins the extracted
+numbers to the 0.18 um targets the rest of the repo assumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import T_NOMINAL, thermal_voltage
+from ..errors import AnalysisError
+from .mosfet import Mosfet
+
+
+def id_vg_curve(device: Mosfet, vd: float = 0.6,
+                vg_stop: float = 1.2, points: int = 121,
+                temperature: float = T_NOMINAL
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Transfer curve: (V_G, I_D) at fixed V_D, source/bulk grounded."""
+    if points < 3:
+        raise AnalysisError(f"need >= 3 points, got {points}")
+    v_gate = np.linspace(0.0, vg_stop, points)
+    currents = np.array([
+        device.evaluate(vd=vd, vg=float(v), vs=0.0, vb=0.0,
+                        temperature=temperature).ids
+        for v in v_gate])
+    return v_gate, currents
+
+
+def id_vd_curve(device: Mosfet, vg: float,
+                vd_stop: float = 1.2, points: int = 61,
+                temperature: float = T_NOMINAL
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Output curve: (V_D, I_D) at fixed V_G."""
+    if points < 3:
+        raise AnalysisError(f"need >= 3 points, got {points}")
+    v_drain = np.linspace(0.0, vd_stop, points)
+    currents = np.array([
+        device.evaluate(vd=float(v), vg=vg, vs=0.0, vb=0.0,
+                        temperature=temperature).ids
+        for v in v_drain])
+    return v_drain, currents
+
+
+def extract_vt_constant_current(device: Mosfet,
+                                i_criterion_per_square: float = 1e-7,
+                                vd: float = 0.05,
+                                temperature: float = T_NOMINAL) -> float:
+    """Threshold by the constant-current method [V].
+
+    The industry convention: V_T is the V_G at which I_D equals a
+    criterion current (here 100 nA) scaled by W/L, at low V_D.
+    """
+    criterion = i_criterion_per_square * device.w / device.l
+    v_gate, currents = id_vg_curve(device, vd=vd, vg_stop=1.4,
+                                   points=281, temperature=temperature)
+    above = np.nonzero(currents >= criterion)[0]
+    if above.size == 0 or above[0] == 0:
+        raise AnalysisError("criterion current not bracketed by sweep")
+    k = int(above[0])
+    v1, v2 = v_gate[k - 1], v_gate[k]
+    i1, i2 = currents[k - 1], currents[k]
+    # Interpolate in log-current (exponential region).
+    frac = (math.log(criterion) - math.log(i1)) \
+        / (math.log(i2) - math.log(i1))
+    return float(v1 + frac * (v2 - v1))
+
+
+def extract_subthreshold_swing(device: Mosfet, vd: float = 0.6,
+                               temperature: float = T_NOMINAL) -> float:
+    """Subthreshold swing S [mV/decade] from the steepest region.
+
+    Ideal at room temperature: n * U_T * ln(10) ~ 78 mV/dec for
+    n = 1.3.
+    """
+    v_gate, currents = id_vg_curve(device, vd=vd, vg_stop=0.5,
+                                   points=201, temperature=temperature)
+    mask = currents > 1e-14
+    v_gate, currents = v_gate[mask], currents[mask]
+    if v_gate.size < 10:
+        raise AnalysisError("too little subthreshold data")
+    slopes = np.diff(np.log10(currents)) / np.diff(v_gate)
+    return float(1e3 / slopes.max())
+
+
+def on_off_ratio(device: Mosfet, vdd: float = 1.0,
+                 temperature: float = T_NOMINAL) -> float:
+    """I_on(V_G = V_D = V_DD) / I_off(V_G = 0, V_D = V_DD)."""
+    on = device.evaluate(vd=vdd, vg=vdd, vs=0.0, vb=0.0,
+                         temperature=temperature).ids
+    off = device.evaluate(vd=vdd, vg=0.0, vs=0.0, vb=0.0,
+                          temperature=temperature).ids
+    if off <= 0.0:
+        raise AnalysisError("off current is non-positive")
+    return float(on / off)
+
+
+@dataclass(frozen=True)
+class DeviceReport:
+    """One device's extracted figures of merit.
+
+    Attributes:
+        vt: Constant-current threshold [V].
+        swing_mv_dec: Subthreshold swing [mV/decade].
+        on_off: I_on/I_off at 1 V.
+        gm_id_peak: Peak gm/I_D [1/V].
+    """
+
+    vt: float
+    swing_mv_dec: float
+    on_off: float
+    gm_id_peak: float
+
+
+def characterize(device: Mosfet,
+                 temperature: float = T_NOMINAL) -> DeviceReport:
+    """Run the full QA extraction on one device."""
+    ut = thermal_voltage(temperature)
+    gm_id_ideal = 1.0 / (device.params.n * ut)
+    # Measure gm/ID in deep weak inversion.
+    op = device.evaluate(vd=0.6, vg=0.15, vs=0.0, vb=0.0,
+                         temperature=temperature)
+    gm_id = op.gm / op.ids if op.ids > 0.0 else 0.0
+    return DeviceReport(
+        vt=extract_vt_constant_current(device, temperature=temperature),
+        swing_mv_dec=extract_subthreshold_swing(
+            device, temperature=temperature),
+        on_off=on_off_ratio(device, temperature=temperature),
+        gm_id_peak=float(min(gm_id, gm_id_ideal * 1.05)))

@@ -1,0 +1,114 @@
+"""Junction diode model (exponential, with junction capacitance).
+
+Its main role in this reproduction is the reverse-biased nwell-substrate
+junction D_Well of the PMOS load devices (paper Fig. 6a): its junction
+capacitance loads the pre-amplifier output, and decoupling it through the
+series device M_C is experiment E5 (Fig. 6d).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constants import T_NOMINAL, thermal_voltage
+from ..errors import ModelError
+
+_EXP_LIMIT = 350.0
+
+
+@dataclass(frozen=True)
+class DiodeParameters:
+    """Static diode parameters.
+
+    Attributes:
+        name: Label.
+        i_s: Saturation current [A].
+        n: Ideality factor.
+        cj0: Zero-bias junction capacitance [F].
+        vj: Built-in potential [V].
+        mj: Grading coefficient.
+    """
+
+    name: str
+    i_s: float = 1e-16
+    n: float = 1.0
+    cj0: float = 10e-15
+    vj: float = 0.7
+    mj: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.i_s <= 0.0:
+            raise ModelError(f"saturation current must be positive: {self.i_s}")
+        if self.n < 1.0:
+            raise ModelError(f"ideality factor must be >= 1: {self.n}")
+        if self.cj0 < 0.0:
+            raise ModelError(f"cj0 must be >= 0: {self.cj0}")
+
+
+#: Nwell-to-substrate junction of a load-sized PMOS in 0.18 um: the well
+#: is large compared to the device, hence a relatively big capacitance --
+#: this is exactly why the paper needs the decoupling trick of Fig. 6b.
+NWELL_DIODE_180 = DiodeParameters(
+    name="nwell_substrate_180", i_s=5e-17, n=1.05, cj0=60e-15, vj=0.65,
+    mj=0.4)
+
+
+@dataclass
+class Diode:
+    """A diode instance: anode-to-cathode exponential junction."""
+
+    params: DiodeParameters
+    area: float = 1.0
+
+    def current(self, v_ak: float,
+                temperature: float = T_NOMINAL) -> tuple[float, float]:
+        """Return (current, conductance) at anode-cathode voltage ``v_ak``.
+
+        A small ohmic leakage keeps the Jacobian nonsingular in deep
+        reverse bias.
+        """
+        ut = thermal_voltage(temperature) * self.params.n
+        x = min(v_ak / ut, _EXP_LIMIT)
+        e = math.exp(x)
+        i_s = self.params.i_s * self.area
+        current = i_s * (e - 1.0)
+        conductance = i_s * e / ut
+        g_leak = 1e-15
+        return current + g_leak * v_ak, conductance + g_leak
+
+    def capacitance(self, v_ak: float) -> float:
+        """Bias-dependent junction capacitance [F].
+
+        Standard depletion formula below the built-in potential, linearised
+        above it to avoid the singularity.
+        """
+        cj0 = self.params.cj0 * self.area
+        vj, mj = self.params.vj, self.params.mj
+        fc = 0.5
+        if v_ak < fc * vj:
+            return cj0 / (1.0 - v_ak / vj) ** mj
+        # Linear extension beyond fc*vj (SPICE-style).
+        f1 = (1.0 - fc) ** (1.0 + mj)
+        return cj0 / f1 * (1.0 - fc * (1.0 + mj) + mj * v_ak / vj)
+
+    def charge(self, v_ak: float) -> float:
+        """Depletion charge [C], the analytic integral of ``capacitance``.
+
+        Having charge and capacitance analytically consistent keeps the
+        transient integrator charge-conserving.
+        """
+        cj0 = self.params.cj0 * self.area
+        vj, mj = self.params.vj, self.params.mj
+        fc = 0.5
+        v_knee = fc * vj
+        if v_ak < v_knee:
+            return cj0 * vj / (1.0 - mj) * (
+                1.0 - (1.0 - v_ak / vj) ** (1.0 - mj))
+        q_knee = cj0 * vj / (1.0 - mj) * (1.0 - (1.0 - fc) ** (1.0 - mj))
+        f1 = (1.0 - fc) ** (1.0 + mj)
+        # Integral of the linear extension from v_knee to v_ak.
+        dv = v_ak - v_knee
+        slope = cj0 / f1 * mj / vj
+        c_knee = cj0 / f1 * (1.0 - fc * (1.0 + mj) + mj * v_knee / vj)
+        return q_knee + c_knee * dv + 0.5 * slope * dv * dv

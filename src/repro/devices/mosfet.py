@@ -1,0 +1,199 @@
+"""Four-terminal MOS transistor evaluated on absolute node voltages.
+
+:class:`Mosfet` wraps the EKV core equations into the form the MNA engine
+needs: given the four terminal potentials it returns the channel current
+and its partial derivative with respect to *every* terminal, so the
+bulk-drain-shorted PMOS load of the paper (Fig. 2 / Fig. 6) -- whose whole
+point is the body effect acting through the drain -- falls out naturally
+by simply wiring B to D in the netlist.
+
+Sign conventions: ``ids`` is the current flowing from the drain terminal
+to the source terminal through the channel.  It is positive for a
+conducting NMOS and negative for a conducting PMOS.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..constants import T_NOMINAL, thermal_voltage
+from ..errors import ModelError
+from .ekv import interp_f, interp_f_derivative
+from .parameters import MosParameters
+
+#: Smoothing width for the |V_DS| used by channel-length modulation [V].
+_CLM_SMOOTH = 0.05
+
+
+def _smooth_abs(x: float) -> tuple[float, float]:
+    """Return (|x| smoothed, d/dx) using x*tanh(x/delta)."""
+    t = math.tanh(x / _CLM_SMOOTH)
+    value = x * t
+    derivative = t + (x / _CLM_SMOOTH) * (1.0 - t * t)
+    return value, derivative
+
+
+@dataclass(frozen=True)
+class MosOperatingPoint:
+    """Bias-point solution of one transistor.
+
+    Attributes:
+        ids: Channel current, drain to source [A].
+        partials: dI_DS/dV_terminal for terminals 'd', 'g', 's', 'b' [S].
+        i_f: Normalized forward current (= inversion coefficient in
+            saturation).
+        i_r: Normalized reverse current.
+        gm: Gate transconductance magnitude |dI/dV_G| [S].
+        gds: Output conductance dI_DS/dV_D [S].
+        gms: Source transconductance magnitude [S].
+        gmb: Bulk transconductance magnitude [S].
+        region: 'weak' / 'moderate' / 'strong' inversion.
+        saturated: True when the reverse current is negligible.
+    """
+
+    ids: float
+    partials: dict[str, float]
+    i_f: float
+    i_r: float
+    region: str
+    saturated: bool
+
+    @property
+    def gm(self) -> float:
+        return abs(self.partials["g"])
+
+    @property
+    def gds(self) -> float:
+        return abs(self.partials["d"])
+
+    @property
+    def gms(self) -> float:
+        return abs(self.partials["s"])
+
+    @property
+    def gmb(self) -> float:
+        return abs(self.partials["b"])
+
+
+@dataclass
+class Mosfet:
+    """A sized MOS transistor instance.
+
+    Attributes:
+        params: Flavour parameters (see :mod:`repro.devices.parameters`).
+        w: Channel width [m].
+        l: Channel length [m].
+        vt_shift: Additive threshold shift [V] (mismatch / corners).
+        beta_factor: Multiplicative current-factor error (mismatch).
+        m: Parallel multiplicity.
+    """
+
+    params: MosParameters
+    w: float
+    l: float
+    vt_shift: float = 0.0
+    beta_factor: float = 1.0
+    m: int = 1
+
+    def __post_init__(self) -> None:
+        if self.w < self.params.w_min:
+            raise ModelError(
+                f"W={self.w} below minimum {self.params.w_min} "
+                f"for {self.params.name}")
+        if self.l < self.params.l_min:
+            raise ModelError(
+                f"L={self.l} below minimum {self.params.l_min} "
+                f"for {self.params.name}")
+        if self.m < 1:
+            raise ModelError(f"multiplicity must be >= 1, got {self.m}")
+        if self.beta_factor <= 0.0:
+            raise ModelError(f"beta_factor must be positive: {self.beta_factor}")
+
+    def specific_current(self, temperature: float = T_NOMINAL) -> float:
+        """I_spec of this sized instance (includes multiplicity) [A]."""
+        base = self.params.specific_current(self.w, self.l, temperature)
+        return base * self.beta_factor * self.m
+
+    def evaluate(self, vd: float, vg: float, vs: float, vb: float,
+                 temperature: float = T_NOMINAL) -> MosOperatingPoint:
+        """Solve the large-signal model at the given terminal voltages."""
+        sign = self.params.polarity.sign
+        ut = thermal_voltage(temperature)
+        # Polarity-normalised, bulk-referenced voltages: a conducting PMOS
+        # looks exactly like a conducting NMOS in this frame.
+        ug = sign * (vg - vb)
+        ud = sign * (vd - vb)
+        us = sign * (vs - vb)
+        vt = self.params.vt_at(temperature) + self.vt_shift
+        n = self.params.n
+        vp = (ug - vt) / n
+
+        a = (vp - us) / ut
+        b = (vp - ud) / ut
+        i_f = float(interp_f(a))
+        i_r = float(interp_f(b))
+        fpa = float(interp_f_derivative(a))
+        fpb = float(interp_f_derivative(b))
+        i_spec = self.specific_current(temperature)
+
+        uds = ud - us
+        sabs, dsabs = _smooth_abs(uds)
+        lam_eff = self.params.lambda_ / (self.l * 1e6)
+        clm = 1.0 + lam_eff * sabs
+
+        core = i_f - i_r
+        i_norm = core * clm  # normalized channel current with CLM
+
+        # Partials in the normalized frame.
+        d_ug = clm * (fpa - fpb) / (n * ut)
+        d_us = -clm * fpa / ut - core * lam_eff * dsabs
+        d_ud = clm * fpb / ut + core * lam_eff * dsabs
+
+        ids = sign * i_spec * i_norm
+        # Chain rule back to absolute terminal voltages: u_x = sign*(v_x-v_b)
+        # so dI/dv_x = sign*(sign*i_spec)*d_ux = i_spec*d_ux.
+        p_g = i_spec * d_ug
+        p_d = i_spec * d_ud
+        p_s = i_spec * d_us
+        p_b = -(p_g + p_d + p_s)  # translation invariance
+
+        ic = max(i_f, i_r)
+        if ic < 0.1:
+            region = "weak"
+        elif ic < 10.0:
+            region = "moderate"
+        else:
+            region = "strong"
+        saturated = i_r < 0.05 * i_f if i_f > 0.0 else False
+
+        return MosOperatingPoint(
+            ids=ids,
+            partials={"d": p_d, "g": p_g, "s": p_s, "b": p_b},
+            i_f=i_f, i_r=i_r, region=region, saturated=saturated)
+
+    def capacitances(self) -> dict[tuple[str, str], float]:
+        """Lumped terminal-pair capacitances [F].
+
+        Weak-inversion approximation with overlap and junction terms; these
+        feed the transient engine as linear capacitors.  The DWell junction
+        of the PMOS load is modelled separately (see
+        :class:`repro.devices.diode.Diode`) because its decoupling is
+        itself an experiment (Fig. 6d).
+        """
+        cox_area = self.params.cox * self.w * self.l * self.m
+        c_ov = self.params.cov * self.w * self.m
+        diff_len = 0.5e-6
+        c_junction = self.params.cj * self.w * diff_len * self.m
+        return {
+            ("g", "s"): c_ov + 0.25 * cox_area,
+            ("g", "d"): c_ov + 0.25 * cox_area,
+            ("g", "b"): 0.3 * cox_area,
+            ("d", "b"): c_junction,
+            ("s", "b"): c_junction,
+        }
+
+    def gate_capacitance(self) -> float:
+        """Total gate capacitance [F]: the load one such gate presents."""
+        caps = self.capacitances()
+        return caps[("g", "s")] + caps[("g", "d")] + caps[("g", "b")]

@@ -1,0 +1,180 @@
+"""Technology and per-device MOS parameters (generic 0.18 um CMOS).
+
+The paper's prototype is fabricated in 0.18 um CMOS.  We do not have the
+foundry PDK, so :data:`GENERIC_180NM` carries textbook-typical values for
+that node.  Every experiment reads its device parameters from here, which
+makes the calibration assumptions auditable in one place (see DESIGN.md
+section 5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from dataclasses import dataclass
+
+from ..constants import EPSILON_0, EPSILON_SIO2, T_NOMINAL, thermal_voltage
+from ..errors import ModelError
+
+
+class MosPolarity(enum.Enum):
+    """Channel polarity of a MOS transistor."""
+
+    NMOS = 1
+    PMOS = -1
+
+    @property
+    def sign(self) -> int:
+        """+1 for NMOS, -1 for PMOS; used to fold both into one equation."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class MosParameters:
+    """Static EKV parameters of one MOS device flavour.
+
+    Voltages are magnitudes: ``vt0`` is positive for both polarities and
+    the polarity sign is applied inside the model.
+
+    Attributes:
+        name: Flavour label, e.g. ``"nmos_180"``.
+        polarity: NMOS or PMOS.
+        vt0: Threshold voltage magnitude at the reference temperature [V].
+        n: Subthreshold slope factor (dimensionless, > 1).
+        kp: Transconductance parameter mu*Cox [A/V^2].
+        tox: Gate-oxide thickness [m].
+        lambda_: Channel-length-modulation coefficient per um of length
+            [1/V * um]; the effective Early voltage is L_um / lambda_.
+        vt_tempco: dVT/dT [V/K] (negative: VT drops with temperature).
+        mobility_exponent: mu(T) = mu0 * (T/Tnom)**(-mobility_exponent).
+        cj: Zero-bias junction capacitance per drain/source area [F/m^2].
+        cov: Gate overlap capacitance per width [F/m].
+        l_min: Minimum channel length [m].
+        w_min: Minimum channel width [m].
+    """
+
+    name: str
+    polarity: MosPolarity
+    vt0: float
+    n: float
+    kp: float
+    tox: float
+    lambda_: float = 0.05
+    vt_tempco: float = -1.0e-3
+    mobility_exponent: float = 1.5
+    cj: float = 1.0e-3
+    cov: float = 3.0e-10
+    l_min: float = 0.18e-6
+    w_min: float = 0.22e-6
+
+    def __post_init__(self) -> None:
+        if self.vt0 <= 0.0:
+            raise ModelError(f"vt0 must be a positive magnitude: {self.vt0}")
+        if self.n < 1.0:
+            raise ModelError(f"slope factor n must be >= 1: {self.n}")
+        if self.kp <= 0.0:
+            raise ModelError(f"kp must be positive: {self.kp}")
+        if self.tox <= 0.0:
+            raise ModelError(f"tox must be positive: {self.tox}")
+
+    @property
+    def cox(self) -> float:
+        """Gate-oxide capacitance per unit area [F/m^2]."""
+        return EPSILON_0 * EPSILON_SIO2 / self.tox
+
+    def specific_current(self, w: float, l: float,
+                         temperature: float = T_NOMINAL) -> float:
+        """EKV specific current I_spec = 2 n mu Cox U_T^2 W/L [A].
+
+        The boundary between weak and strong inversion: a device carrying
+        I_D << I_spec is in weak inversion (the paper's operating region).
+        """
+        if w <= 0.0 or l <= 0.0:
+            raise ModelError(f"W and L must be positive: W={w}, L={l}")
+        ut = thermal_voltage(temperature)
+        kp_t = self.kp * (temperature / T_NOMINAL) ** (-self.mobility_exponent)
+        return 2.0 * self.n * kp_t * ut * ut * (w / l)
+
+    def vt_at(self, temperature: float) -> float:
+        """Threshold-voltage magnitude at ``temperature`` [K]."""
+        return self.vt0 + self.vt_tempco * (temperature - T_NOMINAL)
+
+    def leakage_per_square(self, temperature: float = T_NOMINAL) -> float:
+        """Subthreshold leakage at V_GS=0, V_DS>>U_T for W/L = 1 [A].
+
+        This is the CMOS-baseline ``I_off`` that the STSCL comparison in
+        Fig. 3 / ref [11] hinges on.
+        """
+        ut = thermal_voltage(temperature)
+        i_spec = self.specific_current(1e-6, 1e-6, temperature)
+        return i_spec * math.exp(-self.vt_at(temperature) / (self.n * ut))
+
+    def replace(self, **changes) -> "MosParameters":
+        """Return a copy with ``changes`` applied (corner/mismatch shifts)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A process node: the set of device flavours available to a design."""
+
+    name: str
+    nmos: MosParameters
+    pmos: MosParameters
+    nmos_hvt: MosParameters
+    pmos_thick: MosParameters
+    supply_nominal: float = 1.8
+    metal_cap_per_um: float = 0.08e-15
+
+    def flavour(self, name: str) -> MosParameters:
+        """Look up a device flavour by its ``name`` field."""
+        for params in (self.nmos, self.pmos, self.nmos_hvt, self.pmos_thick):
+            if params.name == name:
+                return params
+        raise ModelError(f"unknown device flavour {name!r} in {self.name}")
+
+
+def _make_generic_180nm() -> Technology:
+    nmos = MosParameters(
+        name="nmos_180", polarity=MosPolarity.NMOS,
+        vt0=0.45, n=1.30, kp=300e-6, tox=4.1e-9, lambda_=0.06)
+    pmos = MosParameters(
+        name="pmos_180", polarity=MosPolarity.PMOS,
+        vt0=0.45, n=1.35, kp=70e-6, tox=4.1e-9, lambda_=0.08)
+    # High-VT flavour used for the tail current source M_B (Sec. II-A2):
+    # precise tail control with negligible off-leakage.
+    nmos_hvt = MosParameters(
+        name="nmos_180_hvt", polarity=MosPolarity.NMOS,
+        vt0=0.60, n=1.32, kp=280e-6, tox=4.1e-9, lambda_=0.05)
+    # Thick-oxide PMOS for negligible gate leakage at pA bias (Sec. II-A2).
+    pmos_thick = MosParameters(
+        name="pmos_180_thick", polarity=MosPolarity.PMOS,
+        vt0=0.55, n=1.40, kp=45e-6, tox=7.0e-9, lambda_=0.07)
+    return Technology(
+        name="generic_180nm", nmos=nmos, pmos=pmos,
+        nmos_hvt=nmos_hvt, pmos_thick=pmos_thick, supply_nominal=1.8)
+
+
+#: The technology every experiment in this repo is calibrated against.
+GENERIC_180NM = _make_generic_180nm()
+
+
+def nmos_180() -> MosParameters:
+    """Standard-VT NMOS of the generic 0.18 um node."""
+    return GENERIC_180NM.nmos
+
+
+def pmos_180() -> MosParameters:
+    """Standard-VT PMOS of the generic 0.18 um node."""
+    return GENERIC_180NM.pmos
+
+
+def nmos_180_hvt() -> MosParameters:
+    """High-VT NMOS (tail current sources)."""
+    return GENERIC_180NM.nmos_hvt
+
+
+def pmos_180_thick_oxide() -> MosParameters:
+    """Thick-oxide PMOS (gate-leakage-free loads)."""
+    return GENERIC_180NM.pmos_thick

@@ -1,0 +1,30 @@
+"""Ideal passive-element helper equations.
+
+The SPICE engine stamps these directly; they are exposed here so analytic
+models and tests share the same definitions.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+
+
+def resistor_current(resistance: float, v_across: float) -> float:
+    """Current through an ideal resistor [A]."""
+    if resistance <= 0.0:
+        raise ModelError(f"resistance must be positive, got {resistance}")
+    return v_across / resistance
+
+
+def capacitor_charge(capacitance: float, v_across: float) -> float:
+    """Charge stored on an ideal capacitor [C]."""
+    if capacitance < 0.0:
+        raise ModelError(f"capacitance must be >= 0, got {capacitance}")
+    return capacitance * v_across
+
+
+def rc_time_constant(resistance: float, capacitance: float) -> float:
+    """tau = R*C [s]."""
+    if resistance <= 0.0 or capacitance < 0.0:
+        raise ModelError("R must be positive and C non-negative")
+    return resistance * capacitance

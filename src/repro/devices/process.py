@@ -1,0 +1,109 @@
+"""Process corners and PVT points.
+
+The paper's Fig. 3 argument is that STSCL decouples performance from
+process parameters while CMOS does not.  Verifying that claim
+quantitatively (experiment E6) needs corner models: this module applies
+global VT and mobility shifts to a :class:`~repro.devices.parameters.MosParameters`
+set, plus supply and temperature, as one immutable PVT point.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..constants import T_NOMINAL, celsius_to_kelvin
+from ..errors import ModelError
+from .parameters import MosParameters, MosPolarity, Technology
+
+
+class ProcessCorner(enum.Enum):
+    """Classic five-corner set (NMOS letter first)."""
+
+    TT = "tt"
+    FF = "ff"
+    SS = "ss"
+    FS = "fs"
+    SF = "sf"
+
+
+@dataclass(frozen=True)
+class CornerSpec:
+    """Global shifts a corner applies.
+
+    ``vt_shift_*`` are additive threshold shifts [V]; ``beta_factor_*``
+    multiply the current factor.  Fast = lower VT, higher mobility.
+    """
+
+    nmos_vt_shift: float
+    nmos_beta_factor: float
+    pmos_vt_shift: float
+    pmos_beta_factor: float
+
+
+#: 3-sigma-ish global corner shifts typical of a 0.18 um node.
+CORNERS: dict[ProcessCorner, CornerSpec] = {
+    ProcessCorner.TT: CornerSpec(0.0, 1.0, 0.0, 1.0),
+    ProcessCorner.FF: CornerSpec(-0.06, 1.12, -0.06, 1.12),
+    ProcessCorner.SS: CornerSpec(+0.06, 0.88, +0.06, 0.88),
+    ProcessCorner.FS: CornerSpec(-0.06, 1.12, +0.06, 0.88),
+    ProcessCorner.SF: CornerSpec(+0.06, 0.88, -0.06, 1.12),
+}
+
+
+@dataclass(frozen=True)
+class PvtPoint:
+    """One (process, voltage, temperature) condition.
+
+    Attributes:
+        corner: Global process corner.
+        vdd: Supply voltage [V].
+        temperature: Junction temperature [K].
+    """
+
+    corner: ProcessCorner = ProcessCorner.TT
+    vdd: float = 1.0
+    temperature: float = T_NOMINAL
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0.0:
+            raise ModelError(f"vdd must be positive, got {self.vdd}")
+        if self.temperature <= 0.0:
+            raise ModelError(
+                f"temperature must be positive, got {self.temperature}")
+
+    @classmethod
+    def at_celsius(cls, corner: ProcessCorner = ProcessCorner.TT,
+                   vdd: float = 1.0, temp_c: float = 27.0) -> "PvtPoint":
+        """Build a PVT point with the temperature given in Celsius."""
+        return cls(corner=corner, vdd=vdd,
+                   temperature=celsius_to_kelvin(temp_c))
+
+
+def apply_corner(params: MosParameters, corner: ProcessCorner) -> MosParameters:
+    """Return device parameters shifted to ``corner``."""
+    spec = CORNERS[corner]
+    if params.polarity is MosPolarity.NMOS:
+        vt_shift, beta = spec.nmos_vt_shift, spec.nmos_beta_factor
+    else:
+        vt_shift, beta = spec.pmos_vt_shift, spec.pmos_beta_factor
+    return params.replace(vt0=params.vt0 + vt_shift, kp=params.kp * beta)
+
+
+def apply_pvt(params: MosParameters, pvt: PvtPoint) -> MosParameters:
+    """Corner-shift device parameters for ``pvt`` (temperature is applied
+    at evaluation time by the model itself, so only the corner matters
+    here; the function exists so call-sites read uniformly)."""
+    return apply_corner(params, pvt.corner)
+
+
+def corner_technology(tech: Technology, corner: ProcessCorner) -> Technology:
+    """Return a technology with every flavour shifted to ``corner``."""
+    return Technology(
+        name=f"{tech.name}_{corner.value}",
+        nmos=apply_corner(tech.nmos, corner),
+        pmos=apply_corner(tech.pmos, corner),
+        nmos_hvt=apply_corner(tech.nmos_hvt, corner),
+        pmos_thick=apply_corner(tech.pmos_thick, corner),
+        supply_nominal=tech.supply_nominal,
+        metal_cap_per_um=tech.metal_cap_per_um)

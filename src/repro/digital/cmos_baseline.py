@@ -1,0 +1,174 @@
+"""Subthreshold static-CMOS baseline (the comparison target of Fig. 3
+and ref. [11], experiments E6 and E8).
+
+Static CMOS at very low supply has
+
+* delay      t_d   = C_L V_DD / (2 I_on),  I_on exponential in V_DD
+  (below threshold the whole supply is gate overdrive);
+* dynamic    P_dyn = a * N * C_L * V_DD^2 * f   (activity a);
+* leakage    P_lk  = N * I_off * V_DD,  I_off the V_GS = 0 channel
+  current -- present whether or not the circuit computes anything.
+
+The STSCL comparison hinges on two structural facts this model makes
+measurable: CMOS delay/power depend *exponentially* on V_DD and VT
+(STSCL's do not), and at low activity the leakage floor dominates
+(STSCL's total power instead scales to zero with f).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import T_NOMINAL
+from ..devices.mosfet import Mosfet
+from ..devices.parameters import GENERIC_180NM, Technology
+from ..errors import DesignError
+
+
+@dataclass(frozen=True)
+class CmosGateModel:
+    """One static-CMOS gate (inverter-equivalent) at a supply point.
+
+    Attributes:
+        tech: Technology (uses the standard-VT flavours).
+        w_n / l_n: NMOS size [m]; PMOS is width-ratioed by kp ratio.
+        c_load: Output load [F].
+        temperature: Junction temperature [K].
+    """
+
+    tech: Technology = field(default_factory=lambda: GENERIC_180NM)
+    w_n: float = 0.5e-6
+    l_n: float = 0.18e-6
+    c_load: float = 50e-15
+    temperature: float = T_NOMINAL
+
+    def _nmos(self) -> Mosfet:
+        return Mosfet(self.tech.nmos, w=self.w_n, l=self.l_n)
+
+    def _pmos(self) -> Mosfet:
+        ratio = self.tech.nmos.kp / self.tech.pmos.kp
+        return Mosfet(self.tech.pmos, w=self.w_n * ratio, l=self.l_n)
+
+    def on_current(self, vdd: float) -> float:
+        """Drive current of the NMOS pull-down at V_GS = V_DS = V_DD [A]."""
+        if vdd <= 0.0:
+            raise DesignError(f"vdd must be positive: {vdd}")
+        op = self._nmos().evaluate(vd=vdd, vg=vdd, vs=0.0, vb=0.0,
+                                   temperature=self.temperature)
+        return op.ids
+
+    def off_current(self, vdd: float) -> float:
+        """Leakage at V_GS = 0, V_DS = V_DD [A] (NMOS and PMOS averaged)."""
+        op_n = self._nmos().evaluate(vd=vdd, vg=0.0, vs=0.0, vb=0.0,
+                                     temperature=self.temperature)
+        op_p = self._pmos().evaluate(vd=0.0, vg=vdd, vs=vdd, vb=vdd,
+                                     temperature=self.temperature)
+        return 0.5 * (abs(op_n.ids) + abs(op_p.ids))
+
+    def delay(self, vdd: float) -> float:
+        """Propagation delay C_L V_DD / (2 I_on) [s]."""
+        return self.c_load * vdd / (2.0 * self.on_current(vdd))
+
+    def switching_energy(self, vdd: float) -> float:
+        """C V^2 energy of one output transition pair [J]."""
+        return self.c_load * vdd * vdd
+
+
+@dataclass(frozen=True)
+class CmosSystemModel:
+    """A block of ``n_gates`` CMOS gates with activity ``alpha``.
+
+    ``alpha`` is the average fraction of gates switching per clock --
+    the paper's "low activity rate systems" are alpha << 1 (sensor
+    nodes spend most gates idle most cycles).
+
+    ``leakage_multiplier`` selects the device class relative to the
+    low-leakage 0.18 um flavour this repo is calibrated on: ~1 for
+    low-power flavours, ~30 for generic logic, hundreds-to-thousands
+    for the scaled high-performance devices whose leakage trend the
+    paper cites (ref. [3]).
+
+    ``vdd_floor`` is the robustness limit below which subthreshold
+    CMOS cannot be deployed across process corners (the Fig. 3
+    sensitivity argument); the minimum-energy search respects it.
+    """
+
+    gate: CmosGateModel
+    n_gates: int
+    alpha: float = 0.1
+    logic_depth: int = 10
+    leakage_multiplier: float = 1.0
+    vdd_floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_gates < 1:
+            raise DesignError(f"n_gates must be >= 1: {self.n_gates}")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise DesignError(f"activity must be in [0,1]: {self.alpha}")
+        if self.logic_depth < 1:
+            raise DesignError(f"logic depth must be >= 1: "
+                              f"{self.logic_depth}")
+        if self.leakage_multiplier <= 0.0:
+            raise DesignError(
+                f"leakage_multiplier must be positive: "
+                f"{self.leakage_multiplier}")
+        if self.vdd_floor < 0.0:
+            raise DesignError(f"vdd_floor must be >= 0: {self.vdd_floor}")
+
+    def max_frequency(self, vdd: float) -> float:
+        """Critical-path-limited clock rate [Hz]."""
+        return 1.0 / (2.0 * self.logic_depth * self.gate.delay(vdd))
+
+    def dynamic_power(self, vdd: float, f_clock: float) -> float:
+        """Activity-weighted switching power [W]."""
+        if f_clock < 0.0:
+            raise DesignError(f"f_clock must be >= 0: {f_clock}")
+        return (self.alpha * self.n_gates
+                * self.gate.switching_energy(vdd) * f_clock)
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static leakage floor [W]."""
+        return (self.n_gates * self.leakage_multiplier
+                * self.gate.off_current(vdd) * vdd)
+
+    def total_power(self, vdd: float, f_clock: float) -> float:
+        """Dynamic + leakage [W]."""
+        return self.dynamic_power(vdd, f_clock) + self.leakage_power(vdd)
+
+    def energy_per_cycle(self, vdd: float, f_clock: float) -> float:
+        """Total energy per clock cycle [J]."""
+        if f_clock <= 0.0:
+            raise DesignError(f"f_clock must be positive: {f_clock}")
+        return self.total_power(vdd, f_clock) / f_clock
+
+    def minimum_energy_supply(self, f_clock: float,
+                              vdd_grid=None) -> tuple[float, float]:
+        """(V_DD, energy/cycle) at the energy-optimal supply.
+
+        The classic subthreshold CMOS minimum-energy point: lowering
+        V_DD saves CV^2, but the cycle stretches exponentially so the
+        leakage integrates longer.  The block is assumed to run at its
+        natural speed f_max(V_DD) and idle afterwards (race-to-idle),
+        which is CMOS's best case; supplies that cannot meet
+        ``f_clock`` are excluded.  Used by E8 to give CMOS its best
+        case before the comparison against STSCL.
+        """
+        if vdd_grid is None:
+            vdd_grid = np.linspace(0.15, 1.2, 106)
+        best_v, best_e = None, np.inf
+        for vdd in vdd_grid:
+            vdd = float(vdd)
+            if vdd < self.vdd_floor:
+                continue  # not deployable across corners (Fig. 3)
+            f_natural = self.max_frequency(vdd)
+            if f_natural < f_clock:
+                continue  # cannot meet timing at this supply
+            energy = self.energy_per_cycle(vdd, f_natural)
+            if energy < best_e:
+                best_v, best_e = vdd, energy
+        if best_v is None:
+            raise DesignError(
+                f"no supply in the grid meets f = {f_clock:.3e} Hz")
+        return best_v, best_e

@@ -1,0 +1,128 @@
+"""Sequential building blocks: shift registers, counters, accumulators.
+
+A sensor node built on this platform needs more than the ADC encoder:
+the sampled codes must be serialised out (shift register), framed
+(counter) and pre-processed (accumulator for boxcar averaging).  All
+of these assemble from the same latch-merged STSCL cells, so their
+power follows Eq. (1) like everything else.
+
+Every builder returns a :class:`~repro.digital.netlist.GateNetlist`
+ready for :class:`~repro.digital.simulator.CycleSimulator` (which
+handles the registered feedback loops of the counters/accumulators).
+"""
+
+from __future__ import annotations
+
+from ..errors import DesignError
+from .netlist import GateNetlist, Pin
+
+
+def build_shift_register(width: int,
+                         parallel_out: bool = True) -> GateNetlist:
+    """Serial-in shift register of ``width`` latch-merged buffers.
+
+    Input net ``din``; outputs ``q0`` (oldest bit = serial out) .. --
+    exactly the serialiser a sensor node uses to stream codes off-chip.
+    """
+    if width < 1:
+        raise DesignError(f"width must be >= 1: {width}")
+    netlist = GateNetlist(f"shift{width}")
+    netlist.add_input("din")
+    previous = "din"
+    for k in range(width - 1, -1, -1):
+        netlist.add_gate(f"ff{k}", "BUF_PIPE", [previous], f"q{k}")
+        previous = f"q{k}"
+    if parallel_out:
+        for k in range(width):
+            netlist.mark_output(f"q{k}")
+    else:
+        netlist.mark_output("q0")
+    netlist.validate()
+    return netlist
+
+
+def build_binary_counter(width: int) -> GateNetlist:
+    """Synchronous binary up-counter with enable.
+
+    Input ``en``; outputs ``q0`` (LSB) .. ``q{width-1}``.  Bit k
+    toggles when every lower bit (and the enable) is high:
+
+        carry_0 = en;  carry_{k+1} = carry_k AND q_k
+        q_k' = q_k XOR carry_k
+
+    The feedback runs through the registered (``*_PIPE``) outputs, the
+    pattern :class:`CycleSimulator` resolves as state.
+    """
+    if width < 1:
+        raise DesignError(f"width must be >= 1: {width}")
+    netlist = GateNetlist(f"counter{width}")
+    netlist.add_input("en")
+    carry = "en"
+    for k in range(width):
+        netlist.add_gate(f"tff{k}", "XOR2_PIPE", [f"q{k}", carry],
+                         f"q{k}")
+        # q{k} is both state (registered output) and input: allowed,
+        # the cell reads the previous cycle's value.
+        if k < width - 1:
+            netlist.add_gate(f"carry{k}", "AND2", [f"q{k}", carry],
+                             f"c{k}")
+            carry = f"c{k}"
+        netlist.mark_output(f"q{k}")
+    netlist.validate()
+    return netlist
+
+
+def build_johnson_counter(width: int) -> GateNetlist:
+    """Johnson (twisted-ring) counter: 2*width glitch-free states.
+
+    The classic SCL divider chain: the feedback inversion is the free
+    differential wire swap.
+    """
+    if width < 2:
+        raise DesignError(f"width must be >= 2: {width}")
+    netlist = GateNetlist(f"johnson{width}")
+    netlist.add_input("en")  # kept for interface symmetry; unused
+    # Stage 0 samples the inverted last stage.
+    netlist.add_gate("ff0", "BUF_PIPE",
+                     [Pin(f"q{width - 1}", inverted=True)], "q0")
+    for k in range(1, width):
+        netlist.add_gate(f"ff{k}", "BUF_PIPE", [f"q{k - 1}"], f"q{k}")
+    for k in range(width):
+        netlist.mark_output(f"q{k}")
+    netlist.validate()
+    return netlist
+
+
+def build_accumulator(width: int) -> GateNetlist:
+    """Accumulator: acc' = acc + d (mod 2^width), the boxcar-averaging
+    core of a decimating sensor front end.
+
+    Inputs ``d0..``; outputs the registered accumulator ``acc0..``.
+    Sum and carry use the compound full-adder cells (XOR3/MAJ3) with
+    the sum register merged (FASUM_PIPE) -- one tail current per bit
+    pair, the Fig. 8 economics again.
+    """
+    if width < 1:
+        raise DesignError(f"width must be >= 1: {width}")
+    netlist = GateNetlist(f"accumulator{width}")
+    for k in range(width):
+        netlist.add_input(f"d{k}")
+    carry: str | None = None
+    for k in range(width):
+        if carry is None:
+            netlist.add_gate(f"sum{k}", "XOR2_PIPE",
+                             [f"d{k}", f"acc{k}"], f"acc{k}")
+            if width > 1:
+                netlist.add_gate(f"carry{k}", "AND2",
+                                 [f"d{k}", f"acc{k}"], f"c{k}")
+                carry = f"c{k}"
+        else:
+            netlist.add_gate(f"sum{k}", "FASUM_PIPE",
+                             [f"d{k}", f"acc{k}", carry], f"acc{k}")
+            if k < width - 1:
+                netlist.add_gate(f"carry{k}", "MAJ3",
+                                 [f"d{k}", f"acc{k}", carry], f"c{k}")
+                carry = f"c{k}"
+        netlist.mark_output(f"acc{k}")
+    netlist.validate()
+    return netlist

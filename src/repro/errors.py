@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing convergence problems from modelling problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class UnitError(ReproError, ValueError):
+    """A quantity string or unit could not be parsed."""
+
+
+class ModelError(ReproError, ValueError):
+    """A device or behavioural model received invalid parameters."""
+
+
+class NetlistError(ReproError, ValueError):
+    """A circuit netlist is malformed (unknown node, duplicate name, ...)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """A nonlinear or transient solve failed to converge."""
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class AnalysisError(ReproError, RuntimeError):
+    """An analysis (sweep, Monte-Carlo, metric extraction) failed."""
+
+
+class DesignError(ReproError, ValueError):
+    """A design-level constraint cannot be met (headroom, swing, depth)."""

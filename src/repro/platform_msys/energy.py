@@ -1,0 +1,83 @@
+"""Energy budgeting for duty-cycled sensor nodes.
+
+The application-side arithmetic the paper's intro gestures at: given a
+battery (or harvest rate) and an acquisition plan, how long does the
+node live -- and how does the platform's linear power-frequency scaling
+change the answer versus a fixed-rate design?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DesignError
+from ..pmu.controller import PowerManagementUnit
+
+#: Typical coin-cell: CR2032, 225 mAh at 3 V -> ~2430 J usable.
+CR2032_ENERGY_J = 0.225 * 3600.0 * 3.0
+
+
+@dataclass(frozen=True)
+class AcquisitionPlan:
+    """How the node spends its time.
+
+    Attributes:
+        duty_segments: (fraction_of_time, sample_rate) pairs; the
+            fractions must sum to <= 1 (the remainder is deep sleep).
+        sleep_power: Residual power while fully idle [W].
+    """
+
+    duty_segments: tuple[tuple[float, float], ...]
+    sleep_power: float = 1e-9
+
+    def __post_init__(self) -> None:
+        total = sum(fraction for fraction, _rate in self.duty_segments)
+        if not 0.0 < total <= 1.0 + 1e-9:
+            raise DesignError(
+                f"duty fractions must sum to (0, 1], got {total}")
+        if any(fraction <= 0.0 or rate <= 0.0
+               for fraction, rate in self.duty_segments):
+            raise DesignError("fractions and rates must be positive")
+        if self.sleep_power < 0.0:
+            raise DesignError(
+                f"sleep power must be >= 0: {self.sleep_power}")
+
+    @property
+    def sleep_fraction(self) -> float:
+        return 1.0 - sum(f for f, _r in self.duty_segments)
+
+
+def average_power(pmu: PowerManagementUnit,
+                  plan: AcquisitionPlan) -> float:
+    """Time-averaged node power under ``plan`` [W]."""
+    total = plan.sleep_fraction * plan.sleep_power
+    for fraction, rate in plan.duty_segments:
+        total += fraction * pmu.operating_point(rate).total_power
+    return total
+
+
+def battery_lifetime(pmu: PowerManagementUnit, plan: AcquisitionPlan,
+                     battery_energy: float = CR2032_ENERGY_J) -> float:
+    """Node lifetime on ``battery_energy`` joules [s]."""
+    if battery_energy <= 0.0:
+        raise DesignError(
+            f"battery energy must be positive: {battery_energy}")
+    return battery_energy / average_power(pmu, plan)
+
+
+def sustainable_duty(pmu: PowerManagementUnit, rate: float,
+                     harvest_power: float,
+                     sleep_power: float = 1e-9) -> float:
+    """Largest duty cycle at ``rate`` a harvester can sustain.
+
+    Solves harvest = d * P(rate) + (1-d) * P_sleep for d, clamped to
+    [0, 1]; 0 means the harvester cannot even cover sleep.
+    """
+    if harvest_power <= 0.0:
+        raise DesignError(
+            f"harvest power must be positive: {harvest_power}")
+    active = pmu.operating_point(rate).total_power
+    if harvest_power <= sleep_power:
+        return 0.0
+    duty = (harvest_power - sleep_power) / (active - sleep_power)
+    return float(min(1.0, max(0.0, duty)))

@@ -1,0 +1,61 @@
+"""Binary-weighted bias-current DAC.
+
+The paper's prototype adjusts the reference bias current "externally
+with respect to the sampling frequency"; a practical integration uses a
+current DAC so the PMU can program the bias digitally.  Quantisation of
+the bias current is a real effect -- the delivered rate is quantised
+with it -- so the DAC model is explicit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import DesignError
+
+
+@dataclass(frozen=True)
+class BiasCurrentDac:
+    """An n-bit binary-weighted current-steering DAC.
+
+    Attributes:
+        i_lsb: Unit (LSB) current [A].
+        n_bits: Resolution.
+    """
+
+    i_lsb: float
+    n_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.i_lsb <= 0.0:
+            raise DesignError(f"i_lsb must be positive: {self.i_lsb}")
+        if not 1 <= self.n_bits <= 24:
+            raise DesignError(f"n_bits out of range: {self.n_bits}")
+
+    @property
+    def full_scale(self) -> float:
+        """Maximum output current [A]."""
+        return self.i_lsb * (2 ** self.n_bits - 1)
+
+    def output(self, code: int) -> float:
+        """Output current for digital ``code`` [A]."""
+        if not 0 <= code < 2 ** self.n_bits:
+            raise DesignError(
+                f"code {code} outside 0..{2 ** self.n_bits - 1}")
+        return code * self.i_lsb
+
+    def code_for(self, i_target: float) -> int:
+        """Nearest code delivering at least ``i_target`` (ceiling, so a
+        requested operating frequency is always met)."""
+        if i_target < 0.0:
+            raise DesignError(f"target must be >= 0: {i_target}")
+        quotient = i_target / self.i_lsb
+        # Guard the ceiling against float representation of exact
+        # multiples (30 pA / 10 pA must give 3, not 4).
+        code = math.ceil(quotient - 1e-9)
+        return min(max(code, 0), 2 ** self.n_bits - 1)
+
+    def quantize(self, i_target: float) -> float:
+        """The deliverable current closest above ``i_target`` [A]."""
+        return self.output(self.code_for(i_target))

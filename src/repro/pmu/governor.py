@@ -1,0 +1,88 @@
+"""A DVFS-style rate governor on top of the PMU.
+
+The paper's Fig. 1 promises workload-adaptive operation ("optimize the
+circuit operating conditions with respect to the work load", Sec. I).
+This governor implements the standard ladder policy: a discrete set of
+sampling rates, an activity metric in [0, 1], and hysteresis so the
+system does not chatter between adjacent rates.
+
+Used by ``examples/biomedical_ecg_acquisition.py``'s formalised twin in
+the tests; any activity source works (code excursion, event rate,
+buffer occupancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DesignError
+from .controller import PmuOperatingPoint, PowerManagementUnit
+
+
+@dataclass
+class DvfsGovernor:
+    """Hysteretic rate ladder.
+
+    Attributes:
+        pmu: The power-management unit being steered.
+        rates: Ascending ladder of sampling rates [S/s].
+        up_threshold: Activity above which the governor steps up.
+        down_threshold: Activity below which it steps down (must be
+            < up_threshold: the gap is the hysteresis band).
+        dwell: Consecutive out-of-band updates required before a step
+            (debounce).
+    """
+
+    pmu: PowerManagementUnit
+    rates: tuple[float, ...] = (800.0, 8e3, 80e3)
+    up_threshold: float = 0.6
+    down_threshold: float = 0.2
+    dwell: int = 2
+
+    def __post_init__(self) -> None:
+        if len(self.rates) < 2:
+            raise DesignError("need at least two ladder rates")
+        if any(a >= b for a, b in zip(self.rates, self.rates[1:])):
+            raise DesignError("rates must be strictly ascending")
+        if not 0.0 <= self.down_threshold < self.up_threshold <= 1.0:
+            raise DesignError(
+                "need 0 <= down_threshold < up_threshold <= 1")
+        if self.dwell < 1:
+            raise DesignError(f"dwell must be >= 1: {self.dwell}")
+        self._index = 0
+        self._streak = 0
+
+    @property
+    def rate(self) -> float:
+        """The currently selected sampling rate [S/s]."""
+        return self.rates[self._index]
+
+    def operating_point(self) -> PmuOperatingPoint:
+        """The PMU state at the current rate."""
+        return self.pmu.operating_point(self.rate)
+
+    def update(self, activity: float) -> float:
+        """Feed one activity observation; returns the (possibly new)
+        rate.  ``activity`` is clamped to [0, 1]."""
+        activity = min(1.0, max(0.0, float(activity)))
+        if activity > self.up_threshold \
+                and self._index < len(self.rates) - 1:
+            self._streak = self._streak + 1 if self._streak >= 0 else 1
+            if self._streak >= self.dwell:
+                self._index += 1
+                self._streak = 0
+        elif activity < self.down_threshold and self._index > 0:
+            self._streak = self._streak - 1 if self._streak <= 0 else -1
+            if self._streak <= -self.dwell:
+                self._index -= 1
+                self._streak = 0
+        else:
+            self._streak = 0
+        return self.rate
+
+    def reset(self, index: int = 0) -> None:
+        """Force the ladder position (e.g. on power-up)."""
+        if not 0 <= index < len(self.rates):
+            raise DesignError(f"index {index} outside the ladder")
+        self._index = index
+        self._streak = 0

@@ -1,0 +1,92 @@
+"""Energy-harvesting supply profiles (experiment E7's motivation).
+
+The paper argues STSCL's supply insensitivity matters most where V_DD
+is *not* a constant -- energy harvesting and scavenging systems.  These
+generators produce representative V_DD(t) profiles; the check helper
+verifies a design keeps headroom across a whole profile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ModelError
+from ..stscl.gate_model import StsclGateDesign
+from ..stscl.supply import minimum_supply
+
+
+@dataclass(frozen=True)
+class HarvestingProfile:
+    """A deterministic V_DD(t) trajectory.
+
+    Attributes:
+        name: Label for reports.
+        duration: Profile length [s].
+        voltage: Callable t -> V_DD [V].
+    """
+
+    name: str
+    duration: float
+    voltage: Callable[[float], float]
+
+    def sample(self, n_points: int = 256) -> tuple[np.ndarray, np.ndarray]:
+        """(t, V_DD) arrays over the profile."""
+        if n_points < 2:
+            raise ModelError(f"need >= 2 points: {n_points}")
+        t = np.linspace(0.0, self.duration, n_points)
+        v = np.array([self.voltage(float(x)) for x in t])
+        return t, v
+
+
+def solar_profile(v_min: float = 1.0, v_max: float = 1.25,
+                  period: float = 120.0) -> HarvestingProfile:
+    """Slow irradiance-driven supply wander (storage-capacitor ripple
+    plus cloud transits): a raised cosine between the two rails with a
+    dip feature mid-profile."""
+    if v_max <= v_min:
+        raise ModelError("v_max must exceed v_min")
+
+    def voltage(t: float) -> float:
+        base = v_min + (v_max - v_min) * 0.5 * (
+            1.0 - math.cos(2.0 * math.pi * t / period))
+        dip = 0.3 * (v_max - v_min) * math.exp(
+            -((t - 0.65 * period) / (0.05 * period)) ** 2)
+        return max(v_min, base - dip)
+
+    return HarvestingProfile("solar", period, voltage)
+
+
+def vibration_profile(v_min: float = 1.0, v_max: float = 1.25,
+                      period: float = 2.0,
+                      ripple_hz: float = 50.0) -> HarvestingProfile:
+    """Vibration harvester: rectified-AC ripple on a charging envelope."""
+    if v_max <= v_min:
+        raise ModelError("v_max must exceed v_min")
+    mid = 0.5 * (v_min + v_max)
+    envelope = 0.5 * (v_max - v_min)
+
+    def voltage(t: float) -> float:
+        ripple = abs(math.sin(2.0 * math.pi * ripple_hz * t))
+        slow = math.sin(2.0 * math.pi * t / period)
+        value = mid + envelope * (0.6 * slow + 0.4 * (ripple - 0.5))
+        return min(v_max, max(v_min, value))
+
+    return HarvestingProfile("vibration", period, voltage)
+
+
+def supply_excursion_ok(design: StsclGateDesign,
+                        profile: HarvestingProfile,
+                        margin: float = 0.0,
+                        n_points: int = 256) -> bool:
+    """True when V_DD(t) never drops below the gate's minimum supply.
+
+    Because STSCL delay and noise margin are supply-independent, this
+    headroom check is the *only* thing the supply excursion threatens
+    -- which is the paper's energy-harvesting argument in one predicate.
+    """
+    _t, v = profile.sample(n_points)
+    return bool(np.min(v) >= minimum_supply(design) + margin)

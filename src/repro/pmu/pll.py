@@ -1,0 +1,114 @@
+"""Behavioural PLL: the frequency-to-bias translator of Fig. 1.
+
+The paper uses the PLL only as the mechanism that converts a requested
+operating frequency into the control current (the loop's
+voltage/current-controlled oscillator is itself an STSCL ring, so its
+control quantity *is* a tail current).  This behavioural model captures
+what the system experiments need: first-order lock dynamics, the
+divider, and the frequency -> control-current mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import LN2
+from ..errors import DesignError, AnalysisError
+from ..stscl.gate_model import StsclGateDesign
+
+
+@dataclass(frozen=True)
+class PllReport:
+    """Outcome of a locking run.
+
+    Attributes:
+        locked: Whether the loop settled inside the tolerance band.
+        f_out: Final output frequency [Hz].
+        i_control: Final control (tail) current [A].
+        lock_time: Time to enter and stay in the band [s].
+        iterations: Simulation steps taken.
+    """
+
+    locked: bool
+    f_out: float
+    i_control: float
+    lock_time: float
+    iterations: int
+
+
+class BehavioralPll:
+    """First-order PLL around an STSCL ring oscillator.
+
+    The ring's frequency follows its tail current linearly
+    (f = I / (2 ln2 N_ring V_SW C_L), straight from the STSCL delay
+    law), so the loop integrator works directly on the control current.
+
+    Attributes:
+        design: Gate design point giving the ring's V_SW and C_L.
+        n_ring: Ring length in gates (odd).
+        divider: Output is compared against f_ref after /N division.
+        bandwidth_ratio: Loop bandwidth as a fraction of f_ref.
+    """
+
+    def __init__(self, design: StsclGateDesign, n_ring: int = 5,
+                 divider: int = 1, bandwidth_ratio: float = 0.05) -> None:
+        if n_ring < 3 or n_ring % 2 == 0:
+            raise DesignError(f"ring length must be odd >= 3: {n_ring}")
+        if divider < 1:
+            raise DesignError(f"divider must be >= 1: {divider}")
+        if not 0.0 < bandwidth_ratio < 0.5:
+            raise DesignError(
+                f"bandwidth_ratio must be in (0, 0.5): {bandwidth_ratio}")
+        self.design = design
+        self.n_ring = n_ring
+        self.divider = divider
+        self.bandwidth_ratio = bandwidth_ratio
+
+    def ring_frequency(self, i_control: float) -> float:
+        """Oscillation frequency at control current ``i_control`` [Hz]."""
+        if i_control <= 0.0:
+            raise DesignError(
+                f"control current must be positive: {i_control}")
+        gate = self.design.with_current(i_control)
+        return 1.0 / (2.0 * self.n_ring * gate.delay())
+
+    def control_for_frequency(self, f_out: float) -> float:
+        """Inverse mapping: the tail current giving ``f_out`` [A]."""
+        if f_out <= 0.0:
+            raise DesignError(f"frequency must be positive: {f_out}")
+        return (2.0 * self.n_ring * LN2 * self.design.v_sw
+                * self.design.c_load * f_out)
+
+    def lock(self, f_ref: float, i_start: float | None = None,
+             tolerance: float = 1e-3,
+             max_cycles: int = 20000) -> PllReport:
+        """Run the loop until the divided output matches ``f_ref``.
+
+        First-order integrating loop stepped once per reference cycle;
+        returns lock time and the settled control current -- the number
+        the PMU fans out to the rest of the chip.
+        """
+        if f_ref <= 0.0:
+            raise DesignError(f"f_ref must be positive: {f_ref}")
+        target = f_ref * self.divider
+        i_control = (i_start if i_start is not None
+                     else 0.1 * self.control_for_frequency(target))
+        gain = self.bandwidth_ratio
+        time = 0.0
+        in_band = 0
+        for iteration in range(1, max_cycles + 1):
+            f_div = self.ring_frequency(i_control) / self.divider
+            error = (f_ref - f_div) / f_ref
+            i_control *= (1.0 + gain * error)
+            time += 1.0 / f_ref
+            if abs(error) < tolerance:
+                in_band += 1
+                if in_band >= 10:
+                    return PllReport(locked=True, f_out=f_div * self.divider,
+                                     i_control=i_control,
+                                     lock_time=time, iterations=iteration)
+            else:
+                in_band = 0
+        raise AnalysisError(
+            f"PLL failed to lock to {f_ref:.3e} Hz "
+            f"within {max_cycles} cycles")

@@ -1,0 +1,94 @@
+"""Small-signal AC analysis.
+
+The circuit is linearised at its DC operating point: the static Jacobian
+G comes from each element's ``stamp_ac`` (independent sources zeroed,
+their topology kept), the susceptance matrix C from the derivatives of
+the charge terms.  For each frequency the complex system
+
+    (G + j 2 pi f C) v = b
+
+is solved, where b carries the ``ac_mag`` excitations of the independent
+sources.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .dc import NewtonOptions, operating_point
+from .elements import CurrentSource, Stamper, VoltageSource
+from .netlist import Circuit
+from .results import AcResult, OpResult
+
+
+def ac_analysis(circuit: Circuit, frequencies: Sequence[float],
+                op: OpResult | None = None,
+                options: NewtonOptions | None = None) -> AcResult:
+    """Frequency response of ``circuit`` over ``frequencies`` [Hz].
+
+    Exactly the sources constructed with a non-zero ``ac_mag`` excite the
+    circuit.  Returns complex node voltages normalised to the excitation.
+    """
+    freqs = np.asarray(list(frequencies), dtype=float)
+    if freqs.size == 0 or np.any(freqs <= 0.0):
+        raise AnalysisError("AC frequencies must be positive and non-empty")
+
+    if op is None:
+        op = operating_point(circuit, options)
+    if op.x is None:
+        raise AnalysisError("operating point lacks a raw solution vector")
+    compiled = circuit.compile()
+    x_op = op.x
+
+    # Static small-signal matrix.
+    st = Stamper(compiled.size)
+    for element in circuit.elements:
+        element.stamp_ac(st, x_op)
+    g_matrix = st.jac.copy()
+
+    # Susceptance matrix from charge-term derivatives.
+    c_matrix = np.zeros((compiled.size, compiled.size))
+    for term in compiled.charge_terms(x_op):
+        for col, dqdv in term.derivs:
+            if col < 0:
+                continue
+            if term.pos >= 0:
+                c_matrix[term.pos, col] += dqdv
+            if term.neg >= 0:
+                c_matrix[term.neg, col] -= dqdv
+
+    # Excitation vector.
+    b = np.zeros(compiled.size, dtype=complex)
+    excited = False
+    for element in circuit.elements:
+        if isinstance(element, VoltageSource) and element.ac_mag:
+            (row,) = compiled.aux_index[element.name]
+            b[row] += element.ac_mag
+            excited = True
+        elif isinstance(element, CurrentSource) and element.ac_mag:
+            p = compiled.index_of(element.nodes[0])
+            n = compiled.index_of(element.nodes[1])
+            if p >= 0:
+                b[p] -= element.ac_mag
+            if n >= 0:
+                b[n] += element.ac_mag
+            excited = True
+    if not excited:
+        raise AnalysisError(
+            "no AC excitation: give some source a non-zero ac_mag")
+
+    names = list(compiled.node_index)
+    responses = {name: np.zeros(freqs.size, dtype=complex) for name in names}
+    for k, frequency in enumerate(freqs):
+        omega = 2.0 * np.pi * frequency
+        matrix = g_matrix + 1j * omega * c_matrix
+        try:
+            solution = np.linalg.solve(matrix, b)
+        except np.linalg.LinAlgError:
+            solution, *_ = np.linalg.lstsq(matrix, b, rcond=None)
+        for name in names:
+            responses[name][k] = solution[compiled.node_index[name]]
+    return AcResult(frequencies=freqs, voltages=responses)

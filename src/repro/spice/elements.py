@@ -1,0 +1,344 @@
+"""MNA element stamps.
+
+Every element knows how to contribute to the nonlinear system
+``f(x) = 0`` whose unknowns are the node voltages plus one auxiliary
+branch current per voltage-defined element.  The residual convention is:
+
+* ``f[node]`` accumulates the total current *leaving* the node;
+* ``f[aux]`` holds the element's branch (voltage) equation.
+
+Dynamic behaviour is expressed through *charge terms*: an element may
+report charges ``q(x)`` flowing between a node pair; the transient engine
+differentiates them with its integration formula and the AC engine stamps
+``dq/dv`` into the susceptance matrix.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..devices.diode import Diode
+from ..devices.mosfet import Mosfet, MosOperatingPoint
+from ..errors import NetlistError
+from .waveforms import Waveform, dc_wave
+
+#: Index used for the ground node (never stamped).
+GROUND_INDEX = -1
+
+
+class Stamper:
+    """A dense Jacobian + residual under assembly."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.jac = np.zeros((size, size))
+        self.res = np.zeros(size)
+
+    def reset(self) -> None:
+        self.jac.fill(0.0)
+        self.res.fill(0.0)
+
+    def add_j(self, row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            self.jac[row, col] += value
+
+    def add_f(self, row: int, value: float) -> None:
+        if row >= 0:
+            self.res[row] += value
+
+
+@dataclass(frozen=True)
+class ChargeTerm:
+    """A charge q flowing from ``pos`` into ``neg`` when increasing.
+
+    Attributes:
+        pos: Row index receiving +dq/dt (ground = -1).
+        neg: Row index receiving -dq/dt.
+        q: Charge value at the evaluation point [C].
+        derivs: Sequence of (column index, dq/dv) pairs.
+    """
+
+    pos: int
+    neg: int
+    q: float
+    derivs: tuple[tuple[int, float], ...]
+
+
+def _voltage(x: np.ndarray, idx: int) -> float:
+    """Node voltage from the solution vector; ground reads as 0."""
+    return 0.0 if idx < 0 else float(x[idx])
+
+
+class Element(abc.ABC):
+    """Base class for all circuit elements."""
+
+    n_aux = 0
+
+    def __init__(self, name: str, nodes: tuple[str, ...]) -> None:
+        self.name = name
+        self.nodes = nodes
+        self._idx: tuple[int, ...] = ()
+        self._aux: tuple[int, ...] = ()
+
+    def bind(self, node_indices: tuple[int, ...],
+             aux_indices: tuple[int, ...]) -> None:
+        """Attach MNA row/column indices (called by the compiler)."""
+        if len(node_indices) != len(self.nodes):
+            raise NetlistError(
+                f"{self.name}: expected {len(self.nodes)} node indices")
+        if len(aux_indices) != self.n_aux:
+            raise NetlistError(
+                f"{self.name}: expected {self.n_aux} aux indices")
+        self._idx = node_indices
+        self._aux = aux_indices
+
+    @abc.abstractmethod
+    def stamp(self, st: Stamper, x: np.ndarray, time: float | None) -> None:
+        """Add static (resistive/source) contributions at solution ``x``.
+
+        ``time`` is None for DC analyses: time-dependent sources must then
+        use their DC/initial value.
+        """
+
+    def charge_terms(self, x: np.ndarray) -> list[ChargeTerm]:
+        """Dynamic (charge) contributions; default none."""
+        return []
+
+    def stamp_ac(self, st: Stamper, x: np.ndarray) -> None:
+        """Small-signal static stamp (defaults to the large-signal stamp
+        evaluated at the operating point with sources zeroed; elements
+        with independent sources override)."""
+        self.stamp(st, x, None)
+
+
+class Resistor(Element):
+    """Ideal linear resistor."""
+
+    def __init__(self, name: str, node_a: str, node_b: str,
+                 resistance: float) -> None:
+        super().__init__(name, (node_a, node_b))
+        if resistance <= 0.0:
+            raise NetlistError(f"{name}: resistance must be positive, "
+                               f"got {resistance}")
+        self.resistance = resistance
+
+    def stamp(self, st: Stamper, x: np.ndarray, time: float | None) -> None:
+        a, b = self._idx
+        g = 1.0 / self.resistance
+        current = g * (_voltage(x, a) - _voltage(x, b))
+        st.add_f(a, current)
+        st.add_f(b, -current)
+        st.add_j(a, a, g)
+        st.add_j(a, b, -g)
+        st.add_j(b, a, -g)
+        st.add_j(b, b, g)
+
+
+class Capacitor(Element):
+    """Ideal linear capacitor (open in DC, charge term in transient/AC)."""
+
+    def __init__(self, name: str, node_a: str, node_b: str,
+                 capacitance: float) -> None:
+        super().__init__(name, (node_a, node_b))
+        if capacitance < 0.0:
+            raise NetlistError(f"{name}: capacitance must be >= 0, "
+                               f"got {capacitance}")
+        self.capacitance = capacitance
+
+    def stamp(self, st: Stamper, x: np.ndarray, time: float | None) -> None:
+        return  # open circuit in DC
+
+    def charge_terms(self, x: np.ndarray) -> list[ChargeTerm]:
+        a, b = self._idx
+        v = _voltage(x, a) - _voltage(x, b)
+        c = self.capacitance
+        return [ChargeTerm(pos=a, neg=b, q=c * v,
+                           derivs=((a, c), (b, -c)))]
+
+
+class VoltageSource(Element):
+    """Independent voltage source with an auxiliary branch current.
+
+    The reported branch current flows from the positive node *through the
+    source* to the negative node; a battery driving a load therefore
+    reports a negative current.
+    """
+
+    n_aux = 1
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 waveform: Waveform | float, ac_mag: float = 0.0) -> None:
+        super().__init__(name, (node_pos, node_neg))
+        if not isinstance(waveform, Waveform):
+            waveform = dc_wave(float(waveform))
+        self.waveform = waveform
+        self.ac_mag = ac_mag
+
+    def value_at(self, time: float | None) -> float:
+        return self.waveform(0.0 if time is None else time)
+
+    def stamp(self, st: Stamper, x: np.ndarray, time: float | None) -> None:
+        p, n = self._idx
+        (br,) = self._aux
+        i_branch = float(x[br])
+        st.add_f(p, i_branch)
+        st.add_f(n, -i_branch)
+        st.add_j(p, br, 1.0)
+        st.add_j(n, br, -1.0)
+        st.add_f(br, _voltage(x, p) - _voltage(x, n) - self.value_at(time))
+        st.add_j(br, p, 1.0)
+        st.add_j(br, n, -1.0)
+
+    def stamp_ac(self, st: Stamper, x: np.ndarray) -> None:
+        p, n = self._idx
+        (br,) = self._aux
+        st.add_j(p, br, 1.0)
+        st.add_j(n, br, -1.0)
+        st.add_j(br, p, 1.0)
+        st.add_j(br, n, -1.0)
+        # The AC excitation itself is applied by the AC engine as a RHS
+        # entry of magnitude ac_mag on the branch row.
+
+
+class CurrentSource(Element):
+    """Independent current source.
+
+    A positive value drives current from ``node_pos`` through the source
+    into ``node_neg``: it *pulls* current out of the positive node.  A
+    tail sink of I_SS from node "tail" is ``CurrentSource("tail", "0",
+    i_ss)``; injecting into a node is ``CurrentSource("0", node, i)``.
+    """
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 waveform: Waveform | float, ac_mag: float = 0.0) -> None:
+        super().__init__(name, (node_pos, node_neg))
+        if not isinstance(waveform, Waveform):
+            waveform = dc_wave(float(waveform))
+        self.waveform = waveform
+        self.ac_mag = ac_mag
+
+    def value_at(self, time: float | None) -> float:
+        return self.waveform(0.0 if time is None else time)
+
+    def stamp(self, st: Stamper, x: np.ndarray, time: float | None) -> None:
+        p, n = self._idx
+        value = self.value_at(time)
+        st.add_f(p, value)
+        st.add_f(n, -value)
+
+    def stamp_ac(self, st: Stamper, x: np.ndarray) -> None:
+        return  # excitation handled by the AC engine RHS
+
+
+class Vcvs(Element):
+    """Voltage-controlled voltage source E: v(p,n) = gain * v(cp,cn).
+
+    With a large gain this doubles as the ideal op-amp used inside
+    replica-bias loops.
+    """
+
+    n_aux = 1
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 ctrl_pos: str, ctrl_neg: str, gain: float) -> None:
+        super().__init__(name, (node_pos, node_neg, ctrl_pos, ctrl_neg))
+        self.gain = gain
+
+    def stamp(self, st: Stamper, x: np.ndarray, time: float | None) -> None:
+        p, n, cp, cn = self._idx
+        (br,) = self._aux
+        i_branch = float(x[br])
+        st.add_f(p, i_branch)
+        st.add_f(n, -i_branch)
+        st.add_j(p, br, 1.0)
+        st.add_j(n, br, -1.0)
+        st.add_f(br, _voltage(x, p) - _voltage(x, n)
+                 - self.gain * (_voltage(x, cp) - _voltage(x, cn)))
+        st.add_j(br, p, 1.0)
+        st.add_j(br, n, -1.0)
+        st.add_j(br, cp, -self.gain)
+        st.add_j(br, cn, self.gain)
+
+
+class Vccs(Element):
+    """Voltage-controlled current source G: i(p->n) = gm * v(cp,cn)."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 ctrl_pos: str, ctrl_neg: str, gm: float) -> None:
+        super().__init__(name, (node_pos, node_neg, ctrl_pos, ctrl_neg))
+        self.gm = gm
+
+    def stamp(self, st: Stamper, x: np.ndarray, time: float | None) -> None:
+        p, n, cp, cn = self._idx
+        v_ctrl = _voltage(x, cp) - _voltage(x, cn)
+        i = self.gm * v_ctrl
+        st.add_f(p, i)
+        st.add_f(n, -i)
+        st.add_j(p, cp, self.gm)
+        st.add_j(p, cn, -self.gm)
+        st.add_j(n, cp, -self.gm)
+        st.add_j(n, cn, self.gm)
+
+
+class DiodeElement(Element):
+    """Junction diode with exponential current and depletion charge."""
+
+    def __init__(self, name: str, anode: str, cathode: str,
+                 diode: Diode, temperature: float) -> None:
+        super().__init__(name, (anode, cathode))
+        self.diode = diode
+        self.temperature = temperature
+
+    def stamp(self, st: Stamper, x: np.ndarray, time: float | None) -> None:
+        a, c = self._idx
+        v_ak = _voltage(x, a) - _voltage(x, c)
+        current, conductance = self.diode.current(v_ak, self.temperature)
+        st.add_f(a, current)
+        st.add_f(c, -current)
+        st.add_j(a, a, conductance)
+        st.add_j(a, c, -conductance)
+        st.add_j(c, a, -conductance)
+        st.add_j(c, c, conductance)
+
+    def charge_terms(self, x: np.ndarray) -> list[ChargeTerm]:
+        a, c = self._idx
+        v_ak = _voltage(x, a) - _voltage(x, c)
+        q = self.diode.charge(v_ak)
+        cap = self.diode.capacitance(v_ak)
+        return [ChargeTerm(pos=a, neg=c, q=q,
+                           derivs=((a, cap), (c, -cap)))]
+
+
+class MosElement(Element):
+    """Four-terminal EKV MOS transistor (static channel current).
+
+    Terminal capacitances are added as separate :class:`Capacitor`
+    elements by :meth:`repro.spice.netlist.Circuit.add_mosfet` so the
+    transient and AC engines treat them uniformly.
+    """
+
+    def __init__(self, name: str, drain: str, gate: str, source: str,
+                 bulk: str, device: Mosfet, temperature: float) -> None:
+        super().__init__(name, (drain, gate, source, bulk))
+        self.device = device
+        self.temperature = temperature
+
+    def operating_point(self, x: np.ndarray) -> MosOperatingPoint:
+        """Evaluate the device model at solution vector ``x``."""
+        d, g, s, b = self._idx
+        return self.device.evaluate(
+            _voltage(x, d), _voltage(x, g), _voltage(x, s), _voltage(x, b),
+            self.temperature)
+
+    def stamp(self, st: Stamper, x: np.ndarray, time: float | None) -> None:
+        d, g, s, b = self._idx
+        op = self.operating_point(x)
+        st.add_f(d, op.ids)
+        st.add_f(s, -op.ids)
+        for col, key in zip((d, g, s, b), ("d", "g", "s", "b")):
+            partial = op.partials[key]
+            st.add_j(d, col, partial)
+            st.add_j(s, col, -partial)

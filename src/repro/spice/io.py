@@ -1,0 +1,206 @@
+"""SPICE-format netlist export / import.
+
+Interop glue: export writes a conventional ``.sp`` deck from a
+:class:`~repro.spice.netlist.Circuit` (so a design built here can be
+inspected, diffed, or re-simulated elsewhere); import parses the same
+subset back, resolving MOS model names against the technology registry.
+
+Supported cards: R, C, V (DC), I (DC), E (VCVS), G (VCCS), M (EKV MOS
+with W=/L= and the repo's flavour names), D (registered diode models),
+plus ``.temp``, ``.nodeset``, comments and ``.end``.  Time-dependent
+sources export as their t=0 DC value with a warning comment -- the
+waveform classes are Python-side behaviour with no universal SPICE
+equivalent.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from typing import TextIO
+
+from ..constants import T_NOMINAL, ZERO_CELSIUS
+from ..devices.diode import Diode, DiodeParameters, NWELL_DIODE_180
+from ..devices.mosfet import Mosfet
+from ..devices.parameters import GENERIC_180NM, Technology
+from ..errors import NetlistError
+from ..units import format_quantity, parse_quantity
+from .elements import (Capacitor, CurrentSource, DiodeElement, MosElement,
+                       Resistor, Vccs, Vcvs, VoltageSource)
+from .netlist import Circuit
+from .waveforms import Waveform
+
+#: Diode models resolvable on import, by parameter-set name.
+DIODE_REGISTRY: dict[str, DiodeParameters] = {
+    NWELL_DIODE_180.name: NWELL_DIODE_180,
+}
+
+
+def _fmt(value: float) -> str:
+    """SPICE-friendly engineering number (no unit letter clash)."""
+    text = format_quantity(value, "", digits=6)
+    return text.replace("u", "u")  # micro as 'u', already the case
+
+
+def write_netlist(circuit: Circuit, stream: TextIO | None = None) -> str:
+    """Serialise ``circuit`` as a SPICE deck; returns the text.
+
+    When ``stream`` is given the deck is also written to it.
+    """
+    out = _io.StringIO()
+    out.write(f"* {circuit.name}\n")
+    out.write(f"* exported by repro (EKV flavours of "
+              f"{GENERIC_180NM.name})\n")
+    temp_c = circuit.temperature - ZERO_CELSIUS
+    out.write(f".temp {temp_c:.2f}\n")
+    for element in circuit.elements:
+        if isinstance(element, Resistor):
+            a, b = element.nodes
+            out.write(f"R{element.name} {a} {b} "
+                      f"{_fmt(element.resistance)}\n")
+        elif isinstance(element, Capacitor):
+            a, b = element.nodes
+            out.write(f"C{element.name} {a} {b} "
+                      f"{_fmt(element.capacitance)}\n")
+        elif isinstance(element, VoltageSource):
+            p, n = element.nodes
+            value = element.waveform(0.0)
+            if element.waveform.description.startswith("dc") is False:
+                out.write(f"* {element.name}: waveform "
+                          f"'{element.waveform.description}' exported "
+                          f"as its t=0 value\n")
+            out.write(f"V{element.name} {p} {n} DC {_fmt(value)}\n")
+        elif isinstance(element, CurrentSource):
+            p, n = element.nodes
+            value = element.waveform(0.0)
+            if element.waveform.description.startswith("dc") is False:
+                out.write(f"* {element.name}: waveform "
+                          f"'{element.waveform.description}' exported "
+                          f"as its t=0 value\n")
+            out.write(f"I{element.name} {p} {n} DC {_fmt(value)}\n")
+        elif isinstance(element, Vcvs):
+            p, n, cp, cn = element.nodes
+            out.write(f"E{element.name} {p} {n} {cp} {cn} "
+                      f"{_fmt(element.gain)}\n")
+        elif isinstance(element, Vccs):
+            p, n, cp, cn = element.nodes
+            out.write(f"G{element.name} {p} {n} {cp} {cn} "
+                      f"{_fmt(element.gm)}\n")
+        elif isinstance(element, DiodeElement):
+            a, c = element.nodes
+            out.write(f"D{element.name} {a} {c} "
+                      f"{element.diode.params.name} "
+                      f"AREA={_fmt(element.diode.area)}\n")
+        elif isinstance(element, MosElement):
+            d, g, s, b = element.nodes
+            device = element.device
+            out.write(f"M{element.name} {d} {g} {s} {b} "
+                      f"{device.params.name} W={_fmt(device.w)} "
+                      f"L={_fmt(device.l)} M={device.m}\n")
+        else:
+            raise NetlistError(
+                f"cannot export element type {type(element).__name__}")
+    for node, voltage in circuit.nodesets.items():
+        out.write(f".nodeset v({node})={_fmt(voltage)}\n")
+    out.write(".end\n")
+    text = out.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def read_netlist(text: str,
+                 tech: Technology | None = None) -> Circuit:
+    """Parse a deck produced by :func:`write_netlist` (or hand-written
+    in the same subset) back into a :class:`Circuit`."""
+    tech = tech or GENERIC_180NM
+    cards: list[str] = []
+    temperature = T_NOMINAL
+    title: str | None = None
+    nodesets: list[tuple[str, float]] = []
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("*"):
+            if title is None and len(line) > 1:
+                title = line[1:].strip() or "imported"
+            continue
+        lower = line.lower()
+        if lower.startswith(".temp"):
+            temperature = parse_quantity(line.split()[1]) + ZERO_CELSIUS
+            continue
+        if lower.startswith(".nodeset"):
+            body = line.split(None, 1)[1]
+            node = body[body.index("(") + 1:body.index(")")]
+            value = parse_quantity(body.split("=", 1)[1])
+            nodesets.append((node, value))
+            continue
+        if lower.startswith(".end"):
+            break
+        cards.append(line)
+
+    result = Circuit(title or "imported", temperature=temperature)
+    for card in cards:
+        _parse_card(result, card, tech)
+    for node, value in nodesets:
+        result.nodeset(node, value)
+    return result
+
+
+def _parse_card(circuit: Circuit, line: str, tech: Technology) -> None:
+    tokens = line.split()
+    letter = tokens[0][0].upper()
+    # Keep the full designator as the element name: SPICE guarantees
+    # its uniqueness, whereas the suffix alone may collide (R1 vs V1).
+    label = tokens[0]
+    if letter == "R":
+        circuit.add_resistor(label, tokens[1], tokens[2],
+                             parse_quantity(tokens[3]))
+    elif letter == "C":
+        circuit.add_capacitor(label, tokens[1], tokens[2],
+                              parse_quantity(tokens[3]))
+    elif letter == "V":
+        value = parse_quantity(tokens[4] if tokens[3].upper() == "DC"
+                               else tokens[3])
+        circuit.add_vsource(label, tokens[1], tokens[2], value)
+    elif letter == "I":
+        value = parse_quantity(tokens[4] if tokens[3].upper() == "DC"
+                               else tokens[3])
+        circuit.add_isource(label, tokens[1], tokens[2], value)
+    elif letter == "E":
+        circuit.add_vcvs(label, tokens[1], tokens[2], tokens[3],
+                         tokens[4], parse_quantity(tokens[5]))
+    elif letter == "G":
+        circuit.add_vccs(label, tokens[1], tokens[2], tokens[3],
+                         tokens[4], parse_quantity(tokens[5]))
+    elif letter == "D":
+        model = tokens[3]
+        if model not in DIODE_REGISTRY:
+            raise NetlistError(f"unknown diode model {model!r}")
+        area = 1.0
+        for tok in tokens[4:]:
+            if tok.upper().startswith("AREA="):
+                area = parse_quantity(tok.split("=", 1)[1])
+        circuit.add_diode(label, tokens[1], tokens[2],
+                          Diode(DIODE_REGISTRY[model], area=area))
+    elif letter == "M":
+        flavour = tech.flavour(tokens[5])
+        params = {"w": None, "l": None, "m": 1}
+        for tok in tokens[6:]:
+            key, _, value = tok.partition("=")
+            key = key.lower()
+            if key == "w":
+                params["w"] = parse_quantity(value)
+            elif key == "l":
+                params["l"] = parse_quantity(value)
+            elif key == "m":
+                params["m"] = int(float(value))
+        if params["w"] is None or params["l"] is None:
+            raise NetlistError(f"MOS card missing W/L: {line!r}")
+        device = Mosfet(flavour, w=params["w"], l=params["l"],
+                        m=params["m"])
+        circuit.add_mosfet(label, tokens[1], tokens[2], tokens[3],
+                           tokens[4], device, with_caps=False)
+    else:
+        raise NetlistError(f"unsupported card: {line!r}")

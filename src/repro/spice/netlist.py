@@ -1,0 +1,242 @@
+"""Circuit (netlist) builder and MNA compilation.
+
+A :class:`Circuit` is an ordered collection of named elements over named
+nodes.  ``"0"`` and ``"gnd"`` (any case) are the ground reference.
+Compiling assigns each non-ground node a row in the MNA system and each
+voltage-defined element its auxiliary branch row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import T_NOMINAL
+from ..devices.diode import Diode
+from ..devices.mosfet import Mosfet
+from ..errors import NetlistError
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    DiodeElement,
+    Element,
+    GROUND_INDEX,
+    MosElement,
+    Resistor,
+    Stamper,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from .waveforms import Waveform
+
+#: Names treated as the ground reference.
+GROUND_NAMES = frozenset({"0", "gnd"})
+
+
+def is_ground(node: str) -> bool:
+    """True when ``node`` names the ground reference."""
+    return node.lower() in GROUND_NAMES
+
+
+@dataclass
+class CompiledCircuit:
+    """A circuit with MNA indices assigned.
+
+    Attributes:
+        circuit: The source circuit.
+        node_index: Map of non-ground node name -> MNA row.
+        aux_index: Map of element name -> tuple of auxiliary rows.
+        size: Total number of unknowns.
+    """
+
+    circuit: "Circuit"
+    node_index: dict[str, int]
+    aux_index: dict[str, tuple[int, ...]]
+    size: int
+
+    def index_of(self, node: str) -> int:
+        """MNA row of ``node`` (ground gives -1)."""
+        if is_ground(node):
+            return GROUND_INDEX
+        try:
+            return self.node_index[node]
+        except KeyError:
+            raise NetlistError(f"unknown node {node!r}") from None
+
+    def stamp_all(self, st: Stamper, x: np.ndarray,
+                  time: float | None) -> None:
+        """Assemble the full static system at solution ``x``."""
+        st.reset()
+        for element in self.circuit.elements:
+            element.stamp(st, x, time)
+
+    def charge_terms(self, x: np.ndarray):
+        """All dynamic charge terms at solution ``x`` (stable order)."""
+        terms = []
+        for element in self.circuit.elements:
+            terms.extend(element.charge_terms(x))
+        return terms
+
+
+class Circuit:
+    """A netlist under construction.
+
+    Example -- a resistive divider::
+
+        ckt = Circuit("divider")
+        ckt.add_vsource("V1", "in", "0", 1.0)
+        ckt.add_resistor("R1", "in", "mid", 10e3)
+        ckt.add_resistor("R2", "mid", "0", 10e3)
+    """
+
+    def __init__(self, name: str = "circuit",
+                 temperature: float = T_NOMINAL) -> None:
+        self.name = name
+        self.temperature = temperature
+        self.elements: list[Element] = []
+        self._names: set[str] = set()
+        self._node_order: list[str] = []
+        self._node_set: set[str] = set()
+        #: Initial-guess hints for DC convergence (SPICE .nodeset).
+        self.nodesets: dict[str, float] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def _register(self, element: Element) -> Element:
+        if element.name in self._names:
+            raise NetlistError(
+                f"duplicate element name {element.name!r} in {self.name}")
+        self._names.add(element.name)
+        for node in element.nodes:
+            self._touch_node(node)
+        self.elements.append(element)
+        return element
+
+    def _touch_node(self, node: str) -> None:
+        if not node:
+            raise NetlistError("empty node name")
+        if is_ground(node):
+            return
+        if node not in self._node_set:
+            self._node_set.add(node)
+            self._node_order.append(node)
+
+    def add_resistor(self, name: str, node_a: str, node_b: str,
+                     resistance: float) -> Resistor:
+        """Add an ideal resistor."""
+        return self._register(Resistor(name, node_a, node_b, resistance))
+
+    def add_capacitor(self, name: str, node_a: str, node_b: str,
+                      capacitance: float) -> Capacitor:
+        """Add an ideal capacitor."""
+        return self._register(Capacitor(name, node_a, node_b, capacitance))
+
+    def add_vsource(self, name: str, node_pos: str, node_neg: str,
+                    waveform: Waveform | float,
+                    ac_mag: float = 0.0) -> VoltageSource:
+        """Add an independent voltage source."""
+        return self._register(
+            VoltageSource(name, node_pos, node_neg, waveform, ac_mag))
+
+    def add_isource(self, name: str, node_pos: str, node_neg: str,
+                    waveform: Waveform | float,
+                    ac_mag: float = 0.0) -> CurrentSource:
+        """Add an independent current source (see
+        :class:`~repro.spice.elements.CurrentSource` for the direction
+        convention)."""
+        return self._register(
+            CurrentSource(name, node_pos, node_neg, waveform, ac_mag))
+
+    def add_vcvs(self, name: str, node_pos: str, node_neg: str,
+                 ctrl_pos: str, ctrl_neg: str, gain: float) -> Vcvs:
+        """Add a voltage-controlled voltage source."""
+        return self._register(
+            Vcvs(name, node_pos, node_neg, ctrl_pos, ctrl_neg, gain))
+
+    def add_vccs(self, name: str, node_pos: str, node_neg: str,
+                 ctrl_pos: str, ctrl_neg: str, gm: float) -> Vccs:
+        """Add a voltage-controlled current source."""
+        return self._register(
+            Vccs(name, node_pos, node_neg, ctrl_pos, ctrl_neg, gm))
+
+    def add_diode(self, name: str, anode: str, cathode: str,
+                  diode: Diode) -> DiodeElement:
+        """Add a junction diode (exponential I-V plus depletion charge)."""
+        return self._register(
+            DiodeElement(name, anode, cathode, diode, self.temperature))
+
+    def add_mosfet(self, name: str, drain: str, gate: str, source: str,
+                   bulk: str, device: Mosfet,
+                   with_caps: bool = True) -> MosElement:
+        """Add an EKV MOS transistor.
+
+        When ``with_caps`` is true (the default), the lumped terminal
+        capacitances of the device model are added as companion
+        :class:`Capacitor` elements named ``<name>.c<pair>`` so transient
+        and AC analyses see realistic dynamics.
+        """
+        element = self._register(
+            MosElement(name, drain, gate, source, bulk, device,
+                       self.temperature))
+        if with_caps:
+            terminal = {"d": drain, "g": gate, "s": source, "b": bulk}
+            for (t_a, t_b), cap in device.capacitances().items():
+                node_a, node_b = terminal[t_a], terminal[t_b]
+                if node_a == node_b or cap <= 0.0:
+                    continue
+                self._register(Capacitor(
+                    f"{name}.c{t_a}{t_b}", node_a, node_b, cap))
+        return element
+
+    def nodeset(self, node: str, voltage: float) -> None:
+        """Hint the DC solver with an initial guess for ``node``."""
+        self._touch_node(node)
+        if not is_ground(node):
+            self.nodesets[node] = voltage
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def node_names(self) -> list[str]:
+        """Non-ground nodes in insertion order."""
+        return list(self._node_order)
+
+    def element(self, name: str) -> Element:
+        """Look up an element by name."""
+        for candidate in self.elements:
+            if candidate.name == name:
+                return candidate
+        raise NetlistError(f"no element named {name!r} in {self.name}")
+
+    def mos_elements(self) -> list[MosElement]:
+        """All MOS transistor elements, in insertion order."""
+        return [e for e in self.elements if isinstance(e, MosElement)]
+
+    # -- compilation -----------------------------------------------------
+
+    def compile(self) -> CompiledCircuit:
+        """Assign MNA indices and bind them into the elements."""
+        if not self.elements:
+            raise NetlistError(f"circuit {self.name!r} has no elements")
+        node_index = {name: i for i, name in enumerate(self._node_order)}
+        next_row = len(self._node_order)
+        aux_index: dict[str, tuple[int, ...]] = {}
+        for element in self.elements:
+            aux = tuple(range(next_row, next_row + element.n_aux))
+            next_row += element.n_aux
+            aux_index[element.name] = aux
+            indices = tuple(
+                GROUND_INDEX if is_ground(n) else node_index[n]
+                for n in element.nodes)
+            element.bind(indices, aux)
+        return CompiledCircuit(circuit=self, node_index=node_index,
+                               aux_index=aux_index, size=next_row)
+
+    def initial_guess(self, compiled: CompiledCircuit) -> np.ndarray:
+        """Zero vector refined by nodesets (aux currents start at zero)."""
+        x0 = np.zeros(compiled.size)
+        for node, voltage in self.nodesets.items():
+            x0[compiled.node_index[node]] = voltage
+        return x0

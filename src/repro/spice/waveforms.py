@@ -1,0 +1,120 @@
+"""Time-domain source waveforms for transient analysis.
+
+A waveform is a callable ``value(t)`` plus an optional list of
+*breakpoints* -- times where the waveform has a corner -- that the
+transient engine must land a timestep on exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """A time-dependent source value."""
+
+    func: Callable[[float], float]
+    breakpoints: tuple[float, ...] = ()
+    description: str = "waveform"
+
+    def __call__(self, t: float) -> float:
+        return self.func(t)
+
+
+def dc_wave(value: float) -> Waveform:
+    """A constant source."""
+    return Waveform(func=lambda t: value, description=f"dc({value})")
+
+
+def step_wave(before: float, after: float, t_step: float,
+              t_rise: float = 0.0) -> Waveform:
+    """A single step from ``before`` to ``after`` at ``t_step``."""
+    if t_rise < 0.0:
+        raise ModelError("t_rise must be >= 0")
+
+    def value(t: float) -> float:
+        if t <= t_step:
+            return before
+        if t_rise > 0.0 and t < t_step + t_rise:
+            return before + (after - before) * (t - t_step) / t_rise
+        return after
+
+    points = (t_step,) if t_rise == 0.0 else (t_step, t_step + t_rise)
+    return Waveform(func=value, breakpoints=points,
+                    description=f"step({before}->{after}@{t_step})")
+
+
+def pulse_wave(low: float, high: float, delay: float, rise: float,
+               fall: float, width: float, period: float) -> Waveform:
+    """SPICE-style periodic pulse."""
+    if period <= 0.0 or width < 0.0 or rise < 0.0 or fall < 0.0:
+        raise ModelError("pulse timing parameters must be non-negative, "
+                         "period positive")
+    if rise + width + fall > period:
+        raise ModelError("rise + width + fall exceeds the period")
+
+    def value(t: float) -> float:
+        if t < delay:
+            return low
+        tau = (t - delay) % period
+        if tau < rise:
+            return low + (high - low) * (tau / rise) if rise > 0 else high
+        if tau < rise + width:
+            return high
+        if tau < rise + width + fall:
+            frac = (tau - rise - width) / fall if fall > 0 else 1.0
+            return high + (low - high) * frac
+        return low
+
+    # Breakpoints for the first few periods; the engine also restarts the
+    # step size at every period via the modulo corner list below.
+    corners = []
+    for k in range(64):
+        t0 = delay + k * period
+        corners.extend([t0, t0 + rise, t0 + rise + width,
+                        t0 + rise + width + fall])
+    return Waveform(func=value, breakpoints=tuple(corners),
+                    description=f"pulse({low},{high},T={period})")
+
+
+def sine_wave(offset: float, amplitude: float, frequency: float,
+              delay: float = 0.0, phase_deg: float = 0.0) -> Waveform:
+    """offset + amplitude * sin(2 pi f (t - delay) + phase)."""
+    if frequency <= 0.0:
+        raise ModelError(f"frequency must be positive, got {frequency}")
+    phase = math.radians(phase_deg)
+
+    def value(t: float) -> float:
+        if t < delay:
+            return offset + amplitude * math.sin(phase)
+        return offset + amplitude * math.sin(
+            2.0 * math.pi * frequency * (t - delay) + phase)
+
+    return Waveform(func=value,
+                    description=f"sine({offset},{amplitude},{frequency})")
+
+
+def pwl_wave(points: Sequence[tuple[float, float]]) -> Waveform:
+    """Piecewise-linear waveform through ``(time, value)`` points."""
+    if len(points) < 1:
+        raise ModelError("pwl needs at least one point")
+    times = [p[0] for p in points]
+    if any(t1 >= t2 for t1, t2 in zip(times, times[1:])):
+        raise ModelError("pwl times must be strictly increasing")
+    pts = tuple((float(t), float(v)) for t, v in points)
+
+    def value(t: float) -> float:
+        if t <= pts[0][0]:
+            return pts[0][1]
+        for (t1, v1), (t2, v2) in zip(pts, pts[1:]):
+            if t <= t2:
+                return v1 + (v2 - v1) * (t - t1) / (t2 - t1)
+        return pts[-1][1]
+
+    return Waveform(func=value, breakpoints=tuple(t for t, _v in pts),
+                    description=f"pwl({len(pts)} pts)")

@@ -1,0 +1,208 @@
+"""Analytic model of one STSCL gate (paper Fig. 2 and Sec. II-A).
+
+This is the design-entry object of the whole platform: every higher
+layer (digital netlists, the ADC encoder, the PMU) speaks in terms of a
+:class:`StsclGateDesign` and its delay/power laws.
+
+Model summary (all derived in refs [9]-[11] of the paper):
+
+* Load resistance     R_L  = V_SW / I_SS
+* Gate delay          t_d  = ln2 * R_L * C_L = ln2 * V_SW * C_L / I_SS
+* Static power        P    = I_SS * V_DD      (the only current drawn)
+* Small-signal gain   A    = g_m R_L = V_SW / (2 n U_T)   (weak inversion)
+* Max. clock rate at logic depth N_L:
+      f_op,max = I_SS / (2 ln2 * V_SW * C_L * N_L)        (inverse Eq. 1)
+
+The V_DD independence of t_d and the noise margin is structural: V_DD
+appears in none of the expressions above -- the property experiments E6
+and E7 verify against the transistor-level simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from ..constants import LN2, T_NOMINAL, thermal_voltage
+from ..devices.ekv import gate_voltage_for_current, saturation_voltage
+from ..devices.mosfet import Mosfet
+from ..devices.parameters import (GENERIC_180NM, MosParameters, Technology)
+from ..errors import DesignError
+
+#: Output voltage swing used throughout the paper [V] ("maintaining a
+#: signal swing of 200 mV", Sec. III-C).
+DEFAULT_V_SW = 0.2
+
+#: Effective load capacitance of a gate driving a typical fan-out of 2-3
+#: plus local wiring [F].  Calibrated so that the encoder's maximum
+#: sampling rate (with its depth-1.3 stacked-majority critical cell)
+#: matches the paper's 800 S/s @ ~10 pA/gate and 80 kS/s @ ~1 nA/gate
+#: anchors (DESIGN.md section 5).
+DEFAULT_C_LOAD = 35e-15
+
+
+@dataclass(frozen=True)
+class StsclGateDesign:
+    """A sized STSCL gate with its electrical design point.
+
+    Attributes:
+        i_ss: Tail bias current [A] -- the single tuning knob.
+        v_sw: Output voltage swing [V].
+        c_load: Effective output load capacitance [F].
+        tech: Technology providing the device flavours.
+        pair_w / pair_l: Switching-pair device size [m].
+        tail_w / tail_l: Tail current-source size [m] (high-VT flavour).
+        load_w / load_l: PMOS load size [m] (thick-oxide flavour).
+        stack_levels: Number of stacked NMOS differential-pair levels in
+            the most complex gate of the design (a plain inverter/buffer
+            is 1; the Fig. 8 majority-with-latch cell is 3).
+        temperature: Junction temperature [K].
+    """
+
+    i_ss: float
+    v_sw: float = DEFAULT_V_SW
+    c_load: float = DEFAULT_C_LOAD
+    tech: Technology = field(default_factory=lambda: GENERIC_180NM)
+    pair_w: float = 2.0e-6
+    pair_l: float = 1.0e-6
+    tail_w: float = 2.0e-6
+    tail_l: float = 1.0e-6
+    load_w: float = 0.4e-6
+    load_l: float = 1.0e-6
+    stack_levels: int = 2
+    temperature: float = T_NOMINAL
+
+    def __post_init__(self) -> None:
+        if self.i_ss <= 0.0:
+            raise DesignError(f"tail current must be positive: {self.i_ss}")
+        if not 0.0 < self.v_sw < 1.0:
+            raise DesignError(f"swing {self.v_sw} V outside (0, 1) V")
+        if self.c_load <= 0.0:
+            raise DesignError(f"load capacitance must be positive: "
+                              f"{self.c_load}")
+        if self.stack_levels < 1:
+            raise DesignError("stack_levels must be >= 1")
+        # The regeneration condition for SCL logic: gain > 1 needs
+        # V_SW > 2 n U_T; enforce the practical limit of ~4 U_T.
+        ut = thermal_voltage(self.temperature)
+        n = self.tech.nmos.n
+        if self.v_sw < 4.0 * ut:
+            raise DesignError(
+                f"swing {self.v_sw:.3f} V below the 4*U_T = {4 * ut:.3f} V "
+                "regeneration limit for source-coupled logic")
+        del n
+
+    @classmethod
+    def default(cls, i_ss: float, **overrides) -> "StsclGateDesign":
+        """The repo-standard gate at tail current ``i_ss``."""
+        return cls(i_ss=i_ss, **overrides)
+
+    def with_current(self, i_ss: float) -> "StsclGateDesign":
+        """Same design retuned to a new tail current (the PMU operation)."""
+        return replace(self, i_ss=i_ss)
+
+    # -- derived electrical quantities ------------------------------------
+
+    @property
+    def load_resistance(self) -> float:
+        """R_L = V_SW / I_SS [ohm]; each output sees this to V_DD."""
+        return self.v_sw / self.i_ss
+
+    def delay(self) -> float:
+        """Gate propagation delay t_d = ln2 * R_L * C_L [s]."""
+        return LN2 * self.load_resistance * self.c_load
+
+    def time_constant(self) -> float:
+        """Output RC time constant [s]."""
+        return self.load_resistance * self.c_load
+
+    def power(self, vdd: float) -> float:
+        """Static power I_SS * V_DD [W] -- the gate's only consumption."""
+        if vdd <= 0.0:
+            raise DesignError(f"vdd must be positive: {vdd}")
+        return self.i_ss * vdd
+
+    def energy_per_transition(self, vdd: float) -> float:
+        """Power-delay product [J]."""
+        return self.power(vdd) * self.delay()
+
+    def max_frequency(self, logic_depth: int = 1) -> float:
+        """Maximum clock rate at ``logic_depth`` gates per cycle [Hz].
+
+        Inverse of the paper's Eq. (1): the critical path of N_L gate
+        delays must fit in half a clock period with the classic 2x
+        settling allowance folded into the ln2 constant.
+        """
+        if logic_depth < 1:
+            raise DesignError(f"logic depth must be >= 1: {logic_depth}")
+        return self.i_ss / (2.0 * LN2 * self.v_sw * self.c_load
+                            * logic_depth)
+
+    def small_signal_gain(self) -> float:
+        """DC gain A = g_m * R_L = V_SW / (2 n U_T) of the pair."""
+        ut = thermal_voltage(self.temperature)
+        return self.v_sw / (2.0 * self.tech.nmos.n * ut)
+
+    def noise_margin(self) -> float:
+        """Approximate static noise margin [V].
+
+        NM ~ (V_SW / 2) * (1 - 2 / A); independent of V_DD and of I_SS
+        (both V_SW and A are current-free), which is the Fig. 3(b)
+        decoupling argument.
+        """
+        gain = self.small_signal_gain()
+        if gain <= 2.0:
+            return 0.0
+        return 0.5 * self.v_sw * (1.0 - 2.0 / gain)
+
+    # -- device views ------------------------------------------------------
+
+    def pair_device(self) -> Mosfet:
+        """One transistor of the NMOS switching pair."""
+        return Mosfet(self.tech.nmos, w=self.pair_w, l=self.pair_l)
+
+    def tail_device(self) -> Mosfet:
+        """The high-VT tail current source M_B."""
+        return Mosfet(self.tech.nmos_hvt, w=self.tail_w, l=self.tail_l)
+
+    def load_device(self) -> Mosfet:
+        """One thick-oxide PMOS load device."""
+        return Mosfet(self.tech.pmos_thick, w=self.load_w, l=self.load_l)
+
+    def pair_gate_overdrive(self) -> float:
+        """V_GS of a pair transistor carrying the full I_SS [V]."""
+        device = self.pair_device()
+        ut = thermal_voltage(self.temperature)
+        return float(gate_voltage_for_current(
+            self.i_ss, device.specific_current(self.temperature),
+            self.tech.nmos.vt_at(self.temperature), self.tech.nmos.n, ut))
+
+    def tail_saturation_voltage(self) -> float:
+        """V_DS,sat of the tail source at its inversion level [V]."""
+        device = self.tail_device()
+        ut = thermal_voltage(self.temperature)
+        ic = self.i_ss / device.specific_current(self.temperature)
+        return float(saturation_voltage(ic, ut))
+
+    def inversion_coefficient(self) -> float:
+        """IC of a pair transistor at full tail current."""
+        return self.i_ss / self.pair_device().specific_current(
+            self.temperature)
+
+    def is_subthreshold(self) -> bool:
+        """True when the switching pair stays in weak inversion."""
+        return self.inversion_coefficient() < 0.1
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers for reports and examples."""
+        return {
+            "i_ss": self.i_ss,
+            "v_sw": self.v_sw,
+            "c_load": self.c_load,
+            "load_resistance": self.load_resistance,
+            "delay": self.delay(),
+            "gain": self.small_signal_gain(),
+            "noise_margin": self.noise_margin(),
+            "f_max_depth1": self.max_frequency(1),
+            "inversion_coefficient": self.inversion_coefficient(),
+        }

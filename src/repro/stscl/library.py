@@ -1,0 +1,154 @@
+"""The STSCL standard-cell library.
+
+Source-coupled logic is differential, which shapes the library in ways
+that differ from static CMOS:
+
+* **Inversion is free** -- swapping the two output wires negates a
+  signal at zero cost (no tail current, no delay).  The library models
+  INV as a zero-cost cell.
+* **Power is function-independent** -- every cell burns exactly one tail
+  current I_SS regardless of its logic function, so merging functions
+  into *compound* cells (stacked differential pairs, paper Sec. III-B)
+  is a direct power win.
+* **A latch merges into any cell** -- adding a clocked cross-coupled
+  pair turns a gate into a pipelined gate for one extra stack level but
+  no extra tail current (the Fig. 8 majority-with-latch cell).
+
+Cell delay equals the generic gate delay of the owning
+:class:`~repro.stscl.gate_model.StsclGateDesign` -- in SCL all cells see
+the same output R_L C_L -- with a small stacking penalty per level.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import DesignError
+
+#: Relative delay penalty per stacked level above the first (the upper
+#: pairs see slightly degraded switching; refs [10], [13] report a minor
+#: effect).
+STACK_DELAY_PENALTY = 0.15
+
+
+class CellKind(enum.Enum):
+    """Functional families the digital tools dispatch on."""
+
+    COMBINATIONAL = "combinational"
+    LATCH = "latch"
+    FLIPFLOP = "flipflop"
+    FREE = "free"  # wire-swap pseudo-cells
+
+
+@dataclass(frozen=True)
+class StsclCell:
+    """One library cell.
+
+    Attributes:
+        name: Library name (e.g. ``"MAJ3"``).
+        n_inputs: Number of logical data inputs (clock excluded).
+        function: Boolean function over the data inputs; for latches it is
+            the D -> Q transparency function.
+        stack_levels: Stacked NMOS pair levels (1..3 practical).
+        tails: Tail-current branches the cell burns (0 for free cells,
+            2 for the master-slave flip-flop).
+        kind: Functional family.
+        pipelined: True when the cell embeds an output latch (Fig. 8
+            style); such a cell both computes and registers.
+    """
+
+    name: str
+    n_inputs: int
+    function: Callable[[tuple[bool, ...]], bool]
+    stack_levels: int
+    tails: int = 1
+    kind: CellKind = CellKind.COMBINATIONAL
+    pipelined: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 0:
+            raise DesignError(f"{self.name}: negative input count")
+        if self.stack_levels < 0 or self.stack_levels > 4:
+            raise DesignError(
+                f"{self.name}: {self.stack_levels} stacked levels is "
+                "outside the practical 0..4 range")
+        if self.tails < 0:
+            raise DesignError(f"{self.name}: negative tail count")
+
+    def evaluate(self, inputs: Sequence[bool]) -> bool:
+        """Apply the cell's boolean function."""
+        if len(inputs) != self.n_inputs:
+            raise DesignError(
+                f"{self.name} expects {self.n_inputs} inputs, "
+                f"got {len(inputs)}")
+        return bool(self.function(tuple(bool(v) for v in inputs)))
+
+    def delay_factor(self) -> float:
+        """Delay relative to the base gate delay of the design point."""
+        if self.kind is CellKind.FREE:
+            return 0.0
+        extra = max(0, self.stack_levels - 1)
+        return 1.0 + STACK_DELAY_PENALTY * extra
+
+
+def _maj3(v: tuple[bool, ...]) -> bool:
+    return (v[0] and v[1]) or (v[0] and v[2]) or (v[1] and v[2])
+
+
+def _build_standard_cells() -> dict[str, StsclCell]:
+    cells = [
+        StsclCell("INV", 1, lambda v: not v[0], stack_levels=0, tails=0,
+                  kind=CellKind.FREE),
+        StsclCell("BUF", 1, lambda v: v[0], stack_levels=1),
+        StsclCell("AND2", 2, lambda v: v[0] and v[1], stack_levels=2),
+        StsclCell("NAND2", 2, lambda v: not (v[0] and v[1]), stack_levels=2),
+        StsclCell("OR2", 2, lambda v: v[0] or v[1], stack_levels=2),
+        StsclCell("NOR2", 2, lambda v: not (v[0] or v[1]), stack_levels=2),
+        StsclCell("XOR2", 2, lambda v: v[0] != v[1], stack_levels=2),
+        StsclCell("XNOR2", 2, lambda v: v[0] == v[1], stack_levels=2),
+        StsclCell("MUX2", 3, lambda v: v[1] if v[0] else v[2],
+                  stack_levels=2),
+        StsclCell("AND3", 3, lambda v: v[0] and v[1] and v[2],
+                  stack_levels=3),
+        StsclCell("OR3", 3, lambda v: v[0] or v[1] or v[2], stack_levels=3),
+        StsclCell("XOR3", 3, lambda v: (v[0] != v[1]) != v[2],
+                  stack_levels=3),
+        StsclCell("MAJ3", 3, _maj3, stack_levels=3),
+        StsclCell("DLATCH", 1, lambda v: v[0], stack_levels=2,
+                  kind=CellKind.LATCH),
+        StsclCell("DFF", 1, lambda v: v[0], stack_levels=2, tails=2,
+                  kind=CellKind.FLIPFLOP),
+        # Fig. 8: the compound majority-with-latch pipelined cell -- three
+        # stacked pair levels doing MAJ3 plus a clocked hold pair, all on
+        # one tail current.
+        StsclCell("MAJ3_PIPE", 3, _maj3, stack_levels=3, pipelined=True),
+        StsclCell("XOR2_PIPE", 2, lambda v: v[0] != v[1], stack_levels=2,
+                  pipelined=True),
+        StsclCell("AND2_PIPE", 2, lambda v: v[0] and v[1], stack_levels=2,
+                  pipelined=True),
+        StsclCell("OR2_PIPE", 2, lambda v: v[0] or v[1], stack_levels=2,
+                  pipelined=True),
+        StsclCell("BUF_PIPE", 1, lambda v: v[0], stack_levels=1,
+                  pipelined=True),
+        # Full-adder compound cells used by the ref-[13] pipelined adder:
+        # sum = a xor b xor cin (3 levels), carry = MAJ3.
+        StsclCell("FASUM_PIPE", 3, lambda v: (v[0] != v[1]) != v[2],
+                  stack_levels=3, pipelined=True),
+    ]
+    return {c.name: c for c in cells}
+
+
+#: The library every design in this repo instantiates from.
+STANDARD_CELLS: dict[str, StsclCell] = _build_standard_cells()
+
+
+def cell(name: str) -> StsclCell:
+    """Look up a standard cell by name."""
+    try:
+        return STANDARD_CELLS[name]
+    except KeyError:
+        raise DesignError(
+            f"no STSCL cell named {name!r}; available: "
+            f"{sorted(STANDARD_CELLS)}") from None

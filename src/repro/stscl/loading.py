@@ -1,0 +1,75 @@
+"""Gate-load estimation: where the C_L in Eq. (1) comes from.
+
+The repo-wide default C_L = 35 fF is a calibration constant; this
+module derives the load of an actual net from its physical pieces so a
+designer can check the constant against their own netlist:
+
+    C_L = C_self + fanout * C_gate_in + length * C_wire
+
+* C_self: the driving cell's own drain junctions (both output legs);
+* C_gate_in: one receiving pair transistor's gate capacitance;
+* C_wire: the technology's per-length metal capacitance.
+
+The E1 calibration is consistent when a fan-out-2 net with ~100 um of
+local wiring lands near 35 fF -- pinned by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DesignError
+from .gate_model import StsclGateDesign
+
+
+@dataclass(frozen=True)
+class LoadBreakdown:
+    """Per-mechanism decomposition of one net's load [F]."""
+
+    self_loading: float
+    gate_loading: float
+    wire_loading: float
+
+    @property
+    def total(self) -> float:
+        return self.self_loading + self.gate_loading + self.wire_loading
+
+
+def estimate_load(design: StsclGateDesign, fanout: int = 2,
+                  wire_um: float = 100.0) -> LoadBreakdown:
+    """Estimate the effective C_L of a net driven by ``design``.
+
+    ``fanout`` receiving gates, ``wire_um`` micrometres of routing.
+    """
+    if fanout < 0:
+        raise DesignError(f"fanout must be >= 0: {fanout}")
+    if wire_um < 0.0:
+        raise DesignError(f"wire length must be >= 0: {wire_um}")
+    pair = design.pair_device()
+    load_device = design.load_device()
+    caps_pair = pair.capacitances()
+    caps_load = load_device.capacitances()
+    # Output node: pair drain junction + gate-drain, and the PMOS load
+    # device's drain-side capacitances (bulk rides with the drain, so
+    # its gate-bulk term appears at the output too).
+    self_loading = (caps_pair[("d", "b")] + caps_pair[("g", "d")]
+                    + caps_load[("d", "b")] + caps_load[("g", "d")]
+                    + caps_load[("g", "b")])
+    gate_loading = fanout * pair.gate_capacitance()
+    wire_loading = wire_um * design.tech.metal_cap_per_um * 1.0
+    return LoadBreakdown(self_loading=self_loading,
+                         gate_loading=gate_loading,
+                         wire_loading=wire_loading)
+
+
+def supported_fanout(design: StsclGateDesign,
+                     wire_um: float = 100.0) -> int:
+    """Largest fanout whose estimated load stays within the design's
+    budgeted ``c_load`` (so Eq. (1) timing still holds)."""
+    fanout = 0
+    while estimate_load(design, fanout + 1,
+                        wire_um).total <= design.c_load:
+        fanout += 1
+        if fanout > 64:
+            break
+    return fanout

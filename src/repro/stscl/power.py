@@ -1,0 +1,99 @@
+"""The paper's Eq. (1) power model and the pipelining trade-off.
+
+Eq. (1):  P_STSCL = k * N_L * f_op * V_DD,   k = 2 ln2 * V_SW * C_L
+
+reads: a cell on the critical path of a system clocked at f_op with
+longest logic depth N_L must be biased at
+
+    I_SS = 2 ln2 * V_SW * C_L * N_L * f_op
+
+so its power is linear in operating frequency -- the property the PMU
+exploits -- but also linear in logic depth, which is why the paper
+pipelines the encoder down to depth ~1 (Sec. III-B) and merges functions
+into compound stacked cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import LN2
+from ..errors import DesignError
+
+
+def required_tail_current(v_sw: float, c_load: float, logic_depth: int,
+                          f_op: float) -> float:
+    """I_SS needed for a critical-path cell (inverse of Eq. 1) [A]."""
+    if min(v_sw, c_load, f_op) <= 0.0:
+        raise DesignError("v_sw, c_load and f_op must be positive")
+    if logic_depth < 1:
+        raise DesignError(f"logic depth must be >= 1: {logic_depth}")
+    return 2.0 * LN2 * v_sw * c_load * logic_depth * f_op
+
+
+def eq1_cell_power(v_sw: float, c_load: float, logic_depth: int,
+                   f_op: float, vdd: float) -> float:
+    """Paper Eq. (1): per-cell power at the required bias [W]."""
+    if vdd <= 0.0:
+        raise DesignError(f"vdd must be positive: {vdd}")
+    return required_tail_current(v_sw, c_load, logic_depth, f_op) * vdd
+
+
+def system_power(n_tails: int, i_ss: float, vdd: float) -> float:
+    """Total static power of ``n_tails`` tail currents at ``i_ss`` [W].
+
+    STSCL consumes exactly this -- there is no activity-dependent or
+    leakage component, which is the deterministic-power claim of
+    Sec. II-A2.
+    """
+    if n_tails < 0:
+        raise DesignError(f"n_tails must be >= 0: {n_tails}")
+    if i_ss <= 0.0 or vdd <= 0.0:
+        raise DesignError("i_ss and vdd must be positive")
+    return n_tails * i_ss * vdd
+
+
+@dataclass(frozen=True)
+class PipeliningResult:
+    """Outcome of pipelining a block (experiment E9).
+
+    Attributes:
+        power_flat: Total power with the original logic depth [W].
+        power_pipelined: Total power at depth 1 with latch overhead [W].
+        gain: power_flat / power_pipelined.
+        i_ss_flat: Per-gate bias in the flat design [A].
+        i_ss_pipelined: Per-gate bias after pipelining [A].
+    """
+
+    power_flat: float
+    power_pipelined: float
+    gain: float
+    i_ss_flat: float
+    i_ss_pipelined: float
+
+
+def pipelining_gain(n_gates: int, logic_depth: int, f_op: float,
+                    v_sw: float, c_load: float, vdd: float,
+                    latch_overhead: float = 0.0) -> PipeliningResult:
+    """Quantify the Sec. III-B pipelining power reduction.
+
+    The flat design biases every gate for the full depth-N_L critical
+    path; the pipelined design reduces the depth to one gate per clock
+    phase.  ``latch_overhead`` is the *fraction of additional tail
+    currents* added by pipelining -- zero when latches merge into
+    existing cells (the compound Fig. 8 style), up to ~1.0 when every
+    gate gets a discrete output latch.
+    """
+    if n_gates < 1:
+        raise DesignError(f"n_gates must be >= 1: {n_gates}")
+    if latch_overhead < 0.0:
+        raise DesignError(f"latch_overhead must be >= 0: {latch_overhead}")
+    i_flat = required_tail_current(v_sw, c_load, logic_depth, f_op)
+    i_pipe = required_tail_current(v_sw, c_load, 1, f_op)
+    power_flat = system_power(n_gates, i_flat, vdd)
+    n_pipe_tails = int(round(n_gates * (1.0 + latch_overhead)))
+    power_pipe = system_power(n_pipe_tails, i_pipe, vdd)
+    return PipeliningResult(
+        power_flat=power_flat, power_pipelined=power_pipe,
+        gain=power_flat / power_pipe,
+        i_ss_flat=i_flat, i_ss_pipelined=i_pipe)

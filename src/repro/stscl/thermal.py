@@ -1,0 +1,99 @@
+"""Temperature behaviour: the other axis of the Fig. 3 decoupling.
+
+The paper claims STSCL is "less sensitive to the process and
+temperature variations".  The structure of the claim:
+
+* STSCL delay t_d = ln2 V_SW C_L / I_SS contains no temperature-
+  dependent quantity at all (the replica loop holds V_SW; I_SS is a
+  mirrored reference) -- sensitivity ~ 0;
+* STSCL gain/noise margin degrade only as 1/U_T ~ 1/T -- gentle and
+  predictable;
+* subthreshold CMOS on-current rides on exp(-V_T(T)/(n U_T(T))): both
+  the threshold drop (~ -1 mV/K) and the widening thermal voltage push
+  the current up (and the delay down) *exponentially* -- decades over
+  the industrial range.
+
+This module quantifies all three for the benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..constants import celsius_to_kelvin, thermal_voltage
+from ..digital.cmos_baseline import CmosGateModel
+from ..errors import ModelError
+from .gate_model import StsclGateDesign
+
+
+@dataclass(frozen=True)
+class ThermalPoint:
+    """One row of the temperature comparison.
+
+    Attributes:
+        temp_c: Junction temperature [degC].
+        stscl_delay: STSCL gate delay [s].
+        stscl_noise_margin: STSCL static noise margin [V].
+        cmos_delay: Subthreshold CMOS gate delay at the given supply [s].
+    """
+
+    temp_c: float
+    stscl_delay: float
+    stscl_noise_margin: float
+    cmos_delay: float
+
+
+def thermal_comparison(design: StsclGateDesign,
+                       temps_c=(-20.0, 27.0, 85.0),
+                       cmos_vdd: float = 0.4) -> list[ThermalPoint]:
+    """STSCL vs subthreshold CMOS across junction temperature.
+
+    The STSCL tail current is assumed held by its reference (the
+    paper's replica/mirror bias), so its delay column reflects the
+    architecture: nothing in it moves with T.
+    """
+    if len(tuple(temps_c)) < 2:
+        raise ModelError("need at least two temperatures to compare")
+    rows = []
+    for temp_c in temps_c:
+        temp_k = celsius_to_kelvin(float(temp_c))
+        scl = replace(design, temperature=temp_k)
+        cmos = CmosGateModel(temperature=temp_k)
+        rows.append(ThermalPoint(
+            temp_c=float(temp_c),
+            stscl_delay=scl.delay(),
+            stscl_noise_margin=scl.noise_margin(),
+            cmos_delay=cmos.delay(cmos_vdd)))
+    return rows
+
+
+def delay_spread(rows: list[ThermalPoint], column: str) -> float:
+    """max/min ratio of a delay column over the temperature range."""
+    values = np.array([getattr(r, column) for r in rows])
+    if np.any(values <= 0.0):
+        raise ModelError(f"non-positive entries in {column}")
+    return float(values.max() / values.min())
+
+
+def noise_margin_slope(rows: list[ThermalPoint]) -> float:
+    """Noise-margin temperature coefficient [V/K] (linear fit).
+
+    Expected ~ -(V_SW/2) * (2/A^2-ish) * n k/q -- small and linear; the
+    number the designer budgets, in contrast to CMOS's exponentials.
+    """
+    temps = np.array([r.temp_c for r in rows])
+    margins = np.array([r.stscl_noise_margin for r in rows])
+    return float(np.polyfit(temps, margins, 1)[0])
+
+
+def gain_over_temperature(design: StsclGateDesign,
+                          temps_c=(-20.0, 27.0, 85.0)) -> np.ndarray:
+    """Stage gain V_SW/(2 n U_T) across temperature (drops as 1/T)."""
+    gains = []
+    for temp_c in temps_c:
+        temp_k = celsius_to_kelvin(float(temp_c))
+        ut = thermal_voltage(temp_k)
+        gains.append(design.v_sw / (2.0 * design.tech.nmos.n * ut))
+    return np.asarray(gains)

@@ -1,0 +1,142 @@
+"""Engineering-notation quantities.
+
+Circuit work lives across 15 orders of magnitude (pA tail currents to MHz
+clocks), so readable parsing/formatting of SI-prefixed quantities is part
+of the public API:
+
+>>> parse_quantity("10n")
+1e-08
+>>> parse_quantity("200mV", expect_unit="V")
+0.2
+>>> format_quantity(4.2e-9, "A")
+'4.2nA'
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .errors import UnitError
+
+#: SI prefix -> multiplier.  Both 'u' and the micro sign are accepted.
+SI_PREFIXES: dict[str, float] = {
+    "y": 1e-24, "z": 1e-21, "a": 1e-18, "f": 1e-15, "p": 1e-12,
+    "n": 1e-9, "u": 1e-6, "µ": 1e-6, "μ": 1e-6, "m": 1e-3,
+    "": 1.0,
+    "k": 1e3, "K": 1e3, "M": 1e6, "G": 1e9, "T": 1e12,
+}
+
+#: Multiplier -> canonical prefix for formatting (descending order).
+_FORMAT_PREFIXES: tuple[tuple[float, str], ...] = (
+    (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+    (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f"),
+    (1e-18, "a"), (1e-21, "z"), (1e-24, "y"),
+)
+
+_QUANTITY_RE = re.compile(
+    r"""^\s*
+        (?P<number>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
+        \s*
+        (?P<prefix>[yzafpnuµμmkKMGT]?)
+        (?P<unit>[A-Za-z/%]*)
+        \s*$""",
+    re.VERBOSE,
+)
+
+#: Units whose first letter collides with a prefix letter; when the suffix
+#: exactly equals one of these, it is a bare unit, not prefix+unit.
+_KNOWN_UNITS = frozenset({
+    "V", "A", "W", "F", "H", "Hz", "s", "S", "J", "Ohm", "ohm", "m", "K",
+    "dB", "LSB", "%", "S/s", "b", "B",
+})
+
+
+def parse_quantity(text: str | float, expect_unit: str | None = None) -> float:
+    """Parse an engineering-notation string into a float.
+
+    ``text`` may already be numeric, in which case it passes through.
+    Accepts forms like ``"10n"``, ``"10nA"``, ``"1.2u"``, ``"0.5"``,
+    ``"80kS/s"``, ``"-3mV"``.  When ``expect_unit`` is given, a present
+    unit must match it (a missing unit is accepted).
+
+    Raises :class:`~repro.errors.UnitError` on malformed input.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _QUANTITY_RE.match(text)
+    if match is None:
+        raise UnitError(f"cannot parse quantity {text!r}")
+    number = float(match.group("number"))
+    prefix = match.group("prefix")
+    unit = match.group("unit")
+
+    # Disambiguate prefix-vs-unit: "500m" is 0.5 by default, but when the
+    # caller expects unit "m" (metres) the trailing letter is the unit.
+    if unit == "" and prefix and expect_unit is not None \
+            and prefix == expect_unit and prefix in _KNOWN_UNITS:
+        unit, prefix = prefix, ""
+
+    if prefix not in SI_PREFIXES:
+        raise UnitError(f"unknown SI prefix {prefix!r} in {text!r}")
+    if expect_unit is not None and unit and unit != expect_unit:
+        raise UnitError(
+            f"expected unit {expect_unit!r} but got {unit!r} in {text!r}")
+    return number * SI_PREFIXES[prefix]
+
+
+def format_quantity(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``value`` with the closest SI prefix.
+
+    >>> format_quantity(0.0442e-6, "W")
+    '44.2nW'
+    """
+    if value == 0.0:
+        return f"0{unit}"
+    if math.isnan(value) or math.isinf(value):
+        return f"{value}{unit}"
+    magnitude = abs(value)
+    for multiplier, prefix in _FORMAT_PREFIXES:
+        if magnitude >= multiplier:
+            scaled = value / multiplier
+            text = f"{scaled:.{digits}g}"
+            return f"{text}{prefix}{unit}"
+    # Smaller than the smallest prefix: fall back to scientific notation.
+    return f"{value:.{digits}g}{unit}"
+
+
+def decades(start: float, stop: float, points_per_decade: int = 10) -> list[float]:
+    """Return a logarithmic grid from ``start`` to ``stop`` inclusive.
+
+    Used by sweeps that span many orders of magnitude (e.g. tail currents
+    from 1 pA to 1 uA as in Fig. 9).
+    """
+    if start <= 0.0 or stop <= 0.0:
+        raise UnitError("log grid endpoints must be positive")
+    if points_per_decade < 1:
+        raise UnitError("points_per_decade must be >= 1")
+    if start == stop:
+        return [start]
+    n_decades = math.log10(stop / start)
+    n_points = max(2, int(round(abs(n_decades) * points_per_decade)) + 1)
+    step = n_decades / (n_points - 1)
+    return [start * 10.0 ** (step * i) for i in range(n_points)]
+
+
+def db20(ratio: float) -> float:
+    """Voltage/current ratio to decibels (20*log10)."""
+    if ratio <= 0.0:
+        raise UnitError(f"dB of non-positive ratio {ratio}")
+    return 20.0 * math.log10(ratio)
+
+
+def db10(ratio: float) -> float:
+    """Power ratio to decibels (10*log10)."""
+    if ratio <= 0.0:
+        raise UnitError(f"dB of non-positive ratio {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def from_db20(value_db: float) -> float:
+    """Decibels back to a voltage/current ratio."""
+    return 10.0 ** (value_db / 20.0)

@@ -1,0 +1,38 @@
+"""Shared fixtures.
+
+Expensive objects (ADC chips, encoder netlists) are session-scoped:
+they are immutable by convention (methods return tuned *copies*), so
+sharing them across tests is safe and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adc import FaiAdc
+from repro.digital.encoder import EncoderSpec, build_fai_encoder
+from repro.stscl import StsclGateDesign
+
+
+@pytest.fixture(scope="session")
+def default_design() -> StsclGateDesign:
+    """The repo-standard STSCL gate at 1 nA."""
+    return StsclGateDesign.default(i_ss=1e-9)
+
+
+@pytest.fixture(scope="session")
+def ideal_adc() -> FaiAdc:
+    """Error-free converter."""
+    return FaiAdc(ideal=True, seed=0)
+
+
+@pytest.fixture(scope="session")
+def chip_adc() -> FaiAdc:
+    """One mismatched chip (seed 1); the same chip in every test."""
+    return FaiAdc(ideal=False, seed=1)
+
+
+@pytest.fixture(scope="session")
+def encoder_netlist():
+    """The standard pipelined encoder netlist."""
+    return build_fai_encoder(EncoderSpec())

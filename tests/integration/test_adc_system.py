@@ -1,0 +1,53 @@
+"""Integration: full-converter metrology against the paper's numbers.
+
+Paper (Sec. III-C / Fig. 11): INL = 1.0 LSB, DNL = 0.4 LSB, ENOB = 6.5.
+We test a small Monte-Carlo population so a single lucky/unlucky chip
+cannot pass or fail the suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adc import FaiAdc, dynamic_test, linearity_test
+from repro.analysis import MonteCarlo
+
+
+@pytest.fixture(scope="module")
+def population():
+    def metrics(seed):
+        adc = FaiAdc(ideal=False, seed=seed)
+        linearity = linearity_test(adc, samples_per_code=12)
+        dynamic = dynamic_test(adc, f_sample=80e3, n_samples=2048,
+                               cycles=67)
+        return {
+            "inl": linearity.inl_max,
+            "dnl": linearity.dnl_max,
+            "enob": dynamic.enob,
+            "missing": float(len(linearity.missing_codes)),
+        }
+
+    return MonteCarlo(metrics, n_runs=8, seed_base=0).run()
+
+
+class TestPaperMetrics:
+    def test_inl_matches_paper(self, population):
+        assert population["inl"].median == pytest.approx(1.0, abs=0.4)
+
+    def test_dnl_matches_paper(self, population):
+        assert population["dnl"].median == pytest.approx(0.55, abs=0.4)
+
+    def test_enob_matches_paper(self, population):
+        assert population["enob"].median == pytest.approx(6.5, abs=0.4)
+
+    def test_no_missing_codes_median_chip(self, population):
+        assert population["missing"].median <= 2.0
+
+    def test_spread_is_chip_to_chip(self, population):
+        assert population["inl"].std > 0.0
+
+
+class TestIdealReference:
+    def test_ideal_far_better_than_chips(self, population):
+        ideal = FaiAdc(ideal=True, seed=0)
+        report = linearity_test(ideal, samples_per_code=12)
+        assert report.inl_max < 0.5 * population["inl"].p05

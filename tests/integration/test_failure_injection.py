@@ -1,0 +1,160 @@
+"""Failure injection: how gracefully does the converter degrade?
+
+Real chips fail partially: a comparator sticks, a bias branch opens, a
+metastable decision flips randomly.  These tests quantify the blast
+radius of each fault class and pin down which mitigation (majority
+bubble correction, folding redundancy, sync decode) contains it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adc import FaiAdc
+from repro.digital.encoder import (EncoderSpec, coarse_thermometer,
+                                   cyclic_fine_thermometer, encode_batch,
+                                   reference_encode)
+
+
+@pytest.fixture(scope="module")
+def ideal():
+    return FaiAdc(ideal=True, seed=0)
+
+
+def convert_with_faults(adc, voltages, stuck_fine=None,
+                        stuck_coarse=None, spec=None):
+    """Conversions with comparator outputs forced after the analog
+    front end."""
+    spec = spec or adc.spec
+    coarse = adc.coarse.thermometer_batch(voltages).copy()
+    fine = adc.fine.fine_code(voltages).copy()
+    for index, value in (stuck_fine or {}).items():
+        fine[:, index] = value
+    for index, value in (stuck_coarse or {}).items():
+        coarse[:, index] = value
+    return encode_batch(coarse, fine, spec)
+
+
+class TestStuckFineComparator:
+    @pytest.mark.parametrize("index,value", [(5, False), (5, True),
+                                             (20, True)])
+    def test_blast_radius_without_correction(self, ideal, index, value):
+        """A stuck fine comparator corrupts the codes whose decode
+        reads it: bounded, never a full-scale failure."""
+        cfg = ideal.config
+        ramp = np.linspace(cfg.v_low + cfg.lsb, cfg.v_high - cfg.lsb,
+                           4096)
+        good = ideal.convert_batch(ramp)
+        bad = convert_with_faults(ideal, ramp,
+                                  stuck_fine={index: value})
+        errors = np.abs(bad.astype(int) - good.astype(int))
+        assert errors.max() > 0          # the fault is visible...
+        assert errors.max() <= 64        # ...but bounded (< 2 segments)
+        # Nearly half of all codes remain exactly correct (the stuck
+        # bit feeds one Gray tap, wrong for ~half the range).
+        assert np.mean(errors == 0) > 0.4
+
+    def test_fine_majority_contains_single_stuck_bit(self, ideal):
+        """With the optional cyclic majority row, a stuck fine bit is
+        outvoted by its neighbours except right at its own crossings:
+        mean error collapses."""
+        cfg = ideal.config
+        ramp = np.linspace(cfg.v_low + cfg.lsb, cfg.v_high - cfg.lsb,
+                           4096)
+        plain = EncoderSpec()
+        with_majority = EncoderSpec(fine_bubble_correction=True)
+        good = ideal.convert_batch(ramp)
+        bad_plain = convert_with_faults(ideal, ramp,
+                                        stuck_fine={9: True},
+                                        spec=plain)
+        bad_corrected = convert_with_faults(ideal, ramp,
+                                            stuck_fine={9: True},
+                                            spec=with_majority)
+        mean_plain = np.mean(np.abs(bad_plain - good))
+        mean_corrected = np.mean(np.abs(bad_corrected - good))
+        assert mean_corrected < 0.25 * mean_plain
+
+
+class TestStuckCoarseComparator:
+    def test_majority_absorbs_interior_stuck_bit(self, ideal):
+        """A coarse comparator stuck low is a bubble whenever it sits
+        deep inside the ones-run: the majority cells repair those
+        segments exactly.  Where the stuck bit is at or adjacent to the
+        run end (segments 4 and 5 for a stuck c3), majority votes with
+        the corrupted neighbour and loses -- a two-segment blast
+        radius, after which everything is clean again."""
+        cfg = ideal.config
+        ramp = np.linspace(cfg.v_low + cfg.lsb, cfg.v_high - cfg.lsb,
+                           4096)
+        good = ideal.convert_batch(ramp)
+        bad = convert_with_faults(ideal, ramp, stuck_coarse={3: False})
+        errors = np.abs(bad.astype(int) - good.astype(int))
+        wrong = np.nonzero(errors > 1)[0]
+        assert wrong.size > 0
+        span_lsb = (ramp[wrong[-1]] - ramp[wrong[0]]) / cfg.lsb
+        assert span_lsb < 100.0  # contained to ~two segments
+        # Everything from segment 6 up is repaired perfectly.
+        upper = ramp > cfg.v_low + 6 * 32 * cfg.lsb
+        assert np.all(errors[upper] <= 1)
+        # And below the stuck bit's own segment nothing changes at all.
+        lower = ramp < cfg.v_low + 4 * 32 * cfg.lsb
+        assert np.all(errors[lower] <= 1)
+
+    def test_without_bubble_correction_damage_spreads(self, ideal):
+        cfg = ideal.config
+        ramp = np.linspace(cfg.v_low + cfg.lsb, cfg.v_high - cfg.lsb,
+                           4096)
+        corrected_spec = EncoderSpec()
+        raw_spec = EncoderSpec(bubble_correction=False)
+        good = ideal.convert_batch(ramp)
+        with_fix = convert_with_faults(ideal, ramp,
+                                       stuck_coarse={3: False},
+                                       spec=corrected_spec)
+        without_fix = convert_with_faults(ideal, ramp,
+                                          stuck_coarse={3: False},
+                                          spec=raw_spec)
+        assert (np.abs(without_fix - good).mean()
+                > np.abs(with_fix - good).mean())
+
+
+class TestMetastabilityStorm:
+    def test_random_flips_stay_local(self, ideal):
+        """Randomly flipping one fine bit per sample (worst-case
+        metastability) must produce only local code errors, never
+        segment-sized sparkles -- the Gray-domain property."""
+        cfg = ideal.config
+        rng = np.random.default_rng(0)
+        ramp = np.linspace(cfg.v_low + cfg.lsb, cfg.v_high - cfg.lsb,
+                           2048)
+        coarse = ideal.coarse.thermometer_batch(ramp)
+        fine = ideal.fine.fine_code(ramp).copy()
+        flip = rng.integers(0, 32, size=ramp.size)
+        fine[np.arange(ramp.size), flip] ^= True
+        good = ideal.convert_batch(ramp)
+        noisy = encode_batch(coarse, fine, ideal.spec)
+        errors = np.abs(noisy.astype(int) - good.astype(int))
+        # Gray taps: one thermometer bit feeds one Gray bit, so a flip
+        # moves the code by a bounded amount (the tap's weight).
+        assert np.percentile(errors, 95) <= 32
+        assert errors.max() <= 64
+
+
+class TestScalarBatchConsistencyUnderFaults:
+    def test_paths_agree_on_corrupted_words(self, ideal):
+        """The scalar and vectorised encoders must agree even on
+        physically impossible (fault-injected) input words."""
+        spec = ideal.spec
+        rng = np.random.default_rng(1)
+        for _trial in range(200):
+            value = int(rng.integers(0, 256))
+            coarse = list(coarse_thermometer(value, spec))
+            fine = list(cyclic_fine_thermometer(value, spec))
+            for _k in range(int(rng.integers(1, 4))):
+                which = int(rng.integers(0, 39))
+                if which < 7:
+                    coarse[which] = not coarse[which]
+                else:
+                    fine[which - 7] = not fine[which - 7]
+            scalar = reference_encode(tuple(coarse), tuple(fine), spec)
+            batch = encode_batch(np.array([coarse]), np.array([fine]),
+                                 spec)[0]
+            assert scalar == batch

@@ -1,0 +1,70 @@
+"""Integration: the Fig. 8 evaluate/hold behaviour at transistor level.
+
+"When the clock signal is high, the logic circuit is in evaluation
+phase and when clock goes low, the evaluated value will be kept at the
+output node for the rest of the clock period."
+"""
+
+import pytest
+
+from repro.spice import TransientOptions, transient
+from repro.spice.waveforms import pwl_wave
+from repro.stscl import StsclGateDesign
+from repro.stscl.netlist_gen import stscl_latch_circuit
+
+
+class TestLatchEvaluateHold:
+    def test_holds_through_data_flip(self):
+        design = StsclGateDesign.default(1e-9)
+        vdd = 1.0
+        high, low = vdd, vdd - design.v_sw
+        t_d = design.delay()
+
+        # Clock high until 8 t_d (evaluate), then low (hold).
+        clk_p = pwl_wave([(0.0, high), (8 * t_d, high),
+                          (8.2 * t_d, low), (30 * t_d, low)])
+        clk_n = pwl_wave([(0.0, low), (8 * t_d, low),
+                          (8.2 * t_d, high), (30 * t_d, high)])
+        # D is 1 during evaluation, flips to 0 mid-hold: Q must ignore it.
+        d_p = pwl_wave([(0.0, high), (14 * t_d, high),
+                        (14.2 * t_d, low), (30 * t_d, low)])
+        d_n = pwl_wave([(0.0, low), (14 * t_d, low),
+                        (14.2 * t_d, high), (30 * t_d, high)])
+
+        circuit, ports = stscl_latch_circuit(design, vdd, d_p, d_n,
+                                             clk_p, clk_n)
+        result = transient(circuit, 28 * t_d,
+                           TransientOptions(dt_max=t_d / 15.0))
+        q_p, q_n = ports.outputs["q"]
+        swing = result.vdiff(q_p, q_n)
+
+        # During evaluation Q tracks D = 1.
+        t_eval = 7.0 * t_d
+        assert result.value_at(q_p, t_eval) \
+            - result.value_at(q_n, t_eval) > 0.5 * design.v_sw
+        # Deep in the hold phase, after D has flipped, Q still holds 1.
+        for when in (20.0 * t_d, 26.0 * t_d):
+            held = result.value_at(q_p, when) - result.value_at(q_n, when)
+            assert held > 0.5 * design.v_sw, when
+
+    def test_transparent_tracking_when_clock_high(self):
+        design = StsclGateDesign.default(1e-9)
+        vdd = 1.0
+        high, low = vdd, vdd - design.v_sw
+        t_d = design.delay()
+        clk_p, clk_n = high, low  # clock held high: transparent
+        d_p = pwl_wave([(0.0, high), (8 * t_d, high),
+                        (8.2 * t_d, low), (25 * t_d, low)])
+        d_n = pwl_wave([(0.0, low), (8 * t_d, low),
+                        (8.2 * t_d, high), (25 * t_d, high)])
+        circuit, ports = stscl_latch_circuit(design, vdd, d_p, d_n,
+                                             clk_p, clk_n)
+        result = transient(circuit, 22 * t_d,
+                           TransientOptions(dt_max=t_d / 15.0))
+        q_p, q_n = ports.outputs["q"]
+        early = result.value_at(q_p, 6 * t_d) \
+            - result.value_at(q_n, 6 * t_d)
+        late = result.value_at(q_p, 18 * t_d) \
+            - result.value_at(q_n, 18 * t_d)
+        assert early > 0.5 * design.v_sw
+        assert late < -0.5 * design.v_sw  # followed the data flip

@@ -1,0 +1,106 @@
+"""Integration: transistor-level STSCL behaviour vs the analytic model.
+
+These are the checks that tie the paper's closed-form claims (delay
+law, Eq. 1, V_DD independence) to "silicon" (the EKV + MNA level).
+"""
+
+import numpy as np
+import pytest
+
+from repro.spice import TransientOptions, operating_point, transient
+from repro.spice.waveforms import step_wave
+from repro.stscl import StsclGateDesign
+from repro.stscl.netlist_gen import (
+    stscl_buffer_chain_circuit,
+    stscl_inverter_circuit,
+)
+
+
+def measured_stage_delay(design: StsclGateDesign, vdd: float) -> float:
+    """Propagation delay of the middle stage of a 3-buffer chain."""
+    t_d = design.delay()
+    high, low = vdd, vdd - design.v_sw
+    circuit, _ports = stscl_buffer_chain_circuit(
+        design, vdd, 3,
+        in_p=step_wave(low, high, 5.0 * t_d, t_d / 10.0),
+        in_n=step_wave(high, low, 5.0 * t_d, t_d / 10.0))
+    result = transient(circuit, 25.0 * t_d,
+                       TransientOptions(dt_max=t_d / 25.0))
+    mid = vdd - design.v_sw / 2.0
+    t2 = result.crossing_times("s2_outp", mid)
+    t3 = result.crossing_times("s3_outp", mid)
+    assert t2.size >= 1 and t3.size >= 1
+    return float(t3[0] - t2[0])
+
+
+class TestDelayLaw:
+    def test_absolute_delay_within_model_factor(self):
+        """SPICE delay tracks the analytic t_d within the self-loading
+        factor (device parasitics add ~30 % to the explicit C_L)."""
+        design = StsclGateDesign.default(1e-9)
+        measured = measured_stage_delay(design, 1.0)
+        assert 1.0 < measured / design.delay() < 1.8
+
+    def test_delay_scales_inversely_with_current(self):
+        """One decade of tail current = one decade of speed (Fig. 9a's
+        line), now measured on transistors."""
+        slow = measured_stage_delay(StsclGateDesign.default(0.3e-9), 1.0)
+        fast = measured_stage_delay(StsclGateDesign.default(3e-9), 1.0)
+        assert slow / fast == pytest.approx(10.0, rel=0.25)
+
+    def test_delay_independent_of_supply(self):
+        """The paper's headline property, measured: +25 % V_DD moves
+        the transistor-level delay by only a few percent (vs the ~e^7
+        of subthreshold CMOS)."""
+        design = StsclGateDesign.default(1e-9)
+        d_low = measured_stage_delay(design, 1.0)
+        d_high = measured_stage_delay(design, 1.25)
+        assert d_high / d_low == pytest.approx(1.0, abs=0.10)
+
+
+class TestStaticPower:
+    def test_supply_current_equals_tail_current(self):
+        """Eq. (1)'s premise: the cell current is exactly I_SS,
+        independent of V_DD."""
+        design = StsclGateDesign.default(1e-9)
+        for vdd in (0.8, 1.0, 1.25):
+            circuit, _ = stscl_inverter_circuit(design, vdd)
+            op = operating_point(circuit)
+            assert abs(op.current("vvdd")) == pytest.approx(
+                design.i_ss, rel=0.05)
+
+    def test_swing_independent_of_supply(self):
+        """With the replica-solved V_BP at each supply, the output
+        swing stays pinned at V_SW."""
+        design = StsclGateDesign.default(1e-9)
+        for vdd in (0.9, 1.0, 1.25):
+            circuit, ports = stscl_inverter_circuit(design, vdd)
+            op = operating_point(circuit)
+            out_p, out_n = ports.outputs["y"]
+            assert op.vdiff(out_p, out_n) == pytest.approx(
+                design.v_sw, rel=0.1)
+
+
+class TestNoiseMarginTransfer:
+    def test_dc_transfer_regenerative(self):
+        """Sweeping the differential input through zero must show gain
+        > 1 around balance (regeneration) and full swing at the ends."""
+        design = StsclGateDesign.default(1e-9)
+        vdd = 1.0
+        mid = vdd - design.v_sw / 2.0
+        v_diffs = np.linspace(-design.v_sw, design.v_sw, 21)
+        outputs = []
+        for v_diff in v_diffs:
+            circuit, ports = stscl_inverter_circuit(
+                design, vdd, in_p=mid + v_diff / 2.0,
+                in_n=mid - v_diff / 2.0)
+            op = operating_point(circuit)
+            out_p, out_n = ports.outputs["y"]
+            outputs.append(op.vdiff(out_p, out_n))
+        outputs = np.asarray(outputs)
+        assert outputs[0] == pytest.approx(-design.v_sw, rel=0.1)
+        assert outputs[-1] == pytest.approx(design.v_sw, rel=0.1)
+        centre = len(v_diffs) // 2
+        gain = ((outputs[centre + 1] - outputs[centre - 1])
+                / (v_diffs[centre + 1] - v_diffs[centre - 1]))
+        assert gain > 1.5

@@ -1,0 +1,53 @@
+"""Unit tests for the ADC configuration."""
+
+import pytest
+
+from repro.adc import FaiAdcConfig
+from repro.errors import DesignError
+
+
+class TestDefaults:
+    def test_paper_geometry(self):
+        cfg = FaiAdcConfig()
+        assert cfg.n_bits == 8
+        assert cfg.n_codes == 256
+        assert cfg.folding_factor == 8
+        assert cfg.n_fine_signals == 32
+        assert cfg.interpolation_factor == 8  # the paper's factor
+
+    def test_lsb(self):
+        cfg = FaiAdcConfig()
+        assert cfg.lsb == pytest.approx(0.6 / 256)
+
+    def test_code_voltage_roundtrip(self):
+        cfg = FaiAdcConfig()
+        for code in (0, 1, 127, 255):
+            assert cfg.voltage_to_code(cfg.code_to_voltage(code)) == code
+
+    def test_voltage_to_code_clamps(self):
+        cfg = FaiAdcConfig()
+        assert cfg.voltage_to_code(0.0) == 0
+        assert cfg.voltage_to_code(1.5) == 255
+
+
+class TestValidation:
+    def test_range_must_ascend(self):
+        with pytest.raises(DesignError):
+            FaiAdcConfig(v_low=0.8, v_high=0.2)
+
+    def test_supply_must_cover_range(self):
+        with pytest.raises(DesignError):
+            FaiAdcConfig(vdd=0.7)
+
+    def test_folder_count_must_divide(self):
+        with pytest.raises(DesignError):
+            FaiAdcConfig(n_folders=3)
+
+    def test_minimum_bits(self):
+        with pytest.raises(DesignError):
+            FaiAdcConfig(coarse_bits=0)
+
+    def test_alternate_geometry(self):
+        cfg = FaiAdcConfig(coarse_bits=2, fine_bits=4, n_folders=4)
+        assert cfg.n_bits == 6
+        assert cfg.interpolation_factor == 4

@@ -1,0 +1,84 @@
+"""Unit tests for the coarse flash sub-ADC."""
+
+import numpy as np
+import pytest
+
+from repro.adc import CoarseFlash, FaiAdcConfig
+from repro.digital.encoder import EncoderSpec, coarse_thermometer
+
+
+@pytest.fixture(scope="module")
+def flash():
+    return CoarseFlash(FaiAdcConfig(), i_comparator=20e-9, i_res=30e-9,
+                       comparator_ideal=True)
+
+
+class TestIdealFlash:
+    def test_thermometer_at_code_centres(self, flash):
+        cfg = flash.config
+        spec = EncoderSpec()
+        for segment in range(8):
+            code = segment * 32 + 16
+            word = flash.thermometer(cfg.code_to_voltage(code))
+            assert word == coarse_thermometer(code, spec)
+
+    def test_batch_matches_scalar(self, flash):
+        cfg = flash.config
+        voltages = np.linspace(cfg.v_low, cfg.v_high, 40)
+        batch = flash.thermometer_batch(voltages)
+        for k, v in enumerate(voltages):
+            assert tuple(batch[k]) == flash.thermometer(float(v))
+
+    def test_all_zero_below_range(self, flash):
+        word = flash.thermometer(flash.config.v_low - 0.01)
+        assert not any(word)
+
+    def test_all_one_above_range(self, flash):
+        word = flash.thermometer(flash.config.v_high + 0.01)
+        assert all(word)
+
+    def test_power_positive_and_scalable(self, flash):
+        p1 = flash.power(1.0)
+        scaled = flash.with_bias(i_comparator=2e-9, i_res=3e-9)
+        p2 = scaled.power(1.0)
+        assert p1 > 0.0
+        assert p2 == pytest.approx(p1 / 10.0, rel=0.01)
+
+
+class TestMismatchedFlash:
+    def test_offsets_shift_boundaries(self):
+        cfg = FaiAdcConfig()
+        flash = CoarseFlash(cfg, i_comparator=20e-9, i_res=30e-9,
+                            ladder_sigma=0.01, comparator_ideal=False,
+                            pair_w=2e-6, pair_l=0.5e-6, seed=11)
+        # Near a boundary a small-device flash decides differently from
+        # ideal for some voltages.
+        spec = EncoderSpec()
+        disagreements = 0
+        for boundary in range(32, 256, 32):
+            v = cfg.v_low + boundary * cfg.lsb + 0.2 * cfg.lsb
+            if flash.thermometer(v) != coarse_thermometer(
+                    boundary, spec):
+                disagreements += 1
+        assert disagreements > 0
+
+    def test_same_seed_same_chip(self):
+        cfg = FaiAdcConfig()
+        kwargs = dict(i_comparator=20e-9, i_res=30e-9, ladder_sigma=0.01,
+                      comparator_ideal=False, seed=5)
+        a = CoarseFlash(cfg, **kwargs)
+        b = CoarseFlash(cfg, **kwargs)
+        assert np.array_equal(a.bank.offsets(), b.bank.offsets())
+        assert np.array_equal(a.ladder.tap_voltages(),
+                              b.ladder.tap_voltages())
+
+    def test_with_bias_keeps_mismatch(self):
+        cfg = FaiAdcConfig()
+        flash = CoarseFlash(cfg, i_comparator=20e-9, i_res=30e-9,
+                            ladder_sigma=0.01, comparator_ideal=False,
+                            seed=5)
+        retuned = flash.with_bias(2e-9, 3e-9)
+        assert np.array_equal(flash.bank.offsets(),
+                              retuned.bank.offsets())
+        assert np.allclose(flash.ladder.tap_voltages(),
+                           retuned.ladder.tap_voltages())

@@ -1,0 +1,77 @@
+"""Unit tests for the fine folding-and-interpolating path."""
+
+import numpy as np
+import pytest
+
+from repro.adc import FaiAdcConfig, FineFoldingPath
+from repro.digital.encoder import EncoderSpec, cyclic_fine_thermometer
+from repro.errors import ModelError
+
+
+@pytest.fixture(scope="module")
+def ideal_path():
+    return FineFoldingPath(FaiAdcConfig(), i_unit=20e-9, ideal=True)
+
+
+class TestIdealPath:
+    def test_fine_code_matches_golden_everywhere(self, ideal_path):
+        cfg = ideal_path.config
+        spec = EncoderSpec()
+        voltages = np.array([cfg.code_to_voltage(c) for c in range(256)])
+        words = ideal_path.fine_code(voltages)
+        for code in range(256):
+            expected = cyclic_fine_thermometer(code, spec)
+            assert tuple(words[code]) == expected, code
+
+    def test_signal_count(self, ideal_path):
+        signals = ideal_path.signals(np.array([0.5]))
+        assert signals.shape == (32, 1)
+
+    def test_crossings_cover_all_boundaries(self, ideal_path):
+        cfg = ideal_path.config
+        crossings = ideal_path.crossing_voltages()
+        # Every interior code boundary must have a crossing close by
+        # (edge signals may add extra crossings just outside the first
+        # code, from the dummy folds -- harmless).
+        for boundary in range(1, 256):
+            target = cfg.v_low + boundary * cfg.lsb
+            distance = np.min(np.abs(crossings - target))
+            assert distance < 0.15 * cfg.lsb, boundary
+
+    def test_branch_count_accounts_dummies(self, ideal_path):
+        # 4 folders x (8 + 2*2 dummies) + 48 mirrors + 32 comparators
+        assert ideal_path.branch_count() == 4 * 12 + 48 + 32
+
+    def test_power_linear_in_unit_current(self, ideal_path):
+        p1 = ideal_path.power(1.0)
+        p2 = ideal_path.with_bias(40e-9).power(1.0)
+        assert p2 == pytest.approx(2.0 * p1)
+
+
+class TestMismatchedPath:
+    def test_same_seed_same_chip(self):
+        cfg = FaiAdcConfig()
+        a = FineFoldingPath(cfg, i_unit=20e-9, seed=3)
+        b = FineFoldingPath(cfg, i_unit=20e-9, seed=3)
+        v = np.linspace(cfg.v_low, cfg.v_high, 100)
+        assert np.array_equal(a.fine_code(v), b.fine_code(v))
+
+    def test_with_bias_preserves_pattern(self):
+        cfg = FaiAdcConfig()
+        path = FineFoldingPath(cfg, i_unit=20e-9, seed=3)
+        retuned = path.with_bias(2e-9)
+        v = np.linspace(cfg.v_low, cfg.v_high, 100)
+        assert np.array_equal(path.fine_code(v), retuned.fine_code(v))
+
+    def test_mismatch_moves_crossings_slightly(self):
+        cfg = FaiAdcConfig()
+        ideal = FineFoldingPath(cfg, i_unit=20e-9, ideal=True)
+        chip = FineFoldingPath(cfg, i_unit=20e-9, seed=3)
+        shift = chip.crossing_voltages()[:255] \
+            - ideal.crossing_voltages()[:255]
+        assert 0.0 < np.abs(shift).max() < 3.0 * cfg.lsb
+        assert np.abs(shift).mean() < 1.0 * cfg.lsb
+
+    def test_rejects_bad_unit_current(self):
+        with pytest.raises(ModelError):
+            FineFoldingPath(FaiAdcConfig(), i_unit=0.0)

@@ -1,0 +1,95 @@
+"""Unit tests for ADC metrology (INL/DNL histogram, FFT sine test)."""
+
+import numpy as np
+import pytest
+
+from repro.adc.metrics import (
+    coherent_frequency,
+    enob_from_sndr,
+    inl_dnl_from_codes,
+    sine_test,
+)
+from repro.errors import AnalysisError
+
+
+def ideal_ramp_codes(n_bits: int, per_code: int) -> np.ndarray:
+    return np.repeat(np.arange(2 ** n_bits), per_code)
+
+
+class TestHistogramLinearity:
+    def test_ideal_ramp_zero_nonlinearity(self):
+        report = inl_dnl_from_codes(ideal_ramp_codes(6, 32), 6)
+        assert report.dnl_max == pytest.approx(0.0, abs=1e-12)
+        assert report.inl_max == pytest.approx(0.0, abs=1e-12)
+        assert report.missing_codes == ()
+
+    def test_wide_code_shows_positive_dnl(self):
+        codes = ideal_ramp_codes(4, 16).tolist()
+        codes += [5] * 16  # code 5 twice as wide
+        report = inl_dnl_from_codes(np.sort(np.array(codes)), 4)
+        assert report.dnl[5] == pytest.approx(1.0, abs=0.15)
+
+    def test_missing_code_detected(self):
+        codes = ideal_ramp_codes(4, 16)
+        codes = codes[codes != 7]
+        report = inl_dnl_from_codes(np.concatenate([codes, codes]), 4)
+        assert 7 in report.missing_codes
+        assert report.dnl[7] == pytest.approx(-1.0, abs=1e-9)
+
+    def test_inl_endpoint_fit(self):
+        report = inl_dnl_from_codes(ideal_ramp_codes(5, 32), 5)
+        assert report.inl[0] == pytest.approx(0.0)
+        assert report.inl[-1] == pytest.approx(0.0)
+
+    def test_rejects_short_record(self):
+        with pytest.raises(AnalysisError):
+            inl_dnl_from_codes(np.arange(16), 8)
+
+    def test_rejects_out_of_range_codes(self):
+        with pytest.raises(AnalysisError):
+            inl_dnl_from_codes(np.full(4096, 300), 8)
+
+
+class TestSineTest:
+    def _codes(self, n_bits=8, n=4096, cycles=67, noise=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        t = np.arange(n) / n
+        signal = 0.5 + 0.49 * np.sin(2.0 * np.pi * cycles * t)
+        if noise:
+            signal = signal + rng.normal(0.0, noise, size=n)
+        return np.clip((signal * 2 ** n_bits).astype(int), 0,
+                       2 ** n_bits - 1)
+
+    def test_ideal_quantizer_enob(self):
+        report = sine_test(self._codes(), 8)
+        assert report.enob == pytest.approx(7.9, abs=0.25)
+
+    def test_signal_bin_found(self):
+        report = sine_test(self._codes(cycles=67), 8)
+        assert report.signal_bin == 67
+
+    def test_noise_lowers_enob(self):
+        clean = sine_test(self._codes(), 8)
+        noisy = sine_test(self._codes(noise=5e-3), 8)
+        assert noisy.enob < clean.enob - 0.5
+
+    def test_sfdr_at_least_sndr(self):
+        report = sine_test(self._codes(noise=2e-3), 8)
+        assert report.sfdr_db >= report.sndr_db
+
+    def test_rejects_short_record(self):
+        with pytest.raises(AnalysisError):
+            sine_test(np.arange(10), 8)
+
+
+class TestHelpers:
+    def test_enob_formula(self):
+        assert enob_from_sndr(49.92) == pytest.approx(8.0, abs=0.01)
+
+    def test_coherent_frequency(self):
+        f = coherent_frequency(80e3, 4096, 67)
+        assert f == pytest.approx(80e3 * 67 / 4096)
+
+    def test_coherent_requires_coprime(self):
+        with pytest.raises(AnalysisError):
+            coherent_frequency(80e3, 4096, 64)

@@ -1,0 +1,73 @@
+"""Unit tests for the track-and-hold model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adc import SampleHold
+from repro.errors import ModelError
+
+
+class TestBandwidth:
+    def test_conductance_formula(self):
+        sh = SampleHold(i_bias=10e-9, c_hold=200e-15)
+        # g = I/(n UT) ~ 10n/33.6m ~ 0.3 uS
+        assert sh.track_conductance() == pytest.approx(2.97e-7, rel=0.02)
+
+    def test_bandwidth_scales_with_bias(self):
+        low = SampleHold(i_bias=1e-9)
+        high = SampleHold(i_bias=100e-9)
+        assert high.tracking_bandwidth() == pytest.approx(
+            100.0 * low.tracking_bandwidth())
+
+    def test_settling_error_shrinks_with_rate(self):
+        sh = SampleHold(i_bias=10e-9)
+        assert sh.settling_error(1e3) < sh.settling_error(1e5)
+
+    def test_max_sample_rate_meets_resolution(self):
+        sh = SampleHold(i_bias=10e-9)
+        f_max = sh.max_sample_rate(resolution_bits=8)
+        # At the computed rate the residual is half an LSB at 8 bits.
+        assert sh.settling_error(f_max) == pytest.approx(
+            2.0 ** -9, rel=0.01)
+
+
+class TestNoise:
+    def test_ktc_value(self):
+        sh = SampleHold(c_hold=200e-15)
+        # sqrt(kT/C) ~ 144 uV at 200 fF, room temperature
+        assert sh.noise_rms() == pytest.approx(144e-6, rel=0.05)
+
+    def test_noiseless_sampling_deterministic(self):
+        sh = SampleHold(noisy=False)
+        t = np.linspace(0.0, 1e-3, 16)
+        wave = lambda x: 0.5 + 0.1 * math.sin(2e3 * math.pi * x)
+        a = sh.sample(wave, t)
+        b = sh.sample(wave, t)
+        assert np.array_equal(a, b)
+        assert a[0] == pytest.approx(0.5)
+
+    def test_noisy_sampling_spread(self):
+        sh = SampleHold(noisy=True, seed=0)
+        t = np.zeros(4000)
+        samples = sh.sample(lambda x: 0.5, t)
+        assert samples.std() == pytest.approx(sh.noise_rms(), rel=0.1)
+
+    def test_jitter_on_moving_signal(self):
+        sh = SampleHold(noisy=True, jitter_rms=1e-6, seed=1)
+        f_sig = 10e3
+        wave = lambda x: math.sin(2.0 * math.pi * f_sig * x)
+        t = np.full(2000, 1.0 / (4 * f_sig))  # zero-slope-free point
+        samples = sh.sample(wave, t)
+        assert samples.std() > 0.0
+
+
+class TestValidation:
+    def test_rejects_bad_bias(self):
+        with pytest.raises(ModelError):
+            SampleHold(i_bias=0.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ModelError):
+            SampleHold().settling_error(0.0)

@@ -1,0 +1,52 @@
+"""Unit tests for the ramp/sine test harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.adc.testbench import dynamic_test, linearity_test, ramp_codes
+from repro.errors import AnalysisError
+
+
+class TestRamp:
+    def test_covers_full_code_range(self, ideal_adc):
+        codes = ramp_codes(ideal_adc, samples_per_code=8)
+        assert codes.min() == 0
+        assert codes.max() == 255
+
+    def test_sample_count(self, ideal_adc):
+        codes = ramp_codes(ideal_adc, samples_per_code=4)
+        assert codes.size == 256 * 4
+
+    def test_rejects_bad_density(self, ideal_adc):
+        with pytest.raises(AnalysisError):
+            ramp_codes(ideal_adc, samples_per_code=0)
+
+
+class TestLinearityHarness:
+    def test_ideal_adc_is_linear(self, ideal_adc):
+        report = linearity_test(ideal_adc, samples_per_code=8)
+        assert report.inl_max < 0.3
+        assert report.dnl_max < 0.3
+        assert not report.missing_codes
+
+    def test_chip_worse_than_ideal(self, ideal_adc, chip_adc):
+        ideal = linearity_test(ideal_adc, samples_per_code=8)
+        chip = linearity_test(chip_adc, samples_per_code=8)
+        assert chip.inl_max > ideal.inl_max
+
+
+class TestDynamicHarness:
+    def test_ideal_enob_near_quantisation_limit(self, ideal_adc):
+        report = dynamic_test(ideal_adc, f_sample=80e3, n_samples=1024,
+                              cycles=67)
+        assert report.enob == pytest.approx(7.9, abs=0.35)
+
+    def test_chip_enob_near_paper_value(self, chip_adc):
+        report = dynamic_test(chip_adc, f_sample=80e3, n_samples=2048,
+                              cycles=67)
+        assert report.enob == pytest.approx(6.5, abs=0.5)
+
+    def test_sample_hold_path_runs(self, ideal_adc):
+        report = dynamic_test(ideal_adc, f_sample=80e3, n_samples=256,
+                              cycles=33, use_sample_hold=True)
+        assert report.enob > 5.0

@@ -1,0 +1,81 @@
+"""Unit tests for transition-level metrology and its agreement with
+the histogram method."""
+
+import numpy as np
+import pytest
+
+from repro.adc import FaiAdc
+from repro.adc.metrics import (
+    code_transition_levels,
+    inl_dnl_from_codes,
+    inl_dnl_from_transitions,
+)
+from repro.errors import AnalysisError
+
+
+def staircase(v: float, lsb: float = 1.0 / 16.0) -> int:
+    """A perfect 4-bit quantizer on [0, 1]."""
+    return max(0, min(15, int(v / lsb)))
+
+
+class TestTransitionSearch:
+    def test_finds_ideal_transitions(self):
+        transitions = code_transition_levels(staircase, 4, 0.0, 1.0,
+                                             resolution=1e-5)
+        expected = np.arange(1, 16) / 16.0
+        assert np.allclose(transitions, expected, atol=1e-4)
+
+    def test_respects_resolution(self):
+        coarse = code_transition_levels(staircase, 4, 0.0, 1.0,
+                                        resolution=1e-2)
+        fine = code_transition_levels(staircase, 4, 0.0, 1.0,
+                                      resolution=1e-5)
+        expected = np.arange(1, 16) / 16.0
+        assert (np.abs(fine - expected).max()
+                < np.abs(coarse - expected).max() + 1e-5)
+
+    def test_range_validation(self):
+        with pytest.raises(AnalysisError):
+            code_transition_levels(staircase, 4, 1.0, 0.0)
+
+
+class TestTransitionLinearity:
+    def test_ideal_staircase_is_linear(self):
+        transitions = code_transition_levels(staircase, 4, 0.0, 1.0)
+        report = inl_dnl_from_transitions(transitions, 4)
+        assert report.inl_max < 0.01
+        assert report.dnl_max < 0.01
+
+    def test_known_wide_code(self):
+        transitions = (np.arange(1, 16) / 16.0).copy()
+        transitions[7:] += 1.0 / 32.0  # code 7 half an LSB wide extra
+        report = inl_dnl_from_transitions(transitions, 4)
+        # The endpoint-fit LSB also stretches by 0.5/14, so the wide
+        # code reads 1.5 * 14/14.5 - 1 = +0.448 and every other
+        # interior code -0.034.
+        assert report.dnl[7] == pytest.approx(0.448, abs=0.01)
+        assert report.dnl[3] == pytest.approx(-0.034, abs=0.01)
+
+    def test_shape_validation(self):
+        with pytest.raises(AnalysisError):
+            inl_dnl_from_transitions(np.arange(5), 4)
+
+
+class TestMethodAgreement:
+    def test_histogram_and_transition_methods_agree(self):
+        """Two independent measurements of the same chip must agree on
+        INL within the histogram's quantisation noise."""
+        adc = FaiAdc(ideal=False, seed=1)
+        cfg = adc.config
+        # Histogram method.
+        ramp = np.linspace(cfg.v_low, cfg.v_high, 256 * 24)
+        hist_report = inl_dnl_from_codes(adc.convert_batch(ramp), 8)
+        # Transition method.
+        transitions = code_transition_levels(
+            lambda v: adc.convert(v), 8, cfg.v_low, cfg.v_high)
+        trans_report = inl_dnl_from_transitions(transitions, 8)
+        assert trans_report.inl_max == pytest.approx(
+            hist_report.inl_max, abs=0.15)
+        # Profiles correlate strongly, not just the maxima.
+        corr = np.corrcoef(hist_report.inl, trans_report.inl)[0, 1]
+        assert corr > 0.95

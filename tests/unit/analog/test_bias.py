@@ -1,0 +1,84 @@
+"""Unit tests for mirrors and the single-knob bias tree."""
+
+import numpy as np
+import pytest
+
+from repro.analog.bias import BiasTree, CurrentMirror
+from repro.errors import DesignError, ModelError
+
+
+class TestMirror:
+    def test_ideal_ratio(self):
+        assert CurrentMirror(ratio=2.0).output(1e-9) == pytest.approx(
+            2e-9)
+
+    def test_gain_error_applies(self):
+        mirror = CurrentMirror(ratio=1.0, gain_error=0.03)
+        assert mirror.output(1e-9) == pytest.approx(1.03e-9)
+
+    def test_sampled_statistics(self):
+        rng = np.random.default_rng(0)
+        gains = [CurrentMirror.sampled(1.0, rng, w=2e-6, l=2e-6).gain_error
+                 for _ in range(800)]
+        gains = np.asarray(gains)
+        assert abs(gains.mean()) < 0.01
+        # sigma ~ sqrt(2)*hypot(0.5%, 4mV/2um /(n UT)) ~ 8-9 %
+        assert 0.05 < gains.std() < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            CurrentMirror(ratio=0.0)
+        with pytest.raises(ModelError):
+            CurrentMirror().output(-1e-9)
+
+
+class TestBiasTree:
+    def test_digital_fraction(self):
+        tree = BiasTree(digital_fraction=0.05)
+        assert tree.digital_current(1e-6) == pytest.approx(5e-8)
+
+    def test_branches(self):
+        tree = BiasTree()
+        tree.add_branch("folders", 0.6)
+        tree.add_branch("ladder", 0.1)
+        assert tree.branch_current("folders", 1e-6) == pytest.approx(
+            0.6e-6)
+        assert set(tree.branch_names()) == {"digital", "folders",
+                                            "ladder"}
+
+    def test_duplicate_branch_rejected(self):
+        tree = BiasTree()
+        with pytest.raises(DesignError):
+            tree.add_branch("digital", 0.1)
+
+    def test_unknown_branch_rejected(self):
+        with pytest.raises(DesignError):
+            BiasTree().branch_current("nope", 1e-6)
+
+    def test_total_current(self):
+        tree = BiasTree(digital_fraction=0.05)
+        tree.add_branch("analog", 1.0)
+        assert tree.total_current(1e-6) == pytest.approx(2.05e-6)
+
+    def test_scaling_linearity(self):
+        """One knob: every branch scales exactly with the master."""
+        tree = BiasTree()
+        tree.add_branch("analog", 0.8)
+        for name in tree.branch_names():
+            low = tree.branch_current(name, 1e-9)
+            high = tree.branch_current(name, 1e-7)
+            assert high == pytest.approx(100.0 * low)
+
+    def test_mismatched_tree_reproducible(self):
+        a = BiasTree(seed=5, ideal=False)
+        a.add_branch("x", 1.0)
+        b = BiasTree(seed=5, ideal=False)
+        b.add_branch("x", 1.0)
+        assert a.branch_current("x", 1e-6) == pytest.approx(
+            b.branch_current("x", 1e-6))
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            BiasTree(digital_fraction=0.0)
+        with pytest.raises(DesignError):
+            BiasTree().branch_current("digital", 0.0)

@@ -1,0 +1,92 @@
+"""Unit tests for the clocked comparator and comparator bank."""
+
+import numpy as np
+import pytest
+
+from repro.analog.comparator import Comparator, ComparatorBank
+from repro.analog.preamp import Preamp
+from repro.errors import ModelError
+
+
+def ideal_comparator() -> Comparator:
+    return Comparator(preamp=Preamp(i_bias=1e-9))
+
+
+class TestSingle:
+    def test_basic_decisions(self):
+        comp = ideal_comparator()
+        assert comp.decide(0.6, 0.5) is True
+        assert comp.decide(0.4, 0.5) is False
+
+    def test_offset_shifts_threshold(self):
+        comp = Comparator(preamp=Preamp(i_bias=1e-9, offset=10e-3))
+        assert comp.decide(0.505, 0.5) is False   # inside the offset
+        assert comp.decide(0.515, 0.5) is True
+
+    def test_deterministic_without_rng(self):
+        comp = ideal_comparator()
+        outcomes = {comp.decide(0.5 + 1e-9, 0.5) for _ in range(10)}
+        assert outcomes == {True}
+
+    def test_noise_flips_marginal_decisions(self):
+        comp = Comparator(preamp=Preamp(i_bias=1e-9), noise_rms=5e-3,
+                          rng=np.random.default_rng(0))
+        outcomes = {comp.decide(0.5005, 0.5) for _ in range(100)}
+        assert outcomes == {True, False}
+
+    def test_metastability_window(self):
+        comp = Comparator(preamp=Preamp(i_bias=1e-9),
+                          metastability_window=1e-3,
+                          rng=np.random.default_rng(1))
+        outcomes = {comp.decide(0.5 + 1e-4, 0.5) for _ in range(50)}
+        assert outcomes == {True, False}
+
+    def test_decide_array(self):
+        comp = ideal_comparator()
+        out = comp.decide_array(np.array([0.4, 0.6]), 0.5)
+        assert list(out) == [False, True]
+
+    def test_max_clock_scales_with_bias(self):
+        slow = ideal_comparator()
+        fast = slow.with_bias(10e-9)
+        assert fast.max_clock() == pytest.approx(10.0 * slow.max_clock(),
+                                                 rel=0.05)
+
+
+class TestBank:
+    def test_same_seed_same_offsets(self):
+        a = ComparatorBank(n=8, i_bias=1e-9, seed=4)
+        b = ComparatorBank(n=8, i_bias=1e-9, seed=4)
+        assert np.array_equal(a.offsets(), b.offsets())
+
+    def test_ideal_bank_has_zero_offsets(self):
+        bank = ComparatorBank(n=8, i_bias=1e-9, ideal=True, seed=0)
+        assert np.all(bank.offsets() == 0.0)
+
+    def test_offset_sigma_follows_pelgrom(self):
+        bank = ComparatorBank(n=400, i_bias=1e-9, pair_w=2e-6,
+                              pair_l=0.5e-6, seed=7)
+        expected = bank.mismatch.sigma_pair_offset(2e-6, 0.5e-6)
+        assert bank.offsets().std() == pytest.approx(expected, rel=0.15)
+
+    def test_with_bias_preserves_chip(self):
+        bank = ComparatorBank(n=8, i_bias=1e-9, seed=4)
+        retuned = bank.with_bias(10e-9)
+        assert np.array_equal(bank.offsets(), retuned.offsets())
+        assert retuned.i_bias == 10e-9
+
+    def test_decide_all_shapes(self):
+        bank = ComparatorBank(n=4, i_bias=1e-9, ideal=True)
+        word = bank.decide_all(np.array([0.1, 0.2, 0.3, 0.4]), 0.25)
+        assert word == (False, False, True, True)
+
+    def test_decide_all_validates_shape(self):
+        bank = ComparatorBank(n=4, i_bias=1e-9, ideal=True)
+        with pytest.raises(ModelError):
+            bank.decide_all(np.zeros(5))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ComparatorBank(n=0, i_bias=1e-9)
+        with pytest.raises(ModelError):
+            ComparatorBank(n=4, i_bias=0.0)

@@ -1,0 +1,93 @@
+"""Unit tests for the power-scalable gm-C biquad (refs [22], [23])."""
+
+import numpy as np
+import pytest
+
+from repro.analog.filters import GmCBiquad, gm_c_biquad_circuit
+from repro.errors import ModelError
+from repro.spice import ac_analysis
+
+
+@pytest.fixture(scope="module")
+def biquad():
+    return GmCBiquad(i_bias=10e-9)
+
+
+class TestScalability:
+    def test_corner_linear_in_bias(self, biquad):
+        """The headline: four decades of corner frequency from four
+        decades of bias current."""
+        corners = [biquad.with_bias(i).corner_frequency()
+                   for i in (1e-12, 1e-10, 1e-8, 1e-6)]
+        ratios = [b / a for a, b in zip(corners, corners[1:])]
+        assert ratios == pytest.approx([100.0, 100.0, 100.0], rel=1e-6)
+
+    def test_q_invariant_under_bias(self, biquad):
+        assert biquad.with_bias(1e-12).q == biquad.with_bias(1e-6).q
+
+    def test_linear_range_invariant_under_bias(self, biquad):
+        assert biquad.with_bias(1e-12).linear_range() == pytest.approx(
+            biquad.with_bias(1e-6).linear_range())
+
+    def test_dynamic_range_invariant_under_bias(self, biquad):
+        assert (biquad.with_bias(1e-12).dynamic_range_estimate()
+                == pytest.approx(
+                    biquad.with_bias(1e-6).dynamic_range_estimate()))
+
+    def test_power_four_tails(self, biquad):
+        assert biquad.power(1.0) == pytest.approx(4.0 * 10e-9)
+
+
+class TestTransfer:
+    def test_dc_gain_unity(self, biquad):
+        h = biquad.transfer(np.array([biquad.corner_frequency() / 1e4]))
+        assert abs(h[0]) == pytest.approx(1.0, rel=1e-4)
+
+    def test_minus_40db_per_decade(self, biquad):
+        f0 = biquad.corner_frequency()
+        h = biquad.transfer(np.array([100.0 * f0, 1000.0 * f0]))
+        drop_db = 20.0 * np.log10(abs(h[0]) / abs(h[1]))
+        assert drop_db == pytest.approx(40.0, abs=0.5)
+
+    def test_butterworth_at_corner(self):
+        flt = GmCBiquad(i_bias=10e-9, q=1.0 / np.sqrt(2.0))
+        h = flt.transfer(np.array([flt.corner_frequency()]))
+        assert abs(h[0]) == pytest.approx(1.0 / np.sqrt(2.0), rel=1e-6)
+
+    def test_peaking_at_high_q(self):
+        flt = GmCBiquad(i_bias=10e-9, q=5.0)
+        f0 = flt.corner_frequency()
+        h_peak = abs(flt.transfer(np.array([f0]))[0])
+        assert h_peak == pytest.approx(5.0, rel=0.02)
+
+
+class TestMnaCrossCheck:
+    @pytest.mark.parametrize("q", [0.5, 0.707, 2.0])
+    def test_matches_analytic_transfer(self, q):
+        flt = GmCBiquad(i_bias=10e-9, q=q)
+        f0 = flt.corner_frequency()
+        freqs = np.logspace(np.log10(f0) - 2, np.log10(f0) + 2, 41)
+        circuit = gm_c_biquad_circuit(flt)
+        result = ac_analysis(circuit, freqs)
+        mna = np.abs(result.transfer("lp"))
+        analytic = np.abs(flt.transfer(freqs))
+        assert np.allclose(mna, analytic, rtol=1e-3)
+
+    def test_corner_from_mna(self, biquad):
+        circuit = gm_c_biquad_circuit(biquad)
+        f0 = biquad.corner_frequency()
+        freqs = np.logspace(np.log10(f0) - 2, np.log10(f0) + 2, 101)
+        result = ac_analysis(circuit, freqs)
+        assert result.bandwidth_3db("lp") == pytest.approx(f0, rel=0.05)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ModelError):
+            GmCBiquad(i_bias=0.0)
+        with pytest.raises(ModelError):
+            GmCBiquad(i_bias=1e-9, c=0.0)
+        with pytest.raises(ModelError):
+            GmCBiquad(i_bias=1e-9, q=0.0)
+        with pytest.raises(ModelError):
+            GmCBiquad(i_bias=1e-9).power(0.0)

@@ -1,0 +1,116 @@
+"""Unit tests for the current-mode folder."""
+
+import numpy as np
+import pytest
+
+from repro.analog.folder import CurrentFolder, FolderBank
+from repro.errors import ModelError
+
+
+def simple_folder(**overrides):
+    params = dict(references=(0.3, 0.4, 0.5, 0.6), i_unit=10e-9)
+    params.update(overrides)
+    return CurrentFolder(**params)
+
+
+class TestConstruction:
+    def test_rejects_single_reference(self):
+        with pytest.raises(ModelError):
+            CurrentFolder(references=(0.3,), i_unit=1e-9)
+
+    def test_rejects_unsorted_references(self):
+        with pytest.raises(ModelError):
+            CurrentFolder(references=(0.4, 0.3), i_unit=1e-9)
+
+    def test_rejects_mismatched_extras(self):
+        with pytest.raises(ModelError):
+            simple_folder(pair_offsets=(1e-3,))
+
+
+class TestIdealFolding:
+    def test_crossings_on_references(self):
+        folder = simple_folder()
+        crossings = folder.crossing_estimates((0.25, 0.65))
+        assert crossings == pytest.approx([0.3, 0.4, 0.5, 0.6], abs=1e-4)
+
+    def test_alternating_slopes(self):
+        folder = simple_folder()
+        h = 1e-4
+        slopes = [(folder.output_current(r + h)
+                   - folder.output_current(r - h)) / (2 * h)
+                  for r in folder.references]
+        signs = [np.sign(s) for s in slopes]
+        assert signs == [1.0, -1.0, 1.0, -1.0]
+
+    def test_amplitude_is_i_unit(self):
+        folder = simple_folder()
+        mid = 0.35  # between two crossings: arch peak
+        assert abs(folder.output_current(mid)) == pytest.approx(
+            10e-9, rel=1e-6)
+
+    def test_ideal_is_pure_sinusoid(self):
+        """Uniform crossings glue the arches into one sinusoid -- the
+        property that makes interpolation exact."""
+        folder = simple_folder()
+        v = np.linspace(0.31, 0.59, 101)
+        expected = 10e-9 * np.sin(np.pi * (v - 0.3) / 0.1)
+        assert np.allclose(folder.output_current(v), expected, atol=1e-14)
+
+    def test_bias_scaling(self):
+        folder = simple_folder()
+        scaled = folder.with_bias(20e-9)
+        v = np.array([0.33, 0.47])
+        assert np.allclose(scaled.output_current(v),
+                           2.0 * folder.output_current(v))
+
+    def test_outputs_1_1_2(self):
+        folder = simple_folder()
+        i1, i2, i4 = folder.outputs_1_1_2(0.35)
+        assert i1 == i2
+        assert i4 == pytest.approx(2.0 * i1)
+
+
+class TestMismatch:
+    def test_offsets_move_crossings(self):
+        folder = simple_folder(pair_offsets=(2e-3, -1e-3, 0.0, 0.0))
+        crossings = folder.crossing_estimates((0.25, 0.65))
+        assert crossings[0] == pytest.approx(0.302, abs=2e-4)
+        assert crossings[1] == pytest.approx(0.399, abs=2e-4)
+
+    def test_gain_errors_keep_crossings(self):
+        folder = simple_folder(pair_gain_errors=(0.1, -0.1, 0.05, 0.0))
+        crossings = folder.crossing_estimates((0.25, 0.65))
+        assert crossings == pytest.approx([0.3, 0.4, 0.5, 0.6], abs=1e-4)
+
+    def test_reordering_offsets_rejected(self):
+        folder = simple_folder(pair_offsets=(0.2, -0.2, 0.0, 0.0))
+        with pytest.raises(ModelError):
+            folder.output_current(0.45)
+
+
+class TestFolderBank:
+    def test_crossing_placement_matches_encoder_convention(self):
+        """Folder j's first in-range crossing at LSB*(j*stride + 1)."""
+        bank = FolderBank(n_folders=4, full_scale=(0.2, 0.8),
+                          folding_factor=8, n_signals=32, i_unit=1e-9)
+        lsb = 0.6 / 256
+        for j, folder in enumerate(bank):
+            crossings = folder.crossing_estimates((0.2, 0.8),
+                                                  points=20001)
+            expected_first = 0.2 + lsb * (8 * j + 1)
+            assert crossings[0] == pytest.approx(expected_first,
+                                                 abs=lsb / 20)
+
+    def test_each_folder_crosses_once_per_fold(self):
+        bank = FolderBank(n_folders=4, full_scale=(0.2, 0.8),
+                          folding_factor=8, n_signals=32, i_unit=1e-9)
+        crossings = bank[0].crossing_estimates((0.2, 0.8), points=20001)
+        assert len(crossings) == 8
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            FolderBank(n_folders=3, full_scale=(0.2, 0.8),
+                       folding_factor=8, n_signals=32, i_unit=1e-9)
+        with pytest.raises(ModelError):
+            FolderBank(n_folders=4, full_scale=(0.8, 0.2),
+                       folding_factor=8, n_signals=32, i_unit=1e-9)

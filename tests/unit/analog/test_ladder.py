@@ -1,0 +1,115 @@
+"""Unit tests for the programmable PMOS resistor ladder (Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.analog.ladder import (
+    LadderBiasScheme,
+    PmosResistor,
+    ResistorLadder,
+)
+from repro.errors import ModelError
+
+
+class TestPmosResistor:
+    def test_resistance_inverse_in_control_current(self):
+        r1 = PmosResistor(i_res=1e-9).resistance
+        r2 = PmosResistor(i_res=10e-9).resistance
+        assert r1 == pytest.approx(10.0 * r2)
+
+    def test_gigaohm_at_pa_control(self):
+        """The Fig. 7 point: pA-level control currents give the
+        multi-gigaohm resistances a passive ladder cannot."""
+        assert PmosResistor(i_res=10e-12).resistance > 1e9
+
+    def test_kappa_scales(self):
+        base = PmosResistor(i_res=1e-9, kappa=1.0).resistance
+        strong = PmosResistor(i_res=1e-9, kappa=4.0).resistance
+        assert strong == pytest.approx(base / 4.0)
+
+    def test_with_control(self):
+        r = PmosResistor(i_res=1e-9, resistance_error=0.05)
+        retuned = r.with_control(2e-9)
+        assert retuned.resistance_error == 0.05
+        assert retuned.resistance == pytest.approx(r.resistance / 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            PmosResistor(i_res=0.0)
+        with pytest.raises(ModelError):
+            PmosResistor(i_res=1e-9, kappa=0.0)
+
+
+class TestBiasScheme:
+    def test_per_resistor_cost(self):
+        scheme = LadderBiasScheme(share=1)
+        assert scheme.control_current(8, 1e-9) == pytest.approx(8e-9)
+
+    def test_sharing_divides_cost(self):
+        """Fig. 7d: sharing one bias cell among 4 resistors quarters
+        the control power."""
+        shared = LadderBiasScheme(share=4)
+        assert shared.control_current(8, 1e-9) == pytest.approx(2e-9)
+
+    def test_ceiling_division(self):
+        scheme = LadderBiasScheme(share=4)
+        assert scheme.control_current(9, 1e-9) == pytest.approx(3e-9)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            LadderBiasScheme(share=0)
+
+
+class TestLadder:
+    def test_ideal_taps_uniform(self):
+        ladder = ResistorLadder(n_taps=7, v_low=0.2, v_high=0.8,
+                                i_res=1e-9)
+        taps = ladder.tap_voltages()
+        assert taps == pytest.approx(0.2 + 0.6 * np.arange(1, 8) / 8.0)
+
+    def test_mismatch_perturbs_taps(self):
+        ladder = ResistorLadder(n_taps=7, v_low=0.2, v_high=0.8,
+                                i_res=1e-9, sigma_rel=0.05, seed=3)
+        ideal = 0.2 + 0.6 * np.arange(1, 8) / 8.0
+        taps = ladder.tap_voltages()
+        assert not np.allclose(taps, ideal)
+        assert np.all(np.diff(taps) > 0.0)  # still monotone at 5 %
+
+    def test_same_seed_same_chip(self):
+        a = ResistorLadder(7, 0.2, 0.8, 1e-9, sigma_rel=0.02, seed=9)
+        b = ResistorLadder(7, 0.2, 0.8, 1e-9, sigma_rel=0.02, seed=9)
+        assert np.array_equal(a.tap_voltages(), b.tap_voltages())
+
+    def test_with_control_preserves_pattern(self):
+        ladder = ResistorLadder(7, 0.2, 0.8, 1e-9, sigma_rel=0.02, seed=9)
+        retuned = ladder.with_control(10e-9)
+        # Taps are ratiometric: unchanged by global resistance scaling.
+        assert np.allclose(ladder.tap_voltages(), retuned.tap_voltages())
+        assert retuned.total_resistance() == pytest.approx(
+            ladder.total_resistance() / 10.0)
+
+    def test_power_below_microwatt(self):
+        """The paper's claim: conventional ladders cannot go below
+        ~1 uW; the programmable ladder can."""
+        ladder = ResistorLadder(7, 0.2, 0.8, i_res=1e-9,
+                                bias_scheme=LadderBiasScheme(share=4))
+        assert ladder.power(1.0) < 1e-6
+
+    def test_power_scales_with_control(self):
+        low = ResistorLadder(7, 0.2, 0.8, i_res=1e-9)
+        high = ResistorLadder(7, 0.2, 0.8, i_res=10e-9)
+        assert high.power(1.0) == pytest.approx(10.0 * low.power(1.0),
+                                                rel=1e-6)
+
+    def test_settling_scales_inversely_with_control(self):
+        low = ResistorLadder(7, 0.2, 0.8, i_res=1e-9)
+        high = ResistorLadder(7, 0.2, 0.8, i_res=10e-9)
+        c_tap = 100e-15
+        assert low.settling_time(c_tap) == pytest.approx(
+            10.0 * high.settling_time(c_tap), rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ResistorLadder(0, 0.2, 0.8, 1e-9)
+        with pytest.raises(ModelError):
+            ResistorLadder(7, 0.8, 0.2, 1e-9)

@@ -1,0 +1,109 @@
+"""Unit tests for the pre-amplifier and the D_Well decoupling (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.analog.preamp import Preamp, preamp_output_circuit
+from repro.errors import ModelError
+from repro.spice import ac_analysis
+
+
+def preamp(decoupled: bool, i_bias: float = 1e-9) -> Preamp:
+    return Preamp(i_bias=i_bias, decoupled=decoupled)
+
+
+class TestStatic:
+    def test_gain_formula(self):
+        amp = preamp(True)
+        assert 2.5 < amp.dc_gain() < 3.5  # V_SW/(2 n U_T) at 200 mV
+
+    def test_double_difference(self):
+        amp = preamp(True)
+        # out ~ A*((v1) - (v2)) in the linear region
+        small = 1e-3
+        out = amp.output_voltage(small, 0.0)
+        out_cancel = amp.output_voltage(small, small)
+        assert out == pytest.approx(amp.dc_gain() * small, rel=0.01)
+        assert out_cancel == pytest.approx(0.0, abs=1e-12)
+
+    def test_limits_at_swing(self):
+        amp = preamp(True)
+        assert amp.output_voltage(1.0) == pytest.approx(0.2, rel=1e-6)
+
+    def test_offset(self):
+        amp = Preamp(i_bias=1e-9, offset=2e-3)
+        assert amp.output_voltage(2e-3) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestDynamics:
+    def test_decoupling_improves_bandwidth(self):
+        """The Fig. 6d claim, quantitatively: with C_well >> C_out the
+        series M_C buys nearly (C_out + C_well)/C_out of bandwidth."""
+        plain = preamp(False)
+        decoupled = preamp(True)
+        improvement = decoupled.bandwidth() / plain.bandwidth()
+        assert improvement > 3.0
+
+    def test_plain_pole_formula(self):
+        plain = preamp(False)
+        r_l = plain.load_resistance
+        expected = 1.0 / (2.0 * np.pi * r_l * (plain.c_out + plain.c_well))
+        assert plain.bandwidth() == pytest.approx(expected, rel=1e-6)
+
+    def test_bandwidth_scales_with_bias(self):
+        low = preamp(True, i_bias=1e-9)
+        high = preamp(True, i_bias=10e-9)
+        assert high.bandwidth() == pytest.approx(10.0 * low.bandwidth(),
+                                                 rel=0.05)
+
+    def test_transfer_dc_is_unity(self):
+        amp = preamp(True)
+        h = amp.transfer(np.array([1e-3]))
+        assert abs(h[0]) == pytest.approx(1.0, rel=1e-4)
+
+    def test_decoupled_has_plateau_not_brick_wall(self):
+        """The pole-zero pair leaves a magnitude plateau between the
+        pole and the zero instead of a complete roll-off."""
+        amp = preamp(True)
+        f_plateau = 10.0 * amp.bandwidth()
+        h = abs(amp.transfer(np.array([f_plateau]))[0])
+        assert h > 0.05  # a single pole would be ~0.02 here
+
+    def test_step_settling_faster_with_decoupling(self):
+        """The comparator decision point (~75 % of final) is reached
+        far sooner: the fast C_out path responds first and the well
+        charges later through M_C (Fig. 6d)."""
+        plain = preamp(False)
+        decoupled = preamp(True)
+        assert (decoupled.step_settling_time(0.75)
+                < 0.5 * plain.step_settling_time(0.75))
+
+    def test_settling_fraction_validation(self):
+        with pytest.raises(ModelError):
+            preamp(True).step_settling_time(fraction=1.5)
+
+
+class TestSpiceCrossCheck:
+    @pytest.mark.parametrize("decoupled", [False, True])
+    def test_analytic_transfer_matches_mna(self, decoupled):
+        """The closed-form transfer and the MNA solution of the same
+        network must agree across the band."""
+        amp = preamp(decoupled)
+        circuit = preamp_output_circuit(amp, unit_gm=1e-6)
+        freqs = np.logspace(1, 6, 31)
+        result = ac_analysis(circuit, freqs)
+        mna = np.abs(result.transfer("out"))
+        mna_normalised = mna / mna[0]
+        analytic = np.abs(amp.transfer(freqs))
+        analytic_normalised = analytic / analytic[0]
+        assert np.allclose(mna_normalised, analytic_normalised, rtol=0.02)
+
+
+class TestValidation:
+    def test_rejects_bad_bias(self):
+        with pytest.raises(ModelError):
+            Preamp(i_bias=0.0)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ModelError):
+            Preamp(i_bias=1e-9, r_c_ratio=0.0)

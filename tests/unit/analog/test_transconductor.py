@@ -1,0 +1,82 @@
+"""Unit tests for the subthreshold transconductor."""
+
+import numpy as np
+import pytest
+
+from repro.analog import SubthresholdTransconductor
+from repro.constants import thermal_voltage
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def gm_cell():
+    return SubthresholdTransconductor(i_bias=10e-9)
+
+
+class TestStatic:
+    def test_zero_at_balance(self, gm_cell):
+        assert gm_cell.output_current(0.0) == pytest.approx(0.0, abs=1e-18)
+
+    def test_saturates_at_tail(self, gm_cell):
+        assert gm_cell.output_current(0.5) == pytest.approx(10e-9,
+                                                            rel=1e-6)
+        assert gm_cell.output_current(-0.5) == pytest.approx(-10e-9,
+                                                             rel=1e-6)
+
+    def test_odd_symmetry(self, gm_cell):
+        v = np.array([0.01, 0.03, 0.08])
+        assert np.allclose(gm_cell.output_current(v),
+                           -gm_cell.output_current(-v))
+
+    def test_offset_shifts_zero(self):
+        cell = SubthresholdTransconductor(i_bias=10e-9, offset=5e-3)
+        assert cell.output_current(5e-3) == pytest.approx(0.0, abs=1e-15)
+
+    def test_gain_error_scales_output(self):
+        cell = SubthresholdTransconductor(i_bias=10e-9, gain_error=0.1)
+        assert cell.output_current(1.0) == pytest.approx(11e-9, rel=1e-6)
+
+
+class TestSmallSignal:
+    def test_gm_formula(self, gm_cell):
+        ut = thermal_voltage()
+        expected = 10e-9 / (2.0 * 1.3 * ut)
+        assert gm_cell.transconductance() == pytest.approx(expected,
+                                                           rel=1e-3)
+
+    def test_gm_matches_numeric_slope(self, gm_cell):
+        h = 1e-6
+        slope = (gm_cell.output_current(h)
+                 - gm_cell.output_current(-h)) / (2.0 * h)
+        assert gm_cell.transconductance() == pytest.approx(slope,
+                                                           rel=1e-4)
+
+    def test_gm_linear_in_bias(self, gm_cell):
+        scaled = gm_cell.with_bias(100e-9)
+        assert scaled.transconductance() == pytest.approx(
+            10.0 * gm_cell.transconductance())
+
+    def test_linear_range_independent_of_bias(self, gm_cell):
+        """The scalability property: bias scales gm but not the input
+        range."""
+        assert gm_cell.linear_range() == pytest.approx(
+            gm_cell.with_bias(1e-12).linear_range())
+
+    def test_bandwidth_scales_with_bias(self, gm_cell):
+        bw1 = gm_cell.bandwidth(100e-15)
+        bw2 = gm_cell.with_bias(100e-9).bandwidth(100e-15)
+        assert bw2 == pytest.approx(10.0 * bw1)
+
+
+class TestValidation:
+    def test_rejects_bad_bias(self):
+        with pytest.raises(ModelError):
+            SubthresholdTransconductor(i_bias=0.0)
+
+    def test_rejects_bad_compression(self, gm_cell):
+        with pytest.raises(ModelError):
+            gm_cell.linear_range(compression=0.0)
+
+    def test_rejects_bad_cap(self, gm_cell):
+        with pytest.raises(ModelError):
+            gm_cell.bandwidth(0.0)

@@ -1,0 +1,63 @@
+"""Unit tests for the Monte-Carlo runner."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import MonteCarlo, MonteCarloSummary
+from repro.errors import AnalysisError
+
+
+class TestSummary:
+    def test_moments(self):
+        summary = MonteCarloSummary.from_values("x", [1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.median == pytest.approx(2.0)
+        assert summary.p05 <= summary.median <= summary.p95
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            MonteCarloSummary.from_values("x", [])
+
+
+class TestRunner:
+    def test_seeds_are_sequential(self):
+        seen = []
+
+        def metric(seed):
+            seen.append(seed)
+            return {"v": float(seed)}
+
+        MonteCarlo(metric, n_runs=5, seed_base=100).run()
+        assert seen == [100, 101, 102, 103, 104]
+
+    def test_statistics_of_known_distribution(self):
+        def metric(seed):
+            rng = np.random.default_rng(seed)
+            return {"g": float(rng.normal(5.0, 1.0))}
+
+        results = MonteCarlo(metric, n_runs=400).run()
+        assert results["g"].mean == pytest.approx(5.0, abs=0.2)
+        assert results["g"].std == pytest.approx(1.0, abs=0.2)
+
+    def test_multiple_metrics(self):
+        def metric(seed):
+            return {"a": seed, "b": 2.0 * seed}
+
+        results = MonteCarlo(metric, n_runs=10).run()
+        assert set(results) == {"a", "b"}
+        assert results["b"].mean == pytest.approx(2.0 * results["a"].mean)
+
+    def test_inconsistent_metrics_rejected(self):
+        def metric(seed):
+            return {"a": 1.0} if seed % 2 else {"b": 1.0}
+
+        with pytest.raises(AnalysisError):
+            MonteCarlo(metric, n_runs=4).run()
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(AnalysisError):
+            MonteCarlo(lambda seed: {}, n_runs=2).run()
+
+    def test_run_count_validation(self):
+        with pytest.raises(AnalysisError):
+            MonteCarlo(lambda s: {"x": 1.0}, n_runs=0)

@@ -1,0 +1,83 @@
+"""Unit tests for the thermal-noise budget."""
+
+import math
+
+import pytest
+
+from repro.analysis.noise import (
+    adc_noise_budget,
+    chain_input_noise,
+    scl_stage_noise,
+)
+from repro.constants import BOLTZMANN, T_NOMINAL
+from repro.errors import ModelError
+
+
+class TestStageNoise:
+    def test_ktc_floor(self):
+        stage = scl_stage_noise(1e-9, 0.2, 35e-15)
+        expected = math.sqrt(BOLTZMANN * T_NOMINAL / 35e-15)
+        assert stage.ktc_rms == pytest.approx(expected, rel=1e-6)
+        assert stage.output_rms > stage.ktc_rms
+
+    def test_bias_independent(self):
+        """Gain and noise are both set by V_SW and U_T only: scaling
+        the current changes neither (the noise face of the paper's
+        decoupling)."""
+        low = scl_stage_noise(1e-12, 0.2, 35e-15)
+        high = scl_stage_noise(1e-7, 0.2, 35e-15)
+        assert low.output_rms == pytest.approx(high.output_rms)
+        assert low.gain == pytest.approx(high.gain)
+
+    def test_bigger_load_is_quieter(self):
+        small = scl_stage_noise(1e-9, 0.2, 10e-15)
+        big = scl_stage_noise(1e-9, 0.2, 100e-15)
+        assert big.output_rms == pytest.approx(
+            small.output_rms / math.sqrt(10.0), rel=1e-6)
+
+    def test_excess_factor_from_gain(self):
+        stage = scl_stage_noise(1e-9, 0.2, 35e-15)
+        assert stage.excess_factor == pytest.approx(
+            1.0 + 2.0 * 0.65 * stage.gain, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            scl_stage_noise(0.0, 0.2, 35e-15)
+
+
+class TestChain:
+    def test_first_stage_dominates(self):
+        stage = scl_stage_noise(1e-9, 0.2, 35e-15)
+        one = chain_input_noise([stage])
+        three = chain_input_noise([stage, stage, stage])
+        # Later stages divided by gain^k: total grows by < 10 %.
+        assert one < three < 1.1 * one
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            chain_input_noise([])
+
+
+class TestAdcBudget:
+    def test_magnitude_supports_calibration(self):
+        """The thermal floor lands at ~0.3 mV rms.  The converter's
+        fitted 1.5 mV aggregate is then ~5x the floor, which is the
+        usual decomposition in nW designs: the regenerative latch,
+        bias/supply ripple and clock jitter dominate over pure
+        front-end thermal noise."""
+        budget = adc_noise_budget()
+        assert 0.1e-3 < budget["total"] < 1.0e-3
+        fitted_aggregate = 1.5e-3
+        assert 2.0 < fitted_aggregate / budget["total"] < 10.0
+
+    def test_breakdown_keys(self):
+        budget = adc_noise_budget()
+        assert set(budget) == {"folder_input_rms", "chain_input_rms",
+                               "sample_ktc_rms", "total"}
+        assert budget["total"] >= budget["chain_input_rms"]
+
+    def test_total_is_rss(self):
+        budget = adc_noise_budget()
+        assert budget["total"] == pytest.approx(
+            math.hypot(budget["chain_input_rms"],
+                       budget["sample_ktc_rms"]), rel=1e-9)

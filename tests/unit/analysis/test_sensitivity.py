@@ -1,0 +1,47 @@
+"""Unit tests for normalised finite-difference sensitivity."""
+
+import math
+
+import pytest
+
+from repro.analysis import finite_difference_sensitivity
+from repro.errors import AnalysisError
+
+
+class TestSensitivity:
+    def test_power_law(self):
+        # M = P^3 -> S = 3 exactly.
+        s = finite_difference_sensitivity(lambda p: p ** 3, 2.0)
+        assert s == pytest.approx(3.0, rel=1e-3)
+
+    def test_constant_metric(self):
+        s = finite_difference_sensitivity(lambda p: 42.0, 1.0)
+        assert s == pytest.approx(0.0, abs=1e-12)
+
+    def test_exponential_metric(self):
+        # M = exp(p): S = p.
+        s = finite_difference_sensitivity(math.exp, 3.0)
+        assert s == pytest.approx(3.0, rel=1e-3)
+
+    def test_stscl_delay_vs_vdd_is_zero(self):
+        """Cross-check with the gate model: delay has zero V_DD
+        sensitivity."""
+        from repro.stscl import StsclGateDesign
+        gate = StsclGateDesign.default(1e-9)
+        s = finite_difference_sensitivity(lambda vdd: gate.delay(), 1.0)
+        assert s == 0.0
+
+    def test_stscl_delay_vs_current_is_minus_one(self):
+        from repro.stscl import StsclGateDesign
+        s = finite_difference_sensitivity(
+            lambda i: StsclGateDesign.default(i).delay(), 1e-9)
+        assert s == pytest.approx(-1.0, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            finite_difference_sensitivity(lambda p: p, 0.0)
+        with pytest.raises(AnalysisError):
+            finite_difference_sensitivity(lambda p: 0.0, 1.0)
+        with pytest.raises(AnalysisError):
+            finite_difference_sensitivity(lambda p: p, 1.0,
+                                          relative_step=0.9)

@@ -1,0 +1,33 @@
+"""Unit tests for the sweep helper."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import sweep_1d
+from repro.errors import AnalysisError
+
+
+class TestSweep:
+    def test_columns_aligned(self):
+        table = sweep_1d("x", [1.0, 2.0, 3.0],
+                         lambda x: {"square": x * x, "double": 2 * x})
+        assert np.array_equal(table.column("square"), [1.0, 4.0, 9.0])
+        assert np.array_equal(table.column("double"), [2.0, 4.0, 6.0])
+
+    def test_rows_iteration(self):
+        table = sweep_1d("x", [1.0, 2.0], lambda x: {"y": x + 1})
+        rows = list(table.rows())
+        assert rows == [(1.0, {"y": 2.0}), (2.0, {"y": 3.0})]
+
+    def test_unknown_column(self):
+        table = sweep_1d("x", [1.0], lambda x: {"y": x})
+        with pytest.raises(AnalysisError):
+            table.column("z")
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(AnalysisError):
+            sweep_1d("x", [], lambda x: {"y": x})
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(AnalysisError):
+            sweep_1d("x", [1.0], lambda x: {})

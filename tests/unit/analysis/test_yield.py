@@ -1,0 +1,54 @@
+"""Unit tests for yield estimation."""
+
+import pytest
+
+from repro.analysis import MonteCarloSummary, estimate_yield
+from repro.errors import AnalysisError
+
+
+def summaries():
+    return {
+        "inl": MonteCarloSummary.from_values(
+            "inl", [0.5, 0.8, 1.2, 0.9, 1.5]),
+        "enob": MonteCarloSummary.from_values(
+            "enob", [6.8, 6.2, 6.6, 6.9, 6.1]),
+    }
+
+
+class TestYield:
+    def test_single_spec(self):
+        report = estimate_yield(summaries(),
+                                {"inl": lambda v: v <= 1.0})
+        assert report.n_total == 5
+        assert report.n_pass == 3
+        assert report.yield_fraction == pytest.approx(0.6)
+
+    def test_joint_specs(self):
+        report = estimate_yield(summaries(), {
+            "inl": lambda v: v <= 1.0,
+            "enob": lambda v: v >= 6.5,
+        })
+        # Chips passing both: (0.5,6.8), (0.9,6.9) -> 2 of 5.
+        assert report.n_pass == 2
+        assert report.failures["inl"] == 2
+        assert report.failures["enob"] == 2
+
+    def test_all_pass(self):
+        report = estimate_yield(summaries(),
+                                {"inl": lambda v: v <= 10.0})
+        assert report.yield_fraction == 1.0
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(AnalysisError):
+            estimate_yield(summaries(), {"ghost": lambda v: True})
+
+    def test_no_specs_rejected(self):
+        with pytest.raises(AnalysisError):
+            estimate_yield(summaries(), {})
+
+    def test_mismatched_populations_rejected(self):
+        bad = summaries()
+        bad["short"] = MonteCarloSummary.from_values("short", [1.0])
+        with pytest.raises(AnalysisError):
+            estimate_yield(bad, {"inl": lambda v: True,
+                                 "short": lambda v: True})

@@ -1,0 +1,78 @@
+"""Unit tests for the junction diode model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.diode import Diode, DiodeParameters, NWELL_DIODE_180
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def diode():
+    return Diode(NWELL_DIODE_180)
+
+
+class TestParameters:
+    def test_rejects_bad_saturation_current(self):
+        with pytest.raises(ModelError):
+            DiodeParameters(name="bad", i_s=0.0)
+
+    def test_rejects_bad_ideality(self):
+        with pytest.raises(ModelError):
+            DiodeParameters(name="bad", n=0.5)
+
+
+class TestCurrent:
+    def test_forward_exponential(self, diode):
+        i1, _ = diode.current(0.5)
+        i2, _ = diode.current(0.56)  # ~ one decade at n~1.0
+        assert i2 / i1 > 5.0
+
+    def test_reverse_saturates(self, diode):
+        i_rev, _ = diode.current(-0.5)
+        assert -1e-12 < i_rev < 0.0
+
+    def test_conductance_matches_numeric(self, diode):
+        h = 1e-7
+        for v in (-0.3, 0.0, 0.3, 0.55):
+            i_up, _ = diode.current(v + h)
+            i_dn, _ = diode.current(v - h)
+            numeric = (i_up - i_dn) / (2.0 * h)
+            _, g = diode.current(v)
+            assert g == pytest.approx(numeric, rel=1e-3, abs=1e-18)
+
+    def test_area_scales_current(self):
+        small = Diode(NWELL_DIODE_180, area=1.0)
+        big = Diode(NWELL_DIODE_180, area=3.0)
+        i_small, _ = small.current(0.5)
+        i_big, _ = big.current(0.5)
+        assert i_big == pytest.approx(3.0 * i_small, rel=1e-6)
+
+
+class TestChargeAndCapacitance:
+    def test_capacitance_positive_reverse_bias(self, diode):
+        assert diode.capacitance(-1.0) > 0.0
+
+    def test_capacitance_grows_toward_forward(self, diode):
+        assert diode.capacitance(0.2) > diode.capacitance(-0.5)
+
+    def test_zero_bias_equals_cj0(self, diode):
+        assert diode.capacitance(0.0) == pytest.approx(
+            NWELL_DIODE_180.cj0)
+
+    @given(st.floats(min_value=-2.0, max_value=0.6))
+    @settings(max_examples=40, deadline=None)
+    def test_charge_derivative_is_capacitance(self, v):
+        """q(v) and C(v) must be analytically consistent, or transient
+        charge conservation breaks."""
+        diode = Diode(NWELL_DIODE_180)
+        h = 1e-6
+        numeric = (diode.charge(v + h) - diode.charge(v - h)) / (2.0 * h)
+        assert diode.capacitance(v) == pytest.approx(
+            numeric, rel=1e-3, abs=1e-20)
+
+    def test_charge_continuous_at_knee(self, diode):
+        knee = 0.5 * NWELL_DIODE_180.vj
+        below = diode.charge(knee - 1e-9)
+        above = diode.charge(knee + 1e-9)
+        assert above == pytest.approx(below, rel=1e-6)

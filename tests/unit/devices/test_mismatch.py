@@ -1,0 +1,75 @@
+"""Unit tests for the Pelgrom mismatch model."""
+
+import numpy as np
+import pytest
+
+from repro.constants import thermal_voltage
+from repro.devices import Mosfet, nmos_180
+from repro.devices.mismatch import (
+    PELGROM_180NM,
+    MismatchModel,
+    MismatchSampler,
+)
+from repro.errors import ModelError
+
+
+class TestSigmaLaws:
+    def test_pelgrom_area_scaling(self):
+        model = PELGROM_180NM
+        small = model.sigma_vt(1e-6, 1e-6)
+        big = model.sigma_vt(2e-6, 2e-6)
+        assert big == pytest.approx(small / 2.0)
+
+    def test_known_value(self):
+        # A_VT = 4 mV*um over a 1 um^2 device -> 4 mV.
+        assert PELGROM_180NM.sigma_vt(1e-6, 1e-6) == pytest.approx(4e-3)
+
+    def test_pair_offset_is_sqrt2(self):
+        model = PELGROM_180NM
+        assert model.sigma_pair_offset(1e-6, 1e-6) == pytest.approx(
+            np.sqrt(2.0) * model.sigma_vt(1e-6, 1e-6))
+
+    def test_mirror_gain_includes_vt_term(self):
+        model = PELGROM_180NM
+        ut = thermal_voltage()
+        sigma = model.sigma_mirror_gain(1e-6, 1e-6, 1.3, ut)
+        # VT term alone: sqrt(2)*4mV/(1.3*26mV) ~ 17 %
+        assert sigma > 0.15
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ModelError):
+            PELGROM_180NM.sigma_vt(0.0, 1e-6)
+
+
+class TestSampler:
+    def test_reproducible_with_seed(self):
+        a = MismatchSampler(seed=5).sample(1e-6, 1e-6)
+        b = MismatchSampler(seed=5).sample(1e-6, 1e-6)
+        assert a == b
+
+    def test_distribution_width(self):
+        sampler = MismatchSampler(seed=0)
+        draws = np.array([sampler.sample(1e-6, 1e-6).vt_shift
+                          for _ in range(2000)])
+        assert draws.std() == pytest.approx(4e-3, rel=0.1)
+        assert abs(draws.mean()) < 4e-4
+
+    def test_perturb_returns_new_device(self):
+        sampler = MismatchSampler(seed=1)
+        device = Mosfet(nmos_180(), w=1e-6, l=1e-6)
+        shifted = sampler.perturb(device)
+        assert shifted is not device
+        assert shifted.vt_shift != 0.0
+        assert device.vt_shift == 0.0  # original untouched
+
+    def test_beta_factor_stays_positive(self):
+        sampler = MismatchSampler(
+            MismatchModel(a_vt=4e-9, a_beta=5e-7), seed=3)
+        for _ in range(200):
+            assert sampler.sample(0.3e-6, 0.3e-6).beta_factor > 0.0
+
+    def test_pair_offset_draw(self):
+        sampler = MismatchSampler(seed=2)
+        draws = np.array([sampler.pair_offset(1e-6, 1e-6)
+                          for _ in range(2000)])
+        assert draws.std() == pytest.approx(np.sqrt(2.0) * 4e-3, rel=0.1)

@@ -1,0 +1,73 @@
+"""Unit tests for technology / device parameters."""
+
+import pytest
+
+from repro.constants import T_NOMINAL
+from repro.devices.parameters import (
+    GENERIC_180NM,
+    MosParameters,
+    MosPolarity,
+    nmos_180,
+    pmos_180,
+)
+from repro.errors import ModelError
+
+
+class TestMosParameters:
+    def test_cox_from_tox(self):
+        nmos = nmos_180()
+        # ~8.4 fF/um^2 at 4.1 nm oxide
+        assert nmos.cox == pytest.approx(8.4e-3, rel=0.05)
+
+    def test_specific_current_scaling(self):
+        nmos = nmos_180()
+        base = nmos.specific_current(1e-6, 1e-6)
+        assert nmos.specific_current(2e-6, 1e-6) == pytest.approx(
+            2.0 * base)
+        assert nmos.specific_current(1e-6, 2e-6) == pytest.approx(
+            base / 2.0)
+
+    def test_specific_current_magnitude(self):
+        # 2 n kp UT^2 ~ 0.5 uA for the generic NMOS at W/L = 1
+        assert nmos_180().specific_current(1e-6, 1e-6) == pytest.approx(
+            0.52e-6, rel=0.1)
+
+    def test_vt_temperature_drop(self):
+        nmos = nmos_180()
+        assert nmos.vt_at(T_NOMINAL + 50.0) < nmos.vt_at(T_NOMINAL)
+
+    def test_leakage_grows_with_temperature(self):
+        nmos = nmos_180()
+        assert (nmos.leakage_per_square(T_NOMINAL + 60.0)
+                > 5.0 * nmos.leakage_per_square(T_NOMINAL))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            MosParameters(name="x", polarity=MosPolarity.NMOS, vt0=-0.1,
+                          n=1.3, kp=1e-4, tox=4e-9)
+        with pytest.raises(ModelError):
+            MosParameters(name="x", polarity=MosPolarity.NMOS, vt0=0.4,
+                          n=0.9, kp=1e-4, tox=4e-9)
+
+    def test_replace_preserves_others(self):
+        shifted = nmos_180().replace(vt0=0.5)
+        assert shifted.vt0 == 0.5
+        assert shifted.kp == nmos_180().kp
+
+
+class TestTechnology:
+    def test_flavour_lookup(self):
+        tech = GENERIC_180NM
+        assert tech.flavour("nmos_180") is tech.nmos
+        assert tech.flavour("pmos_180_thick") is tech.pmos_thick
+
+    def test_unknown_flavour(self):
+        with pytest.raises(ModelError):
+            GENERIC_180NM.flavour("finfet_3nm")
+
+    def test_polarity_signs(self):
+        assert MosPolarity.NMOS.sign == 1
+        assert MosPolarity.PMOS.sign == -1
+
+    def test_pmos_weaker_than_nmos(self):
+        assert pmos_180().kp < nmos_180().kp

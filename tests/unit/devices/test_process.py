@@ -1,0 +1,69 @@
+"""Unit tests for process corners and PVT points."""
+
+import pytest
+
+from repro.devices.parameters import GENERIC_180NM
+from repro.devices.process import (
+    CORNERS,
+    CornerSpec,
+    ProcessCorner,
+    PvtPoint,
+    apply_corner,
+    apply_pvt,
+    corner_technology,
+)
+from repro.errors import ModelError
+
+
+class TestCorners:
+    def test_tt_is_identity(self):
+        nmos = GENERIC_180NM.nmos
+        shifted = apply_corner(nmos, ProcessCorner.TT)
+        assert shifted.vt0 == nmos.vt0
+        assert shifted.kp == nmos.kp
+
+    def test_ff_lowers_vt_raises_kp(self):
+        nmos = GENERIC_180NM.nmos
+        fast = apply_corner(nmos, ProcessCorner.FF)
+        assert fast.vt0 < nmos.vt0
+        assert fast.kp > nmos.kp
+
+    def test_ss_opposite_of_ff(self):
+        nmos = GENERIC_180NM.nmos
+        slow = apply_corner(nmos, ProcessCorner.SS)
+        assert slow.vt0 > nmos.vt0
+        assert slow.kp < nmos.kp
+
+    def test_skew_corner_splits_polarities(self):
+        fs_n = apply_corner(GENERIC_180NM.nmos, ProcessCorner.FS)
+        fs_p = apply_corner(GENERIC_180NM.pmos, ProcessCorner.FS)
+        assert fs_n.vt0 < GENERIC_180NM.nmos.vt0   # fast NMOS
+        assert fs_p.vt0 > GENERIC_180NM.pmos.vt0   # slow PMOS
+
+    def test_all_five_corners_defined(self):
+        assert set(CORNERS) == set(ProcessCorner)
+
+    def test_corner_technology_shifts_all_flavours(self):
+        slow = corner_technology(GENERIC_180NM, ProcessCorner.SS)
+        assert slow.nmos.vt0 > GENERIC_180NM.nmos.vt0
+        assert slow.nmos_hvt.vt0 > GENERIC_180NM.nmos_hvt.vt0
+        assert slow.name.endswith("ss")
+
+
+class TestPvtPoint:
+    def test_defaults(self):
+        point = PvtPoint()
+        assert point.corner is ProcessCorner.TT
+
+    def test_celsius_constructor(self):
+        point = PvtPoint.at_celsius(temp_c=85.0)
+        assert point.temperature == pytest.approx(358.15)
+
+    def test_rejects_bad_vdd(self):
+        with pytest.raises(ModelError):
+            PvtPoint(vdd=0.0)
+
+    def test_apply_pvt_uses_corner(self):
+        point = PvtPoint(corner=ProcessCorner.FF)
+        shifted = apply_pvt(GENERIC_180NM.nmos, point)
+        assert shifted.vt0 < GENERIC_180NM.nmos.vt0

@@ -1,0 +1,78 @@
+"""Unit tests for the subthreshold CMOS baseline model."""
+
+import pytest
+
+from repro.digital.cmos_baseline import CmosGateModel, CmosSystemModel
+from repro.errors import DesignError
+
+
+@pytest.fixture(scope="module")
+def gate():
+    return CmosGateModel()
+
+
+@pytest.fixture(scope="module")
+def system(gate):
+    return CmosSystemModel(gate=gate, n_gates=200, alpha=0.1,
+                           logic_depth=10)
+
+
+class TestGate:
+    def test_on_current_exponential_below_vt(self, gate):
+        i1 = gate.on_current(0.30)
+        i2 = gate.on_current(0.40)
+        assert i2 / i1 > 5.0  # ~a decade per ~100 mV (n~1.3)
+
+    def test_off_current_small(self, gate):
+        assert gate.off_current(0.5) < 1e-2 * gate.on_current(0.5)
+
+    def test_delay_falls_steeply_with_vdd(self, gate):
+        assert gate.delay(0.3) > 5.0 * gate.delay(0.4)
+
+    def test_switching_energy_cv2(self, gate):
+        assert gate.switching_energy(0.5) == pytest.approx(
+            gate.c_load * 0.25)
+
+    def test_rejects_bad_vdd(self, gate):
+        with pytest.raises(DesignError):
+            gate.on_current(0.0)
+
+
+class TestSystem:
+    def test_leakage_floor_exists_at_zero_frequency(self, system):
+        assert system.total_power(0.5, 0.0) == pytest.approx(
+            system.leakage_power(0.5))
+
+    def test_dynamic_power_linear_in_frequency(self, system):
+        p1 = system.dynamic_power(0.5, 1e3)
+        p2 = system.dynamic_power(0.5, 2e3)
+        assert p2 == pytest.approx(2.0 * p1)
+
+    def test_activity_scales_dynamic(self, gate):
+        quiet = CmosSystemModel(gate=gate, n_gates=100, alpha=0.01)
+        busy = CmosSystemModel(gate=gate, n_gates=100, alpha=0.5)
+        assert busy.dynamic_power(0.5, 1e4) == pytest.approx(
+            50.0 * quiet.dynamic_power(0.5, 1e4))
+
+    def test_max_frequency_grows_with_vdd(self, system):
+        assert system.max_frequency(0.6) > 10.0 * system.max_frequency(0.4)
+
+    def test_energy_per_cycle_has_minimum_vs_vdd(self, system):
+        """The classic subthreshold CMOS minimum-energy point: energy
+        rises both above (CV^2) and below (leakage x slow cycle) the
+        optimum."""
+        f = 1e3
+        v_opt, e_opt = system.minimum_energy_supply(f)
+        assert 0.15 < v_opt < 0.9
+        e_high = system.energy_per_cycle(1.2, f)
+        assert e_high > e_opt
+
+    def test_min_energy_unreachable_frequency_raises(self, system):
+        with pytest.raises(DesignError):
+            system.minimum_energy_supply(1e12)
+
+    def test_validation(self, gate):
+        with pytest.raises(DesignError):
+            CmosSystemModel(gate=gate, n_gates=0)
+        with pytest.raises(DesignError):
+            CmosSystemModel(gate=gate, n_gates=10, alpha=1.5)

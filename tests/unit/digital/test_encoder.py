@@ -1,0 +1,198 @@
+"""Unit tests for the FAI encoder: golden model, batch model, helpers.
+
+The gate-netlist equivalence proof lives in
+tests/integration/test_encoder_netlist.py (it is slower).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.digital.encoder import (
+    EncoderSpec,
+    build_fai_encoder,
+    coarse_thermometer,
+    cyclic_fine_thermometer,
+    encode_batch,
+    gray_to_binary,
+    majority_correct,
+    reference_encode,
+    thermometer_to_gray_taps,
+)
+from repro.errors import DesignError
+
+
+class TestGrayTaps:
+    def test_three_bit_flash_taps(self):
+        taps = thermometer_to_gray_taps(3, 7)
+        assert taps == [[0, 2, 4, 6], [1, 5], [3]]
+
+    def test_five_bit_cyclic_taps(self):
+        taps = thermometer_to_gray_taps(5, 32)
+        assert taps[4] == [15]
+        assert taps[3] == [7, 23]
+        assert len(taps[0]) == 16
+
+    def test_thermometer_decodes_to_gray(self):
+        taps = thermometer_to_gray_taps(3, 7)
+        for m in range(8):
+            thermo = tuple(i < m for i in range(7))
+            gray = []
+            for positions in taps:
+                parity = False
+                for p in positions:
+                    parity = parity != thermo[p]
+                gray.append(parity)
+            assert gray_to_binary(gray) == m
+
+
+class TestGrayToBinary:
+    @pytest.mark.parametrize("value", range(16))
+    def test_roundtrip(self, value):
+        gray_val = value ^ (value >> 1)
+        gray_bits = [bool((gray_val >> k) & 1) for k in range(4)]
+        assert gray_to_binary(gray_bits) == value
+
+
+class TestMajorityCorrect:
+    def test_identity_on_clean_thermometer(self):
+        code = (True, True, True, False, False, False, False)
+        assert majority_correct(code, cyclic=False) == code
+
+    def test_removes_single_bubble(self):
+        bubbled = (True, False, True, True, False, False, False)
+        fixed = majority_correct(bubbled, cyclic=False)
+        # The hole is filled; the result is a valid thermometer again
+        # (its count may legitimately land on either side of the hole).
+        assert fixed == (True, True, True, True, False, False, False)
+        assert all(a or not b for a, b in zip(fixed, fixed[1:]))
+
+    def test_cyclic_wraps(self):
+        code = (True, False, False, False, False, False, False, True)
+        fixed = majority_correct(code, cyclic=True)
+        # bit 0's neighbours are 7 (1) and 1 (0): majority keeps 1
+        assert fixed[0] is True
+
+
+class TestGoldenModel:
+    @pytest.mark.parametrize("spec", [
+        EncoderSpec(),
+        EncoderSpec(sync_correction=True),
+        EncoderSpec(bubble_correction=False),
+        EncoderSpec(input_capture=False),
+    ], ids=["default", "sync", "nobubble", "nocapture"])
+    def test_identity_over_all_codes(self, spec):
+        for value in range(2 ** spec.total_bits):
+            coarse = coarse_thermometer(value, spec)
+            fine = cyclic_fine_thermometer(value, spec)
+            assert reference_encode(coarse, fine, spec) == value
+
+    def test_other_geometry(self):
+        spec = EncoderSpec(coarse_bits=2, fine_bits=4)
+        for value in range(64):
+            assert reference_encode(
+                coarse_thermometer(value, spec),
+                cyclic_fine_thermometer(value, spec), spec) == value
+
+    def test_coarse_bubble_is_corrected(self):
+        spec = EncoderSpec()
+        value = 5 * 32 + 12
+        coarse = list(coarse_thermometer(value, spec))
+        coarse[1] = False  # bubble deep inside the ones-run
+        fixed = reference_encode(tuple(coarse),
+                                 cyclic_fine_thermometer(value, spec),
+                                 spec)
+        assert fixed == value
+
+    def test_wrong_length_rejected(self):
+        spec = EncoderSpec()
+        with pytest.raises(DesignError):
+            reference_encode((True,) * 3,
+                             cyclic_fine_thermometer(0, spec), spec)
+
+
+class TestBoundaryRobustness:
+    """The 'error correction' property: a late/early coarse decision
+    near a segment boundary costs ~1 LSB, not a whole segment."""
+
+    @pytest.mark.parametrize("sync", [False, True])
+    def test_coarse_off_by_one_near_boundary(self, sync):
+        spec = EncoderSpec(sync_correction=sync)
+        for boundary in (32, 64, 96, 128, 160, 192, 224):
+            value = boundary - 1  # top of a segment
+            wrong_coarse = coarse_thermometer(boundary, spec)  # early flip
+            code = reference_encode(
+                wrong_coarse, cyclic_fine_thermometer(value, spec), spec)
+            assert abs(code - value) <= 1, (boundary, sync)
+
+    def test_sync_correction_tolerates_larger_errors(self):
+        """With the ref-[14] snap, a coarse decision 8 LSB early still
+        decodes within 1 LSB; without it the error is large."""
+        plain = EncoderSpec(sync_correction=False)
+        synced = EncoderSpec(sync_correction=True)
+        value = 64 - 8  # 8 LSB below a boundary
+        early_coarse = coarse_thermometer(64, plain)
+        fine = cyclic_fine_thermometer(value, plain)
+        assert abs(reference_encode(early_coarse, fine, synced)
+                   - value) <= 1
+        assert abs(reference_encode(early_coarse, fine, plain)
+                   - value) > 8
+
+
+class TestBatchEncoder:
+    def test_matches_scalar_exhaustively(self):
+        for sync in (False, True):
+            spec = EncoderSpec(sync_correction=sync)
+            values = np.arange(256)
+            coarse = np.array([coarse_thermometer(v, spec)
+                               for v in values])
+            fine = np.array([cyclic_fine_thermometer(v, spec)
+                             for v in values])
+            batch = encode_batch(coarse, fine, spec)
+            assert np.array_equal(batch, values)
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=38))
+    @settings(max_examples=60, deadline=None)
+    def test_random_bit_flip_matches_scalar(self, value, flip):
+        """Under arbitrary single-bit corruption the batch and scalar
+        paths must still agree bit-exactly (they share no code)."""
+        spec = EncoderSpec()
+        coarse = list(coarse_thermometer(value, spec))
+        fine = list(cyclic_fine_thermometer(value, spec))
+        if flip < 7:
+            coarse[flip] = not coarse[flip]
+        else:
+            fine[flip - 7] = not fine[flip - 7]
+        scalar = reference_encode(tuple(coarse), tuple(fine), spec)
+        batch = encode_batch(np.array([coarse]), np.array([fine]), spec)
+        assert batch[0] == scalar
+
+    def test_shape_validation(self):
+        spec = EncoderSpec()
+        with pytest.raises(DesignError):
+            encode_batch(np.zeros((2, 5), dtype=bool),
+                         np.zeros((2, 32), dtype=bool), spec)
+
+
+class TestNetlistShape:
+    def test_default_gate_budget(self):
+        """The paper reports a 196-gate encoder; ours lands nearby."""
+        netlist = build_fai_encoder(EncoderSpec())
+        assert 120 <= netlist.tail_count() <= 220
+
+    def test_fully_pipelined(self):
+        netlist = build_fai_encoder(EncoderSpec())
+        assert netlist.logic_depth() == 0
+
+    def test_unpipelined_variant(self):
+        netlist = build_fai_encoder(EncoderSpec(pipelined=False))
+        assert netlist.logic_depth() == 0  # cells are latch-merged
+        assert netlist.tail_count() < build_fai_encoder(
+            EncoderSpec()).tail_count()
+
+    def test_fine_bubble_correction_adds_majority_cells(self):
+        base = build_fai_encoder(EncoderSpec())
+        extra = build_fai_encoder(EncoderSpec(fine_bubble_correction=True))
+        assert (extra.cell_histogram()["MAJ3_PIPE"]
+                == base.cell_histogram()["MAJ3_PIPE"] + 32)

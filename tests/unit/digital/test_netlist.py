@@ -1,0 +1,116 @@
+"""Unit tests for the gate-level netlist."""
+
+import pytest
+
+from repro.digital.netlist import GateNetlist, Pin
+from repro.errors import NetlistError
+
+
+def half_adder() -> GateNetlist:
+    netlist = GateNetlist("half_adder")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate("g_sum", "XOR2", ["a", "b"], "s")
+    netlist.add_gate("g_carry", "AND2", ["a", "b"], "c")
+    netlist.mark_output("s")
+    netlist.mark_output("c")
+    return netlist
+
+
+class TestConstruction:
+    def test_duplicate_gate_name(self):
+        netlist = half_adder()
+        with pytest.raises(NetlistError):
+            netlist.add_gate("g_sum", "BUF", ["a"], "x")
+
+    def test_double_driven_net(self):
+        netlist = half_adder()
+        with pytest.raises(NetlistError):
+            netlist.add_gate("g2", "BUF", ["a"], "s")
+
+    def test_input_cannot_be_driven(self):
+        netlist = half_adder()
+        with pytest.raises(NetlistError):
+            netlist.add_gate("g2", "BUF", ["s"], "a")
+
+    def test_wrong_arity(self):
+        netlist = half_adder()
+        with pytest.raises(NetlistError):
+            netlist.add_gate("g2", "AND2", ["a"], "x")
+
+    def test_mark_undriven_output(self):
+        netlist = half_adder()
+        with pytest.raises(NetlistError):
+            netlist.mark_output("nowhere")
+
+    def test_pin_forms(self):
+        netlist = GateNetlist("pins")
+        netlist.add_input("a")
+        netlist.add_gate("g1", "BUF", [Pin("a", inverted=True)], "x")
+        netlist.add_gate("g2", "BUF", [("a", True)], "y")
+        netlist.add_gate("g3", "BUF", ["a"], "z")
+        assert netlist.gate("g1").inputs[0].inverted
+        assert netlist.gate("g2").inputs[0].inverted
+        assert not netlist.gate("g3").inputs[0].inverted
+
+
+class TestValidation:
+    def test_valid_netlist_passes(self):
+        half_adder().validate()
+
+    def test_undriven_pin_detected(self):
+        netlist = GateNetlist("broken")
+        netlist.add_input("a")
+        netlist.add_gate("g1", "AND2", ["a", "ghost"], "x")
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_combinational_loop_detected(self):
+        netlist = GateNetlist("loop")
+        netlist.add_input("a")
+        netlist.add_gate("g1", "AND2", ["a", "y"], "x")
+        netlist.add_gate("g2", "BUF", ["x"], "y")
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_loop_through_register_allowed(self):
+        netlist = GateNetlist("counter")
+        netlist.add_input("en")
+        netlist.add_gate("g1", "XOR2", ["en", "q"], "d")
+        netlist.add_gate("g2", "BUF_PIPE", ["d"], "q")
+        netlist.validate()  # must not raise
+
+
+class TestAccounting:
+    def test_tail_count(self):
+        assert half_adder().tail_count() == 2
+
+    def test_free_inversion_costs_nothing(self):
+        netlist = GateNetlist("inv")
+        netlist.add_input("a")
+        netlist.add_gate("g1", "INV", ["a"], "x")
+        assert netlist.tail_count() == 0
+        assert netlist.gate_count() == 0
+
+    def test_cell_histogram(self):
+        histogram = half_adder().cell_histogram()
+        assert histogram == {"XOR2": 1, "AND2": 1}
+
+    def test_logic_depth_combinational(self):
+        netlist = GateNetlist("chain")
+        netlist.add_input("a")
+        netlist.add_gate("g1", "BUF", ["a"], "x1")
+        netlist.add_gate("g2", "BUF", ["x1"], "x2")
+        netlist.add_gate("g3", "BUF", ["x2"], "x3")
+        assert netlist.logic_depth() == 3
+
+    def test_logic_depth_zero_when_fully_registered(self):
+        netlist = GateNetlist("reg")
+        netlist.add_input("a")
+        netlist.add_gate("g1", "BUF_PIPE", ["a"], "q")
+        assert netlist.logic_depth() == 0
+
+    def test_driver_of(self):
+        netlist = half_adder()
+        assert netlist.driver_of("s").name == "g_sum"
+        assert netlist.driver_of("a") is None

@@ -1,0 +1,114 @@
+"""Unit tests for automatic pipeline balancing."""
+
+import pytest
+
+from repro.digital.netlist import GateNetlist
+from repro.digital.pipeline import balance_pipeline, net_stages
+from repro.digital.simulator import CycleSimulator
+from repro.errors import NetlistError
+
+
+def unbalanced() -> GateNetlist:
+    """x arrives at the AND one stage deeper than y."""
+    netlist = GateNetlist("skewed")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate("deep1", "BUF_PIPE", ["a"], "x1")
+    netlist.add_gate("deep2", "BUF_PIPE", ["x1"], "x2")
+    netlist.add_gate("shallow", "BUF_PIPE", ["b"], "y1")
+    netlist.add_gate("join", "AND2_PIPE", ["x2", "y1"], "z")
+    netlist.mark_output("z")
+    return netlist
+
+
+class TestNetStages:
+    def test_stage_assignment(self):
+        stages = net_stages(unbalanced())
+        assert stages["a"] == 0
+        assert stages["x2"] == 2
+        assert stages["y1"] == 1
+        assert stages["z"] == 3
+
+    def test_combinational_gates_stay_in_stage(self):
+        netlist = GateNetlist("mix")
+        netlist.add_input("a")
+        netlist.add_gate("r", "BUF_PIPE", ["a"], "q")
+        netlist.add_gate("c", "BUF", ["q"], "y")
+        stages = net_stages(netlist)
+        assert stages["q"] == 1
+        assert stages["y"] == 1
+
+
+class TestBalancing:
+    def test_inserts_alignment_register(self):
+        balanced = balance_pipeline(unbalanced())
+        assert balanced.tail_count() == unbalanced().tail_count() + 1
+        histogram = balanced.cell_histogram()
+        assert histogram["BUF_PIPE"] == 4  # 3 original + 1 alignment
+
+    def test_balanced_stages_align(self):
+        balanced = balance_pipeline(unbalanced())
+        stages = net_stages(balanced)
+        join = balanced.gate("join")
+        input_stages = {stages[p.net] for p in join.inputs}
+        assert len(input_stages) == 1
+
+    def test_alignment_chains_are_shared(self):
+        netlist = GateNetlist("shared")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate("d1", "BUF_PIPE", ["a"], "x1")
+        netlist.add_gate("d2", "BUF_PIPE", ["x1"], "x2")
+        # two consumers both need b delayed by two stages
+        netlist.add_gate("j1", "AND2_PIPE", ["x2", "b"], "y1")
+        netlist.add_gate("j2", "OR2_PIPE", ["x2", "b"], "y2")
+        netlist.mark_output("y1")
+        netlist.mark_output("y2")
+        balanced = balance_pipeline(netlist)
+        aligners = [g for g in balanced.gates
+                    if g.name.startswith("align")]
+        assert len(aligners) == 2  # one shared chain of length 2
+
+    def test_functionality_preserved_with_latency(self):
+        original = unbalanced()
+        balanced = balance_pipeline(original)
+        sim = CycleSimulator(balanced)
+        latency = sim.latency()
+        vector = {"a": True, "b": True}
+        out = None
+        for _ in range(latency + 1):
+            out = sim.step(vector)
+        out_net = balanced.primary_outputs[0]
+        assert out[out_net] is True
+
+    def test_output_alignment(self):
+        netlist = GateNetlist("outs")
+        netlist.add_input("a")
+        netlist.add_gate("r1", "BUF_PIPE", ["a"], "q1")
+        netlist.add_gate("r2", "BUF_PIPE", ["q1"], "q2")
+        netlist.mark_output("q1")
+        netlist.mark_output("q2")
+        balanced = balance_pipeline(netlist)
+        stages = net_stages(balanced)
+        out_stages = {stages[n] for n in balanced.primary_outputs}
+        assert len(out_stages) == 1
+
+    def test_pin_inversion_preserved(self):
+        netlist = GateNetlist("invpin")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate("d1", "BUF_PIPE", ["a"], "x1")
+        netlist.add_gate("j", "AND2_PIPE", [("x1", False), ("b", True)],
+                         "y")
+        netlist.mark_output("y")
+        balanced = balance_pipeline(netlist)
+        join = balanced.gate("j")
+        assert join.inputs[1].inverted
+
+    def test_feedback_rejected(self):
+        netlist = GateNetlist("fb")
+        netlist.add_input("en")
+        netlist.add_gate("g1", "XOR2", ["en", "q"], "d")
+        netlist.add_gate("g2", "BUF_PIPE", ["d"], "q")
+        with pytest.raises(NetlistError):
+            balance_pipeline(netlist)

@@ -1,0 +1,73 @@
+"""Unit tests for static timing analysis."""
+
+import pytest
+
+from repro.digital.netlist import GateNetlist
+from repro.digital.sta import analyze_timing
+from repro.stscl import StsclGateDesign
+
+
+def chain(n: int, cell: str = "BUF") -> GateNetlist:
+    netlist = GateNetlist(f"chain{n}")
+    netlist.add_input("a")
+    previous = "a"
+    for k in range(n):
+        netlist.add_gate(f"g{k}", cell, [previous], f"x{k}")
+        previous = f"x{k}"
+    netlist.mark_output(previous)
+    return netlist
+
+
+class TestCriticalPath:
+    def test_chain_delay(self, default_design):
+        report = analyze_timing(chain(4), default_design)
+        assert report.critical_delay == pytest.approx(
+            4.0 * default_design.delay())
+        assert report.weighted_depth == pytest.approx(4.0)
+        assert len(report.critical_path) == 4
+
+    def test_stacked_cells_weighted(self, default_design):
+        netlist = GateNetlist("maj_pipe")
+        netlist.add_input("a")
+        netlist.add_gate("m1", "MAJ3_PIPE", ["a", "a", "a"], "x")
+        netlist.add_gate("m2", "MAJ3_PIPE", ["x", "x", "x"], "y")
+        netlist.mark_output("y")
+        report = analyze_timing(netlist, default_design)
+        # MAJ3 has delay factor 1.3, but sequential cells cut paths:
+        # each register-to-register segment is one cell.
+        assert report.weighted_depth == pytest.approx(1.3)
+
+    def test_fmax_half_period_criterion(self, default_design):
+        report = analyze_timing(chain(1), default_design)
+        assert report.f_max == pytest.approx(
+            1.0 / (2.0 * default_design.delay()))
+
+    def test_fmax_matches_gate_model(self, default_design):
+        """A depth-1 buffer pipeline must reproduce
+        StsclGateDesign.max_frequency(1)."""
+        netlist = chain(3, cell="BUF_PIPE")
+        report = analyze_timing(netlist, default_design)
+        assert report.f_max == pytest.approx(
+            default_design.max_frequency(1), rel=1e-9)
+
+    def test_parallel_paths_pick_longest(self, default_design):
+        netlist = GateNetlist("diamond")
+        netlist.add_input("a")
+        netlist.add_gate("short", "BUF", ["a"], "s")
+        netlist.add_gate("l1", "BUF", ["a"], "m")
+        netlist.add_gate("l2", "BUF", ["m"], "n")
+        netlist.add_gate("join", "AND2", ["s", "n"], "y")
+        report = analyze_timing(netlist, default_design)
+        assert report.critical_path[-1] == "join"
+        assert "l1" in report.critical_path
+
+    def test_power_accounting(self, default_design):
+        report = analyze_timing(chain(5), default_design)
+        assert report.n_tails == 5
+        assert report.power(default_design, 1.0) == pytest.approx(
+            5.0 * default_design.i_ss)
+
+    def test_scaling_with_current(self):
+        slow = analyze_timing(chain(3), StsclGateDesign.default(1e-10))
+        fast = analyze_timing(chain(3), StsclGateDesign.default(1e-9))
+        assert fast.f_max == pytest.approx(10.0 * slow.f_max, rel=1e-9)

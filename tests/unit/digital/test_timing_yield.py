@@ -1,0 +1,73 @@
+"""Unit tests for STA under tail-current mismatch."""
+
+import pytest
+
+from repro.digital.netlist import GateNetlist
+from repro.digital.sta import analyze_timing, timing_yield_under_mismatch
+from repro.stscl import StsclGateDesign
+
+
+def chain(n: int) -> GateNetlist:
+    netlist = GateNetlist(f"chain{n}")
+    netlist.add_input("a")
+    previous = "a"
+    for k in range(n):
+        netlist.add_gate(f"g{k}", "BUF_PIPE", [previous], f"x{k}")
+        previous = f"x{k}"
+    netlist.mark_output(previous)
+    return netlist
+
+
+class TestDelayScaleHook:
+    def test_scale_slows_named_gate(self, default_design):
+        netlist = chain(3)
+        nominal = analyze_timing(netlist, default_design)
+        slowed = analyze_timing(netlist, default_design,
+                                delay_scale={"g1": 2.0})
+        # Registers cut paths, so only g1's own segment doubles.
+        assert slowed.f_max == pytest.approx(nominal.f_max / 2.0)
+
+    def test_unknown_names_ignored(self, default_design):
+        netlist = chain(2)
+        nominal = analyze_timing(netlist, default_design)
+        same = analyze_timing(netlist, default_design,
+                              delay_scale={"ghost": 5.0})
+        assert same.f_max == nominal.f_max
+
+
+class TestMismatchYield:
+    def test_statistics_sane(self, default_design):
+        stats = timing_yield_under_mismatch(chain(20), default_design,
+                                            n_chips=15, seed=1)
+        assert stats["p05"] < stats["mean"] <= stats["nominal"] * 1.01
+        assert stats["std"] > 0.0
+        assert 0.0 < stats["sigma_mirror"] < 0.5
+
+    def test_reproducible(self, default_design):
+        a = timing_yield_under_mismatch(chain(5), default_design,
+                                        n_chips=5, seed=3)
+        b = timing_yield_under_mismatch(chain(5), default_design,
+                                        n_chips=5, seed=3)
+        assert a == b
+
+    def test_bigger_tail_devices_tighten_distribution(self):
+        """The paper's remedy: larger tail transistors reduce the
+        mirror sigma and hence the f_max spread."""
+        small = StsclGateDesign(i_ss=1e-9, tail_w=1e-6, tail_l=0.5e-6)
+        big = StsclGateDesign(i_ss=1e-9, tail_w=8e-6, tail_l=4e-6)
+        netlist = chain(20)
+        loose = timing_yield_under_mismatch(netlist, small, n_chips=15,
+                                            seed=0)
+        tight = timing_yield_under_mismatch(netlist, big, n_chips=15,
+                                            seed=0)
+        assert tight["sigma_mirror"] < 0.3 * loose["sigma_mirror"]
+        assert (tight["nominal"] - tight["p05"]) \
+            < (loose["nominal"] - loose["p05"])
+
+    def test_worst_chip_guides_derating(self, default_design):
+        """Design guidance: the 5th-percentile chip tells you how much
+        f_max margin to budget -- it must be a bounded derating, not a
+        collapse."""
+        stats = timing_yield_under_mismatch(chain(30), default_design,
+                                            n_chips=20, seed=2)
+        assert stats["p05"] > 0.5 * stats["nominal"]

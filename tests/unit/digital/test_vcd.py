@@ -1,0 +1,81 @@
+"""Unit tests for the VCD waveform exporter."""
+
+import io
+
+import pytest
+
+from repro.digital.registers import build_binary_counter
+from repro.digital.vcd import _identifier, dump_vcd
+from repro.errors import AnalysisError
+from repro.stscl import StsclGateDesign
+
+
+@pytest.fixture(scope="module")
+def counter_vcd():
+    netlist = build_binary_counter(3)
+    stimulus = [{"en": True}] * 10
+    return netlist, dump_vcd(netlist, stimulus)
+
+
+class TestIdentifiers:
+    def test_unique_for_many_signals(self):
+        ids = {_identifier(k) for k in range(500)}
+        assert len(ids) == 500
+
+    def test_rejects_negative(self):
+        with pytest.raises(AnalysisError):
+            _identifier(-1)
+
+
+class TestStructure:
+    def test_header_sections(self, counter_vcd):
+        _netlist, text = counter_vcd
+        for token in ("$timescale", "$scope", "$enddefinitions",
+                      "$upscope"):
+            assert token in text
+
+    def test_declares_expected_signals(self, counter_vcd):
+        _netlist, text = counter_vcd
+        for net in ("en", "q0", "q1", "q2"):
+            assert f" {net} $end" in text
+
+    def test_stream_argument(self):
+        netlist = build_binary_counter(2)
+        buffer = io.StringIO()
+        text = dump_vcd(netlist, [{"en": True}] * 3, stream=buffer)
+        assert buffer.getvalue() == text
+
+    def test_empty_stimulus_rejected(self):
+        with pytest.raises(AnalysisError):
+            dump_vcd(build_binary_counter(2), [])
+
+
+class TestValueChanges:
+    def _changes_of(self, text: str, identifier: str) -> list[str]:
+        return [line for line in text.splitlines()
+                if line.endswith(identifier)
+                and line[0] in "01"]
+
+    def test_lsb_toggles_every_cycle(self, counter_vcd):
+        _netlist, text = counter_vcd
+        # Find q0's identifier from its declaration line.
+        declaration = next(line for line in text.splitlines()
+                           if line.endswith(" q0 $end"))
+        identifier = declaration.split()[3]
+        changes = self._changes_of(text, identifier)
+        # q0 toggles on all 10 cycles.
+        assert len(changes) == 10
+        assert [c[0] for c in changes[:4]] == ["1", "0", "1", "0"]
+
+    def test_timescale_uses_design_rate(self):
+        netlist = build_binary_counter(2)
+        design = StsclGateDesign.default(1e-9)  # f_max ~103 kHz
+        text = dump_vcd(netlist, [{"en": True}] * 2, design=design)
+        period_ns = int(round(1e9 / design.max_frequency(1)))
+        assert f"#{period_ns}\n" in text
+
+    def test_net_filter(self):
+        netlist = build_binary_counter(3)
+        text = dump_vcd(netlist, [{"en": True}] * 4, nets=["q2"])
+        assert " q2 $end" in text
+        assert " q0 $end" not in text

@@ -1,0 +1,88 @@
+"""Unit tests for the energy planner."""
+
+import pytest
+
+from repro.adc import FaiAdc
+from repro.errors import DesignError
+from repro.platform_msys.energy import (
+    CR2032_ENERGY_J,
+    AcquisitionPlan,
+    average_power,
+    battery_lifetime,
+    sustainable_duty,
+)
+from repro.pmu import PowerManagementUnit
+
+
+@pytest.fixture(scope="module")
+def pmu():
+    return PowerManagementUnit(FaiAdc(ideal=True, seed=0))
+
+
+class TestPlan:
+    def test_sleep_fraction(self):
+        plan = AcquisitionPlan(duty_segments=((0.1, 800.0),
+                                              (0.05, 8e3)))
+        assert plan.sleep_fraction == pytest.approx(0.85)
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            AcquisitionPlan(duty_segments=((1.5, 800.0),))
+        with pytest.raises(DesignError):
+            AcquisitionPlan(duty_segments=((0.5, -1.0),))
+
+
+class TestAveragePower:
+    def test_weighted_sum(self, pmu):
+        plan = AcquisitionPlan(duty_segments=((1.0, 800.0),),
+                               sleep_power=0.0)
+        assert average_power(pmu, plan) == pytest.approx(
+            pmu.operating_point(800.0).total_power)
+
+    def test_duty_cycling_saves(self, pmu):
+        always = AcquisitionPlan(duty_segments=((1.0, 8e3),))
+        bursty = AcquisitionPlan(duty_segments=((0.1, 8e3),))
+        assert (average_power(pmu, bursty)
+                < 0.2 * average_power(pmu, always))
+
+
+class TestLifetime:
+    def test_coin_cell_years_at_low_rate(self, pmu):
+        """The headline the nW numbers buy: a CR2032 runs the ADC
+        continuously at 800 S/s for decades (converter only)."""
+        plan = AcquisitionPlan(duty_segments=((1.0, 800.0),),
+                               sleep_power=0.0)
+        lifetime_years = battery_lifetime(pmu, plan) / (3600 * 24 * 365)
+        assert lifetime_years > 100.0
+
+    def test_scaling_tradeoff(self, pmu):
+        """100x the rate costs ~100x the lifetime -- linear scaling."""
+        slow = AcquisitionPlan(duty_segments=((1.0, 800.0),),
+                               sleep_power=0.0)
+        fast = AcquisitionPlan(duty_segments=((1.0, 80e3),),
+                               sleep_power=0.0)
+        ratio = battery_lifetime(pmu, slow) / battery_lifetime(pmu, fast)
+        assert ratio == pytest.approx(100.0, rel=0.02)
+
+    def test_validation(self, pmu):
+        plan = AcquisitionPlan(duty_segments=((1.0, 800.0),))
+        with pytest.raises(DesignError):
+            battery_lifetime(pmu, plan, battery_energy=0.0)
+
+
+class TestHarvesting:
+    def test_ten_uw_harvest_covers_80k_partially(self, pmu):
+        duty = sustainable_duty(pmu, 80e3, harvest_power=1e-6)
+        assert 0.1 < duty < 0.5  # ~25 % at ~4 uW active
+
+    def test_full_duty_at_low_rate(self, pmu):
+        assert sustainable_duty(pmu, 800.0,
+                                harvest_power=1e-6) == 1.0
+
+    def test_dead_harvester(self, pmu):
+        assert sustainable_duty(pmu, 800.0, harvest_power=5e-10,
+                                sleep_power=1e-9) == 0.0
+
+    def test_validation(self, pmu):
+        with pytest.raises(DesignError):
+            sustainable_duty(pmu, 800.0, harvest_power=0.0)

@@ -1,0 +1,42 @@
+"""Unit tests for the STSCL design-space optimizer."""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.platform_msys import optimize_gate_design
+from repro.stscl import minimum_supply
+
+
+class TestOptimizer:
+    def test_meets_frequency(self):
+        point = optimize_gate_design(f_op=100e3)
+        assert point.design.max_frequency(1) >= 100e3 * (1 - 1e-9)
+
+    def test_respects_noise_margin(self):
+        point = optimize_gate_design(f_op=10e3, min_noise_margin=0.05)
+        assert point.noise_margin >= 0.05
+
+    def test_supply_has_margin_over_minimum(self):
+        point = optimize_gate_design(f_op=10e3, vdd_margin=0.05)
+        assert point.vdd == pytest.approx(
+            minimum_supply(point.design) + 0.05, abs=1e-6)
+
+    def test_tighter_margin_needs_bigger_swing(self):
+        loose = optimize_gate_design(f_op=10e3, min_noise_margin=0.03)
+        tight = optimize_gate_design(f_op=10e3, min_noise_margin=0.08)
+        assert tight.design.v_sw >= loose.design.v_sw
+        assert tight.power_per_gate >= loose.power_per_gate
+
+    def test_power_scales_with_frequency(self):
+        slow = optimize_gate_design(f_op=1e3)
+        fast = optimize_gate_design(f_op=100e3)
+        assert fast.power_per_gate > 50.0 * slow.power_per_gate
+
+    def test_infeasible_margin_raises(self):
+        with pytest.raises(DesignError):
+            optimize_gate_design(f_op=1e3, min_noise_margin=0.5)
+
+    def test_logic_depth_raises_current(self):
+        shallow = optimize_gate_design(f_op=1e4, logic_depth=1)
+        deep = optimize_gate_design(f_op=1e4, logic_depth=8)
+        assert deep.design.i_ss > 7.0 * shallow.design.i_ss

@@ -1,0 +1,40 @@
+"""Unit tests for the bias-current DAC."""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.pmu import BiasCurrentDac
+
+
+class TestDac:
+    def test_output_linear(self):
+        dac = BiasCurrentDac(i_lsb=10e-12, n_bits=8)
+        assert dac.output(0) == 0.0
+        assert dac.output(100) == pytest.approx(1e-9)
+
+    def test_full_scale(self):
+        dac = BiasCurrentDac(i_lsb=10e-12, n_bits=8)
+        assert dac.full_scale == pytest.approx(255 * 10e-12)
+
+    def test_code_for_ceils(self):
+        """The quantised bias must always *meet* the requested rate."""
+        dac = BiasCurrentDac(i_lsb=10e-12, n_bits=8)
+        assert dac.code_for(25e-12) == 3
+        assert dac.quantize(25e-12) >= 25e-12
+
+    def test_code_for_exact(self):
+        dac = BiasCurrentDac(i_lsb=10e-12, n_bits=8)
+        assert dac.code_for(30e-12) == 3
+
+    def test_clamps_at_full_scale(self):
+        dac = BiasCurrentDac(i_lsb=10e-12, n_bits=4)
+        assert dac.code_for(1.0) == 15
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            BiasCurrentDac(i_lsb=0.0)
+        dac = BiasCurrentDac(i_lsb=1e-12, n_bits=4)
+        with pytest.raises(DesignError):
+            dac.output(16)
+        with pytest.raises(DesignError):
+            dac.code_for(-1.0)

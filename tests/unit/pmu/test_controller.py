@@ -1,0 +1,78 @@
+"""Unit tests for the power-management unit."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignError
+from repro.pmu import PowerManagementUnit
+
+
+@pytest.fixture(scope="module")
+def pmu(chip_adc):
+    return PowerManagementUnit(chip_adc)
+
+
+# chip_adc is session-scoped in the top conftest; redeclare locally
+# for the module-scoped pmu fixture.
+@pytest.fixture(scope="module")
+def chip_adc():
+    from repro.adc import FaiAdc
+    return FaiAdc(ideal=False, seed=1)
+
+
+class TestOperatingPoint:
+    def test_power_linear_in_rate(self, pmu):
+        p_low = pmu.operating_point(800.0).total_power
+        p_high = pmu.operating_point(80e3).total_power
+        assert p_high == pytest.approx(100.0 * p_low, rel=0.02)
+
+    def test_paper_scaling_anchors(self, pmu):
+        """Sec. III-C: 44 nW at 800 S/s, 4 uW at 80 kS/s (digital
+        2 nW -> 200 nW).  Shape and rough magnitude must match."""
+        low = pmu.operating_point(800.0)
+        high = pmu.operating_point(80e3)
+        assert low.total_power == pytest.approx(44e-9, rel=0.35)
+        assert high.total_power == pytest.approx(4e-6, rel=0.35)
+        assert high.digital_power == pytest.approx(200e-9, rel=0.5)
+
+    def test_digital_fraction_small_and_constant(self, pmu):
+        fractions = [pmu.operating_point(f).digital_fraction
+                     for f in (800.0, 8e3, 80e3)]
+        assert all(0.02 < fraction < 0.10 for fraction in fractions)
+        assert np.ptp(fractions) < 0.01
+
+    def test_energy_per_sample_constant(self, pmu):
+        """Linear power scaling = constant energy per conversion."""
+        energies = [pmu.operating_point(f).energy_per_sample
+                    for f in (800.0, 8e3, 80e3)]
+        assert max(energies) / min(energies) == pytest.approx(1.0,
+                                                              rel=0.02)
+        assert energies[0] == pytest.approx(50e-12, rel=0.3)
+
+    def test_digital_tail_current_tracks_rate(self, pmu):
+        i_low = pmu.digital_tail_current(800.0)
+        i_high = pmu.digital_tail_current(80e3)
+        assert i_high == pytest.approx(100.0 * i_low)
+        assert i_high == pytest.approx(1e-9, rel=0.15)  # ~1 nA at 80 kS/s
+
+    def test_rejects_bad_rate(self, pmu):
+        with pytest.raises(DesignError):
+            pmu.operating_point(0.0)
+
+
+class TestTunedViews:
+    def test_tuned_adc_preserves_chip(self, pmu):
+        tuned = pmu.tuned_adc(8e3)
+        voltages = np.linspace(0.3, 0.7, 100)
+        assert np.array_equal(pmu.adc.convert_batch(voltages),
+                              tuned.convert_batch(voltages))
+
+    def test_tuned_gate_design_meets_rate(self, pmu):
+        design = pmu.tuned_gate_design(8e3)
+        assert design.max_frequency(1) >= 8e3
+
+    def test_validation(self, pmu):
+        with pytest.raises(DesignError):
+            PowerManagementUnit(pmu.adc, n_digital_tails=0)
+        with pytest.raises(DesignError):
+            PowerManagementUnit(pmu.adc, encoder_depth=0.5)

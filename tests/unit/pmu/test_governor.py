@@ -1,0 +1,78 @@
+"""Unit tests for the DVFS rate governor."""
+
+import pytest
+
+from repro.adc import FaiAdc
+from repro.errors import DesignError
+from repro.pmu import DvfsGovernor, PowerManagementUnit
+
+
+@pytest.fixture()
+def governor():
+    pmu = PowerManagementUnit(FaiAdc(ideal=True, seed=0))
+    return DvfsGovernor(pmu, rates=(800.0, 8e3, 80e3), dwell=2)
+
+
+class TestLadder:
+    def test_starts_at_bottom(self, governor):
+        assert governor.rate == 800.0
+
+    def test_sustained_activity_steps_up(self, governor):
+        governor.update(0.9)
+        assert governor.rate == 800.0  # dwell not yet satisfied
+        governor.update(0.9)
+        assert governor.rate == 8e3
+
+    def test_single_spike_ignored(self, governor):
+        governor.update(0.9)
+        governor.update(0.4)  # back in band: streak resets
+        governor.update(0.9)
+        assert governor.rate == 800.0
+
+    def test_steps_down_after_quiet(self, governor):
+        for _ in range(4):
+            governor.update(0.9)
+        assert governor.rate == 80e3
+        for _ in range(2):
+            governor.update(0.05)
+        assert governor.rate == 8e3
+
+    def test_hysteresis_band_holds(self, governor):
+        governor.update(0.9)
+        governor.update(0.9)
+        assert governor.rate == 8e3
+        for _ in range(10):
+            governor.update(0.4)  # inside the band
+        assert governor.rate == 8e3
+
+    def test_clamps_at_ends(self, governor):
+        for _ in range(20):
+            governor.update(1.0)
+        assert governor.rate == 80e3
+        for _ in range(20):
+            governor.update(0.0)
+        assert governor.rate == 800.0
+
+    def test_operating_point_follows(self, governor):
+        p_low = governor.operating_point().total_power
+        governor.update(0.9)
+        governor.update(0.9)
+        p_mid = governor.operating_point().total_power
+        assert p_mid == pytest.approx(10.0 * p_low, rel=0.02)
+
+    def test_reset(self, governor):
+        governor.reset(2)
+        assert governor.rate == 80e3
+        with pytest.raises(DesignError):
+            governor.reset(5)
+
+
+class TestValidation:
+    def test_bad_ladder(self):
+        pmu = PowerManagementUnit(FaiAdc(ideal=True, seed=0))
+        with pytest.raises(DesignError):
+            DvfsGovernor(pmu, rates=(800.0,))
+        with pytest.raises(DesignError):
+            DvfsGovernor(pmu, rates=(8e3, 800.0))
+        with pytest.raises(DesignError):
+            DvfsGovernor(pmu, up_threshold=0.2, down_threshold=0.3)

@@ -1,0 +1,65 @@
+"""Unit tests for energy-harvesting supply profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.pmu.harvesting import (
+    solar_profile,
+    supply_excursion_ok,
+    vibration_profile,
+)
+from repro.stscl import StsclGateDesign, minimum_supply
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("factory", [solar_profile,
+                                         vibration_profile])
+    def test_stays_within_rails(self, factory):
+        profile = factory(v_min=1.0, v_max=1.25)
+        _t, v = profile.sample(512)
+        assert v.min() >= 1.0 - 1e-9
+        assert v.max() <= 1.25 + 1e-9
+
+    def test_solar_has_dip(self):
+        profile = solar_profile(1.0, 1.25)
+        _t, v = profile.sample(1024)
+        # The cloud-transit dip makes the profile non-sinusoidal.
+        assert v.min() == pytest.approx(1.0, abs=1e-6)
+
+    def test_vibration_has_ripple(self):
+        profile = vibration_profile(1.0, 1.25)
+        _t, v = profile.sample(2048)
+        assert np.ptp(np.diff(v)) > 0.0
+
+    def test_sample_validation(self):
+        with pytest.raises(ModelError):
+            solar_profile().sample(1)
+
+    def test_rail_validation(self):
+        with pytest.raises(ModelError):
+            solar_profile(v_min=1.3, v_max=1.0)
+
+
+class TestExcursionCheck:
+    def test_na_design_survives_harvesting_rails(self):
+        """The paper's claim: at nA bias the minimum supply (~0.37 V)
+        is far below any harvesting rail, so V_DD wander is harmless."""
+        design = StsclGateDesign.default(1e-9)
+        assert supply_excursion_ok(design, solar_profile(1.0, 1.25))
+        assert supply_excursion_ok(design, vibration_profile(1.0, 1.25))
+
+    def test_fails_when_rails_drop_below_headroom(self):
+        design = StsclGateDesign.default(1e-7)  # needs ~0.55 V
+        vdd_min = minimum_supply(design)
+        profile = solar_profile(v_min=vdd_min - 0.05,
+                                v_max=vdd_min + 0.2)
+        assert not supply_excursion_ok(design, profile)
+
+    def test_margin_tightens_check(self):
+        design = StsclGateDesign.default(1e-9)
+        vdd_min = minimum_supply(design)
+        profile = solar_profile(v_min=vdd_min + 0.01,
+                                v_max=vdd_min + 0.3)
+        assert supply_excursion_ok(design, profile, margin=0.0)
+        assert not supply_excursion_ok(design, profile, margin=0.05)

@@ -1,0 +1,74 @@
+"""Unit tests for the behavioural PLL."""
+
+import pytest
+
+from repro.errors import AnalysisError, DesignError
+from repro.pmu import BehavioralPll
+from repro.stscl import StsclGateDesign
+
+
+@pytest.fixture(scope="module")
+def pll():
+    return BehavioralPll(StsclGateDesign.default(1e-9))
+
+
+class TestRingModel:
+    def test_frequency_linear_in_current(self, pll):
+        f1 = pll.ring_frequency(1e-9)
+        f2 = pll.ring_frequency(10e-9)
+        assert f2 == pytest.approx(10.0 * f1)
+
+    def test_inverse_mapping_roundtrip(self, pll):
+        i = pll.control_for_frequency(50e3)
+        assert pll.ring_frequency(i) == pytest.approx(50e3, rel=1e-9)
+
+    def test_rejects_bad_inputs(self, pll):
+        with pytest.raises(DesignError):
+            pll.ring_frequency(0.0)
+        with pytest.raises(DesignError):
+            pll.control_for_frequency(-1.0)
+
+
+class TestLocking:
+    def test_locks_to_reference(self, pll):
+        report = pll.lock(20e3)
+        assert report.locked
+        assert report.f_out == pytest.approx(20e3, rel=2e-3)
+
+    def test_control_current_is_the_bias(self, pll):
+        """The locked control current equals the open-loop value: this
+        is the number the PMU fans out to the whole chip (Fig. 1)."""
+        report = pll.lock(20e3)
+        assert report.i_control == pytest.approx(
+            pll.control_for_frequency(20e3), rel=5e-3)
+
+    def test_divider_multiplies(self):
+        pll = BehavioralPll(StsclGateDesign.default(1e-9), divider=8)
+        report = pll.lock(5e3)
+        assert report.f_out == pytest.approx(40e3, rel=5e-3)
+
+    def test_lock_time_reasonable(self, pll):
+        report = pll.lock(20e3)
+        # First-order loop at 5 % bandwidth: lock within ~100 cycles.
+        assert report.lock_time < 200.0 / 20e3
+
+    def test_warm_start_locks_faster(self, pll):
+        cold = pll.lock(20e3)
+        warm = pll.lock(20e3,
+                        i_start=pll.control_for_frequency(19e3))
+        assert warm.iterations < cold.iterations
+
+    def test_unlockable_raises(self, pll):
+        with pytest.raises(AnalysisError):
+            pll.lock(20e3, max_cycles=3)
+
+
+class TestValidation:
+    def test_ring_length(self):
+        with pytest.raises(DesignError):
+            BehavioralPll(StsclGateDesign.default(1e-9), n_ring=4)
+
+    def test_bandwidth_ratio(self):
+        with pytest.raises(DesignError):
+            BehavioralPll(StsclGateDesign.default(1e-9),
+                          bandwidth_ratio=0.9)

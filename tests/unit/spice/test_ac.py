@@ -1,0 +1,86 @@
+"""Unit tests for small-signal AC analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.devices import Mosfet, nmos_180
+from repro.errors import AnalysisError
+from repro.spice import Circuit, ac_analysis
+
+
+def rc_lowpass(r=1e6, c=1e-12):
+    ckt = Circuit()
+    ckt.add_vsource("V1", "in", "0", 0.0, ac_mag=1.0)
+    ckt.add_resistor("R1", "in", "out", r)
+    ckt.add_capacitor("C1", "out", "0", c)
+    return ckt
+
+
+class TestRcPole:
+    def test_bandwidth(self):
+        ckt = rc_lowpass()
+        result = ac_analysis(ckt, np.logspace(3, 8, 101))
+        f_pole = 1.0 / (2.0 * math.pi * 1e6 * 1e-12)
+        assert result.bandwidth_3db("out") == pytest.approx(f_pole,
+                                                            rel=0.02)
+
+    def test_dc_gain_unity(self):
+        ckt = rc_lowpass()
+        result = ac_analysis(ckt, [1.0e2])
+        assert abs(result.transfer("out")[0]) == pytest.approx(1.0,
+                                                               rel=1e-4)
+
+    def test_rolloff_20db_per_decade(self):
+        ckt = rc_lowpass()
+        result = ac_analysis(ckt, [1e7, 1e8])
+        mags = result.magnitude_db("out")
+        assert mags[0] - mags[1] == pytest.approx(20.0, abs=0.5)
+
+    def test_phase_approaches_minus_90(self):
+        ckt = rc_lowpass()
+        result = ac_analysis(ckt, [1e9])
+        assert result.phase_deg("out")[0] == pytest.approx(-90.0, abs=2.0)
+
+
+class TestValidation:
+    def test_needs_excitation(self):
+        ckt = Circuit()
+        ckt.add_vsource("V1", "in", "0", 1.0)  # no ac_mag
+        ckt.add_resistor("R1", "in", "0", 1e3)
+        with pytest.raises(AnalysisError):
+            ac_analysis(ckt, [1e3])
+
+    def test_rejects_bad_frequencies(self):
+        with pytest.raises(AnalysisError):
+            ac_analysis(rc_lowpass(), [])
+        with pytest.raises(AnalysisError):
+            ac_analysis(rc_lowpass(), [-1.0])
+
+
+class TestCommonSourceAmp:
+    def test_gain_matches_gm_times_rl(self):
+        """AC gain of a common-source stage must equal gm*RL from the
+        device operating point -- links the AC engine to the model."""
+        ckt = Circuit()
+        ckt.add_vsource("VDD", "vdd", "0", 1.2)
+        ckt.add_vsource("VG", "g", "0", 0.35, ac_mag=1.0)
+        ckt.add_resistor("RL", "vdd", "d", 10e6)
+        device = Mosfet(nmos_180(), w=2e-6, l=1e-6)
+        ckt.add_mosfet("M1", "d", "g", "0", "0", device, with_caps=False)
+        from repro.spice import operating_point
+        op = operating_point(ckt)
+        mos_op = op.device_ops["M1"]
+        expected = mos_op.gm * (1.0 / (1.0 / 10e6 + mos_op.gds))
+        result = ac_analysis(ckt, [10.0], op=op)
+        assert abs(result.transfer("d")[0]) == pytest.approx(expected,
+                                                             rel=1e-3)
+
+    def test_current_source_excitation(self):
+        ckt = Circuit()
+        ckt.add_isource("I1", "0", "out", 0.0, ac_mag=1e-6)
+        ckt.add_resistor("R1", "out", "0", 1e5)
+        result = ac_analysis(ckt, [1e3])
+        assert abs(result.transfer("out")[0]) == pytest.approx(0.1,
+                                                               rel=1e-6)

@@ -1,0 +1,139 @@
+"""Unit tests for the DC operating-point solver."""
+
+import numpy as np
+import pytest
+
+from repro.devices import Diode, Mosfet, NWELL_DIODE_180, nmos_180, pmos_180
+from repro.errors import ConvergenceError, NetlistError
+from repro.spice import Circuit, NewtonOptions, dc_sweep, operating_point
+
+
+def divider():
+    ckt = Circuit("divider")
+    ckt.add_vsource("V1", "in", "0", 1.0)
+    ckt.add_resistor("R1", "in", "mid", 10e3)
+    ckt.add_resistor("R2", "mid", "0", 30e3)
+    return ckt
+
+
+class TestLinear:
+    def test_divider_voltage(self):
+        op = operating_point(divider())
+        assert op.voltage("mid") == pytest.approx(0.75, rel=1e-6)
+
+    def test_branch_current_direction(self):
+        # Battery sourcing current reports a negative branch current.
+        op = operating_point(divider())
+        assert op.current("V1") == pytest.approx(-1.0 / 40e3, rel=1e-6)
+
+    def test_ground_voltage_is_zero(self):
+        op = operating_point(divider())
+        assert op.voltage("0") == 0.0
+        assert op.voltage("gnd") == 0.0
+
+    def test_vdiff(self):
+        op = operating_point(divider())
+        assert op.vdiff("in", "mid") == pytest.approx(0.25, rel=1e-6)
+
+    def test_vcvs_gain(self):
+        ckt = Circuit()
+        ckt.add_vsource("V1", "a", "0", 0.1)
+        ckt.add_vcvs("E1", "out", "0", "a", "0", gain=7.0)
+        ckt.add_resistor("RL", "out", "0", 1e3)
+        op = operating_point(ckt)
+        assert op.voltage("out") == pytest.approx(0.7, rel=1e-9)
+
+    def test_vccs(self):
+        ckt = Circuit()
+        ckt.add_vsource("V1", "a", "0", 0.2)
+        ckt.add_vccs("G1", "0", "out", "a", "0", gm=1e-3)  # inject into out
+        ckt.add_resistor("RL", "out", "0", 1e3)
+        op = operating_point(ckt)
+        assert op.voltage("out") == pytest.approx(0.2, rel=1e-9)
+
+    def test_current_source_direction(self):
+        # CurrentSource(0, node, I) injects I *into* the node.
+        ckt = Circuit()
+        ckt.add_isource("I1", "0", "out", 1e-6)
+        ckt.add_resistor("R1", "out", "0", 1e6)
+        op = operating_point(ckt)
+        # gmin (1e-15 S) adds a ~1e-9 relative shunt error: expected.
+        assert op.voltage("out") == pytest.approx(1.0, rel=1e-6)
+
+
+class TestNonlinear:
+    def test_diode_forward_drop(self):
+        ckt = Circuit()
+        ckt.add_isource("I1", "0", "a", 1e-6)
+        ckt.add_diode("D1", "a", "0", Diode(NWELL_DIODE_180))
+        op = operating_point(ckt)
+        assert 0.55 < op.voltage("a") < 0.75
+
+    def test_diode_connected_mos_weak_inversion(self):
+        ckt = Circuit()
+        ckt.add_isource("I1", "0", "d", 1e-9)
+        ckt.add_mosfet("M1", "d", "d", "0", "0",
+                       Mosfet(nmos_180(), w=1e-6, l=0.5e-6))
+        op = operating_point(ckt)
+        assert 0.1 < op.voltage("d") < 0.3
+        assert op.device_ops["M1"].region == "weak"
+
+    def test_current_mirror_copies(self):
+        ckt = Circuit()
+        device = Mosfet(nmos_180(), w=2e-6, l=1e-6)
+        ckt.add_isource("Iref", "0", "g", 5e-9)
+        ckt.add_mosfet("M1", "g", "g", "0", "0", device)
+        ckt.add_mosfet("M2", "out", "g", "0", "0", device)
+        ckt.add_vsource("Vout", "out", "0", 0.5)
+        op = operating_point(ckt)
+        # Branch current of Vout is the mirrored drain current.
+        assert abs(op.current("Vout")) == pytest.approx(5e-9, rel=0.1)
+
+    def test_cmos_inverter_transfer_endpoints(self):
+        def inverter_out(v_in):
+            ckt = Circuit()
+            ckt.add_vsource("VDD", "vdd", "0", 1.0)
+            ckt.add_vsource("VIN", "in", "0", v_in)
+            ckt.add_mosfet("MN", "out", "in", "0", "0",
+                           Mosfet(nmos_180(), w=1e-6, l=0.18e-6))
+            ckt.add_mosfet("MP", "out", "in", "vdd", "vdd",
+                           Mosfet(pmos_180(), w=2e-6, l=0.18e-6))
+            return operating_point(ckt).voltage("out")
+
+        assert inverter_out(0.0) > 0.95
+        assert inverter_out(1.0) < 0.05
+
+    def test_warm_start_size_check(self):
+        ckt = divider()
+        with pytest.raises(NetlistError):
+            operating_point(ckt, x0=np.zeros(99))
+
+
+class TestDcSweep:
+    def test_sweep_tracks_source(self):
+        ckt = divider()
+        result = dc_sweep(ckt, "V1", np.linspace(0.0, 2.0, 11))
+        assert result.voltage("mid")[0] == pytest.approx(0.0, abs=1e-9)
+        assert result.voltage("mid")[-1] == pytest.approx(1.5, rel=1e-6)
+
+    def test_sweep_restores_waveform(self):
+        ckt = divider()
+        dc_sweep(ckt, "V1", [0.5, 1.5])
+        op = operating_point(ckt)
+        assert op.voltage("in") == pytest.approx(1.0)
+
+    def test_sweep_rejects_non_source(self):
+        ckt = divider()
+        with pytest.raises(NetlistError):
+            dc_sweep(ckt, "R1", [1.0, 2.0])
+
+    def test_mos_transfer_sweep_monotone(self):
+        ckt = Circuit()
+        ckt.add_vsource("VG", "g", "0", 0.2)
+        ckt.add_vsource("VD", "d", "0", 0.8)
+        ckt.add_mosfet("M1", "d", "g", "0", "0",
+                       Mosfet(nmos_180(), w=1e-6, l=0.5e-6),
+                       with_caps=False)
+        result = dc_sweep(ckt, "VG", np.linspace(0.1, 0.6, 11))
+        currents = -result.current("VD")
+        assert np.all(np.diff(currents) > 0.0)

@@ -1,0 +1,95 @@
+"""Unit tests for SPICE-deck export / import round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.devices import Diode, Mosfet, NWELL_DIODE_180, nmos_180
+from repro.errors import NetlistError
+from repro.spice import Circuit, operating_point
+from repro.spice.io import read_netlist, write_netlist
+from repro.spice.waveforms import sine_wave
+
+
+def stscl_like_circuit() -> Circuit:
+    circuit = Circuit("unit_cell", temperature=300.0)
+    circuit.add_vsource("vdd", "vdd", "0", 1.0)
+    circuit.add_vsource("vbp", "vbp", "0", 0.65)
+    circuit.add_vsource("vin", "in", "0", 1.0)
+    device = Mosfet(nmos_180(), w=2e-6, l=1e-6)
+    circuit.add_mosfet("m1", "out", "in", "tail", "0", device)
+    circuit.add_isource("itail", "tail", "0", 1e-9)
+    circuit.add_resistor("rl", "vdd", "out", 200e6)
+    circuit.add_capacitor("cl", "out", "0", 35e-15)
+    circuit.add_diode("dw", "0", "out", Diode(NWELL_DIODE_180))
+    circuit.add_vcvs("eamp", "x", "0", "out", "0", 10.0)
+    circuit.add_vccs("gm", "0", "y", "out", "0", 1e-6)
+    circuit.add_resistor("rx", "x", "0", 1e6)
+    circuit.add_resistor("ry", "y", "0", 1e6)
+    circuit.nodeset("out", 0.8)
+    return circuit
+
+
+class TestExport:
+    def test_deck_structure(self):
+        deck = write_netlist(stscl_like_circuit())
+        assert deck.startswith("* unit_cell\n")
+        assert ".temp 26.85" in deck
+        assert ".end" in deck
+        assert "Mm1 out in tail 0 nmos_180" in deck
+        assert ".nodeset v(out)=800m" in deck
+
+    def test_waveform_exports_t0_value_with_note(self):
+        circuit = Circuit("wave")
+        circuit.add_vsource("vs", "a", "0", sine_wave(0.5, 0.1, 1e3))
+        circuit.add_resistor("r", "a", "0", 1e3)
+        deck = write_netlist(circuit)
+        assert "exported as its t=0 value" in deck
+        assert "Vvs a 0 DC 500m" in deck
+
+
+class TestRoundTrip:
+    def test_dc_solution_preserved(self):
+        original = stscl_like_circuit()
+        restored = read_netlist(write_netlist(original))
+        op_a = operating_point(original)
+        op_b = operating_point(restored)
+        for node in ("out", "tail", "x", "y"):
+            assert op_b.voltage(node) == pytest.approx(
+                op_a.voltage(node), abs=1e-5)
+
+    def test_metadata_preserved(self):
+        restored = read_netlist(write_netlist(stscl_like_circuit()))
+        assert restored.name == "unit_cell"
+        assert restored.temperature == pytest.approx(300.0, abs=0.01)
+        assert restored.nodesets["out"] == pytest.approx(0.8)
+
+    def test_element_count_preserved(self):
+        original = stscl_like_circuit()
+        restored = read_netlist(write_netlist(original))
+        # MOS companion caps become explicit C cards; counts match 1:1.
+        assert len(restored.elements) == len(original.elements)
+
+
+class TestImportValidation:
+    def test_unknown_card_rejected(self):
+        with pytest.raises(NetlistError):
+            read_netlist("* t\nL1 a 0 1m\n.end\n")
+
+    def test_unknown_diode_model_rejected(self):
+        with pytest.raises(NetlistError):
+            read_netlist("* t\nD1 a 0 mystery_diode\n.end\n")
+
+    def test_mos_needs_geometry(self):
+        with pytest.raises(NetlistError):
+            read_netlist("* t\nM1 d g s b nmos_180 M=1\n.end\n")
+
+    def test_hand_written_deck(self):
+        deck = """* divider
+V1 in 0 DC 1.0
+R1 in mid 10k
+R2 mid 0 30k
+.end
+"""
+        circuit = read_netlist(deck)
+        op = operating_point(circuit)
+        assert op.voltage("mid") == pytest.approx(0.75, rel=1e-6)

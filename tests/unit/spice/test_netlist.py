@@ -1,0 +1,100 @@
+"""Unit tests for circuit construction and MNA compilation."""
+
+import pytest
+
+from repro.devices import Diode, Mosfet, NWELL_DIODE_180, nmos_180
+from repro.errors import NetlistError
+from repro.spice import Circuit
+from repro.spice.netlist import is_ground
+
+
+class TestGround:
+    @pytest.mark.parametrize("name", ["0", "gnd", "GND", "Gnd"])
+    def test_ground_aliases(self, name):
+        assert is_ground(name)
+
+    def test_regular_node(self):
+        assert not is_ground("out")
+
+
+class TestConstruction:
+    def test_duplicate_element_name_rejected(self):
+        ckt = Circuit()
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        with pytest.raises(NetlistError):
+            ckt.add_resistor("R1", "b", "0", 1e3)
+
+    def test_bad_resistance_rejected(self):
+        ckt = Circuit()
+        with pytest.raises(NetlistError):
+            ckt.add_resistor("R1", "a", "0", 0.0)
+
+    def test_empty_node_name_rejected(self):
+        ckt = Circuit()
+        with pytest.raises(NetlistError):
+            ckt.add_resistor("R1", "", "0", 1e3)
+
+    def test_node_order_is_insertion_order(self):
+        ckt = Circuit()
+        ckt.add_resistor("R1", "x", "y", 1e3)
+        ckt.add_resistor("R2", "z", "0", 1e3)
+        assert ckt.node_names == ["x", "y", "z"]
+
+    def test_element_lookup(self):
+        ckt = Circuit()
+        r = ckt.add_resistor("R1", "a", "0", 1e3)
+        assert ckt.element("R1") is r
+        with pytest.raises(NetlistError):
+            ckt.element("R9")
+
+    def test_mosfet_adds_companion_caps(self):
+        ckt = Circuit()
+        device = Mosfet(nmos_180(), w=1e-6, l=0.5e-6)
+        ckt.add_mosfet("M1", "d", "g", "s", "0", device)
+        names = [e.name for e in ckt.elements]
+        assert "M1" in names
+        assert any(n.startswith("M1.c") for n in names)
+
+    def test_mosfet_without_caps(self):
+        ckt = Circuit()
+        device = Mosfet(nmos_180(), w=1e-6, l=0.5e-6)
+        ckt.add_mosfet("M1", "d", "g", "s", "0", device, with_caps=False)
+        assert len(ckt.elements) == 1
+
+    def test_mos_elements_listing(self):
+        ckt = Circuit()
+        device = Mosfet(nmos_180(), w=1e-6, l=0.5e-6)
+        ckt.add_mosfet("M1", "d", "g", "s", "0", device)
+        ckt.add_resistor("R1", "d", "0", 1e6)
+        assert [m.name for m in ckt.mos_elements()] == ["M1"]
+
+
+class TestCompilation:
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(NetlistError):
+            Circuit().compile()
+
+    def test_sizes(self):
+        ckt = Circuit()
+        ckt.add_vsource("V1", "in", "0", 1.0)   # 1 node + 1 aux
+        ckt.add_resistor("R1", "in", "out", 1e3)  # +1 node
+        ckt.add_resistor("R2", "out", "0", 1e3)
+        compiled = ckt.compile()
+        assert compiled.size == 3
+        assert compiled.index_of("0") == -1
+        assert compiled.index_of("in") == 0
+
+    def test_unknown_node_raises(self):
+        ckt = Circuit()
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        compiled = ckt.compile()
+        with pytest.raises(NetlistError):
+            compiled.index_of("nope")
+
+    def test_nodeset_seeds_initial_guess(self):
+        ckt = Circuit()
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        ckt.nodeset("a", 0.7)
+        compiled = ckt.compile()
+        x0 = ckt.initial_guess(compiled)
+        assert x0[compiled.node_index["a"]] == pytest.approx(0.7)

@@ -1,0 +1,99 @@
+"""Property-based tests of the MNA engine on randomised networks.
+
+The engine must obey network theory regardless of topology: voltage
+dividers follow the cumulative resistance ratio, linear networks obey
+superposition, and transients settle to the DC solution.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice import Circuit, TransientOptions, operating_point, transient
+from repro.spice.waveforms import step_wave
+
+resistances = st.lists(st.floats(min_value=10.0, max_value=1e7),
+                       min_size=2, max_size=8)
+
+
+class TestDividerChains:
+    @given(resistances, st.floats(min_value=-5.0, max_value=5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_series_chain_matches_ratio(self, values, v_source):
+        circuit = Circuit("chain")
+        circuit.add_vsource("V1", "n0", "0", v_source)
+        for k, r in enumerate(values):
+            circuit.add_resistor(f"R{k}", f"n{k}", f"n{k + 1}", r)
+        circuit.add_resistor("Rend", f"n{len(values)}", "0", 100.0)
+        op = operating_point(circuit)
+        total = sum(values) + 100.0
+        running = 0.0
+        for k, r in enumerate(values):
+            running += r
+            expected = v_source * (1.0 - running / total)
+            assert op.voltage(f"n{k + 1}") == pytest.approx(
+                expected, abs=1e-9 + 1e-6 * abs(v_source))
+
+    @given(resistances)
+    @settings(max_examples=30, deadline=None)
+    def test_kcl_at_star_node(self, values):
+        """N resistors from a driven star point to ground: the star
+        voltage equals the parallel-combination divider."""
+        circuit = Circuit("star")
+        circuit.add_vsource("V1", "in", "0", 1.0)
+        circuit.add_resistor("Rs", "in", "star", 1e3)
+        for k, r in enumerate(values):
+            circuit.add_resistor(f"R{k}", "star", "0", r)
+        op = operating_point(circuit)
+        g_par = sum(1.0 / r for r in values)
+        expected = (1.0 / 1e3) / (1.0 / 1e3 + g_par)
+        assert op.voltage("star") == pytest.approx(expected, rel=1e-6)
+
+
+class TestSuperposition:
+    @given(st.floats(min_value=-2.0, max_value=2.0),
+           st.floats(min_value=-1e-3, max_value=1e-3))
+    @settings(max_examples=30, deadline=None)
+    def test_two_sources_superpose(self, v1, i2):
+        def solve(v_val, i_val):
+            circuit = Circuit("sup")
+            circuit.add_vsource("V1", "a", "0", v_val)
+            circuit.add_resistor("R1", "a", "out", 2.2e3)
+            circuit.add_resistor("R2", "out", "0", 4.7e3)
+            circuit.add_isource("I1", "0", "out", i_val)
+            return operating_point(circuit).voltage("out")
+
+        combined = solve(v1, i2)
+        parts = solve(v1, 0.0) + solve(0.0, i2)
+        assert combined == pytest.approx(parts, abs=1e-9 + 1e-9)
+
+
+class TestTransientSettling:
+    @given(st.floats(min_value=1e3, max_value=1e6),
+           st.floats(min_value=1e-12, max_value=1e-9))
+    @settings(max_examples=15, deadline=None)
+    def test_rc_settles_to_dc(self, r, c):
+        tau = r * c
+        circuit = Circuit("rc")
+        circuit.add_vsource("V1", "in", "0",
+                            step_wave(0.0, 1.0, 0.1 * tau))
+        circuit.add_resistor("R1", "in", "out", r)
+        circuit.add_capacitor("C1", "out", "0", c)
+        result = transient(circuit, 12.0 * tau,
+                           TransientOptions(dt_max=tau / 20.0))
+        assert result.voltage("out")[-1] == pytest.approx(1.0, abs=5e-3)
+
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=15, deadline=None)
+    def test_monotone_charging(self, tau_scale):
+        """An RC step response must never overshoot."""
+        tau = 1e-6 * tau_scale
+        circuit = Circuit("rc")
+        circuit.add_vsource("V1", "in", "0", step_wave(0.0, 1.0, 0.0))
+        circuit.add_resistor("R1", "in", "out", 1e6)
+        circuit.add_capacitor("C1", "out", "0", tau / 1e6)
+        result = transient(circuit, 8.0 * tau,
+                           TransientOptions(dt_max=tau / 25.0))
+        v = result.voltage("out")
+        assert np.all(v <= 1.0 + 1e-6)
+        assert np.all(np.diff(v) >= -1e-7)

@@ -1,0 +1,107 @@
+"""Unit tests for the analysis result containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice.results import AcResult, OpResult, TranResult
+
+
+class TestOpResult:
+    def test_ground_reads_zero(self):
+        op = OpResult(voltages={"a": 1.0}, branch_currents={})
+        assert op.voltage("0") == 0.0
+        assert op.voltage("gnd") == 0.0
+
+    def test_unknown_node_raises(self):
+        op = OpResult(voltages={"a": 1.0}, branch_currents={})
+        with pytest.raises(AnalysisError):
+            op.voltage("b")
+
+    def test_vdiff_against_ground(self):
+        op = OpResult(voltages={"a": 0.7}, branch_currents={})
+        assert op.vdiff("a", "0") == pytest.approx(0.7)
+
+    def test_missing_branch_current(self):
+        op = OpResult(voltages={}, branch_currents={"V1": -1e-6})
+        assert op.current("V1") == -1e-6
+        with pytest.raises(AnalysisError):
+            op.current("V2")
+
+
+class TestAcResult:
+    def _single_pole(self, f_pole=1e3, points=101):
+        freqs = np.logspace(0, 6, points)
+        response = 1.0 / (1.0 + 1j * freqs / f_pole)
+        return AcResult(frequencies=freqs, voltages={"out": response})
+
+    def test_magnitude_db(self):
+        result = self._single_pole()
+        mags = result.magnitude_db("out")
+        assert mags[0] == pytest.approx(0.0, abs=0.01)
+        assert mags[-1] < -55.0
+
+    def test_bandwidth_interpolation(self):
+        result = self._single_pole(f_pole=1e3)
+        assert result.bandwidth_3db("out") == pytest.approx(1e3,
+                                                            rel=0.02)
+
+    def test_bandwidth_beyond_sweep(self):
+        freqs = np.logspace(0, 1, 11)
+        flat = AcResult(frequencies=freqs,
+                        voltages={"out": np.ones(11, dtype=complex)})
+        assert flat.bandwidth_3db("out") == pytest.approx(freqs[-1])
+
+    def test_phase_unwrapped(self):
+        result = self._single_pole()
+        phases = result.phase_deg("out")
+        assert phases[0] == pytest.approx(0.0, abs=1.0)
+        assert phases[-1] == pytest.approx(-90.0, abs=1.0)
+
+    def test_unknown_node(self):
+        result = self._single_pole()
+        with pytest.raises(AnalysisError):
+            result.transfer("ghost")
+
+
+class TestTranResult:
+    def _ramp(self):
+        t = np.linspace(0.0, 1.0, 101)
+        return TranResult(time=t, voltages={"x": t.copy(),
+                                            "y": 1.0 - t})
+
+    def test_value_at_interpolates(self):
+        result = self._ramp()
+        assert result.value_at("x", 0.505) == pytest.approx(0.505,
+                                                            abs=1e-6)
+
+    def test_vdiff(self):
+        result = self._ramp()
+        diff = result.vdiff("x", "y")
+        assert diff[0] == pytest.approx(-1.0)
+        assert diff[-1] == pytest.approx(1.0)
+
+    def test_ground_waveform_zero(self):
+        result = self._ramp()
+        assert np.all(result.voltage("0") == 0.0)
+
+    def test_crossing_times_both_edges(self):
+        t = np.linspace(0.0, 2.0 * np.pi, 401)
+        result = TranResult(time=t, voltages={"s": np.sin(t)})
+        ups = result.crossing_times("s", 0.0, rising=True)
+        downs = result.crossing_times("s", 0.0, rising=False)
+        both = result.crossing_times("s", 0.0)
+        assert downs.size >= 1
+        assert both.size == ups.size + downs.size
+        assert downs[0] == pytest.approx(np.pi, abs=0.02)
+
+    def test_crossing_level_offset(self):
+        t = np.linspace(0.0, 1.0, 101)
+        result = TranResult(time=t, voltages={"r": t.copy()})
+        crossings = result.crossing_times("r", 0.25, rising=True)
+        assert crossings.size == 1
+        assert crossings[0] == pytest.approx(0.25, abs=1e-6)
+
+    def test_unknown_node(self):
+        with pytest.raises(AnalysisError):
+            self._ramp().voltage("ghost")

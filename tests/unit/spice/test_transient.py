@@ -1,0 +1,113 @@
+"""Unit tests for the transient engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice import Circuit, TransientOptions, transient
+from repro.spice.waveforms import pulse_wave, sine_wave, step_wave
+
+
+def rc_circuit(tau_r=1e6, tau_c=1e-12, t_step=1e-6):
+    ckt = Circuit("rc")
+    ckt.add_vsource("V1", "in", "0", step_wave(0.0, 1.0, t_step))
+    ckt.add_resistor("R1", "in", "out", tau_r)
+    ckt.add_capacitor("C1", "out", "0", tau_c)
+    return ckt
+
+
+class TestRcStep:
+    def test_exponential_charging(self):
+        tau = 1e-6
+        ckt = rc_circuit()
+        result = transient(ckt, 8e-6,
+                           TransientOptions(dt_max=tau / 100.0))
+        for n_tau in (1.0, 2.0, 3.0):
+            expected = 1.0 - math.exp(-n_tau)
+            got = result.value_at("out", 1e-6 + n_tau * tau)
+            assert got == pytest.approx(expected, abs=5e-3)
+
+    def test_flat_before_step(self):
+        ckt = rc_circuit()
+        result = transient(ckt, 4e-6)
+        assert abs(result.value_at("out", 0.5e-6)) < 1e-6
+
+    def test_backward_euler_also_converges(self):
+        ckt = rc_circuit()
+        result = transient(ckt, 8e-6, TransientOptions(
+            method="be", dt_max=1e-8))
+        assert result.value_at("out", 1e-6 + 3e-6) == pytest.approx(
+            1.0 - math.exp(-3.0), abs=1e-2)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(NetlistError):
+            transient(rc_circuit(), 1e-6,
+                      TransientOptions(method="rk4"))
+
+    def test_bad_t_stop_rejected(self):
+        with pytest.raises(NetlistError):
+            transient(rc_circuit(), 0.0)
+
+
+class TestBreakpoints:
+    def test_pulse_edges_are_hit(self):
+        ckt = Circuit()
+        ckt.add_vsource("V1", "in", "0",
+                        pulse_wave(0.0, 1.0, delay=1e-6, rise=1e-9,
+                                   fall=1e-9, width=2e-6, period=10e-6))
+        ckt.add_resistor("R1", "in", "0", 1e3)
+        result = transient(ckt, 5e-6)
+        # Samples exist essentially at the rising edge.
+        assert np.min(np.abs(result.time - 1e-6)) < 2e-9
+
+    def test_crossing_times_rising_filter(self):
+        ckt = rc_circuit()
+        result = transient(ckt, 8e-6, TransientOptions(dt_max=1e-8))
+        ups = result.crossing_times("out", 0.5, rising=True)
+        downs = result.crossing_times("out", 0.5, rising=False)
+        assert ups.size == 1
+        assert downs.size == 0
+        # RC reaches 50 % after ln(2) tau
+        assert ups[0] == pytest.approx(1e-6 + math.log(2.0) * 1e-6,
+                                       rel=1e-2)
+
+
+class TestSineDrive:
+    def test_amplitude_rolloff_at_pole(self):
+        # Drive the RC at its pole: |H| = 1/sqrt(2).
+        tau = 1e-6
+        f_pole = 1.0 / (2.0 * math.pi * tau)
+        ckt = Circuit()
+        ckt.add_vsource("V1", "in", "0",
+                        sine_wave(0.0, 1.0, f_pole))
+        ckt.add_resistor("R1", "in", "out", 1e6)
+        ckt.add_capacitor("C1", "out", "0", 1e-12)
+        result = transient(ckt, 20.0 / f_pole,
+                           TransientOptions(dt_max=1.0 / (200.0 * f_pole)))
+        # Steady state: look at the last 5 periods.
+        mask = result.time > 15.0 / f_pole
+        amplitude = 0.5 * (result.voltage("out")[mask].max()
+                           - result.voltage("out")[mask].min())
+        assert amplitude == pytest.approx(1.0 / math.sqrt(2.0), rel=0.03)
+
+
+class TestChargeConservation:
+    def test_cap_divider_final_value(self):
+        # Two series caps from a stepped source settle to the C-divider.
+        ckt = Circuit()
+        ckt.add_vsource("V1", "in", "0", step_wave(0.0, 1.0, 1e-9))
+        ckt.add_capacitor("C1", "in", "mid", 2e-12)
+        ckt.add_capacitor("C2", "mid", "0", 1e-12)
+        ckt.add_resistor("Rleak", "mid", "0", 1e12)  # keeps DC defined
+        result = transient(ckt, 100e-9)
+        assert result.value_at("mid", 90e-9) == pytest.approx(2.0 / 3.0,
+                                                              rel=0.02)
+
+    def test_record_currents_option(self):
+        ckt = rc_circuit()
+        result = transient(ckt, 4e-6,
+                           TransientOptions(record_currents=True))
+        assert "V1" in result.branch_currents
+        assert result.branch_currents["V1"].shape == result.time.shape

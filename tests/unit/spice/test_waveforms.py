@@ -1,0 +1,96 @@
+"""Unit tests for source waveforms."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.spice.waveforms import (
+    dc_wave,
+    pulse_wave,
+    pwl_wave,
+    sine_wave,
+    step_wave,
+)
+
+
+class TestDc:
+    def test_constant(self):
+        wave = dc_wave(0.7)
+        assert wave(0.0) == 0.7
+        assert wave(1e9) == 0.7
+
+
+class TestStep:
+    def test_instant_step(self):
+        wave = step_wave(0.0, 1.0, 1e-6)
+        assert wave(0.5e-6) == 0.0
+        assert wave(1.5e-6) == 1.0
+
+    def test_ramped_step_midpoint(self):
+        wave = step_wave(0.0, 1.0, 1e-6, t_rise=2e-6)
+        assert wave(2e-6) == pytest.approx(0.5)
+
+    def test_breakpoints(self):
+        wave = step_wave(0.0, 1.0, 1e-6, t_rise=1e-6)
+        assert wave.breakpoints == (1e-6, 2e-6)
+
+    def test_negative_rise_rejected(self):
+        with pytest.raises(ModelError):
+            step_wave(0.0, 1.0, 0.0, t_rise=-1.0)
+
+
+class TestPulse:
+    def test_levels(self):
+        wave = pulse_wave(0.0, 1.0, delay=0.0, rise=1e-9, fall=1e-9,
+                          width=4e-6, period=10e-6)
+        assert wave(2e-6) == 1.0
+        assert wave(8e-6) == 0.0
+
+    def test_periodicity(self):
+        wave = pulse_wave(0.0, 1.0, delay=0.0, rise=1e-9, fall=1e-9,
+                          width=4e-6, period=10e-6)
+        assert wave(2e-6) == wave(12e-6) == wave(102e-6)
+
+    def test_rise_interpolation(self):
+        wave = pulse_wave(0.0, 2.0, delay=0.0, rise=2e-6, fall=1e-9,
+                          width=4e-6, period=20e-6)
+        assert wave(1e-6) == pytest.approx(1.0)
+
+    def test_overlong_pulse_rejected(self):
+        with pytest.raises(ModelError):
+            pulse_wave(0.0, 1.0, delay=0.0, rise=5e-6, fall=5e-6,
+                       width=5e-6, period=10e-6)
+
+
+class TestSine:
+    def test_offset_and_amplitude(self):
+        wave = sine_wave(0.5, 0.2, 1e3)
+        assert wave(0.0) == pytest.approx(0.5)
+        assert wave(0.25e-3) == pytest.approx(0.7)
+
+    def test_delay_holds_initial(self):
+        wave = sine_wave(0.5, 0.2, 1e3, delay=1e-3)
+        assert wave(0.5e-3) == pytest.approx(0.5)
+
+    def test_bad_frequency_rejected(self):
+        with pytest.raises(ModelError):
+            sine_wave(0.0, 1.0, 0.0)
+
+
+class TestPwl:
+    def test_interpolation(self):
+        wave = pwl_wave([(0.0, 0.0), (1.0, 2.0), (3.0, 2.0)])
+        assert wave(0.5) == pytest.approx(1.0)
+        assert wave(2.0) == pytest.approx(2.0)
+
+    def test_clamps_outside(self):
+        wave = pwl_wave([(1.0, 3.0), (2.0, 5.0)])
+        assert wave(0.0) == 3.0
+        assert wave(10.0) == 5.0
+
+    def test_nonmonotonic_times_rejected(self):
+        with pytest.raises(ModelError):
+            pwl_wave([(0.0, 0.0), (0.0, 1.0)])
+
+    def test_breakpoints_are_the_corners(self):
+        wave = pwl_wave([(0.0, 0.0), (1.0, 2.0)])
+        assert wave.breakpoints == (0.0, 1.0)

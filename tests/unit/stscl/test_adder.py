@@ -1,0 +1,90 @@
+"""Unit tests for the ref-[13] pipelined adder."""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.stscl import PipelinedAdder, StsclGateDesign, full_adder_cells
+
+
+class TestConstruction:
+    def test_rejects_bad_width(self):
+        with pytest.raises(DesignError):
+            PipelinedAdder(width=0)
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(DesignError):
+            PipelinedAdder(width=8, granularity=9)
+
+    def test_full_adder_cells(self):
+        sum_cell, carry_cell = full_adder_cells(pipelined=True)
+        assert sum_cell.pipelined and carry_cell.pipelined
+        sum_plain, carry_plain = full_adder_cells(pipelined=False)
+        assert not sum_plain.pipelined
+
+
+class TestFunction:
+    @pytest.mark.parametrize("x,y,cin", [
+        (0, 0, False), (1, 1, False), (255, 1, False),
+        (170, 85, False), (255, 255, True), (37, 200, True)])
+    def test_flat_adder_adds(self, x, y, cin):
+        adder = PipelinedAdder(width=8, granularity=8)
+        netlist = adder.build()
+        total = adder.simulate_add(netlist, x, y, cin)
+        assert total == x + y + int(cin)
+
+    @pytest.mark.parametrize("x,y", [(0, 0), (15, 1), (255, 255),
+                                     (100, 155)])
+    def test_fully_pipelined_adder_adds(self, x, y):
+        adder = PipelinedAdder(width=8, granularity=1)
+        netlist = adder.build()
+        assert adder.simulate_add(netlist, x, y) == x + y
+
+    def test_granularity_4(self):
+        adder = PipelinedAdder(width=8, granularity=4)
+        netlist = adder.build()
+        assert adder.simulate_add(netlist, 123, 45) == 168
+
+    def test_out_of_range_rejected(self):
+        adder = PipelinedAdder(width=8)
+        netlist = adder.build()
+        with pytest.raises(DesignError):
+            adder.simulate_add(netlist, 256, 0)
+
+
+class TestCosts:
+    def test_flat_logic_cost_two_per_bit(self):
+        adder = PipelinedAdder(width=32, granularity=32)
+        netlist = adder.build()
+        assert netlist.tail_count() == 64
+
+    def test_pipelining_adds_alignment_registers(self):
+        flat = PipelinedAdder(width=8, granularity=8).build()
+        piped = PipelinedAdder(width=8, granularity=1).build()
+        assert piped.tail_count() > flat.tail_count()
+
+    def test_pipelined_depth_is_one_cell(self):
+        netlist = PipelinedAdder(width=8, granularity=1).build()
+        assert netlist.logic_depth() == 0  # every output registered
+
+    def test_flat_depth_is_carry_chain(self):
+        # granularity = width still registers the final bit, so the
+        # combinational carry chain is width - 1 cells long.
+        netlist = PipelinedAdder(width=8, granularity=8).build(
+            balanced=False)
+        assert netlist.logic_depth() == 7
+
+
+class TestPdp:
+    def test_five_femtojoule_anchor(self):
+        """Ref [13]: ~5 fJ/stage at the repo design point."""
+        adder = PipelinedAdder(width=32)
+        design = StsclGateDesign.default(i_ss=1e-9)
+        pdp = adder.pdp_per_stage(design, vdd=0.4)
+        assert pdp == pytest.approx(5e-15, rel=0.5)
+
+    def test_pdp_independent_of_current(self):
+        """PDP = 2 V_DD ln2 V_SW C_L: the current cancels."""
+        adder = PipelinedAdder(width=32)
+        low = adder.pdp_per_stage(StsclGateDesign.default(1e-11), 0.4)
+        high = adder.pdp_per_stage(StsclGateDesign.default(1e-7), 0.4)
+        assert low == pytest.approx(high, rel=1e-9)

@@ -1,0 +1,131 @@
+"""Unit tests for the analytic STSCL gate model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import LN2
+from repro.errors import DesignError
+from repro.stscl import StsclGateDesign
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_current(self):
+        with pytest.raises(DesignError):
+            StsclGateDesign(i_ss=0.0)
+
+    def test_rejects_sub_regeneration_swing(self):
+        # 4 U_T ~ 104 mV at room temperature
+        with pytest.raises(DesignError):
+            StsclGateDesign(i_ss=1e-9, v_sw=0.05)
+
+    def test_rejects_bad_stack(self):
+        with pytest.raises(DesignError):
+            StsclGateDesign(i_ss=1e-9, stack_levels=0)
+
+
+class TestDelayPowerLaws:
+    def test_load_resistance(self):
+        gate = StsclGateDesign(i_ss=1e-9, v_sw=0.2)
+        assert gate.load_resistance == pytest.approx(200e6)
+
+    def test_delay_formula(self):
+        gate = StsclGateDesign(i_ss=1e-9, v_sw=0.2, c_load=35e-15)
+        expected = LN2 * 0.2 * 35e-15 / 1e-9
+        assert gate.delay() == pytest.approx(expected)
+
+    def test_power_is_iss_vdd(self):
+        gate = StsclGateDesign(i_ss=2e-9)
+        assert gate.power(1.0) == pytest.approx(2e-9)
+        assert gate.power(0.5) == pytest.approx(1e-9)
+
+    def test_max_frequency_inverse_of_eq1(self):
+        gate = StsclGateDesign(i_ss=1e-9, v_sw=0.2, c_load=35e-15)
+        f = gate.max_frequency(1)
+        assert f == pytest.approx(1e-9 / (2 * LN2 * 0.2 * 35e-15))
+
+    def test_depth_divides_frequency(self):
+        gate = StsclGateDesign(i_ss=1e-9)
+        assert gate.max_frequency(4) == pytest.approx(
+            gate.max_frequency(1) / 4.0)
+
+    @given(st.floats(min_value=1e-12, max_value=1e-6),
+           st.floats(min_value=2.0, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_delay_current_product_invariant(self, i_ss, factor):
+        """t_d * I_SS is a constant of the design -- the heart of the
+        linear power-frequency scaling (Eq. 1)."""
+        gate = StsclGateDesign(i_ss=i_ss)
+        scaled = gate.with_current(i_ss * factor)
+        assert (scaled.delay() * scaled.i_ss
+                == pytest.approx(gate.delay() * gate.i_ss, rel=1e-9))
+
+    @given(st.floats(min_value=0.3, max_value=1.8))
+    @settings(max_examples=20, deadline=None)
+    def test_delay_independent_of_vdd(self, vdd):
+        """V_DD appears nowhere in the delay law (Fig. 3b)."""
+        gate = StsclGateDesign(i_ss=1e-9)
+        # delay() takes no vdd argument -- structural independence --
+        # and power is exactly linear in vdd.
+        assert gate.power(vdd) == pytest.approx(gate.i_ss * vdd)
+
+    def test_energy_per_transition(self):
+        gate = StsclGateDesign(i_ss=1e-9)
+        assert gate.energy_per_transition(1.0) == pytest.approx(
+            gate.delay() * 1e-9)
+
+
+class TestGainAndMargins:
+    def test_gain_around_three_at_200mv(self):
+        gate = StsclGateDesign(i_ss=1e-9, v_sw=0.2)
+        assert 2.5 < gate.small_signal_gain() < 3.5
+
+    def test_gain_independent_of_current(self):
+        low = StsclGateDesign(i_ss=1e-12)
+        high = StsclGateDesign(i_ss=1e-7)
+        assert low.small_signal_gain() == pytest.approx(
+            high.small_signal_gain())
+
+    def test_noise_margin_positive_at_default(self):
+        gate = StsclGateDesign(i_ss=1e-9)
+        assert gate.noise_margin() > 0.02
+
+    def test_noise_margin_grows_with_swing(self):
+        narrow = StsclGateDesign(i_ss=1e-9, v_sw=0.15)
+        wide = StsclGateDesign(i_ss=1e-9, v_sw=0.3)
+        assert wide.noise_margin() > narrow.noise_margin()
+
+
+class TestDeviceViews:
+    def test_subthreshold_at_na_levels(self):
+        gate = StsclGateDesign(i_ss=1e-9)
+        assert gate.is_subthreshold()
+        assert gate.inversion_coefficient() < 0.01
+
+    def test_leaves_subthreshold_at_ua_levels(self):
+        gate = StsclGateDesign(i_ss=5e-6)
+        assert not gate.is_subthreshold()
+
+    def test_gate_overdrive_grows_with_current(self):
+        gate = StsclGateDesign(i_ss=1e-9)
+        assert (gate.with_current(1e-7).pair_gate_overdrive()
+                > gate.pair_gate_overdrive())
+
+    def test_summary_keys(self):
+        summary = StsclGateDesign(i_ss=1e-9).summary()
+        for key in ("delay", "gain", "noise_margin", "f_max_depth1"):
+            assert key in summary
+
+
+class TestCalibrationAnchors:
+    """DESIGN.md section 5: the Fig. 9a anchors."""
+
+    def test_800_hz_at_10pa(self):
+        gate = StsclGateDesign(i_ss=10e-12)
+        # depth-1.3 encoder: usable rate ~ f_max/1.3
+        assert gate.max_frequency(1) / 1.3 == pytest.approx(800.0, rel=0.1)
+
+    def test_80_khz_at_1na(self):
+        gate = StsclGateDesign(i_ss=1e-9)
+        assert gate.max_frequency(1) / 1.3 == pytest.approx(80e3, rel=0.1)

@@ -1,0 +1,110 @@
+"""Unit tests for the STSCL standard-cell library."""
+
+import itertools
+
+import pytest
+
+from repro.errors import DesignError
+from repro.stscl.library import (
+    STACK_DELAY_PENALTY,
+    STANDARD_CELLS,
+    CellKind,
+    StsclCell,
+    cell,
+)
+
+
+class TestLookup:
+    def test_known_cell(self):
+        assert cell("MAJ3").n_inputs == 3
+
+    def test_unknown_cell(self):
+        with pytest.raises(DesignError):
+            cell("NAND47")
+
+
+class TestFunctions:
+    @pytest.mark.parametrize("name,table", [
+        ("AND2", {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        ("NAND2", {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+        ("OR2", {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+        ("NOR2", {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+        ("XOR2", {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+        ("XNOR2", {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+    ])
+    def test_two_input_truth_tables(self, name, table):
+        gate = cell(name)
+        for inputs, expected in table.items():
+            assert gate.evaluate([bool(v) for v in inputs]) == bool(
+                expected)
+
+    def test_majority_truth_table(self):
+        maj = cell("MAJ3")
+        for bits in itertools.product((False, True), repeat=3):
+            assert maj.evaluate(bits) == (sum(bits) >= 2)
+
+    def test_xor3(self):
+        gate = cell("XOR3")
+        for bits in itertools.product((False, True), repeat=3):
+            assert gate.evaluate(bits) == (sum(bits) % 2 == 1)
+
+    def test_mux2_selects(self):
+        mux = cell("MUX2")
+        # inputs: (select, a, b) -> a if select else b
+        assert mux.evaluate((True, True, False)) is True
+        assert mux.evaluate((False, True, False)) is False
+
+    def test_inverter_free(self):
+        inv = cell("INV")
+        assert inv.tails == 0
+        assert inv.kind is CellKind.FREE
+        assert inv.evaluate([True]) is False
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(DesignError):
+            cell("AND2").evaluate([True])
+
+
+class TestCosts:
+    def test_every_logic_cell_costs_one_tail(self):
+        for gate in STANDARD_CELLS.values():
+            if gate.kind in (CellKind.COMBINATIONAL, CellKind.LATCH):
+                assert gate.tails == 1, gate.name
+
+    def test_flipflop_costs_two(self):
+        assert cell("DFF").tails == 2
+
+    def test_pipelined_variants_same_cost(self):
+        """The Fig. 8 merge: adding the latch costs no tail current."""
+        assert cell("MAJ3_PIPE").tails == cell("MAJ3").tails
+        assert cell("XOR2_PIPE").tails == cell("XOR2").tails
+
+    def test_delay_factor_grows_with_stack(self):
+        assert (cell("MAJ3").delay_factor()
+                == pytest.approx(1.0 + 2 * STACK_DELAY_PENALTY))
+        assert cell("BUF").delay_factor() == pytest.approx(1.0)
+        assert cell("INV").delay_factor() == 0.0
+
+    def test_pipelined_functions_match_plain(self):
+        pairs = [("MAJ3_PIPE", "MAJ3"), ("XOR2_PIPE", "XOR2"),
+                 ("AND2_PIPE", "AND2"), ("OR2_PIPE", "OR2"),
+                 ("FASUM_PIPE", "XOR3")]
+        for pipe_name, plain_name in pairs:
+            pipe, plain = cell(pipe_name), cell(plain_name)
+            for bits in itertools.product((False, True),
+                                          repeat=plain.n_inputs):
+                assert pipe.evaluate(bits) == plain.evaluate(bits)
+
+    def test_stack_levels_bounded(self):
+        for gate in STANDARD_CELLS.values():
+            assert 0 <= gate.stack_levels <= 3
+
+
+class TestValidation:
+    def test_bad_stack_rejected(self):
+        with pytest.raises(DesignError):
+            StsclCell("BAD", 1, lambda v: v[0], stack_levels=9)
+
+    def test_negative_tails_rejected(self):
+        with pytest.raises(DesignError):
+            StsclCell("BAD", 1, lambda v: v[0], stack_levels=1, tails=-1)

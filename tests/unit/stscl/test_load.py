@@ -1,0 +1,82 @@
+"""Unit tests for the bulk-drain-shorted PMOS load and replica bias."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignError
+from repro.stscl.load import HighValueLoad, ReplicaBias
+
+
+@pytest.fixture(scope="module")
+def load():
+    return HighValueLoad()
+
+
+class TestLoadDevice:
+    def test_bias_solve_delivers_current(self, load):
+        v_bp = load.required_gate_bias(1e-9, 0.2, 1.0)
+        assert load.current(v_bp, 1.0, 0.2) == pytest.approx(1e-9,
+                                                             rel=1e-6)
+
+    def test_bias_moves_down_for_more_current(self, load):
+        # Lower gate -> larger V_SG -> more current.
+        weak = load.required_gate_bias(10e-12, 0.2, 1.0)
+        strong = load.required_gate_bias(10e-9, 0.2, 1.0)
+        assert strong < weak
+
+    def test_gigaohm_resistance_at_pa(self, load):
+        v_bp = load.required_gate_bias(10e-12, 0.2, 1.0)
+        # Nominal R = V_SW/I = 20 Gohm; small-signal value within 10x.
+        r = load.small_signal_resistance(v_bp, 1.0, 0.1)
+        assert r > 1e9
+
+    def test_resistance_scales_inversely_with_current(self, load):
+        r_values = []
+        for i_ss in (1e-11, 1e-10, 1e-9):
+            v_bp = load.required_gate_bias(i_ss, 0.2, 1.0)
+            r_values.append(load.small_signal_resistance(v_bp, 1.0, 0.1))
+        ratios = [a / b for a, b in zip(r_values, r_values[1:])]
+        for ratio in ratios:
+            assert ratio == pytest.approx(10.0, rel=0.3)
+
+    def test_iv_profile_monotone(self, load):
+        v_bp = load.required_gate_bias(1e-9, 0.2, 1.0)
+        v_sd, currents = load.iv_profile(v_bp, 1.0, 0.2)
+        assert np.all(np.diff(currents) > 0.0)
+        assert currents[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_linearity_error_moderate(self, load):
+        """The bulk-drain short keeps the I-V usably linear over the
+        swing (ref [9]'s point)."""
+        v_bp = load.required_gate_bias(1e-9, 0.2, 1.0)
+        assert load.linearity_error(v_bp, 1.0, 0.2) < 0.35
+
+    def test_rejects_negative_drop(self, load):
+        with pytest.raises(DesignError):
+            load.current(0.5, 1.0, -0.1)
+
+    def test_rejects_impossible_bias(self, load):
+        with pytest.raises(DesignError):
+            load.required_gate_bias(1e-3, 0.2, 1.0)  # mA through a load
+
+
+class TestReplicaBias:
+    def test_bias_voltage_matches_load_solve(self):
+        replica = ReplicaBias()
+        v_bp = replica.bias_voltage(1e-9, 0.2, 1.0)
+        assert replica.load.current(v_bp, 1.0, 0.2) == pytest.approx(
+            1e-9, rel=1e-6)
+
+    def test_open_loop_swing_collapses_without_tracking(self):
+        """With a stale V_BP, raising the supply strengthens the load
+        exponentially (its V_SG rides on V_DD) and the swing collapses.
+        This is the quantitative argument for the replica loop: the
+        paper's supply insensitivity holds *because* V_BP tracks V_DD
+        (verified closed-loop in test_netlist_gen.py)."""
+        replica = ReplicaBias()
+        swings = replica.swing_across_supply(1e-9, 0.2,
+                                             [1.0, 1.1, 1.25])
+        assert swings[0] == pytest.approx(0.2, rel=1e-3)
+        assert np.all(np.isfinite(swings))
+        assert np.all(np.diff(swings) < 0.0)
+        assert swings[-1] < 0.05 * swings[0]

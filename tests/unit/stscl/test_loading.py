@@ -1,0 +1,67 @@
+"""Unit tests for the gate-load estimator."""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.stscl import StsclGateDesign
+from repro.stscl.loading import LoadBreakdown, estimate_load, \
+    supported_fanout
+
+
+@pytest.fixture(scope="module")
+def design():
+    return StsclGateDesign.default(1e-9)
+
+
+class TestBreakdown:
+    def test_total_is_sum(self, design):
+        breakdown = estimate_load(design, fanout=2)
+        assert breakdown.total == pytest.approx(
+            breakdown.self_loading + breakdown.gate_loading
+            + breakdown.wire_loading)
+
+    def test_calibration_bracketed(self, design):
+        """The repo constant C_L = 35 fF must sit between the fan-out-1
+        and fan-out-2 physical estimates (encoder nets are FO 1-2)."""
+        fo1 = estimate_load(design, fanout=1).total
+        fo2 = estimate_load(design, fanout=2).total
+        assert fo1 < design.c_load < fo2
+
+    def test_gate_term_linear_in_fanout(self, design):
+        one = estimate_load(design, fanout=1)
+        three = estimate_load(design, fanout=3)
+        assert three.gate_loading == pytest.approx(
+            3.0 * one.gate_loading)
+        assert three.self_loading == one.self_loading
+
+    def test_wire_term_linear_in_length(self, design):
+        short = estimate_load(design, wire_um=10.0)
+        long = estimate_load(design, wire_um=1000.0)
+        assert long.wire_loading == pytest.approx(
+            100.0 * short.wire_loading)
+
+    def test_zero_fanout_allowed(self, design):
+        unloaded = estimate_load(design, fanout=0, wire_um=0.0)
+        assert unloaded.gate_loading == 0.0
+        assert unloaded.wire_loading == 0.0
+        assert unloaded.self_loading > 0.0
+
+    def test_validation(self, design):
+        with pytest.raises(DesignError):
+            estimate_load(design, fanout=-1)
+        with pytest.raises(DesignError):
+            estimate_load(design, wire_um=-1.0)
+
+
+class TestFanoutBudget:
+    def test_default_budget_supports_fo1(self, design):
+        assert supported_fanout(design) >= 1
+
+    def test_bigger_budget_supports_more(self, design):
+        from dataclasses import replace
+        roomy = replace(design, c_load=100e-15)
+        assert supported_fanout(roomy) > supported_fanout(design)
+
+    def test_short_wires_help(self, design):
+        assert (supported_fanout(design, wire_um=0.0)
+                >= supported_fanout(design, wire_um=300.0))

@@ -1,0 +1,120 @@
+"""Unit tests for the transistor-level STSCL netlist generators.
+
+DC-only here (fast); the delay/transient cross-checks live in
+tests/integration/test_spice_vs_analytic.py.
+"""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.spice import operating_point
+from repro.stscl import StsclGateDesign
+from repro.stscl.netlist_gen import (
+    replica_bias_circuit,
+    stscl_inverter_circuit,
+    stscl_latch_circuit,
+    stscl_majority_circuit,
+    stscl_tree_circuit,
+)
+
+VDD = 1.0
+
+
+@pytest.fixture(scope="module")
+def design():
+    return StsclGateDesign.default(i_ss=1e-9)
+
+
+class TestInverter:
+    def test_full_swing_develops(self, design):
+        circuit, ports = stscl_inverter_circuit(design, VDD)
+        op = operating_point(circuit)
+        out_p, out_n = ports.outputs["y"]
+        assert op.voltage(out_p) == pytest.approx(VDD, abs=0.01)
+        assert op.voltage(out_n) == pytest.approx(VDD - design.v_sw,
+                                                  abs=0.02)
+
+    def test_input_swap_flips_output(self, design):
+        high, low = VDD, VDD - design.v_sw
+        circuit, ports = stscl_inverter_circuit(design, VDD,
+                                                in_p=low, in_n=high)
+        op = operating_point(circuit)
+        out_p, out_n = ports.outputs["y"]
+        assert op.voltage(out_p) < op.voltage(out_n)
+
+    def test_total_current_is_iss(self, design):
+        """The headline claim: the gate's only supply current is the
+        tail current (plus the negligible load leakage)."""
+        circuit, _ports = stscl_inverter_circuit(design, VDD)
+        op = operating_point(circuit)
+        assert abs(op.current("vvdd")) == pytest.approx(design.i_ss,
+                                                        rel=0.05)
+
+    def test_dwell_diodes_optional(self, design):
+        circuit, _ = stscl_inverter_circuit(design, VDD, with_dwell=True)
+        names = [e.name for e in circuit.elements]
+        assert "dwp" in names and "dwn" in names
+
+
+class TestReplicaLoop:
+    def test_loop_pins_swing(self, design):
+        circuit, _ports = replica_bias_circuit(design, VDD)
+        op = operating_point(circuit)
+        assert op.voltage("vrep") == pytest.approx(VDD - design.v_sw,
+                                                   abs=1e-3)
+
+    def test_vbp_tracks_supply(self, design):
+        """Re-solving at a different V_DD moves V_BP by about the same
+        amount -- the loop holds the V_SG of the load."""
+        v_bps = []
+        for vdd in (1.0, 1.25):
+            circuit, _ = replica_bias_circuit(design, vdd)
+            v_bps.append(operating_point(circuit).voltage("vbp"))
+        assert v_bps[1] - v_bps[0] == pytest.approx(0.25, abs=0.05)
+
+
+class TestTreeSynthesis:
+    def test_rejects_too_many_inputs(self, design):
+        with pytest.raises(DesignError):
+            stscl_tree_circuit(design, VDD, lambda v: v[0],
+                               [(1.0, 0.8)] * 4)
+
+    def test_and2_truth_table(self, design):
+        high, low = VDD, VDD - design.v_sw
+        for a in (False, True):
+            for b in (False, True):
+                drives = [(high, low) if x else (low, high)
+                          for x in (a, b)]
+                circuit, ports = stscl_tree_circuit(
+                    design, VDD, lambda v: v[0] and v[1], drives)
+                op = operating_point(circuit)
+                yp, yn = ports.outputs["y"]
+                assert (op.vdiff(yp, yn) > 0) == (a and b)
+
+    @pytest.mark.parametrize("values", [
+        (False, False, False), (True, False, False),
+        (True, True, False), (True, True, True),
+        (False, True, True), (False, False, True)])
+    def test_majority_cases(self, design, values):
+        circuit, ports = stscl_majority_circuit(design, VDD, values)
+        op = operating_point(circuit)
+        yp, yn = ports.outputs["y"]
+        expected = sum(values) >= 2
+        assert (op.vdiff(yp, yn) > 0) == expected
+
+    def test_majority_output_swing_full(self, design):
+        circuit, ports = stscl_majority_circuit(
+            design, VDD, (True, True, False))
+        op = operating_point(circuit)
+        yp, yn = ports.outputs["y"]
+        assert op.vdiff(yp, yn) == pytest.approx(design.v_sw, rel=0.15)
+
+
+class TestLatchDc:
+    def test_transparent_when_clock_high(self, design):
+        high, low = VDD, VDD - design.v_sw
+        circuit, ports = stscl_latch_circuit(
+            design, VDD, d_p=high, d_n=low, clk_p=high, clk_n=low)
+        op = operating_point(circuit)
+        qp, qn = ports.outputs["q"]
+        assert op.vdiff(qp, qn) > 0.5 * design.v_sw

@@ -1,0 +1,91 @@
+"""Unit tests for the Eq. (1) power model and pipelining analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import LN2
+from repro.errors import DesignError
+from repro.stscl.power import (
+    eq1_cell_power,
+    pipelining_gain,
+    required_tail_current,
+    system_power,
+)
+
+
+class TestEq1:
+    def test_k_constant(self):
+        # P = 2 ln2 VSW CL NL f VDD
+        power = eq1_cell_power(0.2, 35e-15, 1, 80e3, 1.0)
+        assert power == pytest.approx(
+            2.0 * LN2 * 0.2 * 35e-15 * 80e3)
+
+    def test_linear_in_frequency(self):
+        p1 = eq1_cell_power(0.2, 35e-15, 1, 1e3, 1.0)
+        p2 = eq1_cell_power(0.2, 35e-15, 1, 10e3, 1.0)
+        assert p2 == pytest.approx(10.0 * p1)
+
+    def test_linear_in_depth(self):
+        p1 = eq1_cell_power(0.2, 35e-15, 1, 1e3, 1.0)
+        p8 = eq1_cell_power(0.2, 35e-15, 8, 1e3, 1.0)
+        assert p8 == pytest.approx(8.0 * p1)
+
+    @given(st.floats(min_value=0.11, max_value=0.4),
+           st.floats(min_value=1e-15, max_value=1e-12),
+           st.integers(min_value=1, max_value=50),
+           st.floats(min_value=1.0, max_value=1e7))
+    @settings(max_examples=40, deadline=None)
+    def test_current_times_vdd_equals_power(self, v_sw, c_load, depth, f):
+        i_ss = required_tail_current(v_sw, c_load, depth, f)
+        assert eq1_cell_power(v_sw, c_load, depth, f, 0.7) == \
+            pytest.approx(i_ss * 0.7)
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            required_tail_current(0.0, 35e-15, 1, 1e3)
+        with pytest.raises(DesignError):
+            required_tail_current(0.2, 35e-15, 0, 1e3)
+        with pytest.raises(DesignError):
+            eq1_cell_power(0.2, 35e-15, 1, 1e3, 0.0)
+
+
+class TestSystemPower:
+    def test_counts_tails(self):
+        assert system_power(196, 1e-9, 1.0) == pytest.approx(196e-9)
+
+    def test_zero_gates(self):
+        assert system_power(0, 1e-9, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            system_power(-1, 1e-9, 1.0)
+        with pytest.raises(DesignError):
+            system_power(10, 0.0, 1.0)
+
+
+class TestPipelining:
+    def test_gain_equals_depth_with_free_latches(self):
+        """Latch-merged cells (Fig. 8): pipelining a depth-N block wins
+        exactly N."""
+        result = pipelining_gain(n_gates=100, logic_depth=8, f_op=1e4,
+                                 v_sw=0.2, c_load=35e-15, vdd=1.0,
+                                 latch_overhead=0.0)
+        assert result.gain == pytest.approx(8.0)
+
+    def test_latch_overhead_reduces_gain(self):
+        result = pipelining_gain(n_gates=100, logic_depth=8, f_op=1e4,
+                                 v_sw=0.2, c_load=35e-15, vdd=1.0,
+                                 latch_overhead=1.0)
+        assert result.gain == pytest.approx(4.0)
+
+    def test_depth_one_with_overhead_loses(self):
+        result = pipelining_gain(n_gates=100, logic_depth=1, f_op=1e4,
+                                 v_sw=0.2, c_load=35e-15, vdd=1.0,
+                                 latch_overhead=0.5)
+        assert result.gain < 1.0
+
+    def test_currents_reported(self):
+        result = pipelining_gain(n_gates=10, logic_depth=4, f_op=1e4,
+                                 v_sw=0.2, c_load=35e-15, vdd=1.0)
+        assert result.i_ss_flat == pytest.approx(
+            4.0 * result.i_ss_pipelined)

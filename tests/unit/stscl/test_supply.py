@@ -1,0 +1,69 @@
+"""Unit tests for the minimum-supply model (Fig. 9b) and supply
+sensitivity (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.stscl import StsclGateDesign, minimum_supply, supply_sensitivity
+from repro.stscl.supply import minimum_supply_sweep
+from repro.errors import DesignError
+
+
+class TestMinimumSupply:
+    def test_monotone_in_current(self):
+        design = StsclGateDesign.default(1e-9)
+        currents = [1e-12, 1e-11, 1e-10, 1e-9, 1e-8, 1e-7]
+        values = minimum_supply_sweep(design, currents)
+        assert np.all(np.diff(values) >= -1e-9)
+
+    def test_floor_is_swing_plus_tail(self):
+        """At vanishing current the floor is V_SW + V_DS,sat(tail)."""
+        design = StsclGateDesign.default(1e-13)
+        vdd_min = minimum_supply(design)
+        assert vdd_min == pytest.approx(
+            design.v_sw + design.tail_saturation_voltage(), abs=0.02)
+
+    def test_paper_anchor_1na(self):
+        """Paper: below 1 nA the supply reaches ~0.35 V."""
+        vdd_min = minimum_supply(StsclGateDesign.default(1e-9))
+        assert vdd_min == pytest.approx(0.37, abs=0.05)
+
+    def test_paper_anchor_10na(self):
+        """Paper: below 10 nA the supply stays below ~0.5 V."""
+        vdd_min = minimum_supply(StsclGateDesign.default(10e-9))
+        assert 0.40 < vdd_min < 0.52
+
+    def test_margin_added(self):
+        design = StsclGateDesign.default(1e-9)
+        assert minimum_supply(design, margin=0.1) == pytest.approx(
+            minimum_supply(design) + 0.1)
+
+    def test_more_stack_levels_need_more_supply(self):
+        design = StsclGateDesign.default(1e-8)
+        single = minimum_supply(
+            StsclGateDesign(i_ss=1e-8, stack_levels=1))
+        triple = minimum_supply(
+            StsclGateDesign(i_ss=1e-8, stack_levels=3))
+        assert triple > single
+        del design
+
+
+class TestSupplySensitivity:
+    def test_stscl_is_zero(self):
+        comparison = supply_sensitivity(vdd=0.5)
+        assert comparison.stscl == 0.0
+
+    def test_cmos_is_large_and_negative(self):
+        """Subthreshold CMOS delay falls exponentially with V_DD: the
+        normalised sensitivity 1 - V_DD/(n U_T) is around -14 at 0.5 V."""
+        comparison = supply_sensitivity(vdd=0.5)
+        assert comparison.cmos_subthreshold < -10.0
+
+    def test_cmos_sensitivity_grows_with_vdd(self):
+        low = supply_sensitivity(vdd=0.3)
+        high = supply_sensitivity(vdd=0.6)
+        assert abs(high.cmos_subthreshold) > abs(low.cmos_subthreshold)
+
+    def test_rejects_bad_vdd(self):
+        with pytest.raises(DesignError):
+            supply_sensitivity(vdd=0.0)

@@ -1,0 +1,67 @@
+"""Unit tests for the temperature-sensitivity comparison."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.stscl import (
+    StsclGateDesign,
+    delay_spread,
+    gain_over_temperature,
+    noise_margin_slope,
+    thermal_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return thermal_comparison(StsclGateDesign.default(1e-9),
+                              temps_c=(-20.0, 27.0, 85.0))
+
+
+class TestStsclColumns:
+    def test_delay_temperature_free(self, rows):
+        """Nothing in t_d = ln2 V_SW C_L / I_SS moves with T."""
+        assert delay_spread(rows, "stscl_delay") == pytest.approx(1.0)
+
+    def test_noise_margin_degrades_gently(self, rows):
+        slope = noise_margin_slope(rows)
+        assert slope < 0.0                      # 1/U_T gain loss
+        assert abs(slope) < 1e-3                # < 1 mV/K
+
+    def test_margin_still_positive_at_85c(self, rows):
+        hot = max(rows, key=lambda r: r.temp_c)
+        assert hot.stscl_noise_margin > 0.01
+
+    def test_gain_drops_as_one_over_t(self):
+        gains = gain_over_temperature(StsclGateDesign.default(1e-9),
+                                      temps_c=(27.0, 87.0))
+        # 1/T: (273+87)/(273+27) = 1.2 ratio
+        assert gains[0] / gains[1] == pytest.approx(1.2, abs=0.01)
+
+
+class TestCmosColumn:
+    def test_cmos_delay_collapses_with_heat(self, rows):
+        """Subthreshold CMOS speeds up exponentially with temperature
+        (VT drop + widening U_T): >20x over the industrial range at a
+        deep-subthreshold 0.4 V supply."""
+        assert delay_spread(rows, "cmos_delay") > 20.0
+
+    def test_deeper_subthreshold_is_worse(self):
+        shallow = thermal_comparison(StsclGateDesign.default(1e-9),
+                                     cmos_vdd=0.5)
+        deep = thermal_comparison(StsclGateDesign.default(1e-9),
+                                  cmos_vdd=0.35)
+        assert (delay_spread(deep, "cmos_delay")
+                > delay_spread(shallow, "cmos_delay"))
+
+    def test_cmos_monotone_with_temperature(self, rows):
+        ordered = sorted(rows, key=lambda r: r.temp_c)
+        delays = [r.cmos_delay for r in ordered]
+        assert delays[0] > delays[1] > delays[2]
+
+
+class TestValidation:
+    def test_needs_two_points(self):
+        with pytest.raises(ModelError):
+            thermal_comparison(StsclGateDesign.default(1e-9),
+                               temps_c=(27.0,))

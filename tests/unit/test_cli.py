@@ -1,0 +1,46 @@
+"""Unit tests for the ``python -m repro`` command-line front end."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.rate == "8k"
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_gate(self, capsys):
+        assert main(["gate", "--iss", "1n"]) == 0
+        out = capsys.readouterr().out
+        assert "delay" in out
+        assert "minimum_supply" in out
+
+    def test_gate_units(self, capsys):
+        assert main(["gate", "--iss", "10pA"]) == 0
+        out = capsys.readouterr().out
+        assert "1e-11" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "80kS/s" in out
+        assert "uW" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "--rate", "2k", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "total power" in out
+
+    def test_characterize_ideal(self, capsys):
+        assert main(["characterize", "--ideal", "--seed", "0",
+                     "--density", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "INL" in out and "ENOB" in out

@@ -1,0 +1,50 @@
+"""Unit tests for repro.constants."""
+
+import math
+
+import pytest
+
+from repro.constants import (
+    LN2,
+    T_NOMINAL,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    thermal_voltage,
+)
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        # k*300.15K/q ~ 25.9 mV
+        assert thermal_voltage(300.15) == pytest.approx(25.87e-3, rel=1e-3)
+
+    def test_nominal_default(self):
+        assert thermal_voltage() == pytest.approx(
+            thermal_voltage(T_NOMINAL))
+
+    def test_scales_linearly_with_temperature(self):
+        assert thermal_voltage(600.0) == pytest.approx(
+            2.0 * thermal_voltage(300.0))
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ValueError):
+            thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            thermal_voltage(-10.0)
+
+
+class TestTemperatureConversion:
+    def test_roundtrip(self):
+        assert kelvin_to_celsius(celsius_to_kelvin(27.0)) == pytest.approx(
+            27.0)
+
+    def test_zero_celsius(self):
+        assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+    def test_below_absolute_zero_rejected(self):
+        with pytest.raises(ValueError):
+            celsius_to_kelvin(-300.0)
+
+
+def test_ln2_constant():
+    assert LN2 == pytest.approx(math.log(2.0))

@@ -1,0 +1,115 @@
+"""Unit tests for repro.units (engineering-notation quantities)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnitError
+from repro.units import (
+    db20,
+    db10,
+    decades,
+    format_quantity,
+    from_db20,
+    parse_quantity,
+)
+
+
+class TestParseQuantity:
+    @pytest.mark.parametrize("text,expected", [
+        ("10n", 10e-9),
+        ("10nA", 10e-9),
+        ("1.5u", 1.5e-6),
+        ("1.5µA", 1.5e-6),
+        ("200mV", 0.2),
+        ("80kS/s", 80e3),
+        ("-3mV", -3e-3),
+        ("4.2", 4.2),
+        ("2e3", 2e3),
+        ("1MHz", 1e6),
+        ("100f", 100e-15),
+        ("7p", 7e-12),
+    ])
+    def test_known_values(self, text, expected):
+        assert parse_quantity(text) == pytest.approx(expected)
+
+    def test_numeric_passthrough(self):
+        assert parse_quantity(3.5) == 3.5
+        assert parse_quantity(7) == 7.0
+
+    def test_expected_unit_match(self):
+        assert parse_quantity("200mV", expect_unit="V") == pytest.approx(0.2)
+
+    def test_expected_unit_mismatch(self):
+        with pytest.raises(UnitError):
+            parse_quantity("200mA", expect_unit="V")
+
+    def test_bare_unit_not_prefix(self):
+        # "mV" is milli-volt; a bare "V" unit with expect_unit must work.
+        assert parse_quantity("2V", expect_unit="V") == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1.2.3n", "n10"])
+    def test_malformed(self, bad):
+        with pytest.raises(UnitError):
+            parse_quantity(bad)
+
+
+class TestFormatQuantity:
+    @pytest.mark.parametrize("value,unit,expected", [
+        (44.2e-9, "W", "44.2nW"),
+        (4e-6, "W", "4uW"),
+        (0.0, "V", "0V"),
+        (1e3, "Hz", "1kHz"),
+        (2.5e-12, "A", "2.5pA"),
+    ])
+    def test_known_values(self, value, unit, expected):
+        assert format_quantity(value, unit) == expected
+
+    def test_negative(self):
+        assert format_quantity(-3e-3, "V").startswith("-3")
+
+    @given(st.floats(min_value=1e-18, max_value=1e12,
+                     allow_nan=False, allow_infinity=False))
+    def test_roundtrip_parse(self, value):
+        text = format_quantity(value, "")
+        back = parse_quantity(text)
+        assert back == pytest.approx(value, rel=1e-3)
+
+
+class TestDecades:
+    def test_endpoints_included(self):
+        grid = decades(1e-12, 1e-9, points_per_decade=5)
+        assert grid[0] == pytest.approx(1e-12)
+        assert grid[-1] == pytest.approx(1e-9)
+
+    def test_point_count(self):
+        grid = decades(1.0, 1e3, points_per_decade=10)
+        assert len(grid) == 31
+
+    def test_log_uniform_spacing(self):
+        grid = decades(1.0, 100.0, points_per_decade=4)
+        ratios = [b / a for a, b in zip(grid, grid[1:])]
+        assert all(r == pytest.approx(ratios[0], rel=1e-9) for r in ratios)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(UnitError):
+            decades(0.0, 1.0)
+
+    def test_single_point(self):
+        assert decades(5.0, 5.0) == [5.0]
+
+
+class TestDecibels:
+    def test_db20_of_10(self):
+        assert db20(10.0) == pytest.approx(20.0)
+
+    def test_db10_of_10(self):
+        assert db10(10.0) == pytest.approx(10.0)
+
+    def test_roundtrip(self):
+        assert from_db20(db20(3.7)) == pytest.approx(3.7)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(UnitError):
+            db20(0.0)
