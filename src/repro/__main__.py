@@ -6,6 +6,10 @@ Usage:
     python -m repro characterize --seed 3       # INL/DNL/ENOB of a chip
     python -m repro gate --iss 1n               # one gate's numbers
     python -m repro sweep                       # the power-scaling table
+    python -m repro faults                      # fault blast-radius table
+
+Library failures (:class:`~repro.errors.ReproError`) are reported as a
+one-line diagnosis with exit status 2 instead of a traceback.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .errors import ConvergenceError, ReproError
 from .units import format_quantity, parse_quantity
 
 
@@ -67,6 +72,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import standard_adc_campaign
+
+    campaign = standard_adc_campaign(seed=args.seed,
+                                     samples_per_code=args.density)
+    report = campaign.run()
+    print(f"fault blast radius, chip seed {args.seed} "
+          f"(metric deltas vs healthy chip):")
+    print(report.describe())
+    if report.failed:
+        print(f"{len(report.failed)} fault(s) could not be evaluated")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -96,13 +115,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser("sweep", help="the power-scaling table")
     p_sweep.add_argument("--seed", type=int, default=1)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_faults = sub.add_parser(
+        "faults", help="fault-injection blast-radius table")
+    p_faults.add_argument("--seed", type=int, default=1)
+    p_faults.add_argument("--density", type=int, default=8,
+                          help="ramp samples per code")
+    p_faults.set_defaults(func=_cmd_faults)
     return parser
+
+
+def _diagnose(error: ReproError) -> str:
+    """One-line diagnosis of a library failure."""
+    kind = type(error).__name__
+    line = f"error: {kind}: {error}"
+    if isinstance(error, ConvergenceError) and error.stage:
+        line += f" [last stage: {error.stage}]"
+    return line
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(_diagnose(error), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -127,6 +127,21 @@ class FaiAdc:
 
     # -- conversion ---------------------------------------------------------
 
+    def raw_words(self, v_in: np.ndarray,
+                  noisy: bool = False) -> tuple[np.ndarray, np.ndarray]:
+        """Raw comparator words before encoding: ``(coarse, fine)``.
+
+        Shapes ``(n_samples, n_coarse_taps)`` / ``(n_samples,
+        n_fine_signals)``.  This is the natural fault-injection point --
+        :mod:`repro.faults` forces stuck bits here, between the analog
+        front end and the digital encoder.
+        """
+        v_in = np.atleast_1d(np.asarray(v_in, dtype=float))
+        if noisy and self.noise_rms > 0.0:
+            v_in = v_in + self._noise_rng.normal(
+                0.0, self.noise_rms, size=v_in.shape)
+        return self.coarse.thermometer_batch(v_in), self.fine.fine_code(v_in)
+
     def convert_batch(self, v_in: np.ndarray,
                       noisy: bool = False) -> np.ndarray:
         """Convert an array of held input voltages to output codes.
@@ -134,12 +149,7 @@ class FaiAdc:
         ``noisy`` adds the chip's input-referred rms noise per sample
         (used by dynamic tests; static ramp tests average noise out).
         """
-        v_in = np.atleast_1d(np.asarray(v_in, dtype=float))
-        if noisy and self.noise_rms > 0.0:
-            v_in = v_in + self._noise_rng.normal(
-                0.0, self.noise_rms, size=v_in.shape)
-        coarse = self.coarse.thermometer_batch(v_in)
-        fine = self.fine.fine_code(v_in)
+        coarse, fine = self.raw_words(v_in, noisy=noisy)
         return encode_batch(coarse, fine, self.spec)
 
     def convert(self, v_in: float) -> int:

@@ -5,7 +5,7 @@ These drive the PVT and mismatch experiments (E4, E6) and are generic
 enough to reuse on any model in the library.
 """
 
-from .montecarlo import MonteCarlo, MonteCarloSummary
+from .montecarlo import MonteCarlo, MonteCarloRun, MonteCarloSummary
 from .sweep import sweep_1d, SweepTable
 from .sensitivity import finite_difference_sensitivity
 from .yield_est import estimate_yield, YieldReport
@@ -17,7 +17,7 @@ from .noise import (
 )
 
 __all__ = [
-    "MonteCarlo", "MonteCarloSummary",
+    "MonteCarlo", "MonteCarloRun", "MonteCarloSummary",
     "sweep_1d", "SweepTable",
     "finite_difference_sensitivity",
     "estimate_yield", "YieldReport",

@@ -14,7 +14,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..errors import AnalysisError
+from ..errors import AnalysisError, ReproError
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,37 @@ class MonteCarloSummary:
                    p95=float(np.percentile(array, 95)))
 
 
+class MonteCarloRun(dict):
+    """Per-metric summaries plus the population's failure record.
+
+    Behaves exactly like the ``dict[str, MonteCarloSummary]`` older
+    callers expect, with the skipped seeds on the side.
+
+    Attributes:
+        failed_seeds: ``(seed, message)`` per seed whose metric
+            evaluation raised under ``on_error="skip"``.
+    """
+
+    def __init__(self, summaries: dict[str, "MonteCarloSummary"],
+                 failed_seeds: list[tuple[int, str]]) -> None:
+        super().__init__(summaries)
+        self.failed_seeds = list(failed_seeds)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failed_seeds)
+
+    def describe(self) -> str:
+        lines = [f"{name}: mean {summary.mean:.4g} "
+                 f"std {summary.std:.4g} "
+                 f"[p05 {summary.p05:.4g}, p95 {summary.p95:.4g}]"
+                 for name, summary in self.items()]
+        if self.failed_seeds:
+            seeds = ", ".join(str(seed) for seed, _ in self.failed_seeds)
+            lines.append(f"failed seeds ({self.n_failed}): {seeds}")
+        return "\n".join(lines)
+
+
 class MonteCarlo:
     """Run ``metric_fn(seed) -> dict[str, float]`` over many seeds.
 
@@ -60,22 +91,45 @@ class MonteCarlo:
 
         mc = MonteCarlo(chip_metrics, n_runs=25)
         print(mc.run()["inl"].median)
+
+    ``on_error`` selects the per-seed policy when ``metric_fn`` raises a
+    library error (:class:`~repro.errors.ReproError` -- convergence
+    failures above all):
+
+    * ``"raise"`` (default): propagate, aborting the population;
+    * ``"skip"``: record the seed in
+      :attr:`MonteCarloRun.failed_seeds` and keep going, so one
+      pathological chip cannot destroy a long campaign.
     """
 
     def __init__(self, metric_fn: Callable[[int], dict[str, float]],
-                 n_runs: int = 25, seed_base: int = 0) -> None:
+                 n_runs: int = 25, seed_base: int = 0,
+                 on_error: str = "raise") -> None:
         if n_runs < 1:
             raise AnalysisError(f"n_runs must be >= 1: {n_runs}")
+        if on_error not in ("raise", "skip"):
+            raise AnalysisError(
+                f"on_error must be 'raise' or 'skip', got {on_error!r}")
         self.metric_fn = metric_fn
         self.n_runs = n_runs
         self.seed_base = seed_base
+        self.on_error = on_error
 
-    def run(self) -> dict[str, MonteCarloSummary]:
-        """Execute all runs; returns per-metric summaries."""
+    def run(self) -> MonteCarloRun:
+        """Execute all runs; returns per-metric summaries (a dict) with
+        the failed-seed record attached."""
         collected: dict[str, list[float]] = {}
         expected_keys: set[str] | None = None
+        failed: list[tuple[int, str]] = []
         for k in range(self.n_runs):
-            metrics = self.metric_fn(self.seed_base + k)
+            seed = self.seed_base + k
+            try:
+                metrics = self.metric_fn(seed)
+            except ReproError as error:
+                if self.on_error == "raise":
+                    raise
+                failed.append((seed, str(error)))
+                continue
             if not metrics:
                 raise AnalysisError("metric function returned no metrics")
             if expected_keys is None:
@@ -86,5 +140,10 @@ class MonteCarlo:
                     f"{sorted(expected_keys)} vs {sorted(metrics)}")
             for name, value in metrics.items():
                 collected.setdefault(name, []).append(float(value))
-        return {name: MonteCarloSummary.from_values(name, values)
-                for name, values in collected.items()}
+        if not collected:
+            raise AnalysisError(
+                f"every seed failed ({len(failed)} of {self.n_runs}); "
+                f"first: {failed[0][1] if failed else 'n/a'}")
+        return MonteCarloRun(
+            {name: MonteCarloSummary.from_values(name, values)
+             for name, values in collected.items()}, failed)

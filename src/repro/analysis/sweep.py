@@ -7,12 +7,12 @@ arrays back for reporting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
-from ..errors import AnalysisError
+from ..errors import AnalysisError, ReproError
 
 
 @dataclass(frozen=True)
@@ -22,12 +22,15 @@ class SweepTable:
     Attributes:
         parameter: Swept-knob label.
         values: Swept values.
-        metrics: Metric name -> array aligned with ``values``.
+        metrics: Metric name -> array aligned with ``values`` (NaN at
+            points skipped under ``on_error="skip"``).
+        failures: ``(index, message)`` per skipped point.
     """
 
     parameter: str
     values: np.ndarray
     metrics: dict[str, np.ndarray]
+    failures: tuple[tuple[int, str], ...] = ()
 
     def column(self, name: str) -> np.ndarray:
         try:
@@ -43,21 +46,46 @@ class SweepTable:
 
 
 def sweep_1d(parameter: str, values: Sequence[float],
-             metric_fn: Callable[[float], dict[str, float]]) -> SweepTable:
-    """Evaluate ``metric_fn`` at each value; collect aligned columns."""
+             metric_fn: Callable[[float], dict[str, float]],
+             on_error: str = "raise") -> SweepTable:
+    """Evaluate ``metric_fn`` at each value; collect aligned columns.
+
+    ``on_error="skip"`` records a point whose evaluation raises a
+    library error as NaN across every metric column (noted in
+    :attr:`SweepTable.failures`) instead of aborting the sweep.
+    """
+    if on_error not in ("raise", "skip"):
+        raise AnalysisError(
+            f"on_error must be 'raise' or 'skip', got {on_error!r}")
     values_array = np.asarray(list(values), dtype=float)
     if values_array.size == 0:
         raise AnalysisError("empty sweep")
-    collected: dict[str, list[float]] = {}
-    for value in values_array:
-        metrics = metric_fn(float(value))
+    rows: list[dict[str, float] | None] = []
+    failures: list[tuple[int, str]] = []
+    for index, value in enumerate(values_array):
+        try:
+            metrics = metric_fn(float(value))
+        except ReproError as error:
+            if on_error == "raise":
+                raise
+            failures.append((index, str(error)))
+            rows.append(None)
+            continue
         if not metrics:
             raise AnalysisError("metric function returned no metrics")
-        for name, metric in metrics.items():
-            collected.setdefault(name, []).append(float(metric))
-    lengths = {len(v) for v in collected.values()}
-    if lengths != {values_array.size}:
+        rows.append({name: float(metric)
+                     for name, metric in metrics.items()})
+    evaluated = [row for row in rows if row is not None]
+    if not evaluated:
+        raise AnalysisError(
+            f"every sweep point failed ({len(failures)} of "
+            f"{values_array.size})")
+    names = set(evaluated[0])
+    if any(set(row) != names for row in evaluated):
         raise AnalysisError("metric function returned inconsistent sets")
+    metrics_out = {
+        name: np.array([row[name] if row is not None else float("nan")
+                        for row in rows])
+        for name in evaluated[0]}
     return SweepTable(parameter=parameter, values=values_array,
-                      metrics={name: np.asarray(vals)
-                               for name, vals in collected.items()})
+                      metrics=metrics_out, failures=tuple(failures))

@@ -20,12 +20,16 @@ class YieldReport:
         n_total: Population size.
         n_pass: Passing count.
         failures: Spec name -> number of chips failing it.
+        n_invalid: Chips with a NaN metric (e.g. non-converging seeds
+            recorded by ``MonteCarlo(on_error="skip")`` downstream);
+            always counted as failing every spec they are NaN on.
     """
 
     yield_fraction: float
     n_total: int
     n_pass: int
     failures: dict[str, int]
+    n_invalid: int = 0
 
 
 def estimate_yield(summaries: Mapping[str, MonteCarloSummary],
@@ -46,12 +50,19 @@ def estimate_yield(summaries: Mapping[str, MonteCarloSummary],
     (n_total,) = sizes
 
     passing = np.ones(n_total, dtype=bool)
+    invalid = np.zeros(n_total, dtype=bool)
     failures: dict[str, int] = {}
     for name, predicate in specs.items():
-        ok = np.array([bool(predicate(float(v)))
-                       for v in summaries[name].values])
+        values = summaries[name].values
+        nan_mask = np.isnan(values)
+        # A NaN metric (non-converged chip) fails the spec without ever
+        # reaching the predicate, which may not be NaN-safe.
+        ok = np.array([(not bad) and bool(predicate(float(v)))
+                       for v, bad in zip(values, nan_mask)])
         failures[name] = int((~ok).sum())
         passing &= ok
+        invalid |= nan_mask
     n_pass = int(passing.sum())
     return YieldReport(yield_fraction=n_pass / n_total, n_total=n_total,
-                       n_pass=n_pass, failures=failures)
+                       n_pass=n_pass, failures=failures,
+                       n_invalid=int(invalid.sum()))

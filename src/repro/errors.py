@@ -25,13 +25,32 @@ class NetlistError(ReproError, ValueError):
 
 
 class ConvergenceError(ReproError, RuntimeError):
-    """A nonlinear or transient solve failed to converge."""
+    """A nonlinear or transient solve failed to converge.
+
+    Attributes:
+        iterations: Newton iterations spent before giving up.
+        residual: Max-abs residual at the last iterate, when known.
+        diagnostics: Forensic record of the solve, when available --
+            a :class:`repro.spice.strategies.SolverDiagnostics` for DC
+            ladder failures, a
+            :class:`repro.spice.transient.TransientTelemetry` for
+            transient stalls.
+        stage: Name of the last strategy / phase attempted.
+    """
 
     def __init__(self, message: str, iterations: int | None = None,
-                 residual: float | None = None) -> None:
+                 residual: float | None = None,
+                 diagnostics: object | None = None,
+                 stage: str | None = None) -> None:
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+        self.diagnostics = diagnostics
+        self.stage = stage
+
+
+class FaultInjectionError(ReproError, ValueError):
+    """A fault model could not be applied to its target."""
 
 
 class AnalysisError(ReproError, RuntimeError):

@@ -28,8 +28,18 @@ from .elements import (
 )
 from .waveforms import dc_wave, pulse_wave, sine_wave, pwl_wave, step_wave
 from .dc import operating_point, dc_sweep, NewtonOptions
+from .strategies import (
+    DEFAULT_LADDER,
+    GminSteppingStrategy,
+    NewtonStrategy,
+    PseudoTransientStrategy,
+    SolveStrategy,
+    SolverDiagnostics,
+    SourceSteppingStrategy,
+    StageReport,
+)
 from .ac import ac_analysis
-from .transient import transient, TransientOptions
+from .transient import transient, TransientOptions, TransientTelemetry
 from .results import OpResult, SweepResult, AcResult, TranResult
 from .io import read_netlist, write_netlist
 
@@ -39,8 +49,11 @@ __all__ = [
     "Vcvs", "Vccs", "DiodeElement", "MosElement",
     "dc_wave", "pulse_wave", "sine_wave", "pwl_wave", "step_wave",
     "operating_point", "dc_sweep", "NewtonOptions",
+    "SolveStrategy", "NewtonStrategy", "GminSteppingStrategy",
+    "SourceSteppingStrategy", "PseudoTransientStrategy",
+    "SolverDiagnostics", "StageReport", "DEFAULT_LADDER",
     "ac_analysis",
-    "transient", "TransientOptions",
+    "transient", "TransientOptions", "TransientTelemetry",
     "OpResult", "SweepResult", "AcResult", "TranResult",
     "read_netlist", "write_netlist",
 ]

@@ -1,4 +1,4 @@
-"""Nonlinear DC solution: Newton-Raphson with homotopy fallbacks.
+"""Nonlinear DC solution: Newton-Raphson with a homotopy ladder.
 
 Subthreshold circuits are numerically awkward: currents span pA..uA and
 every device is an exponential.  The solver therefore
@@ -6,138 +6,41 @@ every device is an exponential.  The solver therefore
 * damps Newton steps to a maximum per-iteration voltage change,
 * converges on the *update* norm (residuals at pA levels sit near the
   noise floor of double precision),
-* falls back to gmin stepping and then source stepping when plain Newton
-  diverges.
+* climbs a pluggable ladder of fallback strategies (gmin stepping,
+  source stepping, pseudo-transient continuation -- see
+  :mod:`repro.spice.strategies`) when plain Newton diverges, recording
+  a :class:`~repro.spice.strategies.SolverDiagnostics` either way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from ..errors import ConvergenceError, NetlistError
-from .elements import (CurrentSource, MosElement, Stamper, VoltageSource)
+from .elements import CurrentSource, VoltageSource
 from .netlist import Circuit, CompiledCircuit
 from .results import OpResult, SweepResult
+from .strategies import (NewtonOptions, SolveStrategy, SolverDiagnostics,
+                         newton_solve, run_ladder)
 from .waveforms import dc_wave
 
-ExtraStamp = Callable[[Stamper, np.ndarray], None]
-
-
-@dataclass(frozen=True)
-class NewtonOptions:
-    """Tuning knobs of the Newton solver.
-
-    Attributes:
-        max_iterations: Iteration cap per solve.
-        vntol: Absolute node-voltage update tolerance [V].
-        reltol: Relative update tolerance.
-        max_step: Maximum voltage change applied per iteration [V].
-        gmin: Conductance from every node to ground [S]; small enough not
-            to disturb pA-level circuits.
-    """
-
-    max_iterations: int = 200
-    vntol: float = 1.0e-7
-    reltol: float = 1.0e-4
-    max_step: float = 0.3
-    gmin: float = 1.0e-15
-
-
-def _newton(compiled: CompiledCircuit, x0: np.ndarray, time: float | None,
-            options: NewtonOptions, gmin: float,
-            extra_stamp: ExtraStamp | None = None) -> tuple[np.ndarray, int]:
-    """Run damped Newton from ``x0``; return (solution, iterations)."""
-    st = Stamper(compiled.size)
-    x = x0.copy()
-    n_nodes = len(compiled.node_index)
-    for iteration in range(1, options.max_iterations + 1):
-        compiled.stamp_all(st, x, time)
-        if extra_stamp is not None:
-            extra_stamp(st, x)
-        if gmin > 0.0:
-            for k in range(n_nodes):
-                st.jac[k, k] += gmin
-                st.res[k] += gmin * x[k]
-        try:
-            dx = np.linalg.solve(st.jac, -st.res)
-        except np.linalg.LinAlgError:
-            dx, *_ = np.linalg.lstsq(st.jac, -st.res, rcond=None)
-        if not np.all(np.isfinite(dx)):
-            raise ConvergenceError(
-                f"non-finite Newton update in {compiled.circuit.name}",
-                iterations=iteration)
-        # Damp the voltage rows; branch currents follow freely.
-        v_updates = np.abs(dx[:n_nodes]) if n_nodes else np.array([0.0])
-        biggest = float(v_updates.max()) if v_updates.size else 0.0
-        scale = 1.0 if biggest <= options.max_step else options.max_step / biggest
-        x += scale * dx
-        converged = biggest * scale < options.vntol * (
-            1.0 + options.reltol * float(np.abs(x[:n_nodes]).max()
-                                         if n_nodes else 0.0))
-        if converged and scale == 1.0:
-            return x, iteration
-    raise ConvergenceError(
-        f"Newton failed after {options.max_iterations} iterations "
-        f"in {compiled.circuit.name}",
-        iterations=options.max_iterations,
-        residual=float(np.abs(st.res).max()))
-
-
-def _independent_sources(circuit: Circuit):
-    return [e for e in circuit.elements
-            if isinstance(e, (VoltageSource, CurrentSource))]
+# Backwards-compatible aliases (the kernel moved to ``strategies``).
+_newton = newton_solve
 
 
 def _solve_with_homotopy(circuit: Circuit, compiled: CompiledCircuit,
                          x0: np.ndarray, time: float | None,
-                         options: NewtonOptions) -> tuple[np.ndarray, int]:
-    """Plain Newton, then gmin stepping, then source stepping."""
-    try:
-        return _newton(compiled, x0, time, options, options.gmin)
-    except ConvergenceError:
-        pass
-
-    # gmin stepping: solve with a heavy shunt, relax it geometrically.
-    x = x0.copy()
-    total_iters = 0
-    try:
-        for exponent in range(3, 16):
-            gmin = 10.0 ** (-exponent)
-            x, iters = _newton(compiled, x, time, options,
-                               max(gmin, options.gmin))
-            total_iters += iters
-        x, iters = _newton(compiled, x, time, options, options.gmin)
-        return x, total_iters + iters
-    except ConvergenceError:
-        pass
-
-    # Source stepping: ramp every independent source from zero.
-    sources = _independent_sources(circuit)
-    saved = [source.waveform for source in sources]
-    try:
-        x = np.zeros_like(x0)
-        total_iters = 0
-        for fraction in np.linspace(0.1, 1.0, 10):
-            for source, waveform in zip(sources, saved):
-                value = waveform(0.0 if time is None else time)
-                source.waveform = dc_wave(value * float(fraction))
-            x, iters = _newton(compiled, x, None, options,
-                               max(1e-12, options.gmin))
-            total_iters += iters
-        for source, waveform in zip(sources, saved):
-            source.waveform = waveform
-        x, iters = _newton(compiled, x, time, options, options.gmin)
-        return x, total_iters + iters
-    finally:
-        for source, waveform in zip(sources, saved):
-            source.waveform = waveform
+                         options: NewtonOptions,
+                         strategies: Sequence[SolveStrategy] | None = None,
+                         ) -> tuple[np.ndarray, SolverDiagnostics]:
+    """Climb the strategy ladder; return (solution, diagnostics)."""
+    return run_ladder(circuit, compiled, x0, time, options, strategies)
 
 
-def _package(compiled: CompiledCircuit, x: np.ndarray,
-             iterations: int) -> OpResult:
+def _package(compiled: CompiledCircuit, x: np.ndarray, iterations: int,
+             diagnostics: SolverDiagnostics | None = None) -> OpResult:
     circuit = compiled.circuit
     voltages = {name: float(x[i]) for name, i in compiled.node_index.items()}
     branch = {}
@@ -147,16 +50,35 @@ def _package(compiled: CompiledCircuit, x: np.ndarray,
             branch[element.name] = float(x[aux[0]])
     device_ops = {m.name: m.operating_point(x) for m in circuit.mos_elements()}
     return OpResult(voltages=voltages, branch_currents=branch,
-                    device_ops=device_ops, iterations=iterations, x=x.copy())
+                    device_ops=device_ops, iterations=iterations, x=x.copy(),
+                    diagnostics=diagnostics)
+
+
+def _nan_point(compiled: CompiledCircuit,
+               diagnostics: SolverDiagnostics | None = None) -> OpResult:
+    """Placeholder result for a sweep point that never converged."""
+    voltages = {name: float("nan") for name in compiled.node_index}
+    branch = {element.name: float("nan")
+              for element in compiled.circuit.elements
+              if compiled.aux_index.get(element.name, ())}
+    return OpResult(voltages=voltages, branch_currents=branch,
+                    device_ops={}, iterations=0, x=None,
+                    diagnostics=diagnostics)
 
 
 def operating_point(circuit: Circuit,
                     options: NewtonOptions | None = None,
-                    x0: np.ndarray | None = None) -> OpResult:
+                    x0: np.ndarray | None = None,
+                    strategies: Sequence[SolveStrategy] | None = None,
+                    ) -> OpResult:
     """Compute the DC operating point of ``circuit``.
 
     ``x0`` (e.g. a previous solution) warm-starts the solve; otherwise the
-    circuit's nodesets seed the initial guess.
+    circuit's nodesets seed the initial guess.  ``strategies`` overrides
+    the default homotopy ladder (see
+    :data:`repro.spice.strategies.DEFAULT_LADDER`).  The returned
+    :class:`~repro.spice.results.OpResult` carries the full
+    :class:`~repro.spice.strategies.SolverDiagnostics` of the solve.
     """
     options = options or NewtonOptions()
     compiled = circuit.compile()
@@ -165,19 +87,35 @@ def operating_point(circuit: Circuit,
         raise NetlistError(
             f"warm-start vector has wrong size {x0.shape}, "
             f"expected ({compiled.size},)")
-    x, iterations = _solve_with_homotopy(circuit, compiled, start, None,
-                                         options)
-    return _package(compiled, x, iterations)
+    x, diagnostics = _solve_with_homotopy(circuit, compiled, start, None,
+                                          options, strategies)
+    return _package(compiled, x, diagnostics.total_iterations, diagnostics)
 
 
 def dc_sweep(circuit: Circuit, source_name: str,
              values: Sequence[float],
-             options: NewtonOptions | None = None) -> SweepResult:
+             options: NewtonOptions | None = None,
+             strategies: Sequence[SolveStrategy] | None = None,
+             on_error: str = "raise") -> SweepResult:
     """Sweep the DC value of an independent source.
 
     Each point warm-starts from the previous solution, which is both
-    faster and far more robust for exponential circuits.
+    faster and far more robust for exponential circuits.  A point whose
+    warm-started solve fails is retried cold from the circuit's nodeset
+    initial guess before any error is declared, so one bad bias point
+    does not poison its successors.
+
+    ``on_error`` selects the per-point recovery policy after both
+    attempts fail:
+
+    * ``"raise"`` (default): propagate the
+      :class:`~repro.errors.ConvergenceError`;
+    * ``"skip"``: record the point as NaN voltages, note it in
+      :attr:`SweepResult.failures`, and continue from a cold start.
     """
+    if on_error not in ("raise", "skip"):
+        raise NetlistError(
+            f"on_error must be 'raise' or 'skip', got {on_error!r}")
     options = options or NewtonOptions()
     element = circuit.element(source_name)
     if not isinstance(element, (VoltageSource, CurrentSource)):
@@ -185,15 +123,36 @@ def dc_sweep(circuit: Circuit, source_name: str,
             f"{source_name!r} is not an independent source")
     saved = element.waveform
     points: list[OpResult] = []
+    failures: list[tuple[int, str]] = []
     x_prev: np.ndarray | None = None
     try:
-        for value in values:
+        for index, value in enumerate(values):
             element.waveform = dc_wave(float(value))
-            result = operating_point(circuit, options, x0=x_prev)
+            try:
+                result = operating_point(circuit, options, x0=x_prev,
+                                         strategies=strategies)
+            except ConvergenceError as error:
+                result = None
+                if x_prev is not None:
+                    # Warm start led the ladder astray: retry cold from
+                    # the circuit's own nodeset guess.
+                    try:
+                        result = operating_point(circuit, options, x0=None,
+                                                 strategies=strategies)
+                    except ConvergenceError as cold_error:
+                        error = cold_error
+                if result is None:
+                    if on_error == "raise":
+                        raise error
+                    failures.append((index, str(error)))
+                    points.append(_nan_point(circuit.compile(),
+                                             error.diagnostics))
+                    x_prev = None
+                    continue
             points.append(result)
             x_prev = result.x
     finally:
         element.waveform = saved
     return SweepResult(parameter=source_name,
                        values=np.asarray(list(values), dtype=float),
-                       points=points)
+                       points=points, failures=failures)

@@ -23,7 +23,12 @@ class OpResult:
             current [A] (positive from + node through the element).
         device_ops: MOS element name -> :class:`MosOperatingPoint`.
         iterations: Newton iterations used.
-        x: Raw solution vector (for warm starts).
+        x: Raw solution vector (for warm starts); None for a failed
+            sweep point recorded under ``on_error="skip"``.
+        diagnostics: The solver's forensic record
+            (:class:`repro.spice.strategies.SolverDiagnostics`) -- which
+            homotopy stage rescued the solve, per-stage iteration counts
+            and residual trajectories.
     """
 
     voltages: dict[str, float]
@@ -31,6 +36,12 @@ class OpResult:
     device_ops: dict[str, object] = field(default_factory=dict)
     iterations: int = 0
     x: np.ndarray | None = None
+    diagnostics: object | None = None
+
+    @property
+    def converged(self) -> bool:
+        """False only for NaN placeholder points of a skipping sweep."""
+        return self.x is not None
 
     def voltage(self, node: str) -> float:
         """Voltage of ``node`` [V]; ground is 0 by definition."""
@@ -56,18 +67,29 @@ class OpResult:
 
 @dataclass
 class SweepResult:
-    """A DC sweep: one operating point per swept value."""
+    """A DC sweep: one operating point per swept value.
+
+    Attributes:
+        failures: ``(index, message)`` per non-converging point recorded
+            under ``on_error="skip"`` (empty when everything converged).
+    """
 
     parameter: str
     values: np.ndarray
     points: list[OpResult]
+    failures: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def failed_indices(self) -> list[int]:
+        """Sweep indices whose points hold NaN placeholders."""
+        return [index for index, _message in self.failures]
 
     def voltage(self, node: str) -> np.ndarray:
-        """Array of node voltages across the sweep."""
+        """Array of node voltages across the sweep (NaN at failures)."""
         return np.array([p.voltage(node) for p in self.points])
 
     def current(self, element: str) -> np.ndarray:
-        """Array of branch currents across the sweep."""
+        """Array of branch currents across the sweep (NaN at failures)."""
         return np.array([p.current(element) for p in self.points])
 
 
@@ -127,11 +149,14 @@ class TranResult:
         time: Sample instants [s].
         voltages: Node name -> array of voltages.
         branch_currents: Element name -> array of branch currents.
+        telemetry: Step-acceptance record of the run
+            (:class:`repro.spice.transient.TransientTelemetry`).
     """
 
     time: np.ndarray
     voltages: dict[str, np.ndarray]
     branch_currents: dict[str, np.ndarray] = field(default_factory=dict)
+    telemetry: object | None = None
 
     def voltage(self, node: str) -> np.ndarray:
         if node.lower() in ("0", "gnd"):

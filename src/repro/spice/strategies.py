@@ -1,0 +1,420 @@
+"""Pluggable DC solve strategies, the homotopy ladder, and diagnostics.
+
+The nonlinear DC solve is organised as a *ladder* of
+:class:`SolveStrategy` objects tried in order until one converges:
+
+1. :class:`NewtonStrategy` -- plain damped Newton from the initial guess;
+2. :class:`GminSteppingStrategy` -- solve with a heavy shunt conductance
+   on every node, then relax it geometrically (continuation in gmin);
+3. :class:`SourceSteppingStrategy` -- ramp every independent source up
+   from a fraction of its value (continuation in the excitation);
+4. :class:`PseudoTransientStrategy` -- anchor each solve to the previous
+   iterate through a decaying conductance, mimicking the damping of a
+   transient run settling to DC (continuation in pseudo-time).
+
+Every rung, successful or not, is recorded in a
+:class:`SolverDiagnostics` carried by the returned
+:class:`~repro.spice.results.OpResult` -- and by the raised
+:class:`~repro.errors.ConvergenceError` when the whole ladder fails --
+so a non-converging Monte-Carlo seed or sweep point can be diagnosed
+from its forensic record instead of re-run under a debugger.
+
+Continuation stages commonly need a different per-solve iteration
+budget than plain Newton (SPICE's ITL1 vs ITL6 distinction); each
+strategy therefore takes an optional ``max_iterations`` override.
+"""
+
+from __future__ import annotations
+
+import abc
+import time as _time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .elements import CurrentSource, Stamper, VoltageSource
+from .waveforms import dc_wave
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .netlist import Circuit, CompiledCircuit
+
+
+@dataclass(frozen=True)
+class NewtonOptions:
+    """Tuning knobs of the Newton solver.
+
+    Attributes:
+        max_iterations: Iteration cap per solve.
+        vntol: Absolute node-voltage update tolerance [V].
+        reltol: Relative update tolerance.
+        max_step: Maximum voltage change applied per iteration [V].
+        gmin: Conductance from every node to ground [S]; small enough not
+            to disturb pA-level circuits.
+    """
+
+    max_iterations: int = 200
+    vntol: float = 1.0e-7
+    reltol: float = 1.0e-4
+    max_step: float = 0.3
+    gmin: float = 1.0e-15
+
+
+def newton_solve(compiled: "CompiledCircuit", x0: np.ndarray,
+                 time: float | None, options: NewtonOptions, gmin: float,
+                 extra_stamp=None,
+                 trace: list[float] | None = None) -> tuple[np.ndarray, int]:
+    """Run damped Newton from ``x0``; return (solution, iterations).
+
+    ``trace``, when given, accumulates the max-abs residual of every
+    iteration -- the trajectory the diagnostics record keeps.
+    """
+    st = Stamper(compiled.size)
+    x = x0.copy()
+    n_nodes = len(compiled.node_index)
+    for iteration in range(1, options.max_iterations + 1):
+        compiled.stamp_all(st, x, time)
+        if extra_stamp is not None:
+            extra_stamp(st, x)
+        if gmin > 0.0:
+            for k in range(n_nodes):
+                st.jac[k, k] += gmin
+                st.res[k] += gmin * x[k]
+        if trace is not None:
+            trace.append(float(np.abs(st.res).max()))
+        try:
+            dx = np.linalg.solve(st.jac, -st.res)
+        except np.linalg.LinAlgError:
+            dx, *_ = np.linalg.lstsq(st.jac, -st.res, rcond=None)
+        if not np.all(np.isfinite(dx)):
+            raise ConvergenceError(
+                f"non-finite Newton update in {compiled.circuit.name}",
+                iterations=iteration)
+        # Damp the voltage rows; branch currents follow freely.
+        v_updates = np.abs(dx[:n_nodes]) if n_nodes else np.array([0.0])
+        biggest = float(v_updates.max()) if v_updates.size else 0.0
+        scale = 1.0 if biggest <= options.max_step else options.max_step / biggest
+        x += scale * dx
+        converged = biggest * scale < options.vntol * (
+            1.0 + options.reltol * float(np.abs(x[:n_nodes]).max()
+                                         if n_nodes else 0.0))
+        if converged and scale == 1.0:
+            return x, iteration
+    raise ConvergenceError(
+        f"Newton failed after {options.max_iterations} iterations "
+        f"in {compiled.circuit.name}",
+        iterations=options.max_iterations,
+        residual=float(np.abs(st.res).max()))
+
+
+# -- diagnostics ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """Forensic record of one ladder rung.
+
+    Attributes:
+        strategy: Strategy name (e.g. ``"gmin-stepping"``).
+        converged: Whether this rung produced the solution.
+        iterations: Newton iterations spent inside the rung.
+        wall_time: Seconds spent inside the rung.
+        residuals: Max-abs residual per Newton iteration (the
+            trajectory; truncated to the last
+            :data:`RESIDUAL_TRACE_LIMIT` entries).
+        detail: Failure message when the rung did not converge.
+    """
+
+    strategy: str
+    converged: bool
+    iterations: int
+    wall_time: float
+    residuals: tuple[float, ...] = ()
+    detail: str = ""
+
+
+#: Longest residual trajectory kept per stage (memory bound for sweeps).
+RESIDUAL_TRACE_LIMIT = 256
+
+
+@dataclass
+class SolverDiagnostics:
+    """What the homotopy ladder did for one operating-point solve.
+
+    Attributes:
+        circuit: Circuit name.
+        stages: One :class:`StageReport` per rung attempted, in order.
+        rescued_by: Name of the converging strategy (None: total failure).
+        total_iterations: Newton iterations summed over every rung.
+        wall_time: Seconds spent in the ladder.
+    """
+
+    circuit: str
+    stages: list[StageReport] = field(default_factory=list)
+    rescued_by: str | None = None
+    total_iterations: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def converged(self) -> bool:
+        return self.rescued_by is not None
+
+    @property
+    def rescue_needed(self) -> bool:
+        """True when plain Newton was not enough."""
+        return self.converged and len(self.stages) > 1
+
+    def stage(self, name: str) -> StageReport:
+        """The report of strategy ``name`` (last attempt wins)."""
+        for report in reversed(self.stages):
+            if report.strategy == name:
+                return report
+        raise KeyError(f"no stage {name!r} in diagnostics")
+
+    def describe(self) -> str:
+        """Multi-line human-readable account of the solve."""
+        lines = [f"DC solve of {self.circuit!r}: "
+                 + (f"converged via {self.rescued_by} "
+                    if self.converged else "FAILED every strategy ")
+                 + f"({self.total_iterations} Newton iterations, "
+                   f"{self.wall_time * 1e3:.1f} ms)"]
+        for report in self.stages:
+            status = "ok" if report.converged else "failed"
+            line = (f"  {report.strategy:17s} {status:6s} "
+                    f"{report.iterations:5d} iters "
+                    f"{report.wall_time * 1e3:8.2f} ms")
+            if report.residuals:
+                line += f"  residual {report.residuals[-1]:.3e}"
+            if report.detail and not report.converged:
+                line += f"  ({report.detail})"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+# -- strategies ----------------------------------------------------------
+
+
+class SolveStrategy(abc.ABC):
+    """One rung of the DC homotopy ladder."""
+
+    #: Stable identifier used in diagnostics (subclasses override).
+    name = "strategy"
+
+    def __init__(self, max_iterations: int | None = None) -> None:
+        #: Per-Newton-solve iteration override for this rung (None
+        #: inherits ``NewtonOptions.max_iterations``).
+        self.max_iterations = max_iterations
+
+    def _options(self, options: NewtonOptions) -> NewtonOptions:
+        if self.max_iterations is None:
+            return options
+        return replace(options, max_iterations=self.max_iterations)
+
+    @abc.abstractmethod
+    def solve(self, circuit: "Circuit", compiled: "CompiledCircuit",
+              x0: np.ndarray, time: float | None, options: NewtonOptions,
+              trace: list[float]) -> tuple[np.ndarray, int]:
+        """Return (solution, total iterations) or raise ConvergenceError.
+
+        ``trace`` accumulates the residual trajectory for diagnostics.
+        """
+
+
+class NewtonStrategy(SolveStrategy):
+    """Plain damped Newton from the supplied initial guess."""
+
+    name = "newton"
+
+    def solve(self, circuit, compiled, x0, time, options, trace):
+        options = self._options(options)
+        return newton_solve(compiled, x0, time, options, options.gmin,
+                            trace=trace)
+
+
+class GminSteppingStrategy(SolveStrategy):
+    """Continuation in the shunt conductance.
+
+    Solves with ``gmin = 10^-start_exponent`` (a nearly linear system),
+    then relaxes the shunt one decade at a time down to
+    ``10^-stop_exponent``, warm-starting each stage from the previous
+    one, and finishes with a plain solve at the true ``options.gmin``.
+    """
+
+    name = "gmin-stepping"
+
+    def __init__(self, start_exponent: int = 3, stop_exponent: int = 15,
+                 max_iterations: int | None = None) -> None:
+        super().__init__(max_iterations)
+        if stop_exponent <= start_exponent:
+            raise ValueError("stop_exponent must exceed start_exponent")
+        self.start_exponent = start_exponent
+        self.stop_exponent = stop_exponent
+
+    def solve(self, circuit, compiled, x0, time, options, trace):
+        options = self._options(options)
+        x = x0.copy()
+        total = 0
+        for exponent in range(self.start_exponent, self.stop_exponent + 1):
+            gmin = 10.0 ** (-exponent)
+            x, iters = newton_solve(compiled, x, time, options,
+                                    max(gmin, options.gmin), trace=trace)
+            total += iters
+        x, iters = newton_solve(compiled, x, time, options, options.gmin,
+                                trace=trace)
+        return x, total + iters
+
+
+class SourceSteppingStrategy(SolveStrategy):
+    """Continuation in the independent-source excitation.
+
+    Every independent source is ramped from ``start_fraction`` of its
+    value to 100 % in ``steps`` increments; each increment warm-starts
+    from the previous solution, so no single Newton solve faces the full
+    excitation from a cold guess.
+    """
+
+    name = "source-stepping"
+
+    def __init__(self, steps: int = 10, start_fraction: float = 0.1,
+                 max_iterations: int | None = None) -> None:
+        super().__init__(max_iterations)
+        if steps < 2:
+            raise ValueError(f"need at least 2 ramp steps, got {steps}")
+        if not 0.0 < start_fraction < 1.0:
+            raise ValueError(
+                f"start_fraction must be in (0, 1): {start_fraction}")
+        self.steps = steps
+        self.start_fraction = start_fraction
+
+    def solve(self, circuit, compiled, x0, time, options, trace):
+        options = self._options(options)
+        sources = [e for e in circuit.elements
+                   if isinstance(e, (VoltageSource, CurrentSource))]
+        saved = [source.waveform for source in sources]
+        try:
+            x = np.zeros_like(x0)
+            total = 0
+            for fraction in np.linspace(self.start_fraction, 1.0,
+                                        self.steps):
+                for source, waveform in zip(sources, saved):
+                    value = waveform(0.0 if time is None else time)
+                    source.waveform = dc_wave(value * float(fraction))
+                x, iters = newton_solve(compiled, x, None, options,
+                                        max(1e-12, options.gmin),
+                                        trace=trace)
+                total += iters
+            for source, waveform in zip(sources, saved):
+                source.waveform = waveform
+            x, iters = newton_solve(compiled, x, time, options,
+                                    options.gmin, trace=trace)
+            return x, total + iters
+        finally:
+            for source, waveform in zip(sources, saved):
+                source.waveform = waveform
+
+
+class PseudoTransientStrategy(SolveStrategy):
+    """Pseudo-transient continuation (the final fallback).
+
+    Each outer step solves the circuit with an extra conductance ``g``
+    from every node to its *previous* voltage -- the resistive analogue
+    of a capacitor to the old state, i.e. one implicit-Euler step of a
+    fictitious transient.  ``g`` starts heavy (small pseudo-timestep,
+    strongly damped) and decays by ``shrink`` per accepted step until it
+    reaches ``options.gmin``, after which a plain Newton solve polishes
+    the answer.  Unlike gmin stepping the anchor carries no bias toward
+    ground, so it also tames circuits whose solution sits far from zero.
+    """
+
+    name = "pseudo-transient"
+
+    def __init__(self, g_start: float = 1.0e-3, shrink: float = 10.0,
+                 max_iterations: int | None = None) -> None:
+        super().__init__(max_iterations)
+        if g_start <= 0.0:
+            raise ValueError(f"g_start must be positive: {g_start}")
+        if shrink <= 1.0:
+            raise ValueError(f"shrink must exceed 1: {shrink}")
+        self.g_start = g_start
+        self.shrink = shrink
+
+    def solve(self, circuit, compiled, x0, time, options, trace):
+        options = self._options(options)
+        n_nodes = len(compiled.node_index)
+        x = x0.copy()
+        total = 0
+        g = self.g_start
+        while g > options.gmin:
+            x_prev = x.copy()
+
+            def anchor(st: Stamper, xv: np.ndarray,
+                       g=g, x_prev=x_prev) -> None:
+                for k in range(n_nodes):
+                    st.jac[k, k] += g
+                    st.res[k] += g * (xv[k] - x_prev[k])
+
+            x, iters = newton_solve(compiled, x, time, options,
+                                    options.gmin, extra_stamp=anchor,
+                                    trace=trace)
+            total += iters
+            g /= self.shrink
+        x, iters = newton_solve(compiled, x, time, options, options.gmin,
+                                trace=trace)
+        return x, total + iters
+
+
+#: The ladder ``operating_point`` climbs by default.
+DEFAULT_LADDER: tuple[SolveStrategy, ...] = (
+    NewtonStrategy(),
+    GminSteppingStrategy(),
+    SourceSteppingStrategy(),
+    PseudoTransientStrategy(),
+)
+
+
+def run_ladder(circuit: "Circuit", compiled: "CompiledCircuit",
+               x0: np.ndarray, time: float | None, options: NewtonOptions,
+               strategies=None) -> tuple[np.ndarray, SolverDiagnostics]:
+    """Try each strategy in order; return solution plus diagnostics.
+
+    Raises :class:`~repro.errors.ConvergenceError` -- with the full
+    :class:`SolverDiagnostics` attached as ``.diagnostics`` -- when
+    every rung fails.
+    """
+    strategies = DEFAULT_LADDER if strategies is None else tuple(strategies)
+    if not strategies:
+        raise ValueError("empty strategy ladder")
+    diagnostics = SolverDiagnostics(circuit=circuit.name)
+    ladder_start = _time.perf_counter()
+    for strategy in strategies:
+        trace: list[float] = []
+        stage_start = _time.perf_counter()
+        try:
+            x, iterations = strategy.solve(circuit, compiled, x0, time,
+                                           options, trace)
+        except ConvergenceError as error:
+            diagnostics.stages.append(StageReport(
+                strategy=strategy.name, converged=False,
+                iterations=len(trace),
+                wall_time=_time.perf_counter() - stage_start,
+                residuals=tuple(trace[-RESIDUAL_TRACE_LIMIT:]),
+                detail=str(error)))
+            diagnostics.total_iterations += len(trace)
+            continue
+        diagnostics.stages.append(StageReport(
+            strategy=strategy.name, converged=True, iterations=iterations,
+            wall_time=_time.perf_counter() - stage_start,
+            residuals=tuple(trace[-RESIDUAL_TRACE_LIMIT:])))
+        diagnostics.total_iterations += iterations
+        diagnostics.rescued_by = strategy.name
+        diagnostics.wall_time = _time.perf_counter() - ladder_start
+        return x, diagnostics
+    diagnostics.wall_time = _time.perf_counter() - ladder_start
+    last = diagnostics.stages[-1]
+    raise ConvergenceError(
+        f"every solve strategy failed for {circuit.name!r} "
+        f"(tried {', '.join(s.strategy for s in diagnostics.stages)})",
+        iterations=diagnostics.total_iterations,
+        residual=last.residuals[-1] if last.residuals else None,
+        diagnostics=diagnostics, stage=last.strategy)

@@ -15,7 +15,7 @@ library simulates, whose waveforms have no high-Q ringing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -37,6 +37,10 @@ class TransientOptions:
         method: 'trap' (default) or 'be'.
         newton: Nonlinear-solver options per step.
         record_currents: Also record branch currents of voltage sources.
+        max_rejections: Total step-rejection budget for the whole run
+            (None: unlimited).  A circuit that keeps rejecting steps is
+            diagnosed early with its telemetry instead of grinding the
+            step size down to ``dt_min``.
     """
 
     dt_initial: float | None = None
@@ -45,6 +49,42 @@ class TransientOptions:
     method: str = "trap"
     newton: NewtonOptions = NewtonOptions(max_iterations=60)
     record_currents: bool = False
+    max_rejections: int | None = None
+
+
+@dataclass
+class TransientTelemetry:
+    """Step-acceptance record of one transient run.
+
+    Attributes:
+        steps_accepted: Time points committed.
+        steps_rejected: Newton failures that shrank the step.
+        newton_iterations: Total Newton iterations over accepted steps.
+        rejection_times: Simulation times [s] at which rejections
+            happened (capped at 64 entries; earliest kept).
+        dt_smallest: Smallest step size actually committed [s].
+    """
+
+    steps_accepted: int = 0
+    steps_rejected: int = 0
+    newton_iterations: int = 0
+    rejection_times: list[float] = field(default_factory=list)
+    dt_smallest: float = float("inf")
+
+    _REJECTION_LOG_LIMIT = 64
+
+    def record_rejection(self, time: float) -> None:
+        self.steps_rejected += 1
+        if len(self.rejection_times) < self._REJECTION_LOG_LIMIT:
+            self.rejection_times.append(time)
+
+    def describe(self) -> str:
+        rate = self.steps_rejected / max(
+            1, self.steps_accepted + self.steps_rejected)
+        return (f"{self.steps_accepted} steps accepted, "
+                f"{self.steps_rejected} rejected ({rate:.0%}), "
+                f"{self.newton_iterations} Newton iterations, "
+                f"smallest dt {self.dt_smallest:.3e} s")
 
 
 def _breakpoints(circuit: Circuit, t_stop: float) -> list[float]:
@@ -93,8 +133,13 @@ def transient(circuit: Circuit, t_stop: float,
         e.name: [float(x[compiled.aux_index[e.name][0]])]
         for e in current_sources} if options.record_currents else {}
 
+    telemetry = TransientTelemetry()
+
     t = 0.0
-    while t < t_stop - 1e-18 * t_stop:
+    # Relative tolerance above float epsilon: accumulated rounding in
+    # ``t`` must not leave a ~1e-16*t_stop residue to be "stepped" over
+    # (it would pollute the telemetry's smallest committed step).
+    while t < t_stop * (1.0 - 1e-12):
         # Snap the step onto the next breakpoint or the stop time.
         while bp_cursor < len(breakpoints) and breakpoints[bp_cursor] <= t * (1 + 1e-12):
             bp_cursor += 1
@@ -125,16 +170,28 @@ def transient(circuit: Circuit, t_stop: float,
                         st.add_j(term.neg, col, -c0 * dqdv)
 
             try:
-                x_new, _iters = _newton(compiled, x, t_new, options.newton,
-                                        options.newton.gmin,
-                                        extra_stamp=dynamic_stamp)
+                x_new, iters = _newton(compiled, x, t_new, options.newton,
+                                       options.newton.gmin,
+                                       extra_stamp=dynamic_stamp)
+                telemetry.newton_iterations += iters
                 accepted = True
             except ConvergenceError:
+                telemetry.record_rejection(t)
+                if (options.max_rejections is not None
+                        and telemetry.steps_rejected
+                        > options.max_rejections):
+                    raise ConvergenceError(
+                        f"transient exhausted its rejection budget of "
+                        f"{options.max_rejections} at t={t:.3e}s in "
+                        f"{circuit.name} ({telemetry.describe()})",
+                        diagnostics=telemetry, stage="rejection-budget")
                 step /= 4.0
                 if step < dt_min:
                     raise ConvergenceError(
                         f"transient stalled at t={t:.3e}s in "
-                        f"{circuit.name} (dt below {dt_min:.1e})")
+                        f"{circuit.name} (dt below {dt_min:.1e}; "
+                        f"{telemetry.describe()})",
+                        diagnostics=telemetry, stage="dt-min")
 
         # Commit the step: update charge state.
         new_terms = compiled.charge_terms(x_new)
@@ -143,6 +200,8 @@ def transient(circuit: Circuit, t_stop: float,
         q_prev, i_prev = q_new, i_new
         x = x_new
         t = t_new
+        telemetry.steps_accepted += 1
+        telemetry.dt_smallest = min(telemetry.dt_smallest, step)
         times.append(t)
         for name in names:
             history[name].append(float(x[compiled.node_index[name]]))
@@ -158,4 +217,5 @@ def transient(circuit: Circuit, t_stop: float,
         time=np.asarray(times),
         voltages={name: np.asarray(vals) for name, vals in history.items()},
         branch_currents={name: np.asarray(vals)
-                         for name, vals in current_history.items()})
+                         for name, vals in current_history.items()},
+        telemetry=telemetry)

@@ -4,6 +4,10 @@ Real chips fail partially: a comparator sticks, a bias branch opens, a
 metastable decision flips randomly.  These tests quantify the blast
 radius of each fault class and pin down which mitigation (majority
 bubble correction, folding redundancy, sync decode) contains it.
+
+Faults are injected through :mod:`repro.faults` -- the declarative
+models force comparator words at the ``raw_words`` boundary, exactly
+where a real stuck output enters the encoder.
 """
 
 import numpy as np
@@ -13,25 +17,12 @@ from repro.adc import FaiAdc
 from repro.digital.encoder import (EncoderSpec, coarse_thermometer,
                                    cyclic_fine_thermometer, encode_batch,
                                    reference_encode)
+from repro.faults import FaultedAdc, StuckComparator
 
 
 @pytest.fixture(scope="module")
 def ideal():
     return FaiAdc(ideal=True, seed=0)
-
-
-def convert_with_faults(adc, voltages, stuck_fine=None,
-                        stuck_coarse=None, spec=None):
-    """Conversions with comparator outputs forced after the analog
-    front end."""
-    spec = spec or adc.spec
-    coarse = adc.coarse.thermometer_batch(voltages).copy()
-    fine = adc.fine.fine_code(voltages).copy()
-    for index, value in (stuck_fine or {}).items():
-        fine[:, index] = value
-    for index, value in (stuck_coarse or {}).items():
-        coarse[:, index] = value
-    return encode_batch(coarse, fine, spec)
 
 
 class TestStuckFineComparator:
@@ -44,8 +35,8 @@ class TestStuckFineComparator:
         ramp = np.linspace(cfg.v_low + cfg.lsb, cfg.v_high - cfg.lsb,
                            4096)
         good = ideal.convert_batch(ramp)
-        bad = convert_with_faults(ideal, ramp,
-                                  stuck_fine={index: value})
+        bad = StuckComparator("fine", index, value).apply(
+            ideal).convert_batch(ramp)
         errors = np.abs(bad.astype(int) - good.astype(int))
         assert errors.max() > 0          # the fault is visible...
         assert errors.max() <= 64        # ...but bounded (< 2 segments)
@@ -63,12 +54,10 @@ class TestStuckFineComparator:
         plain = EncoderSpec()
         with_majority = EncoderSpec(fine_bubble_correction=True)
         good = ideal.convert_batch(ramp)
-        bad_plain = convert_with_faults(ideal, ramp,
-                                        stuck_fine={9: True},
-                                        spec=plain)
-        bad_corrected = convert_with_faults(ideal, ramp,
-                                            stuck_fine={9: True},
-                                            spec=with_majority)
+        bad_plain = FaultedAdc(ideal, stuck_fine={9: True},
+                               spec=plain).convert_batch(ramp)
+        bad_corrected = FaultedAdc(ideal, stuck_fine={9: True},
+                                   spec=with_majority).convert_batch(ramp)
         mean_plain = np.mean(np.abs(bad_plain - good))
         mean_corrected = np.mean(np.abs(bad_corrected - good))
         assert mean_corrected < 0.25 * mean_plain
@@ -86,7 +75,8 @@ class TestStuckCoarseComparator:
         ramp = np.linspace(cfg.v_low + cfg.lsb, cfg.v_high - cfg.lsb,
                            4096)
         good = ideal.convert_batch(ramp)
-        bad = convert_with_faults(ideal, ramp, stuck_coarse={3: False})
+        bad = StuckComparator("coarse", 3, False).apply(
+            ideal).convert_batch(ramp)
         errors = np.abs(bad.astype(int) - good.astype(int))
         wrong = np.nonzero(errors > 1)[0]
         assert wrong.size > 0
@@ -106,12 +96,10 @@ class TestStuckCoarseComparator:
         corrected_spec = EncoderSpec()
         raw_spec = EncoderSpec(bubble_correction=False)
         good = ideal.convert_batch(ramp)
-        with_fix = convert_with_faults(ideal, ramp,
-                                       stuck_coarse={3: False},
-                                       spec=corrected_spec)
-        without_fix = convert_with_faults(ideal, ramp,
-                                          stuck_coarse={3: False},
-                                          spec=raw_spec)
+        with_fix = FaultedAdc(ideal, stuck_coarse={3: False},
+                              spec=corrected_spec).convert_batch(ramp)
+        without_fix = FaultedAdc(ideal, stuck_coarse={3: False},
+                                 spec=raw_spec).convert_batch(ramp)
         assert (np.abs(without_fix - good).mean()
                 > np.abs(with_fix - good).mean())
 
@@ -120,13 +108,17 @@ class TestMetastabilityStorm:
     def test_random_flips_stay_local(self, ideal):
         """Randomly flipping one fine bit per sample (worst-case
         metastability) must produce only local code errors, never
-        segment-sized sparkles -- the Gray-domain property."""
+        segment-sized sparkles -- the Gray-domain property.
+
+        Not a stuck fault, so no declarative model applies: the words
+        are taken at the same ``raw_words`` boundary the fault layer
+        injects at, and flipped by hand."""
         cfg = ideal.config
         rng = np.random.default_rng(0)
         ramp = np.linspace(cfg.v_low + cfg.lsb, cfg.v_high - cfg.lsb,
                            2048)
-        coarse = ideal.coarse.thermometer_batch(ramp)
-        fine = ideal.fine.fine_code(ramp).copy()
+        coarse, fine = ideal.raw_words(ramp)
+        fine = fine.copy()
         flip = rng.integers(0, 32, size=ramp.size)
         fine[np.arange(ramp.size), flip] ^= True
         good = ideal.convert_batch(ramp)

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.analysis import MonteCarlo, MonteCarloSummary
-from repro.errors import AnalysisError
+from repro.analysis import MonteCarlo, MonteCarloRun, MonteCarloSummary
+from repro.errors import AnalysisError, ConvergenceError
 
 
 class TestSummary:
@@ -61,3 +61,56 @@ class TestRunner:
     def test_run_count_validation(self):
         with pytest.raises(AnalysisError):
             MonteCarlo(lambda s: {"x": 1.0}, n_runs=0)
+
+
+def _flaky(bad_seeds):
+    """A metric whose listed seeds fail to converge."""
+
+    def metric(seed):
+        if seed in bad_seeds:
+            raise ConvergenceError(f"seed {seed} diverged")
+        return {"v": float(seed)}
+
+    return metric
+
+
+class TestErrorPolicy:
+    def test_default_policy_propagates(self):
+        with pytest.raises(ConvergenceError):
+            MonteCarlo(_flaky({2}), n_runs=5).run()
+
+    def test_skip_records_the_failed_seed(self):
+        """One non-converging chip must not destroy the campaign: the
+        summary covers the survivors and names the casualty."""
+        results = MonteCarlo(_flaky({2}), n_runs=5, on_error="skip").run()
+        assert isinstance(results, MonteCarloRun)
+        assert results.n_failed == 1
+        (seed, message), = results.failed_seeds
+        assert seed == 2
+        assert "diverged" in message
+        # Survivors only -- no NaN contamination of the moments.
+        np.testing.assert_allclose(results["v"].values, [0, 1, 3, 4])
+        assert "failed seeds (1): 2" in results.describe()
+
+    def test_skip_keeps_dict_compatibility(self):
+        results = MonteCarlo(_flaky(set()), n_runs=3,
+                             on_error="skip").run()
+        assert results.failed_seeds == []
+        assert set(results) == {"v"}
+        assert dict(results) == {"v": results["v"]}
+
+    def test_all_seeds_failing_is_fatal(self):
+        with pytest.raises(AnalysisError, match="every seed failed"):
+            MonteCarlo(_flaky({0, 1, 2}), n_runs=3,
+                       on_error="skip").run()
+
+    def test_non_library_errors_always_propagate(self):
+        def metric(seed):
+            raise RuntimeError("a bug, not a convergence failure")
+
+        with pytest.raises(RuntimeError):
+            MonteCarlo(metric, n_runs=2, on_error="skip").run()
+
+    def test_policy_validated(self):
+        with pytest.raises(AnalysisError):
+            MonteCarlo(lambda s: {"x": 1.0}, on_error="ignore")

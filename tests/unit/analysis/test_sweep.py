@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import sweep_1d
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ConvergenceError
 
 
 class TestSweep:
@@ -31,3 +31,33 @@ class TestSweep:
     def test_empty_metrics_rejected(self):
         with pytest.raises(AnalysisError):
             sweep_1d("x", [1.0], lambda x: {})
+
+
+def _fragile(x):
+    """Metric that breaks down at x == 2."""
+    if x == 2.0:
+        raise ConvergenceError("no dice at 2")
+    return {"y": x * 10.0}
+
+
+class TestSweepErrorPolicy:
+    def test_default_policy_propagates(self):
+        with pytest.raises(ConvergenceError):
+            sweep_1d("x", [1.0, 2.0, 3.0], _fragile)
+
+    def test_skip_backfills_nan_and_stays_aligned(self):
+        table = sweep_1d("x", [1.0, 2.0, 3.0], _fragile,
+                         on_error="skip")
+        column = table.column("y")
+        assert column[0] == 10.0 and column[2] == 30.0
+        assert np.isnan(column[1])
+        (index, message), = table.failures
+        assert index == 1 and "no dice" in message
+
+    def test_all_points_failing_is_fatal(self):
+        with pytest.raises(AnalysisError, match="every sweep point"):
+            sweep_1d("x", [2.0, 2.0], _fragile, on_error="skip")
+
+    def test_policy_validated(self):
+        with pytest.raises(AnalysisError):
+            sweep_1d("x", [1.0], _fragile, on_error="ignore")

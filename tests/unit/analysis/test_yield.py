@@ -46,6 +46,28 @@ class TestYield:
         with pytest.raises(AnalysisError):
             estimate_yield(summaries(), {})
 
+    def test_nan_metric_fails_spec_without_reaching_predicate(self):
+        """A NaN metric (a skipped, non-converged chip) must count as a
+        failing chip even when the predicate is not NaN-safe."""
+        population = {"inl": MonteCarloSummary.from_values(
+            "inl", [0.5, float("nan"), 0.9])}
+
+        def strict(v):
+            if v != v:
+                raise RuntimeError("predicate is not NaN-safe")
+            return v <= 1.0
+
+        report = estimate_yield(population, {"inl": strict})
+        assert report.n_total == 3
+        assert report.n_pass == 2
+        assert report.n_invalid == 1
+        assert report.failures["inl"] == 1
+
+    def test_valid_population_reports_zero_invalid(self):
+        report = estimate_yield(summaries(),
+                                {"inl": lambda v: v <= 1.0})
+        assert report.n_invalid == 0
+
     def test_mismatched_populations_rejected(self):
         bad = summaries()
         bad["short"] = MonteCarloSummary.from_values("short", [1.0])

@@ -1,0 +1,245 @@
+"""The homotopy ladder: pathological circuits, diagnostics, recovery.
+
+The fixture circuit drives a diode hard through a tiny series resistor
+from an 8 V source.  With the damped Newton of this solver the source
+node must *walk* to 8 V at ``max_step`` volts per iteration, so a tight
+iteration budget defeats plain Newton deterministically -- exactly the
+situation continuation strategies exist for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices.diode import Diode, DiodeParameters
+from repro.errors import ConvergenceError
+from repro.spice import (
+    Circuit,
+    GminSteppingStrategy,
+    NewtonOptions,
+    NewtonStrategy,
+    PseudoTransientStrategy,
+    SolveStrategy,
+    SourceSteppingStrategy,
+    dc_sweep,
+    operating_point,
+)
+
+DIODE = Diode(DiodeParameters(name="junction", i_s=1e-16))
+
+#: Enough for the easy points, far too little for the 8 V walk.
+TIGHT = NewtonOptions(max_iterations=20)
+
+
+def hard_diode(nodesets: dict[str, float] | None = None) -> Circuit:
+    """8 V into a diode through 10 ohms: a 27-iteration Newton walk."""
+    circuit = Circuit("hard_diode")
+    circuit.add_vsource("V1", "in", "0", 8.0)
+    circuit.add_resistor("RS", "in", "a", 10.0)
+    circuit.add_diode("D1", "a", "0", DIODE)
+    for node, voltage in (nodesets or {}).items():
+        circuit.nodeset(node, voltage)
+    return circuit
+
+
+def divider() -> Circuit:
+    circuit = Circuit("divider")
+    circuit.add_vsource("V1", "in", "0", 1.0)
+    circuit.add_resistor("R1", "in", "mid", 10e3)
+    circuit.add_resistor("R2", "mid", "0", 10e3)
+    return circuit
+
+
+class TestLadderRescue:
+    def test_plain_newton_alone_is_defeated(self):
+        with pytest.raises(ConvergenceError):
+            operating_point(hard_diode(), TIGHT,
+                            strategies=(NewtonStrategy(),))
+
+    def test_default_ladder_rescues_and_names_the_stage(self):
+        op = operating_point(hard_diode(), TIGHT)
+        diag = op.diagnostics
+        assert diag.converged
+        assert diag.rescue_needed
+        assert diag.rescued_by == "source-stepping"
+        # The failed rungs are on record, in ladder order.
+        assert [s.strategy for s in diag.stages] == [
+            "newton", "gmin-stepping", "source-stepping"]
+        assert not diag.stage("newton").converged
+        assert not diag.stage("gmin-stepping").converged
+        assert diag.stage("source-stepping").converged
+        # And the answer is the physical one: the diode clamps node a.
+        assert 0.7 < op.voltage("a") < 1.1
+        assert op.voltage("in") == pytest.approx(8.0)
+
+    def test_gmin_stepping_rescues_with_its_own_budget(self):
+        """Continuation stages may carry a larger per-solve budget
+        (SPICE's ITL6); with one, gmin stepping absorbs the walk."""
+        op = operating_point(hard_diode(), TIGHT, strategies=(
+            NewtonStrategy(), GminSteppingStrategy(max_iterations=80)))
+        assert op.diagnostics.rescued_by == "gmin-stepping"
+        assert not op.diagnostics.stage("newton").converged
+        assert 0.7 < op.voltage("a") < 1.1
+
+    def test_source_stepping_rescues_under_the_shared_budget(self):
+        op = operating_point(hard_diode(), TIGHT, strategies=(
+            NewtonStrategy(), SourceSteppingStrategy()))
+        assert op.diagnostics.rescued_by == "source-stepping"
+        assert 0.7 < op.voltage("a") < 1.1
+
+    def test_pseudo_transient_is_a_viable_final_fallback(self):
+        op = operating_point(hard_diode(), TIGHT, strategies=(
+            NewtonStrategy(), PseudoTransientStrategy(max_iterations=80)))
+        assert op.diagnostics.rescued_by == "pseudo-transient"
+        assert 0.7 < op.voltage("a") < 1.1
+
+    def test_all_strategies_agree_on_the_solution(self):
+        reference = operating_point(hard_diode()).voltage("a")
+        for strategies in (
+                (NewtonStrategy(),),
+                (GminSteppingStrategy(),),
+                (SourceSteppingStrategy(),),
+                (PseudoTransientStrategy(),)):
+            op = operating_point(hard_diode(), strategies=strategies)
+            assert op.voltage("a") == pytest.approx(reference, abs=1e-5)
+
+
+class TestDiagnostics:
+    def test_easy_circuit_converges_on_the_first_rung(self):
+        op = operating_point(divider())
+        diag = op.diagnostics
+        assert diag.rescued_by == "newton"
+        assert not diag.rescue_needed
+        assert len(diag.stages) == 1
+        assert diag.total_iterations == op.iterations
+
+    def test_residual_trajectory_is_recorded_and_decreasing(self):
+        op = operating_point(divider())
+        residuals = op.diagnostics.stage("newton").residuals
+        assert len(residuals) >= 1
+        assert residuals[-1] <= residuals[0]
+
+    def test_total_failure_carries_full_forensics(self):
+        with pytest.raises(ConvergenceError) as excinfo:
+            operating_point(hard_diode(), TIGHT,
+                            strategies=(NewtonStrategy(),
+                                        GminSteppingStrategy()))
+        error = excinfo.value
+        assert error.stage == "gmin-stepping"
+        diag = error.diagnostics
+        assert diag is not None
+        assert not diag.converged
+        assert [s.strategy for s in diag.stages] == [
+            "newton", "gmin-stepping"]
+        assert all(not s.converged for s in diag.stages)
+        assert error.iterations == diag.total_iterations
+
+    def test_describe_names_every_stage(self):
+        op = operating_point(hard_diode(), TIGHT)
+        text = op.diagnostics.describe()
+        assert "source-stepping" in text
+        assert "failed" in text and "ok" in text
+
+    def test_wall_time_is_accounted(self):
+        diag = operating_point(hard_diode(), TIGHT).diagnostics
+        assert diag.wall_time > 0.0
+        assert all(s.wall_time >= 0.0 for s in diag.stages)
+
+    def test_empty_ladder_is_rejected(self):
+        with pytest.raises(ValueError):
+            operating_point(divider(), strategies=())
+
+
+class _WarmStartAllergic(SolveStrategy):
+    """Fails any solve that does not start from the nodeset guess --
+    a deterministic stand-in for warm starts landing in a bad basin."""
+
+    name = "warm-allergic"
+
+    def __init__(self):
+        super().__init__()
+        self.cold_calls = 0
+        self.warm_rejections = 0
+
+    def solve(self, circuit, compiled, x0, time, options, trace):
+        if not np.array_equal(x0, circuit.initial_guess(compiled)):
+            self.warm_rejections += 1
+            raise ConvergenceError("warm start rejected")
+        self.cold_calls += 1
+        return NewtonStrategy().solve(circuit, compiled, x0, time,
+                                      options, trace)
+
+
+class TestSweepRecovery:
+    def test_warm_start_failure_is_retried_from_nodesets(self):
+        """One diverging warm start must not abort the sweep: the point
+        is re-seeded from the circuit's nodeset initial guess."""
+        strategy = _WarmStartAllergic()
+        result = dc_sweep(divider(), "V1", [0.2, 0.6, 1.0],
+                          strategies=(strategy,))
+        assert strategy.warm_rejections == 2   # points 1 and 2
+        assert strategy.cold_calls == 3        # every point solved cold
+        assert not result.failures
+        np.testing.assert_allclose(result.voltage("mid"),
+                                   [0.1, 0.3, 0.5], atol=1e-6)
+
+    def test_on_error_skip_records_nan_and_continues(self):
+        result = dc_sweep(hard_diode(), "V1", [0.5, 8.0, 0.55],
+                          options=NewtonOptions(max_iterations=8),
+                          strategies=(NewtonStrategy(),),
+                          on_error="skip")
+        assert result.failed_indices == [1]
+        (index, message), = result.failures
+        assert index == 1 and "hard_diode" in message
+        voltages = result.voltage("a")
+        assert np.isnan(voltages[1])
+        assert np.isfinite(voltages[0]) and np.isfinite(voltages[2])
+        assert not result.points[1].converged
+        assert result.points[0].converged
+
+    def test_on_error_raise_is_the_default(self):
+        with pytest.raises(ConvergenceError):
+            dc_sweep(hard_diode(), "V1", [0.5, 8.0],
+                     options=NewtonOptions(max_iterations=8),
+                     strategies=(NewtonStrategy(),))
+
+    def test_sweep_restores_the_source_after_skips(self):
+        circuit = hard_diode()
+        element = circuit.element("V1")
+        saved = element.waveform
+        dc_sweep(circuit, "V1", [0.5, 8.0, 0.55],
+                 options=NewtonOptions(max_iterations=8),
+                 strategies=(NewtonStrategy(),), on_error="skip")
+        assert element.waveform is saved
+
+    def test_unknown_policy_is_rejected(self):
+        from repro.errors import NetlistError
+        with pytest.raises(NetlistError):
+            dc_sweep(divider(), "V1", [1.0], on_error="ignore")
+
+
+class TestStrategyValidation:
+    def test_gmin_exponent_ordering(self):
+        with pytest.raises(ValueError):
+            GminSteppingStrategy(start_exponent=9, stop_exponent=3)
+
+    def test_source_stepping_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            SourceSteppingStrategy(start_fraction=1.5)
+        with pytest.raises(ValueError):
+            SourceSteppingStrategy(steps=1)
+
+    def test_pseudo_transient_parameters(self):
+        with pytest.raises(ValueError):
+            PseudoTransientStrategy(g_start=-1.0)
+        with pytest.raises(ValueError):
+            PseudoTransientStrategy(shrink=0.5)
+
+    def test_source_stepping_restores_waveforms_on_failure(self):
+        circuit = hard_diode()
+        element = circuit.element("V1")
+        saved = element.waveform
+        with pytest.raises(ConvergenceError):
+            operating_point(
+                circuit, NewtonOptions(max_iterations=3),
+                strategies=(SourceSteppingStrategy(),))
+        assert element.waveform is saved

@@ -111,3 +111,42 @@ class TestChargeConservation:
                            TransientOptions(record_currents=True))
         assert "V1" in result.branch_currents
         assert result.branch_currents["V1"].shape == result.time.shape
+
+
+class TestTelemetry:
+    def test_clean_run_reports_zero_rejections(self):
+        result = transient(rc_circuit(), 4e-6)
+        telemetry = result.telemetry
+        assert telemetry is not None
+        assert telemetry.steps_rejected == 0
+        assert telemetry.steps_accepted == len(result.time) - 1
+        assert telemetry.newton_iterations >= telemetry.steps_accepted
+        assert telemetry.dt_smallest <= 4e-6 / 50.0
+        assert "0 rejected" in telemetry.describe()
+
+    def test_rejections_are_counted_and_timestamped(self):
+        """A one-iteration Newton budget rejects every first attempt,
+        which the telemetry must record before the run stalls."""
+        from repro.errors import ConvergenceError
+        from repro.spice import NewtonOptions
+
+        with pytest.raises(ConvergenceError) as excinfo:
+            transient(rc_circuit(), 4e-6, TransientOptions(
+                newton=NewtonOptions(max_iterations=1)))
+        error = excinfo.value
+        assert error.diagnostics is not None
+        assert error.diagnostics.steps_rejected >= 1
+        assert len(error.diagnostics.rejection_times) >= 1
+
+    def test_rejection_budget_stops_a_grinding_run(self):
+        from repro.errors import ConvergenceError
+        from repro.spice import NewtonOptions
+
+        with pytest.raises(ConvergenceError) as excinfo:
+            transient(rc_circuit(), 4e-6, TransientOptions(
+                newton=NewtonOptions(max_iterations=1),
+                max_rejections=3))
+        error = excinfo.value
+        assert error.stage == "rejection-budget"
+        assert error.diagnostics.steps_rejected == 4
+        assert "rejection budget" in str(error)

@@ -44,3 +44,40 @@ class TestCommands:
                      "--density", "4"]) == 0
         out = capsys.readouterr().out
         assert "INL" in out and "ENOB" in out
+
+    def test_faults(self, capsys):
+        assert main(["faults", "--seed", "1", "--density", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "blast radius" in out
+        assert "baseline" in out
+        assert "bias-open-coarse" in out
+        assert "d(enob)" in out
+
+
+class TestErrorReporting:
+    def test_library_error_is_one_line_and_exit_2(self, capsys):
+        assert main(["report", "--rate", "zzz"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: UnitError:")
+        assert "\n" == captured.err[-1]
+        assert captured.err.count("\n") == 1
+
+    def test_convergence_error_names_the_last_stage(self):
+        from repro.__main__ import _diagnose
+        from repro.errors import ConvergenceError
+
+        line = _diagnose(ConvergenceError("no luck",
+                                          stage="gmin-stepping"))
+        assert line == ("error: ConvergenceError: no luck "
+                        "[last stage: gmin-stepping]")
+
+    def test_programming_errors_still_raise(self, monkeypatch):
+        """Only library errors are swallowed; bugs must stay loud."""
+        import repro.__main__ as cli
+
+        def boom(args):
+            raise RuntimeError("bug")
+
+        monkeypatch.setattr(cli, "_cmd_gate", boom)
+        with pytest.raises(RuntimeError):
+            cli.main(["gate"])
