@@ -1,0 +1,40 @@
+"""Smoke test of the perf-bench harness (not part of the tier-1 suite;
+run explicitly or via the CI perf-smoke job).
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+"""
+
+import json
+import subprocess
+import sys
+
+from repro.bench import BENCH_SCHEMA, run_benchmarks, write_report
+
+
+def test_quick_benchmarks_produce_all_cases(tmp_path):
+    results = run_benchmarks(quick=True, repeats=1)
+    names = {r.name for r in results}
+    assert names == {"op_chain", "dc_sweep", "transient", "montecarlo"}
+    for result in results:
+        assert result.wall_s > 0.0
+        assert result.meta  # every case reports its workload detail
+
+    path = write_report(results, tmp_path / "BENCH_perf.json", quick=True)
+    report = json.loads(path.read_text())
+    assert report["schema"] == BENCH_SCHEMA
+    assert report["quick"] is True
+    assert set(report["results"]) == names
+    assert report["results"]["dc_sweep"]["meta"]["compile_count"] == 1
+
+
+def test_cli_bench_quick_writes_report(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "bench", "--quick",
+         "--output", str(out)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    assert out.exists()
+    report = json.loads(out.read_text())
+    assert report["schema"] == BENCH_SCHEMA
+    assert "dc_sweep" in report["results"]

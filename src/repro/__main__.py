@@ -7,6 +7,7 @@ Usage:
     python -m repro gate --iss 1n               # one gate's numbers
     python -m repro sweep                       # the power-scaling table
     python -m repro faults                      # fault blast-radius table
+    python -m repro bench --quick               # time the solver hot paths
 
 Library failures (:class:`~repro.errors.ReproError`) are reported as a
 one-line diagnosis with exit status 2 instead of a traceback.
@@ -86,6 +87,19 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import run_benchmarks, write_report
+
+    results = run_benchmarks(quick=args.quick, repeats=args.repeats,
+                             n_workers=args.workers)
+    for result in results:
+        print(f"  {result.name:12}: {result.wall_s * 1e3:8.1f} ms "
+              f"(best of {result.repeats})")
+    path = write_report(results, args.output, quick=args.quick)
+    print(f"report written to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -122,6 +136,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--density", type=int, default=8,
                           help="ramp samples per code")
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the solver hot paths, emit BENCH_perf.json")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="smaller workloads, single repeat "
+                              "(CI smoke)")
+    p_bench.add_argument("--repeats", type=int, default=None,
+                         help="timed repetitions per case "
+                              "(default: 1 quick, 3 full)")
+    p_bench.add_argument("--workers", type=int, default=1,
+                         help="process-pool width for the Monte-Carlo "
+                              "case")
+    p_bench.add_argument("--output", default="BENCH_perf.json",
+                         help="report path (default: BENCH_perf.json)")
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -15,6 +15,21 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import AnalysisError, ReproError
+from .parallel import ensure_picklable, run_ordered, validate_workers
+
+
+def _mc_worker(metric_fn: Callable[[int], dict[str, float]],
+               seed: int) -> tuple[str, object]:
+    """Evaluate one seed in a worker process.
+
+    Library errors come back as data -- ``("error", exception)`` -- so
+    the parent applies the same ``on_error`` policy as the serial loop.
+    Module-level so it pickles.
+    """
+    try:
+        return ("ok", metric_fn(seed))
+    except ReproError as error:
+        return ("error", error)
 
 
 @dataclass(frozen=True)
@@ -41,8 +56,13 @@ class MonteCarloSummary:
         array = np.asarray(list(values), dtype=float)
         if array.size == 0:
             raise AnalysisError(f"no samples for metric {name!r}")
+        # Sample standard deviation (ddof=1): these values estimate the
+        # spread of the *population* the seeds were drawn from, not of
+        # the finite sample itself.  A single sample carries no spread
+        # information, so it reports 0.0 (not NaN).
+        std = float(array.std(ddof=1)) if array.size > 1 else 0.0
         return cls(name=name, values=array,
-                   mean=float(array.mean()), std=float(array.std()),
+                   mean=float(array.mean()), std=std,
                    median=float(np.median(array)),
                    p05=float(np.percentile(array, 5)),
                    p95=float(np.percentile(array, 95)))
@@ -100,11 +120,18 @@ class MonteCarlo:
     * ``"skip"``: record the seed in
       :attr:`MonteCarloRun.failed_seeds` and keep going, so one
       pathological chip cannot destroy a long campaign.
+
+    ``n_workers > 1`` fans the seeds out over a process pool.  Seeds
+    fully determine each chip, so the population is identical to the
+    serial run -- same summaries, same failed-seed records, in the same
+    seed order -- just wall-clock faster.  ``metric_fn`` must then be
+    picklable (a module-level function, not a lambda).
     """
 
     def __init__(self, metric_fn: Callable[[int], dict[str, float]],
                  n_runs: int = 25, seed_base: int = 0,
-                 on_error: str = "raise") -> None:
+                 on_error: str = "raise",
+                 n_workers: int | None = None) -> None:
         if n_runs < 1:
             raise AnalysisError(f"n_runs must be >= 1: {n_runs}")
         if on_error not in ("raise", "skip"):
@@ -114,22 +141,45 @@ class MonteCarlo:
         self.n_runs = n_runs
         self.seed_base = seed_base
         self.on_error = on_error
+        self.n_workers = validate_workers(n_workers)
+
+    def _seeds(self) -> list[int]:
+        return [self.seed_base + k for k in range(self.n_runs)]
+
+    def _outcomes_serial(self):
+        """Yield (seed, ("ok", metrics) | ("error", exception)) lazily
+        -- under ``on_error="raise"`` later seeds never evaluate."""
+        for seed in self._seeds():
+            yield seed, _mc_worker(self.metric_fn, seed)
+
+    def _outcomes_parallel(self):
+        """Same outcome stream, evaluated on a process pool.
+
+        Futures are collected in seed-submission order, so the
+        reduction sees the exact sequence of the serial loop.
+        """
+        ensure_picklable(self.metric_fn, "metric_fn")
+        results = run_ordered(_mc_worker,
+                              [(self.metric_fn, seed)
+                               for seed in self._seeds()],
+                              self.n_workers)
+        return zip(self._seeds(), results)
 
     def run(self) -> MonteCarloRun:
         """Execute all runs; returns per-metric summaries (a dict) with
         the failed-seed record attached."""
+        outcomes = (self._outcomes_parallel() if self.n_workers > 1
+                    else self._outcomes_serial())
         collected: dict[str, list[float]] = {}
         expected_keys: set[str] | None = None
         failed: list[tuple[int, str]] = []
-        for k in range(self.n_runs):
-            seed = self.seed_base + k
-            try:
-                metrics = self.metric_fn(seed)
-            except ReproError as error:
+        for seed, (status, payload) in outcomes:
+            if status == "error":
                 if self.on_error == "raise":
-                    raise
-                failed.append((seed, str(error)))
+                    raise payload
+                failed.append((seed, str(payload)))
                 continue
+            metrics = payload
             if not metrics:
                 raise AnalysisError("metric function returned no metrics")
             if expected_keys is None:

@@ -1,0 +1,67 @@
+"""Deterministic process-pool fan-out for embarrassingly parallel runs.
+
+Monte-Carlo populations and fault campaigns evaluate independent
+(seed / fault) work items, so they parallelise trivially -- but the
+*results* must be indistinguishable from the serial loop: same values,
+same failure records, same ordering, same exceptions.  The helpers here
+guarantee that by
+
+* submitting work items in their canonical order and collecting the
+  futures in that same submission order (never completion order), and
+* shipping library errors back as *data* -- workers catch
+  :class:`~repro.errors.ReproError` and return the exception object, so
+  the parent loop applies exactly the same ``on_error`` policy it would
+  apply serially.
+
+Workers run in separate processes, so everything shipped to them must
+pickle.  :func:`ensure_picklable` turns the obscure mid-pool pickling
+failure into an actionable error before any process is spawned (the
+usual culprit: a lambda or closure metric function -- use a
+module-level function with ``functools.partial`` instead).
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import AnalysisError
+
+
+def ensure_picklable(obj: Any, role: str) -> None:
+    """Raise an actionable :class:`AnalysisError` when ``obj`` cannot be
+    shipped to worker processes."""
+    try:
+        pickle.dumps(obj)
+    except Exception as error:
+        raise AnalysisError(
+            f"{role} cannot be sent to worker processes ({error}); "
+            f"parallel execution pickles its work items -- use a "
+            f"module-level function (functools.partial is fine) instead "
+            f"of a lambda or closure, or drop n_workers") from None
+
+
+def validate_workers(n_workers: int | None) -> int:
+    """Normalise an ``n_workers`` option: None -> 1, reject < 1."""
+    if n_workers is None:
+        return 1
+    if n_workers < 1:
+        raise AnalysisError(f"n_workers must be >= 1, got {n_workers}")
+    return int(n_workers)
+
+
+def run_ordered(worker: Callable[..., Any],
+                tasks: Sequence[tuple],
+                n_workers: int) -> list[Any]:
+    """Map ``worker(*task)`` over ``tasks`` in a process pool.
+
+    Results come back in **task order** regardless of which worker
+    finishes first, so downstream reductions see the exact sequence the
+    serial loop would have produced.  The worker and every task must be
+    picklable; preflight them with :func:`ensure_picklable` for a clear
+    error message.
+    """
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        futures = [pool.submit(worker, *task) for task in tasks]
+        return [future.result() for future in futures]

@@ -1,0 +1,26 @@
+"""Micro-benchmark harness for the simulation hot paths.
+
+``python -m repro bench`` times the four workloads the engine is
+optimised for -- operating-point solve, DC sweep, transient run and a
+Monte-Carlo population on FAI-ADC-sized STSCL netlists -- and writes a
+machine-readable ``BENCH_perf.json`` for trend tracking (CI uploads it
+as an artifact on every push).
+"""
+
+from __future__ import annotations
+
+from .perf import (
+    BENCH_SCHEMA,
+    BenchResult,
+    default_cases,
+    run_benchmarks,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchResult",
+    "default_cases",
+    "run_benchmarks",
+    "write_report",
+]

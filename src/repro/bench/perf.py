@@ -1,0 +1,190 @@
+"""Timing of the MNA hot paths on FAI-ADC-sized STSCL netlists.
+
+Each case builds its circuit fresh, runs one untimed warmup (JIT-free
+Python, but the warmup still populates the compile cache exactly like a
+real workflow would) and reports the best wall time over ``repeats``
+runs -- the minimum is the standard estimator for "how fast can this
+code go" because every source of interference only ever adds time.
+
+The emitted ``BENCH_perf.json`` is schema-versioned so downstream
+tooling (the CI perf-smoke job, trend dashboards) can evolve without
+guessing at the layout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..analysis.montecarlo import MonteCarlo
+from ..spice.dc import dc_sweep, operating_point
+from ..spice.transient import TransientOptions, transient
+from ..spice.waveforms import pulse_wave
+from ..stscl.gate_model import StsclGateDesign
+from ..stscl.netlist_gen import (
+    stscl_buffer_chain_circuit,
+    stscl_inverter_circuit,
+    stscl_latch_circuit,
+)
+
+#: Format tag of the emitted JSON report.
+BENCH_SCHEMA = "repro-bench-perf/v1"
+
+_I_SS = 1e-9
+_VDD = 0.4
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One timed case.
+
+    Attributes:
+        name: Case label.
+        wall_s: Best wall time over the repeats [s].
+        repeats: Timed repetitions (best-of).
+        meta: Case-specific detail (sizes, counts) for the report.
+    """
+
+    name: str
+    wall_s: float
+    repeats: int
+    meta: dict
+
+
+def _design() -> StsclGateDesign:
+    return StsclGateDesign.default(_I_SS)
+
+
+def _bench_op_chain() -> dict:
+    """Operating point of an 8-stage buffer chain (the deepest DC solve
+    an FAI-ADC thermometer stage exercises)."""
+    design = _design()
+    high, low = _VDD, _VDD - design.v_sw
+    circuit, _ = stscl_buffer_chain_circuit(design, _VDD, 8, high, low,
+                                            with_dwell=True)
+    result = operating_point(circuit)
+    return {"n_elements": len(circuit.elements),
+            "iterations": result.iterations}
+
+
+def _bench_dc_sweep(n_points: int) -> Callable[[], dict]:
+    """Transfer-curve sweep of one inverter, warm-started per point."""
+    def case() -> dict:
+        design = _design()
+        circuit, _ = stscl_inverter_circuit(design, _VDD)
+        sweep = dc_sweep(circuit, "vinp",
+                         np.linspace(0.0, _VDD, n_points))
+        return {"n_points": n_points, "n_failures": len(sweep.failures),
+                "compile_count": circuit.compile_count}
+    return case
+
+
+def _bench_transient() -> dict:
+    """Clocked D-latch over ten gate delays (trap integration)."""
+    design = _design()
+    t_d = design.delay()
+    high, low = _VDD, _VDD - design.v_sw
+    edge = t_d / 5.0
+    d_p = pulse_wave(low, high, delay=2 * t_d, rise=edge, fall=edge,
+                     width=4 * t_d, period=8 * t_d)
+    d_n = pulse_wave(high, low, delay=2 * t_d, rise=edge, fall=edge,
+                     width=4 * t_d, period=8 * t_d)
+    c_p = pulse_wave(low, high, delay=t_d, rise=edge, fall=edge,
+                     width=2 * t_d, period=4 * t_d)
+    c_n = pulse_wave(high, low, delay=t_d, rise=edge, fall=edge,
+                     width=2 * t_d, period=4 * t_d)
+    circuit, _ = stscl_latch_circuit(design, _VDD, d_p, d_n, c_p, c_n)
+    result = transient(circuit, 10.0 * t_d,
+                       TransientOptions(dt_max=t_d / 15.0))
+    return {"steps": result.telemetry.steps_accepted,
+            "rejected": result.telemetry.steps_rejected}
+
+
+def _mc_metric(seed: int) -> dict[str, float]:
+    """Differential output of one mismatched inverter chip.
+
+    Module-level (and closure-free) so the Monte-Carlo process pool can
+    pickle it.  Mismatch is applied with :func:`dataclasses.replace` --
+    both branch transistors share one device object, so mutating it in
+    place would shift the whole pair together.
+    """
+    design = _design()
+    circuit, ports = stscl_inverter_circuit(design, _VDD)
+    rng = np.random.default_rng(seed)
+    for element in circuit.mos_elements():
+        element.device = dataclasses.replace(
+            element.device,
+            vt_shift=element.device.vt_shift + rng.normal(0.0, 5e-3))
+    result = operating_point(circuit)
+    out_p, out_n = ports.outputs["y"]
+    return {"v_diff": result.vdiff(out_p, out_n)}
+
+
+def _bench_montecarlo(n_seeds: int,
+                      n_workers: int) -> Callable[[], dict]:
+    def case() -> dict:
+        mc = MonteCarlo(_mc_metric, n_runs=n_seeds,
+                        n_workers=n_workers)
+        run = mc.run()
+        return {"n_seeds": n_seeds, "n_workers": n_workers,
+                "v_diff_mean": run["v_diff"].mean}
+    return case
+
+
+def default_cases(quick: bool = False,
+                  n_workers: int = 1) -> dict[str, Callable[[], dict]]:
+    """Case name -> zero-argument callable returning its meta dict."""
+    n_points = 11 if quick else 31
+    n_seeds = 4 if quick else 8
+    return {
+        "op_chain": _bench_op_chain,
+        "dc_sweep": _bench_dc_sweep(n_points),
+        "transient": _bench_transient,
+        "montecarlo": _bench_montecarlo(n_seeds, n_workers),
+    }
+
+
+def run_benchmarks(quick: bool = False, repeats: int | None = None,
+                   n_workers: int = 1) -> list[BenchResult]:
+    """Time every case; best-of-``repeats`` after one untimed warmup."""
+    if repeats is None:
+        repeats = 1 if quick else 3
+    results = []
+    for name, case in default_cases(quick, n_workers).items():
+        meta = case()  # warmup; also captures the case's meta detail
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            case()
+            best = min(best, time.perf_counter() - t0)
+        results.append(BenchResult(name=name, wall_s=best,
+                                   repeats=repeats, meta=meta))
+    return results
+
+
+def write_report(results: list[BenchResult], path: str | Path,
+                 quick: bool = False) -> Path:
+    """Serialize ``results`` as schema-versioned JSON; returns the path."""
+    path = Path(path)
+    report = {
+        "schema": BENCH_SCHEMA,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                     time.gmtime()),
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": {
+            r.name: {"wall_s": r.wall_s, "repeats": r.repeats,
+                     "meta": r.meta}
+            for r in results
+        },
+    }
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

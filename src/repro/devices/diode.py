@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..constants import T_NOMINAL, thermal_voltage
 from ..errors import ModelError
@@ -112,3 +115,69 @@ class Diode:
         slope = cj0 / f1 * mj / vj
         c_knee = cj0 / f1 * (1.0 - fc * (1.0 + mj) + mj * v_knee / vj)
         return q_knee + c_knee * dv + 0.5 * slope * dv * dv
+
+
+class DiodeBank:
+    """Array-valued evaluation over a fixed set of diode instances.
+
+    Mirrors :meth:`Diode.current` / :meth:`Diode.capacitance` /
+    :meth:`Diode.charge` elementwise so the MNA assembler can restamp
+    every junction of a circuit with one numpy call.  The depletion
+    branch selection is done with masked evaluation so the unused
+    branch never sees an invalid base for the fractional power.
+    """
+
+    _G_LEAK = 1e-15
+    _FC = 0.5
+
+    def __init__(self, diodes: Sequence[Diode],
+                 temperatures: Sequence[float]) -> None:
+        if len(diodes) != len(temperatures):
+            raise ModelError("one temperature per diode required")
+        self.n_diodes = len(diodes)
+        self.i_s = np.array([d.params.i_s * d.area for d in diodes],
+                            dtype=float)
+        self.n_ut = np.array(
+            [thermal_voltage(t) * d.params.n
+             for d, t in zip(diodes, temperatures)], dtype=float)
+        self.cj0 = np.array([d.params.cj0 * d.area for d in diodes],
+                            dtype=float)
+        self.vj = np.array([d.params.vj for d in diodes], dtype=float)
+        self.mj = np.array([d.params.mj for d in diodes], dtype=float)
+
+    def current(self, v_ak: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(current, conductance) arrays at anode-cathode voltages."""
+        x = np.minimum(v_ak / self.n_ut, _EXP_LIMIT)
+        e = np.exp(x)
+        current = self.i_s * (e - 1.0) + self._G_LEAK * v_ak
+        conductance = self.i_s * e / self.n_ut + self._G_LEAK
+        return current, conductance
+
+    def capacitance(self, v_ak: np.ndarray) -> np.ndarray:
+        """Bias-dependent junction capacitance array [F]."""
+        fc = self._FC
+        v_knee = fc * self.vj
+        below = v_ak < v_knee
+        v_safe = np.where(below, v_ak, 0.0)
+        c_below = self.cj0 / (1.0 - v_safe / self.vj) ** self.mj
+        f1 = (1.0 - fc) ** (1.0 + self.mj)
+        c_above = self.cj0 / f1 * (1.0 - fc * (1.0 + self.mj)
+                                   + self.mj * v_ak / self.vj)
+        return np.where(below, c_below, c_above)
+
+    def charge(self, v_ak: np.ndarray) -> np.ndarray:
+        """Depletion charge array [C] (integral of ``capacitance``)."""
+        fc = self._FC
+        vj, mj, cj0 = self.vj, self.mj, self.cj0
+        v_knee = fc * vj
+        below = v_ak < v_knee
+        v_safe = np.where(below, v_ak, 0.0)
+        q_below = cj0 * vj / (1.0 - mj) * (
+            1.0 - (1.0 - v_safe / vj) ** (1.0 - mj))
+        q_knee = cj0 * vj / (1.0 - mj) * (1.0 - (1.0 - fc) ** (1.0 - mj))
+        f1 = (1.0 - fc) ** (1.0 + mj)
+        dv = v_ak - v_knee
+        slope = cj0 / f1 * mj / vj
+        c_knee = cj0 / f1 * (1.0 - fc * (1.0 + mj) + mj * v_knee / vj)
+        q_above = q_knee + c_knee * dv + 0.5 * slope * dv * dv
+        return np.where(below, q_below, q_above)

@@ -16,6 +16,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from ..constants import T_NOMINAL, thermal_voltage
 from ..errors import ModelError
@@ -197,3 +200,124 @@ class Mosfet:
         """Total gate capacitance [F]: the load one such gate presents."""
         caps = self.capacitances()
         return caps[("g", "s")] + caps[("g", "d")] + caps[("g", "b")]
+
+
+@dataclass(frozen=True)
+class MosBankResult:
+    """Array-valued large-signal solution of a :class:`MosBank`.
+
+    Each attribute is one value per device, in bank order.
+    """
+
+    ids: np.ndarray
+    p_d: np.ndarray
+    p_g: np.ndarray
+    p_s: np.ndarray
+    p_b: np.ndarray
+    i_f: np.ndarray
+    i_r: np.ndarray
+
+
+class MosBank:
+    """Array-valued EKV evaluation over a fixed set of devices.
+
+    The MNA engine's vectorized assembler groups every MOS element of a
+    circuit into one bank so a Newton iteration makes a single
+    array-valued model call instead of one Python call per transistor.
+    The math mirrors :meth:`Mosfet.evaluate` exactly (same
+    interpolation, CLM smoothing and chain rule), just elementwise over
+    numpy arrays.
+    """
+
+    def __init__(self, devices: Sequence[Mosfet],
+                 temperatures: Sequence[float]) -> None:
+        if len(devices) != len(temperatures):
+            raise ModelError("one temperature per device required")
+        self.n_devices = len(devices)
+        self.sign = np.array([d.params.polarity.sign for d in devices],
+                             dtype=float)
+        self.vt = np.array(
+            [d.params.vt_at(t) + d.vt_shift
+             for d, t in zip(devices, temperatures)], dtype=float)
+        self.n = np.array([d.params.n for d in devices], dtype=float)
+        self.ut = np.array([thermal_voltage(t) for t in temperatures],
+                           dtype=float)
+        self.i_spec = np.array(
+            [d.specific_current(t) for d, t in zip(devices, temperatures)],
+            dtype=float)
+        self.lam_eff = np.array(
+            [d.params.lambda_ / (d.l * 1e6) for d in devices], dtype=float)
+
+    def evaluate(self, vd: np.ndarray, vg: np.ndarray, vs: np.ndarray,
+                 vb: np.ndarray) -> MosBankResult:
+        """Channel currents and all terminal partials, one entry per
+        device."""
+        sign = self.sign
+        ug = sign * (vg - vb)
+        ud = sign * (vd - vb)
+        us = sign * (vs - vb)
+        vp = (ug - self.vt) / self.n
+
+        ut = self.ut
+        a = (vp - us) / ut
+        b = (vp - ud) / ut
+        # Fused interp_f / interp_f_derivative: both share softplus(v/2),
+        # so compute it once per argument (F = sp^2, F' = sp * sigmoid).
+        half_a = 0.5 * a
+        half_b = 0.5 * b
+        sp_a = np.logaddexp(0.0, half_a)
+        sp_b = np.logaddexp(0.0, half_b)
+        i_f = sp_a * sp_a
+        i_r = sp_b * sp_b
+        # Only the lower bound needs guarding: exp(-x) underflows benignly
+        # for large positive x but overflows for x below about -709.
+        sig_a = 1.0 / (1.0 + np.exp(-np.maximum(half_a, -350.0)))
+        sig_b = 1.0 / (1.0 + np.exp(-np.maximum(half_b, -350.0)))
+        fpa = sp_a * sig_a
+        fpb = sp_b * sig_b
+
+        uds = ud - us
+        t = np.tanh(uds / _CLM_SMOOTH)
+        sabs = uds * t
+        dsabs = t + (uds / _CLM_SMOOTH) * (1.0 - t * t)
+        lam_eff = self.lam_eff
+        clm = 1.0 + lam_eff * sabs
+
+        core = i_f - i_r
+        d_ug = clm * (fpa - fpb) / (self.n * ut)
+        d_us = -clm * fpa / ut - core * lam_eff * dsabs
+        d_ud = clm * fpb / ut + core * lam_eff * dsabs
+
+        i_spec = self.i_spec
+        ids = sign * i_spec * core * clm
+        p_g = i_spec * d_ug
+        p_d = i_spec * d_ud
+        p_s = i_spec * d_us
+        p_b = -(p_g + p_d + p_s)
+        return MosBankResult(ids=ids, p_d=p_d, p_g=p_g, p_s=p_s, p_b=p_b,
+                             i_f=i_f, i_r=i_r)
+
+    def operating_points(self, vd: np.ndarray, vg: np.ndarray,
+                         vs: np.ndarray,
+                         vb: np.ndarray) -> list[MosOperatingPoint]:
+        """Per-device :class:`MosOperatingPoint` records, in bank
+        order."""
+        r = self.evaluate(vd, vg, vs, vb)
+        ic = np.maximum(r.i_f, r.i_r)
+        points = []
+        for k in range(self.n_devices):
+            if ic[k] < 0.1:
+                region = "weak"
+            elif ic[k] < 10.0:
+                region = "moderate"
+            else:
+                region = "strong"
+            saturated = (r.i_r[k] < 0.05 * r.i_f[k]
+                         if r.i_f[k] > 0.0 else False)
+            points.append(MosOperatingPoint(
+                ids=float(r.ids[k]),
+                partials={"d": float(r.p_d[k]), "g": float(r.p_g[k]),
+                          "s": float(r.p_s[k]), "b": float(r.p_b[k])},
+                i_f=float(r.i_f[k]), i_r=float(r.i_r[k]),
+                region=region, saturated=saturated))
+        return points

@@ -13,8 +13,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
+from ..analysis.parallel import (ensure_picklable, run_ordered,
+                                 validate_workers)
 from ..errors import AnalysisError, ReproError
 from .models import FaultModel
+
+
+def _coerce_metrics(raw: Mapping[str, float]) -> dict[str, float]:
+    metrics = {name: float(value) for name, value in raw.items()}
+    if not metrics:
+        raise AnalysisError("metric function returned no metrics")
+    return metrics
+
+
+def _fault_worker(build: Callable[[], object],
+                  metric_fn: Callable[[object], Mapping[str, float]],
+                  fault: "FaultModel") -> tuple[str, object]:
+    """Evaluate one fault against a fresh target.
+
+    Module-level so it pickles into worker processes; library errors
+    (non-converging faulted circuits above all) come back as data so
+    the parent records them exactly like the serial loop would.
+    """
+    try:
+        faulted = fault.apply(build())
+        return ("ok", _coerce_metrics(metric_fn(faulted)))
+    except ReproError as error:
+        return ("error", error)
 
 
 @dataclass(frozen=True)
@@ -114,36 +139,54 @@ class FaultCampaign:
         metric_fn: Target -> metric dict; must return the same keys for
             every target it can evaluate.
         faults: The fault catalogue.
+        n_workers: Process-pool width for the per-fault evaluations
+            (the baseline always runs in-process).  Every fault gets a
+            fresh target either way, so the report is identical to the
+            serial run, in catalogue order; ``build`` / ``metric_fn`` /
+            the faults must then be picklable (module-level functions,
+            not lambdas).
     """
 
     def __init__(self, build: Callable[[], object],
                  metric_fn: Callable[[object], Mapping[str, float]],
-                 faults: Sequence[FaultModel]) -> None:
+                 faults: Sequence[FaultModel],
+                 n_workers: int | None = None) -> None:
         if not faults:
             raise AnalysisError("campaign needs at least one fault")
         self.build = build
         self.metric_fn = metric_fn
         self.faults = list(faults)
+        self.n_workers = validate_workers(n_workers)
 
     def _evaluate(self, target) -> dict[str, float]:
-        metrics = {name: float(value)
-                   for name, value in self.metric_fn(target).items()}
-        if not metrics:
-            raise AnalysisError("metric function returned no metrics")
-        return metrics
+        return _coerce_metrics(self.metric_fn(target))
+
+    def _fault_outcomes(self) -> list[tuple[str, object]]:
+        """("ok", metrics) / ("error", exception) per fault, in
+        catalogue order, serial or fanned out over a process pool."""
+        if self.n_workers > 1:
+            for role, obj in (("build", self.build),
+                              ("metric_fn", self.metric_fn),
+                              ("fault catalogue", self.faults)):
+                ensure_picklable(obj, role)
+            return run_ordered(_fault_worker,
+                               [(self.build, self.metric_fn, fault)
+                                for fault in self.faults],
+                               self.n_workers)
+        return [_fault_worker(self.build, self.metric_fn, fault)
+                for fault in self.faults]
 
     def run(self) -> CampaignReport:
         """Baseline plus one outcome per fault."""
         baseline = self._evaluate(self.build())
         report = CampaignReport(baseline=baseline)
-        for fault in self.faults:
-            try:
-                faulted = fault.apply(self.build())
-                metrics = self._evaluate(faulted)
-            except ReproError as error:
+        for fault, (status, payload) in zip(self.faults,
+                                            self._fault_outcomes()):
+            if status == "error":
                 report.outcomes.append(FaultOutcome(
-                    fault=fault.name, error=str(error)))
+                    fault=fault.name, error=str(payload)))
                 continue
+            metrics = payload
             deltas = {name: metrics[name] - baseline[name]
                       for name in baseline if name in metrics}
             report.outcomes.append(FaultOutcome(

@@ -1,0 +1,383 @@
+"""Vectorized MNA assembly: constant linear part + array-valued restamp.
+
+A :class:`CircuitAssembler` is built once per :class:`CompiledCircuit`
+and replaces the per-element Python stamping loop on the Newton hot
+path.  It splits the system into
+
+* a **constant linear part** -- resistors, controlled sources and the
+  incidence/branch topology of independent sources -- accumulated into
+  one dense matrix ``G_const`` at build time, so each Newton iteration
+  contributes it with a single ``copyto`` + matvec;
+* a **per-iteration source RHS** -- the waveform values of independent
+  sources (evaluated in Python: waveforms are user callables, but there
+  are few sources);
+* a **vectorized nonlinear restamp** -- every MOS transistor and diode
+  of the circuit is grouped into a :class:`~repro.devices.mosfet.MosBank`
+  / :class:`~repro.devices.diode.DiodeBank` and evaluated with one
+  array-valued model call per iteration, scattered into the Jacobian
+  through precomputed flat index arrays;
+* a **fallback list** -- any element type the assembler does not know
+  (user subclasses of :class:`~repro.spice.elements.Element`) keeps the
+  classic per-element ``stamp`` call, so extensibility is preserved.
+
+The assembler also owns the vectorized *charge* system used by the
+transient engine: linear capacitors contribute a constant scatter
+pattern scaled by the integration coefficient, diode depletion charges
+are evaluated through the bank.
+
+Because element *values* (a resistance aged by
+:class:`~repro.faults.models.ResistorDrift`, a device swapped by
+:class:`~repro.faults.models.VtOutlier`) may be mutated without going
+through :class:`~repro.spice.netlist.Circuit`, the assembler keeps a
+value signature and :meth:`sync` rebuilds the cached arrays whenever it
+changed.  ``sync`` runs once per solve, not once per Newton iteration.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..devices.diode import DiodeBank
+from ..devices.mosfet import MosBank, MosOperatingPoint
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    DiodeElement,
+    Element,
+    MosElement,
+    Resistor,
+    Stamper,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .netlist import CompiledCircuit
+
+
+def _masked_flat(rows: np.ndarray, cols: np.ndarray,
+                 size: int) -> tuple[np.ndarray, np.ndarray]:
+    """(valid mask, flat indices of the valid entries) for a scatter
+    into the raveled dense Jacobian; ground rows/columns are dropped."""
+    valid = (rows >= 0) & (cols >= 0)
+    flat = rows[valid].astype(np.intp) * size + cols[valid].astype(np.intp)
+    return valid, flat
+
+
+class CircuitAssembler:
+    """Compile-once stamping engine for one :class:`CompiledCircuit`."""
+
+    def __init__(self, compiled: "CompiledCircuit") -> None:
+        self.compiled = compiled
+        self.size = compiled.size
+        self._signature: tuple | None = None
+        self._partition()
+        self.sync()
+
+    # -- structure ------------------------------------------------------
+
+    def _partition(self) -> None:
+        """Split elements by type; structure is fixed for the lifetime
+        of the compiled circuit (structural edits recompile)."""
+        self._resistors: list[Resistor] = []
+        self._vsources: list[VoltageSource] = []
+        self._isources: list[CurrentSource] = []
+        self._vcvs: list[Vcvs] = []
+        self._vccs: list[Vccs] = []
+        self._capacitors: list[Capacitor] = []
+        self._diodes: list[DiodeElement] = []
+        self._mos: list[MosElement] = []
+        self._fallback: list = []
+        for element in self.compiled.circuit.elements:
+            if isinstance(element, Resistor):
+                self._resistors.append(element)
+            elif isinstance(element, VoltageSource):
+                self._vsources.append(element)
+            elif isinstance(element, CurrentSource):
+                self._isources.append(element)
+            elif isinstance(element, Vcvs):
+                self._vcvs.append(element)
+            elif isinstance(element, Vccs):
+                self._vccs.append(element)
+            elif isinstance(element, Capacitor):
+                self._capacitors.append(element)
+            elif isinstance(element, DiodeElement):
+                self._diodes.append(element)
+            elif isinstance(element, MosElement):
+                self._mos.append(element)
+            else:
+                self._fallback.append(element)
+
+    def _value_signature(self) -> tuple:
+        """Every mutable value baked into the cached arrays."""
+        return (
+            tuple(r.resistance for r in self._resistors),
+            tuple(e.gain for e in self._vcvs),
+            tuple(e.gm for e in self._vccs),
+            tuple(c.capacitance for c in self._capacitors),
+            tuple((id(m.device), m.device.vt_shift, m.device.beta_factor,
+                   m.device.w, m.device.l, m.device.m, m.temperature)
+                  for m in self._mos),
+            tuple((id(d.diode), d.diode.area, d.temperature)
+                  for d in self._diodes),
+        )
+
+    def sync(self) -> bool:
+        """Rebuild the cached arrays when element values changed.
+
+        Returns True when a rebuild happened.  Cheap when nothing
+        changed: one pass collecting plain attribute reads.
+        """
+        signature = self._value_signature()
+        if signature == self._signature:
+            return False
+        self._signature = signature
+        self._build_linear()
+        self._build_mos()
+        self._build_diodes()
+        self._build_charges()
+        return True
+
+    # -- build passes ---------------------------------------------------
+
+    def _build_linear(self) -> None:
+        size = self.size
+        g = np.zeros((size, size))
+
+        def add(row: int, col: int, value: float) -> None:
+            if row >= 0 and col >= 0:
+                g[row, col] += value
+
+        for r in self._resistors:
+            a, b = r._idx
+            cond = 1.0 / r.resistance
+            add(a, a, cond)
+            add(a, b, -cond)
+            add(b, a, -cond)
+            add(b, b, cond)
+        for e in self._vsources:
+            p, n = e._idx
+            (br,) = e._aux
+            add(p, br, 1.0)
+            add(n, br, -1.0)
+            add(br, p, 1.0)
+            add(br, n, -1.0)
+        for e in self._vcvs:
+            p, n, cp, cn = e._idx
+            (br,) = e._aux
+            add(p, br, 1.0)
+            add(n, br, -1.0)
+            add(br, p, 1.0)
+            add(br, n, -1.0)
+            add(br, cp, -e.gain)
+            add(br, cn, e.gain)
+        for e in self._vccs:
+            p, n, cp, cn = e._idx
+            add(p, cp, e.gm)
+            add(p, cn, -e.gm)
+            add(n, cp, -e.gm)
+            add(n, cn, e.gm)
+        self._g_const = g
+        # Source bookkeeping for the per-iteration RHS.
+        self._vsrc_branch_rows = [e._aux[0] for e in self._vsources]
+        self._isrc_nodes = [e._idx for e in self._isources]
+
+    def _build_mos(self) -> None:
+        mos = self._mos
+        self._mos_bank = None
+        if not mos:
+            return
+        self._mos_bank = MosBank([m.device for m in mos],
+                                 [m.temperature for m in mos])
+        idx = np.array([m._idx for m in mos], dtype=np.intp)  # (n, dgsb)
+        d, g, s, b = idx[:, 0], idx[:, 1], idx[:, 2], idx[:, 3]
+        self._mos_terms = (d, g, s, b)
+        self._mos_d_mask = d >= 0
+        self._mos_s_mask = s >= 0
+        # Jacobian scatter: rows (d, s) x cols (d, g, s, b), with the
+        # source-row block negated -- the exact entries of
+        # MosElement.stamp, flattened.
+        rows = np.concatenate([d, d, d, d, s, s, s, s])
+        cols = np.concatenate([d, g, s, b, d, g, s, b])
+        self._mos_valid, self._mos_flat = _masked_flat(rows, cols,
+                                                       self.size)
+        self._mos_sign = np.concatenate(
+            [np.ones(4 * len(mos)), -np.ones(4 * len(mos))])
+
+    def _build_diodes(self) -> None:
+        diodes = self._diodes
+        self._diode_bank = None
+        if not diodes:
+            return
+        self._diode_bank = DiodeBank([d.diode for d in diodes],
+                                     [d.temperature for d in diodes])
+        idx = np.array([d._idx for d in diodes], dtype=np.intp)
+        a, c = idx[:, 0], idx[:, 1]
+        self._diode_terms = (a, c)
+        self._diode_a_mask = a >= 0
+        self._diode_c_mask = c >= 0
+        rows = np.concatenate([a, a, c, c])
+        cols = np.concatenate([a, c, a, c])
+        self._diode_valid, self._diode_flat = _masked_flat(rows, cols,
+                                                           self.size)
+        self._diode_sign = np.concatenate(
+            [np.ones(len(diodes)), -np.ones(len(diodes)),
+             -np.ones(len(diodes)), np.ones(len(diodes))])
+
+    def _build_charges(self) -> None:
+        """Vectorized charge system (transient companion models).
+
+        Term order matches ``CompiledCircuit.charge_terms``: element
+        insertion order, one term per capacitor / diode.  An unknown
+        element subclass overriding ``charge_terms`` cannot be
+        vectorized blindly; its presence disables this fast path
+        (``charges_vectorized`` False) and the transient engine falls
+        back to the per-element API.
+        """
+        self.charges_vectorized = all(
+            type(e).charge_terms is Element.charge_terms
+            for e in self._fallback)
+        slot = 0
+        cap_slots, cap_pos, cap_neg, cap_c = [], [], [], []
+        dio_slots = []
+        for element in self.compiled.circuit.elements:
+            if isinstance(element, Capacitor):
+                a, b = element._idx
+                cap_slots.append(slot)
+                cap_pos.append(a)
+                cap_neg.append(b)
+                cap_c.append(element.capacitance)
+                slot += 1
+            elif isinstance(element, DiodeElement):
+                dio_slots.append(slot)
+                slot += 1
+        self.n_charge_terms = slot
+        self._cap_slots = np.array(cap_slots, dtype=np.intp)
+        self._cap_pos = np.array(cap_pos, dtype=np.intp)
+        self._cap_neg = np.array(cap_neg, dtype=np.intp)
+        self._cap_c = np.array(cap_c, dtype=float)
+        self._cap_pos_mask = self._cap_pos >= 0
+        self._cap_neg_mask = self._cap_neg >= 0
+        rows = np.concatenate([self._cap_pos, self._cap_pos,
+                               self._cap_neg, self._cap_neg])
+        cols = np.concatenate([self._cap_pos, self._cap_neg,
+                               self._cap_pos, self._cap_neg])
+        self._cap_valid, self._cap_flat = _masked_flat(rows, cols,
+                                                       self.size)
+        n_caps = len(cap_slots)
+        self._cap_jac_base = np.concatenate(
+            [self._cap_c, -self._cap_c, -self._cap_c, self._cap_c]
+        )[self._cap_valid] if n_caps else np.zeros(0)
+        self._dio_slots = np.array(dio_slots, dtype=np.intp)
+
+    # -- hot path -------------------------------------------------------
+
+    def _grounded(self, x: np.ndarray) -> np.ndarray:
+        """``x`` padded with a trailing 0 so ground index -1 reads 0."""
+        xg = np.empty(x.size + 1)
+        xg[:-1] = x
+        xg[-1] = 0.0
+        return xg
+
+    def _terminal_voltages(self, x: np.ndarray,
+                           indices: tuple) -> tuple[np.ndarray, ...]:
+        """Gather node voltages per terminal; ground index -1 reads 0."""
+        xg = self._grounded(x)
+        return tuple(xg[idx] for idx in indices)
+
+    def assemble(self, st: Stamper, x: np.ndarray,
+                 time: float | None) -> None:
+        """Overwrite ``st`` with the full static system at ``x``."""
+        np.copyto(st.jac, self._g_const)
+        np.dot(self._g_const, x, out=st.res)
+        res = st.res
+        # Independent-source excitations (Python loop: waveforms are
+        # user callables, and source counts are small).
+        for element, row in zip(self._vsources, self._vsrc_branch_rows):
+            res[row] -= element.value_at(time)
+        for element, (p, n) in zip(self._isources, self._isrc_nodes):
+            value = element.value_at(time)
+            if p >= 0:
+                res[p] += value
+            if n >= 0:
+                res[n] -= value
+        jac_flat = st.jac.reshape(-1)
+        if self._mos_bank is not None:
+            d, g, s, b = self._mos_terms
+            vd, vg, vs, vb = self._terminal_voltages(x, (d, g, s, b))
+            r = self._mos_bank.evaluate(vd, vg, vs, vb)
+            np.add.at(res, d[self._mos_d_mask], r.ids[self._mos_d_mask])
+            np.add.at(res, s[self._mos_s_mask], -r.ids[self._mos_s_mask])
+            partials = np.concatenate([r.p_d, r.p_g, r.p_s, r.p_b,
+                                       r.p_d, r.p_g, r.p_s, r.p_b])
+            values = (self._mos_sign * partials)[self._mos_valid]
+            np.add.at(jac_flat, self._mos_flat, values)
+        if self._diode_bank is not None:
+            a, c = self._diode_terms
+            va, vc = self._terminal_voltages(x, (a, c))
+            current, conductance = self._diode_bank.current(va - vc)
+            np.add.at(res, a[self._diode_a_mask],
+                      current[self._diode_a_mask])
+            np.add.at(res, c[self._diode_c_mask],
+                      -current[self._diode_c_mask])
+            values = self._diode_sign * np.tile(conductance, 4)
+            np.add.at(jac_flat, self._diode_flat,
+                      values[self._diode_valid])
+        for element in self._fallback:
+            element.stamp(st, x, time)
+
+    def device_operating_points(
+            self, x: np.ndarray) -> dict[str, MosOperatingPoint]:
+        """All MOS operating points at ``x`` via one bank call."""
+        if self._mos_bank is None:
+            return {}
+        d, g, s, b = self._mos_terms
+        vd, vg, vs, vb = self._terminal_voltages(x, (d, g, s, b))
+        points = self._mos_bank.operating_points(vd, vg, vs, vb)
+        return {m.name: op for m, op in zip(self._mos, points)}
+
+    # -- charge system (transient companions) ---------------------------
+
+    def charge_vector(self, x: np.ndarray) -> np.ndarray:
+        """All dynamic charges at ``x``, in canonical term order."""
+        q = np.zeros(self.n_charge_terms)
+        if self._cap_slots.size:
+            vpos, vneg = self._terminal_voltages(
+                x, (self._cap_pos, self._cap_neg))
+            q[self._cap_slots] = self._cap_c * (vpos - vneg)
+        if self._dio_slots.size:
+            a, c = self._diode_terms
+            va, vc = self._terminal_voltages(x, (a, c))
+            q[self._dio_slots] = self._diode_bank.charge(va - vc)
+        return q
+
+    def stamp_charges(self, st: Stamper, x: np.ndarray, c0: float,
+                      rhs: np.ndarray) -> None:
+        """Add the companion currents ``i = c0 q(x) + rhs`` and their
+        conductances ``c0 dq/dv`` for every charge term."""
+        q = self.charge_vector(x)
+        i = c0 * q + rhs
+        res = st.res
+        jac_flat = st.jac.reshape(-1)
+        if self._cap_slots.size:
+            i_cap = i[self._cap_slots]
+            np.add.at(res, self._cap_pos[self._cap_pos_mask],
+                      i_cap[self._cap_pos_mask])
+            np.add.at(res, self._cap_neg[self._cap_neg_mask],
+                      -i_cap[self._cap_neg_mask])
+            np.add.at(jac_flat, self._cap_flat, c0 * self._cap_jac_base)
+        if self._dio_slots.size:
+            a, c = self._diode_terms
+            va, vc = self._terminal_voltages(x, (a, c))
+            cap = self._diode_bank.capacitance(va - vc)
+            i_dio = i[self._dio_slots]
+            np.add.at(res, a[self._diode_a_mask],
+                      i_dio[self._diode_a_mask])
+            np.add.at(res, c[self._diode_c_mask],
+                      -i_dio[self._diode_c_mask])
+            values = self._diode_sign * np.tile(c0 * cap, 4)
+            np.add.at(jac_flat, self._diode_flat,
+                      values[self._diode_valid])

@@ -14,6 +14,7 @@ every device is an exponential.  The solver therefore
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from typing import Sequence
 
 import numpy as np
@@ -39,6 +40,37 @@ def _solve_with_homotopy(circuit: Circuit, compiled: CompiledCircuit,
     return run_ladder(circuit, compiled, x0, time, options, strategies)
 
 
+class _LazyDeviceOps(Mapping):
+    """``device_ops`` mapping materialized on first access.
+
+    Most sweep points are only read for node voltages; deferring the
+    per-transistor operating-point extraction keeps it off the sweep
+    hot path while looking exactly like the dict it replaces.
+    """
+
+    def __init__(self, compiled: CompiledCircuit, x: np.ndarray) -> None:
+        self._compiled = compiled
+        self._x = x
+        self._data: dict | None = None
+
+    def _materialize(self) -> dict:
+        if self._data is None:
+            self._data = self._compiled.device_ops(self._x)
+        return self._data
+
+    def __getitem__(self, key):
+        return self._materialize()[key]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __len__(self) -> int:
+        return len(self._materialize())
+
+    def __repr__(self) -> str:
+        return repr(self._materialize())
+
+
 def _package(compiled: CompiledCircuit, x: np.ndarray, iterations: int,
              diagnostics: SolverDiagnostics | None = None) -> OpResult:
     circuit = compiled.circuit
@@ -48,9 +80,10 @@ def _package(compiled: CompiledCircuit, x: np.ndarray, iterations: int,
         aux = compiled.aux_index.get(element.name, ())
         if aux:
             branch[element.name] = float(x[aux[0]])
-    device_ops = {m.name: m.operating_point(x) for m in circuit.mos_elements()}
+    x = x.copy()
     return OpResult(voltages=voltages, branch_currents=branch,
-                    device_ops=device_ops, iterations=iterations, x=x.copy(),
+                    device_ops=_LazyDeviceOps(compiled, x),
+                    iterations=iterations, x=x,
                     diagnostics=diagnostics)
 
 
@@ -100,7 +133,10 @@ def dc_sweep(circuit: Circuit, source_name: str,
     """Sweep the DC value of an independent source.
 
     Each point warm-starts from the previous solution, which is both
-    faster and far more robust for exponential circuits.  A point whose
+    faster and far more robust for exponential circuits.  The circuit
+    is compiled once for the whole sweep (only the swept source's
+    waveform changes, which is not a structural mutation), so every
+    point reuses the same vectorized assembler.  A point whose
     warm-started solve fails is retried cold from the circuit's nodeset
     initial guess before any error is declared, so one bad bias point
     does not poison its successors.

@@ -56,6 +56,9 @@ class CompiledCircuit:
     aux_index: dict[str, tuple[int, ...]]
     size: int
 
+    def __post_init__(self) -> None:
+        self._assembler = None
+
     def index_of(self, node: str) -> int:
         """MNA row of ``node`` (ground gives -1)."""
         if is_ground(node):
@@ -65,12 +68,35 @@ class CompiledCircuit:
         except KeyError:
             raise NetlistError(f"unknown node {node!r}") from None
 
+    @property
+    def assembler(self):
+        """The vectorized stamping engine (built lazily, reused)."""
+        if self._assembler is None:
+            from .assembly import CircuitAssembler
+            self._assembler = CircuitAssembler(self)
+        return self._assembler
+
+    def prepare(self):
+        """Sync the assembler with any element-value mutations.
+
+        Called once per solve (not per Newton iteration) by the DC
+        ladder, the transient engine and the AC engine, so value edits
+        that bypass :class:`Circuit` -- an aged resistance, a swapped
+        device model -- are picked up without a recompile.
+        """
+        assembler = self.assembler
+        assembler.sync()
+        return assembler
+
     def stamp_all(self, st: Stamper, x: np.ndarray,
                   time: float | None) -> None:
         """Assemble the full static system at solution ``x``."""
-        st.reset()
-        for element in self.circuit.elements:
-            element.stamp(st, x, time)
+        self.assembler.assemble(st, x, time)
+
+    def device_ops(self, x: np.ndarray) -> dict:
+        """MOS element name -> operating point at ``x`` (one vectorized
+        bank call instead of one model call per transistor)."""
+        return self.assembler.device_operating_points(x)
 
     def charge_terms(self, x: np.ndarray):
         """All dynamic charge terms at solution ``x`` (stable order)."""
@@ -101,8 +127,24 @@ class Circuit:
         self._node_set: set[str] = set()
         #: Initial-guess hints for DC convergence (SPICE .nodeset).
         self.nodesets: dict[str, float] = {}
+        self._compiled: CompiledCircuit | None = None
+        #: Number of times a fresh compilation was performed (a cached
+        #: ``compile()`` hit does not count).  Exposed for tests and
+        #: benchmarks of the compile cache.
+        self.compile_count = 0
 
     # -- construction ---------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop the cached compilation.
+
+        Called automatically on every structural mutation (adding an
+        element, introducing a node).  Element *value* mutations (an
+        aged resistance, a swapped device) do not need it -- the
+        assembler re-syncs values at the start of every solve -- but
+        calling it is always safe.
+        """
+        self._compiled = None
 
     def _register(self, element: Element) -> Element:
         if element.name in self._names:
@@ -112,6 +154,7 @@ class Circuit:
         for node in element.nodes:
             self._touch_node(node)
         self.elements.append(element)
+        self.invalidate()
         return element
 
     def _touch_node(self, node: str) -> None:
@@ -122,6 +165,7 @@ class Circuit:
         if node not in self._node_set:
             self._node_set.add(node)
             self._node_order.append(node)
+            self.invalidate()
 
     def add_resistor(self, name: str, node_a: str, node_b: str,
                      resistance: float) -> Resistor:
@@ -217,7 +261,15 @@ class Circuit:
     # -- compilation -----------------------------------------------------
 
     def compile(self) -> CompiledCircuit:
-        """Assign MNA indices and bind them into the elements."""
+        """Assign MNA indices and bind them into the elements.
+
+        The result is cached on the circuit: repeated calls (every
+        sweep point, every transient run) return the same
+        :class:`CompiledCircuit` -- and therefore the same vectorized
+        assembler -- until a structural mutation invalidates it.
+        """
+        if self._compiled is not None:
+            return self._compiled
         if not self.elements:
             raise NetlistError(f"circuit {self.name!r} has no elements")
         node_index = {name: i for i, name in enumerate(self._node_order)}
@@ -231,8 +283,12 @@ class Circuit:
                 GROUND_INDEX if is_ground(n) else node_index[n]
                 for n in element.nodes)
             element.bind(indices, aux)
-        return CompiledCircuit(circuit=self, node_index=node_index,
-                               aux_index=aux_index, size=next_row)
+        self._compiled = CompiledCircuit(circuit=self,
+                                         node_index=node_index,
+                                         aux_index=aux_index,
+                                         size=next_row)
+        self.compile_count += 1
+        return self._compiled
 
     def initial_guess(self, compiled: CompiledCircuit) -> np.ndarray:
         """Zero vector refined by nodesets (aux currents start at zero)."""

@@ -52,6 +52,15 @@ class NewtonOptions:
         max_step: Maximum voltage change applied per iteration [V].
         gmin: Conductance from every node to ground [S]; small enough not
             to disturb pA-level circuits.
+        stall_window: Bail out of a Newton solve early when the damped
+            update norm fails to at least halve across a window of this
+            many iterations.  A converging solve shrinks its updates
+            far faster; a *stalled* rung (the classic failure mode on
+            exponential circuits: updates creeping by fractions of a
+            percent per iteration, never meeting tolerance) would waste
+            its whole iteration budget before the next homotopy rung --
+            which converges such cases quickly -- gets a turn.  0
+            disables the detector.
     """
 
     max_iterations: int = 200
@@ -59,6 +68,7 @@ class NewtonOptions:
     reltol: float = 1.0e-4
     max_step: float = 0.3
     gmin: float = 1.0e-15
+    stall_window: int = 25
 
 
 def newton_solve(compiled: "CompiledCircuit", x0: np.ndarray,
@@ -73,16 +83,18 @@ def newton_solve(compiled: "CompiledCircuit", x0: np.ndarray,
     st = Stamper(compiled.size)
     x = x0.copy()
     n_nodes = len(compiled.node_index)
+    diag = np.arange(n_nodes)
+    stall_checkpoint = np.inf
     for iteration in range(1, options.max_iterations + 1):
         compiled.stamp_all(st, x, time)
         if extra_stamp is not None:
             extra_stamp(st, x)
         if gmin > 0.0:
-            for k in range(n_nodes):
-                st.jac[k, k] += gmin
-                st.res[k] += gmin * x[k]
+            st.jac[diag, diag] += gmin
+            st.res[:n_nodes] += gmin * x[:n_nodes]
+        residual = float(np.abs(st.res).max())
         if trace is not None:
-            trace.append(float(np.abs(st.res).max()))
+            trace.append(residual)
         try:
             dx = np.linalg.solve(st.jac, -st.res)
         except np.linalg.LinAlgError:
@@ -101,6 +113,17 @@ def newton_solve(compiled: "CompiledCircuit", x0: np.ndarray,
                                          if n_nodes else 0.0))
         if converged and scale == 1.0:
             return x, iteration
+        if options.stall_window > 0 and \
+                iteration % options.stall_window == 0:
+            step_norm = biggest * scale
+            if step_norm > 0.5 * stall_checkpoint:
+                raise ConvergenceError(
+                    f"Newton stalled after {iteration} iterations in "
+                    f"{compiled.circuit.name} (update norm "
+                    f"{step_norm:.3e} failed to halve over the last "
+                    f"{options.stall_window} iterations)",
+                    iterations=iteration, residual=residual)
+            stall_checkpoint = step_norm
     raise ConvergenceError(
         f"Newton failed after {options.max_iterations} iterations "
         f"in {compiled.circuit.name}",
@@ -342,6 +365,7 @@ class PseudoTransientStrategy(SolveStrategy):
     def solve(self, circuit, compiled, x0, time, options, trace):
         options = self._options(options)
         n_nodes = len(compiled.node_index)
+        diag = np.arange(n_nodes)
         x = x0.copy()
         total = 0
         g = self.g_start
@@ -350,9 +374,8 @@ class PseudoTransientStrategy(SolveStrategy):
 
             def anchor(st: Stamper, xv: np.ndarray,
                        g=g, x_prev=x_prev) -> None:
-                for k in range(n_nodes):
-                    st.jac[k, k] += g
-                    st.res[k] += g * (xv[k] - x_prev[k])
+                st.jac[diag, diag] += g
+                st.res[:n_nodes] += g * (xv[:n_nodes] - x_prev[:n_nodes])
 
             x, iters = newton_solve(compiled, x, time, options,
                                     options.gmin, extra_stamp=anchor,
@@ -385,6 +408,9 @@ def run_ladder(circuit: "Circuit", compiled: "CompiledCircuit",
     strategies = DEFAULT_LADDER if strategies is None else tuple(strategies)
     if not strategies:
         raise ValueError("empty strategy ladder")
+    # One value-sync per solve: picks up element mutations (aged
+    # resistors, swapped devices) without paying per-iteration checks.
+    compiled.prepare()
     diagnostics = SolverDiagnostics(circuit=circuit.name)
     ladder_start = _time.perf_counter()
     for strategy in strategies:

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import ConvergenceError, NetlistError
+from ..errors import AnalysisError, ConvergenceError, NetlistError
 from .dc import NewtonOptions, _newton, operating_point
 from .elements import CurrentSource, Stamper, VoltageSource
 from .netlist import Circuit
@@ -113,13 +113,25 @@ def transient(circuit: Circuit, t_stop: float,
 
     if initial_op is None:
         initial_op = operating_point(circuit, options.newton)
+    if initial_op.x is None:
+        raise AnalysisError(
+            "initial_op carries no solution vector (x is None): it is a "
+            "NaN placeholder from a non-converged sweep point recorded "
+            "under on_error='skip'; filter those out (OpResult.converged) "
+            "before handing them to transient()")
     compiled = circuit.compile()
+    assembler = compiled.prepare()
     x = initial_op.x.copy()
 
-    # Initial charge state; capacitor currents are zero at DC.
-    terms = compiled.charge_terms(x)
-    q_prev = np.array([term.q for term in terms])
-    i_prev = np.zeros(len(terms))
+    # Initial charge state; capacitor currents are zero at DC.  The
+    # vectorized charge system is used whenever no foreign element
+    # subclass overrides charge_terms (then: per-element fallback).
+    vectorized = assembler.charges_vectorized
+    if vectorized:
+        q_prev = assembler.charge_vector(x)
+    else:
+        q_prev = np.array([term.q for term in compiled.charge_terms(x)])
+    i_prev = np.zeros(len(q_prev))
 
     breakpoints = _breakpoints(circuit, t_stop)
     bp_cursor = 0
@@ -127,11 +139,15 @@ def transient(circuit: Circuit, t_stop: float,
     times = [0.0]
     names = list(compiled.node_index)
     history = {name: [x[compiled.node_index[name]]] for name in names}
-    current_sources = [e for e in circuit.elements
-                       if isinstance(e, VoltageSource)]
+    # Only voltage-defined elements own an MNA branch current; with
+    # record_currents set, exactly the independent VoltageSource
+    # branches are recorded (CurrentSource currents are their waveform
+    # values and carry no branch unknown).
+    recorded_sources = [e for e in circuit.elements
+                        if isinstance(e, VoltageSource)]
     current_history: dict[str, list[float]] = {
         e.name: [float(x[compiled.aux_index[e.name][0]])]
-        for e in current_sources} if options.record_currents else {}
+        for e in recorded_sources} if options.record_currents else {}
 
     telemetry = TransientTelemetry()
 
@@ -160,14 +176,18 @@ def transient(circuit: Circuit, t_stop: float,
                 c0 = 1.0 / step
                 rhs = -c0 * q_prev
 
-            def dynamic_stamp(st: Stamper, xv: np.ndarray) -> None:
-                for k, term in enumerate(compiled.charge_terms(xv)):
-                    i_k = c0 * term.q + rhs[k]
-                    st.add_f(term.pos, i_k)
-                    st.add_f(term.neg, -i_k)
-                    for col, dqdv in term.derivs:
-                        st.add_j(term.pos, col, c0 * dqdv)
-                        st.add_j(term.neg, col, -c0 * dqdv)
+            if vectorized:
+                def dynamic_stamp(st: Stamper, xv: np.ndarray) -> None:
+                    assembler.stamp_charges(st, xv, c0, rhs)
+            else:
+                def dynamic_stamp(st: Stamper, xv: np.ndarray) -> None:
+                    for k, term in enumerate(compiled.charge_terms(xv)):
+                        i_k = c0 * term.q + rhs[k]
+                        st.add_f(term.pos, i_k)
+                        st.add_f(term.neg, -i_k)
+                        for col, dqdv in term.derivs:
+                            st.add_j(term.pos, col, c0 * dqdv)
+                            st.add_j(term.neg, col, -c0 * dqdv)
 
             try:
                 x_new, iters = _newton(compiled, x, t_new, options.newton,
@@ -194,8 +214,11 @@ def transient(circuit: Circuit, t_stop: float,
                         diagnostics=telemetry, stage="dt-min")
 
         # Commit the step: update charge state.
-        new_terms = compiled.charge_terms(x_new)
-        q_new = np.array([term.q for term in new_terms])
+        if vectorized:
+            q_new = assembler.charge_vector(x_new)
+        else:
+            q_new = np.array([term.q
+                              for term in compiled.charge_terms(x_new)])
         i_new = c0 * q_new + rhs
         q_prev, i_prev = q_new, i_new
         x = x_new

@@ -14,6 +14,17 @@ class TestSummary:
         assert summary.median == pytest.approx(2.0)
         assert summary.p05 <= summary.median <= summary.p95
 
+    def test_std_is_the_sample_std(self):
+        """ddof=1: the values estimate the spread of the population the
+        seeds were drawn from, not of the finite sample itself."""
+        summary = MonteCarloSummary.from_values("x", [1.0, 2.0, 3.0])
+        assert summary.std == pytest.approx(1.0)  # not sqrt(2/3)
+
+    def test_single_sample_std_is_zero(self):
+        summary = MonteCarloSummary.from_values("x", [4.2])
+        assert summary.std == 0.0
+        assert summary.mean == pytest.approx(4.2)
+
     def test_empty_rejected(self):
         with pytest.raises(AnalysisError):
             MonteCarloSummary.from_values("x", [])
@@ -114,3 +125,56 @@ class TestErrorPolicy:
     def test_policy_validated(self):
         with pytest.raises(AnalysisError):
             MonteCarlo(lambda s: {"x": 1.0}, on_error="ignore")
+
+
+def _seeded_gaussian(seed):
+    """Module-level (picklable) metric for the process-pool tests."""
+    rng = np.random.default_rng(seed)
+    return {"v": float(rng.normal(0.0, 1.0))}
+
+
+def _flaky_every_third(seed):
+    if seed % 3 == 1:
+        raise ConvergenceError(f"seed {seed} diverged")
+    return {"v": float(seed)}
+
+
+class TestParallel:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        """Seeds fully determine the chips, so the pool must reproduce
+        the serial population exactly -- values and order."""
+        serial = MonteCarlo(_seeded_gaussian, n_runs=6).run()
+        parallel = MonteCarlo(_seeded_gaussian, n_runs=6,
+                              n_workers=2).run()
+        np.testing.assert_array_equal(serial["v"].values,
+                                      parallel["v"].values)
+        assert serial["v"].std == parallel["v"].std
+        assert serial["v"].mean == parallel["v"].mean
+
+    def test_parallel_skip_records_match_serial(self):
+        serial = MonteCarlo(_flaky_every_third, n_runs=7,
+                            on_error="skip").run()
+        parallel = MonteCarlo(_flaky_every_third, n_runs=7,
+                              on_error="skip", n_workers=3).run()
+        np.testing.assert_array_equal(serial["v"].values,
+                                      parallel["v"].values)
+        assert serial.failed_seeds == parallel.failed_seeds
+
+    def test_parallel_raise_policy_propagates(self):
+        with pytest.raises(ConvergenceError):
+            MonteCarlo(_flaky_every_third, n_runs=4, n_workers=2).run()
+
+    def test_unpicklable_metric_diagnosed_upfront(self):
+        mc = MonteCarlo(lambda s: {"x": 1.0}, n_runs=2, n_workers=2)
+        with pytest.raises(AnalysisError, match="worker processes"):
+            mc.run()
+
+    def test_workers_validated(self):
+        with pytest.raises(AnalysisError):
+            MonteCarlo(_seeded_gaussian, n_workers=0)
+
+    def test_single_worker_stays_serial(self):
+        """n_workers=1 must not spin up a pool (lambdas keep working)."""
+        results = MonteCarlo(lambda s: {"x": float(s)}, n_runs=3,
+                             n_workers=1).run()
+        assert results["x"].mean == pytest.approx(1.0)

@@ -103,6 +103,38 @@ class TestFaultCampaign:
             campaign.run().outcome("no-such-fault")
 
 
+class TestParallelCampaign:
+    def test_parallel_report_matches_serial(self):
+        faults = [ResistorDrift("R2", 3.0),
+                  BridgedNodes("mid", "0", resistance=1.0),
+                  _Explosive()]
+        serial = FaultCampaign(build=divider, metric_fn=mid_voltage,
+                               faults=faults).run()
+        parallel = FaultCampaign(build=divider, metric_fn=mid_voltage,
+                                 faults=faults, n_workers=2).run()
+        assert parallel.baseline == serial.baseline
+        assert [o.fault for o in parallel.outcomes] == [
+            o.fault for o in serial.outcomes]
+        for got, want in zip(parallel.outcomes, serial.outcomes):
+            assert got.metrics == want.metrics
+            assert got.deltas == want.deltas
+            assert got.error == want.error
+
+    def test_unpicklable_build_diagnosed_upfront(self):
+        campaign = FaultCampaign(build=lambda: divider(),
+                                 metric_fn=mid_voltage,
+                                 faults=[ResistorDrift("R2", 2.0)],
+                                 n_workers=2)
+        with pytest.raises(AnalysisError, match="worker processes"):
+            campaign.run()
+
+    def test_workers_validated(self):
+        with pytest.raises(AnalysisError):
+            FaultCampaign(build=divider, metric_fn=mid_voltage,
+                          faults=[ResistorDrift("R2", 2.0)],
+                          n_workers=-1)
+
+
 class TestStandardAdcCampaign:
     def test_blast_radius_is_physically_ordered(self):
         """A dead coarse bank must hurt far more than one stuck fine

@@ -112,6 +112,41 @@ class TestChargeConservation:
         assert "V1" in result.branch_currents
         assert result.branch_currents["V1"].shape == result.time.shape
 
+    def test_record_currents_excludes_current_sources(self):
+        """Only voltage-defined elements own an MNA branch current; a
+        CurrentSource must never appear in the recorded set (its current
+        is its waveform value, it has no branch unknown)."""
+        ckt = rc_circuit()
+        ckt.add_isource("I1", "out", "0", 1e-9)
+        result = transient(ckt, 4e-6,
+                           TransientOptions(record_currents=True))
+        assert "V1" in result.branch_currents
+        assert "I1" not in result.branch_currents
+
+
+class TestInitialOpValidation:
+    def test_nan_placeholder_initial_op_rejected(self):
+        """A NaN placeholder point (``on_error="skip"``) carries no
+        solution vector; handing it to transient() used to crash with
+        ``AttributeError: 'NoneType' object has no attribute 'copy'``
+        -- it must be a clear AnalysisError instead."""
+        from repro.errors import AnalysisError
+        from repro.spice.results import OpResult
+
+        placeholder = OpResult(voltages={"out": float("nan")},
+                               branch_currents={}, x=None)
+        assert not placeholder.converged
+        with pytest.raises(AnalysisError, match="x is None"):
+            transient(rc_circuit(), 1e-6, initial_op=placeholder)
+
+    def test_converged_initial_op_accepted(self):
+        from repro.spice import operating_point
+
+        ckt = rc_circuit()
+        op = operating_point(ckt)
+        result = transient(ckt, 1e-6, initial_op=op)
+        assert result.time[0] == 0.0
+
 
 class TestTelemetry:
     def test_clean_run_reports_zero_rejections(self):
