@@ -25,6 +25,14 @@ def test_quick_benchmarks_produce_all_cases(tmp_path):
     assert report["quick"] is True
     assert set(report["results"]) == names
     assert report["results"]["dc_sweep"]["meta"]["compile_count"] == 1
+    # Every case's traced warmup attaches its counter totals, and the
+    # cache-traffic counter reconciles with the compile count.
+    for name in names:
+        counters = report["results"][name]["trace_counters"]
+        assert counters["jacobian_factorizations"] > 0
+        assert counters["device_bank_evals"] > 0
+    assert (report["results"]["dc_sweep"]["trace_counters"]
+            ["compile_cache_misses"] == 1)
 
 
 def test_cli_bench_quick_writes_report(tmp_path):

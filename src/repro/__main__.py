@@ -8,6 +8,7 @@ Usage:
     python -m repro sweep                       # the power-scaling table
     python -m repro faults                      # fault blast-radius table
     python -m repro bench --quick               # time the solver hot paths
+    python -m repro trace --scenario op_chain   # run a scenario traced
 
 Library failures (:class:`~repro.errors.ReproError`) are reported as a
 one-line diagnosis with exit status 2 instead of a traceback.
@@ -100,6 +101,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Scenarios the ``trace`` subcommand can run (bench cases + faults).
+TRACE_SCENARIOS = ("op_chain", "dc_sweep", "transient", "montecarlo",
+                   "faults")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from . import telemetry
+    from .bench.perf import default_cases
+
+    scenarios = dict(default_cases(quick=not args.full,
+                                   n_workers=args.workers))
+
+    def faults_case() -> dict:
+        from .faults import standard_adc_campaign
+
+        report = standard_adc_campaign(seed=args.seed,
+                                       samples_per_code=4).run()
+        return {"n_faults": len(report.outcomes),
+                "n_failed": len(report.failed)}
+
+    scenarios["faults"] = faults_case
+    case = scenarios[args.scenario]
+    with telemetry.tracing(f"scenario-{args.scenario}",
+                           scenario=args.scenario) as trace:
+        meta = case()
+    path = telemetry.write_jsonl(trace, args.output)
+    max_depth = None if args.max_depth < 0 else args.max_depth
+    print(telemetry.tree_summary(trace, max_depth=max_depth))
+    detail = " ".join(f"{k}={v}" for k, v in meta.items())
+    if detail:
+        print(f"scenario detail: {detail}")
+    print(f"trace written to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -151,6 +187,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--output", default="BENCH_perf.json",
                          help="report path (default: BENCH_perf.json)")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a bench/fault scenario under telemetry "
+                      "tracing; write a JSONL trace + tree summary")
+    p_trace.add_argument("--scenario", choices=TRACE_SCENARIOS,
+                         default="op_chain")
+    p_trace.add_argument("--output", default="trace.jsonl",
+                         help="JSONL trace path (default: trace.jsonl)")
+    p_trace.add_argument("--full", action="store_true",
+                         help="full-size workload (default: quick sizes)")
+    p_trace.add_argument("--workers", type=int, default=1,
+                         help="process-pool width for the Monte-Carlo "
+                              "scenario (worker spans are merged)")
+    p_trace.add_argument("--seed", type=int, default=1,
+                         help="chip seed for the faults scenario")
+    p_trace.add_argument("--max-depth", type=int, default=3,
+                         help="summary tree depth (-1: unlimited; "
+                              "the JSONL always keeps everything)")
+    p_trace.set_defaults(func=_cmd_trace)
     return parser
 
 

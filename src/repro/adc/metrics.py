@@ -53,7 +53,13 @@ def inl_dnl_from_codes(codes: np.ndarray, n_bits: int) -> LinearityReport:
     interior = histogram[1:-1]
     if np.all(interior == 0.0):
         raise AnalysisError("no interior codes hit; is the ramp connected?")
-    average = interior[interior > 0].mean() if np.any(interior > 0) else 1.0
+    # The LSB estimate must average over *all* interior bins, zero-width
+    # (missing) codes included: the interior hit counts jointly cover
+    # the full-scale span, so dropping empty bins inflates the estimate
+    # and the cumulative INL no longer telescopes onto the endpoint
+    # line (it would disagree with the transition-level method on any
+    # converter with a missing code).
+    average = interior.mean()
     dnl_interior = interior / average - 1.0
     dnl = np.concatenate([[0.0], dnl_interior, [0.0]])
     inl = np.concatenate([[0.0], np.cumsum(dnl_interior)])
@@ -89,9 +95,17 @@ def code_transition_levels(convert, n_bits: int, v_low: float,
     for target in range(1, n_codes):
         lo, hi = lo_bound, v_high
         if convert(lo) >= target:
-            transitions[target - 1] = lo
-            continue
-        if convert(hi) < target:
+            # The carried-over bracket already reads at/above the
+            # target.  That means bottom-rail clipping -- or, on a
+            # noisy converter, the earlier bracket has flipped.  The
+            # true transition sits at or below ``lo``, so re-bisect
+            # down from the full lower range instead of recording the
+            # stale bound as the transition.
+            lo, hi = v_low, lo
+            if convert(lo) >= target:
+                transitions[target - 1] = lo
+                continue
+        elif convert(hi) < target:
             transitions[target - 1] = hi
             continue
         while hi - lo > resolution:
@@ -144,12 +158,20 @@ class SineTestReport:
         sfdr_db: Spurious-free dynamic range [dB].
         enob: Effective number of bits.
         signal_bin: FFT bin of the test tone.
+        guard_bins: Bins adjacent to the carrier excluded from both the
+            noise sum and the SFDR spur search (they absorb the
+            residual carrier skirt).  A spur landing exactly there is
+            invisible to this test -- the policy is reported rather
+            than silent.
+        guard_power: One-sided power absorbed by the guard bins.
     """
 
     sndr_db: float
     sfdr_db: float
     enob: float
     signal_bin: int
+    guard_bins: tuple[int, ...] = ()
+    guard_power: float = 0.0
 
 
 def enob_from_sndr(sndr_db: float) -> float:
@@ -179,16 +201,32 @@ def sine_test(codes: np.ndarray, n_bits: int) -> SineTestReport:
     centred = codes - codes.mean()
     spectrum = np.fft.rfft(centred)
     power = np.abs(spectrum) ** 2
+    # One-sided power: every interior rfft bin carries half of the
+    # two-sided power of its frequency; DC and (for even n) the
+    # Nyquist bin appear exactly once and keep unit weight.  Without
+    # this the noise floor -- much of which sits in interior bins --
+    # is under-weighted relative to a Nyquist-bin component and the
+    # SNDR of even an ideal quantizer comes out wrong.
+    if n % 2 == 0:
+        power[1:-1] *= 2.0
+    else:
+        power[1:] *= 2.0
     power[0] = 0.0
     signal_bin = int(np.argmax(power))
     if signal_bin == 0:
         raise AnalysisError("no signal tone found")
     signal_power = power[signal_bin]
-    # Guard bins around the carrier absorb the residual skirt.
+    # Guard bins around the carrier absorb the residual skirt; the
+    # exclusion is reported in the result so a spur hiding there is a
+    # documented blind spot, not a silent one.
+    guard_bins = tuple(b for b in (signal_bin - 1, signal_bin + 1)
+                       if 1 <= b < power.size)
     noise = power.copy()
-    lo = max(1, signal_bin - 1)
-    noise[lo:signal_bin + 2] = 0.0
     noise[0] = 0.0
+    noise[signal_bin] = 0.0
+    guard_power = float(sum(power[b] for b in guard_bins))
+    for b in guard_bins:
+        noise[b] = 0.0
     noise_power = noise.sum()
     if noise_power <= 0.0:
         raise AnalysisError("zero noise power; record too short?")
@@ -196,4 +234,6 @@ def sine_test(codes: np.ndarray, n_bits: int) -> SineTestReport:
     sfdr = 10.0 * math.log10(signal_power / noise.max())
     return SineTestReport(sndr_db=sndr, sfdr_db=sfdr,
                           enob=enob_from_sndr(sndr),
-                          signal_bin=signal_bin)
+                          signal_bin=signal_bin,
+                          guard_bins=guard_bins,
+                          guard_power=guard_power)

@@ -14,22 +14,42 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import AnalysisError, ReproError
 from .parallel import ensure_picklable, run_ordered, validate_workers
 
 
-def _mc_worker(metric_fn: Callable[[int], dict[str, float]],
-               seed: int) -> tuple[str, object]:
-    """Evaluate one seed in a worker process.
-
-    Library errors come back as data -- ``("error", exception)`` -- so
-    the parent applies the same ``on_error`` policy as the serial loop.
-    Module-level so it pickles.
-    """
+def _mc_eval(metric_fn: Callable[[int], dict[str, float]],
+             seed: int) -> tuple[str, object]:
     try:
         return ("ok", metric_fn(seed))
     except ReproError as error:
         return ("error", error)
+
+
+def _mc_worker(metric_fn: Callable[[int], dict[str, float]],
+               seed: int, capture_trace: bool = False) -> tuple:
+    """Evaluate one seed; in a worker process when parallel.
+
+    Library errors come back as data -- ``("error", exception)`` -- so
+    the parent applies the same ``on_error`` policy as the serial loop.
+    Module-level so it pickles.
+
+    ``capture_trace`` is set by the parallel path when the *parent* was
+    tracing: the worker records a private trace around the evaluation
+    and ships its spans back as a third tuple element for the parent to
+    merge in submission order.  A fork-started worker inherits the
+    parent's trace as a dead copy (mutations never propagate back), so
+    it is dropped first.  The serial path instead opens a plain child
+    span, which nests naturally.
+    """
+    if capture_trace:
+        telemetry.reset()
+        with telemetry.tracing(f"seed-{seed}", seed=seed) as trace:
+            outcome = _mc_eval(metric_fn, seed)
+        return outcome + (trace.root.to_dict(),)
+    with telemetry.span(f"seed-{seed}", seed=seed):
+        return _mc_eval(metric_fn, seed)
 
 
 @dataclass(frozen=True)
@@ -156,11 +176,13 @@ class MonteCarlo:
         """Same outcome stream, evaluated on a process pool.
 
         Futures are collected in seed-submission order, so the
-        reduction sees the exact sequence of the serial loop.
+        reduction sees the exact sequence of the serial loop -- and,
+        when tracing, the per-worker spans merge in that same order.
         """
         ensure_picklable(self.metric_fn, "metric_fn")
         results = run_ordered(_mc_worker,
-                              [(self.metric_fn, seed)
+                              [(self.metric_fn, seed,
+                                telemetry.is_enabled())
                                for seed in self._seeds()],
                               self.n_workers)
         return zip(self._seeds(), results)
@@ -168,15 +190,29 @@ class MonteCarlo:
     def run(self) -> MonteCarloRun:
         """Execute all runs; returns per-metric summaries (a dict) with
         the failed-seed record attached."""
+        with telemetry.span("montecarlo", n_runs=self.n_runs,
+                            n_workers=self.n_workers,
+                            seed_base=self.seed_base) as tspan:
+            return self._run(tspan)
+
+    def _run(self, tspan) -> MonteCarloRun:
         outcomes = (self._outcomes_parallel() if self.n_workers > 1
                     else self._outcomes_serial())
         collected: dict[str, list[float]] = {}
         expected_keys: set[str] | None = None
         failed: list[tuple[int, str]] = []
-        for seed, (status, payload) in outcomes:
+        for seed, outcome in outcomes:
+            status, payload = outcome[0], outcome[1]
+            if len(outcome) > 2 and outcome[2] is not None:
+                # Worker-captured spans: graft them under this span in
+                # submission order, exactly where the serial child span
+                # would have gone.
+                tspan.adopt(outcome[2])
             if status == "error":
                 if self.on_error == "raise":
                     raise payload
+                tspan.event("seed-failed", seed=seed, why=str(payload))
+                tspan.inc("seeds_failed")
                 failed.append((seed, str(payload)))
                 continue
             metrics = payload
@@ -194,6 +230,7 @@ class MonteCarlo:
             raise AnalysisError(
                 f"every seed failed ({len(failed)} of {self.n_runs}); "
                 f"first: {failed[0][1] if failed else 'n/a'}")
+        tspan.annotate(n_failed=len(failed))
         return MonteCarloRun(
             {name: MonteCarloSummary.from_values(name, values)
              for name, values in collected.items()}, failed)

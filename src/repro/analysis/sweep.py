@@ -12,6 +12,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import AnalysisError, ReproError
 
 
@@ -62,19 +63,26 @@ def sweep_1d(parameter: str, values: Sequence[float],
         raise AnalysisError("empty sweep")
     rows: list[dict[str, float] | None] = []
     failures: list[tuple[int, str]] = []
-    for index, value in enumerate(values_array):
-        try:
-            metrics = metric_fn(float(value))
-        except ReproError as error:
-            if on_error == "raise":
-                raise
-            failures.append((index, str(error)))
-            rows.append(None)
-            continue
-        if not metrics:
-            raise AnalysisError("metric function returned no metrics")
-        rows.append({name: float(metric)
-                     for name, metric in metrics.items()})
+    with telemetry.span("sweep-1d", parameter=parameter,
+                        n_points=int(values_array.size)) as tspan:
+        for index, value in enumerate(values_array):
+            try:
+                with telemetry.span(f"point-{index}", value=float(value)):
+                    metrics = metric_fn(float(value))
+            except ReproError as error:
+                if on_error == "raise":
+                    raise
+                tspan.event("point-failed", index=index,
+                            value=float(value), why=str(error))
+                tspan.inc("sweep_points_failed")
+                failures.append((index, str(error)))
+                rows.append(None)
+                continue
+            if not metrics:
+                raise AnalysisError("metric function returned no metrics")
+            rows.append({name: float(metric)
+                         for name, metric in metrics.items()})
+        tspan.annotate(n_failures=len(failures))
     evaluated = [row for row in rows if row is not None]
     if not evaluated:
         raise AnalysisError(

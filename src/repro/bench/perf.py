@@ -23,6 +23,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import telemetry
 from ..analysis.montecarlo import MonteCarlo
 from ..spice.dc import dc_sweep, operating_point
 from ..spice.transient import TransientOptions, transient
@@ -34,8 +35,8 @@ from ..stscl.netlist_gen import (
     stscl_latch_circuit,
 )
 
-#: Format tag of the emitted JSON report.
-BENCH_SCHEMA = "repro-bench-perf/v1"
+#: Format tag of the emitted JSON report (v2: per-case trace_counters).
+BENCH_SCHEMA = "repro-bench-perf/v2"
 
 _I_SS = 1e-9
 _VDD = 0.4
@@ -50,12 +51,17 @@ class BenchResult:
         wall_s: Best wall time over the repeats [s].
         repeats: Timed repetitions (best-of).
         meta: Case-specific detail (sizes, counts) for the report.
+        trace_counters: Telemetry counter totals collected from the
+            (untimed) traced warmup run -- device-bank evaluations,
+            Jacobian factorizations, compile-cache traffic -- so a
+            perf regression in the report comes with its explanation.
     """
 
     name: str
     wall_s: float
     repeats: int
     meta: dict
+    trace_counters: dict = dataclasses.field(default_factory=dict)
 
 
 def _design() -> StsclGateDesign:
@@ -151,21 +157,39 @@ def default_cases(quick: bool = False,
     }
 
 
+def _traced_warmup(name: str, case: Callable[[], dict]) -> tuple[dict, dict]:
+    """Run the untimed warmup under a private trace; returns
+    (case meta, counter totals).  Timed repeats stay untraced, so the
+    reported wall times measure the solver alone."""
+    if telemetry.is_enabled():
+        return case(), {}
+    with telemetry.tracing(f"bench-{name}") as trace:
+        meta = case()
+    return meta, trace.total_counters()
+
+
 def run_benchmarks(quick: bool = False, repeats: int | None = None,
                    n_workers: int = 1) -> list[BenchResult]:
-    """Time every case; best-of-``repeats`` after one untimed warmup."""
+    """Time every case; best-of-``repeats`` after one untimed warmup.
+
+    The warmup run of each case is traced through :mod:`repro.telemetry`
+    and its counter totals attached to the result, so the emitted
+    report pairs every timing with the work the solver actually did.
+    """
     if repeats is None:
         repeats = 1 if quick else 3
     results = []
     for name, case in default_cases(quick, n_workers).items():
-        meta = case()  # warmup; also captures the case's meta detail
+        # Warmup: captures the case's meta detail plus trace counters.
+        meta, counters = _traced_warmup(name, case)
         best = float("inf")
         for _ in range(repeats):
             t0 = time.perf_counter()
             case()
             best = min(best, time.perf_counter() - t0)
         results.append(BenchResult(name=name, wall_s=best,
-                                   repeats=repeats, meta=meta))
+                                   repeats=repeats, meta=meta,
+                                   trace_counters=counters))
     return results
 
 
@@ -182,7 +206,8 @@ def write_report(results: list[BenchResult], path: str | Path,
         "machine": platform.machine(),
         "results": {
             r.name: {"wall_s": r.wall_s, "repeats": r.repeats,
-                     "meta": r.meta}
+                     "meta": r.meta,
+                     "trace_counters": r.trace_counters}
             for r in results
         },
     }

@@ -57,5 +57,10 @@ class AnalysisError(ReproError, RuntimeError):
     """An analysis (sweep, Monte-Carlo, metric extraction) failed."""
 
 
+class TelemetryError(ReproError, RuntimeError):
+    """The tracing layer was misused (nested traces, malformed trace
+    files) -- never raised while tracing is disabled."""
+
+
 class DesignError(ReproError, ValueError):
     """A design-level constraint cannot be met (headroom, swing, depth)."""

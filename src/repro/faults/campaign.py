@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
+from .. import telemetry
 from ..analysis.parallel import (ensure_picklable, run_ordered,
                                  validate_workers)
 from ..errors import AnalysisError, ReproError
@@ -26,20 +27,38 @@ def _coerce_metrics(raw: Mapping[str, float]) -> dict[str, float]:
     return metrics
 
 
-def _fault_worker(build: Callable[[], object],
-                  metric_fn: Callable[[object], Mapping[str, float]],
-                  fault: "FaultModel") -> tuple[str, object]:
-    """Evaluate one fault against a fresh target.
-
-    Module-level so it pickles into worker processes; library errors
-    (non-converging faulted circuits above all) come back as data so
-    the parent records them exactly like the serial loop would.
-    """
+def _fault_eval(build: Callable[[], object],
+                metric_fn: Callable[[object], Mapping[str, float]],
+                fault: "FaultModel") -> tuple[str, object]:
     try:
         faulted = fault.apply(build())
         return ("ok", _coerce_metrics(metric_fn(faulted)))
     except ReproError as error:
         return ("error", error)
+
+
+def _fault_worker(build: Callable[[], object],
+                  metric_fn: Callable[[object], Mapping[str, float]],
+                  fault: "FaultModel",
+                  capture_trace: bool = False) -> tuple:
+    """Evaluate one fault against a fresh target.
+
+    Module-level so it pickles into worker processes; library errors
+    (non-converging faulted circuits above all) come back as data so
+    the parent records them exactly like the serial loop would.  With
+    ``capture_trace`` set (parallel path under an active parent trace),
+    the worker drops any fork-inherited dead-copy trace, records its
+    own, and ships the spans back as a third tuple element for in-order
+    merging.
+    """
+    if capture_trace:
+        telemetry.reset()
+        with telemetry.tracing(f"fault-{fault.name}",
+                               fault=fault.name) as trace:
+            outcome = _fault_eval(build, metric_fn, fault)
+        return outcome + (trace.root.to_dict(),)
+    with telemetry.span(f"fault-{fault.name}", fault=fault.name):
+        return _fault_eval(build, metric_fn, fault)
 
 
 @dataclass(frozen=True)
@@ -170,7 +189,8 @@ class FaultCampaign:
                               ("fault catalogue", self.faults)):
                 ensure_picklable(obj, role)
             return run_ordered(_fault_worker,
-                               [(self.build, self.metric_fn, fault)
+                               [(self.build, self.metric_fn, fault,
+                                 telemetry.is_enabled())
                                 for fault in self.faults],
                                self.n_workers)
         return [_fault_worker(self.build, self.metric_fn, fault)
@@ -178,11 +198,23 @@ class FaultCampaign:
 
     def run(self) -> CampaignReport:
         """Baseline plus one outcome per fault."""
-        baseline = self._evaluate(self.build())
+        with telemetry.span("fault-campaign", n_faults=len(self.faults),
+                            n_workers=self.n_workers) as tspan:
+            return self._run(tspan)
+
+    def _run(self, tspan) -> CampaignReport:
+        with telemetry.span("baseline"):
+            baseline = self._evaluate(self.build())
         report = CampaignReport(baseline=baseline)
-        for fault, (status, payload) in zip(self.faults,
-                                            self._fault_outcomes()):
+        for fault, outcome in zip(self.faults, self._fault_outcomes()):
+            status, payload = outcome[0], outcome[1]
+            if len(outcome) > 2 and outcome[2] is not None:
+                # Worker-captured spans, merged in catalogue order.
+                tspan.adopt(outcome[2])
             if status == "error":
+                tspan.event("fault-eval-failed", fault=fault.name,
+                            why=str(payload))
+                tspan.inc("faults_failed")
                 report.outcomes.append(FaultOutcome(
                     fault=fault.name, error=str(payload)))
                 continue
@@ -191,4 +223,5 @@ class FaultCampaign:
                       for name in baseline if name in metrics}
             report.outcomes.append(FaultOutcome(
                 fault=fault.name, metrics=metrics, deltas=deltas))
+        tspan.annotate(n_failed=len(report.failed))
         return report

@@ -17,6 +17,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import AnalysisError
 from .dc import NewtonOptions, operating_point
 from .elements import CurrentSource, Stamper, VoltageSource
@@ -36,6 +37,13 @@ def ac_analysis(circuit: Circuit, frequencies: Sequence[float],
     if freqs.size == 0 or np.any(freqs <= 0.0):
         raise AnalysisError("AC frequencies must be positive and non-empty")
 
+    with telemetry.span("ac", circuit=circuit.name,
+                        n_frequencies=int(freqs.size)) as tspan:
+        return _ac_run(circuit, freqs, op, options, tspan)
+
+
+def _ac_run(circuit: Circuit, freqs: np.ndarray, op: OpResult | None,
+            options: NewtonOptions | None, tspan) -> AcResult:
     if op is None:
         op = operating_point(circuit, options)
     if op.x is None:
@@ -69,6 +77,15 @@ def ac_analysis(circuit: Circuit, frequencies: Sequence[float],
             b[row] += element.ac_mag
             excited = True
         elif isinstance(element, CurrentSource) and element.ac_mag:
+            # Sign audit: the DC residual of a CurrentSource adds
+            # +value at node_pos (current *pulled out of* the positive
+            # node); at the solution G x = -residual-sources, so the
+            # matching RHS entry of the linear AC system is -ac_mag at
+            # node_pos / +ac_mag at node_neg.  An ac excitation
+            # injected *into* a node therefore uses the same
+            # ("0", node) orientation as its DC counterpart, and the
+            # f->0 AC limit equals the DC small-signal response
+            # (regression-tested in tests/unit/spice/test_ac.py).
             p = compiled.index_of(element.nodes[0])
             n = compiled.index_of(element.nodes[1])
             if p >= 0:
@@ -85,6 +102,7 @@ def ac_analysis(circuit: Circuit, frequencies: Sequence[float],
     for k, frequency in enumerate(freqs):
         omega = 2.0 * np.pi * frequency
         matrix = g_matrix + 1j * omega * c_matrix
+        tspan.inc("jacobian_factorizations")
         try:
             solution = np.linalg.solve(matrix, b)
         except np.linalg.LinAlgError:

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .. import telemetry
 from ..devices.diode import DiodeBank
 from ..devices.mosfet import MosBank, MosOperatingPoint
 from .elements import (
@@ -304,6 +305,12 @@ class CircuitAssembler:
                 res[p] += value
             if n >= 0:
                 res[n] -= value
+        if telemetry.is_enabled():
+            span = telemetry.current_span()
+            if self._mos_bank is not None:
+                span.inc("device_bank_evals")
+            if self._diode_bank is not None:
+                span.inc("device_bank_evals")
         jac_flat = st.jac.reshape(-1)
         if self._mos_bank is not None:
             d, g, s, b = self._mos_terms

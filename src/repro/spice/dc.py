@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ConvergenceError, NetlistError
 from .elements import CurrentSource, VoltageSource
 from .netlist import Circuit, CompiledCircuit
@@ -114,14 +115,18 @@ def operating_point(circuit: Circuit,
     :class:`~repro.spice.strategies.SolverDiagnostics` of the solve.
     """
     options = options or NewtonOptions()
-    compiled = circuit.compile()
-    start = circuit.initial_guess(compiled) if x0 is None else x0.copy()
-    if x0 is not None and x0.shape != (compiled.size,):
-        raise NetlistError(
-            f"warm-start vector has wrong size {x0.shape}, "
-            f"expected ({compiled.size},)")
-    x, diagnostics = _solve_with_homotopy(circuit, compiled, start, None,
-                                          options, strategies)
+    with telemetry.span("operating-point", circuit=circuit.name) as tspan:
+        compiled = circuit.compile()
+        start = circuit.initial_guess(compiled) if x0 is None else x0.copy()
+        if x0 is not None and x0.shape != (compiled.size,):
+            raise NetlistError(
+                f"warm-start vector has wrong size {x0.shape}, "
+                f"expected ({compiled.size},)")
+        x, diagnostics = _solve_with_homotopy(circuit, compiled, start,
+                                              None, options, strategies)
+        tspan.annotate(converged_via=diagnostics.rescued_by,
+                       iterations=diagnostics.total_iterations,
+                       warm_start=x0 is not None)
     return _package(compiled, x, diagnostics.total_iterations, diagnostics)
 
 
@@ -161,34 +166,45 @@ def dc_sweep(circuit: Circuit, source_name: str,
     points: list[OpResult] = []
     failures: list[tuple[int, str]] = []
     x_prev: np.ndarray | None = None
+    values = list(values)
     try:
-        for index, value in enumerate(values):
-            element.waveform = dc_wave(float(value))
-            try:
-                result = operating_point(circuit, options, x0=x_prev,
-                                         strategies=strategies)
-            except ConvergenceError as error:
-                result = None
-                if x_prev is not None:
-                    # Warm start led the ladder astray: retry cold from
-                    # the circuit's own nodeset guess.
-                    try:
-                        result = operating_point(circuit, options, x0=None,
-                                                 strategies=strategies)
-                    except ConvergenceError as cold_error:
-                        error = cold_error
-                if result is None:
-                    if on_error == "raise":
-                        raise error
-                    failures.append((index, str(error)))
-                    points.append(_nan_point(circuit.compile(),
-                                             error.diagnostics))
-                    x_prev = None
-                    continue
-            points.append(result)
-            x_prev = result.x
+        with telemetry.span("dc-sweep", circuit=circuit.name,
+                            source=source_name,
+                            n_points=len(values)) as tspan:
+            for index, value in enumerate(values):
+                element.waveform = dc_wave(float(value))
+                try:
+                    result = operating_point(circuit, options, x0=x_prev,
+                                             strategies=strategies)
+                except ConvergenceError as error:
+                    result = None
+                    if x_prev is not None:
+                        # Warm start led the ladder astray: retry cold
+                        # from the circuit's own nodeset guess.
+                        tspan.event("cold-restart", index=index,
+                                    value=float(value))
+                        try:
+                            result = operating_point(circuit, options,
+                                                     x0=None,
+                                                     strategies=strategies)
+                        except ConvergenceError as cold_error:
+                            error = cold_error
+                    if result is None:
+                        if on_error == "raise":
+                            raise error
+                        tspan.event("point-failed", index=index,
+                                    value=float(value), why=str(error))
+                        tspan.inc("sweep_points_failed")
+                        failures.append((index, str(error)))
+                        points.append(_nan_point(circuit.compile(),
+                                                 error.diagnostics))
+                        x_prev = None
+                        continue
+                points.append(result)
+                x_prev = result.x
+            tspan.annotate(n_failures=len(failures))
     finally:
         element.waveform = saved
     return SweepResult(parameter=source_name,
-                       values=np.asarray(list(values), dtype=float),
+                       values=np.asarray(values, dtype=float),
                        points=points, failures=failures)

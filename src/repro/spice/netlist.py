@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..constants import T_NOMINAL
 from ..devices.diode import Diode
 from ..devices.mosfet import Mosfet
@@ -269,9 +270,13 @@ class Circuit:
         assembler -- until a structural mutation invalidates it.
         """
         if self._compiled is not None:
+            if telemetry.is_enabled():
+                telemetry.current_span().inc("compile_cache_hits")
             return self._compiled
         if not self.elements:
             raise NetlistError(f"circuit {self.name!r} has no elements")
+        if telemetry.is_enabled():
+            telemetry.current_span().inc("compile_cache_misses")
         node_index = {name: i for i, name in enumerate(self._node_order)}
         next_row = len(self._node_order)
         aux_index: dict[str, tuple[int, ...]] = {}

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ConvergenceError
 from .elements import CurrentSource, Stamper, VoltageSource
 from .waveforms import dc_wave
@@ -78,8 +79,30 @@ def newton_solve(compiled: "CompiledCircuit", x0: np.ndarray,
     """Run damped Newton from ``x0``; return (solution, iterations).
 
     ``trace``, when given, accumulates the max-abs residual of every
-    iteration -- the trajectory the diagnostics record keeps.
+    iteration -- the trajectory the diagnostics record keeps.  Under an
+    active telemetry trace each solve opens a ``newton`` span carrying
+    one ``newton-iter`` event per iteration (residual, update norm,
+    damping, stall-detector state) plus a ``jacobian_factorizations``
+    counter; disabled tracing takes a single-flag-check fast path.
     """
+    if not telemetry.is_enabled():
+        return _newton_kernel(compiled, x0, time, options, gmin,
+                              extra_stamp, trace, None)
+    with telemetry.span("newton", gmin=gmin) as tspan:
+        try:
+            x, iterations = _newton_kernel(compiled, x0, time, options,
+                                           gmin, extra_stamp, trace, tspan)
+        except ConvergenceError as error:
+            tspan.annotate(converged=False, detail=str(error))
+            raise
+        tspan.annotate(converged=True, iterations=iterations)
+        return x, iterations
+
+
+def _newton_kernel(compiled: "CompiledCircuit", x0: np.ndarray,
+                   time: float | None, options: NewtonOptions, gmin: float,
+                   extra_stamp, trace: list[float] | None,
+                   tspan) -> tuple[np.ndarray, int]:
     st = Stamper(compiled.size)
     x = x0.copy()
     n_nodes = len(compiled.node_index)
@@ -95,6 +118,8 @@ def newton_solve(compiled: "CompiledCircuit", x0: np.ndarray,
         residual = float(np.abs(st.res).max())
         if trace is not None:
             trace.append(residual)
+        if tspan is not None:
+            tspan.inc("jacobian_factorizations")
         try:
             dx = np.linalg.solve(st.jac, -st.res)
         except np.linalg.LinAlgError:
@@ -108,6 +133,12 @@ def newton_solve(compiled: "CompiledCircuit", x0: np.ndarray,
         biggest = float(v_updates.max()) if v_updates.size else 0.0
         scale = 1.0 if biggest <= options.max_step else options.max_step / biggest
         x += scale * dx
+        if tspan is not None:
+            tspan.event("newton-iter", i=iteration, residual=residual,
+                        update_norm=biggest * scale, damping=scale,
+                        stall_checkpoint=(
+                            None if stall_checkpoint == np.inf
+                            else stall_checkpoint))
         converged = biggest * scale < options.vntol * (
             1.0 + options.reltol * float(np.abs(x[:n_nodes]).max()
                                          if n_nodes else 0.0))
@@ -117,6 +148,10 @@ def newton_solve(compiled: "CompiledCircuit", x0: np.ndarray,
                 iteration % options.stall_window == 0:
             step_norm = biggest * scale
             if step_norm > 0.5 * stall_checkpoint:
+                if tspan is not None:
+                    tspan.event("stall", iteration=iteration,
+                                update_norm=step_norm,
+                                window=options.stall_window)
                 raise ConvergenceError(
                     f"Newton stalled after {iteration} iterations in "
                     f"{compiled.circuit.name} (update norm "
@@ -276,6 +311,7 @@ class GminSteppingStrategy(SolveStrategy):
 
     def solve(self, circuit, compiled, x0, time, options, trace):
         options = self._options(options)
+        schedule = telemetry.current_span()
         x = x0.copy()
         total = 0
         for exponent in range(self.start_exponent, self.stop_exponent + 1):
@@ -283,6 +319,7 @@ class GminSteppingStrategy(SolveStrategy):
             x, iters = newton_solve(compiled, x, time, options,
                                     max(gmin, options.gmin), trace=trace)
             total += iters
+            schedule.event("gmin-step", gmin=gmin, iterations=iters)
         x, iters = newton_solve(compiled, x, time, options, options.gmin,
                                 trace=trace)
         return x, total + iters
@@ -315,6 +352,7 @@ class SourceSteppingStrategy(SolveStrategy):
         sources = [e for e in circuit.elements
                    if isinstance(e, (VoltageSource, CurrentSource))]
         saved = [source.waveform for source in sources]
+        schedule = telemetry.current_span()
         try:
             x = np.zeros_like(x0)
             total = 0
@@ -327,6 +365,8 @@ class SourceSteppingStrategy(SolveStrategy):
                                         max(1e-12, options.gmin),
                                         trace=trace)
                 total += iters
+                schedule.event("source-step", fraction=float(fraction),
+                               iterations=iters)
             for source, waveform in zip(sources, saved):
                 source.waveform = waveform
             x, iters = newton_solve(compiled, x, time, options,
@@ -366,6 +406,7 @@ class PseudoTransientStrategy(SolveStrategy):
         options = self._options(options)
         n_nodes = len(compiled.node_index)
         diag = np.arange(n_nodes)
+        schedule = telemetry.current_span()
         x = x0.copy()
         total = 0
         g = self.g_start
@@ -381,6 +422,7 @@ class PseudoTransientStrategy(SolveStrategy):
                                     options.gmin, extra_stamp=anchor,
                                     trace=trace)
             total += iters
+            schedule.event("pseudo-transient-step", g=g, iterations=iters)
             g /= self.shrink
         x, iters = newton_solve(compiled, x, time, options, options.gmin,
                                 trace=trace)
@@ -412,14 +454,27 @@ def run_ladder(circuit: "Circuit", compiled: "CompiledCircuit",
     # resistors, swapped devices) without paying per-iteration checks.
     compiled.prepare()
     diagnostics = SolverDiagnostics(circuit=circuit.name)
+    ladder = telemetry.current_span()
     ladder_start = _time.perf_counter()
     for strategy in strategies:
         trace: list[float] = []
         stage_start = _time.perf_counter()
-        try:
-            x, iterations = strategy.solve(circuit, compiled, x0, time,
-                                           options, trace)
-        except ConvergenceError as error:
+        error: ConvergenceError | None = None
+        with telemetry.span(f"strategy:{strategy.name}",
+                            strategy=strategy.name) as sspan:
+            try:
+                x, iterations = strategy.solve(circuit, compiled, x0,
+                                               time, options, trace)
+            except ConvergenceError as exc:
+                error = exc
+                sspan.annotate(converged=False, iterations=len(trace),
+                               detail=str(exc))
+            else:
+                sspan.annotate(converged=True, iterations=iterations)
+        if error is not None:
+            ladder.event("ladder-rung", strategy=strategy.name,
+                         converged=False, iterations=len(trace),
+                         why=str(error))
             diagnostics.stages.append(StageReport(
                 strategy=strategy.name, converged=False,
                 iterations=len(trace),
@@ -428,6 +483,9 @@ def run_ladder(circuit: "Circuit", compiled: "CompiledCircuit",
                 detail=str(error)))
             diagnostics.total_iterations += len(trace)
             continue
+        ladder.event("ladder-rung", strategy=strategy.name,
+                     converged=True, iterations=iterations,
+                     why="converged")
         diagnostics.stages.append(StageReport(
             strategy=strategy.name, converged=True, iterations=iterations,
             wall_time=_time.perf_counter() - stage_start,

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import AnalysisError, ConvergenceError, NetlistError
 from .dc import NewtonOptions, _newton, operating_point
 from .elements import CurrentSource, Stamper, VoltageSource
@@ -100,12 +101,26 @@ def _breakpoints(circuit: Circuit, t_stop: float) -> list[float]:
 def transient(circuit: Circuit, t_stop: float,
               options: TransientOptions | None = None,
               initial_op: OpResult | None = None) -> TranResult:
-    """Integrate ``circuit`` from t = 0 (DC operating point) to ``t_stop``."""
+    """Integrate ``circuit`` from t = 0 (DC operating point) to ``t_stop``.
+
+    Under an active telemetry trace the whole run is wrapped in a
+    ``transient`` span: step-acceptance counters, one ``step-rejected``
+    event per shrink, and the per-step Newton spans of the inner solver
+    nest underneath.
+    """
     if t_stop <= 0.0:
         raise NetlistError(f"t_stop must be positive, got {t_stop}")
     options = options or TransientOptions()
     if options.method not in ("trap", "be"):
         raise NetlistError(f"unknown method {options.method!r}")
+    with telemetry.span("transient", circuit=circuit.name,
+                        t_stop=t_stop, method=options.method) as tspan:
+        return _transient_run(circuit, t_stop, options, initial_op, tspan)
+
+
+def _transient_run(circuit: Circuit, t_stop: float,
+                   options: TransientOptions,
+                   initial_op: OpResult | None, tspan) -> TranResult:
     dt = options.dt_initial or t_stop / 1000.0
     dt_min = options.dt_min or t_stop * 1e-9
     dt_max = options.dt_max or t_stop / 50.0
@@ -149,7 +164,7 @@ def transient(circuit: Circuit, t_stop: float,
         e.name: [float(x[compiled.aux_index[e.name][0]])]
         for e in recorded_sources} if options.record_currents else {}
 
-    telemetry = TransientTelemetry()
+    step_log = TransientTelemetry()
 
     t = 0.0
     # Relative tolerance above float epsilon: accumulated rounding in
@@ -193,25 +208,27 @@ def transient(circuit: Circuit, t_stop: float,
                 x_new, iters = _newton(compiled, x, t_new, options.newton,
                                        options.newton.gmin,
                                        extra_stamp=dynamic_stamp)
-                telemetry.newton_iterations += iters
+                step_log.newton_iterations += iters
                 accepted = True
             except ConvergenceError:
-                telemetry.record_rejection(t)
+                step_log.record_rejection(t)
+                tspan.inc("transient_steps_rejected")
+                tspan.event("step-rejected", t=t, dt=step)
                 if (options.max_rejections is not None
-                        and telemetry.steps_rejected
+                        and step_log.steps_rejected
                         > options.max_rejections):
                     raise ConvergenceError(
                         f"transient exhausted its rejection budget of "
                         f"{options.max_rejections} at t={t:.3e}s in "
-                        f"{circuit.name} ({telemetry.describe()})",
-                        diagnostics=telemetry, stage="rejection-budget")
+                        f"{circuit.name} ({step_log.describe()})",
+                        diagnostics=step_log, stage="rejection-budget")
                 step /= 4.0
                 if step < dt_min:
                     raise ConvergenceError(
                         f"transient stalled at t={t:.3e}s in "
                         f"{circuit.name} (dt below {dt_min:.1e}; "
-                        f"{telemetry.describe()})",
-                        diagnostics=telemetry, stage="dt-min")
+                        f"{step_log.describe()})",
+                        diagnostics=step_log, stage="dt-min")
 
         # Commit the step: update charge state.
         if vectorized:
@@ -223,8 +240,9 @@ def transient(circuit: Circuit, t_stop: float,
         q_prev, i_prev = q_new, i_new
         x = x_new
         t = t_new
-        telemetry.steps_accepted += 1
-        telemetry.dt_smallest = min(telemetry.dt_smallest, step)
+        step_log.steps_accepted += 1
+        tspan.inc("transient_steps_accepted")
+        step_log.dt_smallest = min(step_log.dt_smallest, step)
         times.append(t)
         for name in names:
             history[name].append(float(x[compiled.node_index[name]]))
@@ -236,9 +254,12 @@ def transient(circuit: Circuit, t_stop: float,
         # grow the nominal dt gently either way.
         dt = min(dt_max, max(step * 1.4, dt * 0.5))
 
+    tspan.annotate(steps_accepted=step_log.steps_accepted,
+                   steps_rejected=step_log.steps_rejected,
+                   newton_iterations=step_log.newton_iterations)
     return TranResult(
         time=np.asarray(times),
         voltages={name: np.asarray(vals) for name, vals in history.items()},
         branch_currents={name: np.asarray(vals)
                          for name, vals in current_history.items()},
-        telemetry=telemetry)
+        telemetry=step_log)

@@ -1,0 +1,63 @@
+"""``repro.telemetry``: solver/analysis observability.
+
+A hierarchical span/trace layer threaded through the whole solver stack
+-- per-Newton-iteration records, homotopy-ladder events, per-analysis
+counters (device-bank evaluations, Jacobian factorizations, rejected
+transient steps, compile-cache hits/misses) -- with a module-level
+no-op fast path so disabled tracing costs nothing measurable.
+
+Quick taste::
+
+    from repro import telemetry
+    from repro.spice.dc import operating_point
+
+    with telemetry.tracing("one-op") as trace:
+        operating_point(circuit)
+    print(telemetry.tree_summary(trace))
+    telemetry.write_jsonl(trace, "trace.jsonl")
+
+See :mod:`repro.telemetry.core` for the recording API and
+:mod:`repro.telemetry.export` for the JSONL schema.
+"""
+
+from .core import (
+    MAX_EVENTS_PER_SPAN,
+    NULL_SPAN,
+    Span,
+    TRACE_SCHEMA,
+    Trace,
+    active,
+    current_span,
+    is_enabled,
+    reset,
+    span,
+    start_trace,
+    stop_trace,
+    tracing,
+)
+from .export import (
+    read_jsonl,
+    trace_to_jsonl,
+    tree_summary,
+    write_jsonl,
+)
+
+__all__ = [
+    "MAX_EVENTS_PER_SPAN",
+    "NULL_SPAN",
+    "Span",
+    "TRACE_SCHEMA",
+    "Trace",
+    "active",
+    "current_span",
+    "is_enabled",
+    "reset",
+    "span",
+    "start_trace",
+    "stop_trace",
+    "tracing",
+    "read_jsonl",
+    "trace_to_jsonl",
+    "tree_summary",
+    "write_jsonl",
+]

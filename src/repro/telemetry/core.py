@@ -1,0 +1,350 @@
+"""Hierarchical span/trace instrumentation with a no-op fast path.
+
+The solver stack (DC ladder, transient engine, AC engine, the analysis
+runners above them) is threaded with calls into this module:
+
+* :func:`span` opens a named child span under the currently open span --
+  analyses open one per solve / seed / fault, the Newton kernel one per
+  inner solve;
+* :meth:`Span.event` appends a bounded, timestamp-free record (a
+  Newton-iteration sample, a homotopy-ladder rung, a rejected transient
+  step);
+* :meth:`Span.inc` bumps a named counter (device-bank evaluations,
+  Jacobian factorizations, compile-cache hits / misses).
+
+**Disabled is the default and costs (almost) nothing.**  Tracing is off
+unless a :class:`Trace` has been activated with :func:`start_trace` /
+:func:`tracing`; every entry point first checks the module-level
+``_ACTIVE`` slot and bails to a shared :data:`NULL_SPAN` singleton whose
+methods are empty.  Hot loops hoist the check out entirely::
+
+    tspan = telemetry.current_span() if telemetry.is_enabled() else None
+    for ...:
+        if tspan is not None:
+            tspan.event("newton-iter", residual=...)
+
+Exactly one trace can be active per process.  Worker processes of the
+parallel Monte-Carlo / fault-campaign runners start their own trace
+(the parent's module state does not survive the ``fork``/``spawn``),
+serialize its spans with :meth:`Span.to_dict` and ship them back as
+plain data; the parent grafts them under its own span with
+:meth:`Span.adopt` in submission order, so a merged trace is identical
+whether the population ran serially or fanned out.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from ..errors import TelemetryError
+
+#: Format tag of serialized traces (JSONL header and span dicts).
+TRACE_SCHEMA = "repro-trace/v1"
+
+#: Most events kept per span; later events bump ``events_dropped``
+#: instead of growing without bound (a stalled Newton solve would
+#: otherwise log thousands of iteration records).
+MAX_EVENTS_PER_SPAN = 2048
+
+
+class Span:
+    """One timed, named node of a trace tree.
+
+    Attributes:
+        name: Span label (e.g. ``"operating-point"``).
+        attrs: Free-form annotations (circuit name, knob values,
+            outcome summaries).
+        counters: Named integer counters local to this span; subtree
+            totals come from :meth:`total_counter`.
+        events: Bounded list of event dicts, each with a ``"kind"`` key.
+        children: Child spans, in creation order.
+        duration_s: Wall time of the span body [s].
+        events_dropped: Events discarded past :data:`MAX_EVENTS_PER_SPAN`.
+    """
+
+    __slots__ = ("name", "attrs", "counters", "events", "children",
+                 "duration_s", "events_dropped")
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        self.name = name
+        self.attrs: dict[str, Any] = dict(attrs)
+        self.counters: dict[str, int] = {}
+        self.events: list[dict[str, Any]] = []
+        self.children: list["Span"] = []
+        self.duration_s = 0.0
+        self.events_dropped = 0
+
+    # -- recording ------------------------------------------------------
+
+    def inc(self, counter: str, amount: int = 1) -> None:
+        """Bump a named counter on this span."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Append a bounded event record (``{"kind": kind, **fields}``)."""
+        if len(self.events) >= MAX_EVENTS_PER_SPAN:
+            self.events_dropped += 1
+            return
+        record = {"kind": kind}
+        record.update(fields)
+        self.events.append(record)
+
+    def annotate(self, **attrs: Any) -> None:
+        """Merge annotations into :attr:`attrs`."""
+        self.attrs.update(attrs)
+
+    def child(self, name: str, **attrs: Any) -> "Span":
+        """Create and attach a child span directly (no stack involvement).
+
+        Used by mergers and tests; instrumented code normally goes
+        through the :func:`span` context manager instead.
+        """
+        node = Span(name, **attrs)
+        self.children.append(node)
+        return node
+
+    def adopt(self, payload: "Span | dict") -> "Span":
+        """Graft a span -- or its :meth:`to_dict` form shipped from a
+        worker process -- under this one; returns the adopted span."""
+        node = payload if isinstance(payload, Span) else Span.from_dict(payload)
+        self.children.append(node)
+        return node
+
+    # -- queries --------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """This span's own count for ``name`` (0 when never bumped)."""
+        return self.counters.get(name, 0)
+
+    def total_counter(self, name: str) -> int:
+        """Sum of ``name`` over this span and its whole subtree."""
+        return sum(node.counters.get(name, 0) for node in self.walk())
+
+    def total_counters(self) -> dict[str, int]:
+        """Every counter name -> subtree total."""
+        totals: dict[str, int] = {}
+        for node in self.walk():
+            for key, value in node.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and its subtree."""
+        yield self
+        for node in self.children:
+            yield from node.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in the subtree (depth-first)."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def find_all(self, name: str) -> list["Span"]:
+        """Every span named ``name`` in the subtree, depth-first order."""
+        return [node for node in self.walk() if node.name == name]
+
+    def events_of(self, kind: str) -> list[dict[str, Any]]:
+        """This span's events of one ``kind``."""
+        return [e for e in self.events if e.get("kind") == kind]
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON- and pickle-safe), children inline."""
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+            "events": [dict(e) for e in self.events],
+            "events_dropped": self.events_dropped,
+            "duration_s": self.duration_s,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            node = cls(data["name"], **data.get("attrs", {}))
+        except (KeyError, TypeError) as error:
+            raise TelemetryError(f"malformed span payload: {error}")
+        node.counters = {str(k): int(v)
+                         for k, v in data.get("counters", {}).items()}
+        node.events = [dict(e) for e in data.get("events", [])]
+        node.events_dropped = int(data.get("events_dropped", 0))
+        node.duration_s = float(data.get("duration_s", 0.0))
+        node.children = [cls.from_dict(c)
+                         for c in data.get("children", [])]
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, children={len(self.children)}, "
+                f"events={len(self.events)}, counters={self.counters})")
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def inc(self, counter: str, amount: int = 1) -> None:
+        pass
+
+    def event(self, kind: str, **fields: Any) -> None:
+        pass
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+    def child(self, name: str, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def adopt(self, payload) -> "_NullSpan":
+        return self
+
+    # Query side mirrors an empty span, so diagnostics code can read a
+    # possibly-disabled span without guarding every access.
+
+    @property
+    def children(self) -> tuple:
+        return ()
+
+    def counter(self, name: str) -> int:
+        return 0
+
+    def total_counter(self, name: str) -> int:
+        return 0
+
+    def total_counters(self) -> dict:
+        return {}
+
+    def events_of(self, kind: str) -> list:
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NULL_SPAN"
+
+
+#: The singleton no-op span (telemetry disabled fast path).
+NULL_SPAN = _NullSpan()
+
+
+class Trace:
+    """A trace: one root span plus identifying metadata.
+
+    Attributes:
+        name: Trace label (scenario name, campaign id).
+        root: The root :class:`Span` all instrumentation nests under.
+        created_utc: ISO-8601 creation timestamp.
+    """
+
+    def __init__(self, name: str = "trace", **attrs: Any) -> None:
+        self.name = name
+        self.root = Span(name, **attrs)
+        self.created_utc = _time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                          _time.gmtime())
+
+    def total_counters(self) -> dict[str, int]:
+        """Counter totals over the whole trace."""
+        return self.root.total_counters()
+
+
+# -- module state (one active trace per process) -------------------------
+
+_ACTIVE: Trace | None = None
+_STACK: list[Span] = []
+
+
+def is_enabled() -> bool:
+    """True while a trace is active in this process."""
+    return _ACTIVE is not None
+
+
+def active() -> Trace | None:
+    """The active trace, or None."""
+    return _ACTIVE
+
+
+def current_span() -> "Span | _NullSpan":
+    """The innermost open span (the trace root when none is open);
+    :data:`NULL_SPAN` while tracing is disabled."""
+    if _ACTIVE is None:
+        return NULL_SPAN
+    return _STACK[-1] if _STACK else _ACTIVE.root
+
+
+def start_trace(name: str = "trace", **attrs: Any) -> Trace:
+    """Activate a fresh trace; errors if one is already active."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise TelemetryError(
+            f"a trace ({_ACTIVE.name!r}) is already active; stop it "
+            f"before starting {name!r}")
+    _ACTIVE = Trace(name, **attrs)
+    _STACK.clear()
+    return _ACTIVE
+
+
+def stop_trace() -> Trace:
+    """Deactivate and return the active trace."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        raise TelemetryError("no active trace to stop")
+    trace, _ACTIVE = _ACTIVE, None
+    _STACK.clear()
+    return trace
+
+
+def reset() -> None:
+    """Drop any active trace without returning it.
+
+    For worker processes only: a fork-started pool child inherits the
+    parent's module state, but its mutations never propagate back, so
+    the inherited trace is a dead copy.  Workers call this before
+    recording the private trace they ship back to the parent.
+    """
+    global _ACTIVE
+    _ACTIVE = None
+    _STACK.clear()
+
+
+@contextmanager
+def tracing(name: str = "trace", **attrs: Any):
+    """Run a block under a fresh trace::
+
+        with telemetry.tracing("op-chain") as trace:
+            operating_point(circuit)
+        print(tree_summary(trace))
+    """
+    trace = start_trace(name, **attrs)
+    t0 = _time.perf_counter()
+    try:
+        yield trace
+    finally:
+        trace.root.duration_s = _time.perf_counter() - t0
+        stop_trace()
+
+
+@contextmanager
+def span(name: str, **attrs: Any):
+    """Open a child span under the current one for the ``with`` body.
+
+    While tracing is disabled this yields :data:`NULL_SPAN` without
+    allocating anything.
+    """
+    if _ACTIVE is None:
+        yield NULL_SPAN
+        return
+    node = Span(name, **attrs)
+    (_STACK[-1] if _STACK else _ACTIVE.root).children.append(node)
+    _STACK.append(node)
+    t0 = _time.perf_counter()
+    try:
+        yield node
+    finally:
+        node.duration_s = _time.perf_counter() - t0
+        _STACK.pop()

@@ -1,0 +1,172 @@
+"""Trace serialization: schema-versioned JSONL and a human tree summary.
+
+The JSONL layout is one JSON object per line:
+
+* line 1 -- a header record::
+
+      {"record": "header", "schema": "repro-trace/v1",
+       "trace": "<name>", "created_utc": "...", "n_spans": N}
+
+* every following line -- one span record, depth-first, each carrying a
+  numeric ``id`` and its ``parent`` id (``null`` for the root)::
+
+      {"record": "span", "id": 3, "parent": 1, "name": "newton",
+       "duration_s": ..., "attrs": {...}, "counters": {...},
+       "events": [...], "events_dropped": 0}
+
+Flat records with explicit parent ids keep the file greppable and let
+stream consumers (the CI artifact, trend tooling) process arbitrarily
+deep traces without recursive parsing; :func:`read_jsonl` rebuilds the
+tree for round-trip use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import TelemetryError
+from .core import TRACE_SCHEMA, Span, Trace
+
+
+def _span_records(trace: Trace) -> list[dict]:
+    records: list[dict] = []
+
+    def emit(span: Span, parent_id: int | None) -> None:
+        span_id = len(records)
+        records.append({
+            "record": "span",
+            "id": span_id,
+            "parent": parent_id,
+            "name": span.name,
+            "duration_s": span.duration_s,
+            "attrs": span.attrs,
+            "counters": span.counters,
+            "events": span.events,
+            "events_dropped": span.events_dropped,
+        })
+        for child in span.children:
+            emit(child, span_id)
+
+    emit(trace.root, None)
+    return records
+
+
+def trace_to_jsonl(trace: Trace) -> str:
+    """Serialize ``trace`` to the JSONL text form."""
+    spans = _span_records(trace)
+    header = {
+        "record": "header",
+        "schema": TRACE_SCHEMA,
+        "trace": trace.name,
+        "created_utc": trace.created_utc,
+        "n_spans": len(spans),
+    }
+    lines = [json.dumps(header)]
+    lines.extend(json.dumps(record, default=_json_fallback)
+                 for record in spans)
+    return "\n".join(lines) + "\n"
+
+
+def _json_fallback(value):
+    """Serialize the odd numpy scalar an attr/event may carry."""
+    for attr in ("item",):  # numpy scalars expose .item()
+        method = getattr(value, attr, None)
+        if callable(method):
+            return method()
+    return repr(value)
+
+
+def write_jsonl(trace: Trace, path: str | Path) -> Path:
+    """Write the JSONL form of ``trace`` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(trace_to_jsonl(trace))
+    return path
+
+
+def read_jsonl(path: str | Path) -> Trace:
+    """Rebuild a :class:`Trace` from a JSONL file written by
+    :func:`write_jsonl` (schema-checked)."""
+    lines = [line for line in Path(path).read_text().splitlines()
+             if line.strip()]
+    if not lines:
+        raise TelemetryError(f"empty trace file {path}")
+    header = json.loads(lines[0])
+    if header.get("record") != "header":
+        raise TelemetryError(f"{path}: first record is not a header")
+    if header.get("schema") != TRACE_SCHEMA:
+        raise TelemetryError(
+            f"{path}: unsupported trace schema {header.get('schema')!r} "
+            f"(expected {TRACE_SCHEMA})")
+    spans: dict[int, Span] = {}
+    root: Span | None = None
+    for line in lines[1:]:
+        record = json.loads(line)
+        if record.get("record") != "span":
+            continue
+        span = Span.from_dict({
+            "name": record["name"],
+            "attrs": record.get("attrs", {}),
+            "counters": record.get("counters", {}),
+            "events": record.get("events", []),
+            "events_dropped": record.get("events_dropped", 0),
+            "duration_s": record.get("duration_s", 0.0),
+        })
+        spans[int(record["id"])] = span
+        parent = record.get("parent")
+        if parent is None:
+            root = span
+        else:
+            try:
+                spans[int(parent)].children.append(span)
+            except KeyError:
+                raise TelemetryError(
+                    f"{path}: span {record['id']} references unknown "
+                    f"parent {parent}") from None
+    if root is None:
+        raise TelemetryError(f"{path}: no root span record")
+    trace = Trace(header.get("trace", root.name))
+    trace.root = root
+    trace.created_utc = header.get("created_utc", trace.created_utc)
+    return trace
+
+
+def _format_counters(counters: dict[str, int]) -> str:
+    return ", ".join(f"{name}={value}"
+                     for name, value in sorted(counters.items()))
+
+
+def tree_summary(trace: Trace, max_depth: int | None = None) -> str:
+    """Indented human-readable account of a trace.
+
+    Each line shows the span name, its annotations, wall time, its own
+    counters, and how many events it recorded.  ``max_depth`` prunes
+    deep solver internals (None: full tree).
+    """
+    lines = [f"trace {trace.name!r} ({trace.created_utc}, "
+             f"{trace.root.duration_s * 1e3:.1f} ms)"]
+
+    def emit(span: Span, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        parts = [span.name]
+        if span.attrs:
+            parts.append(" ".join(f"{k}={v}"
+                                  for k, v in span.attrs.items()))
+        parts.append(f"{span.duration_s * 1e3:.2f} ms")
+        if span.counters:
+            parts.append(f"[{_format_counters(span.counters)}]")
+        if span.events:
+            parts.append(f"({len(span.events)} events"
+                         + (f", {span.events_dropped} dropped"
+                            if span.events_dropped else "") + ")")
+        lines.append("  " * depth + "- " + "  ".join(parts))
+        for child in span.children:
+            emit(child, depth + 1)
+
+    for child in trace.root.children:
+        emit(child, 1)
+    totals = trace.total_counters()
+    if totals:
+        lines.append(f"totals: {_format_counters(totals)}")
+    return "\n".join(lines)

@@ -49,6 +49,35 @@ class TestHistogramLinearity:
         with pytest.raises(AnalysisError):
             inl_dnl_from_codes(np.full(4096, 300), 8)
 
+    def test_missing_code_dnl_telescopes(self):
+        """The LSB estimate averages over *all* interior bins, the
+        zero-width (missing) one included.  The interior DNL then sums
+        to zero by construction -- the missing code's -1 LSB is exactly
+        balanced by +1/13 LSB on each of the 13 healthy interior codes
+        (endpoint normalisation).  The old average over non-zero bins
+        gave healthy codes 0 and a total of -1, so the cumulative INL
+        drifted instead of telescoping back to the endpoint."""
+        codes = ideal_ramp_codes(4, 16)
+        codes = codes[codes != 7]
+        report = inl_dnl_from_codes(np.concatenate([codes, codes]), 4)
+        assert report.dnl[7] == pytest.approx(-1.0, abs=1e-9)
+        healthy = [c for c in range(1, 15) if c != 7]
+        for c in healthy:
+            assert report.dnl[c] == pytest.approx(14.0 / 13.0 - 1.0,
+                                                  abs=1e-9)
+        assert np.sum(report.dnl) == pytest.approx(0.0, abs=1e-9)
+
+    def test_missing_code_inl_returns_to_endpoint(self):
+        codes = ideal_ramp_codes(5, 16)
+        codes = codes[codes != 12]
+        report = inl_dnl_from_codes(np.concatenate([codes, codes]), 5)
+        assert report.inl[0] == pytest.approx(0.0, abs=1e-9)
+        assert report.inl[-1] == pytest.approx(0.0, abs=1e-9)
+        # Peak INL: the healthy-code surplus accumulated up to the
+        # missing code, 11 * (30/29 - 1), then the -1 step.
+        assert report.inl_max == pytest.approx(
+            1.0 - 11.0 * (30.0 / 29.0 - 1.0), abs=1e-6)
+
 
 class TestSineTest:
     def _codes(self, n_bits=8, n=4096, cycles=67, noise=0.0, seed=0):
@@ -80,6 +109,75 @@ class TestSineTest:
     def test_rejects_short_record(self):
         with pytest.raises(AnalysisError):
             sine_test(np.arange(10), 8)
+
+
+def quantized_sine(n_bits: int, n: int = 4096,
+                   cycles: int = 401) -> np.ndarray:
+    """Full-scale coherent sine through an ideal round-to-nearest
+    n-bit quantizer (no clipping distortion: amplitude (2^n - 1)/2)."""
+    full = 2 ** n_bits - 1
+    t = np.arange(n)
+    x = full / 2.0 + (full / 2.0) * np.sin(
+        2.0 * np.pi * coherent_frequency(1.0, n, cycles) * t)
+    return np.clip(np.round(x), 0, full)
+
+
+class TestSineTestCalibration:
+    """``sine_test`` against the closed-form ideal-quantizer SNDR
+    (6.02 n + 1.76 dB) -- an absolute calibration of the one-sided
+    rfft power weighting (interior bins carry half the two-sided
+    power; DC and Nyquist appear once)."""
+
+    @pytest.mark.parametrize("n_bits", [6, 8, 10])
+    def test_ideal_quantizer_sndr(self, n_bits):
+        report = sine_test(quantized_sine(n_bits), n_bits)
+        assert report.sndr_db == pytest.approx(6.02 * n_bits + 1.76,
+                                               abs=0.2)
+
+    def test_nyquist_spur_weighting(self):
+        """A spur exactly at Nyquist appears once in the rfft, so its
+        one-sided power must NOT be doubled: SFDR against it follows
+        10*log10((A^2/2) / B^2) for signal amplitude A and Nyquist
+        amplitude B."""
+        n, cycles = 4096, 401
+        t = np.arange(n)
+        a_sig, b_nyq = 100.0, 1.0
+        x = (a_sig * np.sin(2.0 * np.pi * cycles / n * t)
+             + b_nyq * np.cos(np.pi * t))
+        report = sine_test(x, 16)
+        expected = 10.0 * np.log10((a_sig ** 2 / 2.0) / b_nyq ** 2)
+        assert report.sfdr_db == pytest.approx(expected, abs=0.01)
+
+    def test_interior_spur_weighting(self):
+        """An interior-bin spur carries half the two-sided power on
+        each side: SFDR = 20*log10(A/B) for two interior tones."""
+        n, cycles, spur_cycles = 4096, 401, 977
+        t = np.arange(n)
+        a_sig, b_spur = 100.0, 1.0
+        x = (a_sig * np.sin(2.0 * np.pi * cycles / n * t)
+             + b_spur * np.sin(2.0 * np.pi * spur_cycles / n * t))
+        report = sine_test(x, 16)
+        assert report.sfdr_db == pytest.approx(
+            20.0 * np.log10(a_sig / b_spur), abs=0.01)
+
+    def test_guard_band_policy_reported(self):
+        report = sine_test(quantized_sine(8), 8)
+        assert report.guard_bins == (report.signal_bin - 1,
+                                     report.signal_bin + 1)
+        assert report.guard_power >= 0.0
+
+    def test_guard_band_blind_spot_is_visible(self):
+        """A spur dropped into a guard bin is excluded from SFDR (the
+        documented blind spot) but its power shows up in the report's
+        guard_power field instead of vanishing."""
+        n, cycles = 4096, 401
+        t = np.arange(n)
+        x = (100.0 * np.sin(2.0 * np.pi * cycles / n * t)
+             + 5.0 * np.sin(2.0 * np.pi * (cycles + 1) / n * t))
+        report = sine_test(x, 16)
+        clean = sine_test(
+            100.0 * np.sin(2.0 * np.pi * cycles / n * t), 16)
+        assert report.guard_power > 100.0 * clean.guard_power + 1.0
 
 
 class TestHelpers:

@@ -58,6 +58,26 @@ class TestSweepErrorPolicy:
         with pytest.raises(AnalysisError, match="every sweep point"):
             sweep_1d("x", [2.0, 2.0], _fragile, on_error="skip")
 
+    def test_skip_survives_first_point_failing(self):
+        """Column names come from the first *evaluated* point, so a
+        failure at index 0 must still yield aligned NaN-backed
+        columns."""
+        table = sweep_1d("x", [2.0, 3.0, 4.0], _fragile,
+                         on_error="skip")
+        column = table.column("y")
+        assert np.isnan(column[0])
+        assert column[1] == 30.0 and column[2] == 40.0
+        (index, _), = table.failures
+        assert index == 0
+
+    def test_skip_with_only_last_point_surviving(self):
+        table = sweep_1d("x", [2.0, 2.0, 3.0], _fragile,
+                         on_error="skip")
+        column = table.column("y")
+        assert np.isnan(column[0]) and np.isnan(column[1])
+        assert column[2] == 30.0
+        assert [index for index, _ in table.failures] == [0, 1]
+
     def test_policy_validated(self):
         with pytest.raises(AnalysisError):
             sweep_1d("x", [1.0], _fragile, on_error="ignore")

@@ -68,6 +68,43 @@ class TestYield:
                                 {"inl": lambda v: v <= 1.0})
         assert report.n_invalid == 0
 
+    def test_nan_chip_counted_invalid_once_across_metrics(self):
+        """A chip that is NaN on several metrics is still one invalid
+        chip, not one per metric."""
+        nan = float("nan")
+        population = {
+            "inl": MonteCarloSummary.from_values("inl", [0.5, nan, 0.9]),
+            "enob": MonteCarloSummary.from_values("enob", [6.8, nan, 6.6]),
+        }
+        report = estimate_yield(population, {
+            "inl": lambda v: v <= 1.0,
+            "enob": lambda v: v >= 6.5,
+        })
+        assert report.n_invalid == 1
+        assert report.n_pass == 2
+        assert report.failures == {"inl": 1, "enob": 1}
+
+    def test_all_nan_population_yields_zero(self):
+        nan = float("nan")
+        population = {"inl": MonteCarloSummary.from_values(
+            "inl", [nan, nan])}
+        report = estimate_yield(population, {"inl": lambda v: v <= 1.0})
+        assert report.yield_fraction == 0.0
+        assert report.n_invalid == 2
+        assert report.n_pass == 0
+
+    def test_nan_on_unspecced_metric_ignored(self):
+        """NaN on a metric no spec references must not mark the chip
+        invalid -- only specced metrics are examined."""
+        nan = float("nan")
+        population = {
+            "inl": MonteCarloSummary.from_values("inl", [0.5, 0.9]),
+            "extra": MonteCarloSummary.from_values("extra", [nan, 1.0]),
+        }
+        report = estimate_yield(population, {"inl": lambda v: v <= 1.0})
+        assert report.n_invalid == 0
+        assert report.n_pass == 2
+
     def test_mismatched_populations_rejected(self):
         bad = summaries()
         bad["short"] = MonteCarloSummary.from_values("short", [1.0])

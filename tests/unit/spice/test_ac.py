@@ -84,3 +84,58 @@ class TestCommonSourceAmp:
         result = ac_analysis(ckt, [1e3])
         assert abs(result.transfer("out")[0]) == pytest.approx(0.1,
                                                                rel=1e-6)
+
+
+class TestCurrentSourceSignConvention:
+    """Audit of the AC RHS sign for current-source excitation.
+
+    The DC residual convention adds ``+value`` at ``node_pos`` (current
+    pulled *out* of the positive node), so the small-signal RHS must
+    carry ``-ac_mag`` at the positive node.  An ``add_isource("I1",
+    "0", "out", ...)`` therefore injects current *into* ``out`` and the
+    response across a grounded impedance is ``+I * Z`` -- positive real
+    at DC, phase rolling to -90 degrees through an RC pole.
+    """
+
+    R, C = 1e5, 1e-9  # pole at ~1.59 kHz
+
+    def tank(self):
+        ckt = Circuit()
+        ckt.add_isource("I1", "0", "out", 0.0, ac_mag=1e-6)
+        ckt.add_resistor("R1", "out", "0", self.R)
+        ckt.add_capacitor("C1", "out", "0", self.C)
+        return ckt
+
+    def test_matches_parallel_rc_transfer_function(self):
+        freqs = np.logspace(1, 6, 41)
+        result = ac_analysis(self.tank(), freqs)
+        measured = result.transfer("out")
+        expected = 1e-6 * self.R / (
+            1.0 + 2j * math.pi * freqs * self.R * self.C)
+        assert np.allclose(measured, expected, rtol=1e-9)
+
+    def test_dc_limit_is_positive_i_times_r(self):
+        """f -> 0 limit: +I*R with zero phase, matching the DC
+        small-signal response (an injected current raises the node)."""
+        f_probe = 1e-2  # omega*R*C ~ 6e-6: deep below the pole
+        result = ac_analysis(self.tank(), [f_probe])
+        v = result.transfer("out")[0]
+        assert v.real == pytest.approx(1e-6 * self.R, rel=1e-6)
+        assert abs(v.imag) < 1e-5 * abs(v.real)
+
+    def test_pole_frequency_minus_3db_minus_45deg(self):
+        f_pole = 1.0 / (2.0 * math.pi * self.R * self.C)
+        result = ac_analysis(self.tank(), [f_pole])
+        v = result.transfer("out")[0]
+        assert abs(v) == pytest.approx(1e-6 * self.R / math.sqrt(2.0),
+                                       rel=1e-6)
+        assert math.degrees(math.atan2(v.imag, v.real)) == pytest.approx(
+            -45.0, abs=0.01)
+
+    def test_reversed_terminals_flip_the_sign(self):
+        ckt = Circuit()
+        ckt.add_isource("I1", "out", "0", 0.0, ac_mag=1e-6)
+        ckt.add_resistor("R1", "out", "0", self.R)
+        result = ac_analysis(ckt, [1.0])
+        assert result.transfer("out")[0].real == pytest.approx(
+            -1e-6 * self.R, rel=1e-6)

@@ -1,0 +1,183 @@
+"""Unit tests for the telemetry span/trace recording layer."""
+
+import pytest
+
+from repro import telemetry
+from repro.errors import TelemetryError
+from repro.telemetry import MAX_EVENTS_PER_SPAN, NULL_SPAN, Span
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    """Every test starts and ends with tracing disabled."""
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+class TestDisabledFastPath:
+    def test_disabled_by_default(self):
+        assert not telemetry.is_enabled()
+        assert telemetry.active() is None
+
+    def test_span_yields_null_span(self):
+        with telemetry.span("anything", key=1) as node:
+            assert node is NULL_SPAN
+
+    def test_null_span_swallows_everything(self):
+        NULL_SPAN.inc("counter")
+        NULL_SPAN.event("kind", detail=1)
+        NULL_SPAN.annotate(note="x")
+        NULL_SPAN.adopt({"name": "ghost"})
+        assert NULL_SPAN.counter("counter") == 0
+        assert NULL_SPAN.children == ()
+
+    def test_current_span_is_null_when_disabled(self):
+        assert telemetry.current_span() is NULL_SPAN
+
+
+class TestTraceLifecycle:
+    def test_tracing_activates_and_deactivates(self):
+        with telemetry.tracing("t") as trace:
+            assert telemetry.is_enabled()
+            assert telemetry.active() is trace
+        assert not telemetry.is_enabled()
+
+    def test_nested_trace_rejected(self):
+        with telemetry.tracing("outer"):
+            with pytest.raises(TelemetryError):
+                telemetry.start_trace("inner")
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(TelemetryError):
+            telemetry.stop_trace()
+
+    def test_trace_deactivated_even_on_error(self):
+        with pytest.raises(ValueError):
+            with telemetry.tracing("t"):
+                raise ValueError("boom")
+        assert not telemetry.is_enabled()
+
+    def test_reset_drops_active_trace(self):
+        telemetry.start_trace("t")
+        telemetry.reset()
+        assert not telemetry.is_enabled()
+
+    def test_root_duration_recorded(self):
+        with telemetry.tracing("t") as trace:
+            pass
+        assert trace.root.duration_s >= 0.0
+
+
+class TestSpanTree:
+    def test_nesting_follows_with_blocks(self):
+        with telemetry.tracing("t") as trace:
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    pass
+                with telemetry.span("inner2"):
+                    pass
+        (outer,) = trace.root.children
+        assert [c.name for c in outer.children] == ["inner", "inner2"]
+
+    def test_current_span_tracks_stack(self):
+        with telemetry.tracing("t") as trace:
+            assert telemetry.current_span() is trace.root
+            with telemetry.span("a") as a:
+                assert telemetry.current_span() is a
+            assert telemetry.current_span() is trace.root
+
+    def test_attrs_and_annotate(self):
+        with telemetry.tracing("t") as trace:
+            with telemetry.span("s", fixed=1) as s:
+                s.annotate(late=2)
+        (s,) = trace.root.children
+        assert s.attrs == {"fixed": 1, "late": 2}
+
+    def test_find_and_walk(self):
+        with telemetry.tracing("t") as trace:
+            with telemetry.span("a"):
+                with telemetry.span("needle"):
+                    pass
+            with telemetry.span("needle"):
+                pass
+        assert trace.root.find("needle") is not None
+        assert len(trace.root.find_all("needle")) == 2
+        assert len(list(trace.root.walk())) == 4  # root, a, 2x needle
+
+    def test_span_durations_nested(self):
+        with telemetry.tracing("t") as trace:
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    pass
+        (outer,) = trace.root.children
+        (inner,) = outer.children
+        assert outer.duration_s >= inner.duration_s >= 0.0
+
+
+class TestCountersAndEvents:
+    def test_counters_accumulate(self):
+        with telemetry.tracing("t") as trace:
+            with telemetry.span("s") as s:
+                s.inc("hits")
+                s.inc("hits", 4)
+        assert trace.root.children[0].counter("hits") == 5
+        assert trace.root.children[0].counter("absent") == 0
+
+    def test_total_counters_sum_subtree(self):
+        with telemetry.tracing("t") as trace:
+            with telemetry.span("a") as a:
+                a.inc("n", 1)
+                with telemetry.span("b") as b:
+                    b.inc("n", 2)
+            with telemetry.span("c") as c:
+                c.inc("n", 4)
+        assert trace.root.total_counter("n") == 7
+        assert trace.total_counters() == {"n": 7}
+
+    def test_events_recorded_in_order(self):
+        with telemetry.tracing("t") as trace:
+            with telemetry.span("s") as s:
+                s.event("step", i=0)
+                s.event("step", i=1)
+                s.event("other")
+        (s,) = trace.root.children
+        assert [e["i"] for e in s.events_of("step")] == [0, 1]
+        assert len(s.events) == 3
+
+    def test_events_bounded_with_drop_count(self):
+        with telemetry.tracing("t") as trace:
+            with telemetry.span("s") as s:
+                for i in range(MAX_EVENTS_PER_SPAN + 10):
+                    s.event("e", i=i)
+        (s,) = trace.root.children
+        assert len(s.events) == MAX_EVENTS_PER_SPAN
+        assert s.events_dropped == 10
+
+
+class TestSerialization:
+    def _sample(self):
+        with telemetry.tracing("t") as trace:
+            with telemetry.span("s", k="v") as s:
+                s.inc("n", 3)
+                s.event("e", i=1)
+        return trace
+
+    def test_round_trip_preserves_everything(self):
+        original = self._sample().root
+        clone = Span.from_dict(original.to_dict())
+        assert clone.to_dict() == original.to_dict()
+
+    def test_adopt_dict_grafts_child(self):
+        payload = self._sample().root.children[0].to_dict()
+        with telemetry.tracing("t2") as trace:
+            telemetry.current_span().adopt(payload)
+        (adopted,) = trace.root.children
+        assert adopted.name == "s"
+        assert adopted.counter("n") == 3
+
+    def test_adopt_span_object(self):
+        donor = self._sample().root.children[0]
+        parent = Span("p")
+        parent.adopt(donor)
+        assert parent.children[0] is donor

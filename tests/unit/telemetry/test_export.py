@@ -1,0 +1,122 @@
+"""Unit tests for JSONL trace export/import and the tree summary."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    TRACE_SCHEMA,
+    read_jsonl,
+    trace_to_jsonl,
+    tree_summary,
+    write_jsonl,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+def sample_trace():
+    with telemetry.tracing("sample", scenario="unit") as trace:
+        with telemetry.span("solve", circuit="inv") as solve:
+            solve.inc("factorizations", 3)
+            solve.event("iter", i=0, residual=1e-9)
+            with telemetry.span("inner"):
+                pass
+        with telemetry.span("solve", circuit="latch") as solve:
+            solve.inc("factorizations", 2)
+    return trace
+
+
+class TestJsonlFormat:
+    def test_header_first_then_flat_spans(self):
+        text = trace_to_jsonl(sample_trace())
+        records = [json.loads(line) for line in text.splitlines()]
+        assert records[0]["record"] == "header"
+        assert records[0]["schema"] == TRACE_SCHEMA
+        assert records[0]["n_spans"] == 4
+        assert all(r["record"] == "span" for r in records[1:])
+        assert len(records) == 5
+
+    def test_parent_links_depth_first(self):
+        records = [json.loads(line) for line in
+                   trace_to_jsonl(sample_trace()).splitlines()][1:]
+        by_id = {r["id"]: r for r in records}
+        root = next(r for r in records if r["parent"] is None)
+        assert root["name"] == "sample"
+        inner = next(r for r in records if r["name"] == "inner")
+        assert by_id[inner["parent"]]["name"] == "solve"
+
+    def test_numpy_scalars_serialized(self):
+        with telemetry.tracing("np") as trace:
+            with telemetry.span("s") as s:
+                s.annotate(value=np.float64(1.5), count=np.int64(3))
+        parsed = [json.loads(line) for line in
+                  trace_to_jsonl(trace).splitlines()]
+        attrs = parsed[-1]["attrs"]
+        assert attrs == {"value": 1.5, "count": 3}
+
+
+class TestRoundTrip:
+    def test_write_read_preserves_tree(self, tmp_path):
+        original = sample_trace()
+        path = write_jsonl(original, tmp_path / "trace.jsonl")
+        loaded = read_jsonl(path)
+        assert loaded.name == "sample"
+        assert loaded.created_utc == original.created_utc
+        assert (loaded.root.to_dict() == original.root.to_dict())
+
+    def test_counter_totals_survive(self, tmp_path):
+        path = write_jsonl(sample_trace(), tmp_path / "t.jsonl")
+        assert read_jsonl(path).total_counters() == {"factorizations": 5}
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TelemetryError):
+            read_jsonl(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(
+            {"record": "header", "schema": "other/v9"}) + "\n")
+        with pytest.raises(TelemetryError, match="schema"):
+            read_jsonl(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"record": "span", "id": 0}) + "\n")
+        with pytest.raises(TelemetryError, match="header"):
+            read_jsonl(path)
+
+    def test_orphan_span_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        header = {"record": "header", "schema": TRACE_SCHEMA,
+                  "trace": "t", "n_spans": 1}
+        orphan = {"record": "span", "id": 5, "parent": 99, "name": "x"}
+        path.write_text(json.dumps(header) + "\n"
+                        + json.dumps(orphan) + "\n")
+        with pytest.raises(TelemetryError, match="parent"):
+            read_jsonl(path)
+
+
+class TestTreeSummary:
+    def test_mentions_spans_counters_events(self):
+        text = tree_summary(sample_trace())
+        assert "solve" in text
+        assert "factorizations=3" in text
+        assert "1 events" in text
+        assert "totals: factorizations=5" in text
+
+    def test_max_depth_prunes(self):
+        full = tree_summary(sample_trace())
+        shallow = tree_summary(sample_trace(), max_depth=1)
+        assert "inner" in full
+        assert "inner" not in shallow

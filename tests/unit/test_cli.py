@@ -53,6 +53,29 @@ class TestCommands:
         assert "bias-open-coarse" in out
         assert "d(enob)" in out
 
+    def test_trace_writes_jsonl_and_summary(self, capsys, tmp_path):
+        from repro.telemetry import read_jsonl
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "--scenario", "op_chain",
+                     "--output", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "trace 'scenario-op_chain'" in printed
+        assert "strategy:" in printed
+        assert f"trace written to {out}" in printed
+        trace = read_jsonl(out)
+        totals = trace.total_counters()
+        assert totals["jacobian_factorizations"] > 0
+        assert totals["compile_cache_misses"] == 1
+        assert trace.root.find("newton") is not None
+
+    def test_trace_leaves_telemetry_disabled(self, tmp_path):
+        from repro import telemetry
+
+        assert main(["trace", "--scenario", "op_chain", "--output",
+                     str(tmp_path / "t.jsonl"), "--max-depth", "1"]) == 0
+        assert not telemetry.is_enabled()
+
 
 class TestErrorReporting:
     def test_library_error_is_one_line_and_exit_2(self, capsys):
