@@ -8,13 +8,21 @@ import json
 import subprocess
 import sys
 
-from repro.bench import BENCH_SCHEMA, run_benchmarks, write_report
+import pytest
+
+from repro.bench import (ALLOW_REGRESSION_ENV, BENCH_SCHEMA, BenchResult,
+                         compare_results, load_baseline, run_benchmarks,
+                         write_report)
+from repro.errors import AnalysisError
+
+ALL_CASES = {"op_chain", "dc_sweep", "transient", "montecarlo",
+             "batched_montecarlo", "batched_sweep"}
 
 
 def test_quick_benchmarks_produce_all_cases(tmp_path):
     results = run_benchmarks(quick=True, repeats=1)
     names = {r.name for r in results}
-    assert names == {"op_chain", "dc_sweep", "transient", "montecarlo"}
+    assert names == ALL_CASES
     for result in results:
         assert result.wall_s > 0.0
         assert result.meta  # every case reports its workload detail
@@ -33,6 +41,25 @@ def test_quick_benchmarks_produce_all_cases(tmp_path):
         assert counters["device_bank_evals"] > 0
     assert (report["results"]["dc_sweep"]["trace_counters"]
             ["compile_cache_misses"] == 1)
+    # The batched cases record their lane counts and touched the
+    # stacked path (batch_lanes counter from repro.spice.batch).
+    for name in ("batched_montecarlo", "batched_sweep"):
+        entry = report["results"][name]
+        assert entry["meta"]["batch"] > 1
+        assert entry["trace_counters"]["batch_lanes"] == \
+            entry["meta"]["batch"]
+    # The batched Monte Carlo times the same population as the serial
+    # case: identical seeds, identical draws, identical mean.
+    by_name = {r.name: r for r in results}
+    serial_mc = by_name["montecarlo"]
+    batched_mc = by_name["batched_montecarlo"]
+    assert serial_mc.meta["n_seeds"] <= batched_mc.meta["n_seeds"]
+    # Provenance: numbers are only comparable when the numerics stack
+    # is known, so the report carries numpy/BLAS/thread pinning.
+    runtime = report["runtime"]
+    assert runtime["numpy"]
+    assert "name" in runtime["blas"]
+    assert "OMP_NUM_THREADS" in runtime["thread_env"]
 
 
 def test_cli_bench_quick_writes_report(tmp_path):
@@ -46,3 +73,63 @@ def test_cli_bench_quick_writes_report(tmp_path):
     report = json.loads(out.read_text())
     assert report["schema"] == BENCH_SCHEMA
     assert "dc_sweep" in report["results"]
+    assert "batched_montecarlo" in report["results"]
+
+
+def _result(name, wall_s):
+    return BenchResult(name=name, wall_s=wall_s, repeats=1, meta={})
+
+
+def test_compare_flags_only_regressed_cases():
+    baseline = {"a": 0.010, "b": 0.010, "gone": 0.010}
+    results = [_result("a", 0.011),    # fine
+               _result("b", 0.030),    # 3x: regressed
+               _result("new", 0.005)]  # no baseline: reported, not gated
+    report = compare_results(results, baseline, max_ratio=2.0)
+    assert not report.passed
+    assert [c.name for c in report.regressions] == ["b"]
+    by_name = {c.name: c for c in report.cases}
+    assert by_name["new"].baseline_s is None and not by_name["new"].regressed
+    assert by_name["gone"].fresh_s is None and not by_name["gone"].regressed
+    assert "REGRESSED" in report.describe()
+
+
+def test_compare_rejects_bad_inputs(tmp_path):
+    with pytest.raises(AnalysisError):
+        compare_results([_result("a", 0.01)], {"a": 0.01}, max_ratio=1.0)
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": "something-else/v1", "results": {}}')
+    with pytest.raises(AnalysisError):
+        load_baseline(bad)
+    with pytest.raises(AnalysisError):
+        load_baseline(tmp_path / "missing.json")
+
+
+def test_compare_loads_committed_schema(tmp_path):
+    path = tmp_path / "BENCH_perf.json"
+    results = [_result("a", 0.010)]
+    write_report(results, path, quick=True)
+    baseline = load_baseline(path)
+    assert baseline == {"a": 0.010}
+    assert compare_results([_result("a", 0.012)], baseline).passed
+
+
+def test_cli_compare_gates_and_escape_hatch(tmp_path, monkeypatch):
+    # A baseline claiming every case once ran in 1 ns fails the gate...
+    out = tmp_path / "fresh.json"
+    baseline = tmp_path / "baseline.json"
+    write_report([_result(name, 1e-9) for name in ALL_CASES],
+                 baseline, quick=True)
+    argv = [sys.executable, "-m", "repro", "bench", "--quick",
+            "--output", str(out), "--compare", str(baseline)]
+    proc = subprocess.run(argv, capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 1, proc.stdout
+    assert "gate FAILED" in proc.stdout
+    # ...unless the escape hatch is set.
+    import os
+    env = dict(os.environ)
+    env[ALLOW_REGRESSION_ENV] = "1"
+    proc = subprocess.run(argv, capture_output=True, text=True,
+                          timeout=600, env=env)
+    assert proc.returncode == 0, proc.stdout
+    assert "regression tolerated" in proc.stdout

@@ -94,11 +94,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     results = run_benchmarks(quick=args.quick, repeats=args.repeats,
                              n_workers=args.workers)
     for result in results:
-        print(f"  {result.name:12}: {result.wall_s * 1e3:8.1f} ms "
+        print(f"  {result.name:18}: {result.wall_s * 1e3:8.1f} ms "
               f"(best of {result.repeats})")
     path = write_report(results, args.output, quick=args.quick)
     print(f"report written to {path}")
-    return 0
+    if args.compare is None:
+        return 0
+    from .bench.compare import (compare_results, load_baseline,
+                                regression_allowed)
+    report = compare_results(results, load_baseline(args.compare),
+                             max_ratio=args.max_ratio)
+    print(report.describe())
+    if report.passed:
+        return 0
+    if regression_allowed():
+        print("regression tolerated (REPRO_BENCH_ALLOW_REGRESSION set); "
+              "refresh the committed baseline in this change")
+        return 0
+    return 1
 
 
 #: Scenarios the ``trace`` subcommand can run (bench cases + faults).
@@ -184,6 +197,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--workers", type=int, default=1,
                          help="process-pool width for the Monte-Carlo "
                               "case")
+    p_bench.add_argument("--compare", default=None, metavar="BASELINE",
+                         help="gate against a committed BENCH_perf.json: "
+                              "exit 1 when any shared case got more than "
+                              "--max-ratio slower (escape hatch: set "
+                              "REPRO_BENCH_ALLOW_REGRESSION=1)")
+    p_bench.add_argument("--max-ratio", type=float, default=2.0,
+                         help="slowdown factor tolerated by --compare "
+                              "(default 2.0)")
     p_bench.add_argument("--output", default="BENCH_perf.json",
                          help="report path (default: BENCH_perf.json)")
     p_bench.set_defaults(func=_cmd_bench)

@@ -146,22 +146,41 @@ class MonteCarlo:
     serial run -- same summaries, same failed-seed records, in the same
     seed order -- just wall-clock faster.  ``metric_fn`` must then be
     picklable (a module-level function, not a lambda).
+
+    ``backend="batched"`` solves the whole population as one stacked
+    tensor instead of one Newton solve per seed; ``metric_fn`` must
+    then be a :class:`~repro.spice.batch.BatchedOpMetric` spec (which
+    is also a plain callable, so the same spec runs under every
+    backend).  Each seed's mismatch draw becomes one lane of a
+    :func:`~repro.spice.batch.batch_operating_point`; lanes the batched
+    loop cannot converge fall back to the serial strategy ladder, so
+    summaries, failed-seed records and their ordering match the serial
+    backend (to float tolerance far inside 1e-9).
     """
 
     def __init__(self, metric_fn: Callable[[int], dict[str, float]],
                  n_runs: int = 25, seed_base: int = 0,
                  on_error: str = "raise",
-                 n_workers: int | None = None) -> None:
+                 n_workers: int | None = None,
+                 backend: str = "serial") -> None:
         if n_runs < 1:
             raise AnalysisError(f"n_runs must be >= 1: {n_runs}")
         if on_error not in ("raise", "skip"):
             raise AnalysisError(
                 f"on_error must be 'raise' or 'skip', got {on_error!r}")
+        if backend not in ("serial", "batched"):
+            raise AnalysisError(
+                f"backend must be 'serial' or 'batched', got {backend!r}")
+        if backend == "batched" and n_workers not in (None, 1):
+            raise AnalysisError(
+                "backend='batched' replaces the process pool; "
+                "leave n_workers unset")
         self.metric_fn = metric_fn
         self.n_runs = n_runs
         self.seed_base = seed_base
         self.on_error = on_error
         self.n_workers = validate_workers(n_workers)
+        self.backend = backend
 
     def _seeds(self) -> list[int]:
         return [self.seed_base + k for k in range(self.n_runs)]
@@ -187,17 +206,59 @@ class MonteCarlo:
                               self.n_workers)
         return zip(self._seeds(), results)
 
+    def _outcomes_batched(self):
+        """Same (seed, outcome) stream, produced by one stacked solve.
+
+        Each seed's lane draw is a pure function of the seed (the
+        :class:`~repro.spice.batch.BatchedOpMetric` contract), so the
+        population is the one the serial loop would have evaluated;
+        lanes that fail every strategy surface as the same
+        ``("error", ConvergenceError)`` records, in seed order.
+        """
+        from ..spice.batch import BatchedOpMetric, batch_operating_point
+        spec = self.metric_fn
+        if not isinstance(spec, BatchedOpMetric):
+            raise AnalysisError(
+                "backend='batched' needs a BatchedOpMetric spec as "
+                f"metric_fn, got {type(spec).__name__}; wrap the build/"
+                "draw/measure triple in repro.spice.batch.BatchedOpMetric")
+        circuit = spec.build()
+        seeds = self._seeds()
+        lanes = [spec.draw(seed, circuit) for seed in seeds]
+        batch = batch_operating_point(circuit, lanes, options=spec.options,
+                                      strategies=spec.strategies,
+                                      on_error="skip")
+        failed = dict(batch.failures)
+        outcomes = []
+        for index, seed in enumerate(seeds):
+            if index in failed:
+                outcomes.append((seed, ("error", failed[index])))
+                continue
+            try:
+                metrics = {name: float(value) for name, value in
+                           spec.measure(batch.points[index]).items()}
+            except ReproError as error:
+                outcomes.append((seed, ("error", error)))
+                continue
+            outcomes.append((seed, ("ok", metrics)))
+        return outcomes
+
     def run(self) -> MonteCarloRun:
         """Execute all runs; returns per-metric summaries (a dict) with
         the failed-seed record attached."""
         with telemetry.span("montecarlo", n_runs=self.n_runs,
                             n_workers=self.n_workers,
+                            backend=self.backend,
                             seed_base=self.seed_base) as tspan:
             return self._run(tspan)
 
     def _run(self, tspan) -> MonteCarloRun:
-        outcomes = (self._outcomes_parallel() if self.n_workers > 1
-                    else self._outcomes_serial())
+        if self.backend == "batched":
+            outcomes = self._outcomes_batched()
+        elif self.n_workers > 1:
+            outcomes = self._outcomes_parallel()
+        else:
+            outcomes = self._outcomes_serial()
         collected: dict[str, list[float]] = {}
         expected_keys: set[str] | None = None
         failed: list[tuple[int, str]] = []

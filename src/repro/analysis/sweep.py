@@ -46,42 +46,110 @@ class SweepTable:
                                  for name, column in self.metrics.items()}
 
 
+def _sweep_rows_serial(values_array, metric_fn, on_error, tspan):
+    """(rows, failures) of the classic one-point-at-a-time loop."""
+    rows: list[dict[str, float] | None] = []
+    failures: list[tuple[int, str]] = []
+    for index, value in enumerate(values_array):
+        try:
+            with telemetry.span(f"point-{index}", value=float(value)):
+                metrics = metric_fn(float(value))
+        except ReproError as error:
+            if on_error == "raise":
+                raise
+            tspan.event("point-failed", index=index,
+                        value=float(value), why=str(error))
+            tspan.inc("sweep_points_failed")
+            failures.append((index, str(error)))
+            rows.append(None)
+            continue
+        if not metrics:
+            raise AnalysisError("metric function returned no metrics")
+        rows.append({name: float(metric)
+                     for name, metric in metrics.items()})
+    return rows, failures
+
+
+def _sweep_rows_batched(values_array, metric_fn, on_error, tspan):
+    """Same (rows, failures), produced by one stacked multi-lane solve.
+
+    ``metric_fn`` must be a :class:`~repro.spice.batch.BatchedOpSweep`
+    spec; every swept value becomes one lane, and a lane that fails
+    every strategy surfaces with the same error record -- and, under
+    ``on_error="raise"``, the same (lowest-index) exception -- as the
+    serial loop.
+    """
+    from ..spice.batch import BatchedOpSweep, batch_operating_point
+    spec = metric_fn
+    if not isinstance(spec, BatchedOpSweep):
+        raise AnalysisError(
+            "backend='batched' needs a BatchedOpSweep spec as metric_fn, "
+            f"got {type(spec).__name__}; wrap the build/lane/measure "
+            "triple in repro.spice.batch.BatchedOpSweep")
+    circuit = spec.build()
+    lanes = [spec.lane(float(value), circuit) for value in values_array]
+    batch = batch_operating_point(circuit, lanes, options=spec.options,
+                                  strategies=spec.strategies,
+                                  on_error="skip")
+    failed = dict(batch.failures)
+    rows: list[dict[str, float] | None] = []
+    failures: list[tuple[int, str]] = []
+    for index, value in enumerate(values_array):
+        error = failed.get(index)
+        if error is None:
+            try:
+                metrics = spec.measure(batch.points[index])
+            except ReproError as measure_error:
+                error = measure_error
+        if error is not None:
+            if on_error == "raise":
+                raise error
+            tspan.event("point-failed", index=index,
+                        value=float(value), why=str(error))
+            tspan.inc("sweep_points_failed")
+            failures.append((index, str(error)))
+            rows.append(None)
+            continue
+        if not metrics:
+            raise AnalysisError("metric function returned no metrics")
+        rows.append({name: float(metric)
+                     for name, metric in metrics.items()})
+    return rows, failures
+
+
 def sweep_1d(parameter: str, values: Sequence[float],
              metric_fn: Callable[[float], dict[str, float]],
-             on_error: str = "raise") -> SweepTable:
+             on_error: str = "raise",
+             backend: str = "serial") -> SweepTable:
     """Evaluate ``metric_fn`` at each value; collect aligned columns.
 
     ``on_error="skip"`` records a point whose evaluation raises a
     library error as NaN across every metric column (noted in
     :attr:`SweepTable.failures`) instead of aborting the sweep.
+
+    ``backend="batched"`` solves every point as one lane of a stacked
+    ensemble Newton solve (``metric_fn`` must then be a
+    :class:`~repro.spice.batch.BatchedOpSweep` spec, which is also a
+    plain callable for the serial path).
     """
     if on_error not in ("raise", "skip"):
         raise AnalysisError(
             f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    if backend not in ("serial", "batched"):
+        raise AnalysisError(
+            f"backend must be 'serial' or 'batched', got {backend!r}")
     values_array = np.asarray(list(values), dtype=float)
     if values_array.size == 0:
         raise AnalysisError("empty sweep")
-    rows: list[dict[str, float] | None] = []
-    failures: list[tuple[int, str]] = []
     with telemetry.span("sweep-1d", parameter=parameter,
+                        backend=backend,
                         n_points=int(values_array.size)) as tspan:
-        for index, value in enumerate(values_array):
-            try:
-                with telemetry.span(f"point-{index}", value=float(value)):
-                    metrics = metric_fn(float(value))
-            except ReproError as error:
-                if on_error == "raise":
-                    raise
-                tspan.event("point-failed", index=index,
-                            value=float(value), why=str(error))
-                tspan.inc("sweep_points_failed")
-                failures.append((index, str(error)))
-                rows.append(None)
-                continue
-            if not metrics:
-                raise AnalysisError("metric function returned no metrics")
-            rows.append({name: float(metric)
-                         for name, metric in metrics.items()})
+        if backend == "batched":
+            rows, failures = _sweep_rows_batched(values_array, metric_fn,
+                                                 on_error, tspan)
+        else:
+            rows, failures = _sweep_rows_serial(values_array, metric_fn,
+                                                on_error, tspan)
         tspan.annotate(n_failures=len(failures))
     evaluated = [row for row in rows if row is not None]
     if not evaluated:

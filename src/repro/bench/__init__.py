@@ -9,11 +9,19 @@ as an artifact on every push).
 
 from __future__ import annotations
 
+from .compare import (
+    ALLOW_REGRESSION_ENV,
+    CaseComparison,
+    ComparisonReport,
+    compare_results,
+    load_baseline,
+)
 from .perf import (
     BENCH_SCHEMA,
     BenchResult,
     default_cases,
     run_benchmarks,
+    runtime_provenance,
     write_report,
 )
 
@@ -22,5 +30,11 @@ __all__ = [
     "BenchResult",
     "default_cases",
     "run_benchmarks",
+    "runtime_provenance",
     "write_report",
+    "ALLOW_REGRESSION_ENV",
+    "CaseComparison",
+    "ComparisonReport",
+    "compare_results",
+    "load_baseline",
 ]

@@ -1,0 +1,141 @@
+"""Bench-report regression gate.
+
+``python -m repro bench --compare BENCH_perf.json`` times the suite
+fresh and fails (exit 1) when any case shared with the committed
+baseline got more than ``--max-ratio`` times slower.  CI runs this on
+every push so a hot-path regression is caught by the bot, not by the
+next person profiling.
+
+The gate compares *per-case* wall times, not the total: a 10x
+regression in one solver path must not hide behind a case that got
+faster.  Cases present on only one side (added or retired benchmarks)
+are reported but never fail the gate -- otherwise every new benchmark
+would need a same-commit baseline refresh to go green.
+
+Escape hatch: set ``REPRO_BENCH_ALLOW_REGRESSION=1`` (for instance in
+a PR that knowingly trades speed for a fix) and the gate reports but
+does not fail; refresh the committed baseline in the same PR.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import AnalysisError
+from .perf import BenchResult
+
+#: Environment variable that downgrades a failing gate to a warning.
+ALLOW_REGRESSION_ENV = "REPRO_BENCH_ALLOW_REGRESSION"
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """One case's fresh-vs-baseline verdict.
+
+    Attributes:
+        name: Case label.
+        baseline_s: Committed wall time [s] (None: case is new).
+        fresh_s: Just-measured wall time [s] (None: case was retired).
+        ratio: fresh / baseline (None when either side is missing).
+        regressed: True when ``ratio`` exceeded the gate's threshold.
+    """
+
+    name: str
+    baseline_s: float | None
+    fresh_s: float | None
+    ratio: float | None
+    regressed: bool
+
+    def describe(self) -> str:
+        if self.baseline_s is None:
+            return f"{self.name}: new case ({self.fresh_s * 1e3:.1f} ms)"
+        if self.fresh_s is None:
+            return f"{self.name}: retired (baseline " \
+                   f"{self.baseline_s * 1e3:.1f} ms)"
+        flag = "  REGRESSED" if self.regressed else ""
+        return (f"{self.name}: {self.baseline_s * 1e3:8.1f} ms -> "
+                f"{self.fresh_s * 1e3:8.1f} ms  (x{self.ratio:.2f}){flag}")
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """The full gate verdict over a bench run."""
+
+    cases: tuple[CaseComparison, ...]
+    max_ratio: float
+
+    @property
+    def regressions(self) -> list[CaseComparison]:
+        return [case for case in self.cases if case.regressed]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def describe(self) -> str:
+        lines = [case.describe() for case in self.cases]
+        if self.passed:
+            lines.append(f"gate passed (threshold x{self.max_ratio:g})")
+        else:
+            names = ", ".join(c.name for c in self.regressions)
+            lines.append(f"gate FAILED (threshold x{self.max_ratio:g}): "
+                         f"{names}")
+        return "\n".join(lines)
+
+
+def load_baseline(path: str | Path) -> dict[str, float]:
+    """Case name -> wall seconds from a committed report.
+
+    Accepts every schema revision that carried per-case ``wall_s``
+    (v1..v3); anything else is a corrupt baseline and a hard error.
+    """
+    path = Path(path)
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise AnalysisError(f"cannot read bench baseline {path}: {error}")
+    schema = report.get("schema", "")
+    if not str(schema).startswith("repro-bench-perf/"):
+        raise AnalysisError(
+            f"{path} is not a bench report (schema {schema!r})")
+    try:
+        return {name: float(entry["wall_s"])
+                for name, entry in report["results"].items()}
+    except (KeyError, TypeError, ValueError) as error:
+        raise AnalysisError(
+            f"malformed bench baseline {path}: {error}")
+
+
+def compare_results(results: list[BenchResult],
+                    baseline: dict[str, float],
+                    max_ratio: float = 2.0) -> ComparisonReport:
+    """Gate ``results`` against a committed baseline mapping."""
+    if max_ratio <= 1.0:
+        raise AnalysisError(
+            f"max_ratio must be > 1.0 (it is fresh/baseline): {max_ratio}")
+    fresh = {result.name: result.wall_s for result in results}
+    cases = []
+    for name in sorted(set(fresh) | set(baseline)):
+        fresh_s = fresh.get(name)
+        baseline_s = baseline.get(name)
+        ratio = None
+        regressed = False
+        if fresh_s is not None and baseline_s is not None:
+            if baseline_s <= 0.0:
+                raise AnalysisError(
+                    f"baseline wall time for {name!r} is not positive: "
+                    f"{baseline_s}")
+            ratio = fresh_s / baseline_s
+            regressed = ratio > max_ratio
+        cases.append(CaseComparison(name=name, baseline_s=baseline_s,
+                                    fresh_s=fresh_s, ratio=ratio,
+                                    regressed=regressed))
+    return ComparisonReport(cases=tuple(cases), max_ratio=max_ratio)
+
+
+def regression_allowed() -> bool:
+    """Whether the escape-hatch env var downgrades failures."""
+    return os.environ.get(ALLOW_REGRESSION_ENV, "") not in ("", "0")

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass
@@ -35,8 +36,17 @@ from ..stscl.netlist_gen import (
     stscl_latch_circuit,
 )
 
-#: Format tag of the emitted JSON report (v2: per-case trace_counters).
-BENCH_SCHEMA = "repro-bench-perf/v2"
+#: Format tag of the emitted JSON report (v2: per-case trace_counters;
+#: v3: batched-ensemble cases + numpy/BLAS/threading provenance meta).
+BENCH_SCHEMA = "repro-bench-perf/v3"
+
+#: Environment variables that pin BLAS/OpenMP thread pools.  Recorded
+#: in the report (and pinned in CI) because an unpinned BLAS spawning a
+#: thread per core can swing the batched ``np.linalg.solve`` timings by
+#: integer factors between machines.
+THREAD_ENV_VARS = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                   "MKL_NUM_THREADS", "NUMEXPR_NUM_THREADS",
+                   "VECLIB_MAXIMUM_THREADS")
 
 _I_SS = 1e-9
 _VDD = 0.4
@@ -144,16 +154,70 @@ def _bench_montecarlo(n_seeds: int,
     return case
 
 
+def _batched_mc_build():
+    circuit, _ = stscl_inverter_circuit(_design(), _VDD)
+    return circuit
+
+
+def _batched_mc_draw(seed: int, circuit):
+    """The exact mismatch population of :func:`_mc_metric`, as a lane.
+
+    Same RNG, same draw order, VT-only -- so the batched case's
+    ``v_diff_mean`` lands on the serial case's number and the two bench
+    entries time the *same* physics.
+    """
+    from ..spice.batch import LaneSpec
+    rng = np.random.default_rng(seed)
+    vt_delta = np.array([rng.normal(0.0, 5e-3)
+                         for _ in circuit.mos_elements()])
+    return LaneSpec.mismatch(vt_delta, label=f"seed-{seed}")
+
+
+def _batched_mc_measure(result) -> dict[str, float]:
+    return {"v_diff": result.vdiff("outp", "outn")}
+
+
+def _bench_batched_montecarlo(n_seeds: int) -> Callable[[], dict]:
+    """The Monte-Carlo population of ``montecarlo``, solved as one
+    stacked tensor (``backend="batched"``); compare the two wall times
+    per seed for the ensemble speedup."""
+    def case() -> dict:
+        from ..spice.batch import BatchedOpMetric
+        spec = BatchedOpMetric(build=_batched_mc_build,
+                               draw=_batched_mc_draw,
+                               measure=_batched_mc_measure)
+        run = MonteCarlo(spec, n_runs=n_seeds, backend="batched").run()
+        return {"n_seeds": n_seeds, "batch": n_seeds,
+                "v_diff_mean": run["v_diff"].mean}
+    return case
+
+
+def _bench_batched_sweep(n_points: int) -> Callable[[], dict]:
+    """The transfer-curve sweep of ``dc_sweep``, every point one lane
+    of a single stacked solve."""
+    def case() -> dict:
+        circuit, _ = stscl_inverter_circuit(_design(), _VDD)
+        sweep = dc_sweep(circuit, "vinp",
+                         np.linspace(0.0, _VDD, n_points),
+                         backend="batched")
+        return {"n_points": n_points, "batch": n_points,
+                "n_failures": len(sweep.failures)}
+    return case
+
+
 def default_cases(quick: bool = False,
                   n_workers: int = 1) -> dict[str, Callable[[], dict]]:
     """Case name -> zero-argument callable returning its meta dict."""
     n_points = 11 if quick else 31
     n_seeds = 4 if quick else 8
+    n_lanes = 8 if quick else 32
     return {
         "op_chain": _bench_op_chain,
         "dc_sweep": _bench_dc_sweep(n_points),
         "transient": _bench_transient,
         "montecarlo": _bench_montecarlo(n_seeds, n_workers),
+        "batched_montecarlo": _bench_batched_montecarlo(n_lanes),
+        "batched_sweep": _bench_batched_sweep(n_points),
     }
 
 
@@ -193,6 +257,39 @@ def run_benchmarks(quick: bool = False, repeats: int | None = None,
     return results
 
 
+def _blas_provenance() -> dict:
+    """Which BLAS numpy linked against, best-effort.
+
+    ``np.show_config`` has changed shape across numpy versions; a bench
+    report must never fail over introspection, so any surprise
+    degrades to ``{"name": "unknown"}``.
+    """
+    try:
+        config = np.show_config(mode="dicts")
+        blas = config.get("Build Dependencies", {}).get("blas", {})
+        return {"name": blas.get("name", "unknown"),
+                "found": blas.get("found"),
+                "version": blas.get("version")}
+    except Exception:
+        return {"name": "unknown"}
+
+
+def runtime_provenance() -> dict:
+    """Numerics-stack provenance attached to every report.
+
+    Bench numbers are only comparable when numpy, its BLAS and the
+    thread-pool pinning match; recording them turns "CI got slower"
+    from archaeology into a diff.
+    """
+    return {
+        "numpy": np.__version__,
+        "blas": _blas_provenance(),
+        "thread_env": {name: os.environ.get(name)
+                       for name in THREAD_ENV_VARS},
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def write_report(results: list[BenchResult], path: str | Path,
                  quick: bool = False) -> Path:
     """Serialize ``results`` as schema-versioned JSON; returns the path."""
@@ -204,6 +301,7 @@ def write_report(results: list[BenchResult], path: str | Path,
         "quick": quick,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "runtime": runtime_provenance(),
         "results": {
             r.name: {"wall_s": r.wall_s, "repeats": r.repeats,
                      "meta": r.meta,

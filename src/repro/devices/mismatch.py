@@ -98,6 +98,24 @@ class MismatchSampler:
         return MismatchSample(vt_shift=vt_shift,
                               beta_factor=max(0.1, 1.0 + rel))
 
+    def sample_bank(self, devices) -> tuple[np.ndarray, np.ndarray]:
+        """Draw mismatch for a whole device list at once.
+
+        Returns ``(vt_delta, beta_scale)`` arrays aligned with
+        ``devices`` -- the exact shape a
+        :class:`~repro.spice.batch.LaneSpec` wants.  Draws go through
+        :meth:`sample` one device at a time, so the RNG stream (and
+        therefore the population) is bit-identical to a serial loop
+        that perturbs each device individually.
+        """
+        vt_delta = np.empty(len(devices))
+        beta_scale = np.empty(len(devices))
+        for k, device in enumerate(devices):
+            draw = self.sample(device.w, device.l)
+            vt_delta[k] = draw.vt_shift
+            beta_scale[k] = draw.beta_factor
+        return vt_delta, beta_scale
+
     def perturb(self, device: Mosfet) -> Mosfet:
         """Return a copy of ``device`` with fresh sampled mismatch."""
         draw = self.sample(device.w, device.l)

@@ -37,6 +37,29 @@ def _fault_eval(build: Callable[[], object],
         return ("error", error)
 
 
+class _OpResultFault:
+    """A fault wrapper whose ``apply`` also *solves* the faulted
+    circuit.
+
+    The batched campaign hands ``metric_fn`` solved
+    :class:`~repro.spice.results.OpResult` objects (its lanes come out
+    of the stacked solve already solved); structural faults that cannot
+    ride a lane go through this wrapper so they honour the same
+    contract.
+    """
+
+    def __init__(self, fault: "FaultModel", solve) -> None:
+        self._fault = fault
+        self._solve = solve
+
+    @property
+    def name(self) -> str:
+        return self._fault.name
+
+    def apply(self, target):
+        return self._solve(self._fault.apply(target))
+
+
 def _fault_worker(build: Callable[[], object],
                   metric_fn: Callable[[object], Mapping[str, float]],
                   fault: "FaultModel",
@@ -164,18 +187,36 @@ class FaultCampaign:
             serial run, in catalogue order; ``build`` / ``metric_fn`` /
             the faults must then be picklable (module-level functions,
             not lambdas).
+        backend: ``"serial"`` (default) evaluates one fault at a time.
+            ``"batched"`` solves the baseline and every fault
+            expressible as a parameter perturbation
+            (:meth:`~repro.faults.models.FaultModel.lane_spec`) as one
+            stacked DC system; the contract changes: ``build`` must
+            return a :class:`~repro.spice.netlist.Circuit` and
+            ``metric_fn`` receives the solved
+            :class:`~repro.spice.results.OpResult` (for batched lanes
+            and structural faults alike) instead of the raw target.
     """
 
     def __init__(self, build: Callable[[], object],
                  metric_fn: Callable[[object], Mapping[str, float]],
                  faults: Sequence[FaultModel],
-                 n_workers: int | None = None) -> None:
+                 n_workers: int | None = None,
+                 backend: str = "serial") -> None:
         if not faults:
             raise AnalysisError("campaign needs at least one fault")
+        if backend not in ("serial", "batched"):
+            raise AnalysisError(
+                f"backend must be 'serial' or 'batched', got {backend!r}")
+        if backend == "batched" and n_workers not in (None, 1):
+            raise AnalysisError(
+                "backend='batched' replaces the process pool; "
+                "leave n_workers unset")
         self.build = build
         self.metric_fn = metric_fn
         self.faults = list(faults)
         self.n_workers = validate_workers(n_workers)
+        self.backend = backend
 
     def _evaluate(self, target) -> dict[str, float]:
         return _coerce_metrics(self.metric_fn(target))
@@ -196,17 +237,76 @@ class FaultCampaign:
         return [_fault_worker(self.build, self.metric_fn, fault)
                 for fault in self.faults]
 
+    def _batched_outcomes(self) -> tuple[dict[str, float],
+                                         list[tuple[str, object]]]:
+        """(baseline metrics, per-fault outcome stream) from one
+        stacked solve.
+
+        Lane 0 is the unperturbed baseline; every lane-expressible
+        fault rides the same :func:`~repro.spice.batch.
+        batch_operating_point`.  Structural faults (``lane_spec`` is
+        None) are evaluated through the classic rebuild-and-solve path
+        -- with the same OpResult-based ``metric_fn`` contract -- so
+        one campaign mixes both kinds transparently.
+        """
+        from ..spice.batch import LaneSpec, batch_operating_point
+        from ..spice.dc import operating_point
+        from ..spice.netlist import Circuit
+
+        circuit = self.build()
+        if not isinstance(circuit, Circuit):
+            raise AnalysisError(
+                "backend='batched' needs build() to return a Circuit, "
+                f"got {type(circuit).__name__}")
+        lanes = [LaneSpec(label="baseline")]
+        lane_of_fault: dict[int, int] = {}
+        for index, fault in enumerate(self.faults):
+            lane = fault.lane_spec(circuit)
+            if lane is not None:
+                lane_of_fault[index] = len(lanes)
+                lanes.append(lane)
+        batch = batch_operating_point(circuit, lanes, on_error="skip")
+        lane_errors = dict(batch.failures)
+        if 0 in lane_errors:
+            raise lane_errors[0]  # baseline failures always propagate
+        baseline = self._evaluate(batch.points[0])
+        outcomes: list[tuple[str, object]] = []
+        for index, fault in enumerate(self.faults):
+            lane_index = lane_of_fault.get(index)
+            with telemetry.span(f"fault-{fault.name}", fault=fault.name,
+                                batched=lane_index is not None):
+                if lane_index is None:
+                    outcomes.append(_fault_eval(
+                        self.build, self.metric_fn,
+                        _OpResultFault(fault, operating_point)))
+                    continue
+                error = lane_errors.get(lane_index)
+                if error is not None:
+                    outcomes.append(("error", error))
+                    continue
+                try:
+                    outcomes.append(("ok", _coerce_metrics(
+                        self.metric_fn(batch.points[lane_index]))))
+                except ReproError as metric_error:
+                    outcomes.append(("error", metric_error))
+        return baseline, outcomes
+
     def run(self) -> CampaignReport:
         """Baseline plus one outcome per fault."""
         with telemetry.span("fault-campaign", n_faults=len(self.faults),
-                            n_workers=self.n_workers) as tspan:
+                            n_workers=self.n_workers,
+                            backend=self.backend) as tspan:
             return self._run(tspan)
 
     def _run(self, tspan) -> CampaignReport:
-        with telemetry.span("baseline"):
-            baseline = self._evaluate(self.build())
+        if self.backend == "batched":
+            baseline, outcomes = self._batched_outcomes()
+        else:
+            with telemetry.span("baseline"):
+                baseline = self._evaluate(self.build())
+            outcomes = self._fault_outcomes()
         report = CampaignReport(baseline=baseline)
-        for fault, outcome in zip(self.faults, self._fault_outcomes()):
+        for fault, outcome in zip(self.faults, outcomes):
             status, payload = outcome[0], outcome[1]
             if len(outcome) > 2 and outcome[2] is not None:
                 # Worker-captured spans, merged in catalogue order.

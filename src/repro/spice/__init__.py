@@ -38,6 +38,16 @@ from .strategies import (
     SourceSteppingStrategy,
     StageReport,
 )
+from .batch import (
+    BatchAssembler,
+    BatchDiagnostics,
+    BatchOpResult,
+    BatchedOpMetric,
+    BatchedOpSweep,
+    LaneSpec,
+    apply_lane,
+    batch_operating_point,
+)
 from .ac import ac_analysis
 from .transient import transient, TransientOptions, TransientTelemetry
 from .results import OpResult, SweepResult, AcResult, TranResult
@@ -52,6 +62,9 @@ __all__ = [
     "SolveStrategy", "NewtonStrategy", "GminSteppingStrategy",
     "SourceSteppingStrategy", "PseudoTransientStrategy",
     "SolverDiagnostics", "StageReport", "DEFAULT_LADDER",
+    "LaneSpec", "BatchAssembler", "BatchOpResult", "BatchDiagnostics",
+    "batch_operating_point", "BatchedOpMetric", "BatchedOpSweep",
+    "apply_lane",
     "ac_analysis",
     "transient", "TransientOptions", "TransientTelemetry",
     "OpResult", "SweepResult", "AcResult", "TranResult",

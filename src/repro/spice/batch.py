@@ -1,0 +1,963 @@
+"""Batched ensemble Newton: many independent DC points as one tensor.
+
+Monte-Carlo populations, bias sweeps and parameter-perturbation fault
+campaigns all solve the *same* circuit topology at many independent
+points -- only per-device parameters (a mismatch draw), a source value
+(a sweep point) or a single element value (a fault) differ.  The serial
+path pays one full Python Newton loop per point; this module solves the
+whole population as one stacked system instead:
+
+* a :class:`LaneSpec` describes one population member ("lane") as a
+  perturbation of the base circuit -- per-device VT/beta deltas, scaled
+  resistors, overridden source values -- without mutating anything;
+* :class:`BatchAssembler` extends the compile-once
+  :class:`~repro.spice.assembly.CircuitAssembler` with a ``(B, N)``
+  assembly path: the MOS/diode banks are evaluated over ``(B,
+  n_devices)`` voltage arrays in one numpy call and scattered into a
+  ``(B, N, N)`` stacked Jacobian;
+* :func:`batch_newton` runs damped Newton on all lanes at once -- one
+  ``np.linalg.solve`` on the stacked Jacobian per iteration (LAPACK's
+  batched path) -- with per-lane damping, convergence and stall
+  detection.  Converged lanes freeze and leave the active set, so the
+  work per iteration shrinks as the population converges;
+* :func:`batch_operating_point` orchestrates the whole solve and
+  re-runs every lane the batched loop could not converge *individually*
+  through the existing strategy ladder
+  (:func:`~repro.spice.strategies.run_ladder`), from the same initial
+  guess a serial solve would use -- robustness is never worse than
+  serial, and failed lanes carry the identical forensic
+  :class:`~repro.spice.strategies.SolverDiagnostics`.
+
+The per-lane Newton math mirrors the serial kernel exactly (same
+damping rule, same update-norm convergence criterion via
+:func:`~repro.spice.strategies.step_converged`, same stall window), so
+a lane's trajectory matches its serial solve to LAPACK rounding --
+population summaries agree with the serial backend far inside 1e-9
+relative tolerance.
+
+:class:`BatchedOpMetric` and :class:`BatchedOpSweep` package the
+pattern for the analysis layer: one spec object is both a plain
+callable (the serial path: build, perturb, solve, measure) and the
+vectorizable description the batched backends of
+:class:`~repro.analysis.montecarlo.MonteCarlo`,
+:func:`~repro.analysis.sweep.sweep_1d` and
+:class:`~repro.faults.campaign.FaultCampaign` consume.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import time as _time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+import numpy as np
+
+from .. import telemetry
+from ..errors import AnalysisError, ConvergenceError, NetlistError
+from .elements import CurrentSource, Resistor, VoltageSource
+from .strategies import (DEFAULT_LADDER, GminSteppingStrategy,
+                         NewtonOptions, SolverDiagnostics, StageReport,
+                         run_ladder, step_converged)
+from .assembly import CircuitAssembler
+from .waveforms import dc_wave
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .netlist import Circuit, CompiledCircuit
+    from .results import OpResult
+
+#: Stage name recorded in :class:`SolverDiagnostics` for lanes the
+#: batched loop converged (and, as a failed first stage, for lanes it
+#: handed to the serial fallback ladder).
+BATCHED_STAGE = "batched-newton"
+
+#: Stage name of the batched gmin-stepping continuation phase.
+BATCHED_GMIN_STAGE = "batched-gmin-stepping"
+
+
+@dataclass(frozen=True, eq=False)
+class LaneSpec:
+    """One population member, described as a perturbation of the base
+    circuit.
+
+    All fields are optional; an empty ``LaneSpec()`` is the unperturbed
+    base circuit (used e.g. as the baseline lane of a batched fault
+    campaign).
+
+    Attributes:
+        vt_delta: Additive VT shift per MOS element [V], in
+            ``circuit.mos_elements()`` order (length ``n_mos``).
+        beta_scale: Multiplicative current-factor error per MOS element,
+            same order/length.
+        resistor_scale: ``(name, factor)`` pairs scaling named
+            resistors.
+        source_values: ``(name, value)`` pairs overriding the DC value
+            of named independent sources.
+        label: Free-form tag for diagnostics (seed, sweep value, fault
+            name).
+    """
+
+    vt_delta: np.ndarray | None = None
+    beta_scale: np.ndarray | None = None
+    resistor_scale: tuple[tuple[str, float], ...] = ()
+    source_values: tuple[tuple[str, float], ...] = ()
+    label: str = ""
+
+    @classmethod
+    def mismatch(cls, vt_delta, beta_scale=None,
+                 label: str = "") -> "LaneSpec":
+        """Lane from per-device mismatch arrays (bank order)."""
+        return cls(vt_delta=np.asarray(vt_delta, dtype=float),
+                   beta_scale=(None if beta_scale is None
+                               else np.asarray(beta_scale, dtype=float)),
+                   label=label)
+
+    @classmethod
+    def source(cls, name: str, value: float,
+               label: str = "") -> "LaneSpec":
+        """Lane overriding one independent source's DC value."""
+        return cls(source_values=((name, float(value)),), label=label)
+
+
+def apply_lane(circuit: "Circuit", lane: LaneSpec) -> Callable[[], None]:
+    """Mutate ``circuit`` into the lane's perturbed twin; return an undo.
+
+    This is the *serial* realization of a :class:`LaneSpec` -- the
+    per-lane fallback and the serial paths of the spec objects go
+    through it, so batched and serial evaluations perturb the circuit
+    identically.  Devices are replaced (never mutated in place): MOS
+    device objects are commonly shared between elements and only the
+    addressed element must move.
+    """
+    mos = circuit.mos_elements()
+    if lane.vt_delta is not None and len(lane.vt_delta) != len(mos):
+        raise AnalysisError(
+            f"lane vt_delta has {len(lane.vt_delta)} entries for "
+            f"{len(mos)} MOS elements in {circuit.name!r}")
+    if lane.beta_scale is not None and len(lane.beta_scale) != len(mos):
+        raise AnalysisError(
+            f"lane beta_scale has {len(lane.beta_scale)} entries for "
+            f"{len(mos)} MOS elements in {circuit.name!r}")
+    undos: list[Callable[[], None]] = []
+
+    def _restore_device(element, device):
+        def undo():
+            element.device = device
+        return undo
+
+    for k, element in enumerate(mos):
+        vt = 0.0 if lane.vt_delta is None else float(lane.vt_delta[k])
+        beta = 1.0 if lane.beta_scale is None else float(lane.beta_scale[k])
+        if vt == 0.0 and beta == 1.0:
+            continue
+        undos.append(_restore_device(element, element.device))
+        element.device = dataclasses.replace(
+            element.device,
+            vt_shift=element.device.vt_shift + vt,
+            beta_factor=element.device.beta_factor * beta)
+    for name, factor in lane.resistor_scale:
+        element = circuit.element(name)
+        if not isinstance(element, Resistor):
+            raise AnalysisError(f"{name!r} is not a resistor")
+        saved = element.resistance
+
+        def _restore_r(element=element, saved=saved):
+            element.resistance = saved
+        undos.append(_restore_r)
+        element.resistance = saved * factor
+    for name, value in lane.source_values:
+        element = circuit.element(name)
+        if not isinstance(element, (VoltageSource, CurrentSource)):
+            raise AnalysisError(f"{name!r} is not an independent source")
+        saved = element.waveform
+
+        def _restore_s(element=element, saved=saved):
+            element.waveform = saved
+        undos.append(_restore_s)
+        element.waveform = dc_wave(float(value))
+
+    def undo_all() -> None:
+        for undo in reversed(undos):
+            undo()
+    return undo_all
+
+
+class BatchAssembler(CircuitAssembler):
+    """Stacked ``(B, N)`` assembly over one compiled circuit.
+
+    Builds on the serial assembler's compile-once structure (constant
+    linear part, bank index scatter patterns) and adds per-lane
+    parameter overlays: VT / beta arrays of shape ``(B, n_mos)``,
+    per-lane delta conductances for scaled resistors, per-lane source
+    values.  :meth:`assemble_batch` then assembles any subset of lanes
+    (the batched Newton loop's shrinking active set) in one pass of
+    numpy calls.
+
+    Circuits containing element types the assembler does not know
+    (user subclasses stamped through the per-element fallback) cannot
+    be batched; constructing a :class:`BatchAssembler` for one raises
+    :class:`~repro.errors.AnalysisError` -- use the serial backend.
+    """
+
+    def __init__(self, compiled: "CompiledCircuit",
+                 lanes: Sequence[LaneSpec]) -> None:
+        super().__init__(compiled)
+        if self._fallback:
+            kinds = sorted({type(e).__name__ for e in self._fallback})
+            raise AnalysisError(
+                f"circuit {compiled.circuit.name!r} contains element "
+                f"types the batched assembler cannot vectorize "
+                f"({', '.join(kinds)}); use the serial backend")
+        self.lanes = list(lanes)
+        self.batch = len(self.lanes)
+        if self.batch == 0:
+            raise AnalysisError("empty lane list")
+        self._build_lane_overlays()
+
+    # -- lane overlays --------------------------------------------------
+
+    def _build_lane_overlays(self) -> None:
+        n_mos = len(self._mos)
+        mos_names = [m.name for m in self._mos]
+        vt_rows, beta_rows = [], []
+        any_mos = False
+        for lane in self.lanes:
+            vt = np.zeros(n_mos)
+            beta = np.ones(n_mos)
+            if lane.vt_delta is not None:
+                if len(lane.vt_delta) != n_mos:
+                    raise AnalysisError(
+                        f"lane {lane.label!r}: vt_delta has "
+                        f"{len(lane.vt_delta)} entries for {n_mos} MOS "
+                        f"elements")
+                vt = np.asarray(lane.vt_delta, dtype=float)
+                any_mos = True
+            if lane.beta_scale is not None:
+                if len(lane.beta_scale) != n_mos:
+                    raise AnalysisError(
+                        f"lane {lane.label!r}: beta_scale has "
+                        f"{len(lane.beta_scale)} entries for {n_mos} MOS "
+                        f"elements")
+                beta = np.asarray(lane.beta_scale, dtype=float)
+                any_mos = True
+            vt_rows.append(vt)
+            beta_rows.append(beta)
+        self._mos_vt_b = None
+        self._mos_ispec_b = None
+        if any_mos and self._mos_bank is not None:
+            bank = self._mos_bank
+            self._mos_vt_b = bank.vt[None, :] + np.vstack(vt_rows)
+            self._mos_ispec_b = bank.i_spec[None, :] * np.vstack(beta_rows)
+        del mos_names
+
+        # Resistor overlays: one column per resistor any lane scales.
+        over_names: list[str] = []
+        for lane in self.lanes:
+            for name, _factor in lane.resistor_scale:
+                if name not in over_names:
+                    over_names.append(name)
+        self._rov_dg = None
+        if over_names:
+            by_name = {r.name: r for r in self._resistors}
+            elements = []
+            for name in over_names:
+                if name not in by_name:
+                    raise AnalysisError(
+                        f"{name!r} is not a resistor of "
+                        f"{self.compiled.circuit.name!r}")
+                elements.append(by_name[name])
+            a = np.array([e._idx[0] for e in elements], dtype=np.intp)
+            b = np.array([e._idx[1] for e in elements], dtype=np.intp)
+            self._rov_a, self._rov_b = a, b
+            self._rov_a_mask = a >= 0
+            self._rov_b_mask = b >= 0
+            rows = np.concatenate([a, a, b, b])
+            cols = np.concatenate([a, b, a, b])
+            valid = (rows >= 0) & (cols >= 0)
+            self._rov_flat = (rows[valid].astype(np.intp) * self.size
+                              + cols[valid].astype(np.intp))
+            self._rov_valid = valid
+            n_over = len(elements)
+            self._rov_sign = np.concatenate(
+                [np.ones(n_over), -np.ones(n_over),
+                 -np.ones(n_over), np.ones(n_over)])
+            dg = np.zeros((self.batch, n_over))
+            base_g = np.array([1.0 / e.resistance for e in elements])
+            for li, lane in enumerate(self.lanes):
+                for name, factor in lane.resistor_scale:
+                    k = over_names.index(name)
+                    if factor <= 0.0:
+                        raise AnalysisError(
+                            f"lane {lane.label!r}: resistor scale for "
+                            f"{name!r} must be positive, got {factor}")
+                    dg[li, k] = base_g[k] / factor - base_g[k]
+            self._rov_dg = dg
+
+        # Source overlays: per-source (B,) value arrays, None when no
+        # lane overrides that source.
+        vsrc_over: dict[str, np.ndarray] = {}
+        isrc_over: dict[str, np.ndarray] = {}
+        vsrc_names = {e.name for e in self._vsources}
+        isrc_names = {e.name for e in self._isources}
+        for li, lane in enumerate(self.lanes):
+            for name, value in lane.source_values:
+                if name in vsrc_names:
+                    table = vsrc_over
+                    base = next(e for e in self._vsources
+                                if e.name == name)
+                elif name in isrc_names:
+                    table = isrc_over
+                    base = next(e for e in self._isources
+                                if e.name == name)
+                else:
+                    raise AnalysisError(
+                        f"{name!r} is not an independent source of "
+                        f"{self.compiled.circuit.name!r}")
+                if name not in table:
+                    table[name] = np.full(self.batch,
+                                          base.value_at(None))
+                table[name][li] = float(value)
+        self._vsrc_over = [vsrc_over.get(e.name) for e in self._vsources]
+        self._isrc_over = [isrc_over.get(e.name) for e in self._isources]
+
+    # -- stacked hot path -----------------------------------------------
+
+    def _grounded_batch(self, X: np.ndarray) -> np.ndarray:
+        """``X`` (A, N) padded with a zero column so index -1 reads 0."""
+        Xg = np.empty((X.shape[0], X.shape[1] + 1))
+        Xg[:, :-1] = X
+        Xg[:, -1] = 0.0
+        return Xg
+
+    def assemble_batch(self, jac: np.ndarray, res: np.ndarray,
+                       X: np.ndarray, lane_idx: np.ndarray,
+                       time: float | None = None) -> None:
+        """Overwrite ``jac`` (A, N, N) / ``res`` (A, N) with the full
+        static system of lanes ``lane_idx`` at solutions ``X`` (A, N)."""
+        n_active = X.shape[0]
+        jac[:] = self._g_const
+        np.matmul(X, self._g_const.T, out=res)
+        for element, row, over in zip(self._vsources,
+                                      self._vsrc_branch_rows,
+                                      self._vsrc_over):
+            if over is None:
+                res[:, row] -= element.value_at(time)
+            else:
+                res[:, row] -= over[lane_idx]
+        for element, (p, n), over in zip(self._isources, self._isrc_nodes,
+                                         self._isrc_over):
+            value = (element.value_at(time) if over is None
+                     else over[lane_idx])
+            if p >= 0:
+                res[:, p] += value
+            if n >= 0:
+                res[:, n] -= value
+        if telemetry.is_enabled():
+            span = telemetry.current_span()
+            if self._mos_bank is not None:
+                span.inc("device_bank_evals")
+            if self._diode_bank is not None:
+                span.inc("device_bank_evals")
+        Xg = self._grounded_batch(X)
+        jac_flat = jac.reshape(n_active, -1)
+        all_rows = (slice(None),)
+        if self._mos_bank is not None:
+            d, g, s, b = self._mos_terms
+            bank = self._lane_mos_bank(lane_idx)
+            r = bank.evaluate(Xg[:, d], Xg[:, g], Xg[:, s], Xg[:, b])
+            np.add.at(res, all_rows + (d[self._mos_d_mask],),
+                      r.ids[:, self._mos_d_mask])
+            np.add.at(res, all_rows + (s[self._mos_s_mask],),
+                      -r.ids[:, self._mos_s_mask])
+            partials = np.concatenate(
+                [r.p_d, r.p_g, r.p_s, r.p_b,
+                 r.p_d, r.p_g, r.p_s, r.p_b], axis=1)
+            values = (self._mos_sign * partials)[:, self._mos_valid]
+            np.add.at(jac_flat, all_rows + (self._mos_flat,), values)
+        if self._diode_bank is not None:
+            a, c = self._diode_terms
+            current, conductance = self._diode_bank.current(
+                Xg[:, a] - Xg[:, c])
+            np.add.at(res, all_rows + (a[self._diode_a_mask],),
+                      current[:, self._diode_a_mask])
+            np.add.at(res, all_rows + (c[self._diode_c_mask],),
+                      -current[:, self._diode_c_mask])
+            values = self._diode_sign * np.tile(conductance, (1, 4))
+            np.add.at(jac_flat, all_rows + (self._diode_flat,),
+                      values[:, self._diode_valid])
+        if self._rov_dg is not None:
+            dg = self._rov_dg[lane_idx]
+            va = Xg[:, self._rov_a]
+            vb = Xg[:, self._rov_b]
+            i = dg * (va - vb)
+            np.add.at(res, all_rows + (self._rov_a[self._rov_a_mask],),
+                      i[:, self._rov_a_mask])
+            np.add.at(res, all_rows + (self._rov_b[self._rov_b_mask],),
+                      -i[:, self._rov_b_mask])
+            values = self._rov_sign * np.tile(dg, (1, 4))
+            np.add.at(jac_flat, all_rows + (self._rov_flat,),
+                      values[:, self._rov_valid])
+
+    def _lane_mos_bank(self, lane_idx):
+        """A bank view whose VT / I_spec rows are the selected lanes'.
+
+        The bank math is pure elementwise numpy, so swapping the (n,)
+        parameter arrays for (A, n) slices broadcasts the evaluation
+        over the lane axis with zero duplicated model code.
+        """
+        if self._mos_vt_b is None:
+            return self._mos_bank
+        bank = copy.copy(self._mos_bank)
+        bank.vt = self._mos_vt_b[lane_idx]
+        bank.i_spec = self._mos_ispec_b[lane_idx]
+        return bank
+
+    def lane_device_ops(self, lane: int, x: np.ndarray) -> dict:
+        """MOS element name -> operating point at ``x`` under the lane's
+        parameter overlay (the batched analogue of
+        :meth:`CircuitAssembler.device_operating_points`)."""
+        if self._mos_bank is None:
+            return {}
+        bank = self._mos_bank
+        if self._mos_vt_b is not None:
+            bank = copy.copy(bank)
+            bank.vt = self._mos_vt_b[lane]
+            bank.i_spec = self._mos_ispec_b[lane]
+        d, g, s, b = self._mos_terms
+        vd, vg, vs, vb = self._terminal_voltages(x, (d, g, s, b))
+        points = bank.operating_points(vd, vg, vs, vb)
+        return {m.name: op for m, op in zip(self._mos, points)}
+
+
+class _LaneDeviceOps(Mapping):
+    """Per-lane ``device_ops`` mapping, materialized on first access."""
+
+    def __init__(self, assembler: BatchAssembler, lane: int,
+                 x: np.ndarray) -> None:
+        self._assembler = assembler
+        self._lane = lane
+        self._x = x
+        self._data: dict | None = None
+
+    def _materialize(self) -> dict:
+        if self._data is None:
+            self._data = self._assembler.lane_device_ops(self._lane,
+                                                         self._x)
+        return self._data
+
+    def __getitem__(self, key):
+        return self._materialize()[key]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __len__(self) -> int:
+        return len(self._materialize())
+
+
+# -- batched Newton kernel ------------------------------------------------
+
+
+@dataclass
+class BatchDiagnostics:
+    """What the batched solve did for one population.
+
+    Attributes:
+        circuit: Circuit name.
+        batch: Population size B.
+        iterations: Stacked Newton iterations run across both batched
+            phases (shared clock).
+        active_history: Lanes still active entering each stacked
+            iteration -- the convergence-masking decay curve (phase 1
+            then the gmin rungs).
+        n_converged_batched: Lanes plain batched Newton converged
+            directly.
+        n_converged_gmin: Lanes the batched gmin-stepping continuation
+            rescued.
+        n_fallback: Lanes re-solved individually through the strategy
+            ladder.
+        n_failed: Lanes that failed the ladder too.
+        fallback_lanes: ``(lane index, reason)`` per handed-off lane.
+        wall_time: Seconds spent in the whole batched solve (stacked
+            loop plus fallbacks).
+    """
+
+    circuit: str
+    batch: int
+    iterations: int = 0
+    active_history: list[int] = field(default_factory=list)
+    n_converged_batched: int = 0
+    n_converged_gmin: int = 0
+    n_fallback: int = 0
+    n_failed: int = 0
+    fallback_lanes: list[tuple[int, str]] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    def describe(self) -> str:
+        decay = " -> ".join(str(n) for n in self.active_history[:12])
+        if len(self.active_history) > 12:
+            decay += " -> ..."
+        return (f"batched solve of {self.circuit!r}: B={self.batch}, "
+                f"{self.n_converged_batched} converged directly + "
+                f"{self.n_converged_gmin} via gmin stepping in "
+                f"{self.iterations} stacked iterations "
+                f"(active {decay}), {self.n_fallback} fell back to the "
+                f"ladder, {self.n_failed} failed "
+                f"({self.wall_time * 1e3:.1f} ms)")
+
+
+@dataclass
+class _BatchNewtonOutcome:
+    converged: np.ndarray            # (B,) bool, scoped to entry lanes
+    iterations: np.ndarray           # (B,) int, iterations this call
+    reasons: dict[int, str]          # lane -> why it left the batch loop
+    n_iterations: int
+
+
+def _newton_rounds(assembler: BatchAssembler, X: np.ndarray,
+                   lanes_idx: np.ndarray, options: NewtonOptions,
+                   gmin: float,
+                   active_history: list[int]) -> _BatchNewtonOutcome:
+    """One batched damped-Newton solve over ``lanes_idx``, in place.
+
+    The per-lane math mirrors the serial kernel exactly: same damping
+    rule, same update-norm convergence criterion
+    (:func:`~repro.spice.strategies.step_converged`), same stall window
+    -- applied with per-lane state.  Converged lanes freeze (their rows
+    stop being assembled and solved, shrinking the stacked system each
+    iteration); lanes with non-finite updates or a stalled trajectory
+    are kicked out with their serial-identical failure reason.
+    ``active_history`` accumulates the active-lane count entering each
+    iteration (the masking decay curve for diagnostics).
+    """
+    compiled = assembler.compiled
+    B, N = X.shape
+    n_nodes = len(compiled.node_index)
+    diag = np.arange(n_nodes)
+    converged = np.zeros(B, dtype=bool)
+    iterations = np.zeros(B, dtype=int)
+    stall_checkpoint = np.full(B, np.inf)
+    reasons: dict[int, str] = {}
+    active = np.asarray(lanes_idx, dtype=np.intp).copy()
+    tspan = telemetry.current_span() if telemetry.is_enabled() else None
+    iteration = 0
+    for iteration in range(1, options.max_iterations + 1):
+        n_active = active.size
+        if n_active == 0:
+            iteration -= 1
+            break
+        active_history.append(n_active)
+        jac = np.empty((n_active, N, N))
+        res = np.empty((n_active, N))
+        assembler.assemble_batch(jac, res, X[active], active)
+        if gmin > 0.0:
+            jac[:, diag, diag] += gmin
+            res[:, :n_nodes] += gmin * X[active][:, :n_nodes]
+        if tspan is not None:
+            tspan.inc("jacobian_factorizations", n_active)
+        dX = _solve_stacked(jac, res)
+        finite = np.all(np.isfinite(dX), axis=1)
+        if not finite.all():
+            for lane in active[~finite]:
+                reasons[int(lane)] = ("non-finite Newton update in "
+                                      f"{compiled.circuit.name}")
+                iterations[lane] = iteration
+            active = active[finite]
+            dX = dX[finite]
+            if active.size == 0:
+                if tspan is not None:
+                    tspan.event("batch-iter", i=iteration, n_active=0)
+                continue
+        v_updates = (np.abs(dX[:, :n_nodes]) if n_nodes
+                     else np.zeros((active.size, 1)))
+        biggest = (v_updates.max(axis=1) if v_updates.shape[1]
+                   else np.zeros(active.size))
+        scale = np.where(biggest <= options.max_step, 1.0,
+                         options.max_step / np.maximum(biggest, 1e-300))
+        X[active] += scale[:, None] * dX
+        iterations[active] = iteration
+        step_norm = biggest * scale
+        v_max = (np.abs(X[active][:, :n_nodes]).max(axis=1) if n_nodes
+                 else np.zeros(active.size))
+        conv = step_converged(step_norm, v_max, options) & (scale == 1.0)
+        if tspan is not None:
+            tspan.event("batch-iter", i=iteration,
+                        n_active=int(active.size),
+                        n_converged=int(conv.sum()),
+                        max_step_norm=float(step_norm.max(initial=0.0)))
+        keep = ~conv
+        converged[active[conv]] = True
+        if options.stall_window > 0 and \
+                iteration % options.stall_window == 0:
+            stalled = step_norm > 0.5 * stall_checkpoint[active]
+            stalled &= keep
+            for lane, norm in zip(active[stalled], step_norm[stalled]):
+                reasons[int(lane)] = (
+                    f"Newton stalled after {iteration} iterations in "
+                    f"{compiled.circuit.name} (update norm {norm:.3e} "
+                    f"failed to halve over the last "
+                    f"{options.stall_window} iterations)")
+            keep &= ~stalled
+            stall_checkpoint[active] = step_norm
+        active = active[keep]
+    for lane in active:
+        reasons[int(lane)] = (
+            f"Newton failed after {options.max_iterations} iterations "
+            f"in {compiled.circuit.name}")
+        iterations[lane] = iteration
+    return _BatchNewtonOutcome(converged=converged,
+                               iterations=iterations, reasons=reasons,
+                               n_iterations=iteration)
+
+
+def batch_newton(assembler: BatchAssembler, X: np.ndarray,
+                 options: NewtonOptions, gmin: float,
+                 active_history: list[int] | None = None,
+                 ) -> _BatchNewtonOutcome:
+    """Plain damped Newton over all lanes at once (in place on ``X``)."""
+    if active_history is None:
+        active_history = []
+    return _newton_rounds(assembler, X, np.arange(X.shape[0]), options,
+                          gmin, active_history)
+
+
+def batch_gmin_stepping(assembler: BatchAssembler, X: np.ndarray,
+                        lanes_idx: np.ndarray, options: NewtonOptions,
+                        active_history: list[int],
+                        start_exponent: int = 3, stop_exponent: int = 15,
+                        ) -> _BatchNewtonOutcome:
+    """Batched continuation in the shunt conductance.
+
+    The stacked analogue of
+    :class:`~repro.spice.strategies.GminSteppingStrategy` (same default
+    schedule): solve all lanes with a heavy shunt, relax it one decade
+    at a time down to ``options.gmin``, warm-starting each rung from
+    the previous one, then polish with a plain solve.  A lane that
+    fails any rung leaves the batch (its ``X`` row holds the last rung
+    it did converge -- callers fall back per-lane from the original
+    guess anyway); lanes that survive every rung converge exactly like
+    their serial counterparts.
+    """
+    B = X.shape[0]
+    converged = np.zeros(B, dtype=bool)
+    iterations = np.zeros(B, dtype=int)
+    reasons: dict[int, str] = {}
+    total_rounds = 0
+    active = np.asarray(lanes_idx, dtype=np.intp).copy()
+    tspan = telemetry.current_span() if telemetry.is_enabled() else None
+    schedule = [max(10.0 ** (-e), options.gmin)
+                for e in range(start_exponent, stop_exponent + 1)]
+    schedule.append(options.gmin)
+    for rung, gmin in enumerate(schedule):
+        if active.size == 0:
+            break
+        outcome = _newton_rounds(assembler, X, active, options, gmin,
+                                 active_history)
+        total_rounds += outcome.n_iterations
+        iterations += outcome.iterations
+        for lane, why in outcome.reasons.items():
+            reasons[lane] = (f"gmin rung {rung} (gmin={gmin:.1e}): "
+                             f"{why}")
+        if tspan is not None:
+            tspan.event("batch-gmin-step", gmin=gmin,
+                        n_active=int(active.size),
+                        iterations=outcome.n_iterations)
+        active = active[outcome.converged[active]]
+    converged[active] = True
+    return _BatchNewtonOutcome(converged=converged,
+                               iterations=iterations, reasons=reasons,
+                               n_iterations=total_rounds)
+
+
+def _solve_stacked(jac: np.ndarray, res: np.ndarray) -> np.ndarray:
+    """Solve every lane's system; singular lanes degrade to lstsq
+    instead of poisoning the whole stacked call."""
+    try:
+        return np.linalg.solve(jac, -res[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        dX = np.empty_like(res)
+        for k in range(jac.shape[0]):
+            try:
+                dX[k] = np.linalg.solve(jac[k], -res[k])
+            except np.linalg.LinAlgError:
+                dX[k], *_ = np.linalg.lstsq(jac[k], -res[k], rcond=None)
+        return dX
+
+
+# -- orchestration --------------------------------------------------------
+
+
+@dataclass
+class BatchOpResult:
+    """Per-lane operating points of one batched solve.
+
+    Attributes:
+        points: One :class:`~repro.spice.results.OpResult` per lane, in
+            lane order (NaN placeholders for lanes that failed every
+            strategy, recorded under ``on_error="skip"``).
+        failures: ``(lane index, error)`` per failed lane; the stored
+            :class:`~repro.errors.ConvergenceError` carries the full
+            ladder diagnostics.
+        diagnostics: The population-level :class:`BatchDiagnostics`.
+    """
+
+    points: list
+    failures: list[tuple[int, ConvergenceError]]
+    diagnostics: BatchDiagnostics
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
+
+
+def batch_operating_point(circuit: "Circuit",
+                          lanes: Sequence[LaneSpec],
+                          options: NewtonOptions | None = None,
+                          strategies=None,
+                          on_error: str = "raise",
+                          x0: np.ndarray | None = None) -> BatchOpResult:
+    """Solve one DC operating point per lane, stacked.
+
+    Every lane starts from the circuit's nodeset initial guess (or
+    ``x0``), exactly like a cold serial
+    :func:`~repro.spice.dc.operating_point`.  Lanes the batched Newton
+    loop cannot converge are re-solved individually through the serial
+    strategy ladder with the lane perturbation applied to the circuit
+    (and reverted afterwards), so the failure behaviour -- and the
+    forensic diagnostics of lanes that fail everything -- is identical
+    to the serial path.
+
+    ``on_error="raise"`` propagates the first failed lane's
+    :class:`~repro.errors.ConvergenceError`; ``"skip"`` records NaN
+    placeholder points and keeps going.
+    """
+    if on_error not in ("raise", "skip"):
+        raise NetlistError(
+            f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    options = options or NewtonOptions()
+    lanes = list(lanes)
+    with telemetry.span("batch-operating-point", circuit=circuit.name,
+                        batch=len(lanes)) as tspan:
+        return _batch_op(circuit, lanes, options, strategies, on_error,
+                         x0, tspan)
+
+
+def _ladder_gmin_rung(strategies) -> GminSteppingStrategy | None:
+    """The gmin-stepping rung of the effective ladder, if it has one.
+
+    The stacked phase 2 exists to mirror that rung; a ladder without
+    one (``strategies=(NewtonStrategy(),)`` in a robustness test, say)
+    must fail the same lanes batched as it would serially.
+    """
+    for strategy in (DEFAULT_LADDER if strategies is None else strategies):
+        if isinstance(strategy, GminSteppingStrategy):
+            return strategy
+    return None
+
+
+def _batch_op(circuit: "Circuit", lanes: list[LaneSpec],
+              options: NewtonOptions, strategies, on_error: str,
+              x0: np.ndarray | None, tspan) -> BatchOpResult:
+    from .dc import _nan_point, _package  # local: avoids import cycle
+
+    start = _time.perf_counter()
+    compiled = circuit.compile()
+    assembler = BatchAssembler(compiled, lanes)
+    guess = (circuit.initial_guess(compiled) if x0 is None else
+             np.asarray(x0, dtype=float))
+    if guess.shape != (compiled.size,):
+        raise NetlistError(
+            f"warm-start vector has wrong size {guess.shape}, "
+            f"expected ({compiled.size},)")
+    X = np.tile(guess, (len(lanes), 1))
+    tspan.inc("batch_lanes", len(lanes))
+    active_history: list[int] = []
+    # Phase 1: plain batched Newton, the analogue of NewtonStrategy.
+    phase1 = batch_newton(assembler, X, options, options.gmin,
+                          active_history)
+    # Phase 2: batched gmin stepping for the lanes plain Newton lost --
+    # restarted from the original guess, exactly like the serial
+    # ladder's second rung.  Only when the caller's ladder actually
+    # carries a gmin rung (the default ladder does): a custom
+    # ``strategies`` without one must fail the same lanes serially and
+    # batched, so the stacked phase mirrors the rung's own schedule and
+    # iteration budget -- or does not run at all.
+    gmin_rung = _ladder_gmin_rung(strategies)
+    pending1 = np.nonzero(~phase1.converged)[0]
+    phase2 = None
+    if pending1.size and gmin_rung is not None:
+        X[pending1] = guess
+        phase2 = batch_gmin_stepping(
+            assembler, X, pending1, gmin_rung._options(options),
+            active_history,
+            start_exponent=gmin_rung.start_exponent,
+            stop_exponent=gmin_rung.stop_exponent)
+    converged = phase1.converged.copy()
+    if phase2 is not None:
+        converged |= phase2.converged
+    diagnostics = BatchDiagnostics(
+        circuit=circuit.name, batch=len(lanes),
+        iterations=(phase1.n_iterations
+                    + (phase2.n_iterations if phase2 else 0)),
+        active_history=active_history,
+        n_converged_batched=int(phase1.converged.sum()),
+        n_converged_gmin=(int(phase2.converged.sum()) if phase2 else 0))
+
+    def _lane_stages(lane_index: int) -> list[StageReport]:
+        """The batched stages lane ``lane_index`` went through, as
+        serial-style stage reports (converged flag per phase)."""
+        stages = [StageReport(
+            strategy=BATCHED_STAGE,
+            converged=bool(phase1.converged[lane_index]),
+            iterations=int(phase1.iterations[lane_index]),
+            wall_time=0.0,
+            detail=phase1.reasons.get(lane_index, ""))]
+        if phase2 is not None and not phase1.converged[lane_index]:
+            stages.append(StageReport(
+                strategy=BATCHED_GMIN_STAGE,
+                converged=bool(phase2.converged[lane_index]),
+                iterations=int(phase2.iterations[lane_index]),
+                wall_time=0.0,
+                detail=phase2.reasons.get(lane_index, "")))
+        return stages
+
+    points: list = [None] * len(lanes)
+    failures: list[tuple[int, ConvergenceError]] = []
+    for lane_index in np.nonzero(converged)[0]:
+        lane_index = int(lane_index)
+        stages = _lane_stages(lane_index)
+        total = sum(s.iterations for s in stages)
+        lane_diag = SolverDiagnostics(
+            circuit=circuit.name, stages=stages,
+            rescued_by=stages[-1].strategy, total_iterations=total)
+        result = _package(compiled, X[lane_index], total, lane_diag)
+        result.device_ops = _LaneDeviceOps(assembler, lane_index,
+                                           result.x)
+        points[lane_index] = result
+
+    # Per-lane fallback: anything the stacked phases could not converge
+    # re-runs the full serial ladder from the same cold start.
+    pending = [k for k in range(len(lanes)) if points[k] is None]
+    diagnostics.n_fallback = len(pending)
+
+    def _lane_reason(k: int) -> str:
+        if phase2 is not None and k in phase2.reasons:
+            return phase2.reasons[k]
+        return phase1.reasons.get(k, "")
+
+    diagnostics.fallback_lanes = [(k, _lane_reason(k)) for k in pending]
+    if pending:
+        tspan.inc("batch_lane_fallbacks", len(pending))
+    first_error: ConvergenceError | None = None
+    for lane_index in pending:
+        lane = lanes[lane_index]
+        batched_stages = _lane_stages(lane_index)
+        batched_iters = sum(s.iterations for s in batched_stages)
+        undo = apply_lane(circuit, lane)
+        try:
+            x, lane_diag = run_ladder(circuit, compiled, guess.copy(),
+                                      None, options, strategies)
+        except ConvergenceError as error:
+            if error.diagnostics is not None:
+                error.diagnostics.stages[0:0] = batched_stages
+                error.diagnostics.total_iterations += batched_iters
+            failures.append((lane_index, error))
+            points[lane_index] = _nan_point(compiled, error.diagnostics)
+            tspan.event("lane-failed", lane=lane_index,
+                        label=lane.label, why=str(error))
+            if first_error is None:
+                first_error = error
+            continue
+        finally:
+            undo()
+        lane_diag.stages[0:0] = batched_stages
+        lane_diag.total_iterations += batched_iters
+        result = _package(compiled, x, lane_diag.total_iterations,
+                          lane_diag)
+        result.device_ops = _LaneDeviceOps(assembler, lane_index,
+                                           result.x)
+        points[lane_index] = result
+    diagnostics.n_failed = len(failures)
+    diagnostics.wall_time = _time.perf_counter() - start
+    tspan.annotate(n_converged_batched=diagnostics.n_converged_batched,
+                   n_converged_gmin=diagnostics.n_converged_gmin,
+                   n_fallback=diagnostics.n_fallback,
+                   n_failed=diagnostics.n_failed,
+                   iterations=diagnostics.iterations)
+    if failures and on_error == "raise":
+        raise first_error
+    return BatchOpResult(points=points, failures=failures,
+                         diagnostics=diagnostics)
+
+
+# -- analysis-layer specs -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchedOpMetric:
+    """A Monte-Carlo metric whose evaluation is one DC operating point.
+
+    The spec is *both* the serial metric function -- calling it with a
+    seed builds a fresh circuit, applies the drawn lane perturbation,
+    solves serially and measures -- and the vectorizable description
+    :class:`~repro.analysis.montecarlo.MonteCarlo` consumes under
+    ``backend="batched"``.  Both paths share :func:`apply_lane` /
+    ``draw``, so they see bit-identical perturbations.
+
+    Attributes:
+        build: Zero-argument factory for a fresh base circuit.
+        draw: ``(seed, circuit) -> LaneSpec``; must be a pure function
+            of the seed (same seed, same draw -- the batched and serial
+            backends both rely on it).
+        measure: ``OpResult -> {metric: value}``.
+        options / strategies: Solver overrides shared by both paths.
+    """
+
+    build: Callable[[], "Circuit"]
+    draw: Callable[[int, "Circuit"], LaneSpec]
+    measure: Callable[["OpResult"], Mapping[str, float]]
+    options: NewtonOptions | None = None
+    strategies: tuple | None = None
+
+    def __call__(self, seed: int) -> dict[str, float]:
+        from .dc import operating_point
+        circuit = self.build()
+        lane = self.draw(seed, circuit)
+        undo = apply_lane(circuit, lane)
+        try:
+            result = operating_point(circuit, self.options,
+                                     strategies=self.strategies)
+            return {name: float(value)
+                    for name, value in self.measure(result).items()}
+        finally:
+            undo()
+
+
+@dataclass(frozen=True)
+class BatchedOpSweep:
+    """A 1-D sweep whose evaluation is one DC operating point per value.
+
+    Serial path (calling the spec with a value) and the batched backend
+    of :func:`~repro.analysis.sweep.sweep_1d` share ``lane`` /
+    :func:`apply_lane`, so both stamp the swept value identically.
+    """
+
+    build: Callable[[], "Circuit"]
+    lane: Callable[[float, "Circuit"], LaneSpec]
+    measure: Callable[["OpResult"], Mapping[str, float]]
+    options: NewtonOptions | None = None
+    strategies: tuple | None = None
+
+    def __call__(self, value: float) -> dict[str, float]:
+        from .dc import operating_point
+        circuit = self.build()
+        spec = self.lane(float(value), circuit)
+        undo = apply_lane(circuit, spec)
+        try:
+            result = operating_point(circuit, self.options,
+                                     strategies=self.strategies)
+            return {name: float(v)
+                    for name, v in self.measure(result).items()}
+        finally:
+            undo()

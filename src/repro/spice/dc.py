@@ -130,11 +130,53 @@ def operating_point(circuit: Circuit,
     return _package(compiled, x, diagnostics.total_iterations, diagnostics)
 
 
+def _dc_sweep_batched(circuit: Circuit, source_name: str,
+                      values: list[float],
+                      options: NewtonOptions,
+                      strategies: Sequence[SolveStrategy] | None,
+                      on_error: str) -> SweepResult:
+    """Stacked-sweep backend: every point is one lane of a batched
+    ensemble solve.
+
+    Where the serial sweep warm-starts point k from point k-1, the
+    stacked solve has no sequential order to exploit -- so it solves
+    the *first* point alone as a pilot and seeds every lane from that
+    solution.  A smooth transfer curve then converges in a handful of
+    stacked Newton iterations instead of every lane climbing the full
+    gmin ladder from cold.  A failed pilot is not an error (its lane
+    gets a second chance inside the batch); the lanes just start cold.
+    """
+    from .batch import LaneSpec, apply_lane, batch_operating_point
+
+    lanes = [LaneSpec.source(source_name, value, label=f"{value:g}")
+             for value in values]
+    x0 = None
+    undo = apply_lane(circuit, lanes[0])
+    try:
+        pilot = operating_point(circuit, options, strategies=strategies)
+        x0 = pilot.x
+    except ConvergenceError:
+        pass
+    finally:
+        undo()
+    batch = batch_operating_point(circuit, lanes, options=options,
+                                  strategies=strategies, on_error="skip",
+                                  x0=x0)
+    if batch.failures and on_error == "raise":
+        raise batch.failures[0][1]
+    return SweepResult(parameter=source_name,
+                       values=np.asarray(values, dtype=float),
+                       points=batch.points,
+                       failures=[(index, str(error))
+                                 for index, error in batch.failures])
+
+
 def dc_sweep(circuit: Circuit, source_name: str,
              values: Sequence[float],
              options: NewtonOptions | None = None,
              strategies: Sequence[SolveStrategy] | None = None,
-             on_error: str = "raise") -> SweepResult:
+             on_error: str = "raise",
+             backend: str = "serial") -> SweepResult:
     """Sweep the DC value of an independent source.
 
     Each point warm-starts from the previous solution, which is both
@@ -153,15 +195,28 @@ def dc_sweep(circuit: Circuit, source_name: str,
       :class:`~repro.errors.ConvergenceError`;
     * ``"skip"``: record the point as NaN voltages, note it in
       :attr:`SweepResult.failures`, and continue from a cold start.
+
+    ``backend="batched"`` solves all points as one stacked ensemble
+    (see :mod:`repro.spice.batch`): every point becomes a lane of one
+    multi-lane Newton solve with per-point convergence masking, and
+    points the stacked loop cannot converge fall back to the serial
+    strategy ladder individually.
     """
     if on_error not in ("raise", "skip"):
         raise NetlistError(
             f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    if backend not in ("serial", "batched"):
+        raise NetlistError(
+            f"backend must be 'serial' or 'batched', got {backend!r}")
     options = options or NewtonOptions()
     element = circuit.element(source_name)
     if not isinstance(element, (VoltageSource, CurrentSource)):
         raise NetlistError(
             f"{source_name!r} is not an independent source")
+    if backend == "batched":
+        return _dc_sweep_batched(circuit, source_name,
+                                 [float(v) for v in values], options,
+                                 strategies, on_error)
     saved = element.waveform
     points: list[OpResult] = []
     failures: list[tuple[int, str]] = []

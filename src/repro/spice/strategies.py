@@ -72,6 +72,16 @@ class NewtonOptions:
     stall_window: int = 25
 
 
+def step_converged(step_norm, v_max, options: NewtonOptions):
+    """The Newton update-norm convergence criterion.
+
+    Shared between the serial kernel and the batched ensemble solver
+    (:mod:`repro.spice.batch`) so both paths accept a solution under
+    exactly the same rule; works elementwise on per-lane arrays.
+    """
+    return step_norm < options.vntol * (1.0 + options.reltol * v_max)
+
+
 def newton_solve(compiled: "CompiledCircuit", x0: np.ndarray,
                  time: float | None, options: NewtonOptions, gmin: float,
                  extra_stamp=None,
@@ -139,9 +149,10 @@ def _newton_kernel(compiled: "CompiledCircuit", x0: np.ndarray,
                         stall_checkpoint=(
                             None if stall_checkpoint == np.inf
                             else stall_checkpoint))
-        converged = biggest * scale < options.vntol * (
-            1.0 + options.reltol * float(np.abs(x[:n_nodes]).max()
-                                         if n_nodes else 0.0))
+        converged = step_converged(
+            biggest * scale,
+            float(np.abs(x[:n_nodes]).max() if n_nodes else 0.0),
+            options)
         if converged and scale == 1.0:
             return x, iteration
         if options.stall_window > 0 and \

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import math
+
 import numpy as np
 
 from .. import telemetry
@@ -82,10 +84,16 @@ class TransientTelemetry:
     def describe(self) -> str:
         rate = self.steps_rejected / max(
             1, self.steps_accepted + self.steps_rejected)
+        # dt_smallest is the identity of min() until a step commits; a
+        # run that died before its first commit must not report an
+        # "inf seconds" step size.
+        dt_text = (f"{self.dt_smallest:.3e} s"
+                   if math.isfinite(self.dt_smallest)
+                   else "n/a (no committed steps)")
         return (f"{self.steps_accepted} steps accepted, "
                 f"{self.steps_rejected} rejected ({rate:.0%}), "
                 f"{self.newton_iterations} Newton iterations, "
-                f"smallest dt {self.dt_smallest:.3e} s")
+                f"smallest dt {dt_text}")
 
 
 def _breakpoints(circuit: Circuit, t_stop: float) -> list[float]:

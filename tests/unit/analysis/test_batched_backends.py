@@ -1,0 +1,187 @@
+"""backend="batched" on the analysis runners: serial equivalence.
+
+One spec object (:class:`BatchedOpMetric` / :class:`BatchedOpSweep`)
+drives both paths -- called per item it is the serial metric function,
+handed to a batched runner it describes the stacked solve -- so these
+tests compare the *same* population under both execution models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import MonteCarlo
+from repro.analysis.sweep import sweep_1d
+from repro.devices.diode import Diode, DiodeParameters
+from repro.devices.mismatch import MismatchSampler
+from repro.errors import AnalysisError
+from repro.spice import (
+    BatchedOpMetric,
+    BatchedOpSweep,
+    Circuit,
+    LaneSpec,
+    NewtonOptions,
+    NewtonStrategy,
+    dc_sweep,
+)
+from repro.stscl.netlist_gen import stscl_inverter_circuit
+
+DIODE = Diode(DiodeParameters(name="junction", i_s=1e-16))
+
+#: Converges small source walks, defeated by the 8 V walk.
+TIGHT = NewtonOptions(max_iterations=20)
+
+
+def _diode_build() -> Circuit:
+    circuit = Circuit("flaky_diode")
+    circuit.add_vsource("V1", "in", "0", 1.0)
+    circuit.add_resistor("RS", "in", "a", 10.0)
+    circuit.add_diode("D1", "a", "0", DIODE)
+    return circuit
+
+
+def _diode_measure(result):
+    return {"v_a": result.voltages["a"]}
+
+
+def _flaky_draw(seed, circuit):
+    """Odd seeds demand the 8 V walk that defeats a Newton-only TIGHT
+    ladder -- a deterministic, *deliberately* non-convergent sample."""
+    value = 8.0 if seed % 2 else 0.5 + 0.1 * seed
+    return LaneSpec.source("V1", value, label=f"seed-{seed}")
+
+
+#: Serial call and batched lane both fail odd seeds the same way.
+FLAKY_SPEC = BatchedOpMetric(build=_diode_build, draw=_flaky_draw,
+                             measure=_diode_measure, options=TIGHT,
+                             strategies=(NewtonStrategy(),))
+
+
+class TestMonteCarloBatched:
+    def _mismatch_spec(self, design):
+        def build():
+            circuit, _ = stscl_inverter_circuit(design, 0.4)
+            return circuit
+
+        def draw(seed, circuit):
+            sampler = MismatchSampler(seed=seed)
+            vt, beta = sampler.sample_bank(
+                [m.device for m in circuit.mos_elements()])
+            return LaneSpec.mismatch(vt, beta, label=f"seed-{seed}")
+
+        def measure(result):
+            return {"v_diff": result.vdiff("outp", "outn")}
+
+        return BatchedOpMetric(build=build, draw=draw, measure=measure)
+
+    def test_summaries_match_serial_within_1e9(self, default_design):
+        """The acceptance bar: batched summary statistics within 1e-9
+        relative tolerance of the serial backend on the same seeds."""
+        spec = self._mismatch_spec(default_design)
+        serial = MonteCarlo(spec, n_runs=8).run()
+        batched = MonteCarlo(spec, n_runs=8, backend="batched").run()
+        for name in serial:
+            np.testing.assert_allclose(batched[name].values,
+                                       serial[name].values, rtol=1e-9)
+            assert batched[name].mean == pytest.approx(
+                serial[name].mean, rel=1e-9)
+            assert batched[name].std == pytest.approx(
+                serial[name].std, rel=1e-9)
+        assert serial.failed_seeds == batched.failed_seeds == []
+
+    def test_failed_seed_records_match_serial(self):
+        """A deliberately non-convergent sample produces the same
+        failed-seed record, in the same order, under both backends."""
+        serial = MonteCarlo(FLAKY_SPEC, n_runs=6, on_error="skip").run()
+        batched = MonteCarlo(FLAKY_SPEC, n_runs=6, on_error="skip",
+                             backend="batched").run()
+        assert [seed for seed, _ in serial.failed_seeds] == [1, 3, 5]
+        assert ([seed for seed, _ in batched.failed_seeds]
+                == [seed for seed, _ in serial.failed_seeds])
+        np.testing.assert_allclose(batched["v_a"].values,
+                                   serial["v_a"].values, rtol=1e-9)
+
+    def test_raise_policy_propagates_like_serial(self):
+        from repro.errors import ConvergenceError
+        with pytest.raises(ConvergenceError):
+            MonteCarlo(FLAKY_SPEC, n_runs=2, backend="batched").run()
+
+    def test_backend_validated(self):
+        with pytest.raises(AnalysisError):
+            MonteCarlo(FLAKY_SPEC, backend="vectorized")
+
+    def test_batched_excludes_process_pool(self):
+        with pytest.raises(AnalysisError, match="n_workers"):
+            MonteCarlo(FLAKY_SPEC, backend="batched", n_workers=4)
+
+    def test_plain_callable_rejected_with_guidance(self):
+        mc = MonteCarlo(lambda seed: {"x": 1.0}, n_runs=2,
+                        backend="batched")
+        with pytest.raises(AnalysisError, match="BatchedOpMetric"):
+            mc.run()
+
+
+def _sweep_lane(value, circuit):
+    return LaneSpec.source("V1", value, label=f"{value:g}")
+
+
+SWEEP_SPEC = BatchedOpSweep(build=_diode_build, lane=_sweep_lane,
+                            measure=_diode_measure)
+
+FLAKY_SWEEP_SPEC = BatchedOpSweep(build=_diode_build, lane=_sweep_lane,
+                                  measure=_diode_measure, options=TIGHT,
+                                  strategies=(NewtonStrategy(),))
+
+
+class TestSweepBatched:
+    def test_table_matches_serial(self):
+        values = [0.3, 0.6, 1.0, 2.0]
+        serial = sweep_1d("v_in", values, SWEEP_SPEC)
+        batched = sweep_1d("v_in", values, SWEEP_SPEC, backend="batched")
+        np.testing.assert_allclose(batched.column("v_a"),
+                                   serial.column("v_a"), rtol=1e-9)
+        assert batched.failures == serial.failures == ()
+
+    def test_skip_policy_nan_rows_match_serial(self):
+        """The non-convergent point surfaces as the same NaN row and
+        failure record under both backends."""
+        values = [0.5, 8.0, 1.0]
+        serial = sweep_1d("v_in", values, FLAKY_SWEEP_SPEC,
+                          on_error="skip")
+        batched = sweep_1d("v_in", values, FLAKY_SWEEP_SPEC,
+                           on_error="skip", backend="batched")
+        assert [k for k, _ in serial.failures] == [1]
+        assert ([k for k, _ in batched.failures]
+                == [k for k, _ in serial.failures])
+        assert np.isnan(batched.column("v_a")[1])
+        np.testing.assert_allclose(batched.column("v_a")[[0, 2]],
+                                   serial.column("v_a")[[0, 2]],
+                                   rtol=1e-9)
+
+    def test_plain_callable_rejected_with_guidance(self):
+        with pytest.raises(AnalysisError, match="BatchedOpSweep"):
+            sweep_1d("x", [1.0], lambda v: {"m": v}, backend="batched")
+
+
+class TestDcSweepBatched:
+    def test_points_match_serial(self, default_design):
+        circuit, _ = stscl_inverter_circuit(default_design, 0.4)
+        values = np.linspace(0.0, 0.4, 7)
+        serial = dc_sweep(circuit, "vinp", values)
+        batched = dc_sweep(circuit, "vinp", values, backend="batched")
+        for s, b in zip(serial.points, batched.points):
+            for node in s.voltages:
+                assert b.voltages[node] == pytest.approx(
+                    s.voltages[node], abs=1e-9)
+
+    def test_skip_policy_matches_serial(self):
+        circuit = _diode_build()
+        values = [0.5, 8.0]
+        serial = dc_sweep(circuit, "V1", values, options=TIGHT,
+                          strategies=(NewtonStrategy(),), on_error="skip")
+        batched = dc_sweep(circuit, "V1", values, options=TIGHT,
+                           strategies=(NewtonStrategy(),),
+                           on_error="skip", backend="batched")
+        assert [k for k, _ in serial.failures] == [1]
+        assert ([k for k, _ in batched.failures]
+                == [k for k, _ in serial.failures])
+        assert not batched.points[1].converged

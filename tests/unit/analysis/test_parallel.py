@@ -1,0 +1,80 @@
+"""The deterministic process-pool helpers: ordering and chunking.
+
+Chunking only regroups pool submissions to amortise pickle/IPC cost;
+the result stream must stay element-for-element identical to the
+unchunked pool -- which itself mirrors the serial loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import MonteCarlo
+from repro.analysis.parallel import (default_chunksize, run_ordered,
+                                     validate_workers)
+from repro.errors import AnalysisError
+
+
+def _square(value):
+    """Module-level so the pool can pickle it."""
+    return value * value
+
+
+def _seeded_gaussian(seed):
+    rng = np.random.default_rng(seed)
+    return {"v": float(rng.normal(0.0, 1.0))}
+
+
+class TestChunkHeuristic:
+    def test_four_chunks_per_worker(self):
+        # 80 tasks on 2 workers: 8 chunks of 10.
+        assert default_chunksize(80, 2) == 10
+
+    def test_small_populations_stay_one_per_submission(self):
+        assert default_chunksize(3, 4) == 1
+        assert default_chunksize(1, 1) == 1
+
+    def test_ceil_division_leaves_no_orphan_chunk(self):
+        # 81 tasks / (2 workers * 4) -> ceil = 11 per chunk.
+        assert default_chunksize(81, 2) == 11
+
+    def test_degenerate_inputs(self):
+        assert default_chunksize(0, 4) == 1
+
+
+class TestRunOrdered:
+    def test_results_keep_task_order(self):
+        tasks = [(k,) for k in range(23)]
+        results = run_ordered(_square, tasks, n_workers=2)
+        assert results == [k * k for k in range(23)]
+
+    def test_explicit_chunksize_is_honoured(self):
+        tasks = [(k,) for k in range(10)]
+        for chunksize in (1, 3, 10, 99):
+            assert run_ordered(_square, tasks, 2,
+                               chunksize=chunksize) == \
+                [k * k for k in range(10)]
+
+    def test_chunksize_validated(self):
+        with pytest.raises(AnalysisError):
+            run_ordered(_square, [(1,)], 2, chunksize=0)
+
+    def test_workers_validation(self):
+        assert validate_workers(None) == 1
+        with pytest.raises(AnalysisError):
+            validate_workers(0)
+
+
+class TestChunkedMonteCarlo:
+    def test_chunked_pool_is_bit_identical_to_serial(self):
+        """Enough seeds that the default chunksize exceeds one: the
+        summaries must still be bit-identical to the serial loop."""
+        n_runs = 24  # chunksize 3 on 2 workers
+        assert default_chunksize(n_runs, 2) > 1
+        serial = MonteCarlo(_seeded_gaussian, n_runs=n_runs).run()
+        chunked = MonteCarlo(_seeded_gaussian, n_runs=n_runs,
+                             n_workers=2).run()
+        np.testing.assert_array_equal(serial["v"].values,
+                                      chunked["v"].values)
+        assert serial["v"].mean == chunked["v"].mean
+        assert serial["v"].std == chunked["v"].std
+        assert serial["v"].p05 == chunked["v"].p05

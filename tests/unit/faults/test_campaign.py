@@ -150,3 +150,50 @@ class TestStandardAdcCampaign:
         assert report.worst("inl").fault in (
             "bias-open-coarse", "bias-open-fine",
             "stuck-coarse[3]-low", "stuck-coarse[5]-high")
+
+
+def op_mid_voltage(result) -> dict[str, float]:
+    """Batched-contract metric: reads a solved OpResult directly."""
+    return {"v_mid": result.voltage("mid")}
+
+
+class TestBatchedCampaign:
+    FAULTS = [ResistorDrift("R2", 3.0),
+              BridgedNodes("mid", "0", resistance=1.0),  # structural
+              _Explosive()]
+
+    def test_batched_report_matches_serial(self):
+        """Lane-expressible faults solved stacked, structural faults
+        through the rebuild path -- one report, same numbers as serial."""
+        serial = FaultCampaign(build=divider, metric_fn=mid_voltage,
+                               faults=self.FAULTS).run()
+        batched = FaultCampaign(build=divider, metric_fn=op_mid_voltage,
+                                faults=self.FAULTS,
+                                backend="batched").run()
+        assert batched.baseline["v_mid"] == pytest.approx(
+            serial.baseline["v_mid"], rel=1e-9)
+        assert [o.fault for o in batched.outcomes] == [
+            o.fault for o in serial.outcomes]
+        for got, want in zip(batched.outcomes, serial.outcomes):
+            assert got.evaluated == want.evaluated
+            if got.evaluated:
+                assert got.deltas["v_mid"] == pytest.approx(
+                    want.deltas["v_mid"], rel=1e-9, abs=1e-12)
+
+    def test_backend_validated(self):
+        with pytest.raises(AnalysisError):
+            FaultCampaign(build=divider, metric_fn=op_mid_voltage,
+                          faults=self.FAULTS, backend="gpu")
+
+    def test_batched_excludes_process_pool(self):
+        with pytest.raises(AnalysisError, match="n_workers"):
+            FaultCampaign(build=divider, metric_fn=op_mid_voltage,
+                          faults=self.FAULTS, backend="batched",
+                          n_workers=2)
+
+    def test_batched_requires_a_circuit_target(self):
+        campaign = FaultCampaign(build=lambda: object(),
+                                 metric_fn=op_mid_voltage,
+                                 faults=self.FAULTS, backend="batched")
+        with pytest.raises(AnalysisError, match="Circuit"):
+            campaign.run()

@@ -1,0 +1,283 @@
+"""Batched ensemble Newton: lanes, equivalence, fallback, telemetry.
+
+The contract under test: a :func:`batch_operating_point` over B lanes
+is *indistinguishable* from B serial :func:`operating_point` calls with
+the lane perturbation applied -- same solutions (to float tolerance),
+same failures with the same diagnostics, same ladder semantics -- just
+solved as one stacked tensor.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.devices.diode import Diode, DiodeParameters
+from repro.errors import AnalysisError, ConvergenceError, NetlistError
+from repro.spice import (
+    Circuit,
+    LaneSpec,
+    NewtonOptions,
+    NewtonStrategy,
+    apply_lane,
+    batch_operating_point,
+    operating_point,
+)
+from repro.spice.batch import BATCHED_GMIN_STAGE, BATCHED_STAGE
+
+DIODE = Diode(DiodeParameters(name="junction", i_s=1e-16))
+
+#: Enough for small source walks, far too little for the 8 V walk.
+TIGHT = NewtonOptions(max_iterations=20)
+
+
+def diode_circuit(v_in: float = 1.0) -> Circuit:
+    """V source into a diode through 10 ohms (damped-Newton walk)."""
+    circuit = Circuit("batch_diode")
+    circuit.add_vsource("V1", "in", "0", v_in)
+    circuit.add_resistor("RS", "in", "a", 10.0)
+    circuit.add_diode("D1", "a", "0", DIODE)
+    return circuit
+
+
+def source_lanes(values) -> list[LaneSpec]:
+    return [LaneSpec.source("V1", float(v), label=f"{v:g}")
+            for v in values]
+
+
+class TestLaneSpec:
+    def test_mismatch_constructor(self):
+        lane = LaneSpec.mismatch(np.array([1e-3, -2e-3]),
+                                 np.array([1.01, 0.99]), label="s0")
+        assert lane.label == "s0"
+        assert lane.vt_delta.shape == (2,)
+
+    def test_source_constructor(self):
+        lane = LaneSpec.source("V1", 2.5)
+        assert lane.source_values == (("V1", 2.5),)
+
+    def test_apply_and_undo_restore_the_circuit(self):
+        circuit = diode_circuit()
+        r_before = circuit.element("RS").resistance
+        undo = apply_lane(circuit, LaneSpec(
+            resistor_scale=(("RS", 2.0),), source_values=(("V1", 0.5),)))
+        assert circuit.element("RS").resistance == pytest.approx(
+            2.0 * r_before)
+        undo()
+        assert circuit.element("RS").resistance == r_before
+        assert operating_point(circuit).voltage("in") == pytest.approx(1.0)
+
+    def test_wrong_vt_length_rejected(self):
+        circuit = diode_circuit()  # no MOS devices at all
+        with pytest.raises(AnalysisError):
+            apply_lane(circuit, LaneSpec(vt_delta=np.array([1e-3])))
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(AnalysisError):
+            batch_operating_point(diode_circuit(),
+                                  [LaneSpec(source_values=(("nope", 1.0),))])
+
+    def test_nonpositive_resistor_factor_rejected(self):
+        with pytest.raises(AnalysisError):
+            batch_operating_point(
+                diode_circuit(),
+                [LaneSpec(resistor_scale=(("RS", 0.0),))])
+
+    def test_empty_lane_list_rejected(self):
+        with pytest.raises(AnalysisError):
+            batch_operating_point(diode_circuit(), [])
+
+
+class TestEquivalence:
+    def test_source_lanes_match_serial_solves(self):
+        """Every lane lands on the point the serial solver finds for
+        the same source value."""
+        values = [0.3, 0.6, 1.0, 1.5, 2.0]
+        batch = batch_operating_point(diode_circuit(), source_lanes(values))
+        for value, point in zip(values, batch.points):
+            serial = operating_point(diode_circuit(value))
+            assert point.voltage("a") == pytest.approx(
+                serial.voltage("a"), abs=1e-12)
+            assert point.voltage("in") == pytest.approx(value)
+
+    def test_resistor_lanes_match_serial(self):
+        factors = [0.5, 1.0, 4.0]
+        lanes = [LaneSpec(resistor_scale=(("RS", f),)) for f in factors]
+        batch = batch_operating_point(diode_circuit(), lanes)
+        for factor, point in zip(factors, batch.points):
+            circuit = diode_circuit()
+            circuit.element("RS").resistance *= factor
+            serial = operating_point(circuit)
+            assert point.voltage("a") == pytest.approx(
+                serial.voltage("a"), abs=1e-12)
+
+    def test_branch_currents_are_per_lane(self):
+        batch = batch_operating_point(diode_circuit(),
+                                      source_lanes([0.5, 2.0]))
+        i0 = batch.points[0].branch_currents["V1"]
+        i1 = batch.points[1].branch_currents["V1"]
+        assert abs(i1) > abs(i0)  # more drive, more current
+
+    def test_device_ops_reflect_the_lane_overlay(self, default_design):
+        """Each lane's MOS operating points are evaluated under that
+        lane's VT overlay, not the nominal bank."""
+        from repro.stscl.netlist_gen import stscl_inverter_circuit
+
+        circuit, _ = stscl_inverter_circuit(default_design, 0.4)
+        n = len(circuit.mos_elements())
+        name = circuit.mos_elements()[0].name
+        lanes = [LaneSpec.mismatch(np.zeros(n)),
+                 LaneSpec.mismatch(np.full(n, 20e-3))]
+        batch = batch_operating_point(circuit, lanes)
+        ops0 = batch.points[0].device_ops[name]
+        ops1 = batch.points[1].device_ops[name]
+        assert ops0.ids != ops1.ids
+
+    def test_mos_mismatch_lanes_match_serial(self, default_design):
+        """VT/beta overlays on a real MOS circuit reproduce the serial
+        per-device perturbation exactly."""
+        import dataclasses
+        from repro.stscl.netlist_gen import stscl_inverter_circuit
+
+        def lane_for(seed):
+            rng = np.random.default_rng(seed)
+            circuit, _ = stscl_inverter_circuit(default_design, 0.4)
+            n = len(circuit.mos_elements())
+            return (np.array([rng.normal(0.0, 5e-3) for _ in range(n)]),
+                    np.array([1.0 + rng.normal(0.0, 0.01)
+                              for _ in range(n)]))
+
+        seeds = [3, 4]
+        circuit, _ = stscl_inverter_circuit(default_design, 0.4)
+        lanes = [LaneSpec.mismatch(*lane_for(seed)) for seed in seeds]
+        batch = batch_operating_point(circuit, lanes)
+        for seed, point in zip(seeds, batch.points):
+            serial_circuit, _ = stscl_inverter_circuit(default_design, 0.4)
+            vt, beta = lane_for(seed)
+            for k, element in enumerate(serial_circuit.mos_elements()):
+                element.device = dataclasses.replace(
+                    element.device,
+                    vt_shift=element.device.vt_shift + vt[k],
+                    beta_factor=element.device.beta_factor * beta[k])
+            serial = operating_point(serial_circuit)
+            for node in serial.voltages:
+                assert point.voltages[node] == pytest.approx(
+                    serial.voltages[node], abs=1e-9)
+
+    def test_warm_start_vector_validated(self):
+        with pytest.raises(NetlistError):
+            batch_operating_point(diode_circuit(), source_lanes([1.0]),
+                                  x0=np.zeros(99))
+
+
+class TestLadderSemantics:
+    def test_gmin_phase_respects_a_newton_only_ladder(self):
+        """A ladder without a gmin rung must fail the same lanes
+        batched as serially -- the stacked gmin phase may not rescue
+        lanes the caller's ladder could not."""
+        lanes = source_lanes([0.5, 8.0])  # 8 V walk defeats TIGHT Newton
+        with pytest.raises(ConvergenceError):
+            operating_point(diode_circuit(8.0), TIGHT,
+                            strategies=(NewtonStrategy(),))
+        batch = batch_operating_point(diode_circuit(), lanes,
+                                      options=TIGHT,
+                                      strategies=(NewtonStrategy(),),
+                                      on_error="skip")
+        assert [index for index, _ in batch.failures] == [1]
+        assert batch.points[0].converged
+        assert not batch.points[1].converged
+
+    def test_failed_lane_gets_nan_placeholder_and_diagnostics(self):
+        batch = batch_operating_point(diode_circuit(),
+                                      source_lanes([8.0]),
+                                      options=TIGHT,
+                                      strategies=(NewtonStrategy(),),
+                                      on_error="skip")
+        point = batch.points[0]
+        assert all(np.isnan(v) for v in point.voltages.values())
+        _, error = batch.failures[0]
+        # Forensics: the batched attempt is on record ahead of the
+        # serial ladder stages it fell back to.
+        stages = [s.strategy for s in error.diagnostics.stages]
+        assert stages[0] == BATCHED_STAGE
+        assert "newton" in stages
+
+    def test_on_error_raise_propagates_the_first_failure(self):
+        with pytest.raises(ConvergenceError):
+            batch_operating_point(diode_circuit(), source_lanes([8.0]),
+                                  options=TIGHT,
+                                  strategies=(NewtonStrategy(),))
+
+    def test_fallback_rescues_via_the_full_ladder(self):
+        """TIGHT options defeat both the stacked phases on the 8 V
+        walk; the per-lane fallback climbs the full serial ladder and
+        still delivers the solution."""
+        batch = batch_operating_point(diode_circuit(),
+                                      source_lanes([8.0]), options=TIGHT)
+        point = batch.points[0]
+        assert point.converged
+        assert 0.7 < point.voltage("a") < 1.1
+        assert batch.diagnostics.n_fallback == 1
+        # The lane's diagnostics tell the whole story: batched stages
+        # first, then the serial rungs that rescued it.
+        stages = [s.strategy for s in point.diagnostics.stages]
+        assert stages[0] == BATCHED_STAGE
+        assert BATCHED_GMIN_STAGE in stages
+        assert point.diagnostics.rescued_by == "source-stepping"
+
+    def test_converged_lane_diagnostics_name_the_batched_stage(self):
+        batch = batch_operating_point(diode_circuit(),
+                                      source_lanes([0.5, 1.0]))
+        for point in batch.points:
+            assert point.diagnostics.rescued_by in (BATCHED_STAGE,
+                                                    BATCHED_GMIN_STAGE)
+            assert point.diagnostics.total_iterations == point.iterations
+
+
+class TestDiagnosticsAndTelemetry:
+    def test_batch_diagnostics_describe(self):
+        batch = batch_operating_point(diode_circuit(),
+                                      source_lanes([0.5, 1.0, 2.0]))
+        text = batch.diagnostics.describe()
+        assert "B=3" in text
+        assert "0 failed" in text
+
+    def test_counters_reconcile_with_the_population(self):
+        lanes = source_lanes([0.5, 8.0])
+        with telemetry.tracing("batch-test") as trace:
+            batch_operating_point(diode_circuit(), lanes, options=TIGHT,
+                                  strategies=(NewtonStrategy(),),
+                                  on_error="skip")
+        counters = trace.total_counters()
+        assert counters["batch_lanes"] == 2
+        assert counters["batch_lane_fallbacks"] == 1
+        assert counters["jacobian_factorizations"] > 0
+        assert counters["device_bank_evals"] > 0
+
+    def test_active_mask_decays_as_lanes_converge(self):
+        """Easy and hard lanes in one batch: the active population must
+        shrink while iterations continue for the stragglers."""
+        batch = batch_operating_point(diode_circuit(),
+                                      source_lanes([0.3, 1.0, 4.0]))
+        history = batch.diagnostics.active_history
+        assert history[0] == 3
+        assert history[-1] < history[0]
+
+
+class TestUnsupportedCircuits:
+    def test_foreign_elements_are_diagnosed(self):
+        """An element type outside the vectorized banks (a user
+        subclass stamped per-element) cannot ride the stacked path; the
+        error says so instead of silently mis-solving."""
+        from repro.spice.elements import Element
+
+        class Shunt(Element):
+            def __init__(self):
+                super().__init__("X1", ("in", "0"))
+
+            def stamp(self, st, x, time):
+                st.add_conductance(self._idx[0], self._idx[1], 1e-6)
+
+        circuit = diode_circuit()
+        circuit._register(Shunt())
+        with pytest.raises(AnalysisError, match="batched"):
+            batch_operating_point(circuit, source_lanes([1.0]))

@@ -185,3 +185,18 @@ class TestTelemetry:
         assert error.stage == "rejection-budget"
         assert error.diagnostics.steps_rejected == 4
         assert "rejection budget" in str(error)
+
+    def test_describe_without_committed_steps_reports_na(self):
+        """Freshly-initialised telemetry (or a run that died before its
+        first commit) must not render ``min()``'s infinity identity as
+        an 'inf seconds' step size."""
+        from repro.spice.transient import TransientTelemetry
+
+        telemetry = TransientTelemetry()
+        text = telemetry.describe()
+        assert "inf" not in text
+        assert "n/a" in text
+        # One committed step restores the numeric report.
+        telemetry.steps_accepted = 1
+        telemetry.dt_smallest = 2.5e-9
+        assert "2.500e-09 s" in telemetry.describe()
