@@ -15,8 +15,9 @@ from repro.bench import (ALLOW_REGRESSION_ENV, BENCH_SCHEMA, BenchResult,
                          write_report)
 from repro.errors import AnalysisError
 
-ALL_CASES = {"op_chain", "dc_sweep", "transient", "montecarlo",
-             "batched_montecarlo", "batched_sweep"}
+ALL_CASES = {"op_chain", "dc_sweep", "transient", "transient_lte",
+             "ac_sweep", "montecarlo", "batched_montecarlo",
+             "batched_sweep"}
 
 
 def test_quick_benchmarks_produce_all_cases(tmp_path):
@@ -133,3 +134,74 @@ def test_cli_compare_gates_and_escape_hatch(tmp_path, monkeypatch):
                           timeout=600, env=env)
     assert proc.returncode == 0, proc.stdout
     assert "regression tolerated" in proc.stdout
+
+
+def test_stacked_ac_is_at_least_5x_faster_than_loop():
+    """Acceptance pin for the stacked-frequency AC fast path: on a
+    >= 200-point grid the stacked backend beats the per-frequency loop
+    by >= 5x.  The operating point is precomputed and shared so only
+    the frequency solve is timed (best-of-5 per backend)."""
+    import time
+
+    import numpy as np
+
+    from repro.bench.perf import _VDD, _design
+    from repro.spice import operating_point
+    from repro.spice.ac import ac_analysis
+    from repro.stscl.netlist_gen import stscl_inverter_circuit
+
+    circuit, _ = stscl_inverter_circuit(_design(), _VDD)
+    circuit.element("vinp").ac_mag = 1.0
+    op = operating_point(circuit)
+    freqs = np.logspace(2.0, 9.0, 601)
+
+    def best_of(backend, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            ac_analysis(circuit, freqs, backend=backend, op=op)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    best_of("stacked", repeats=1)  # warm both paths before timing
+    best_of("loop", repeats=1)
+    stacked = best_of("stacked")
+    loop = best_of("loop")
+    assert loop / stacked >= 5.0, (
+        f"stacked {stacked * 1e3:.2f} ms vs loop {loop * 1e3:.2f} ms "
+        f"= {loop / stacked:.1f}x, expected >= 5x")
+
+
+def test_lte_bench_config_is_no_less_accurate_than_legacy():
+    """Acceptance pin for the transient fast path: at the benchmark's
+    LTE settings the D-latch waveforms are at least as close to a
+    dense-step reference as the pre-LTE heuristic (``dt_max = t_d/15``)
+    was, while committing far fewer steps."""
+    import numpy as np
+
+    from repro.bench.perf import _design, _latch_circuit
+    from repro.spice import TransientOptions, transient
+
+    design = _design()
+    t_d = design.delay()
+
+    def run(**overrides):
+        return transient(_latch_circuit(design), 10.0 * t_d,
+                         TransientOptions(**overrides))
+
+    reference = run(step_control="legacy", dt_max=t_d / 100.0)
+
+    def error_vs_reference(result):
+        worst = 0.0
+        for node in reference.voltages:
+            resampled = np.interp(reference.time, result.time,
+                                  result.voltage(node))
+            worst = max(worst, float(np.max(
+                np.abs(resampled - reference.voltage(node)))))
+        return worst
+
+    legacy = run(step_control="legacy", dt_max=t_d / 15.0)
+    lte = run(reltol=4e-3, abstol=1e-4, dt_max=t_d / 2.5)
+    assert error_vs_reference(lte) <= error_vs_reference(legacy)
+    assert lte.telemetry.steps_accepted < \
+        0.7 * legacy.telemetry.steps_accepted

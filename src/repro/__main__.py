@@ -114,9 +114,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1
 
 
-#: Scenarios the ``trace`` subcommand can run (bench cases + faults).
-TRACE_SCENARIOS = ("op_chain", "dc_sweep", "transient", "montecarlo",
-                   "faults")
+#: Scenarios the ``trace`` subcommand can run (bench cases + faults;
+#: ``ac`` is the stacked-frequency ``ac_sweep`` bench case).
+TRACE_SCENARIOS = ("op_chain", "dc_sweep", "transient", "transient_lte",
+                   "ac", "montecarlo", "faults")
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -135,6 +136,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 "n_failed": len(report.failed)}
 
     scenarios["faults"] = faults_case
+    scenarios["ac"] = scenarios["ac_sweep"]
     case = scenarios[args.scenario]
     with telemetry.tracing(f"scenario-{args.scenario}",
                            scenario=args.scenario) as trace:

@@ -37,8 +37,10 @@ from ..stscl.netlist_gen import (
 )
 
 #: Format tag of the emitted JSON report (v2: per-case trace_counters;
-#: v3: batched-ensemble cases + numpy/BLAS/threading provenance meta).
-BENCH_SCHEMA = "repro-bench-perf/v3"
+#: v3: batched-ensemble cases + numpy/BLAS/threading provenance meta;
+#: v4: LTE-controlled transient + transient_lte / ac_sweep fast-path
+#: cases).
+BENCH_SCHEMA = "repro-bench-perf/v4"
 
 #: Environment variables that pin BLAS/OpenMP thread pools.  Recorded
 #: in the report (and pinned in CI) because an unpinned BLAS spawning a
@@ -103,8 +105,28 @@ def _bench_dc_sweep(n_points: int) -> Callable[[], dict]:
 
 
 def _bench_transient() -> dict:
-    """Clocked D-latch over ten gate delays (trap integration)."""
+    """Clocked D-latch over ten gate delays (trap integration).
+
+    Step sizes are LTE-controlled (the engine default): the waveform
+    error, not a hand-tuned ``dt_max``, bounds the step -- the dense
+    ``dt_max = t_d / 15`` cap of the pre-LTE heuristic is gone, which
+    is where the fast path's step-count (and wall-time) win comes
+    from.  Waveform accuracy against a dense-step reference is pinned
+    separately in ``benchmarks/perf/test_perf_bench.py``.
+    """
     design = _design()
+    t_d = design.delay()
+    circuit = _latch_circuit(design)
+    result = transient(circuit, 10.0 * t_d,
+                       TransientOptions(reltol=4e-3, abstol=1e-4,
+                                        dt_max=t_d / 2.5))
+    return {"steps": result.telemetry.steps_accepted,
+            "rejected": result.telemetry.steps_rejected,
+            "lte_rejections": result.telemetry.lte_rejections}
+
+
+def _latch_circuit(design: StsclGateDesign):
+    """The clocked D-latch workload shared by the transient cases."""
     t_d = design.delay()
     high, low = _VDD, _VDD - design.v_sw
     edge = t_d / 5.0
@@ -117,10 +139,55 @@ def _bench_transient() -> dict:
     c_n = pulse_wave(high, low, delay=t_d, rise=edge, fall=edge,
                      width=2 * t_d, period=4 * t_d)
     circuit, _ = stscl_latch_circuit(design, _VDD, d_p, d_n, c_p, c_n)
-    result = transient(circuit, 10.0 * t_d,
-                       TransientOptions(dt_max=t_d / 15.0))
-    return {"steps": result.telemetry.steps_accepted,
-            "rejected": result.telemetry.steps_rejected}
+    return circuit
+
+
+def _bench_transient_lte(n_stages: int) -> Callable[[], dict]:
+    """Pulse-driven STSCL buffer chain under the LTE controller.
+
+    Exercises the cross-step LU chord (one Jacobian carried over many
+    accepted steps of a settled chain) and the LTE rejection machinery
+    on the cascaded edges -- the workload behind the controller's
+    accepted-step regression pins.
+    """
+    def case() -> dict:
+        design = _design()
+        t_d = design.delay()
+        high, low = _VDD, _VDD - design.v_sw
+        edge = t_d / 5.0
+        in_p = pulse_wave(low, high, delay=t_d, rise=edge, fall=edge,
+                          width=3 * t_d, period=6 * t_d)
+        in_n = pulse_wave(high, low, delay=t_d, rise=edge, fall=edge,
+                          width=3 * t_d, period=6 * t_d)
+        circuit, _ = stscl_buffer_chain_circuit(
+            design, _VDD, n_stages, in_p, in_n)
+        result = transient(circuit, 12.0 * t_d,
+                           TransientOptions(dt_max=t_d / 2.0))
+        return {"n_stages": n_stages,
+                "steps": result.telemetry.steps_accepted,
+                "rejected": result.telemetry.steps_rejected,
+                "newton_rejections": result.telemetry.newton_rejections,
+                "lte_rejections": result.telemetry.lte_rejections}
+    return case
+
+
+def _bench_ac_sweep(n_frequencies: int) -> Callable[[], dict]:
+    """Stacked-frequency AC sweep of one inverter.
+
+    All frequencies of the log grid are solved through the stacked
+    backend (QZ sweep with chunked-tensor fallback); the loop backend
+    stays available for the speedup comparison in the perf tests.
+    """
+    def case() -> dict:
+        from ..spice.ac import ac_analysis
+        design = _design()
+        circuit, _ = stscl_inverter_circuit(design, _VDD)
+        circuit.element("vinp").ac_mag = 1.0
+        freqs = np.logspace(2.0, 9.0, n_frequencies)
+        result = ac_analysis(circuit, freqs, backend="stacked")
+        return {"n_frequencies": n_frequencies,
+                "n_nodes": len(result.voltages)}
+    return case
 
 
 def _mc_metric(seed: int) -> dict[str, float]:
@@ -211,10 +278,14 @@ def default_cases(quick: bool = False,
     n_points = 11 if quick else 31
     n_seeds = 4 if quick else 8
     n_lanes = 8 if quick else 32
+    n_stages = 2 if quick else 4
+    n_frequencies = 61 if quick else 241
     return {
         "op_chain": _bench_op_chain,
         "dc_sweep": _bench_dc_sweep(n_points),
         "transient": _bench_transient,
+        "transient_lte": _bench_transient_lte(n_stages),
+        "ac_sweep": _bench_ac_sweep(n_frequencies),
         "montecarlo": _bench_montecarlo(n_seeds, n_workers),
         "batched_montecarlo": _bench_batched_montecarlo(n_lanes),
         "batched_sweep": _bench_batched_sweep(n_points),

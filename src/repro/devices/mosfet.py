@@ -14,6 +14,7 @@ conducting NMOS and negative for a conducting PMOS.
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -247,52 +248,105 @@ class MosBank:
             dtype=float)
         self.lam_eff = np.array(
             [d.params.lambda_ / (d.l * 1e6) for d in devices], dtype=float)
+        # Precomputed packed / fused constants for evaluate()'s packed
+        # elementwise pipeline (see there); all are exact element
+        # copies or exact products, so results stay bit-identical to
+        # the unpacked formulation.
+        self._sign3 = np.tile(self.sign, 3)
+        self._ut2 = np.tile(self.ut, 2)
+        self._nut = self.n * self.ut
+        self._sign_ispec = self.sign * self.i_spec
+        self._ispec2 = np.tile(self.i_spec, 2)
+
+    def overlay(self, vt: np.ndarray, i_spec: np.ndarray) -> "MosBank":
+        """Shallow copy with ``vt`` / ``i_spec`` swapped for (lane-)
+        overlaid arrays -- ``(n,)`` or stacked ``(..., n)`` -- and every
+        derived packed constant rebuilt to match.  This is the only
+        supported way to vary bank parameters after construction:
+        assigning ``bank.i_spec`` directly leaves the precomputed
+        ``_sign_ispec`` / ``_ispec2`` products stale."""
+        bank = copy.copy(self)
+        bank.vt = vt
+        bank.i_spec = i_spec
+        bank._sign_ispec = bank.sign * i_spec
+        bank._ispec2 = np.tile(i_spec, 2)
+        return bank
 
     def evaluate(self, vd: np.ndarray, vg: np.ndarray, vs: np.ndarray,
                  vb: np.ndarray) -> MosBankResult:
         """Channel currents and all terminal partials, one entry per
         device."""
-        sign = self.sign
-        ug = sign * (vg - vb)
-        ud = sign * (vd - vb)
-        us = sign * (vs - vb)
+        # The whole pipeline runs on packed arrays so every elementwise
+        # kernel dispatches once over 2N/3N elements instead of two or
+        # three times over N -- at the handful-of-devices sizes MNA
+        # banks have, numpy dispatch overhead dominates the arithmetic.
+        # ufuncs are elementwise, negation is exact, and all fused
+        # constants preserve the original association order, so every
+        # result is bit-identical to the unpacked formulation.
+        # Packing happens along the trailing (device) axis so stacked
+        # leading dimensions -- the batch engine passes (B, n) lanes --
+        # ride through unchanged.
+        n = vd.shape[-1]
+        lead = vd.shape[:-1]
+        v3 = np.empty(lead + (3 * n,))
+        v3[..., :n] = vg
+        v3[..., n:2 * n] = vs
+        v3[..., 2 * n:] = vd
+        vb3 = np.empty(lead + (3 * n,))
+        vb3[..., :n] = vb
+        vb3[..., n:2 * n] = vb
+        vb3[..., 2 * n:] = vb
+        u3 = self._sign3 * (v3 - vb3)   # [ug, us, ud]
+        ug = u3[..., :n]
+        us = u3[..., n:2 * n]
+        ud = u3[..., 2 * n:]
         vp = (ug - self.vt) / self.n
 
-        ut = self.ut
-        a = (vp - us) / ut
-        b = (vp - ud) / ut
         # Fused interp_f / interp_f_derivative: both share softplus(v/2),
-        # so compute it once per argument (F = sp^2, F' = sp * sigmoid).
-        half_a = 0.5 * a
-        half_b = 0.5 * b
-        sp_a = np.logaddexp(0.0, half_a)
-        sp_b = np.logaddexp(0.0, half_b)
-        i_f = sp_a * sp_a
-        i_r = sp_b * sp_b
+        # so compute it once per argument (F = sp^2, F' = sp * sigmoid);
+        # the forward/reverse arguments a = (vp-us)/ut, b = (vp-ud)/ut
+        # ride the packed [us, ud] tail of u3.
+        vp2 = np.empty(lead + (2 * n,))
+        vp2[..., :n] = vp
+        vp2[..., n:] = vp
+        ab = (vp2 - u3[..., n:]) / self._ut2
+        half = 0.5 * ab
+        sp = np.logaddexp(0.0, half)
+        i_fr = sp * sp
+        i_f = i_fr[..., :n]
+        i_r = i_fr[..., n:]
         # Only the lower bound needs guarding: exp(-x) underflows benignly
         # for large positive x but overflows for x below about -709.
-        sig_a = 1.0 / (1.0 + np.exp(-np.maximum(half_a, -350.0)))
-        sig_b = 1.0 / (1.0 + np.exp(-np.maximum(half_b, -350.0)))
-        fpa = sp_a * sig_a
-        fpb = sp_b * sig_b
+        sig = 1.0 / (1.0 + np.exp(-np.maximum(half, -350.0)))
+        fp = sp * sig
 
         uds = ud - us
-        t = np.tanh(uds / _CLM_SMOOTH)
+        w = uds / _CLM_SMOOTH
+        t = np.tanh(w)
         sabs = uds * t
-        dsabs = t + (uds / _CLM_SMOOTH) * (1.0 - t * t)
+        dsabs = t + w * (1.0 - t * t)
         lam_eff = self.lam_eff
         clm = 1.0 + lam_eff * sabs
 
         core = i_f - i_r
-        d_ug = clm * (fpa - fpb) / (self.n * ut)
-        d_us = -clm * fpa / ut - core * lam_eff * dsabs
-        d_ud = clm * fpb / ut + core * lam_eff * dsabs
+        d_ug = clm * (fp[..., :n] - fp[..., n:]) / self._nut
+        # d_us = -clm fpa/ut - S and d_ud = clm fpb/ut + S share the
+        # packed sum (clm fp)/ut + S; the source half is then negated
+        # exactly.
+        clm2 = np.empty(lead + (2 * n,))
+        clm2[..., :n] = clm
+        clm2[..., n:] = clm
+        s_clm = core * lam_eff * dsabs
+        s2 = np.empty(lead + (2 * n,))
+        s2[..., :n] = s_clm
+        s2[..., n:] = s_clm
+        sum2 = clm2 * fp / self._ut2 + s2
 
-        i_spec = self.i_spec
-        ids = sign * i_spec * core * clm
-        p_g = i_spec * d_ug
-        p_d = i_spec * d_ud
-        p_s = i_spec * d_us
+        ids = self._sign_ispec * core * clm
+        p_g = self.i_spec * d_ug
+        p_sd = self._ispec2 * sum2
+        p_s = -p_sd[..., :n]
+        p_d = p_sd[..., n:]
         p_b = -(p_g + p_d + p_s)
         return MosBankResult(ids=ids, p_d=p_d, p_g=p_g, p_s=p_s, p_b=p_b,
                              i_f=i_f, i_r=i_r)

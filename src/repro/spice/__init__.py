@@ -31,6 +31,7 @@ from .dc import operating_point, dc_sweep, NewtonOptions
 from .strategies import (
     DEFAULT_LADDER,
     GminSteppingStrategy,
+    LuReuseState,
     NewtonStrategy,
     PseudoTransientStrategy,
     SolveStrategy,
@@ -61,7 +62,7 @@ __all__ = [
     "operating_point", "dc_sweep", "NewtonOptions",
     "SolveStrategy", "NewtonStrategy", "GminSteppingStrategy",
     "SourceSteppingStrategy", "PseudoTransientStrategy",
-    "SolverDiagnostics", "StageReport", "DEFAULT_LADDER",
+    "SolverDiagnostics", "StageReport", "DEFAULT_LADDER", "LuReuseState",
     "LaneSpec", "BatchAssembler", "BatchOpResult", "BatchDiagnostics",
     "batch_operating_point", "BatchedOpMetric", "BatchedOpSweep",
     "apply_lane",

@@ -75,6 +75,7 @@ class CircuitAssembler:
         self.compiled = compiled
         self.size = compiled.size
         self._signature: tuple | None = None
+        self._xg = np.empty(self.size + 1)
         self._partition()
         self.sync()
 
@@ -182,9 +183,15 @@ class CircuitAssembler:
             add(n, cp, -e.gm)
             add(n, cn, e.gm)
         self._g_const = g
-        # Source bookkeeping for the per-iteration RHS.
+        # Source bookkeeping for the per-iteration RHS.  Waveform values
+        # are memoized per timestamp: every Newton iteration of one
+        # transient attempt shares ``time``.  ``time=None`` (DC) is
+        # never cached -- sweeps mutate source values between solves
+        # without the timestamp changing.
         self._vsrc_branch_rows = [e._aux[0] for e in self._vsources]
         self._isrc_nodes = [e._idx for e in self._isources]
+        self._src_cache_time: float | None = None
+        self._src_cache: tuple[list, list] | None = None
 
     def _build_mos(self) -> None:
         mos = self._mos
@@ -198,6 +205,10 @@ class CircuitAssembler:
         self._mos_terms = (d, g, s, b)
         self._mos_d_mask = d >= 0
         self._mos_s_mask = s >= 0
+        self._mos_d_idx = d[self._mos_d_mask]
+        self._mos_s_idx = s[self._mos_s_mask]
+        self._mos_d_all = bool(self._mos_d_mask.all())
+        self._mos_s_all = bool(self._mos_s_mask.all())
         # Jacobian scatter: rows (d, s) x cols (d, g, s, b), with the
         # source-row block negated -- the exact entries of
         # MosElement.stamp, flattened.
@@ -207,6 +218,8 @@ class CircuitAssembler:
                                                        self.size)
         self._mos_sign = np.concatenate(
             [np.ones(4 * len(mos)), -np.ones(4 * len(mos))])
+        self._mos_valid_all = bool(self._mos_valid.all())
+        self._mos_buf = np.empty(8 * len(mos))
 
     def _build_diodes(self) -> None:
         diodes = self._diodes
@@ -220,6 +233,8 @@ class CircuitAssembler:
         self._diode_terms = (a, c)
         self._diode_a_mask = a >= 0
         self._diode_c_mask = c >= 0
+        self._diode_a_idx = a[self._diode_a_mask]
+        self._diode_c_idx = c[self._diode_c_mask]
         rows = np.concatenate([a, a, c, c])
         cols = np.concatenate([a, c, a, c])
         self._diode_valid, self._diode_flat = _masked_flat(rows, cols,
@@ -262,6 +277,8 @@ class CircuitAssembler:
         self._cap_c = np.array(cap_c, dtype=float)
         self._cap_pos_mask = self._cap_pos >= 0
         self._cap_neg_mask = self._cap_neg >= 0
+        self._cap_pos_idx = self._cap_pos[self._cap_pos_mask]
+        self._cap_neg_idx = self._cap_neg[self._cap_neg_mask]
         rows = np.concatenate([self._cap_pos, self._cap_pos,
                                self._cap_neg, self._cap_neg])
         cols = np.concatenate([self._cap_pos, self._cap_neg,
@@ -277,8 +294,10 @@ class CircuitAssembler:
     # -- hot path -------------------------------------------------------
 
     def _grounded(self, x: np.ndarray) -> np.ndarray:
-        """``x`` padded with a trailing 0 so ground index -1 reads 0."""
-        xg = np.empty(x.size + 1)
+        """``x`` padded with a trailing 0 so ground index -1 reads 0.
+        Returns a shared scratch buffer -- gather from it before the
+        next call; never hold a reference across calls."""
+        xg = self._xg
         xg[:-1] = x
         xg[-1] = 0.0
         return xg
@@ -296,11 +315,19 @@ class CircuitAssembler:
         np.dot(self._g_const, x, out=st.res)
         res = st.res
         # Independent-source excitations (Python loop: waveforms are
-        # user callables, and source counts are small).
-        for element, row in zip(self._vsources, self._vsrc_branch_rows):
-            res[row] -= element.value_at(time)
-        for element, (p, n) in zip(self._isources, self._isrc_nodes):
-            value = element.value_at(time)
+        # user callables, and source counts are small).  Cached per
+        # timestamp: Newton iterations of one attempt share ``time``.
+        if time is not None and time == self._src_cache_time:
+            vsrc_vals, isrc_vals = self._src_cache
+        else:
+            vsrc_vals = [e.value_at(time) for e in self._vsources]
+            isrc_vals = [e.value_at(time) for e in self._isources]
+            if time is not None:
+                self._src_cache_time = time
+                self._src_cache = (vsrc_vals, isrc_vals)
+        for row, value in zip(self._vsrc_branch_rows, vsrc_vals):
+            res[row] -= value
+        for (p, n), value in zip(self._isrc_nodes, isrc_vals):
             if p >= 0:
                 res[p] += value
             if n >= 0:
@@ -316,19 +343,32 @@ class CircuitAssembler:
             d, g, s, b = self._mos_terms
             vd, vg, vs, vb = self._terminal_voltages(x, (d, g, s, b))
             r = self._mos_bank.evaluate(vd, vg, vs, vb)
-            np.add.at(res, d[self._mos_d_mask], r.ids[self._mos_d_mask])
-            np.add.at(res, s[self._mos_s_mask], -r.ids[self._mos_s_mask])
-            partials = np.concatenate([r.p_d, r.p_g, r.p_s, r.p_b,
-                                       r.p_d, r.p_g, r.p_s, r.p_b])
-            values = (self._mos_sign * partials)[self._mos_valid]
+            np.add.at(res, self._mos_d_idx,
+                      r.ids if self._mos_d_all
+                      else r.ids[self._mos_d_mask])
+            np.add.at(res, self._mos_s_idx,
+                      -(r.ids if self._mos_s_all
+                        else r.ids[self._mos_s_mask]))
+            # [p_d p_g p_s p_b | -(same)] -- the drain-row block and the
+            # negated source-row block of every device, built in a
+            # reused buffer (negation is exact, so this matches the
+            # former sign-vector multiply bit for bit).
+            n = len(r.ids)
+            buf = self._mos_buf
+            buf[:n] = r.p_d
+            buf[n:2 * n] = r.p_g
+            buf[2 * n:3 * n] = r.p_s
+            buf[3 * n:4 * n] = r.p_b
+            np.negative(buf[:4 * n], out=buf[4 * n:])
+            values = buf if self._mos_valid_all else buf[self._mos_valid]
             np.add.at(jac_flat, self._mos_flat, values)
         if self._diode_bank is not None:
             a, c = self._diode_terms
             va, vc = self._terminal_voltages(x, (a, c))
             current, conductance = self._diode_bank.current(va - vc)
-            np.add.at(res, a[self._diode_a_mask],
+            np.add.at(res, self._diode_a_idx,
                       current[self._diode_a_mask])
-            np.add.at(res, c[self._diode_c_mask],
+            np.add.at(res, self._diode_c_idx,
                       -current[self._diode_c_mask])
             values = self._diode_sign * np.tile(conductance, 4)
             np.add.at(jac_flat, self._diode_flat,
@@ -371,9 +411,9 @@ class CircuitAssembler:
         jac_flat = st.jac.reshape(-1)
         if self._cap_slots.size:
             i_cap = i[self._cap_slots]
-            np.add.at(res, self._cap_pos[self._cap_pos_mask],
+            np.add.at(res, self._cap_pos_idx,
                       i_cap[self._cap_pos_mask])
-            np.add.at(res, self._cap_neg[self._cap_neg_mask],
+            np.add.at(res, self._cap_neg_idx,
                       -i_cap[self._cap_neg_mask])
             np.add.at(jac_flat, self._cap_flat, c0 * self._cap_jac_base)
         if self._dio_slots.size:
@@ -381,10 +421,32 @@ class CircuitAssembler:
             va, vc = self._terminal_voltages(x, (a, c))
             cap = self._diode_bank.capacitance(va - vc)
             i_dio = i[self._dio_slots]
-            np.add.at(res, a[self._diode_a_mask],
+            np.add.at(res, self._diode_a_idx,
                       i_dio[self._diode_a_mask])
-            np.add.at(res, c[self._diode_c_mask],
+            np.add.at(res, self._diode_c_idx,
                       -i_dio[self._diode_c_mask])
             values = self._diode_sign * np.tile(c0 * cap, 4)
             np.add.at(jac_flat, self._diode_flat,
                       values[self._diode_valid])
+
+    def susceptance_matrix(self, x: np.ndarray) -> np.ndarray:
+        """Dense small-signal C matrix (dq/dv of every charge term) at
+        ``x`` -- the ``jωC`` part of the AC system, assembled by the
+        same flat-index scatters as :meth:`stamp_charges` (``c0 = 1``).
+
+        Only valid when :attr:`charges_vectorized` is set; the AC
+        engine falls back to the per-term ``charge_terms`` loop
+        otherwise.
+        """
+        c_matrix = np.zeros((self.size, self.size))
+        c_flat = c_matrix.reshape(-1)
+        if self._cap_slots.size:
+            np.add.at(c_flat, self._cap_flat, self._cap_jac_base)
+        if self._dio_slots.size:
+            a, c = self._diode_terms
+            va, vc = self._terminal_voltages(x, (a, c))
+            cap = self._diode_bank.capacitance(va - vc)
+            values = self._diode_sign * np.tile(cap, 4)
+            np.add.at(c_flat, self._diode_flat,
+                      values[self._diode_valid])
+        return c_matrix

@@ -46,7 +46,6 @@ vectorizable description the batched backends of
 
 from __future__ import annotations
 
-import copy
 import dataclasses
 import time as _time
 from dataclasses import dataclass, field
@@ -405,13 +404,13 @@ class BatchAssembler(CircuitAssembler):
         The bank math is pure elementwise numpy, so swapping the (n,)
         parameter arrays for (A, n) slices broadcasts the evaluation
         over the lane axis with zero duplicated model code.
+        ``MosBank.overlay`` rebuilds the bank's derived packed
+        constants along the way.
         """
         if self._mos_vt_b is None:
             return self._mos_bank
-        bank = copy.copy(self._mos_bank)
-        bank.vt = self._mos_vt_b[lane_idx]
-        bank.i_spec = self._mos_ispec_b[lane_idx]
-        return bank
+        return self._mos_bank.overlay(self._mos_vt_b[lane_idx],
+                                      self._mos_ispec_b[lane_idx])
 
     def lane_device_ops(self, lane: int, x: np.ndarray) -> dict:
         """MOS element name -> operating point at ``x`` under the lane's
@@ -421,9 +420,8 @@ class BatchAssembler(CircuitAssembler):
             return {}
         bank = self._mos_bank
         if self._mos_vt_b is not None:
-            bank = copy.copy(bank)
-            bank.vt = self._mos_vt_b[lane]
-            bank.i_spec = self._mos_ispec_b[lane]
+            bank = bank.overlay(self._mos_vt_b[lane],
+                                self._mos_ispec_b[lane])
         d, g, s, b = self._mos_terms
         vd, vg, vs, vb = self._terminal_voltages(x, (d, g, s, b))
         points = bank.operating_points(vd, vg, vs, vb)
@@ -538,6 +536,7 @@ def _newton_rounds(assembler: BatchAssembler, X: np.ndarray,
     converged = np.zeros(B, dtype=bool)
     iterations = np.zeros(B, dtype=int)
     stall_checkpoint = np.full(B, np.inf)
+    stall_residual = np.full(B, np.inf)
     reasons: dict[int, str] = {}
     active = np.asarray(lanes_idx, dtype=np.intp).copy()
     tspan = telemetry.current_span() if telemetry.is_enabled() else None
@@ -556,6 +555,12 @@ def _newton_rounds(assembler: BatchAssembler, X: np.ndarray,
             res[:, :n_nodes] += gmin * X[active][:, :n_nodes]
         if tspan is not None:
             tspan.inc("jacobian_factorizations", n_active)
+        # Per-lane residual norms feed the stall detector (mirroring
+        # the serial kernel); only window boundaries read them.
+        res_norm = None
+        if iteration == 1 or (options.stall_window > 0 and
+                              iteration % options.stall_window == 0):
+            res_norm = np.abs(res).max(axis=1)
         dX = _solve_stacked(jac, res)
         finite = np.all(np.isfinite(dX), axis=1)
         if not finite.all():
@@ -565,6 +570,8 @@ def _newton_rounds(assembler: BatchAssembler, X: np.ndarray,
                 iterations[lane] = iteration
             active = active[finite]
             dX = dX[finite]
+            if res_norm is not None:
+                res_norm = res_norm[finite]
             if active.size == 0:
                 if tspan is not None:
                     tspan.event("batch-iter", i=iteration, n_active=0)
@@ -578,6 +585,12 @@ def _newton_rounds(assembler: BatchAssembler, X: np.ndarray,
         X[active] += scale[:, None] * dX
         iterations[active] = iteration
         step_norm = biggest * scale
+        if iteration == 1:
+            # Arm the stall detector from the opening update norm and
+            # residual -- mirrors the serial kernel so both paths kick
+            # out a stalled lane after one window, not two.
+            stall_checkpoint[active] = step_norm
+            stall_residual[active] = res_norm
         v_max = (np.abs(X[active][:, :n_nodes]).max(axis=1) if n_nodes
                  else np.zeros(active.size))
         conv = step_converged(step_norm, v_max, options) & (scale == 1.0)
@@ -590,16 +603,21 @@ def _newton_rounds(assembler: BatchAssembler, X: np.ndarray,
         converged[active[conv]] = True
         if options.stall_window > 0 and \
                 iteration % options.stall_window == 0:
-            stalled = step_norm > 0.5 * stall_checkpoint[active]
+            stalled = (step_norm > 0.5 * stall_checkpoint[active]) \
+                & (res_norm > 0.5 * stall_residual[active])
             stalled &= keep
-            for lane, norm in zip(active[stalled], step_norm[stalled]):
+            for lane, norm, rnorm in zip(active[stalled],
+                                         step_norm[stalled],
+                                         res_norm[stalled]):
                 reasons[int(lane)] = (
                     f"Newton stalled after {iteration} iterations in "
-                    f"{compiled.circuit.name} (update norm {norm:.3e} "
-                    f"failed to halve over the last "
+                    f"{compiled.circuit.name} (neither the update norm "
+                    f"{norm:.3e} nor the residual {rnorm:.3e} halved "
+                    f"over the last "
                     f"{options.stall_window} iterations)")
             keep &= ~stalled
             stall_checkpoint[active] = step_norm
+            stall_residual[active] = res_norm
         active = active[keep]
     for lane in active:
         reasons[int(lane)] = (

@@ -38,6 +38,18 @@ from ..errors import ConvergenceError
 from .elements import CurrentSource, Stamper, VoltageSource
 from .waveforms import dc_wave
 
+try:  # pragma: no cover - scipy is a declared dependency
+    # Raw LAPACK bindings: same getrf/getrs pair scipy.linalg's
+    # lu_factor/lu_solve wrap, minus the per-call asarray/check_finite
+    # wrapper overhead -- which is comparable to the factorization
+    # itself at MNA sizes.  The (lu, piv) handle this module stores is
+    # LAPACK-native (1-based pivots) and is only ever fed back to
+    # _getrs here.
+    from scipy.linalg.lapack import dgetrf as _getrf
+    from scipy.linalg.lapack import dgetrs as _getrs
+except ImportError:  # pragma: no cover - degraded environment
+    _getrf = _getrs = None
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .netlist import Circuit, CompiledCircuit
 
@@ -62,6 +74,24 @@ class NewtonOptions:
             its whole iteration budget before the next homotopy rung --
             which converges such cases quickly -- gets a turn.  0
             disables the detector.
+        lu_reuse: Hold one LU factorization of the Jacobian across
+            Newton iterations (chord / modified Newton) -- and, when
+            the caller supplies a :class:`LuReuseState`, across
+            transient time steps -- refactoring only when the
+            convergence-rate monitor trips.  The residual is always
+            assembled exactly, so the converged solution is the same
+            fixed point; only the iteration trajectory differs.
+        lu_contraction: Contraction the monitor demands of a
+            reused-factorization step: the damped update norm must
+            shrink below ``lu_contraction`` times the previous
+            iteration's, otherwise the step is discarded and redone
+            with a fresh factorization of the current Jacobian.  The
+            default is deliberately strict: residual assembly costs
+            several times a factorization on MNA systems of this size,
+            so a chord that merely *converges* (say 10x per iteration)
+            still loses wall time to the extra assembled iterations
+            its linear tail needs -- reuse must be nearly free (close
+            to the quadratic trajectory) to pay.
     """
 
     max_iterations: int = 200
@@ -70,6 +100,8 @@ class NewtonOptions:
     max_step: float = 0.3
     gmin: float = 1.0e-15
     stall_window: int = 25
+    lu_reuse: bool = True
+    lu_contraction: float = 0.04
 
 
 def step_converged(step_norm, v_max, options: NewtonOptions):
@@ -82,26 +114,106 @@ def step_converged(step_norm, v_max, options: NewtonOptions):
     return step_norm < options.vntol * (1.0 + options.reltol * v_max)
 
 
+class LuReuseState:
+    """Cached LU factorization shared across Newton solves.
+
+    The transient engine owns one instance per run and threads it
+    through every per-step solve, so a factorization survives across
+    accepted time steps while the companion-model coefficient is
+    unchanged.  :meth:`ensure_key` invalidates the cache whenever that
+    coefficient (or anything else baked into the Jacobian from outside
+    the kernel, keyed by the caller) changes -- e.g. on every dt
+    change.  DC solves that do not pass a state get a fresh private one
+    per :func:`newton_solve` call, limiting reuse to iterations of one
+    solve.
+    """
+
+    __slots__ = ("lu", "key")
+
+    def __init__(self) -> None:
+        self.lu = None
+        self.key = None
+
+    def invalidate(self) -> None:
+        self.lu = None
+
+    def ensure_key(self, key) -> None:
+        """Invalidate the cache when ``key`` differs from the last one."""
+        if key != self.key:
+            self.key = key
+            self.lu = None
+
+
+def _factorize(jac: np.ndarray):
+    """LU-factor ``jac``; None when it is singular or non-finite (the
+    caller then falls back to least squares, matching the behavior of
+    the plain ``np.linalg.solve`` path)."""
+    lu, piv, info = _getrf(jac)
+    # info > 0 flags an exactly zero pivot; NaN/Inf inputs propagate
+    # into the factors, caught by the isfinite sweep.
+    if info != 0 or not np.all(np.isfinite(lu)):
+        return None
+    return lu, piv
+
+
+def _lu_apply(lu_piv, rhs: np.ndarray) -> np.ndarray:
+    """Back-substitute a ``_factorize`` handle against ``rhs``."""
+    dx, info = _getrs(lu_piv[0], lu_piv[1], rhs)
+    if info != 0:  # pragma: no cover - getrs only rejects bad args
+        raise ConvergenceError(f"LAPACK getrs failed (info={info})")
+    return dx
+
+
+def _damping(dx: np.ndarray, n_nodes: int,
+             options: NewtonOptions) -> tuple[float, float]:
+    """(largest node-voltage update, damping scale) for a raw step.
+    Branch-current rows follow freely, exactly as in classic SPICE."""
+    v_updates = np.abs(dx[:n_nodes]) if n_nodes else np.array([0.0])
+    biggest = float(v_updates.max()) if v_updates.size else 0.0
+    scale = 1.0 if biggest <= options.max_step else options.max_step / biggest
+    return biggest, scale
+
+
+def _lstsq_step(jac: np.ndarray, rhs: np.ndarray,
+                compiled: "CompiledCircuit", iteration: int) -> np.ndarray:
+    """Least-squares fallback for a singular Jacobian."""
+    try:
+        dx, *_ = np.linalg.lstsq(jac, rhs, rcond=None)
+    except np.linalg.LinAlgError as error:
+        raise ConvergenceError(
+            f"singular, non-recoverable Jacobian in "
+            f"{compiled.circuit.name} ({error})", iterations=iteration)
+    return dx
+
+
 def newton_solve(compiled: "CompiledCircuit", x0: np.ndarray,
                  time: float | None, options: NewtonOptions, gmin: float,
                  extra_stamp=None,
-                 trace: list[float] | None = None) -> tuple[np.ndarray, int]:
-    """Run damped Newton from ``x0``; return (solution, iterations).
+                 trace: list[float] | None = None,
+                 lu_state: LuReuseState | None = None,
+                 ) -> tuple[np.ndarray, int]:
+    """Run damped (modified) Newton from ``x0``; return (solution, iters).
 
     ``trace``, when given, accumulates the max-abs residual of every
-    iteration -- the trajectory the diagnostics record keeps.  Under an
-    active telemetry trace each solve opens a ``newton`` span carrying
-    one ``newton-iter`` event per iteration (residual, update norm,
-    damping, stall-detector state) plus a ``jacobian_factorizations``
-    counter; disabled tracing takes a single-flag-check fast path.
+    iteration -- the trajectory the diagnostics record keeps.
+    ``lu_state`` carries a Jacobian factorization across calls (the
+    transient engine's cross-step chord iteration); without it, LU
+    reuse -- when enabled by ``options.lu_reuse`` -- is scoped to the
+    iterations of this one solve.  Under an active telemetry trace each
+    solve opens a ``newton`` span carrying one ``newton-iter`` event
+    per iteration (residual, update norm, damping, stall-detector
+    state) plus the ``jacobian_factorizations`` / ``lu_refactorizations``
+    / ``lu_reuses`` counters; disabled tracing takes a
+    single-flag-check fast path.
     """
     if not telemetry.is_enabled():
         return _newton_kernel(compiled, x0, time, options, gmin,
-                              extra_stamp, trace, None)
+                              extra_stamp, trace, None, lu_state)
     with telemetry.span("newton", gmin=gmin) as tspan:
         try:
             x, iterations = _newton_kernel(compiled, x0, time, options,
-                                           gmin, extra_stamp, trace, tspan)
+                                           gmin, extra_stamp, trace,
+                                           tspan, lu_state)
         except ConvergenceError as error:
             tspan.annotate(converged=False, detail=str(error))
             raise
@@ -112,12 +224,19 @@ def newton_solve(compiled: "CompiledCircuit", x0: np.ndarray,
 def _newton_kernel(compiled: "CompiledCircuit", x0: np.ndarray,
                    time: float | None, options: NewtonOptions, gmin: float,
                    extra_stamp, trace: list[float] | None,
-                   tspan) -> tuple[np.ndarray, int]:
+                   tspan, lu_state: LuReuseState | None = None,
+                   ) -> tuple[np.ndarray, int]:
     st = Stamper(compiled.size)
     x = x0.copy()
     n_nodes = len(compiled.node_index)
     diag = np.arange(n_nodes)
     stall_checkpoint = np.inf
+    stall_residual = np.inf
+    reusing = options.lu_reuse and _getrf is not None
+    state = (lu_state if lu_state is not None else LuReuseState()) \
+        if reusing else None
+    prev_norm = np.inf
+    observing = trace is not None or tspan is not None
     for iteration in range(1, options.max_iterations + 1):
         compiled.stamp_all(st, x, time)
         if extra_stamp is not None:
@@ -125,27 +244,72 @@ def _newton_kernel(compiled: "CompiledCircuit", x0: np.ndarray,
         if gmin > 0.0:
             st.jac[diag, diag] += gmin
             st.res[:n_nodes] += gmin * x[:n_nodes]
-        residual = float(np.abs(st.res).max())
+        # Only observers and the stall detector's window boundaries
+        # read the residual norm; skip it on plain hot-path iterations.
+        residual = None
+        if observing or iteration == 1 or (
+                options.stall_window > 0
+                and iteration % options.stall_window == 0):
+            residual = float(np.abs(st.res).max())
         if trace is not None:
             trace.append(residual)
+        # Linear step.  With a cached factorization, try the chord step
+        # first; keep it only while it contracts the damped update norm
+        # by the configured ratio (the residual is exact either way, so
+        # the converged fixed point is unchanged).  Otherwise -- and on
+        # the non-reuse path -- factorize the current Jacobian.
+        dx = None
+        reused = False
+        biggest = scale = 0.0
+        if state is not None and state.lu is not None:
+            candidate = _lu_apply(state.lu, -st.res)
+            if np.all(np.isfinite(candidate)):
+                biggest, scale = _damping(candidate, n_nodes, options)
+                if biggest * scale <= options.lu_contraction * prev_norm:
+                    dx, reused = candidate, True
+        if dx is None:
+            if state is not None:
+                state.lu = _factorize(st.jac)
+                if state.lu is not None:
+                    dx = _lu_apply(state.lu, -st.res)
+                else:
+                    dx = _lstsq_step(st.jac, -st.res, compiled, iteration)
+            else:
+                try:
+                    dx = np.linalg.solve(st.jac, -st.res)
+                except np.linalg.LinAlgError:
+                    dx = _lstsq_step(st.jac, -st.res, compiled, iteration)
+            if not np.all(np.isfinite(dx)):
+                raise ConvergenceError(
+                    f"non-finite Newton update in {compiled.circuit.name}",
+                    iterations=iteration)
+            biggest, scale = _damping(dx, n_nodes, options)
         if tspan is not None:
-            tspan.inc("jacobian_factorizations")
-        try:
-            dx = np.linalg.solve(st.jac, -st.res)
-        except np.linalg.LinAlgError:
-            dx, *_ = np.linalg.lstsq(st.jac, -st.res, rcond=None)
-        if not np.all(np.isfinite(dx)):
-            raise ConvergenceError(
-                f"non-finite Newton update in {compiled.circuit.name}",
-                iterations=iteration)
-        # Damp the voltage rows; branch currents follow freely.
-        v_updates = np.abs(dx[:n_nodes]) if n_nodes else np.array([0.0])
-        biggest = float(v_updates.max()) if v_updates.size else 0.0
-        scale = 1.0 if biggest <= options.max_step else options.max_step / biggest
+            if reused:
+                tspan.inc("lu_reuses")
+            else:
+                tspan.inc("jacobian_factorizations")
+                if state is not None:
+                    tspan.inc("lu_refactorizations")
         x += scale * dx
+        prev_norm = biggest * scale
+        if iteration == 1:
+            # Seed the stall detector with the opening update norm and
+            # residual so the first window is already armed: a solve
+            # where *neither* has halved by iteration ``stall_window``
+            # is the limit-cycle failure mode, and waiting a second
+            # full window just delays the homotopy rung that will
+            # actually converge it.  A solve whose updates are pinned
+            # at the damping cap while the residual keeps falling is
+            # healthy (pseudo-transient continuation does exactly
+            # this), which is why the residual check is part of the
+            # trip condition.
+            stall_checkpoint = prev_norm
+            stall_residual = residual
         if tspan is not None:
             tspan.event("newton-iter", i=iteration, residual=residual,
                         update_norm=biggest * scale, damping=scale,
+                        lu_reused=reused,
                         stall_checkpoint=(
                             None if stall_checkpoint == np.inf
                             else stall_checkpoint))
@@ -154,22 +318,34 @@ def _newton_kernel(compiled: "CompiledCircuit", x0: np.ndarray,
             float(np.abs(x[:n_nodes]).max() if n_nodes else 0.0),
             options)
         if converged and scale == 1.0:
-            return x, iteration
+            if reused:
+                # Never declare victory on a stale Jacobian: drop the
+                # cached factorization so the next iteration takes a
+                # fresh full-Newton step and re-checks.  This pins the
+                # accepted solution to full-Newton accuracy (the final
+                # step is always a true Newton step) at the cost of at
+                # most one extra factorization per solve.
+                state.invalidate()
+            else:
+                return x, iteration
         if options.stall_window > 0 and \
                 iteration % options.stall_window == 0:
             step_norm = biggest * scale
-            if step_norm > 0.5 * stall_checkpoint:
+            if step_norm > 0.5 * stall_checkpoint and \
+                    residual > 0.5 * stall_residual:
                 if tspan is not None:
                     tspan.event("stall", iteration=iteration,
                                 update_norm=step_norm,
                                 window=options.stall_window)
                 raise ConvergenceError(
                     f"Newton stalled after {iteration} iterations in "
-                    f"{compiled.circuit.name} (update norm "
-                    f"{step_norm:.3e} failed to halve over the last "
+                    f"{compiled.circuit.name} (neither the update norm "
+                    f"{step_norm:.3e} nor the residual {residual:.3e} "
+                    f"halved over the last "
                     f"{options.stall_window} iterations)",
                     iterations=iteration, residual=residual)
             stall_checkpoint = step_norm
+            stall_residual = residual
     raise ConvergenceError(
         f"Newton failed after {options.max_iterations} iterations "
         f"in {compiled.circuit.name}",

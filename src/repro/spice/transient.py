@@ -8,14 +8,31 @@ new time point stamps the companion current
     TRAP:  i = 2 (q(x) - q_prev) / dt - i_prev
 
 Waveform breakpoints (pulse edges etc.) are always landed on exactly.
-The step size shrinks on Newton failures and grows back after easy
-steps -- sufficient for the RC-dominated subthreshold circuits this
-library simulates, whose waveforms have no high-Q ringing.
+
+Two step controllers are available (``TransientOptions.step_control``):
+
+* ``"lte"`` (default) -- a local-truncation-error controller: each
+  accepted candidate solution is compared against a polynomial
+  predictor extrapolated through the last accepted points; the
+  difference, scaled by the standard per-method error constant
+  (``dt^3 x'''/12`` for trap, ``dt^2 x''/2`` for backward Euler),
+  estimates the LTE, and the step size is driven toward the
+  ``reltol``/``abstol`` target.  Steps whose estimated error exceeds
+  the target are rejected and retried smaller -- telemetry
+  distinguishes these *LTE rejections* from *Newton rejections*.
+* ``"legacy"`` -- the original grow-on-easy-steps heuristic, kept
+  bit-compatible (it also pins the Newton kernel to the
+  always-refactorize linear solver) for reproducing old waveforms.
+
+The per-step Newton solves share one Jacobian LU factorization through
+a :class:`~repro.spice.strategies.LuReuseState` held across accepted
+steps and invalidated on every dt change; see
+:class:`~repro.spice.strategies.NewtonOptions.lu_reuse`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import math
 
@@ -27,6 +44,7 @@ from .dc import NewtonOptions, _newton, operating_point
 from .elements import CurrentSource, Stamper, VoltageSource
 from .netlist import Circuit
 from .results import OpResult, TranResult
+from .strategies import LuReuseState
 
 
 @dataclass(frozen=True)
@@ -41,9 +59,19 @@ class TransientOptions:
         newton: Nonlinear-solver options per step.
         record_currents: Also record branch currents of voltage sources.
         max_rejections: Total step-rejection budget for the whole run
-            (None: unlimited).  A circuit that keeps rejecting steps is
-            diagnosed early with its telemetry instead of grinding the
-            step size down to ``dt_min``.
+            (None: unlimited), counting Newton and LTE rejections
+            alike.  A circuit that keeps rejecting steps is diagnosed
+            early with its telemetry instead of grinding the step size
+            down to ``dt_min``.
+        step_control: ``"lte"`` (default) for the truncation-error
+            controller, ``"legacy"`` for the pre-LTE grow-only
+            heuristic (bit-compatible: also disables LU reuse in the
+            per-step Newton solves).
+        reltol: Relative waveform-error target per step (LTE control).
+        abstol: Absolute waveform-error floor per step [V].
+        trtol: Truncation-error overestimation divisor (SPICE's TRTOL).
+            The divided-difference LTE estimate is conservative by
+            roughly this factor on smooth waveforms.
     """
 
     dt_initial: float | None = None
@@ -53,6 +81,10 @@ class TransientOptions:
     newton: NewtonOptions = NewtonOptions(max_iterations=60)
     record_currents: bool = False
     max_rejections: int | None = None
+    step_control: str = "lte"
+    reltol: float = 1.0e-3
+    abstol: float = 1.0e-6
+    trtol: float = 7.0
 
 
 @dataclass
@@ -61,7 +93,9 @@ class TransientTelemetry:
 
     Attributes:
         steps_accepted: Time points committed.
-        steps_rejected: Newton failures that shrank the step.
+        steps_rejected: Attempts that shrank the step (all causes).
+        newton_rejections: Rejections caused by a Newton failure.
+        lte_rejections: Rejections caused by the LTE controller.
         newton_iterations: Total Newton iterations over accepted steps.
         rejection_times: Simulation times [s] at which rejections
             happened (capped at 64 entries; earliest kept).
@@ -70,14 +104,20 @@ class TransientTelemetry:
 
     steps_accepted: int = 0
     steps_rejected: int = 0
+    newton_rejections: int = 0
+    lte_rejections: int = 0
     newton_iterations: int = 0
     rejection_times: list[float] = field(default_factory=list)
     dt_smallest: float = float("inf")
 
     _REJECTION_LOG_LIMIT = 64
 
-    def record_rejection(self, time: float) -> None:
+    def record_rejection(self, time: float, kind: str = "newton") -> None:
         self.steps_rejected += 1
+        if kind == "lte":
+            self.lte_rejections += 1
+        else:
+            self.newton_rejections += 1
         if len(self.rejection_times) < self._REJECTION_LOG_LIMIT:
             self.rejection_times.append(time)
 
@@ -90,10 +130,22 @@ class TransientTelemetry:
         dt_text = (f"{self.dt_smallest:.3e} s"
                    if math.isfinite(self.dt_smallest)
                    else "n/a (no committed steps)")
-        return (f"{self.steps_accepted} steps accepted, "
+        text = (f"{self.steps_accepted} steps accepted, "
                 f"{self.steps_rejected} rejected ({rate:.0%}), "
                 f"{self.newton_iterations} Newton iterations, "
                 f"smallest dt {dt_text}")
+        # Breakdown appended after the historical string shape, so
+        # prefix-matching log parsers keep working.
+        if self.steps_rejected:
+            text += (f"; rejections: {self.newton_rejections} newton, "
+                     f"{self.lte_rejections} lte")
+        return text
+
+
+#: Breakpoints closer together than this fraction of t_stop are merged
+#: (and ones this close to t=0 / t=t_stop dropped): two waveform edges
+#: a few float-ulps apart must not force a sub-``dt_min`` landing step.
+_BREAKPOINT_MERGE_RTOL = 1.0e-9
 
 
 def _breakpoints(circuit: Circuit, t_stop: float) -> list[float]:
@@ -103,7 +155,79 @@ def _breakpoints(circuit: Circuit, t_stop: float) -> list[float]:
             for t in element.waveform.breakpoints:
                 if 0.0 < t < t_stop:
                     points.add(float(t))
-    return sorted(points)
+    merge_below = _BREAKPOINT_MERGE_RTOL * t_stop
+    merged: list[float] = []
+    for t in sorted(points):
+        if t <= merge_below or t >= t_stop - merge_below:
+            continue  # coincides with an endpoint the loop lands anyway
+        if merged and t - merged[-1] <= merge_below:
+            continue  # near-duplicate edge: keep the earliest
+        merged.append(t)
+    return merged
+
+
+#: Step-growth cap, shrink floor and safety factor of the LTE
+#: controller (standard embedded-error-controller constants).
+_LTE_MAX_GROWTH = 3.0
+_LTE_MIN_SHRINK = 0.1
+_LTE_SAFETY = 0.9
+
+#: First step after a waveform corner, as a fraction of the run to the
+#: next breakpoint.  The predictor history is empty right after a
+#: corner, so that one step is taken blind (no LTE check); starting it
+#: small bounds the unchecked error, and the controller's growth cap
+#: recovers the step size within a couple of accepted steps.
+_BREAKPOINT_RESTART_FRACTION = 0.125
+
+
+def _predict(t_new: float, hist_t: list[float],
+             hist_x: list[np.ndarray], k: int) -> np.ndarray:
+    """Lagrange extrapolation through the last ``k`` accepted points."""
+    ts = hist_t[-k:]
+    xs = hist_x[-k:]
+    pred = np.zeros_like(xs[0])
+    for i in range(k):
+        weight = 1.0
+        for j in range(k):
+            if j != i:
+                weight *= (t_new - ts[j]) / (ts[i] - ts[j])
+        pred += weight * xs[i]
+    return pred
+
+
+def _lte_norm(t_new: float, x_new: np.ndarray, x_pred: np.ndarray,
+              hist_t: list[float], hist_x: list[np.ndarray],
+              n_nodes: int, order: int,
+              options: TransientOptions) -> float:
+    """Estimated LTE over the node voltages, normalised to the
+    ``reltol``/``abstol`` target (``<= 1`` accepts the step).
+
+    The predictor difference ``x_new - p(t_new)`` equals
+    ``prod(t_new - t_i) * DD_{k}`` with ``DD_k`` the k-th divided
+    difference including the new point, which yields the standard
+    truncation-error estimates ``dt^3 x'''/12`` (trap, ``x''' ~ 6 DD3``)
+    and ``dt^2 x''/2`` (BE, ``x'' ~ 2 DD2``).
+    """
+    if n_nodes == 0:
+        return 0.0
+    err = np.abs(x_new[:n_nodes] - x_pred[:n_nodes])
+    dt = t_new - hist_t[-1]
+    if order == 2:
+        w = (dt * (t_new - hist_t[-2]) * (t_new - hist_t[-3]))
+        lte = err * (dt ** 3) / (2.0 * w)
+    else:
+        w = dt * (t_new - hist_t[-2])
+        lte = err * (dt ** 2) / w
+    tol = options.abstol + options.reltol * np.maximum(
+        np.abs(x_new[:n_nodes]), np.abs(hist_x[-1][:n_nodes]))
+    return float(np.max(lte / (options.trtol * tol)))
+
+
+def _lte_factor(err_norm: float, order: int) -> float:
+    """Step-scale factor an error norm asks for (clamped by caller)."""
+    if err_norm <= 0.0:
+        return _LTE_MAX_GROWTH
+    return _LTE_SAFETY * err_norm ** (-1.0 / (order + 1))
 
 
 def transient(circuit: Circuit, t_stop: float,
@@ -113,16 +237,21 @@ def transient(circuit: Circuit, t_stop: float,
 
     Under an active telemetry trace the whole run is wrapped in a
     ``transient`` span: step-acceptance counters, one ``step-rejected``
-    event per shrink, and the per-step Newton spans of the inner solver
-    nest underneath.
+    event per shrink (annotated with its cause, ``newton`` or ``lte``),
+    and the per-step Newton spans of the inner solver nest underneath.
     """
     if t_stop <= 0.0:
         raise NetlistError(f"t_stop must be positive, got {t_stop}")
     options = options or TransientOptions()
     if options.method not in ("trap", "be"):
         raise NetlistError(f"unknown method {options.method!r}")
+    if options.step_control not in ("lte", "legacy"):
+        raise NetlistError(
+            f"step_control must be 'lte' or 'legacy', "
+            f"got {options.step_control!r}")
     with telemetry.span("transient", circuit=circuit.name,
-                        t_stop=t_stop, method=options.method) as tspan:
+                        t_stop=t_stop, method=options.method,
+                        step_control=options.step_control) as tspan:
         return _transient_run(circuit, t_stop, options, initial_op, tspan)
 
 
@@ -133,9 +262,27 @@ def _transient_run(circuit: Circuit, t_stop: float,
     dt_min = options.dt_min or t_stop * 1e-9
     dt_max = options.dt_max or t_stop / 50.0
     dt = min(dt, dt_max)
+    legacy = options.step_control == "legacy"
+    newton_options = options.newton
+    if legacy:
+        # Bit-compatibility mode: the pre-LTE heuristic must execute
+        # the historical instruction sequence exactly, so the chord /
+        # LU-reuse fast path is pinned off as well (including for the
+        # initial operating point feeding the waveform).
+        newton_options = replace(newton_options, lu_reuse=False)
+    else:
+        # Under LTE control the waveform accuracy contract is
+        # (reltol, abstol); resolving each nonlinear solve tighter than
+        # the absolute waveform tolerance is wasted iterations, so the
+        # Newton update tolerance is raised to ``abstol`` (a tighter
+        # user-set ``vntol`` is honoured by lowering ``abstol``).
+        newton_options = replace(
+            newton_options,
+            vntol=max(newton_options.vntol, options.abstol))
+    order = 2 if options.method == "trap" else 1
 
     if initial_op is None:
-        initial_op = operating_point(circuit, options.newton)
+        initial_op = operating_point(circuit, newton_options)
     if initial_op.x is None:
         raise AnalysisError(
             "initial_op carries no solution vector (x is None): it is a "
@@ -159,20 +306,45 @@ def _transient_run(circuit: Circuit, t_stop: float,
     breakpoints = _breakpoints(circuit, t_stop)
     bp_cursor = 0
 
+    # The full MNA vector of every accepted step is kept and sliced
+    # into per-node waveforms once at the end -- a per-name python
+    # append loop per step is measurable against the solver hot path.
     times = [0.0]
-    names = list(compiled.node_index)
-    history = {name: [x[compiled.node_index[name]]] for name in names}
+    samples = [x.copy()]
     # Only voltage-defined elements own an MNA branch current; with
     # record_currents set, exactly the independent VoltageSource
     # branches are recorded (CurrentSource currents are their waveform
     # values and carry no branch unknown).
     recorded_sources = [e for e in circuit.elements
                         if isinstance(e, VoltageSource)]
-    current_history: dict[str, list[float]] = {
-        e.name: [float(x[compiled.aux_index[e.name][0]])]
-        for e in recorded_sources} if options.record_currents else {}
 
     step_log = TransientTelemetry()
+    # One factorization is carried across iterations *and* accepted
+    # steps; keyed on the companion coefficient so any dt change
+    # refactorizes.
+    lu_state = LuReuseState() if newton_options.lu_reuse else None
+    n_nodes = len(compiled.node_index)
+    # Predictor history for the LTE estimator: the last (order + 1)
+    # accepted points.  Truncated whenever a breakpoint is crossed --
+    # the input waveform has a derivative corner there and a polynomial
+    # must not extrapolate across it.
+    hist_t: list[float] = [0.0]
+    hist_x: list[np.ndarray] = [x.copy()]
+
+    def reject(kind: str, t: float, step: float, err_norm=None) -> None:
+        step_log.record_rejection(t, kind)
+        tspan.inc("transient_steps_rejected")
+        tspan.inc(f"transient_{kind}_rejections")
+        tspan.event("step-rejected", t=t, dt=step, cause=kind,
+                    **({} if err_norm is None else
+                       {"err_norm": err_norm}))
+        if (options.max_rejections is not None
+                and step_log.steps_rejected > options.max_rejections):
+            raise ConvergenceError(
+                f"transient exhausted its rejection budget of "
+                f"{options.max_rejections} at t={t:.3e}s in "
+                f"{circuit.name} ({step_log.describe()})",
+                diagnostics=step_log, stage="rejection-budget")
 
     t = 0.0
     # Relative tolerance above float epsilon: accumulated rounding in
@@ -190,6 +362,7 @@ def _transient_run(circuit: Circuit, t_stop: float,
             continue
 
         accepted = False
+        err_norm: float | None = None
         while not accepted:
             t_new = t + step
             if options.method == "trap":
@@ -212,24 +385,36 @@ def _transient_run(circuit: Circuit, t_stop: float,
                             st.add_j(term.pos, col, c0 * dqdv)
                             st.add_j(term.neg, col, -c0 * dqdv)
 
+            if lu_state is not None:
+                # dt (hence c0) changed => the dynamic stamps changed
+                # => any held factorization is stale.
+                lu_state.ensure_key(c0)
+            # Polynomial predictor through the accepted history: the
+            # LTE reference AND -- being the best available forecast of
+            # the solution -- Newton's starting point (a stale x_prev
+            # start costs several extra iterations per large step).
+            # While the history is still rebuilding after a waveform
+            # corner, a shorter (lower-order) predictor is used: its
+            # divided-difference LTE estimate is conservative for the
+            # trap step, which beats taking the step blind.
+            x_pred = None
+            pred_order = 0
+            if not legacy and len(hist_t) >= 2:
+                k = min(order + 1, len(hist_t))
+                candidate = _predict(t_new, hist_t, hist_x, k)
+                if np.all(np.isfinite(candidate)):
+                    x_pred = candidate
+                    pred_order = k - 1
             try:
-                x_new, iters = _newton(compiled, x, t_new, options.newton,
-                                       options.newton.gmin,
-                                       extra_stamp=dynamic_stamp)
+                x_new, iters = _newton(compiled,
+                                       x if x_pred is None else x_pred,
+                                       t_new, newton_options,
+                                       newton_options.gmin,
+                                       extra_stamp=dynamic_stamp,
+                                       lu_state=lu_state)
                 step_log.newton_iterations += iters
-                accepted = True
             except ConvergenceError:
-                step_log.record_rejection(t)
-                tspan.inc("transient_steps_rejected")
-                tspan.event("step-rejected", t=t, dt=step)
-                if (options.max_rejections is not None
-                        and step_log.steps_rejected
-                        > options.max_rejections):
-                    raise ConvergenceError(
-                        f"transient exhausted its rejection budget of "
-                        f"{options.max_rejections} at t={t:.3e}s in "
-                        f"{circuit.name} ({step_log.describe()})",
-                        diagnostics=step_log, stage="rejection-budget")
+                reject("newton", t, step)
                 step /= 4.0
                 if step < dt_min:
                     raise ConvergenceError(
@@ -237,6 +422,33 @@ def _transient_run(circuit: Circuit, t_stop: float,
                         f"{circuit.name} (dt below {dt_min:.1e}; "
                         f"{step_log.describe()})",
                         diagnostics=step_log, stage="dt-min")
+                continue
+
+            err_norm = None
+            if x_pred is not None:
+                err_norm = _lte_norm(t_new, x_new, x_pred, hist_t,
+                                     hist_x, n_nodes, pred_order,
+                                     options)
+                # A reduced-order estimate (history still rebuilding
+                # after a corner; trap stepping but only a linear
+                # predictor) systematically *overstates* the trap
+                # error, so it steers the next step size but must not
+                # reject -- post-corner steps are restarted small, and
+                # full-order control resumes one step later.
+                if err_norm > 1.0 and pred_order == order:
+                    if step <= dt_min * (1.0 + 1e-9):
+                        # The floor wins: accept rather than stall --
+                        # but leave a forensic marker.
+                        tspan.event("lte-floor", t=t, dt=step,
+                                    err_norm=err_norm)
+                    else:
+                        reject("lte", t, step, err_norm)
+                        factor = max(_LTE_MIN_SHRINK,
+                                     min(0.9, _lte_factor(err_norm,
+                                                          pred_order)))
+                        step = max(dt_min, step * factor)
+                        continue
+            accepted = True
 
         # Commit the step: update charge state.
         if vectorized:
@@ -252,22 +464,65 @@ def _transient_run(circuit: Circuit, t_stop: float,
         tspan.inc("transient_steps_accepted")
         step_log.dt_smallest = min(step_log.dt_smallest, step)
         times.append(t)
-        for name in names:
-            history[name].append(float(x[compiled.node_index[name]]))
-        for element_name in current_history:
-            row = compiled.aux_index[element_name][0]
-            current_history[element_name].append(float(x[row]))
+        # x_new is never mutated in place downstream (_newton copies
+        # its start vector), so recording it unaliased needs no copy.
+        samples.append(x_new)
 
-        # Adapt: the accepted step may have been shortened by a breakpoint;
-        # grow the nominal dt gently either way.
-        dt = min(dt_max, max(step * 1.4, dt * 0.5))
+        if legacy:
+            # Adapt: the accepted step may have been shortened by a
+            # breakpoint; grow the nominal dt gently either way.
+            dt = min(dt_max, max(step * 1.4, dt * 0.5))
+        else:
+            landed_on_breakpoint = (
+                bp_cursor < len(breakpoints)
+                and t >= breakpoints[bp_cursor] * (1 - 1e-12))
+            if landed_on_breakpoint:
+                # Waveform corner: restart the predictor history so no
+                # polynomial spans the derivative discontinuity.  The
+                # landing sample itself is excluded too -- it holds the
+                # *pre-edge* source values, which would poison the
+                # extrapolation of every driven node.  The first step
+                # past the corner runs without an LTE check, so it is
+                # restarted small relative to the upcoming breakpoint
+                # interval; the controller grows it back once the
+                # estimator is online.
+                hist_t = []
+                hist_x = []
+                gap = (breakpoints[bp_cursor + 1]
+                       if bp_cursor + 1 < len(breakpoints)
+                       else t_stop) - t
+                dt = max(dt_min,
+                         min(step, gap * _BREAKPOINT_RESTART_FRACTION))
+            else:
+                hist_t.append(t)
+                hist_x.append(x)
+                if len(hist_t) > order + 1:
+                    del hist_t[0], hist_x[0]
+                if err_norm is None:
+                    # No estimate yet (history still rebuilding after
+                    # t=0 or a waveform corner): hold dt -- blind
+                    # growth here is what causes spurious rejections
+                    # once the estimator comes back online.
+                    factor = 1.0
+                else:
+                    factor = min(_LTE_MAX_GROWTH,
+                                 max(0.3, _lte_factor(err_norm,
+                                                      pred_order)))
+                dt = min(dt_max, max(dt_min, step * factor))
 
     tspan.annotate(steps_accepted=step_log.steps_accepted,
                    steps_rejected=step_log.steps_rejected,
+                   newton_rejections=step_log.newton_rejections,
+                   lte_rejections=step_log.lte_rejections,
                    newton_iterations=step_log.newton_iterations)
+    trace = np.asarray(samples)
     return TranResult(
         time=np.asarray(times),
-        voltages={name: np.asarray(vals) for name, vals in history.items()},
-        branch_currents={name: np.asarray(vals)
-                         for name, vals in current_history.items()},
+        voltages={name: np.ascontiguousarray(trace[:, idx])
+                  for name, idx in compiled.node_index.items()},
+        branch_currents=(
+            {e.name: np.ascontiguousarray(
+                trace[:, compiled.aux_index[e.name][0]])
+             for e in recorded_sources}
+            if options.record_currents else {}),
         telemetry=step_log)

@@ -139,3 +139,57 @@ class TestCurrentSourceSignConvention:
         result = ac_analysis(ckt, [1.0])
         assert result.transfer("out")[0].real == pytest.approx(
             -1e-6 * self.R, rel=1e-6)
+
+
+class TestFrequencyGridValidation:
+    def test_rejects_nan_frequency(self):
+        with pytest.raises(AnalysisError, match="NaN"):
+            ac_analysis(rc_lowpass(), [1e3, float("nan"), 1e5])
+
+    def test_rejects_duplicate_frequencies(self):
+        with pytest.raises(AnalysisError, match="duplicate"):
+            ac_analysis(rc_lowpass(), [1e3, 1e4, 1e3])
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(AnalysisError, match="backend"):
+            ac_analysis(rc_lowpass(), [1e3], backend="turbo")
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(AnalysisError, match="positive"):
+            ac_analysis(rc_lowpass(), [0.0, 1e3])
+
+
+class TestStackedBackendEquivalence:
+    """The stacked-frequency solve is a linear-algebra rearrangement of
+    the per-frequency loop; both must agree to solver round-off."""
+
+    def _grids(self):
+        # Wide enough to engage the QZ sweep (>= 16 points) and a short
+        # grid that exercises the direct stacked path.
+        return (np.logspace(2, 9, 64), np.logspace(3, 6, 7))
+
+    def test_rc_transfer_matches_loop(self):
+        for freqs in self._grids():
+            stacked = ac_analysis(rc_lowpass(), freqs, backend="stacked")
+            loop = ac_analysis(rc_lowpass(), freqs, backend="loop")
+            assert np.allclose(stacked.transfer("out"),
+                               loop.transfer("out"),
+                               rtol=1e-9, atol=1e-15)
+
+    def test_stscl_inverter_matches_loop(self):
+        from repro.stscl.gate_model import StsclGateDesign
+        from repro.stscl.netlist_gen import stscl_inverter_circuit
+
+        design = StsclGateDesign.default(1e-9)
+        vdd = 0.4
+        circuit, ports = stscl_inverter_circuit(
+            design, vdd, vdd, vdd - design.v_sw)
+        circuit.element("vinp").ac_mag = 1.0
+        freqs = np.logspace(2, 8, 31)
+        stacked = ac_analysis(circuit, freqs, backend="stacked")
+        loop = ac_analysis(circuit, freqs, backend="loop")
+        out_p, out_n = next(iter(ports.outputs.values()))
+        for node in (out_p, out_n):
+            assert np.allclose(stacked.transfer(node),
+                               loop.transfer(node),
+                               rtol=1e-8, atol=1e-15)

@@ -200,3 +200,191 @@ class TestTelemetry:
         telemetry.steps_accepted = 1
         telemetry.dt_smallest = 2.5e-9
         assert "2.500e-09 s" in telemetry.describe()
+
+
+def _stscl_chain_circuit():
+    """Two-stage pulse-driven STSCL buffer chain (the LTE workload)."""
+    from repro.stscl.gate_model import StsclGateDesign
+    from repro.stscl.netlist_gen import stscl_buffer_chain_circuit
+
+    design = StsclGateDesign.default(1e-9)
+    vdd = 0.4
+    t_d = design.delay()
+    high, low = vdd, vdd - design.v_sw
+    edge = t_d / 5.0
+    in_p = pulse_wave(low, high, delay=t_d, rise=edge, fall=edge,
+                      width=3 * t_d, period=6 * t_d)
+    in_n = pulse_wave(high, low, delay=t_d, rise=edge, fall=edge,
+                      width=3 * t_d, period=6 * t_d)
+    circuit, _ports = stscl_buffer_chain_circuit(design, vdd, 2, in_p, in_n)
+    return circuit, t_d
+
+
+class TestConvergenceOrder:
+    """Empirical order study on a sine-driven RC with a closed-form
+    solution: halving a fixed legacy step must divide the max error by
+    ~4 for trapezoid (2nd order) and ~2 for backward Euler (1st)."""
+
+    R, C = 1e6, 1e-12
+    F0 = 200e3  # period 5 us against tau = 1 us
+
+    def _sine_rc(self):
+        ckt = Circuit("rc_sine")
+        ckt.add_vsource("V1", "in", "0", sine_wave(0.0, 1.0, self.F0))
+        ckt.add_resistor("R1", "in", "out", self.R)
+        ckt.add_capacitor("C1", "out", "0", self.C)
+        return ckt
+
+    def _exact(self, t):
+        # v' = (sin(wt) - v)/tau with v(0) = 0.
+        tau = self.R * self.C
+        w = 2.0 * np.pi * self.F0
+        a = w * tau
+        return (np.sin(w * t) - a * np.cos(w * t)
+                + a * np.exp(-t / tau)) / (1.0 + a * a)
+
+    def _max_error(self, method, h):
+        result = transient(self._sine_rc(), 5e-6, TransientOptions(
+            method=method, step_control="legacy",
+            dt_initial=h, dt_max=h))
+        return float(np.max(np.abs(result.voltage("out")
+                                   - self._exact(result.time))))
+
+    def test_trap_is_second_order(self):
+        coarse = self._max_error("trap", 1e-7)
+        fine = self._max_error("trap", 5e-8)
+        assert coarse / fine == pytest.approx(4.0, rel=0.15)
+
+    def test_backward_euler_is_first_order(self):
+        coarse = self._max_error("be", 1e-7)
+        fine = self._max_error("be", 5e-8)
+        assert coarse / fine == pytest.approx(2.0, rel=0.15)
+
+    def test_trap_beats_backward_euler_at_equal_step(self):
+        assert self._max_error("trap", 1e-7) < \
+            0.1 * self._max_error("be", 1e-7)
+
+
+class TestLuReuseEquivalence:
+    """The modified-Newton LU-reuse fast path must be an implementation
+    detail: answers match the always-refactorize path to <= 1e-9."""
+
+    def test_transient_waveforms_match(self):
+        from repro.spice import NewtonOptions
+
+        runs = {}
+        for reuse in (True, False):
+            circuit, t_d = _stscl_chain_circuit()
+            runs[reuse] = transient(circuit, 6 * t_d, TransientOptions(
+                step_control="legacy", dt_max=t_d / 10.0,
+                newton=NewtonOptions(lu_reuse=reuse)))
+        on, off = runs[True], runs[False]
+        assert np.array_equal(on.time, off.time)
+        for node in on.voltages:
+            assert np.max(np.abs(on.voltage(node)
+                                 - off.voltage(node))) <= 1e-9
+
+    def test_dc_sweep_matches(self):
+        from repro.spice import NewtonOptions, dc_sweep
+        from repro.stscl.gate_model import StsclGateDesign
+        from repro.stscl.netlist_gen import stscl_inverter_circuit
+
+        design = StsclGateDesign.default(1e-9)
+        vdd = 0.4
+        high, low = vdd, vdd - design.v_sw
+        values = list(np.linspace(low, high, 11))
+        sweeps = {}
+        for reuse in (True, False):
+            circuit, _ = stscl_inverter_circuit(design, vdd, high, low)
+            sweeps[reuse] = dc_sweep(circuit, "vinp", values,
+                                     NewtonOptions(lu_reuse=reuse))
+        on, off = sweeps[True], sweeps[False]
+        for node in on.points[0].voltages:
+            assert np.max(np.abs(on.voltage(node)
+                                 - off.voltage(node))) <= 1e-9
+
+
+class TestLegacyBitCompat:
+    """``step_control="legacy"`` must stay bit-identical: the LTE
+    tolerance knobs and the LU-reuse flag may not perturb its output."""
+
+    def _run(self, **overrides):
+        circuit, t_d = _stscl_chain_circuit()
+        options = TransientOptions(step_control="legacy",
+                                   dt_max=t_d / 10.0, **overrides)
+        return transient(circuit, 6 * t_d, options)
+
+    def _assert_bitwise_equal(self, a, b):
+        assert np.array_equal(a.time, b.time)
+        assert set(a.voltages) == set(b.voltages)
+        for node in a.voltages:
+            assert np.array_equal(a.voltage(node), b.voltage(node)), node
+
+    def test_lte_tolerances_do_not_leak_into_legacy(self):
+        baseline = self._run()
+        perturbed = self._run(reltol=1e-1, abstol=1e-2, trtol=100.0)
+        self._assert_bitwise_equal(baseline, perturbed)
+
+    def test_lu_reuse_flag_does_not_perturb_legacy(self):
+        from repro.spice import NewtonOptions
+
+        baseline = self._run()
+        reused = self._run(newton=NewtonOptions(lu_reuse=True))
+        direct = self._run(newton=NewtonOptions(lu_reuse=False))
+        self._assert_bitwise_equal(baseline, reused)
+        self._assert_bitwise_equal(baseline, direct)
+
+
+class TestLteController:
+    """Regression pins for the LTE step controller on the pulse-driven
+    STSCL chain.  The accepted-step counts are exact: any change to the
+    controller (error constants, safety factor, breakpoint restart,
+    predictor order) shows up here as a changed integer."""
+
+    def _run(self, reltol):
+        circuit, t_d = _stscl_chain_circuit()
+        return transient(circuit, 12 * t_d,
+                         TransientOptions(reltol=reltol)).telemetry
+
+    def test_step_counts_are_pinned(self):
+        tight = self._run(1e-3)
+        loose = self._run(1e-2)
+        assert tight.steps_accepted == 105
+        assert loose.steps_accepted == 84
+        assert tight.lte_rejections == 8
+        assert loose.steps_rejected == 0
+
+    def test_tighter_tolerance_takes_more_steps(self):
+        assert self._run(1e-3).steps_accepted > \
+            self._run(1e-2).steps_accepted
+
+
+class TestRejectionBreakdown:
+    def test_describe_appends_breakdown_after_historical_prefix(self):
+        """The rejection-cause breakdown rides after the historical
+        string shape, so prefix-matching log parsers keep working."""
+        from repro.spice.transient import TransientTelemetry
+
+        telemetry = TransientTelemetry()
+        telemetry.steps_accepted = 10
+        telemetry.newton_iterations = 30
+        telemetry.dt_smallest = 1e-9
+        telemetry.record_rejection(1e-6, kind="newton")
+        telemetry.record_rejection(2e-6, kind="lte")
+        telemetry.record_rejection(3e-6, kind="lte")
+        text = telemetry.describe()
+        prefix = ("10 steps accepted, 3 rejected (23%), "
+                  "30 Newton iterations, smallest dt 1.000e-09 s")
+        assert text.startswith(prefix)
+        assert text == prefix + "; rejections: 1 newton, 2 lte"
+
+    def test_clean_run_keeps_historical_string_exactly(self):
+        from repro.spice.transient import TransientTelemetry
+
+        telemetry = TransientTelemetry()
+        telemetry.steps_accepted = 4
+        telemetry.newton_iterations = 9
+        telemetry.dt_smallest = 2e-8
+        assert telemetry.describe() == (
+            "4 steps accepted, 0 rejected (0%), "
+            "9 Newton iterations, smallest dt 2.000e-08 s")

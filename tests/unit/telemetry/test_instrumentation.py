@@ -40,10 +40,16 @@ class TestOperatingPointTrace:
         op = trace.root.find("operating-point")
         assert op is not None
         assert op.attrs["circuit"] == circuit.name
-        # Jacobian factorizations: one per Newton iteration, summed
-        # over every ladder rung == the solver's own total.
-        assert (op.total_counter("jacobian_factorizations")
-                == result.iterations)
+        # Every Newton iteration either refactorized the Jacobian or
+        # reused the cached LU (chord step): summed over every ladder
+        # rung the two reconcile exactly with the solver's own total.
+        factorizations = op.total_counter("jacobian_factorizations")
+        reuses = op.total_counter("lu_reuses")
+        assert factorizations + reuses == result.iterations
+        # On the LU-reuse path every factorization is a refactorization.
+        assert (op.total_counter("lu_refactorizations")
+                == factorizations)
+        assert factorizations > 0
         # Compile-cache traffic reconciles with Circuit.compile_count.
         assert (op.total_counter("compile_cache_misses")
                 == circuit.compile_count == 1)
