@@ -151,6 +151,61 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from . import telemetry
+    from .fuzz import (FuzzBudgets, FuzzReport, load_corpus, replay_entry,
+                       run_campaign, save_entry, shrink_case)
+    from .fuzz.corpus import CorpusEntry
+
+    budgets = FuzzBudgets(max_iterations=args.max_iterations,
+                          op_wall=args.phase_wall,
+                          sweep_wall=2 * args.phase_wall,
+                          tran_wall=2 * args.phase_wall,
+                          fault_wall=2 * args.phase_wall)
+
+    def replay() -> FuzzReport:
+        report = FuzzReport()
+        entries = load_corpus(args.corpus_dir)
+        print(f"replaying {len(entries)} corpus case(s) "
+              f"from {args.corpus_dir}")
+        for path, entry in entries:
+            result = replay_entry(entry, budgets)
+            report.cases.append(result)
+            print(f"  {path.name:40s} {result.status:10s} "
+                  f"[{result.phase}]")
+        return report
+
+    def fresh() -> FuzzReport:
+        def on_case(result, circuit) -> None:
+            if args.verbose or result.status == "violation":
+                print(f"  seed={result.seed} {result.circuit_name:24s} "
+                      f"{result.status:10s} [{result.phase}] "
+                      f"{result.detail[:100]}")
+            if (args.save_failures and circuit is not None
+                    and result.status != "ok"):
+                deck, evals = shrink_case(circuit, result, budgets)
+                entry = CorpusEntry.from_result(
+                    result, deck, note=f"shrunk in {evals} evals")
+                path = save_entry(entry, args.corpus_dir)
+                print(f"    -> saved {path}")
+
+        return run_campaign(args.circuits, seed=args.seed,
+                            mode=args.mode, budgets=budgets,
+                            on_case=on_case)
+
+    runner = replay if args.replay_corpus else fresh
+    if args.telemetry_out:
+        with telemetry.tracing("fuzz-cli", mode=args.mode,
+                               seed=args.seed) as trace:
+            report = runner()
+        path = telemetry.write_jsonl(trace, args.telemetry_out)
+        print(f"telemetry written to {path}")
+    else:
+        report = runner()
+    print(report.describe())
+    return 1 if report.violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -229,6 +284,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="summary tree depth (-1: unlimited; "
                               "the JSONL always keeps everything)")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="constrained-random circuit fuzzing under the "
+                     "converge-or-diagnose invariant")
+    p_fuzz.add_argument("--circuits", type=int, default=60,
+                        help="number of fresh cases (default 60)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="first case seed (case k uses seed+k)")
+    p_fuzz.add_argument("--mode", choices=("random", "stscl", "mixed"),
+                        default="mixed")
+    p_fuzz.add_argument("--max-iterations", type=int, default=80,
+                        help="Newton iteration cap per solve")
+    p_fuzz.add_argument("--phase-wall", type=float, default=5.0,
+                        help="wall-clock budget [s] for the op phase "
+                             "(sweep/transient/faults get 2x)")
+    p_fuzz.add_argument("--replay-corpus", action="store_true",
+                        help="replay the committed corpus instead of "
+                             "fuzzing fresh seeds")
+    p_fuzz.add_argument("--corpus-dir", default="tests/corpus",
+                        help="corpus directory (default: tests/corpus)")
+    p_fuzz.add_argument("--save-failures", action="store_true",
+                        help="shrink every non-ok fresh case and save "
+                             "it to --corpus-dir")
+    p_fuzz.add_argument("--telemetry-out", default=None, metavar="PATH",
+                        help="write a JSONL telemetry trace of the run")
+    p_fuzz.add_argument("--verbose", action="store_true",
+                        help="print every case, not just violations")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

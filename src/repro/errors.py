@@ -7,6 +7,8 @@ still distinguishing convergence problems from modelling problems.
 
 from __future__ import annotations
 
+import pickle
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -47,6 +49,31 @@ class ConvergenceError(ReproError, RuntimeError):
         self.residual = residual
         self.diagnostics = diagnostics
         self.stage = stage
+
+    def __reduce__(self):
+        """Pickle with the forensic payload intact.
+
+        Process pools ship worker failures back as pickled exception
+        objects (``analysis/parallel.py`` returns library errors as
+        *data*), so the reconstruction must preserve ``iterations`` /
+        ``residual`` / ``diagnostics`` / ``stage`` exactly -- relying
+        on ``BaseException``'s default reduction makes that an
+        implementation detail.  A diagnostics object that itself cannot
+        pickle (a foreign strategy's report holding a lambda, say) must
+        not poison the transport and take the whole pool down with an
+        obscure mid-IPC ``PicklingError``: it degrades to its ``repr``
+        string, keeping the exception -- and every other attribute --
+        deliverable.
+        """
+        state = dict(self.__dict__)
+        diagnostics = state.get("diagnostics")
+        if diagnostics is not None:
+            try:
+                pickle.dumps(diagnostics)
+            except Exception:
+                state["diagnostics"] = (
+                    f"<unpicklable diagnostics {diagnostics!r}>")
+        return (type(self), self.args, state)
 
 
 class FaultInjectionError(ReproError, ValueError):

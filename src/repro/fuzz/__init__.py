@@ -1,0 +1,43 @@
+"""Circuit-space fuzzing: generator, converge-or-diagnose harness,
+shrinker and regression corpus.
+
+Entry point: ``python -m repro fuzz`` (see :mod:`repro.__main__`), or
+programmatically::
+
+    from repro.fuzz import run_campaign
+    report = run_campaign(300, seed=0, mode="mixed")
+    assert not report.violations, report.describe()
+"""
+
+from .corpus import (CorpusEntry, load_corpus, replay_entry, save_entry)
+from .generator import (MODES, GeneratorConfig, generate, random_circuit,
+                        repair_structure, rewire, stscl_mutant)
+from .harness import (HANG_GRACE, PHASES, FuzzBudgets, FuzzCaseResult,
+                      FuzzReport, InvariantViolation, characterize_survivor,
+                      run_campaign, run_case)
+from .shrink import FailureClass, shrink_case
+
+__all__ = [
+    "MODES",
+    "PHASES",
+    "HANG_GRACE",
+    "GeneratorConfig",
+    "generate",
+    "random_circuit",
+    "stscl_mutant",
+    "repair_structure",
+    "rewire",
+    "FuzzBudgets",
+    "FuzzCaseResult",
+    "FuzzReport",
+    "InvariantViolation",
+    "run_case",
+    "run_campaign",
+    "characterize_survivor",
+    "FailureClass",
+    "shrink_case",
+    "CorpusEntry",
+    "save_entry",
+    "load_corpus",
+    "replay_entry",
+]

@@ -1,0 +1,121 @@
+"""Persisted regression corpus of minimized fuzz failures.
+
+Every diagnosed-or-worse fuzz case that survives shrinking can be
+serialized to a small JSON file and committed under ``tests/corpus/``.
+From there two consumers replay it:
+
+* the parametrized regression test in ``tests/unit/fuzz`` -- every
+  committed entry must keep producing a *clean* verdict (``ok`` or
+  ``diagnosed``, never ``violation``) on every future revision;
+* ``python -m repro fuzz --replay-corpus`` -- the CI smoke job replays
+  the corpus before fuzzing fresh seeds, so a regression on a known
+  case fails fast and by name.
+
+The deck text *is* the case: entries do not depend on the generator
+staying bit-stable across revisions, only on the SPICE-ish dialect of
+:mod:`repro.spice.io`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ReproError
+from ..spice.io import read_netlist
+from .harness import FuzzBudgets, FuzzCaseResult, run_case
+
+#: Bumped when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One minimized, replayable fuzz case."""
+
+    name: str
+    seed: int
+    mode: str
+    phase: str
+    status: str
+    detail: str
+    deck: str
+    note: str = ""
+
+    @classmethod
+    def from_result(cls, result: FuzzCaseResult, deck: str,
+                    note: str = "") -> "CorpusEntry":
+        return cls(name=result.circuit_name, seed=result.seed,
+                   mode=result.mode, phase=result.phase,
+                   status=result.status, detail=result.detail,
+                   deck=deck, note=note)
+
+    def to_json(self) -> str:
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "mode": self.mode,
+            "phase": self.phase,
+            "status": self.status,
+            "detail": self.detail,
+            "note": self.note,
+            "deck": self.deck.splitlines(),
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "CorpusEntry":
+        payload = json.loads(text)
+        schema = payload.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ReproError(
+                f"unsupported corpus schema {schema!r} "
+                f"(this revision reads schema {SCHEMA_VERSION})")
+        return cls(name=payload["name"], seed=int(payload["seed"]),
+                   mode=payload["mode"], phase=payload["phase"],
+                   status=payload["status"], detail=payload["detail"],
+                   deck="\n".join(payload["deck"]) + "\n",
+                   note=payload.get("note", ""))
+
+
+def save_entry(entry: CorpusEntry, corpus_dir: str | Path) -> Path:
+    """Write ``entry`` to ``corpus_dir`` and return the file path."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    safe = "".join(ch if ch.isalnum() or ch in "-_" else "_"
+                   for ch in entry.name)
+    path = corpus_dir / f"{safe}.json"
+    path.write_text(entry.to_json())
+    return path
+
+
+def load_corpus(corpus_dir: str | Path) -> list[tuple[Path, CorpusEntry]]:
+    """All corpus entries under ``corpus_dir``, sorted by file name."""
+    corpus_dir = Path(corpus_dir)
+    entries = []
+    for path in sorted(corpus_dir.glob("*.json")):
+        entries.append((path, CorpusEntry.from_json(path.read_text())))
+    return entries
+
+
+def replay_entry(entry: CorpusEntry,
+                 budgets: FuzzBudgets | None = None) -> FuzzCaseResult:
+    """Re-run one corpus entry through the harness.
+
+    The converge-or-diagnose invariant must hold for corpus cases just
+    like fresh ones; a deck that no longer parses is itself a verdict
+    (the dialect regressed), reported as a violation rather than an
+    exception so CI output stays uniform.
+    """
+    budgets = budgets or FuzzBudgets()
+    try:
+        circuit = read_netlist(entry.deck)
+    except ReproError as error:
+        return FuzzCaseResult(
+            seed=entry.seed, mode=entry.mode, circuit_name=entry.name,
+            status="violation", phase="parse",
+            detail=f"corpus deck no longer parses: {error}",
+            wall_time=0.0)
+    return run_case(circuit, budgets, seed=entry.seed, mode=entry.mode)

@@ -1,0 +1,299 @@
+"""Constrained-random analog netlist generation.
+
+Two complementary circuit sources feed the fuzz harness:
+
+* :func:`random_circuit` -- free-form constrained-random construction
+  from MOS/R/C/diode pools over a fixed net convention (``vdd``/ground
+  rails, a driven bias-net pool, a differential ``inp``/``inn`` input
+  pair, anonymous internal nets).  The generator *guarantees* its
+  output passes :func:`repro.spice.validate.structural_report`: after
+  random assembly, a bounded repair pass anchors every sense-only net
+  and rail-disconnected island with a resistor, so the solver is only
+  ever exercised on structurally solvable systems -- the harness tests
+  the solver, not the netlist checker.
+* :func:`stscl_mutant` -- structured mutations of the paper's own
+  STSCL generators (:mod:`repro.stscl.netlist_gen`): tail swaps, load
+  rewires and stack-depth jitter keep part of the corpus *near* the
+  design space the paper studies, where subtle bias pathologies live,
+  instead of only far from it.
+
+Everything is a pure function of ``(seed, config)`` via
+``numpy.random.Generator`` -- the same seed always produces the same
+circuit, which is what makes corpus entries and CI smoke runs
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..devices.diode import Diode, NWELL_DIODE_180
+from ..devices.mosfet import Mosfet
+from ..devices.parameters import nmos_180, pmos_180
+from ..spice.netlist import Circuit
+from ..spice.validate import structural_report, validate_structure
+
+#: Generation modes understood by :func:`generate`.
+MODES = ("random", "stscl", "mixed")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the constrained-random generator.
+
+    Attributes:
+        n_devices: Inclusive (min, max) random device count (the rails,
+            IO and bias sources come on top).
+        n_internal: Inclusive (min, max) internal net-pool size.
+        n_bias: Inclusive (min, max) driven bias-net pool size.
+        vdd_range: Supply voltage range [V]; subthreshold source-coupled
+            design lives at the low end, so the default reaches down to
+            ambitious supplies.
+        max_repairs: Bound on the structural repair loop (each pass can
+            anchor several nets; one pass normally suffices).
+    """
+
+    n_devices: tuple[int, int] = (4, 14)
+    n_internal: tuple[int, int] = (2, 6)
+    n_bias: tuple[int, int] = (1, 3)
+    vdd_range: tuple[float, float] = (0.4, 1.8)
+    max_repairs: int = 4
+
+
+def _int_between(rng: np.random.Generator, lo_hi: tuple[int, int]) -> int:
+    lo, hi = lo_hi
+    return int(rng.integers(lo, hi + 1))
+
+
+def _choice(rng: np.random.Generator, items):
+    return items[int(rng.integers(0, len(items)))]
+
+
+def _distinct_pair(rng: np.random.Generator, nets) -> tuple[str, str]:
+    a = _choice(rng, nets)
+    for _ in range(8):
+        b = _choice(rng, nets)
+        if b != a:
+            return a, b
+    return a, "0"
+
+
+def _mos_geometry(rng: np.random.Generator) -> tuple[float, float]:
+    w = float(_choice(rng, (0.4e-6, 1e-6, 2e-6, 4e-6)))
+    l = float(_choice(rng, (0.18e-6, 0.5e-6, 1e-6)))
+    return w, l
+
+
+def repair_structure(circuit: Circuit, rng: np.random.Generator,
+                     max_repairs: int = 4) -> Circuit:
+    """Anchor every structural defect with a resistor until the netlist
+    validates; raises if ``max_repairs`` passes do not suffice.
+
+    Sense-only nets (a gate driven by nothing, a dangling capacitor
+    plate) and rail-disconnected islands get a random-valued anchor
+    resistor to ground -- the repair a designer would make, and one
+    that keeps the circuit's random character instead of rejecting it.
+    """
+    for round_index in range(max_repairs):
+        issues = structural_report(circuit)
+        if not issues:
+            return circuit
+        for issue in issues:
+            anchor_nets = issue.nets
+            if issue.kind == "rail-disconnected":
+                # One anchor grounds the whole island.
+                anchor_nets = issue.nets[:1]
+            for net in anchor_nets:
+                value = float(10 ** rng.uniform(4.0, 6.5))
+                circuit.add_resistor(
+                    f"ranchor{round_index}_{net}", net, "0", value)
+    validate_structure(circuit)  # raises with the surviving defects
+    return circuit
+
+
+def random_circuit(seed: int,
+                   config: GeneratorConfig | None = None) -> Circuit:
+    """One constrained-random source-coupled-flavoured netlist.
+
+    Net convention: ``vdd`` and ground are always present and driven;
+    ``vbias<k>`` nets are driven at random fractions of the supply
+    (gate-bias pool); ``inp``/``inn`` form a driven differential input
+    pair around midrail; ``n<k>`` are free internal nets.  NMOS bulks
+    tie to ground and PMOS bulks to ``vdd`` (no random body chaos --
+    that is a device-model question, not a solver one).
+    """
+    config = config or GeneratorConfig()
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(f"fuzz_rand_{seed}")
+
+    vdd = float(rng.uniform(*config.vdd_range))
+    circuit.add_vsource("vvdd", "vdd", "0", vdd)
+    bias_nets = []
+    for k in range(_int_between(rng, config.n_bias)):
+        net = f"vbias{k}"
+        circuit.add_vsource(f"vb{k}", net, "0",
+                            float(rng.uniform(0.1, 0.95)) * vdd)
+        bias_nets.append(net)
+    v_cm = 0.5 * vdd
+    v_diff = float(rng.uniform(0.01, 0.2)) * vdd
+    circuit.add_vsource("vinp", "inp", "0", v_cm + 0.5 * v_diff)
+    circuit.add_vsource("vinn", "inn", "0", v_cm - 0.5 * v_diff)
+
+    internal = [f"n{k}" for k in range(_int_between(rng, config.n_internal))]
+    driven = ["vdd", "inp", "inn", *bias_nets]
+    all_nets = [*driven, *internal, "0"]
+    gate_nets = [*driven, *internal]
+
+    nmos = Mosfet(nmos_180(), *_mos_geometry(rng))
+    pmos = Mosfet(pmos_180(), *_mos_geometry(rng))
+
+    for k in range(_int_between(rng, config.n_devices)):
+        kind = rng.uniform()
+        if kind < 0.30:                                    # NMOS
+            drain, source = _distinct_pair(rng, all_nets)
+            circuit.add_mosfet(f"mn{k}", drain, _choice(rng, gate_nets),
+                               source, "0", nmos)
+        elif kind < 0.50:                                  # PMOS
+            drain, source = _distinct_pair(rng, all_nets)
+            circuit.add_mosfet(f"mp{k}", drain, _choice(rng, gate_nets),
+                               source, "vdd", pmos)
+        elif kind < 0.75:                                  # resistor
+            a, b = _distinct_pair(rng, all_nets)
+            circuit.add_resistor(f"r{k}", a, b,
+                                 float(10 ** rng.uniform(3.0, 7.0)))
+        elif kind < 0.90:                                  # capacitor
+            a, b = _distinct_pair(rng, all_nets)
+            circuit.add_capacitor(f"c{k}", a, b,
+                                  float(10 ** rng.uniform(-15.0, -11.0)))
+        else:                                              # diode
+            a, b = _distinct_pair(rng, all_nets)
+            circuit.add_diode(f"d{k}", a, b, Diode(NWELL_DIODE_180))
+
+    repair_structure(circuit, rng, config.max_repairs)
+    # A few nodeset hints, like a designer would leave: only on nets
+    # the circuit actually uses (a stray nodeset is a *defect* the
+    # validator flags, and deliberately planting one here would make
+    # every case fail at compile instead of exercising the solver).
+    used = set(circuit.node_names)
+    for net in internal:
+        if net in used and rng.uniform() < 0.3:
+            circuit.nodeset(net, float(rng.uniform(0.0, vdd)))
+    return circuit
+
+
+# -- STSCL-biased mutations ----------------------------------------------
+
+
+def _stscl_base(seed: int, rng: np.random.Generator) -> Circuit:
+    """One of the paper's generator outputs, with jittered parameters.
+
+    Stack-depth jitter lives here: buffer chains draw a random stage
+    count and trees a random input count, so the mutant pool spans the
+    1..3-level series-gating depths of the paper's Fig. 8 cells.
+    """
+    from ..stscl import (StsclGateDesign, replica_bias_circuit,
+                         stscl_buffer_chain_circuit,
+                         stscl_inverter_circuit, stscl_majority_circuit,
+                         stscl_tree_circuit)
+
+    design = StsclGateDesign(
+        i_ss=float(10 ** rng.uniform(-9.0, -6.0)),
+        v_sw=float(rng.uniform(0.15, 0.4)))
+    vdd = float(rng.uniform(0.5, 1.2))
+    kind = int(rng.integers(0, 5))
+    if kind == 0:
+        circuit, _ = stscl_inverter_circuit(design, vdd)
+    elif kind == 1:
+        circuit, _ = stscl_buffer_chain_circuit(
+            design, vdd, n_stages=int(rng.integers(1, 5)),
+            in_p=vdd, in_n=vdd - design.v_sw)
+    elif kind == 2:
+        n_inputs = int(rng.integers(1, 4))
+        table = rng.uniform(size=2 ** n_inputs) < 0.5
+        values = [(vdd, vdd - design.v_sw) if rng.uniform() < 0.5
+                  else (vdd - design.v_sw, vdd)
+                  for _ in range(n_inputs)]
+
+        def function(assignment,
+                     table=tuple(bool(b) for b in table)) -> bool:
+            index = sum(bit << k for k, bit in enumerate(assignment))
+            return table[index]
+
+        circuit, _ = stscl_tree_circuit(design, vdd, function, values)
+    elif kind == 3:
+        values = tuple(bool(b) for b in rng.uniform(size=3) < 0.5)
+        circuit, _ = stscl_majority_circuit(design, vdd, values)
+    else:
+        circuit, _ = replica_bias_circuit(design, vdd)
+    circuit.name = f"fuzz_stscl_{seed}"
+    return circuit
+
+
+def rewire(circuit: Circuit, element_name: str, terminal: int,
+           net: str) -> None:
+    """Move one terminal of ``element_name`` onto ``net``.
+
+    The structural mutation primitive of the STSCL mutator: updates the
+    element's node tuple, registers the (possibly new) net and drops
+    the cached compilation so the next compile rebinds indices.
+    """
+    element = circuit.element(element_name)
+    nodes = list(element.nodes)
+    nodes[terminal] = net
+    element.nodes = tuple(nodes)
+    circuit._touch_node(net)
+    circuit.invalidate()
+
+
+def stscl_mutant(seed: int,
+                 config: GeneratorConfig | None = None) -> Circuit:
+    """A structurally mutated STSCL circuit (tail swaps, load rewires).
+
+    Mutations deliberately mis-wire the gate the way a bad netlist
+    generator or a botched layout edit would -- while the repair pass
+    keeps the result structurally solvable, so every mutant still
+    exercises the solver rather than the compile-time validator.
+    """
+    config = config or GeneratorConfig()
+    rng = np.random.default_rng(seed)
+    circuit = _stscl_base(seed, rng)
+
+    mos_names = [e.name for e in circuit.mos_elements()]
+    tail_sources = [e.name for e in circuit.elements
+                    if e.name.startswith("i")]
+    nets = circuit.node_names
+    for _ in range(int(rng.integers(0, 3))):
+        op = rng.uniform()
+        if op < 0.4 and tail_sources:
+            # Tail swap: move a tail sink onto another net (a classic
+            # generator bug -- two gates sharing one tail).
+            rewire(circuit, _choice(rng, tail_sources), 0,
+                   _choice(rng, nets))
+        elif op < 0.8 and mos_names:
+            # Load/pair rewire: reconnect a random MOS drain or source.
+            name = _choice(rng, mos_names)
+            terminal = 0 if rng.uniform() < 0.5 else 2
+            rewire(circuit, name, terminal, _choice(rng, nets))
+        elif mos_names:
+            # Gate rewire: sense another net (stays valid by itself).
+            rewire(circuit, _choice(rng, mos_names), 1,
+                   _choice(rng, nets))
+
+    repair_structure(circuit, rng, config.max_repairs)
+    return circuit
+
+
+def generate(seed: int, mode: str = "mixed",
+             config: GeneratorConfig | None = None) -> Circuit:
+    """The circuit of ``seed`` under ``mode``.
+
+    ``"mixed"`` alternates deterministically: even seeds draw from the
+    free random generator, odd seeds from the STSCL mutation pool.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    if mode == "random" or (mode == "mixed" and seed % 2 == 0):
+        return random_circuit(seed, config)
+    return stscl_mutant(seed, config)

@@ -1,0 +1,106 @@
+"""Greedy case shrinking: minimal circuits that still fail the same way.
+
+A raw fuzz failure is a haystack -- a dozen random devices, of which
+two matter.  The shrinker works on the *deck* representation
+(:mod:`repro.spice.io`), the same serialization the corpus stores, so
+"remove a device" is "drop a card" and the minimized case is corpus-
+ready by construction: repeatedly try dropping each element card (and
+each ``.nodeset`` hint) and keep the removal whenever the case still
+reproduces the same failure class.
+
+The failure class is ``(phase, status, leading detail token)`` of the
+harness verdict -- coarse enough that shrinking survives cosmetic
+message changes, fine enough that a case cannot drift from a transient
+NaN violation to some unrelated compile error while shrinking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..spice.io import read_netlist, write_netlist
+from ..spice.netlist import Circuit
+from .harness import FuzzBudgets, FuzzCaseResult, run_case
+
+#: Hard cap on shrink evaluations; greedy passes usually need far
+#: fewer, but a pathological case must not turn minimization into a
+#: second fuzzing campaign.
+MAX_EVALS = 200
+
+
+@dataclass(frozen=True)
+class FailureClass:
+    """The shrink-invariant signature of a harness verdict."""
+
+    status: str
+    phase: str
+    kind: str
+
+    @classmethod
+    def of(cls, result: FuzzCaseResult) -> "FailureClass":
+        # First token of the detail is the exception type (harness
+        # formats "<TypeName>: ..." / "foreign exception <TypeName>").
+        token = result.detail.split(":", 1)[0].strip()
+        return cls(status=result.status, phase=result.phase, kind=token)
+
+
+def _deck_lines(deck: str) -> list[str]:
+    return deck.splitlines()
+
+
+def _is_droppable(line: str) -> bool:
+    stripped = line.strip()
+    if not stripped or stripped.startswith("*"):
+        return False
+    if stripped.lower().startswith((".temp", ".end")):
+        return False
+    return True  # element cards and .nodeset hints
+
+
+def _evaluate(deck: str, budgets: FuzzBudgets,
+              seed: int, mode: str) -> FailureClass | None:
+    """Failure class of a deck, or None when it does not even parse."""
+    try:
+        circuit = read_netlist(deck)
+    except ReproError:
+        return None
+    result = run_case(circuit, budgets, seed=seed, mode=mode)
+    return FailureClass.of(result)
+
+
+def shrink_case(circuit: Circuit, result: FuzzCaseResult,
+                budgets: FuzzBudgets | None = None,
+                max_evals: int = MAX_EVALS) -> tuple[str, int]:
+    """Minimize ``circuit`` while ``result``'s failure class reproduces.
+
+    Returns ``(minimal deck text, evaluations spent)``.  The original
+    circuit is never mutated.  When the failure does not reproduce even
+    unshrunk (a flaky wall-clock abort, say), the full deck is returned
+    untouched -- a corpus entry is still better than a lost case.
+    """
+    budgets = budgets or FuzzBudgets()
+    target = FailureClass.of(result)
+    deck = write_netlist(circuit)
+    evals = 1
+    if _evaluate(deck, budgets, result.seed, result.mode) != target:
+        return deck, evals
+
+    lines = _deck_lines(deck)
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        index = 0
+        while index < len(lines) and evals < max_evals:
+            if not _is_droppable(lines[index]):
+                index += 1
+                continue
+            candidate = lines[:index] + lines[index + 1:]
+            evals += 1
+            if _evaluate("\n".join(candidate), budgets, result.seed,
+                         result.mode) == target:
+                lines = candidate        # keep the removal
+                improved = True
+            else:
+                index += 1
+    return "\n".join(lines) + "\n", evals

@@ -844,6 +844,17 @@ def _batch_op(circuit: "Circuit", lanes: list[LaneSpec],
     failures: list[tuple[int, ConvergenceError]] = []
     for lane_index in np.nonzero(converged)[0]:
         lane_index = int(lane_index)
+        if not np.all(np.isfinite(X[lane_index])):
+            # A lane must never be *packaged* with NaN/inf in its
+            # solution vector, whatever the convergence bookkeeping
+            # says -- demote it to the serial fallback below, which
+            # either produces a real solution or a diagnosed failure.
+            converged[lane_index] = False
+            phase1.reasons.setdefault(
+                lane_index,
+                "non-finite solution vector after batched convergence")
+            tspan.event("lane-nonfinite", lane=lane_index)
+            continue
         stages = _lane_stages(lane_index)
         total = sum(s.iterations for s in stages)
         lane_diag = SolverDiagnostics(

@@ -133,6 +133,10 @@ class Circuit:
         #: ``compile()`` hit does not count).  Exposed for tests and
         #: benchmarks of the compile cache.
         self.compile_count = 0
+        #: Default for :meth:`compile`'s structural validation.  Leave
+        #: on; circuits that are *deliberately* degenerate (singular-
+        #: matrix robustness tests) can opt out per instance.
+        self.validate_on_compile = True
 
     # -- construction ---------------------------------------------------
 
@@ -261,13 +265,22 @@ class Circuit:
 
     # -- compilation -----------------------------------------------------
 
-    def compile(self) -> CompiledCircuit:
+    def compile(self, validate: bool | None = None) -> CompiledCircuit:
         """Assign MNA indices and bind them into the elements.
 
         The result is cached on the circuit: repeated calls (every
         sweep point, every transient run) return the same
         :class:`CompiledCircuit` -- and therefore the same vectorized
         assembler -- until a structural mutation invalidates it.
+
+        Every fresh compilation first runs the structural validator
+        (:func:`repro.spice.validate.validate_structure`): floating
+        nets, sense-only (gate-only) nets and rail-disconnected
+        subgraphs raise :class:`~repro.errors.NetlistError` naming the
+        offending nets instead of surfacing later as a bare LAPACK
+        singular-matrix error mid-Newton.  ``validate=False`` skips the
+        check (deliberately degenerate test circuits); ``None`` follows
+        :attr:`validate_on_compile`.
         """
         if self._compiled is not None:
             if telemetry.is_enabled():
@@ -275,6 +288,9 @@ class Circuit:
             return self._compiled
         if not self.elements:
             raise NetlistError(f"circuit {self.name!r} has no elements")
+        if validate if validate is not None else self.validate_on_compile:
+            from .validate import validate_structure
+            validate_structure(self)
         if telemetry.is_enabled():
             telemetry.current_span().inc("compile_cache_misses")
         node_index = {name: i for i, name in enumerate(self._node_order)}

@@ -92,6 +92,16 @@ class NewtonOptions:
             still loses wall time to the extra assembled iterations
             its linear tail needs -- reuse must be nearly free (close
             to the quadratic trajectory) to pay.
+        max_wall_time: Wall-clock budget [s] for one whole ladder solve
+            (every rung included).  When exhausted, the solve aborts
+            with a :class:`~repro.errors.ConvergenceError` carrying the
+            usual :class:`SolverDiagnostics` and ``stage="wall-clock"``
+            -- so a pathological circuit (a fuzz case, a bad production
+            job) can never hang a worker.  None: unlimited.
+        deadline: Absolute ``time.perf_counter()`` cutoff, set
+            *internally* by :func:`run_ladder` / the transient engine
+            from ``max_wall_time``; leave None.  The Newton kernel
+            checks it every iteration.
     """
 
     max_iterations: int = 200
@@ -102,6 +112,8 @@ class NewtonOptions:
     stall_window: int = 25
     lu_reuse: bool = True
     lu_contraction: float = 0.04
+    max_wall_time: float | None = None
+    deadline: float | None = None
 
 
 def step_converged(step_norm, v_max, options: NewtonOptions):
@@ -237,7 +249,13 @@ def _newton_kernel(compiled: "CompiledCircuit", x0: np.ndarray,
         if reusing else None
     prev_norm = np.inf
     observing = trace is not None or tspan is not None
+    deadline = options.deadline
     for iteration in range(1, options.max_iterations + 1):
+        if deadline is not None and _time.perf_counter() >= deadline:
+            raise ConvergenceError(
+                f"wall-clock budget exhausted after {iteration - 1} "
+                f"Newton iterations in {compiled.circuit.name}",
+                iterations=iteration - 1, stage="wall-clock")
         compiled.stamp_all(st, x, time)
         if extra_stamp is not None:
             extra_stamp(st, x)
@@ -643,6 +661,13 @@ def run_ladder(circuit: "Circuit", compiled: "CompiledCircuit",
     diagnostics = SolverDiagnostics(circuit=circuit.name)
     ladder = telemetry.current_span()
     ladder_start = _time.perf_counter()
+    if options.max_wall_time is not None and options.deadline is None:
+        # One absolute deadline covers the whole ladder; the Newton
+        # kernel enforces it every iteration, and the rung loop below
+        # stops climbing once it has passed.
+        options = replace(options,
+                          deadline=ladder_start + options.max_wall_time)
+    deadline_hit = False
     for strategy in strategies:
         trace: list[float] = []
         stage_start = _time.perf_counter()
@@ -669,6 +694,12 @@ def run_ladder(circuit: "Circuit", compiled: "CompiledCircuit",
                 residuals=tuple(trace[-RESIDUAL_TRACE_LIMIT:]),
                 detail=str(error)))
             diagnostics.total_iterations += len(trace)
+            if options.deadline is not None and \
+                    _time.perf_counter() >= options.deadline:
+                deadline_hit = True
+                ladder.event("ladder-deadline", strategy=strategy.name,
+                             budget=options.max_wall_time)
+                break
             continue
         ladder.event("ladder-rung", strategy=strategy.name,
                      converged=True, iterations=iterations,
@@ -683,6 +714,17 @@ def run_ladder(circuit: "Circuit", compiled: "CompiledCircuit",
         return x, diagnostics
     diagnostics.wall_time = _time.perf_counter() - ladder_start
     last = diagnostics.stages[-1]
+    if deadline_hit:
+        budget = (f"{options.max_wall_time:.3g}s"
+                  if options.max_wall_time is not None else "deadline")
+        raise ConvergenceError(
+            f"wall-clock budget of {budget} "
+            f"exhausted for {circuit.name!r} after "
+            f"{', '.join(s.strategy for s in diagnostics.stages)} "
+            f"({diagnostics.wall_time:.3g}s spent)",
+            iterations=diagnostics.total_iterations,
+            residual=last.residuals[-1] if last.residuals else None,
+            diagnostics=diagnostics, stage="wall-clock")
     raise ConvergenceError(
         f"every solve strategy failed for {circuit.name!r} "
         f"(tried {', '.join(s.strategy for s in diagnostics.stages)})",

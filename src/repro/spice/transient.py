@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 import math
+import time as _time
 
 import numpy as np
 
@@ -72,6 +73,12 @@ class TransientOptions:
         trtol: Truncation-error overestimation divisor (SPICE's TRTOL).
             The divided-difference LTE estimate is conservative by
             roughly this factor on smooth waveforms.
+        max_wall_time: Wall-clock budget [s] for the whole run (initial
+            operating point included).  When exceeded, the run aborts
+            with :class:`~repro.errors.ConvergenceError` carrying the
+            :class:`TransientTelemetry` gathered so far (stage
+            ``"wall-clock"``); None (default) means unlimited and
+            leaves the step loop's instruction sequence untouched.
     """
 
     dt_initial: float | None = None
@@ -85,6 +92,7 @@ class TransientOptions:
     reltol: float = 1.0e-3
     abstol: float = 1.0e-6
     trtol: float = 7.0
+    max_wall_time: float | None = None
 
 
 @dataclass
@@ -232,17 +240,23 @@ def _lte_factor(err_norm: float, order: int) -> float:
 
 def transient(circuit: Circuit, t_stop: float,
               options: TransientOptions | None = None,
-              initial_op: OpResult | None = None) -> TranResult:
+              initial_op: OpResult | None = None,
+              max_wall_time: float | None = None) -> TranResult:
     """Integrate ``circuit`` from t = 0 (DC operating point) to ``t_stop``.
 
     Under an active telemetry trace the whole run is wrapped in a
     ``transient`` span: step-acceptance counters, one ``step-rejected``
     event per shrink (annotated with its cause, ``newton`` or ``lte``),
     and the per-step Newton spans of the inner solver nest underneath.
+
+    ``max_wall_time`` is a convenience override for
+    :attr:`TransientOptions.max_wall_time`.
     """
     if t_stop <= 0.0:
         raise NetlistError(f"t_stop must be positive, got {t_stop}")
     options = options or TransientOptions()
+    if max_wall_time is not None:
+        options = replace(options, max_wall_time=max_wall_time)
     if options.method not in ("trap", "be"):
         raise NetlistError(f"unknown method {options.method!r}")
     if options.step_control not in ("lte", "legacy"):
@@ -264,6 +278,14 @@ def _transient_run(circuit: Circuit, t_stop: float,
     dt = min(dt, dt_max)
     legacy = options.step_control == "legacy"
     newton_options = options.newton
+    deadline = None
+    if options.max_wall_time is not None:
+        # One absolute deadline covers the whole run; it is also
+        # threaded into the per-step Newton solves so a single stuck
+        # solve cannot outlive the budget.  When unset (the default)
+        # the options are untouched -- the legacy bit-compat contract.
+        deadline = _time.perf_counter() + options.max_wall_time
+        newton_options = replace(newton_options, deadline=deadline)
     if legacy:
         # Bit-compatibility mode: the pre-LTE heuristic must execute
         # the historical instruction sequence exactly, so the chord /
@@ -351,6 +373,13 @@ def _transient_run(circuit: Circuit, t_stop: float,
     # ``t`` must not leave a ~1e-16*t_stop residue to be "stepped" over
     # (it would pollute the telemetry's smallest committed step).
     while t < t_stop * (1.0 - 1e-12):
+        if deadline is not None and _time.perf_counter() >= deadline:
+            raise ConvergenceError(
+                f"transient exceeded its wall-clock budget of "
+                f"{options.max_wall_time:.3g}s at t={t:.3e}s "
+                f"({t / t_stop:.0%} of t_stop) in {circuit.name} "
+                f"({step_log.describe()})",
+                diagnostics=step_log, stage="wall-clock")
         # Snap the step onto the next breakpoint or the stop time.
         while bp_cursor < len(breakpoints) and breakpoints[bp_cursor] <= t * (1 + 1e-12):
             bp_cursor += 1
@@ -414,6 +443,16 @@ def _transient_run(circuit: Circuit, t_stop: float,
                                        lu_state=lu_state)
                 step_log.newton_iterations += iters
             except ConvergenceError:
+                if deadline is not None and \
+                        _time.perf_counter() >= deadline:
+                    # A budget-killed Newton solve must surface as the
+                    # wall-clock abort, not grind dt to the dt-min
+                    # stall diagnosis.
+                    raise ConvergenceError(
+                        f"transient exceeded its wall-clock budget of "
+                        f"{options.max_wall_time:.3g}s at t={t:.3e}s "
+                        f"in {circuit.name} ({step_log.describe()})",
+                        diagnostics=step_log, stage="wall-clock")
                 reject("newton", t, step)
                 step /= 4.0
                 if step < dt_min:

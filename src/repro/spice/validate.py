@@ -1,0 +1,209 @@
+"""Pre-solve structural netlist validation.
+
+A malformed netlist -- a net nothing can drive, an island with no path
+to the rails -- produces a structurally singular MNA system.  Left
+unchecked, that surfaces mid-Newton as a bare LAPACK
+``LinAlgError: Singular matrix`` (or, worse, as a gmin-regularised
+garbage solution).  This module diagnoses the structure *before* the
+first factorization and raises :class:`~repro.errors.NetlistError`
+naming the offending nets, so a fuzz case, an imported deck or a
+hand-built circuit fails with an actionable message instead of a
+linear-algebra traceback.
+
+Three structural defects are detected (in order of specificity):
+
+* **floating net** -- a net no element touches at all (typically a
+  ``nodeset`` on a net that was never wired);
+* **sense-only net** -- a net touched exclusively by terminals that
+  read a voltage but cannot source or sink DC current (MOS gate/bulk,
+  VCVS/VCCS control pins, capacitor plates).  Its MNA row is all-zero
+  in DC: structurally singular;
+* **rail-disconnected subgraph** -- a group of nets whose *conductive*
+  elements (resistors, voltage sources, VCVS outputs, diodes, MOS
+  drain-source channels) never reach the ground reference, leaving the
+  island's absolute potential undetermined.  Nets held only by a
+  current source or a VCCS output fall in this class too: current
+  injection without conductance contributes nothing to the Jacobian.
+
+The classification of each element type mirrors what it stamps (see
+:mod:`repro.spice.elements`): an edge counts as conductive exactly when
+the element couples its terminals in the DC Jacobian.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NetlistError
+from .elements import (Capacitor, CurrentSource, DiodeElement, Element,
+                       MosElement, Resistor, Vccs, Vcvs, VoltageSource)
+
+#: Issue kinds reported by :func:`structural_report`.
+FLOATING_NET = "floating-net"
+SENSE_ONLY_NET = "sense-only-net"
+RAIL_DISCONNECTED = "rail-disconnected"
+
+
+@dataclass(frozen=True)
+class StructuralIssue:
+    """One structural defect of a netlist.
+
+    Attributes:
+        kind: One of :data:`FLOATING_NET`, :data:`SENSE_ONLY_NET`,
+            :data:`RAIL_DISCONNECTED`.
+        nets: The offending net names (sorted).
+        detail: Human-readable explanation, naming the touching
+            elements where it helps.
+    """
+
+    kind: str
+    nets: tuple[str, ...]
+    detail: str
+
+
+def _conductive_pairs(element: Element) -> list[tuple[str, str]]:
+    """Node pairs ``element`` couples in the DC Jacobian.
+
+    A voltage source (and a VCVS output) pins its two terminals
+    together through the auxiliary branch row; R / diode / MOS channel
+    contribute a conductance between their current-carrying terminals.
+    Capacitors are DC-open; current sources and VCCS outputs inject
+    current without any conductance.
+    """
+    if isinstance(element, (Resistor, VoltageSource, DiodeElement)):
+        return [(element.nodes[0], element.nodes[1])]
+    if isinstance(element, Vcvs):
+        return [(element.nodes[0], element.nodes[1])]
+    if isinstance(element, Vccs):
+        # A VCCS output row couples to its *control* columns; an
+        # output net with no other conductance is gmin-anchored at DC
+        # -- the conventional ideal gm-C integrator idiom -- so the
+        # output pair counts as coupled to the controls (and to each
+        # other) rather than as a floating island.
+        p, n, cp, cn = element.nodes
+        return [(p, n), (p, cp), (n, cn)]
+    if isinstance(element, MosElement):
+        drain, _gate, source, _bulk = element.nodes
+        return [(drain, source)]
+    return []
+
+
+def _current_terminals(element: Element) -> list[str]:
+    """Nets into which ``element`` can source or sink DC current.
+
+    These terminals produce a nonzero MNA *row* contribution; a net
+    touched by none of them has an all-zero row and is structurally
+    singular (the sense-only defect).
+    """
+    if isinstance(element, (Resistor, VoltageSource, CurrentSource,
+                            DiodeElement)):
+        return list(element.nodes[:2])
+    if isinstance(element, (Vcvs, Vccs)):
+        return list(element.nodes[:2])  # outputs; controls only sense
+    if isinstance(element, MosElement):
+        drain, _gate, source, _bulk = element.nodes
+        return [drain, source]
+    if isinstance(element, Capacitor):
+        return []  # DC-open
+    # Unknown element subclass: assume every terminal carries current
+    # (never produce a false alarm for a foreign element type).
+    return list(element.nodes)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+
+    def find(self, key: str) -> str:
+        root = key
+        while self._parent.setdefault(root, root) != root:
+            root = self._parent[root]
+        while self._parent[key] != root:  # path compression
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+def structural_report(circuit) -> list[StructuralIssue]:
+    """All structural defects of ``circuit``, without raising.
+
+    The empty list means the netlist passes every check.  ``circuit``
+    is a :class:`~repro.spice.netlist.Circuit` (typed loosely to avoid
+    an import cycle).
+    """
+    from .netlist import is_ground
+
+    touches: dict[str, list[str]] = {n: [] for n in circuit.node_names}
+    current: dict[str, set[str]] = {n: set() for n in circuit.node_names}
+    uf = _UnionFind()
+    ground = "0"
+    uf.find(ground)
+
+    def canon(node: str) -> str:
+        return ground if is_ground(node) else node
+
+    for element in circuit.elements:
+        for node in element.nodes:
+            node = canon(node)
+            if node != ground:
+                touches.setdefault(node, []).append(element.name)
+        for node in _current_terminals(element):
+            node = canon(node)
+            if node != ground:
+                current.setdefault(node, set()).add(element.name)
+        for a, b in _conductive_pairs(element):
+            uf.union(canon(a), canon(b))
+
+    issues: list[StructuralIssue] = []
+
+    floating = sorted(n for n, t in touches.items() if not t)
+    if floating:
+        issues.append(StructuralIssue(
+            kind=FLOATING_NET, nets=tuple(floating),
+            detail=f"net(s) {', '.join(map(repr, floating))} are not "
+                   f"connected to any element (a nodeset on an unwired "
+                   f"net?)"))
+
+    sense_only = sorted(n for n, t in touches.items()
+                        if t and not current.get(n))
+    if sense_only:
+        by_net = [f"{net!r} (touched by "
+                  f"{', '.join(sorted(set(touches[net]))[:4])})"
+                  for net in sense_only]
+        issues.append(StructuralIssue(
+            kind=SENSE_ONLY_NET, nets=tuple(sense_only),
+            detail=f"net(s) {'; '.join(by_net)} are only sensed -- MOS "
+                   f"gates/bulks, control pins and capacitors read a "
+                   f"voltage but cannot source or sink DC current, so "
+                   f"the MNA row is structurally singular"))
+
+    flagged = set(floating) | set(sense_only)
+    ground_root = uf.find(ground)
+    disconnected = sorted(
+        n for n, t in touches.items()
+        if t and n not in flagged and uf.find(n) != ground_root)
+    if disconnected:
+        issues.append(StructuralIssue(
+            kind=RAIL_DISCONNECTED, nets=tuple(disconnected),
+            detail=f"net(s) {', '.join(map(repr, disconnected))} have "
+                   f"no conductive path (R, V-source, diode, MOS "
+                   f"channel) to the ground reference; the island's "
+                   f"absolute potential is undetermined"))
+    return issues
+
+
+def validate_structure(circuit) -> None:
+    """Raise :class:`~repro.errors.NetlistError` naming the offending
+    nets when ``circuit`` is structurally singular; no-op otherwise."""
+    issues = structural_report(circuit)
+    if not issues:
+        return
+    summary = "; ".join(issue.detail for issue in issues)
+    error = NetlistError(
+        f"circuit {circuit.name!r} is structurally singular: {summary}")
+    error.issues = issues  # forensic payload for programmatic callers
+    raise error

@@ -185,3 +185,30 @@ class TestDcSweepBatched:
         assert ([k for k, _ in batched.failures]
                 == [k for k, _ in serial.failures])
         assert not batched.points[1].converged
+
+
+def _nan_draw(seed, circuit):
+    """Seed 2 draws a NaN source value: a degenerate lane whose solve
+    can never succeed, batched or serial."""
+    value = float("nan") if seed == 2 else 0.5 + 0.1 * seed
+    return LaneSpec.source("V1", value, label=f"seed-{seed}")
+
+
+NAN_SPEC = BatchedOpMetric(build=_diode_build, draw=_nan_draw,
+                           measure=_diode_measure, options=TIGHT)
+
+
+class TestSingularLaneBackend:
+    def test_degenerate_lane_records_failed_seed(self):
+        """One NaN lane in a batched Monte-Carlo population must record
+        a failed-seed entry -- the healthy seeds' statistics unharmed
+        -- not poison the stacked solve."""
+        run = MonteCarlo(NAN_SPEC, n_runs=5, on_error="skip",
+                         backend="batched").run()
+        assert [seed for seed, _ in run.failed_seeds] == [2]
+        assert np.isfinite(run["v_a"].mean)
+        serial = MonteCarlo(NAN_SPEC, n_runs=5, on_error="skip").run()
+        assert ([seed for seed, _ in serial.failed_seeds]
+                == [seed for seed, _ in run.failed_seeds])
+        np.testing.assert_allclose(run["v_a"].values,
+                                   serial["v_a"].values, rtol=1e-9)

@@ -78,3 +78,80 @@ class TestChunkedMonteCarlo:
         assert serial["v"].mean == chunked["v"].mean
         assert serial["v"].std == chunked["v"].std
         assert serial["v"].p05 == chunked["v"].p05
+
+
+def _failing_metric(seed):
+    """Module-level Monte-Carlo metric that fails a hard solve: the
+    worker catches the ConvergenceError and ships it back as data."""
+    from repro.devices.diode import Diode, DiodeParameters
+    from repro.spice import Circuit, NewtonOptions, operating_point
+    from repro.spice.strategies import NewtonStrategy
+
+    ckt = Circuit(f"hard_diode_{seed}")
+    ckt.add_vsource("V1", "in", "0", 8.0)
+    ckt.add_resistor("RS", "in", "a", 10.0)
+    ckt.add_diode("D1", "a", "0",
+                  Diode(DiodeParameters(name="j", i_s=1e-16)))
+    operating_point(ckt, NewtonOptions(max_iterations=5),
+                    strategies=(NewtonStrategy(),))
+    return {"v": 0.0}  # unreachable
+
+
+class _Unpicklable:
+    def __reduce__(self):
+        raise TypeError("deliberately unpicklable")
+
+    def __repr__(self):
+        return "<opaque report>"
+
+
+class TestExceptionFidelity:
+    def test_convergence_error_pickles_with_diagnostics(self):
+        import pickle
+
+        from repro.errors import ConvergenceError
+
+        with pytest.raises(ConvergenceError) as excinfo:
+            _failing_metric(0)
+        original = excinfo.value
+        restored = pickle.loads(pickle.dumps(original))
+        assert isinstance(restored, ConvergenceError)
+        assert str(restored) == str(original)
+        assert restored.iterations == original.iterations
+        assert restored.stage == original.stage
+        assert restored.diagnostics is not None
+        assert restored.diagnostics.circuit == \
+            original.diagnostics.circuit
+        assert [s.strategy for s in restored.diagnostics.stages] == \
+            [s.strategy for s in original.diagnostics.stages]
+        assert restored.diagnostics.stages[0].residuals == \
+            original.diagnostics.stages[0].residuals
+
+    def test_unpicklable_diagnostics_degrade_not_poison(self):
+        import pickle
+
+        from repro.errors import ConvergenceError
+
+        error = ConvergenceError("solve failed", iterations=7,
+                                 diagnostics=_Unpicklable(),
+                                 stage="newton")
+        restored = pickle.loads(pickle.dumps(error))
+        assert restored.iterations == 7
+        assert restored.stage == "newton"
+        assert "opaque report" in restored.diagnostics
+
+    def test_diagnostics_survive_worker_round_trip(self):
+        """The real pool: a worker-side ConvergenceError re-raised in
+        the parent under n_workers > 1 must still carry its full
+        SolverDiagnostics, not a stripped-down copy."""
+        from repro.analysis import MonteCarlo
+        from repro.errors import ConvergenceError
+
+        with pytest.raises(ConvergenceError) as excinfo:
+            MonteCarlo(_failing_metric, n_runs=4, n_workers=2).run()
+        error = excinfo.value
+        assert error.stage == "newton"
+        assert error.iterations is not None
+        assert error.diagnostics is not None
+        assert error.diagnostics.stages
+        assert error.diagnostics.stages[0].residuals

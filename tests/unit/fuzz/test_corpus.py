@@ -1,0 +1,95 @@
+"""Unit tests for the regression corpus + replay of committed cases."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fuzz import (CorpusEntry, FuzzBudgets, FuzzCaseResult,
+                        load_corpus, replay_entry, save_entry)
+
+#: The committed regression corpus (minimized fuzz failures).
+CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+QUICK = FuzzBudgets(max_iterations=40, op_wall=2.0, sweep_wall=4.0,
+                    tran_wall=4.0, fault_wall=4.0, sweep_points=3,
+                    t_stop=5e-8)
+
+DECK = """* tiny
+.temp 27.00
+Vv1 in 0 DC 1
+Rr1 in out 1k
+Rr2 out 0 1k
+.end
+"""
+
+
+def entry_of(deck: str, status: str = "diagnosed",
+             phase: str = "op") -> CorpusEntry:
+    result = FuzzCaseResult(seed=3, mode="mixed", circuit_name="tiny",
+                            status=status, phase=phase,
+                            detail="ConvergenceError: synthetic")
+    return CorpusEntry.from_result(result, deck, note="unit test")
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self):
+        entry = entry_of(DECK)
+        assert CorpusEntry.from_json(entry.to_json()) == entry
+
+    def test_schema_guard(self):
+        bad = entry_of(DECK).to_json().replace(
+            '"schema": 1', '"schema": 99')
+        with pytest.raises(ReproError, match="schema"):
+            CorpusEntry.from_json(bad)
+
+    def test_save_and_load(self, tmp_path):
+        entry = entry_of(DECK)
+        path = save_entry(entry, tmp_path)
+        assert path.parent == tmp_path
+        loaded = load_corpus(tmp_path)
+        assert loaded == [(path, entry)]
+
+    def test_save_sanitizes_name(self, tmp_path):
+        result = FuzzCaseResult(seed=0, mode="manual",
+                                circuit_name="weird/name: x",
+                                status="ok")
+        path = save_entry(CorpusEntry.from_result(result, DECK),
+                          tmp_path)
+        assert "/" not in path.name[:-5]
+        assert path.exists()
+
+
+class TestReplay:
+    def test_replays_healthy_deck_ok(self):
+        result = replay_entry(entry_of(DECK, status="ok", phase="all"),
+                              QUICK)
+        assert result.status == "ok"
+        assert result.circuit_name == "tiny"
+
+    def test_unparseable_deck_is_violation(self):
+        entry = entry_of("Xbogus a b c\n.end\n")
+        result = replay_entry(entry, QUICK)
+        assert result.status == "violation"
+        assert result.phase == "parse"
+
+
+def _committed_corpus():
+    entries = load_corpus(CORPUS_DIR)
+    assert entries, f"no committed corpus cases under {CORPUS_DIR}"
+    return entries
+
+
+@pytest.mark.parametrize(
+    "path,entry", _committed_corpus(),
+    ids=lambda value: value.name if isinstance(value, Path) else "")
+class TestCommittedCorpus:
+    """Every committed minimized fuzz case must stay clean forever:
+    it either converges or fails with diagnostics -- a ``violation``
+    on replay means the converge-or-diagnose guarantee regressed."""
+
+    def test_replay_is_clean(self, path, entry):
+        result = replay_entry(entry, QUICK)
+        assert result.status in ("ok", "diagnosed"), (
+            f"{path.name} regressed to a violation: "
+            f"[{result.phase}] {result.detail}")

@@ -1,0 +1,101 @@
+"""Unit tests for the constrained-random netlist generator."""
+
+import pytest
+
+from repro.fuzz import (GeneratorConfig, generate, random_circuit,
+                        repair_structure, rewire, stscl_mutant)
+from repro.spice.io import write_netlist
+from repro.spice.netlist import Circuit
+from repro.spice.validate import structural_report
+
+SEEDS = list(range(12))
+
+
+class TestRandomCircuit:
+    def test_deterministic(self):
+        # The deck text is the strongest equality we have.
+        assert (write_netlist(random_circuit(5))
+                == write_netlist(random_circuit(5)))
+
+    def test_different_seeds_differ(self):
+        decks = {write_netlist(random_circuit(s)) for s in SEEDS}
+        assert len(decks) > 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_structurally_valid(self, seed):
+        circuit = random_circuit(seed)
+        assert structural_report(circuit) == []
+
+    def test_net_conventions(self):
+        circuit = random_circuit(3)
+        names = {e.name for e in circuit.elements}
+        assert {"vvdd", "vinp", "vinn"} <= names
+        assert "vdd" in circuit.node_names
+
+    def test_config_bounds_device_count(self):
+        config = GeneratorConfig(n_devices=(2, 3), max_repairs=6)
+        circuit = random_circuit(1, config)
+        random_devices = [e for e in circuit.elements
+                          if e.name[0] in "mrcd"
+                          and "." not in e.name  # MOS parasitic caps
+                          and not e.name.startswith("ranchor")]
+        assert 2 <= len(random_devices) <= 3
+
+
+class TestStsclMutant:
+    def test_deterministic(self):
+        assert (write_netlist(stscl_mutant(9))
+                == write_netlist(stscl_mutant(9)))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_structurally_valid(self, seed):
+        assert structural_report(stscl_mutant(seed)) == []
+
+    def test_named_after_seed(self):
+        assert stscl_mutant(4).name == "fuzz_stscl_4"
+
+
+class TestGenerate:
+    def test_mixed_alternates(self):
+        assert generate(2, "mixed").name.startswith("fuzz_rand_")
+        assert generate(3, "mixed").name.startswith("fuzz_stscl_")
+
+    def test_pure_modes(self):
+        assert generate(3, "random").name == "fuzz_rand_3"
+        assert generate(2, "stscl").name == "fuzz_stscl_2"
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            generate(0, "chaos")
+
+
+class TestRepair:
+    def test_anchors_sense_only_net(self):
+        import numpy as np
+
+        from repro.devices.mosfet import Mosfet
+        from repro.devices.parameters import nmos_180
+
+        circuit = Circuit("dangling_gate")
+        circuit.add_vsource("v1", "vdd", "0", 1.0)
+        circuit.add_resistor("rl", "vdd", "out", 1e5)
+        # Gate net driven by nothing: sense-only defect.
+        circuit.add_mosfet("m1", "out", "gfloat", "0", "0",
+                           Mosfet(nmos_180(), 1e-6, 0.18e-6))
+        assert structural_report(circuit) != []
+        repair_structure(circuit, np.random.default_rng(0))
+        assert structural_report(circuit) == []
+        anchors = [e for e in circuit.elements
+                   if e.name.startswith("ranchor")]
+        assert anchors
+
+    def test_rewire_moves_terminal_and_invalidates(self):
+        circuit = Circuit("rewire_target")
+        circuit.add_vsource("v1", "a", "0", 1.0)
+        circuit.add_resistor("r1", "a", "b", 1e3)
+        circuit.add_resistor("r2", "b", "0", 1e3)
+        rewire(circuit, "r1", 1, "0")
+        assert circuit.element("r1").nodes == ("a", "0")
+        # New net registered even if previously unseen.
+        rewire(circuit, "r2", 0, "c")
+        assert "c" in circuit.node_names

@@ -1,0 +1,155 @@
+"""Unit tests for the converge-or-diagnose fuzz harness."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import ConvergenceError
+from repro.fuzz import FuzzBudgets, run_campaign, run_case
+from repro.fuzz import harness as harness_mod
+from repro.spice.netlist import Circuit
+
+#: Small budgets keep unit tests fast; classification logic does not
+#: depend on the budget sizes.
+QUICK = FuzzBudgets(max_iterations=40, op_wall=2.0, sweep_wall=4.0,
+                    tran_wall=4.0, fault_wall=4.0, sweep_points=3,
+                    t_stop=5e-8)
+
+
+def divider() -> Circuit:
+    circuit = Circuit("divider")
+    circuit.add_vsource("v1", "in", "0", 1.0)
+    circuit.add_resistor("r1", "in", "out", 1e3)
+    circuit.add_resistor("r2", "out", "0", 1e3)
+    return circuit
+
+
+class TestRunCase:
+    def test_clean_circuit_is_ok(self):
+        result = run_case(divider(), QUICK)
+        assert result.status == "ok"
+        assert result.phase == "all"
+        assert result.detail == ""
+        assert result.wall_time > 0.0
+
+    def test_repro_error_is_diagnosed(self, monkeypatch):
+        def raise_clean(circuit, budgets):
+            raise ConvergenceError(
+                "no luck", iterations=3, stage="newton",
+                diagnostics=object())
+
+        monkeypatch.setitem(harness_mod._PHASE_FUNCS, "op", raise_clean)
+        result = run_case(divider(), QUICK)
+        assert result.status == "diagnosed"
+        assert result.phase == "op"
+        assert "ConvergenceError" in result.detail
+
+    def test_foreign_exception_is_violation(self, monkeypatch):
+        def raise_foreign(circuit, budgets):
+            raise np.linalg.LinAlgError("singular matrix")
+
+        monkeypatch.setitem(harness_mod._PHASE_FUNCS, "transient",
+                            raise_foreign)
+        result = run_case(divider(), QUICK)
+        assert result.status == "violation"
+        assert result.phase == "transient"
+        assert "foreign exception LinAlgError" in result.detail
+
+    def test_convergence_error_without_diagnostics_is_violation(
+            self, monkeypatch):
+        def raise_bare(circuit, budgets):
+            raise ConvergenceError("mystery failure")
+
+        monkeypatch.setitem(harness_mod._PHASE_FUNCS, "dc_sweep",
+                            raise_bare)
+        result = run_case(divider(), QUICK)
+        assert result.status == "violation"
+        assert "without diagnostics" in result.detail
+
+    def test_nan_in_converged_result_is_violation(self, monkeypatch):
+        def nan_phase(circuit, budgets):
+            harness_mod._check_finite([1.0, float("nan")], "op test")
+
+        monkeypatch.setitem(harness_mod._PHASE_FUNCS, "op", nan_phase)
+        result = run_case(divider(), QUICK)
+        assert result.status == "violation"
+        assert "non-finite" in result.detail
+
+    def test_phase_overrun_is_violation(self, monkeypatch):
+        budgets = FuzzBudgets(op_wall=0.001)
+
+        def slow_phase(circuit, _budgets):
+            import time
+            time.sleep(0.05)  # >> 0.001 s * HANG_GRACE
+
+        monkeypatch.setitem(harness_mod._PHASE_FUNCS, "op", slow_phase)
+        result = run_case(divider(), budgets)
+        assert result.status == "violation"
+        assert "deadline plumbing failed" in result.detail
+
+    def test_never_raises(self, monkeypatch):
+        def explode(circuit, budgets):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setitem(harness_mod._PHASE_FUNCS, "faults", explode)
+        result = run_case(divider(), QUICK)  # must not raise
+        assert result.status == "violation"
+
+
+class TestRunCampaign:
+    def test_seeded_campaign_deterministic_statuses(self):
+        first = run_campaign(4, seed=0, budgets=QUICK)
+        second = run_campaign(4, seed=0, budgets=QUICK)
+        assert ([c.status for c in first.cases]
+                == [c.status for c in second.cases])
+        assert [c.seed for c in first.cases] == [0, 1, 2, 3]
+
+    def test_generator_crash_is_violation(self, monkeypatch):
+        def bad_generate(seed, mode, config):
+            raise KeyError("generator bug")
+
+        monkeypatch.setattr(harness_mod, "generate", bad_generate)
+        report = run_campaign(2, seed=0, budgets=QUICK)
+        assert len(report.violations) == 2
+        assert all(c.phase == "generate" for c in report.cases)
+        assert "KeyError" in report.cases[0].detail
+
+    def test_telemetry_counters(self, monkeypatch):
+        def raise_clean(circuit, budgets):
+            raise ConvergenceError("hard", diagnostics=object())
+
+        monkeypatch.setitem(harness_mod._PHASE_FUNCS, "op", raise_clean)
+        with telemetry.tracing("fuzz-test") as trace:
+            run_campaign(3, seed=0, budgets=QUICK)
+        totals = trace.total_counters()
+        assert totals["fuzz_circuits"] == 3
+        assert totals["fuzz_clean_failures"] == 3
+        assert totals.get("fuzz_invariant_violations", 0) == 0
+
+    def test_violation_counter_and_event(self, monkeypatch):
+        def raise_foreign(circuit, budgets):
+            raise ValueError("nope")
+
+        monkeypatch.setitem(harness_mod._PHASE_FUNCS, "op",
+                            raise_foreign)
+        with telemetry.tracing("fuzz-test") as trace:
+            report = run_campaign(2, seed=0, budgets=QUICK)
+        assert len(report.violations) == 2
+        assert trace.total_counters()["fuzz_invariant_violations"] == 2
+
+    def test_on_case_callback_sees_circuit(self):
+        seen = []
+        run_campaign(2, seed=0, budgets=QUICK,
+                     on_case=lambda result, circuit:
+                     seen.append((result.seed, circuit.name)))
+        assert seen == [(0, "fuzz_rand_0"), (1, "fuzz_stscl_1")]
+
+    def test_describe_mentions_violations(self, monkeypatch):
+        monkeypatch.setitem(
+            harness_mod._PHASE_FUNCS, "op",
+            lambda circuit, budgets: (_ for _ in ()).throw(
+                TypeError("boom")))
+        report = run_campaign(1, seed=0, budgets=QUICK)
+        text = report.describe()
+        assert "1 invariant violations" in text
+        assert "VIOLATION" in text

@@ -1,0 +1,77 @@
+"""Unit tests for greedy deck shrinking."""
+
+from repro.fuzz import (FailureClass, FuzzBudgets, FuzzCaseResult,
+                        generate, run_case, shrink_case)
+from repro.spice.io import read_netlist, write_netlist
+
+QUICK = FuzzBudgets(max_iterations=40, op_wall=2.0, sweep_wall=4.0,
+                    tran_wall=4.0, fault_wall=4.0, sweep_points=3,
+                    t_stop=5e-8)
+
+#: A known-hard STSCL mutant (replica-bias loop whose op diverges):
+#: fails the op phase with a clean ConvergenceError on every revision
+#: the suite has seen.  If a solver improvement ever makes it converge
+#: the shrink tests below fall back to their no-repro branch -- update
+#: the seed, don't weaken the assertions.
+HARD_SEED = 1
+
+
+def hard_case():
+    circuit = generate(HARD_SEED, "mixed")
+    result = run_case(circuit, QUICK, seed=HARD_SEED, mode="mixed")
+    return circuit, result
+
+
+class TestFailureClass:
+    def test_parses_exception_kind(self):
+        result = FuzzCaseResult(
+            seed=0, mode="mixed", circuit_name="x", status="diagnosed",
+            phase="op", detail="ConvergenceError: every strategy failed")
+        signature = FailureClass.of(result)
+        assert signature.kind == "ConvergenceError"
+        assert signature.phase == "op"
+        assert signature.status == "diagnosed"
+
+    def test_ok_case(self):
+        result = FuzzCaseResult(seed=0, mode="mixed", circuit_name="x",
+                                status="ok")
+        assert FailureClass.of(result).kind == ""
+
+
+class TestShrinkCase:
+    def test_shrinks_hard_case(self):
+        circuit, result = hard_case()
+        if result.status == "ok":  # solver got better; nothing to do
+            return
+        n_before = len(circuit.elements)
+        deck, evals = shrink_case(circuit, result, QUICK)
+        assert evals >= 1
+        twin = read_netlist(deck)
+        n_after = len(twin.elements)
+        assert n_after <= n_before
+        # The minimized deck still reproduces the failure class.
+        replay = run_case(twin, QUICK, seed=HARD_SEED, mode="mixed")
+        assert FailureClass.of(replay) == FailureClass.of(result)
+
+    def test_original_circuit_untouched(self):
+        circuit, result = hard_case()
+        before = write_netlist(circuit)
+        shrink_case(circuit, result, QUICK)
+        assert write_netlist(circuit) == before
+
+    def test_non_reproducing_case_returns_full_deck(self):
+        circuit, _ = hard_case()
+        fake = FuzzCaseResult(
+            seed=HARD_SEED, mode="mixed", circuit_name=circuit.name,
+            status="violation", phase="transient",
+            detail="foreign exception NeverHappens")
+        deck, evals = shrink_case(circuit, fake, QUICK)
+        assert evals == 1
+        assert deck == write_netlist(circuit)
+
+    def test_eval_budget_respected(self):
+        circuit, result = hard_case()
+        if result.status == "ok":
+            return
+        _, evals = shrink_case(circuit, result, QUICK, max_evals=3)
+        assert evals <= 3

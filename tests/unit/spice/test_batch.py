@@ -281,3 +281,92 @@ class TestUnsupportedCircuits:
         circuit._register(Shunt())
         with pytest.raises(AnalysisError, match="batched"):
             batch_operating_point(circuit, source_lanes([1.0]))
+
+
+class TestSingularLanes:
+    """A degenerate lane must never poison its batch neighbours: it
+    falls back to the serial ladder and fails (or is rescued) there,
+    while every other lane's solution stays bit-identical."""
+
+    def _mos_circuit(self) -> Circuit:
+        from repro.devices.mosfet import Mosfet
+        from repro.devices.parameters import nmos_180
+
+        ckt = Circuit("singular_lane")
+        ckt.add_vsource("vdd", "vdd", "0", 1.0)
+        ckt.add_vsource("vg", "g", "0", 0.6)
+        ckt.add_resistor("rl", "vdd", "d", 100e3)
+        ckt.add_mosfet("m1", "d", "g", "0", "0",
+                       Mosfet(nmos_180(), w=1e-6, l=0.18e-6))
+        return ckt
+
+    @pytest.mark.filterwarnings(
+        "ignore:invalid value encountered:RuntimeWarning")
+    def test_nan_lane_fails_cleanly_without_poisoning(self):
+        ckt = self._mos_circuit()
+        lanes = [LaneSpec.mismatch([0.0], label="clean-0"),
+                 LaneSpec.mismatch([float("nan")], label="poison"),
+                 LaneSpec.mismatch([5e-3], label="clean-2")]
+        batch = batch_operating_point(ckt, lanes, options=TIGHT,
+                                      on_error="skip")
+        # The poisoned lane is a clean, diagnosed failure...
+        assert [index for index, _ in batch.failures] == [1]
+        _, error = batch.failures[0]
+        assert isinstance(error, ConvergenceError)
+        assert error.diagnostics is not None
+        assert all(np.isnan(v)
+                   for v in batch.points[1].voltages.values())
+        # ...and the neighbours match their serial twins exactly.
+        for index in (0, 2):
+            point = batch.points[index]
+            assert point.converged
+            assert all(np.isfinite(v) for v in point.voltages.values())
+            undo = apply_lane(ckt, lanes[index])
+            try:
+                serial = operating_point(ckt, TIGHT)
+            finally:
+                undo()
+            assert point.voltage("d") == \
+                pytest.approx(serial.voltage("d"), rel=1e-9)
+
+    def test_solve_stacked_isolates_an_exactly_singular_lane(self):
+        from repro.spice.batch import _solve_stacked
+
+        rng = np.random.default_rng(7)
+        jac = np.stack([np.eye(3) + 0.1 * rng.normal(size=(3, 3))
+                        for _ in range(3)])
+        jac[1] = 0.0  # lane 1: exactly singular (LinAlgError territory)
+        res = rng.normal(size=(3, 3))
+        dX = _solve_stacked(jac, res)
+        # The healthy lanes get the exact direct solutions...
+        for k in (0, 2):
+            np.testing.assert_allclose(
+                dX[k], np.linalg.solve(jac[k], -res[k]), rtol=1e-12)
+        # ...and the singular lane degrades to a *finite* least-squares
+        # step instead of poisoning the whole stacked call.
+        assert np.all(np.isfinite(dX[1]))
+
+    def test_nonfinite_converged_lane_is_demoted_to_fallback(
+            self, monkeypatch):
+        """Whatever the convergence bookkeeping claims, a lane whose
+        solution vector holds NaN must re-run serially, never package.
+        (Defence in depth for the stacked phases.)"""
+        import repro.spice.batch as batch_mod
+
+        real = batch_mod.batch_newton
+
+        def poisoned(assembler, X, options, gmin, active_history=None):
+            outcome = real(assembler, X, options, gmin, active_history)
+            X[0] = np.nan  # "converged", but the vector is garbage
+            return outcome
+
+        monkeypatch.setattr(batch_mod, "batch_newton", poisoned)
+        batch = batch_operating_point(diode_circuit(),
+                                      source_lanes([0.5, 1.0]))
+        assert batch.diagnostics.n_fallback >= 1
+        assert batch.diagnostics.fallback_lanes[0][0] == 0
+        assert "non-finite solution" in \
+            batch.diagnostics.fallback_lanes[0][1]
+        point = batch.points[0]  # rescued by the serial ladder
+        assert point.converged
+        assert all(np.isfinite(v) for v in point.voltages.values())

@@ -243,3 +243,32 @@ class TestStrategyValidation:
                 circuit, NewtonOptions(max_iterations=3),
                 strategies=(SourceSteppingStrategy(),))
         assert element.waveform is saved
+
+
+class TestWallClockBudget:
+    def test_exhausted_budget_reports_wall_clock_stage(self):
+        with pytest.raises(ConvergenceError) as excinfo:
+            operating_point(hard_diode(), NewtonOptions(
+                max_iterations=20, max_wall_time=0.0))
+        error = excinfo.value
+        assert error.stage == "wall-clock"
+        assert "wall-clock budget" in str(error)
+        assert error.diagnostics is not None
+        assert error.diagnostics.stages  # forensics still attached
+
+    def test_generous_budget_is_invisible(self):
+        result = operating_point(divider(), NewtonOptions(
+            max_wall_time=3600.0))
+        assert result.converged
+        assert result.voltage("mid") == pytest.approx(0.5)
+
+    def test_budget_covers_the_whole_ladder(self):
+        """The deadline is absolute across rungs: every strategy shares
+        one budget instead of each getting its own."""
+        with pytest.raises(ConvergenceError) as excinfo:
+            operating_point(hard_diode(), NewtonOptions(
+                max_iterations=20, max_wall_time=0.0))
+        # With a pre-expired deadline not a single rung may burn its
+        # full iteration budget.
+        diagnostics = excinfo.value.diagnostics
+        assert diagnostics.total_iterations == 0

@@ -388,3 +388,46 @@ class TestRejectionBreakdown:
         assert telemetry.describe() == (
             "4 steps accepted, 0 rejected (0%), "
             "9 Newton iterations, smallest dt 2.000e-08 s")
+
+
+class TestWallClockBudget:
+    def test_step_loop_aborts_with_telemetry(self):
+        from repro.errors import ConvergenceError
+        from repro.spice import operating_point
+        from repro.spice.transient import TransientTelemetry
+
+        ckt = rc_circuit()
+        op = operating_point(ckt)  # outside the budget
+        with pytest.raises(ConvergenceError) as excinfo:
+            transient(ckt, 4e-6,
+                      TransientOptions(max_wall_time=0.0),
+                      initial_op=op)
+        error = excinfo.value
+        assert error.stage == "wall-clock"
+        assert isinstance(error.diagnostics, TransientTelemetry)
+        assert "wall-clock budget" in str(error)
+
+    def test_kwarg_overrides_options(self):
+        from repro.errors import ConvergenceError
+        from repro.spice import operating_point
+
+        ckt = rc_circuit()
+        op = operating_point(ckt)
+        with pytest.raises(ConvergenceError) as excinfo:
+            transient(ckt, 4e-6, initial_op=op, max_wall_time=0.0)
+        assert excinfo.value.stage == "wall-clock"
+
+    def test_generous_budget_is_invisible(self):
+        baseline = transient(rc_circuit(), 4e-6)
+        budgeted = transient(rc_circuit(), 4e-6, max_wall_time=3600.0)
+        np.testing.assert_allclose(budgeted.voltage("out"),
+                                   baseline.voltage("out"))
+        assert len(budgeted.time) == len(baseline.time)
+
+    def test_budget_covers_the_initial_operating_point(self):
+        from repro.errors import ConvergenceError
+
+        with pytest.raises(ConvergenceError) as excinfo:
+            transient(rc_circuit(), 4e-6,
+                      TransientOptions(max_wall_time=0.0))
+        assert excinfo.value.stage == "wall-clock"

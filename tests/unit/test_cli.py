@@ -77,6 +77,44 @@ class TestCommands:
         assert not telemetry.is_enabled()
 
 
+class TestFuzzCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.circuits == 60
+        assert args.mode == "mixed"
+        assert args.corpus_dir == "tests/corpus"
+        assert not args.replay_corpus
+
+    def test_small_campaign(self, capsys, tmp_path):
+        assert main(["fuzz", "--circuits", "2", "--seed", "0",
+                     "--verbose", "--phase-wall", "2",
+                     "--telemetry-out",
+                     str(tmp_path / "fuzz.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "2 circuits" in out
+        assert "0 invariant violations" in out
+        assert (tmp_path / "fuzz.jsonl").exists()
+
+    def test_replay_committed_corpus(self, capsys):
+        from pathlib import Path
+
+        corpus = Path(__file__).resolve().parents[2] / "tests" / "corpus"
+        assert main(["fuzz", "--replay-corpus", "--phase-wall", "2",
+                     "--corpus-dir", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "replaying" in out
+        assert "0 invariant violations" in out
+
+    def test_save_failures_writes_corpus(self, capsys, tmp_path):
+        # Seed 1 is the known-hard STSCL mutant: diagnosed, so saved.
+        assert main(["fuzz", "--circuits", "1", "--seed", "1",
+                     "--phase-wall", "2", "--save-failures",
+                     "--corpus-dir", str(tmp_path)]) == 0
+        saved = list(tmp_path.glob("*.json"))
+        assert len(saved) == 1
+        assert "fuzz_stscl_1" in saved[0].name
+
+
 class TestErrorReporting:
     def test_library_error_is_one_line_and_exit_2(self, capsys):
         assert main(["report", "--rate", "zzz"]) == 2
