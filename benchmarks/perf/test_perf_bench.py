@@ -17,7 +17,7 @@ from repro.errors import AnalysisError
 
 ALL_CASES = {"op_chain", "dc_sweep", "transient", "transient_lte",
              "ac_sweep", "montecarlo", "batched_montecarlo",
-             "batched_sweep"}
+             "batched_sweep", "sparse_adder_chain"}
 
 
 def test_quick_benchmarks_produce_all_cases(tmp_path):
@@ -55,6 +55,19 @@ def test_quick_benchmarks_produce_all_cases(tmp_path):
     serial_mc = by_name["montecarlo"]
     batched_mc = by_name["batched_montecarlo"]
     assert serial_mc.meta["n_seeds"] <= batched_mc.meta["n_seeds"]
+    # Schema v5: every case records the solver backend that ran it and
+    # the MNA system size, and the adder chain is big enough that auto
+    # picked sparse even in quick mode.
+    for name in names:
+        meta = report["results"][name]["meta"]
+        assert meta["backend"] in ("dense", "sparse")
+        assert meta["n_unknowns"] > 0
+    adder = report["results"]["sparse_adder_chain"]["meta"]
+    assert adder["backend"] == "sparse"
+    assert adder["headline_s"] > 0.0
+    for rung in adder["dense_vs_sparse"]:
+        assert rung["dense_s"] > 0.0 and rung["sparse_s"] > 0.0
+        assert rung["n_unknowns"] < adder["n_unknowns"]
     # Provenance: numbers are only comparable when the numerics stack
     # is known, so the report carries numpy/BLAS/thread pinning.
     runtime = report["runtime"]

@@ -88,9 +88,27 @@ def _sweep_rows_batched(values_array, metric_fn, on_error, tspan):
             "triple in repro.spice.batch.BatchedOpSweep")
     circuit = spec.build()
     lanes = [spec.lane(float(value), circuit) for value in values_array]
+    x0 = None
+    if len(lanes) > 1:
+        # Pilot warm start: solve the first point alone and seed every
+        # lane from its solution.  Sweep points are perturbations of one
+        # circuit, so the pilot's operating point is a far better start
+        # than the flat nodeset guess -- most lanes then converge in
+        # phase 1 instead of leaning on gmin stepping.  A failed pilot
+        # (dead first point under ``on_error="skip"``) falls back to
+        # the flat start rather than poisoning the whole sweep.
+        pilot = batch_operating_point(
+            circuit, lanes[:1], options=spec.options,
+            strategies=spec.strategies, on_error="skip")
+        if not pilot.failures:
+            x0 = pilot.points[0].x
+            tspan.event("pilot-warm-start", value=float(values_array[0]))
+        else:
+            tspan.event("pilot-failed-flat-start",
+                        why=str(pilot.failures[0][1]))
     batch = batch_operating_point(circuit, lanes, options=spec.options,
                                   strategies=spec.strategies,
-                                  on_error="skip")
+                                  on_error="skip", x0=x0)
     failed = dict(batch.failures)
     rows: list[dict[str, float] | None] = []
     failures: list[tuple[int, str]] = []

@@ -39,8 +39,10 @@ from ..stscl.netlist_gen import (
 #: Format tag of the emitted JSON report (v2: per-case trace_counters;
 #: v3: batched-ensemble cases + numpy/BLAS/threading provenance meta;
 #: v4: LTE-controlled transient + transient_lte / ac_sweep fast-path
-#: cases).
-BENCH_SCHEMA = "repro-bench-perf/v4"
+#: cases; v5: per-case ``backend`` + ``n_unknowns`` meta and the
+#: ``sparse_adder_chain`` case with its dense-vs-sparse crossover
+#: ladder).
+BENCH_SCHEMA = "repro-bench-perf/v5"
 
 #: Environment variables that pin BLAS/OpenMP thread pools.  Recorded
 #: in the report (and pinned in CI) because an unpinned BLAS spawning a
@@ -80,6 +82,16 @@ def _design() -> StsclGateDesign:
     return StsclGateDesign.default(_I_SS)
 
 
+def _solver_meta(circuit) -> dict:
+    """Backend + unknown count of the case's workload (schema v5).
+
+    The compile is cached on the circuit, so calling this after the
+    case has already solved costs nothing extra."""
+    compiled = circuit.compile()
+    return {"backend": compiled.solver_backend(),
+            "n_unknowns": compiled.size}
+
+
 def _bench_op_chain() -> dict:
     """Operating point of an 8-stage buffer chain (the deepest DC solve
     an FAI-ADC thermometer stage exercises)."""
@@ -89,7 +101,7 @@ def _bench_op_chain() -> dict:
                                             with_dwell=True)
     result = operating_point(circuit)
     return {"n_elements": len(circuit.elements),
-            "iterations": result.iterations}
+            "iterations": result.iterations, **_solver_meta(circuit)}
 
 
 def _bench_dc_sweep(n_points: int) -> Callable[[], dict]:
@@ -100,7 +112,8 @@ def _bench_dc_sweep(n_points: int) -> Callable[[], dict]:
         sweep = dc_sweep(circuit, "vinp",
                          np.linspace(0.0, _VDD, n_points))
         return {"n_points": n_points, "n_failures": len(sweep.failures),
-                "compile_count": circuit.compile_count}
+                "compile_count": circuit.compile_count,
+                **_solver_meta(circuit)}
     return case
 
 
@@ -122,7 +135,8 @@ def _bench_transient() -> dict:
                                         dt_max=t_d / 2.5))
     return {"steps": result.telemetry.steps_accepted,
             "rejected": result.telemetry.steps_rejected,
-            "lte_rejections": result.telemetry.lte_rejections}
+            "lte_rejections": result.telemetry.lte_rejections,
+            **_solver_meta(circuit)}
 
 
 def _latch_circuit(design: StsclGateDesign):
@@ -167,7 +181,8 @@ def _bench_transient_lte(n_stages: int) -> Callable[[], dict]:
                 "steps": result.telemetry.steps_accepted,
                 "rejected": result.telemetry.steps_rejected,
                 "newton_rejections": result.telemetry.newton_rejections,
-                "lte_rejections": result.telemetry.lte_rejections}
+                "lte_rejections": result.telemetry.lte_rejections,
+                **_solver_meta(circuit)}
     return case
 
 
@@ -186,7 +201,8 @@ def _bench_ac_sweep(n_frequencies: int) -> Callable[[], dict]:
         freqs = np.logspace(2.0, 9.0, n_frequencies)
         result = ac_analysis(circuit, freqs, backend="stacked")
         return {"n_frequencies": n_frequencies,
-                "n_nodes": len(result.voltages)}
+                "n_nodes": len(result.voltages),
+                **_solver_meta(circuit)}
     return case
 
 
@@ -217,7 +233,8 @@ def _bench_montecarlo(n_seeds: int,
                         n_workers=n_workers)
         run = mc.run()
         return {"n_seeds": n_seeds, "n_workers": n_workers,
-                "v_diff_mean": run["v_diff"].mean}
+                "v_diff_mean": run["v_diff"].mean,
+                **_solver_meta(_batched_mc_build())}
     return case
 
 
@@ -255,7 +272,8 @@ def _bench_batched_montecarlo(n_seeds: int) -> Callable[[], dict]:
                                measure=_batched_mc_measure)
         run = MonteCarlo(spec, n_runs=n_seeds, backend="batched").run()
         return {"n_seeds": n_seeds, "batch": n_seeds,
-                "v_diff_mean": run["v_diff"].mean}
+                "v_diff_mean": run["v_diff"].mean,
+                **_solver_meta(_batched_mc_build())}
     return case
 
 
@@ -268,7 +286,64 @@ def _bench_batched_sweep(n_points: int) -> Callable[[], dict]:
                          np.linspace(0.0, _VDD, n_points),
                          backend="batched")
         return {"n_points": n_points, "batch": n_points,
-                "n_failures": len(sweep.failures)}
+                "n_failures": len(sweep.failures),
+                **_solver_meta(circuit)}
+    return case
+
+
+def _bench_sparse_adder_chain(quick: bool) -> Callable[[], dict]:
+    """Transistor-level pipelined adder chain: the thousand-unknown
+    headline of the sparse backend.
+
+    The timed body solves the full chain (32 bits, 16 in quick mode)
+    through the auto-selected sparse path, then walks a short
+    dense-vs-sparse ladder over narrower chains so the report carries
+    the wall-time crossover behind ``SPARSE_AUTO_THRESHOLD`` -- per
+    width the meta records both backends' solve times and the unknown
+    count, and ``crossover_width`` is the first width where sparse
+    wins outright.
+    """
+    widths = (4, 8) if quick else (4, 8, 16)
+    headline_width = 16 if quick else 32
+
+    def case() -> dict:
+        from ..stscl.adder import adder_chain_circuit
+        design = _design()
+        mask = (1 << headline_width) - 1
+        a, b = 0xDEADBEEF & mask, 0x12345678 & mask
+
+        circuit, _ = adder_chain_circuit(design, _VDD,
+                                         width=headline_width,
+                                         a=a, b=b, carry_in=True)
+        t0 = time.perf_counter()
+        result = operating_point(circuit)
+        headline_s = time.perf_counter() - t0
+
+        ladder = []
+        crossover_width = None
+        for width in widths:
+            entry = {"width": width}
+            for backend in ("dense", "sparse"):
+                rung, _ = adder_chain_circuit(
+                    design, _VDD, width=width,
+                    a=0xDEADBEEF & ((1 << width) - 1),
+                    b=0x12345678 & ((1 << width) - 1), carry_in=True)
+                rung.matrix_backend = backend
+                t0 = time.perf_counter()
+                operating_point(rung)
+                entry[f"{backend}_s"] = time.perf_counter() - t0
+                entry["n_unknowns"] = rung.compile().size
+            ladder.append(entry)
+            if crossover_width is None \
+                    and entry["sparse_s"] < entry["dense_s"]:
+                crossover_width = width
+
+        return {"width": headline_width,
+                "iterations": result.iterations,
+                "headline_s": headline_s,
+                "dense_vs_sparse": ladder,
+                "crossover_width": crossover_width,
+                **_solver_meta(circuit)}
     return case
 
 
@@ -289,6 +364,7 @@ def default_cases(quick: bool = False,
         "montecarlo": _bench_montecarlo(n_seeds, n_workers),
         "batched_montecarlo": _bench_batched_montecarlo(n_lanes),
         "batched_sweep": _bench_batched_sweep(n_points),
+        "sparse_adder_chain": _bench_sparse_adder_chain(quick),
     }
 
 

@@ -54,9 +54,25 @@ from .elements import (
     Vcvs,
     VoltageSource,
 )
+from .sparse import SparseStamper, SparseSystem, coo_to_csr
+from .subckt import Instance
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .netlist import CompiledCircuit
+
+
+class _InstanceGroup:
+    """All instances of one subcircuit, with their local->global LUTs
+    stacked into a ``(K, cell_size + 1)`` matrix so cell scatter
+    patterns tile across instances with one fancy-index (the trailing
+    sentinel column maps local ground ``-1`` to global ``-1``)."""
+
+    __slots__ = ("plan", "instances", "lut_matrix")
+
+    def __init__(self, plan, instances: list[Instance]) -> None:
+        self.plan = plan
+        self.instances = instances
+        self.lut_matrix = np.stack([inst.lut for inst in instances])
 
 
 def _masked_flat(rows: np.ndarray, cols: np.ndarray,
@@ -76,6 +92,7 @@ class CircuitAssembler:
         self.size = compiled.size
         self._signature: tuple | None = None
         self._xg = np.empty(self.size + 1)
+        self._sparse_system: SparseSystem | None = None
         self._partition()
         self.sync()
 
@@ -92,6 +109,7 @@ class CircuitAssembler:
         self._capacitors: list[Capacitor] = []
         self._diodes: list[DiodeElement] = []
         self._mos: list[MosElement] = []
+        self._instances: list[Instance] = []
         self._fallback: list = []
         for element in self.compiled.circuit.elements:
             if isinstance(element, Resistor):
@@ -110,8 +128,24 @@ class CircuitAssembler:
                 self._diodes.append(element)
             elif isinstance(element, MosElement):
                 self._mos.append(element)
+            elif isinstance(element, Instance):
+                self._instances.append(element)
             else:
                 self._fallback.append(element)
+        # Instances of the same subcircuit share one compiled cell plan;
+        # grouping them lets every build pass tile the cell's index
+        # arrays across all K placements with vectorized arithmetic.
+        by_cell: dict[int, list[Instance]] = {}
+        cell_order: list[Instance] = []
+        for inst in self._instances:
+            key = id(inst.subcircuit)
+            if key not in by_cell:
+                by_cell[key] = []
+                cell_order.append(inst)
+            by_cell[key].append(inst)
+        self._instance_groups = [
+            _InstanceGroup(inst.subcircuit.plan(), by_cell[id(inst.subcircuit)])
+            for inst in cell_order]
 
     def _value_signature(self) -> tuple:
         """Every mutable value baked into the cached arrays."""
@@ -125,6 +159,11 @@ class CircuitAssembler:
                   for m in self._mos),
             tuple((id(d.diode), d.diode.area, d.temperature)
                   for d in self._diodes),
+            # Template element values ride along so a mutation inside a
+            # cell (a swapped device model, an aged resistor) rebuilds
+            # the parent arrays too.
+            tuple(grp.plan.assembler._value_signature()
+                  for grp in self._instance_groups),
         )
 
     def sync(self) -> bool:
@@ -148,10 +187,19 @@ class CircuitAssembler:
     def _build_linear(self) -> None:
         size = self.size
         g = np.zeros((size, size))
+        # Triplet twin of the dense accumulation: the sparse backend
+        # replays exactly this contribution sequence through bincount,
+        # which is what makes its assembled entries bit-identical.
+        lin_rows: list[int] = []
+        lin_cols: list[int] = []
+        lin_vals: list[float] = []
 
         def add(row: int, col: int, value: float) -> None:
             if row >= 0 and col >= 0:
                 g[row, col] += value
+                lin_rows.append(row)
+                lin_cols.append(col)
+                lin_vals.append(value)
 
         for r in self._resistors:
             a, b = r._idx
@@ -183,24 +231,86 @@ class CircuitAssembler:
             add(n, cp, -e.gm)
             add(n, cn, e.gm)
         self._g_const = g
+        rows_parts = [np.asarray(lin_rows, dtype=np.intp)]
+        cols_parts = [np.asarray(lin_cols, dtype=np.intp)]
+        vals_parts = [np.asarray(lin_vals, dtype=float)]
+        # Instance expansion: tile each cell's linear triplets through
+        # the stacked LUTs.  Ports bound to parent ground introduce new
+        # ground entries (local index >= 0, global -1), so the mapped
+        # triplets are re-masked; ports tied to one parent net create
+        # duplicate coordinates, which both the dense ``np.add.at`` and
+        # the sparse bincount replay accumulate identically.
+        for grp in self._instance_groups:
+            t_asm = grp.plan.assembler
+            t_asm.sync()
+            if not t_asm._lin_rows.size:
+                continue
+            rows_g = grp.lut_matrix[:, t_asm._lin_rows]
+            cols_g = grp.lut_matrix[:, t_asm._lin_cols]
+            vals_g = np.broadcast_to(t_asm._lin_vals, rows_g.shape)
+            mask = (rows_g >= 0) & (cols_g >= 0)
+            r, c, v = rows_g[mask], cols_g[mask], vals_g[mask]
+            np.add.at(g, (r, c), v)
+            rows_parts.append(r)
+            cols_parts.append(c)
+            vals_parts.append(v)
+        self._lin_rows = np.concatenate(rows_parts)
+        self._lin_cols = np.concatenate(cols_parts)
+        self._lin_vals = np.concatenate(vals_parts)
+        self._lin_csr = None  # rebuilt lazily after value syncs
         # Source bookkeeping for the per-iteration RHS.  Waveform values
         # are memoized per timestamp: every Newton iteration of one
         # transient attempt shares ``time``.  ``time=None`` (DC) is
         # never cached -- sweeps mutate source values between solves
-        # without the timestamp changing.
+        # without the timestamp changing.  ``_vsrc_elements`` /
+        # ``_isrc_elements`` run parallel to the row/node lists and
+        # include the template sources of every instance (zip against
+        # the shorter ``_vsources`` would silently drop the tail).
+        self._vsrc_elements: list[VoltageSource] = list(self._vsources)
+        self._isrc_elements: list[CurrentSource] = list(self._isources)
         self._vsrc_branch_rows = [e._aux[0] for e in self._vsources]
         self._isrc_nodes = [e._idx for e in self._isources]
+        for grp in self._instance_groups:
+            plan = grp.plan
+            if not (plan.vsrc_elements or plan.isrc_elements):
+                continue
+            for inst in grp.instances:
+                self._vsrc_elements.extend(plan.vsrc_elements)
+                self._vsrc_branch_rows.extend(
+                    int(r) for r in inst.lut[plan.vsrc_rows])
+                self._isrc_elements.extend(plan.isrc_elements)
+                self._isrc_nodes.extend(
+                    (int(p), int(n)) for p, n in inst.lut[plan.isrc_nodes])
         self._src_cache_time: float | None = None
         self._src_cache: tuple[list, list] | None = None
 
     def _build_mos(self) -> None:
-        mos = self._mos
+        mos = list(self._mos)
+        names = [m.name for m in mos]
+        idx_parts = []
+        if mos:
+            idx_parts.append(np.array([m._idx for m in mos],
+                                      dtype=np.intp).reshape(-1, 4))
+        for grp in self._instance_groups:
+            plan = grp.plan
+            if not plan.mos_elements:
+                continue
+            # Instance-major blocks: (K, n_cell_mos, 4) -> rows, matching
+            # the repeated element list below.
+            idx_parts.append(
+                grp.lut_matrix[:, plan.mos_idx].reshape(-1, 4))
+            mos.extend(plan.mos_elements * len(grp.instances))
+            names.extend(f"{inst.name}.{m.name}"
+                         for inst in grp.instances
+                         for m in plan.mos_elements)
+        self._mos_all = mos
+        self._mos_names = names
         self._mos_bank = None
         if not mos:
             return
         self._mos_bank = MosBank([m.device for m in mos],
                                  [m.temperature for m in mos])
-        idx = np.array([m._idx for m in mos], dtype=np.intp)  # (n, dgsb)
+        idx = np.vstack(idx_parts)  # (n, dgsb)
         d, g, s, b = idx[:, 0], idx[:, 1], idx[:, 2], idx[:, 3]
         self._mos_terms = (d, g, s, b)
         self._mos_d_mask = d >= 0
@@ -222,13 +332,25 @@ class CircuitAssembler:
         self._mos_buf = np.empty(8 * len(mos))
 
     def _build_diodes(self) -> None:
-        diodes = self._diodes
+        diodes = list(self._diodes)
+        idx_parts = []
+        if diodes:
+            idx_parts.append(np.array([d._idx for d in diodes],
+                                      dtype=np.intp).reshape(-1, 2))
+        for grp in self._instance_groups:
+            plan = grp.plan
+            if not plan.diode_elements:
+                continue
+            idx_parts.append(
+                grp.lut_matrix[:, plan.diode_idx].reshape(-1, 2))
+            diodes.extend(plan.diode_elements * len(grp.instances))
+        self._diodes_all = diodes
         self._diode_bank = None
         if not diodes:
             return
         self._diode_bank = DiodeBank([d.diode for d in diodes],
                                      [d.temperature for d in diodes])
-        idx = np.array([d._idx for d in diodes], dtype=np.intp)
+        idx = np.vstack(idx_parts)
         a, c = idx[:, 0], idx[:, 1]
         self._diode_terms = (a, c)
         self._diode_a_mask = a >= 0
@@ -259,6 +381,12 @@ class CircuitAssembler:
         slot = 0
         cap_slots, cap_pos, cap_neg, cap_c = [], [], [], []
         dio_slots = []
+        # Diode slots must end up aligned with the *bank* order (top
+        # diodes, then group by group, instance by instance), which the
+        # insertion-order walk below does not follow when instances
+        # interleave with top-level diodes -- so instance chunks are
+        # collected aside and concatenated in bank order afterwards.
+        inst_dio_chunks: dict[int, np.ndarray] = {}
         for element in self.compiled.circuit.elements:
             if isinstance(element, Capacitor):
                 a, b = element._idx
@@ -270,6 +398,18 @@ class CircuitAssembler:
             elif isinstance(element, DiodeElement):
                 dio_slots.append(slot)
                 slot += 1
+            elif isinstance(element, Instance):
+                plan = element.subcircuit.plan()
+                lut = element.lut
+                if plan.cap_offsets.size:
+                    cap_slots.extend(
+                        int(s) for s in slot + plan.cap_offsets)
+                    cap_pos.extend(int(i) for i in lut[plan.cap_pos])
+                    cap_neg.extend(int(i) for i in lut[plan.cap_neg])
+                    cap_c.extend(plan.assembler._cap_c)
+                if plan.dio_offsets.size:
+                    inst_dio_chunks[id(element)] = slot + plan.dio_offsets
+                slot += plan.n_charge_terms
         self.n_charge_terms = slot
         self._cap_slots = np.array(cap_slots, dtype=np.intp)
         self._cap_pos = np.array(cap_pos, dtype=np.intp)
@@ -289,7 +429,56 @@ class CircuitAssembler:
         self._cap_jac_base = np.concatenate(
             [self._cap_c, -self._cap_c, -self._cap_c, self._cap_c]
         )[self._cap_valid] if n_caps else np.zeros(0)
-        self._dio_slots = np.array(dio_slots, dtype=np.intp)
+        dio_parts = [np.array(dio_slots, dtype=np.intp)]
+        for grp in self._instance_groups:
+            for inst in grp.instances:
+                chunk = inst_dio_chunks.get(id(inst))
+                if chunk is not None:
+                    dio_parts.append(chunk)
+        self._dio_slots = np.concatenate(dio_parts)
+
+    # -- sparse twin ----------------------------------------------------
+
+    @property
+    def sparse_eligible(self) -> bool:
+        """Whether every element of the circuit stamps through a known
+        scatter pattern.  Foreign :class:`Element` subclasses stamp
+        imperatively through the dense ``add_j`` API, which has no
+        triplet twin, so their presence pins the circuit to the dense
+        backend."""
+        return not self._fallback
+
+    def sparse_system(self) -> SparseSystem:
+        """The circuit's triplet->CSC scatter (built once, cached).
+
+        Segment order is contractual -- ``lin, mos, dio, cap, diocap,
+        diag`` is exactly the dense path's accumulation sequence
+        (G_const copy, MOS scatter, diode scatter, charge companions,
+        gmin/anchor diagonal), which together with bincount's
+        sequential summation makes the assembled entries bit-identical
+        to the dense Jacobian.
+        """
+        if self._sparse_system is None:
+            size = self.size
+            empty = np.zeros(0, dtype=np.intp)
+
+            def unflat(flat: np.ndarray):
+                return flat // size, flat % size
+
+            diode_pat = (unflat(self._diode_flat)
+                         if self._diode_bank is not None else (empty, empty))
+            n_nodes = len(self.compiled.node_index)
+            diag = np.arange(n_nodes)
+            self._sparse_system = SparseSystem(size, {
+                "lin": (self._lin_rows, self._lin_cols),
+                "mos": (unflat(self._mos_flat)
+                        if self._mos_bank is not None else (empty, empty)),
+                "dio": diode_pat,
+                "cap": unflat(self._cap_flat),
+                "diocap": diode_pat,
+                "diag": (diag, diag),
+            })
+        return self._sparse_system
 
     # -- hot path -------------------------------------------------------
 
@@ -308,20 +497,15 @@ class CircuitAssembler:
         xg = self._grounded(x)
         return tuple(xg[idx] for idx in indices)
 
-    def assemble(self, st: Stamper, x: np.ndarray,
-                 time: float | None) -> None:
-        """Overwrite ``st`` with the full static system at ``x``."""
-        np.copyto(st.jac, self._g_const)
-        np.dot(self._g_const, x, out=st.res)
-        res = st.res
-        # Independent-source excitations (Python loop: waveforms are
-        # user callables, and source counts are small).  Cached per
-        # timestamp: Newton iterations of one attempt share ``time``.
+    def _source_rhs(self, res: np.ndarray, time: float | None) -> None:
+        """Independent-source excitations (Python loop: waveforms are
+        user callables, and source counts are small).  Cached per
+        timestamp: Newton iterations of one attempt share ``time``."""
         if time is not None and time == self._src_cache_time:
             vsrc_vals, isrc_vals = self._src_cache
         else:
-            vsrc_vals = [e.value_at(time) for e in self._vsources]
-            isrc_vals = [e.value_at(time) for e in self._isources]
+            vsrc_vals = [e.value_at(time) for e in self._vsrc_elements]
+            isrc_vals = [e.value_at(time) for e in self._isrc_elements]
             if time is not None:
                 self._src_cache_time = time
                 self._src_cache = (vsrc_vals, isrc_vals)
@@ -332,49 +516,97 @@ class CircuitAssembler:
                 res[p] += value
             if n >= 0:
                 res[n] -= value
+
+    def _mos_values(self, res: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """One MOS bank evaluation: drain/source currents accumulated
+        into ``res``, masked Jacobian scatter values returned (the same
+        vector both backends consume, so they agree bit for bit)."""
+        d, g, s, b = self._mos_terms
+        vd, vg, vs, vb = self._terminal_voltages(x, (d, g, s, b))
+        r = self._mos_bank.evaluate(vd, vg, vs, vb)
+        np.add.at(res, self._mos_d_idx,
+                  r.ids if self._mos_d_all
+                  else r.ids[self._mos_d_mask])
+        np.add.at(res, self._mos_s_idx,
+                  -(r.ids if self._mos_s_all
+                    else r.ids[self._mos_s_mask]))
+        # [p_d p_g p_s p_b | -(same)] -- the drain-row block and the
+        # negated source-row block of every device, built in a
+        # reused buffer (negation is exact, so this matches the
+        # former sign-vector multiply bit for bit).
+        n = len(r.ids)
+        buf = self._mos_buf
+        buf[:n] = r.p_d
+        buf[n:2 * n] = r.p_g
+        buf[2 * n:3 * n] = r.p_s
+        buf[3 * n:4 * n] = r.p_b
+        np.negative(buf[:4 * n], out=buf[4 * n:])
+        return buf if self._mos_valid_all else buf[self._mos_valid]
+
+    def _diode_values(self, res: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """One diode bank evaluation: currents accumulated into ``res``,
+        masked Jacobian scatter values returned."""
+        a, c = self._diode_terms
+        va, vc = self._terminal_voltages(x, (a, c))
+        current, conductance = self._diode_bank.current(va - vc)
+        np.add.at(res, self._diode_a_idx,
+                  current[self._diode_a_mask])
+        np.add.at(res, self._diode_c_idx,
+                  -current[self._diode_c_mask])
+        values = self._diode_sign * np.tile(conductance, 4)
+        return values[self._diode_valid]
+
+    def _count_bank_evals(self) -> None:
         if telemetry.is_enabled():
             span = telemetry.current_span()
             if self._mos_bank is not None:
                 span.inc("device_bank_evals")
             if self._diode_bank is not None:
                 span.inc("device_bank_evals")
+
+    def assemble(self, st, x: np.ndarray, time: float | None) -> None:
+        """Overwrite ``st`` with the full static system at ``x``.
+
+        Dispatches on the stamper type: a dense
+        :class:`~repro.spice.elements.Stamper` takes the flat-index
+        scatter path, a :class:`~repro.spice.sparse.SparseStamper` the
+        triplet path.
+        """
+        if isinstance(st, SparseStamper):
+            self._assemble_sparse(st, x, time)
+            return
+        np.copyto(st.jac, self._g_const)
+        np.dot(self._g_const, x, out=st.res)
+        res = st.res
+        self._source_rhs(res, time)
+        self._count_bank_evals()
         jac_flat = st.jac.reshape(-1)
         if self._mos_bank is not None:
-            d, g, s, b = self._mos_terms
-            vd, vg, vs, vb = self._terminal_voltages(x, (d, g, s, b))
-            r = self._mos_bank.evaluate(vd, vg, vs, vb)
-            np.add.at(res, self._mos_d_idx,
-                      r.ids if self._mos_d_all
-                      else r.ids[self._mos_d_mask])
-            np.add.at(res, self._mos_s_idx,
-                      -(r.ids if self._mos_s_all
-                        else r.ids[self._mos_s_mask]))
-            # [p_d p_g p_s p_b | -(same)] -- the drain-row block and the
-            # negated source-row block of every device, built in a
-            # reused buffer (negation is exact, so this matches the
-            # former sign-vector multiply bit for bit).
-            n = len(r.ids)
-            buf = self._mos_buf
-            buf[:n] = r.p_d
-            buf[n:2 * n] = r.p_g
-            buf[2 * n:3 * n] = r.p_s
-            buf[3 * n:4 * n] = r.p_b
-            np.negative(buf[:4 * n], out=buf[4 * n:])
-            values = buf if self._mos_valid_all else buf[self._mos_valid]
-            np.add.at(jac_flat, self._mos_flat, values)
+            np.add.at(jac_flat, self._mos_flat, self._mos_values(res, x))
         if self._diode_bank is not None:
-            a, c = self._diode_terms
-            va, vc = self._terminal_voltages(x, (a, c))
-            current, conductance = self._diode_bank.current(va - vc)
-            np.add.at(res, self._diode_a_idx,
-                      current[self._diode_a_mask])
-            np.add.at(res, self._diode_c_idx,
-                      -current[self._diode_c_mask])
-            values = self._diode_sign * np.tile(conductance, 4)
             np.add.at(jac_flat, self._diode_flat,
-                      values[self._diode_valid])
+                      self._diode_values(res, x))
         for element in self._fallback:
             element.stamp(st, x, time)
+
+    def _assemble_sparse(self, st: SparseStamper, x: np.ndarray,
+                         time: float | None) -> None:
+        """Triplet-path twin of the dense hot loop: segments are
+        overwritten in place, the residual stays dense, the linear part
+        contributes through one cached CSR matvec."""
+        if self._lin_csr is None:
+            self._lin_csr = coo_to_csr(self._lin_rows, self._lin_cols,
+                                       self._lin_vals, self.size)
+        st.vals.fill(0.0)
+        st.segment("lin")[:] = self._lin_vals
+        st.res[:] = self._lin_csr.dot(x)
+        res = st.res
+        self._source_rhs(res, time)
+        self._count_bank_evals()
+        if self._mos_bank is not None:
+            st.segment("mos")[:] = self._mos_values(res, x)
+        if self._diode_bank is not None:
+            st.segment("dio")[:] = self._diode_values(res, x)
 
     def device_operating_points(
             self, x: np.ndarray) -> dict[str, MosOperatingPoint]:
@@ -384,7 +616,7 @@ class CircuitAssembler:
         d, g, s, b = self._mos_terms
         vd, vg, vs, vb = self._terminal_voltages(x, (d, g, s, b))
         points = self._mos_bank.operating_points(vd, vg, vs, vb)
-        return {m.name: op for m, op in zip(self._mos, points)}
+        return dict(zip(self._mos_names, points))
 
     # -- charge system (transient companions) ---------------------------
 
@@ -401,21 +633,31 @@ class CircuitAssembler:
             q[self._dio_slots] = self._diode_bank.charge(va - vc)
         return q
 
-    def stamp_charges(self, st: Stamper, x: np.ndarray, c0: float,
+    def stamp_charges(self, st, x: np.ndarray, c0: float,
                       rhs: np.ndarray) -> None:
         """Add the companion currents ``i = c0 q(x) + rhs`` and their
-        conductances ``c0 dq/dv`` for every charge term."""
+        conductances ``c0 dq/dv`` for every charge term.
+
+        Works on both stamper types: the conductance values go through
+        the dense flat-index scatter or into the ``cap``/``diocap``
+        triplet segments (zeroed by the preceding :meth:`assemble`).
+        """
+        sparse = isinstance(st, SparseStamper)
         q = self.charge_vector(x)
         i = c0 * q + rhs
         res = st.res
-        jac_flat = st.jac.reshape(-1)
+        jac_flat = None if sparse else st.jac.reshape(-1)
         if self._cap_slots.size:
             i_cap = i[self._cap_slots]
             np.add.at(res, self._cap_pos_idx,
                       i_cap[self._cap_pos_mask])
             np.add.at(res, self._cap_neg_idx,
                       -i_cap[self._cap_neg_mask])
-            np.add.at(jac_flat, self._cap_flat, c0 * self._cap_jac_base)
+            if sparse:
+                st.segment("cap")[:] = c0 * self._cap_jac_base
+            else:
+                np.add.at(jac_flat, self._cap_flat,
+                          c0 * self._cap_jac_base)
         if self._dio_slots.size:
             a, c = self._diode_terms
             va, vc = self._terminal_voltages(x, (a, c))
@@ -426,8 +668,11 @@ class CircuitAssembler:
             np.add.at(res, self._diode_c_idx,
                       -i_dio[self._diode_c_mask])
             values = self._diode_sign * np.tile(c0 * cap, 4)
-            np.add.at(jac_flat, self._diode_flat,
-                      values[self._diode_valid])
+            if sparse:
+                st.segment("diocap")[:] = values[self._diode_valid]
+            else:
+                np.add.at(jac_flat, self._diode_flat,
+                          values[self._diode_valid])
 
     def susceptance_matrix(self, x: np.ndarray) -> np.ndarray:
         """Dense small-signal C matrix (dq/dv of every charge term) at

@@ -246,8 +246,21 @@ class BatchAssembler(CircuitAssembler):
         self._mos_ispec_b = None
         if any_mos and self._mos_bank is not None:
             bank = self._mos_bank
-            self._mos_vt_b = bank.vt[None, :] + np.vstack(vt_rows)
-            self._mos_ispec_b = bank.i_spec[None, :] * np.vstack(beta_rows)
+            vt_b = np.vstack(vt_rows)
+            beta_b = np.vstack(beta_rows)
+            n_bank = len(self._mos_all)
+            if n_bank > n_mos:
+                # Hierarchy: the bank also carries every subcircuit
+                # instance's devices, but lane overlays address
+                # top-level MOS elements only (the documented
+                # ``circuit.mos_elements()`` contract) -- pad the
+                # instance tail with identity perturbations.
+                vt_b = np.hstack(
+                    [vt_b, np.zeros((self.batch, n_bank - n_mos))])
+                beta_b = np.hstack(
+                    [beta_b, np.ones((self.batch, n_bank - n_mos))])
+            self._mos_vt_b = bank.vt[None, :] + vt_b
+            self._mos_ispec_b = bank.i_spec[None, :] * beta_b
         del mos_names
 
         # Resistor overlays: one column per resistor any lane scales.
@@ -317,8 +330,17 @@ class BatchAssembler(CircuitAssembler):
                     table[name] = np.full(self.batch,
                                           base.value_at(None))
                 table[name][li] = float(value)
-        self._vsrc_over = [vsrc_over.get(e.name) for e in self._vsources]
-        self._isrc_over = [isrc_over.get(e.name) for e in self._isources]
+        # Parallel to the *expanded* source lists (top-level sources
+        # followed by every instance's template sources).  Overrides
+        # are looked up against the top-level prefix only, so a
+        # template source that happens to share a top-level source's
+        # name is never accidentally overridden.
+        n_inst_v = len(self._vsrc_elements) - len(self._vsources)
+        n_inst_i = len(self._isrc_elements) - len(self._isources)
+        self._vsrc_over = ([vsrc_over.get(e.name) for e in self._vsources]
+                           + [None] * n_inst_v)
+        self._isrc_over = ([isrc_over.get(e.name) for e in self._isources]
+                           + [None] * n_inst_i)
 
     # -- stacked hot path -----------------------------------------------
 
@@ -337,14 +359,15 @@ class BatchAssembler(CircuitAssembler):
         n_active = X.shape[0]
         jac[:] = self._g_const
         np.matmul(X, self._g_const.T, out=res)
-        for element, row, over in zip(self._vsources,
+        for element, row, over in zip(self._vsrc_elements,
                                       self._vsrc_branch_rows,
                                       self._vsrc_over):
             if over is None:
                 res[:, row] -= element.value_at(time)
             else:
                 res[:, row] -= over[lane_idx]
-        for element, (p, n), over in zip(self._isources, self._isrc_nodes,
+        for element, (p, n), over in zip(self._isrc_elements,
+                                         self._isrc_nodes,
                                          self._isrc_over):
             value = (element.value_at(time) if over is None
                      else over[lane_idx])
@@ -425,7 +448,7 @@ class BatchAssembler(CircuitAssembler):
         d, g, s, b = self._mos_terms
         vd, vg, vs, vb = self._terminal_voltages(x, (d, g, s, b))
         points = bank.operating_points(vd, vg, vs, vb)
-        return {m.name: op for m, op in zip(self._mos, points)}
+        return dict(zip(self._mos_names, points))
 
 
 class _LaneDeviceOps(Mapping):
@@ -540,11 +563,29 @@ def _newton_rounds(assembler: BatchAssembler, X: np.ndarray,
     reasons: dict[int, str] = {}
     active = np.asarray(lanes_idx, dtype=np.intp).copy()
     tspan = telemetry.current_span() if telemetry.is_enabled() else None
+    deadline = options.deadline
     iteration = 0
     for iteration in range(1, options.max_iterations + 1):
         n_active = active.size
         if n_active == 0:
             iteration -= 1
+            break
+        if deadline is not None and _time.perf_counter() >= deadline:
+            # Wall-clock budget exhausted mid-population: the serial
+            # kernel raises stage="wall-clock" here; the batched loop
+            # instead kicks every still-active lane out with that
+            # reason (converged lanes keep their solutions) so the
+            # caller's diagnostics carry the partial outcome.
+            iteration -= 1
+            for lane in active:
+                reasons[int(lane)] = (
+                    f"wall-clock budget exhausted after "
+                    f"{int(iterations[lane])} batched Newton iterations "
+                    f"in {compiled.circuit.name} [stage wall-clock]")
+            if tspan is not None:
+                tspan.event("batch-deadline", n_active=n_active,
+                            iteration=iteration)
+            active = active[:0]
             break
         active_history.append(n_active)
         jac = np.empty((n_active, N, N))
@@ -780,6 +821,12 @@ def _batch_op(circuit: "Circuit", lanes: list[LaneSpec],
     from .dc import _nan_point, _package  # local: avoids import cycle
 
     start = _time.perf_counter()
+    if options.max_wall_time is not None and options.deadline is None:
+        # One absolute deadline covers both stacked phases and the
+        # per-lane ladder fallback (run_ladder reuses a preset
+        # deadline), mirroring the serial wall-clock semantics.
+        options = dataclasses.replace(
+            options, deadline=start + options.max_wall_time)
     compiled = circuit.compile()
     assembler = BatchAssembler(compiled, lanes)
     guess = (circuit.initial_guess(compiled) if x0 is None else

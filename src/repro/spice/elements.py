@@ -36,10 +36,21 @@ class Stamper:
         self.size = size
         self.jac = np.zeros((size, size))
         self.res = np.zeros(size)
+        self._diag: np.ndarray | None = None
 
     def reset(self) -> None:
         self.jac.fill(0.0)
         self.res.fill(0.0)
+
+    def add_diagonal(self, g, n_nodes: int) -> None:
+        """Add ``g`` (scalar or per-node array) to the first ``n_nodes``
+        diagonal entries -- the gmin shunt / pseudo-transient anchor
+        stamp, shared with the sparse stamper so solver code stays
+        backend-agnostic."""
+        diag = self._diag
+        if diag is None or diag.size != n_nodes:
+            diag = self._diag = np.arange(n_nodes)
+        self.jac[diag, diag] += g
 
     def add_j(self, row: int, col: int, value: float) -> None:
         if row >= 0 and col >= 0:

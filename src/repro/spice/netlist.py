@@ -59,6 +59,52 @@ class CompiledCircuit:
 
     def __post_init__(self) -> None:
         self._assembler = None
+        self._solver_backend: str | None = None
+
+    def solver_backend(self) -> str:
+        """``"dense"`` or ``"sparse"`` -- the linear-algebra backend the
+        Newton kernel uses for this compiled circuit.
+
+        Resolved once from :attr:`Circuit.matrix_backend`:
+
+        * ``"dense"`` always stays dense;
+        * ``"sparse"`` demands the sparse backend and raises
+          :class:`~repro.errors.NetlistError` when it cannot be honored
+          (scipy.sparse missing, or foreign elements whose imperative
+          stamps have no triplet twin);
+        * ``"auto"`` (default) picks sparse when the system has at
+          least :data:`~repro.spice.sparse.SPARSE_AUTO_THRESHOLD`
+          unknowns and the circuit is sparse-eligible.
+        """
+        if self._solver_backend is None:
+            from .sparse import SPARSE_AUTO_THRESHOLD, sparse_available
+            requested = getattr(self.circuit, "matrix_backend", "auto")
+            if requested == "dense":
+                self._solver_backend = "dense"
+            elif requested == "sparse":
+                if not sparse_available():
+                    raise NetlistError(
+                        f"{self.circuit.name}: matrix_backend='sparse' "
+                        f"requires scipy.sparse")
+                if not self.assembler.sparse_eligible:
+                    raise NetlistError(
+                        f"{self.circuit.name}: matrix_backend='sparse' "
+                        f"cannot stamp foreign element types; use "
+                        f"'dense' or 'auto'")
+                self._solver_backend = "sparse"
+            else:
+                self._solver_backend = (
+                    "sparse" if self.size >= SPARSE_AUTO_THRESHOLD
+                    and sparse_available()
+                    and self.assembler.sparse_eligible else "dense")
+        return self._solver_backend
+
+    def new_stamper(self):
+        """A fresh stamper of the backend-appropriate type."""
+        if self.solver_backend() == "sparse":
+            from .sparse import SparseStamper
+            return SparseStamper(self.assembler.sparse_system())
+        return Stamper(self.size)
 
     def index_of(self, node: str) -> int:
         """MNA row of ``node`` (ground gives -1)."""
@@ -118,10 +164,21 @@ class Circuit:
         ckt.add_resistor("R2", "mid", "0", 10e3)
     """
 
+    #: Valid :attr:`matrix_backend` values.
+    MATRIX_BACKENDS = ("auto", "dense", "sparse")
+
     def __init__(self, name: str = "circuit",
-                 temperature: float = T_NOMINAL) -> None:
+                 temperature: float = T_NOMINAL,
+                 matrix_backend: str = "auto") -> None:
         self.name = name
         self.temperature = temperature
+        if matrix_backend not in self.MATRIX_BACKENDS:
+            raise NetlistError(
+                f"matrix_backend must be one of {self.MATRIX_BACKENDS}, "
+                f"got {matrix_backend!r}")
+        #: Linear-algebra backend request resolved at solve time by
+        #: :meth:`CompiledCircuit.solver_backend`.
+        self.matrix_backend = matrix_backend
         self.elements: list[Element] = []
         self._names: set[str] = set()
         self._node_order: list[str] = []
@@ -238,6 +295,24 @@ class Circuit:
                 self._register(Capacitor(
                     f"{name}.c{t_a}{t_b}", node_a, node_b, cap))
         return element
+
+    def add_instance(self, name: str, subcircuit, ports: dict):
+        """Instantiate a :class:`~repro.spice.subckt.Subcircuit`.
+
+        ``ports`` maps each template port name to a parent net (ground
+        allowed).  The instance's internal nets appear in this circuit
+        as ``"<name>.<net>"``; template nodesets are replayed onto the
+        mapped nets (without overriding hints already set here).  The
+        cell compiles once -- every further instantiation reuses its
+        plan and only tiles index arrays.
+        """
+        from .subckt import Instance
+        instance = self._register(Instance(name, subcircuit, ports))
+        for net, voltage in subcircuit.template.nodesets.items():
+            mapped = instance.map_net(net)
+            if not is_ground(mapped):
+                self.nodesets.setdefault(mapped, voltage)
+        return instance
 
     def nodeset(self, node: str, voltage: float) -> None:
         """Hint the DC solver with an initial guess for ``node``."""

@@ -1,0 +1,184 @@
+"""Sparse twin of the dense MNA assembly scatter.
+
+The dense hot path (:mod:`repro.spice.assembly`) stamps every
+contribution through precomputed *flat* indices into the raveled
+``(size, size)`` Jacobian.  This module provides the same idea one
+level up: every contribution becomes a **COO triplet slot** assigned at
+build time, and each Newton iteration only writes a flat values vector
+-- the matrix itself is materialised as ``scipy.sparse`` CSC through a
+precomputed triplet->nonzero scatter (``np.bincount`` over slot
+indices, which also reproduces the dense path's left-to-right
+accumulation order, so the assembled entries agree *bit for bit* with
+the dense scatter).
+
+The expensive symbolic work -- triplet deduplication, the CSC
+``indptr``/``indices`` structure, the per-segment slot maps -- is done
+once per compiled circuit and shared by every factorization; SuperLU's
+column ordering (COLAMD) depends only on that fixed structure, so
+repeated ``splu`` calls redo only the numeric phase on identical
+symbolic state.  Cross-iteration and cross-step factorization reuse
+itself is the chord-Newton discipline of
+:class:`~repro.spice.strategies.LuReuseState`, which simply holds a
+SuperLU handle instead of a LAPACK ``(lu, piv)`` pair on this backend.
+
+Backend selection lives in
+:meth:`~repro.spice.netlist.CompiledCircuit.solver_backend`: explicit
+``Circuit(matrix_backend="sparse")`` forces it, ``"dense"`` forbids it,
+and the default ``"auto"`` switches at :data:`SPARSE_AUTO_THRESHOLD`
+unknowns -- around where one dense LAPACK factorization starts losing
+to SuperLU on MNA-sparsity matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConvergenceError
+
+try:  # pragma: no cover - scipy is a declared dependency
+    from scipy.sparse import csc_matrix as _csc_matrix
+    from scipy.sparse.linalg import splu as _splu
+except ImportError:  # pragma: no cover - degraded environment
+    _csc_matrix = _splu = None
+
+#: Unknown count at and above which ``matrix_backend="auto"`` picks the
+#: sparse backend.  Set from the dense-vs-sparse crossover measured by
+#: the ``sparse_adder_chain`` bench case (see BENCH_perf.json): dense
+#: LAPACK keeps winning through a few hundred unknowns on MNA-sparsity
+#: matrices, sparse wins decisively by ~1000.
+SPARSE_AUTO_THRESHOLD = 500
+
+
+def sparse_available() -> bool:
+    """True when scipy.sparse (and SuperLU) imported successfully."""
+    return _splu is not None
+
+
+class SparseSystem:
+    """Precomputed triplet->CSC scatter for one assembler's patterns.
+
+    ``segments`` maps a segment name to ``(rows, cols)`` index arrays
+    (ground entries must already be masked out).  Segment *order* is
+    contractual: the values vector is the concatenation of the segments
+    in insertion order, and per-nonzero summation happens in that
+    order, mirroring the dense path's accumulation sequence.
+    """
+
+    def __init__(self, size: int,
+                 segments: dict[str, tuple[np.ndarray, np.ndarray]]) -> None:
+        if _csc_matrix is None:  # pragma: no cover - guarded by callers
+            raise ConvergenceError(
+                "scipy.sparse unavailable: sparse backend cannot build")
+        self.size = size
+        self.segment_slices: dict[str, slice] = {}
+        rows_parts, cols_parts = [], []
+        offset = 0
+        for name, (rows, cols) in segments.items():
+            rows = np.asarray(rows, dtype=np.intp)
+            cols = np.asarray(cols, dtype=np.intp)
+            if rows.size and (rows.min() < 0 or cols.min() < 0):
+                raise ValueError(
+                    f"segment {name!r} carries unmasked ground entries")
+            self.segment_slices[name] = slice(offset, offset + rows.size)
+            offset += rows.size
+            rows_parts.append(rows)
+            cols_parts.append(cols)
+        self.n_triplets = offset
+        all_rows = (np.concatenate(rows_parts) if rows_parts
+                    else np.zeros(0, dtype=np.intp))
+        all_cols = (np.concatenate(cols_parts) if cols_parts
+                    else np.zeros(0, dtype=np.intp))
+        # Canonical CSC ordering: column-major, rows ascending within a
+        # column.  ``slot`` maps each triplet to its deduplicated
+        # nonzero; bincount over it performs the scatter-add.
+        order = np.lexsort((all_rows, all_cols))
+        sorted_rows = all_rows[order]
+        sorted_cols = all_cols[order]
+        if order.size:
+            new_entry = np.empty(order.size, dtype=bool)
+            new_entry[0] = True
+            np.logical_or(sorted_rows[1:] != sorted_rows[:-1],
+                          sorted_cols[1:] != sorted_cols[:-1],
+                          out=new_entry[1:])
+            slot_sorted = np.cumsum(new_entry) - 1
+        else:
+            new_entry = np.zeros(0, dtype=bool)
+            slot_sorted = np.zeros(0, dtype=np.intp)
+        self.slot = np.empty(order.size, dtype=np.intp)
+        self.slot[order] = slot_sorted
+        self.nnz = int(slot_sorted[-1]) + 1 if order.size else 0
+        unique_rows = sorted_rows[new_entry]
+        unique_cols = sorted_cols[new_entry]
+        self.indices = unique_rows.astype(np.int32)
+        counts = np.bincount(unique_cols, minlength=size)
+        self.indptr = np.zeros(size + 1, dtype=np.int32)
+        np.cumsum(counts, out=self.indptr[1:])
+
+    def matrix(self, values: np.ndarray):
+        """CSC matrix from a full triplet-values vector.
+
+        ``bincount`` accumulates duplicate triplets in input order --
+        the same left-to-right association as the dense ``+=`` scatter.
+        """
+        data = np.bincount(self.slot, weights=values, minlength=self.nnz)
+        return _csc_matrix((data, self.indices, self.indptr),
+                           shape=(self.size, self.size))
+
+
+class SparseStamper:
+    """Sparse counterpart of :class:`~repro.spice.elements.Stamper`.
+
+    The residual stays a dense vector; the Jacobian is the triplet
+    values vector of a :class:`SparseSystem`.  Only assembler-known
+    patterns can stamp -- circuits with fallback (foreign) elements are
+    not sparse-eligible, which the backend selection enforces.
+    """
+
+    def __init__(self, system: SparseSystem) -> None:
+        self.system = system
+        self.size = system.size
+        self.res = np.zeros(system.size)
+        self.vals = np.zeros(system.n_triplets)
+        self._diag = system.segment_slices["diag"]
+
+    def reset(self) -> None:
+        self.vals.fill(0.0)
+        self.res.fill(0.0)
+
+    def add_diagonal(self, g, n_nodes: int) -> None:
+        """Add ``g`` (scalar or per-node array) to the node-row diagonal
+        -- the gmin shunt / pseudo-transient anchor stamp."""
+        diag = self._diag
+        if diag.stop - diag.start != n_nodes:  # pragma: no cover - guard
+            raise ConvergenceError(
+                f"diagonal segment holds {diag.stop - diag.start} slots, "
+                f"caller expected {n_nodes}")
+        self.vals[diag] += g
+
+    def segment(self, name: str) -> np.ndarray:
+        """Writable values view of one scatter segment."""
+        return self.vals[self.system.segment_slices[name]]
+
+    def matrix(self):
+        """The assembled CSC Jacobian at the current values."""
+        return self.system.matrix(self.vals)
+
+
+def coo_to_csr(rows: np.ndarray, cols: np.ndarray, vals: np.ndarray,
+               size: int):
+    """CSR matrix from COO triplets (duplicates summed) -- used for the
+    constant linear part's residual matvec."""
+    from scipy.sparse import coo_matrix
+    return coo_matrix((vals, (rows, cols)), shape=(size, size)).tocsr()
+
+
+def sparse_factorize(a_csc):
+    """SuperLU-factor a CSC matrix; None when singular or non-finite
+    (the caller then falls back to dense least squares, mirroring the
+    dense backend's degraded path)."""
+    if not np.all(np.isfinite(a_csc.data)):
+        return None
+    try:
+        return _splu(a_csc, permc_spec="COLAMD")
+    except RuntimeError:  # exactly singular
+        return None

@@ -36,6 +36,7 @@ import numpy as np
 from .. import telemetry
 from ..errors import ConvergenceError
 from .elements import CurrentSource, Stamper, VoltageSource
+from .sparse import SparseStamper, sparse_factorize
 from .waveforms import dc_wave
 
 try:  # pragma: no cover - scipy is a declared dependency
@@ -168,9 +169,17 @@ def _factorize(jac: np.ndarray):
     return lu, piv
 
 
-def _lu_apply(lu_piv, rhs: np.ndarray) -> np.ndarray:
-    """Back-substitute a ``_factorize`` handle against ``rhs``."""
-    dx, info = _getrs(lu_piv[0], lu_piv[1], rhs)
+def _lu_apply(handle, rhs: np.ndarray) -> np.ndarray:
+    """Back-substitute a factorization handle against ``rhs``.
+
+    Dispatches on the handle type: a ``(lu, piv)`` tuple comes from the
+    dense :func:`_factorize`, anything else is a SuperLU object from
+    :func:`~repro.spice.sparse.sparse_factorize` -- which is what lets
+    one :class:`LuReuseState` serve both backends unchanged.
+    """
+    if not isinstance(handle, tuple):
+        return handle.solve(rhs)
+    dx, info = _getrs(handle[0], handle[1], rhs)
     if info != 0:  # pragma: no cover - getrs only rejects bad args
         raise ConvergenceError(f"LAPACK getrs failed (info={info})")
     return dx
@@ -238,13 +247,13 @@ def _newton_kernel(compiled: "CompiledCircuit", x0: np.ndarray,
                    extra_stamp, trace: list[float] | None,
                    tspan, lu_state: LuReuseState | None = None,
                    ) -> tuple[np.ndarray, int]:
-    st = Stamper(compiled.size)
+    st = compiled.new_stamper()
+    sparse_mode = isinstance(st, SparseStamper)
     x = x0.copy()
     n_nodes = len(compiled.node_index)
-    diag = np.arange(n_nodes)
     stall_checkpoint = np.inf
     stall_residual = np.inf
-    reusing = options.lu_reuse and _getrf is not None
+    reusing = options.lu_reuse and (sparse_mode or _getrf is not None)
     state = (lu_state if lu_state is not None else LuReuseState()) \
         if reusing else None
     prev_norm = np.inf
@@ -260,7 +269,7 @@ def _newton_kernel(compiled: "CompiledCircuit", x0: np.ndarray,
         if extra_stamp is not None:
             extra_stamp(st, x)
         if gmin > 0.0:
-            st.jac[diag, diag] += gmin
+            st.add_diagonal(gmin, n_nodes)
             st.res[:n_nodes] += gmin * x[:n_nodes]
         # Only observers and the stall detector's window boundaries
         # read the residual norm; skip it on plain hot-path iterations.
@@ -286,7 +295,19 @@ def _newton_kernel(compiled: "CompiledCircuit", x0: np.ndarray,
                 if biggest * scale <= options.lu_contraction * prev_norm:
                     dx, reused = candidate, True
         if dx is None:
-            if state is not None:
+            if sparse_mode:
+                # The CSC matrix only materialises on factorizing
+                # iterations -- chord steps above never need it.
+                a_csc = st.matrix()
+                handle = sparse_factorize(a_csc)
+                if state is not None:
+                    state.lu = handle
+                if handle is not None:
+                    dx = _lu_apply(handle, -st.res)
+                else:
+                    dx = _lstsq_step(a_csc.toarray(), -st.res, compiled,
+                                     iteration)
+            elif state is not None:
                 state.lu = _factorize(st.jac)
                 if state.lu is not None:
                     dx = _lu_apply(state.lu, -st.res)
@@ -307,6 +328,8 @@ def _newton_kernel(compiled: "CompiledCircuit", x0: np.ndarray,
                 tspan.inc("lu_reuses")
             else:
                 tspan.inc("jacobian_factorizations")
+                if sparse_mode:
+                    tspan.inc("sparse_factorizations")
                 if state is not None:
                     tspan.inc("lu_refactorizations")
         x += scale * dx
@@ -610,7 +633,6 @@ class PseudoTransientStrategy(SolveStrategy):
     def solve(self, circuit, compiled, x0, time, options, trace):
         options = self._options(options)
         n_nodes = len(compiled.node_index)
-        diag = np.arange(n_nodes)
         schedule = telemetry.current_span()
         x = x0.copy()
         total = 0
@@ -618,9 +640,9 @@ class PseudoTransientStrategy(SolveStrategy):
         while g > options.gmin:
             x_prev = x.copy()
 
-            def anchor(st: Stamper, xv: np.ndarray,
+            def anchor(st, xv: np.ndarray,
                        g=g, x_prev=x_prev) -> None:
-                st.jac[diag, diag] += g
+                st.add_diagonal(g, n_nodes)
                 st.res[:n_nodes] += g * (xv[:n_nodes] - x_prev[:n_nodes])
 
             x, iters = newton_solve(compiled, x, time, options,

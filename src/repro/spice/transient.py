@@ -157,12 +157,20 @@ _BREAKPOINT_MERGE_RTOL = 1.0e-9
 
 
 def _breakpoints(circuit: Circuit, t_stop: float) -> list[float]:
+    from .subckt import Instance
     points: set[float] = set()
-    for element in circuit.elements:
+
+    def collect(element) -> None:
         if isinstance(element, (VoltageSource, CurrentSource)):
             for t in element.waveform.breakpoints:
                 if 0.0 < t < t_stop:
                     points.add(float(t))
+        elif isinstance(element, Instance):
+            for source in element.waveform_sources():
+                collect(source)
+
+    for element in circuit.elements:
+        collect(element)
     merge_below = _BREAKPOINT_MERGE_RTOL * t_stop
     merged: list[float] = []
     for t in sorted(points):

@@ -85,7 +85,19 @@ def _conductive_pairs(element: Element) -> list[tuple[str, str]]:
     if isinstance(element, MosElement):
         drain, _gate, source, _bulk = element.nodes
         return [(drain, source)]
-    return []
+    if isinstance(element, (Capacitor, CurrentSource)):
+        # Explicitly DC-decoupled: a capacitor is open at DC and a
+        # current source injects without conductance, so neither
+        # couples its terminals in the DC Jacobian.  (Listed instead of
+        # falling through so the conservative unknown-element branch
+        # below cannot silently absorb them.)
+        return []
+    # Unknown element subclass: assume it couples all its terminals.
+    # Mirrors the `_current_terminals` policy -- a foreign element with
+    # an imperative stamp must never be false-flagged as leaving its
+    # nets rail-disconnected.
+    nodes = element.nodes
+    return [(nodes[i], nodes[i + 1]) for i in range(len(nodes) - 1)]
 
 
 def _current_terminals(element: Element) -> list[str]:
@@ -146,17 +158,34 @@ def structural_report(circuit) -> list[StructuralIssue]:
     def canon(node: str) -> str:
         return ground if is_ground(node) else node
 
-    for element in circuit.elements:
-        for node in element.nodes:
+    from .subckt import Instance
+
+    def visit(element, name: str, mapped) -> None:
+        for node in map(mapped, element.nodes):
             node = canon(node)
             if node != ground:
-                touches.setdefault(node, []).append(element.name)
-        for node in _current_terminals(element):
+                touches.setdefault(node, []).append(name)
+        for node in map(mapped, _current_terminals(element)):
             node = canon(node)
             if node != ground:
-                current.setdefault(node, set()).add(element.name)
+                current.setdefault(node, set()).add(name)
         for a, b in _conductive_pairs(element):
-            uf.union(canon(a), canon(b))
+            uf.union(canon(mapped(a)), canon(mapped(b)))
+
+    def identity(node: str) -> str:
+        return node
+
+    for element in circuit.elements:
+        if isinstance(element, Instance):
+            # Hierarchy is validated flat: template elements are walked
+            # at the *name* level with ports remapped, so a defect
+            # inside a cell (or a port left to dangle in the parent) is
+            # reported against the parent's net names.
+            for t_elem in element.subcircuit.template.elements:
+                visit(t_elem, f"{element.name}.{t_elem.name}",
+                      element.map_net)
+        else:
+            visit(element, element.name, identity)
 
     issues: list[StructuralIssue] = []
 

@@ -25,6 +25,14 @@ from ..stscl.library import StsclCell, cell as lookup_cell
 from .gate_model import StsclGateDesign
 
 
+def _parity3(v: tuple[bool, ...]) -> bool:
+    return (v[0] ^ v[1]) ^ v[2]
+
+
+def _majority3(v: tuple[bool, ...]) -> bool:
+    return (v[0] and v[1]) or (v[0] and v[2]) or (v[1] and v[2])
+
+
 def full_adder_cells(pipelined: bool) -> tuple[StsclCell, StsclCell]:
     """(sum_cell, carry_cell) used per adder bit."""
     if pipelined:
@@ -110,3 +118,177 @@ class PipelinedAdder:
             if values[net]:
                 total += 1 << k
         return total
+
+
+# ---------------------------------------------------------------------------
+# Transistor-level bit-slice chain (hierarchical MNA scale target)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FullAdderCell:
+    """One transistor-level STSCL full-adder bit slice as a reusable
+    subcircuit template.
+
+    ``sum_out`` / ``carry_out`` name the template's differential output
+    ports; with latches these are the latch outputs (``sl_``/``kl_``
+    stages), without they are the raw tree outputs.
+    """
+
+    subcircuit: object  # repro.spice.subckt.Subcircuit
+    sum_out: tuple[str, str]
+    carry_out: tuple[str, str]
+
+    @property
+    def ports(self) -> tuple[str, ...]:
+        return self.subcircuit.ports
+
+
+def full_adder_cell(design: StsclGateDesign, vdd: float,
+                    with_latches: bool = True,
+                    with_dwell: bool = False) -> FullAdderCell:
+    """Build the transistor-level full-adder bit-slice template.
+
+    The slice is the ref-[13] topology spelled out in devices: an XOR3
+    steering tree for the sum, a MAJ3 tree for the carry, and (when
+    ``with_latches``) one STSCL D-latch behind each so the chain is
+    bit-level pipelined -- 48 MOSFETs and two tree tails plus two latch
+    tails per bit.  Shared rails (``vdd``, ``vbp``) and the clock pair
+    are ports so a chain of instances shares one bias network.
+
+    Template nodesets encode the all-zero-operand polarity (every
+    output at logic 0); :func:`adder_chain_circuit` overrides them per
+    bit from the expected sum/carry pattern.
+    """
+    from ..spice.netlist import Circuit
+    from ..spice.subckt import Subcircuit
+    from .netlist_gen import add_stscl_latch, add_stscl_tree
+
+    tpl = Circuit("stscl_fa_slice", temperature=design.temperature)
+    inputs = [("ap", "an"), ("bp", "bn"), ("cp", "cn")]
+    xs = add_stscl_tree(tpl, "xs_", design, _parity3, inputs,
+                        with_dwell=with_dwell)
+    mc = add_stscl_tree(tpl, "mc_", design, _majority3, inputs,
+                        with_dwell=with_dwell)
+    tpl.nodeset("xs_tail", 0.1)
+    tpl.nodeset("mc_tail", 0.1)
+    if with_latches:
+        sum_out = add_stscl_latch(tpl, "sl_", design, xs[0], xs[1],
+                                  "ckp", "ckn", with_dwell=with_dwell)
+        carry_out = add_stscl_latch(tpl, "kl_", design, mc[0], mc[1],
+                                    "ckp", "ckn", with_dwell=with_dwell)
+        for prefix in ("sl_", "kl_"):
+            for node in ("tail", "ns", "nh"):
+                tpl.nodeset(f"{prefix}{node}", 0.1)
+    else:
+        sum_out, carry_out = xs, mc
+
+    high, low = vdd, vdd - design.v_sw
+    for out_p, out_n in (xs, mc, sum_out, carry_out):
+        # Logic-0 polarity: the false-minterm leaves pull outp low.
+        tpl.nodeset(out_p, low)
+        tpl.nodeset(out_n, high)
+
+    clock_ports = ("ckp", "ckn") if with_latches else ()
+    ports = ("vdd", "vbp", *clock_ports,
+             "ap", "an", "bp", "bn", "cp", "cn",
+             *sum_out, *carry_out)
+    return FullAdderCell(
+        subcircuit=Subcircuit("stscl_fa", tpl, ports),
+        sum_out=sum_out, carry_out=carry_out)
+
+
+def _drive_pair(circuit, name: str, p: str, n: str, value: bool,
+                high: float, low: float) -> None:
+    circuit.add_vsource(f"v{name}p", p, "0", high if value else low)
+    circuit.add_vsource(f"v{name}n", n, "0", low if value else high)
+
+
+def _expect_pair(circuit, p: str, n: str, value: bool,
+                 high: float, low: float) -> None:
+    circuit.nodeset(p, high if value else low)
+    circuit.nodeset(n, low if value else high)
+
+
+def adder_chain_circuit(design: StsclGateDesign, vdd: float,
+                        width: int = 32, a: int = 0, b: int = 0,
+                        carry_in: bool = False,
+                        with_latches: bool = True,
+                        with_dwell: bool = False):
+    """The ``width``-bit ripple-carry adder at transistor level.
+
+    One :func:`full_adder_cell` template instantiated ``width`` times
+    through the hierarchical compiler: the cell is compiled once and
+    each bit slice is an :class:`~repro.spice.subckt.Instance` with
+    index-offset stamping, so build cost is O(cell) + O(width) rather
+    than O(width * cell).  At the default 32 bits the flat MNA system
+    exceeds a thousand unknowns -- the scale target that motivates the
+    sparse backend.
+
+    Operands ``a``/``b`` and ``carry_in`` are encoded as DC
+    differential drives; the clock is held high so the latches are
+    transparent and the DC solution *is* the sum.  Nodesets follow the
+    expected bit pattern computed in Python, so Newton starts on the
+    correct side of every bistable latch.
+
+    Returns ``(circuit, ports)`` where ``ports`` maps ``"s{i}"`` /
+    ``"cout"`` to differential net pairs.
+    """
+    from ..spice.netlist import Circuit
+    from .netlist_gen import _load_bias
+
+    mask = (1 << width) - 1
+    if width < 1:
+        raise DesignError(f"width must be >= 1: {width}")
+    if not 0 <= a <= mask or not 0 <= b <= mask:
+        raise DesignError("operand out of range")
+
+    cell = full_adder_cell(design, vdd, with_latches=with_latches,
+                           with_dwell=with_dwell)
+    high, low = vdd, vdd - design.v_sw
+
+    circuit = Circuit(f"stscl_adder{width}_xtor",
+                      temperature=design.temperature)
+    circuit.add_vsource("vvdd", "vdd", "0", vdd)
+    circuit.add_vsource("vvbp", "vbp", "0", _load_bias(design, vdd))
+    if with_latches:
+        # Clock high: sampling pairs carry the tails, transparent.
+        circuit.add_vsource("vckp", "ckp", "0", high)
+        circuit.add_vsource("vckn", "ckn", "0", low)
+    _drive_pair(circuit, "cin", "c0p", "c0n", carry_in, high, low)
+
+    carry_net = ("c0p", "c0n")
+    carry = carry_in
+    outputs: dict[str, tuple[str, str]] = {}
+    for i in range(width):
+        a_i = bool((a >> i) & 1)
+        b_i = bool((b >> i) & 1)
+        _drive_pair(circuit, f"a{i}", f"a{i}p", f"a{i}n", a_i, high, low)
+        _drive_pair(circuit, f"b{i}", f"b{i}p", f"b{i}n", b_i, high, low)
+        s_nets = (f"s{i}p", f"s{i}n")
+        k_nets = (f"c{i + 1}p", f"c{i + 1}n")
+        port_map = {
+            "vdd": "vdd", "vbp": "vbp",
+            "ap": f"a{i}p", "an": f"a{i}n",
+            "bp": f"b{i}p", "bn": f"b{i}n",
+            "cp": carry_net[0], "cn": carry_net[1],
+            cell.sum_out[0]: s_nets[0], cell.sum_out[1]: s_nets[1],
+            cell.carry_out[0]: k_nets[0], cell.carry_out[1]: k_nets[1],
+        }
+        if with_latches:
+            port_map.update(ckp="ckp", ckn="ckn")
+        circuit.add_instance(f"fa{i}", cell.subcircuit, port_map)
+        s_i = a_i ^ b_i ^ carry
+        carry = _majority3((a_i, b_i, carry))
+        # Repoint the replayed template nodesets at the expected bit
+        # values so Newton starts on the right side of each latch.
+        _expect_pair(circuit, *s_nets, s_i, high, low)
+        _expect_pair(circuit, *k_nets, carry, high, low)
+        if with_latches:
+            _expect_pair(circuit, f"fa{i}.xs_outp", f"fa{i}.xs_outn",
+                         s_i, high, low)
+            _expect_pair(circuit, f"fa{i}.mc_outp", f"fa{i}.mc_outn",
+                         carry, high, low)
+        outputs[f"s{i}"] = s_nets
+        carry_net = k_nets
+    outputs["cout"] = carry_net
+    return circuit, outputs

@@ -173,6 +173,83 @@ def replica_bias_circuit(design: StsclGateDesign,
     return circuit, ports
 
 
+def add_stscl_tree(circuit: Circuit, prefix: str,
+                   design: StsclGateDesign,
+                   function: Callable[[tuple[bool, ...]], bool],
+                   input_pairs: Sequence[tuple[str, str]],
+                   with_dwell: bool = False) -> tuple[str, str]:
+    """Add one series-gated STSCL steering tree to ``circuit``.
+
+    ``input_pairs`` names the (positive, negative) gate nets of each
+    input, bottom level first.  All the tree's own nets and elements
+    are namespaced under ``prefix``; returns the output node pair.
+    This is the composable core behind :func:`stscl_tree_circuit` and
+    the full-adder bit-slice cell of :mod:`repro.stscl.adder`.
+    """
+    n_inputs = len(input_pairs)
+    if not 1 <= n_inputs <= 3:
+        raise DesignError(f"tree synthesis supports 1..3 inputs, "
+                          f"got {n_inputs}")
+    out_p, out_n = _add_output_stage(circuit, design, prefix, with_dwell)
+    circuit.add_isource(f"{prefix}itail", f"{prefix}tail", "0",
+                        design.i_ss)
+    pair = design.pair_device()
+    counter = itertools.count()
+
+    def build(level: int, source_node: str,
+              assignment: tuple[bool, ...]) -> None:
+        """Grow the steering tree above ``source_node``."""
+        if level == n_inputs:
+            return
+        for value in (True, False):
+            gate_node = input_pairs[level][0 if value else 1]
+            new_assignment = assignment + (value,)
+            if level == n_inputs - 1:
+                drain = out_n if function(new_assignment) else out_p
+            else:
+                drain = f"{prefix}b{next(counter)}"
+                circuit.nodeset(drain, 0.15 * (level + 1))
+            circuit.add_mosfet(
+                f"{prefix}m{level}_{next(counter)}", drain=drain,
+                gate=gate_node, source=source_node, bulk="0", device=pair)
+            if level < n_inputs - 1:
+                build(level + 1, drain, new_assignment)
+
+    build(0, f"{prefix}tail", ())
+    return out_p, out_n
+
+
+def add_stscl_latch(circuit: Circuit, prefix: str,
+                    design: StsclGateDesign,
+                    d_p: str, d_n: str, clk_p: str, clk_n: str,
+                    with_dwell: bool = False) -> tuple[str, str]:
+    """Add one clocked STSCL D-latch core to ``circuit``.
+
+    Clock high steers the tail into the sampling pair (transparent);
+    clock low into the cross-coupled hold pair.  Nets and elements are
+    namespaced under ``prefix``; returns the output node pair.  The
+    composable core behind :func:`stscl_latch_circuit` and the
+    pipelined adder bit slice.
+    """
+    out_p, out_n = _add_output_stage(circuit, design, prefix, with_dwell)
+    pair = design.pair_device()
+    tail, ns, nh = f"{prefix}tail", f"{prefix}ns", f"{prefix}nh"
+    circuit.add_mosfet(f"{prefix}mck1", drain=ns, gate=clk_p,
+                       source=tail, bulk="0", device=pair)
+    circuit.add_mosfet(f"{prefix}mck2", drain=nh, gate=clk_n,
+                       source=tail, bulk="0", device=pair)
+    circuit.add_mosfet(f"{prefix}md1", drain=out_n, gate=d_p,
+                       source=ns, bulk="0", device=pair)
+    circuit.add_mosfet(f"{prefix}md2", drain=out_p, gate=d_n,
+                       source=ns, bulk="0", device=pair)
+    circuit.add_mosfet(f"{prefix}mh1", drain=out_n, gate=out_p,
+                       source=nh, bulk="0", device=pair)
+    circuit.add_mosfet(f"{prefix}mh2", drain=out_p, gate=out_n,
+                       source=nh, bulk="0", device=pair)
+    circuit.add_isource(f"{prefix}itail", tail, "0", design.i_ss)
+    return out_p, out_n
+
+
 def stscl_tree_circuit(
         design: StsclGateDesign, vdd: float,
         function: Callable[[tuple[bool, ...]], bool],
@@ -200,34 +277,12 @@ def stscl_tree_circuit(
         circuit.add_vsource(f"vin{k}p", f"in{k}p", "0", v_p)
         circuit.add_vsource(f"vin{k}n", f"in{k}n", "0", v_n)
 
-    out_p, out_n = _add_output_stage(circuit, design, "", with_dwell)
-    circuit.add_isource("itail", "tail", "0", design.i_ss)
+    out_p, out_n = add_stscl_tree(
+        circuit, "", design, function,
+        [(f"in{k}p", f"in{k}n") for k in range(n_inputs)],
+        with_dwell=with_dwell)
     circuit.nodeset(out_p, vdd)
     circuit.nodeset(out_n, vdd - design.v_sw)
-
-    pair = design.pair_device()
-    counter = itertools.count()
-
-    def build(level: int, source_node: str,
-              assignment: tuple[bool, ...]) -> None:
-        """Grow the steering tree above ``source_node``."""
-        if level == n_inputs:
-            return
-        for value in (True, False):
-            gate_node = f"in{level}{'p' if value else 'n'}"
-            new_assignment = assignment + (value,)
-            if level == n_inputs - 1:
-                drain = out_n if function(new_assignment) else out_p
-            else:
-                drain = f"b{next(counter)}"
-                circuit.nodeset(drain, 0.15 * (level + 1))
-            circuit.add_mosfet(
-                f"m{level}_{next(counter)}", drain=drain, gate=gate_node,
-                source=source_node, bulk="0", device=pair)
-            if level < n_inputs - 1:
-                build(level + 1, drain, new_assignment)
-
-    build(0, "tail", ())
     ports = GatePorts(
         inputs={f"in{k}": (f"in{k}p", f"in{k}n")
                 for k in range(n_inputs)},
@@ -334,24 +389,8 @@ def stscl_latch_circuit(
     circuit.add_vsource("vckp", "ckp", "0", clk_p)
     circuit.add_vsource("vckn", "ckn", "0", clk_n)
 
-    out_p, out_n = _add_output_stage(circuit, design, "", with_dwell)
-    pair = design.pair_device()
-    # Clock level.
-    circuit.add_mosfet("mck1", drain="ns", gate="ckp", source="tail",
-                       bulk="0", device=pair)
-    circuit.add_mosfet("mck2", drain="nh", gate="ckn", source="tail",
-                       bulk="0", device=pair)
-    # Sampling pair (active when clk high).
-    circuit.add_mosfet("md1", drain=out_n, gate="dp", source="ns",
-                       bulk="0", device=pair)
-    circuit.add_mosfet("md2", drain=out_p, gate="dn", source="ns",
-                       bulk="0", device=pair)
-    # Cross-coupled hold pair (active when clk low).
-    circuit.add_mosfet("mh1", drain=out_n, gate=out_p, source="nh",
-                       bulk="0", device=pair)
-    circuit.add_mosfet("mh2", drain=out_p, gate=out_n, source="nh",
-                       bulk="0", device=pair)
-    circuit.add_isource("itail", "tail", "0", design.i_ss)
+    out_p, out_n = add_stscl_latch(circuit, "", design, "dp", "dn",
+                                   "ckp", "ckn", with_dwell=with_dwell)
 
     circuit.nodeset(out_p, vdd)
     circuit.nodeset(out_n, vdd - design.v_sw)

@@ -157,6 +157,31 @@ class TestSweepBatched:
                                    serial.column("v_a")[[0, 2]],
                                    rtol=1e-9)
 
+    def test_pilot_failure_falls_back_to_flat_start(self):
+        """A dead *first* point must not poison the sweep: the pilot
+        warm start falls back to the flat nodeset guess and the
+        remaining points still converge and match serial."""
+        values = [8.0, 0.5, 1.0]
+        serial = sweep_1d("v_in", values, FLAKY_SWEEP_SPEC,
+                          on_error="skip")
+        batched = sweep_1d("v_in", values, FLAKY_SWEEP_SPEC,
+                           on_error="skip", backend="batched")
+        assert [k for k, _ in batched.failures] == [0]
+        assert ([k for k, _ in batched.failures]
+                == [k for k, _ in serial.failures])
+        assert np.isnan(batched.column("v_a")[0])
+        np.testing.assert_allclose(batched.column("v_a")[[1, 2]],
+                                   serial.column("v_a")[[1, 2]],
+                                   rtol=1e-9)
+
+    def test_pilot_warm_start_emits_telemetry(self):
+        from repro import telemetry
+        with telemetry.tracing("sweep-test") as trace:
+            sweep_1d("v_in", [0.3, 0.6], SWEEP_SPEC, backend="batched")
+        sweep_span = trace.root.find("sweep-1d")
+        assert sweep_span is not None
+        assert sweep_span.events_of("pilot-warm-start")
+
     def test_plain_callable_rejected_with_guidance(self):
         with pytest.raises(AnalysisError, match="BatchedOpSweep"):
             sweep_1d("x", [1.0], lambda v: {"m": v}, backend="batched")
