@@ -9,6 +9,7 @@ Usage:
     python -m repro faults                      # fault blast-radius table
     python -m repro bench --quick               # time the solver hot paths
     python -m repro trace --scenario op_chain   # run a scenario traced
+    python -m repro scope --vcd edge.vcd        # triggered edge capture
 
 Library failures (:class:`~repro.errors.ReproError`) are reported as a
 one-line diagnosis with exit status 2 instead of a traceback.
@@ -151,6 +152,48 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scope(args: argparse.Namespace) -> int:
+    from .stscl import StsclGateDesign, buffer_chain_capture, characterize_gate
+    from .units import parse_quantity as pq
+
+    design = StsclGateDesign.default(pq(args.iss))
+    vdd = float(args.vdd)
+    print(f"triggered capture: {args.stages}-stage STSCL buffer chain, "
+          f"I_SS {format_quantity(design.i_ss, 'A')}, VDD {vdd} V")
+    session = buffer_chain_capture(design, vdd, n_stages=args.stages)
+    segment = session.segment()
+    print(f"  window   : {len(segment)} samples "
+          f"({segment.nbytes} bytes), trigger at "
+          f"{format_quantity(segment.trigger_time, 's')}")
+    report = characterize_gate(design, vdd, segment=segment)
+    print(f"  delay    : {report.delay.describe()}")
+    print(f"  slew     : {report.rise.describe()}")
+    print(f"  swing    : {report.swing.describe()}")
+    print(f"  analytic : t_d = {format_quantity(report.delay_analytic, 's')}"
+          f" (measured/analytic = {report.delay_ratio:.2f})")
+    if args.vcd is None and not args.check:
+        return 0
+    text = segment.to_vcd(scope="stscl")
+    if args.vcd is not None:
+        with open(args.vcd, "w", encoding="ascii") as stream:
+            stream.write(text)
+        print(f"  VCD written to {args.vcd}")
+    if args.check:
+        from .scope.vcd import parse_vcd
+
+        document = parse_vcd(text)
+        n_changes = len(document.changes)
+        expected = len(segment) * len(segment.signals)
+        if n_changes > expected:
+            raise ReproError(
+                f"VCD round-trip: {n_changes} changes > "
+                f"{expected} stored samples")
+        print(f"  VCD round-trip OK: timescale {document.timescale}, "
+              f"{len(document.variables)} variables, "
+              f"{n_changes} value changes")
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from . import telemetry
     from .fuzz import (FuzzBudgets, FuzzReport, load_corpus, replay_entry,
@@ -284,6 +327,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="summary tree depth (-1: unlimited; "
                               "the JSONL always keeps everything)")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_scope = sub.add_parser(
+        "scope", help="triggered waveform capture of an STSCL edge: "
+                      "measure delay/slew/swing, optionally export VCD")
+    p_scope.add_argument("--iss", default="1n",
+                         help="tail current, e.g. 1n or 10pA")
+    p_scope.add_argument("--vdd", type=float, default=0.4,
+                         help="supply voltage [V] (default 0.4)")
+    p_scope.add_argument("--stages", type=int, default=3,
+                         help="buffer-chain length (default 3)")
+    p_scope.add_argument("--vcd", default=None, metavar="PATH",
+                         help="write the captured window as VCD")
+    p_scope.add_argument("--check", action="store_true",
+                         help="parse the VCD back and verify the "
+                              "round-trip (CI smoke)")
+    p_scope.set_defaults(func=_cmd_scope)
 
     p_fuzz = sub.add_parser(
         "fuzz", help="constrained-random circuit fuzzing under the "

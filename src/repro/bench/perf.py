@@ -41,8 +41,9 @@ from ..stscl.netlist_gen import (
 #: v4: LTE-controlled transient + transient_lte / ac_sweep fast-path
 #: cases; v5: per-case ``backend`` + ``n_unknowns`` meta and the
 #: ``sparse_adder_chain`` case with its dense-vs-sparse crossover
-#: ladder).
-BENCH_SCHEMA = "repro-bench-perf/v5"
+#: ladder; v6: the ``scope_capture`` triggered-capture case with its
+#: samples-seen/stored and window-memory meta).
+BENCH_SCHEMA = "repro-bench-perf/v6"
 
 #: Environment variables that pin BLAS/OpenMP thread pools.  Recorded
 #: in the report (and pinned in CI) because an unpinned BLAS spawning a
@@ -347,6 +348,29 @@ def _bench_sparse_adder_chain(quick: bool) -> Callable[[], dict]:
     return case
 
 
+def _bench_scope_capture(quick: bool) -> Callable[[], dict]:
+    """Triggered streaming capture on the buffer-chain testbench.
+
+    Times the whole ``replace_dense`` path -- per-sample trigger
+    evaluation, ring-buffer pre-history, windowed post-capture -- on
+    top of the transient it instruments, and records how many committed
+    samples the session saw versus stored (the O(window) bound).
+    """
+    n_stages = 2 if quick else 3
+
+    def case() -> dict:
+        from ..stscl.testbench import buffer_chain_capture
+        session = buffer_chain_capture(_design(), _VDD,
+                                       n_stages=n_stages)
+        segment = session.segment()
+        return {"n_stages": n_stages,
+                "samples_seen": session.samples_seen,
+                "samples_stored": session.samples_stored,
+                "window": len(segment),
+                "window_bytes": segment.nbytes}
+    return case
+
+
 def default_cases(quick: bool = False,
                   n_workers: int = 1) -> dict[str, Callable[[], dict]]:
     """Case name -> zero-argument callable returning its meta dict."""
@@ -365,6 +389,7 @@ def default_cases(quick: bool = False,
         "batched_montecarlo": _bench_batched_montecarlo(n_lanes),
         "batched_sweep": _bench_batched_sweep(n_points),
         "sparse_adder_chain": _bench_sparse_adder_chain(quick),
+        "scope_capture": _bench_scope_capture(quick),
     }
 
 

@@ -5,35 +5,51 @@ Lets any waveform viewer (GTKWave & friends) display what the
 debugging loop every RTL engineer expects from a digital toolchain.
 
 The timescale maps one simulation cycle to one clock period of the
-owning design point, so cursor readings are real seconds.
+owning design point, so cursor readings are real seconds.  The
+serialisation goes through the shared mixed-signal writer
+(:mod:`repro.scope.vcd`), which picks the coarsest *exact* timescale
+for the clock period: a sub-ns or fractional period (0.5 ns, 769 ps,
+9.71 us) dumps at 100ps / 1fs / 10ns ticks instead of rounding to an
+integer nanosecond count -- the old behaviour put cursor readings off
+by up to 2x for fast design points.
 """
 
 from __future__ import annotations
 
-import io as _io
-import string
 from typing import TextIO
 
 from ..errors import AnalysisError
+from ..scope.vcd import VcdWriter, exact_timescale
+from ..scope.vcd import identifier as _identifier  # re-export (legacy name)
 from ..stscl.gate_model import StsclGateDesign
 from .netlist import GateNetlist
 from .simulator import CycleSimulator
 
-_ID_ALPHABET = string.ascii_letters + string.digits + "!#$%&"
+__all__ = ["cycle_timescale", "dump_vcd"]
+
+#: Cycle period when no design point is given: 1 us per cycle.
+_DEFAULT_PERIOD_S = 1e-6
+
+#: Quantization floor for clock periods; nothing meaningful in this
+#: platform switches faster than femtoseconds.
+_PERIOD_FLOOR_S = 1e-15
 
 
-def _identifier(index: int) -> str:
-    """Compact VCD identifier for signal ``index``."""
-    if index < 0:
-        raise AnalysisError(f"negative signal index: {index}")
-    base = len(_ID_ALPHABET)
-    chars = []
-    while True:
-        chars.append(_ID_ALPHABET[index % base])
-        index //= base
-        if index == 0:
-            break
-    return "".join(chars)
+def cycle_timescale(period_s: float) -> tuple[str, int]:
+    """``(timescale label, ticks per cycle)`` representing a period.
+
+    The period is quantized at the 1 fs floor, then the coarsest
+    standard VCD timescale that represents it exactly is chosen -- so
+    a 0.5 ns clock dumps as 5 ticks of ``100ps``, not 1 tick of a
+    rounded ``1ns``.
+    """
+    if period_s <= 0.0:
+        raise AnalysisError(
+            f"clock period must be positive, got {period_s!r}")
+    period_quantized = max(1, round(period_s / _PERIOD_FLOOR_S)) \
+        * _PERIOD_FLOOR_S
+    label, scale = exact_timescale([period_quantized])
+    return label, max(1, round(period_quantized / scale))
 
 
 def dump_vcd(netlist: GateNetlist,
@@ -54,37 +70,21 @@ def dump_vcd(netlist: GateNetlist,
         nets = list(netlist.primary_inputs)
         nets += [g.output for g in netlist.sequential_gates()]
         nets += [n for n in netlist.primary_outputs if n not in nets]
-    identifiers = {net: _identifier(k) for k, net in enumerate(nets)}
 
-    period_ns = 1_000 if design is None else max(
-        1, int(round(1e9 / design.max_frequency(1))))
+    period_s = (_DEFAULT_PERIOD_S if design is None
+                else 1.0 / design.max_frequency(1))
+    timescale, ticks_per_cycle = cycle_timescale(period_s)
 
-    out = _io.StringIO()
-    out.write("$date repro digital simulator $end\n")
-    out.write(f"$comment netlist {netlist.name} $end\n")
-    out.write("$timescale 1ns $end\n")
-    out.write(f"$scope module {netlist.name} $end\n")
-    for net in nets:
-        safe = net.replace(" ", "_")
-        out.write(f"$var wire 1 {identifiers[net]} {safe} $end\n")
-    out.write("$upscope $end\n$enddefinitions $end\n")
+    writer = VcdWriter(timescale, date="repro digital simulator",
+                       comment=f"netlist {netlist.name}")
+    identifiers = {net: writer.add_wire(net, scope=netlist.name)
+                   for net in nets}
 
-    previous: dict[str, bool | None] = {net: None for net in nets}
     for cycle, vector in enumerate(stimulus):
         values = simulator.step(vector)
-        changes = []
         for net in nets:
-            value = bool(values[net])
-            if previous[net] != value:
-                changes.append(f"{int(value)}{identifiers[net]}")
-                previous[net] = value
-        if changes or cycle == 0:
-            out.write(f"#{cycle * period_ns}\n")
-            for change in changes:
-                out.write(change + "\n")
-    out.write(f"#{len(stimulus) * period_ns}\n")
-
-    text = out.getvalue()
-    if stream is not None:
-        stream.write(text)
-    return text
+            # The writer deduplicates unchanged values per variable.
+            writer.change(cycle * ticks_per_cycle, identifiers[net],
+                          bool(values[net]))
+    writer.end_time(len(stimulus) * ticks_per_cycle)
+    return writer.render(stream)

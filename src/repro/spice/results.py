@@ -174,20 +174,14 @@ class TranResult:
         """Interpolated times where the waveform crosses ``level``.
 
         ``rising`` filters the edge direction; None keeps both.
+        Delegates to the shared crossing kernel of
+        :mod:`repro.scope.measure` (so dense results and triggered
+        captures measure identically); NaN-polluted records raise a
+        clean :class:`~repro.errors.AnalysisError`.
         """
-        v = self.voltage(node)
-        t = self.time
-        above = v >= level
-        toggles = np.nonzero(above[1:] != above[:-1])[0]
-        crossings = []
-        for k in toggles:
-            is_rising = not above[k]
-            if rising is not None and is_rising != rising:
-                continue
-            v1, v2 = v[k], v[k + 1]
-            frac = (level - v1) / (v2 - v1) if v2 != v1 else 0.5
-            crossings.append(t[k] + frac * (t[k + 1] - t[k]))
-        return np.array(crossings)
+        from ..scope.measure import crossings
+
+        return crossings(self.time, self.voltage(node), level, rising)
 
     def value_at(self, node: str, when: float) -> float:
         """Linearly interpolated voltage of ``node`` at time ``when``."""

@@ -33,11 +33,15 @@ steps and invalidated on every dt change; see
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import math
 import time as _time
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from ..scope.capture import ScopeSession
 
 from .. import telemetry
 from ..errors import AnalysisError, ConvergenceError, NetlistError
@@ -162,7 +166,11 @@ def _breakpoints(circuit: Circuit, t_stop: float) -> list[float]:
 
     def collect(element) -> None:
         if isinstance(element, (VoltageSource, CurrentSource)):
-            for t in element.waveform.breakpoints:
+            # breakpoints_within drops corners at or beyond t_stop at
+            # the waveform (pre-merge), and lets periodic waveforms
+            # generate corners for the whole window instead of a
+            # fixed-length table.
+            for t in element.waveform.breakpoints_within(t_stop):
                 if 0.0 < t < t_stop:
                     points.add(float(t))
         elif isinstance(element, Instance):
@@ -249,7 +257,8 @@ def _lte_factor(err_norm: float, order: int) -> float:
 def transient(circuit: Circuit, t_stop: float,
               options: TransientOptions | None = None,
               initial_op: OpResult | None = None,
-              max_wall_time: float | None = None) -> TranResult:
+              max_wall_time: float | None = None,
+              scope: "ScopeSession | None" = None) -> TranResult:
     """Integrate ``circuit`` from t = 0 (DC operating point) to ``t_stop``.
 
     Under an active telemetry trace the whole run is wrapped in a
@@ -259,6 +268,14 @@ def transient(circuit: Circuit, t_stop: float,
 
     ``max_wall_time`` is a convenience override for
     :attr:`TransientOptions.max_wall_time`.
+
+    ``scope`` attaches a :class:`repro.scope.capture.ScopeSession`: the
+    session sees every committed sample (t = 0 included) for triggered
+    ring-buffer capture.  With ``scope.replace_dense`` set the engine
+    skips its own dense full-history record entirely -- the returned
+    result then carries the time axis and telemetry but an empty
+    ``voltages`` dict, and the session's bounded windows are the only
+    waveform storage of the run (O(window), not O(steps)).
     """
     if t_stop <= 0.0:
         raise NetlistError(f"t_stop must be positive, got {t_stop}")
@@ -274,12 +291,14 @@ def transient(circuit: Circuit, t_stop: float,
     with telemetry.span("transient", circuit=circuit.name,
                         t_stop=t_stop, method=options.method,
                         step_control=options.step_control) as tspan:
-        return _transient_run(circuit, t_stop, options, initial_op, tspan)
+        return _transient_run(circuit, t_stop, options, initial_op, tspan,
+                              scope)
 
 
 def _transient_run(circuit: Circuit, t_stop: float,
                    options: TransientOptions,
-                   initial_op: OpResult | None, tspan) -> TranResult:
+                   initial_op: OpResult | None, tspan,
+                   scope: "ScopeSession | None" = None) -> TranResult:
     dt = options.dt_initial or t_stop / 1000.0
     dt_min = options.dt_min or t_stop * 1e-9
     dt_max = options.dt_max or t_stop / 50.0
@@ -336,11 +355,18 @@ def _transient_run(circuit: Circuit, t_stop: float,
     breakpoints = _breakpoints(circuit, t_stop)
     bp_cursor = 0
 
-    # The full MNA vector of every accepted step is kept and sliced
-    # into per-node waveforms once at the end -- a per-name python
-    # append loop per step is measurable against the solver hot path.
+    # Dense recording keeps the full MNA vector of every accepted step
+    # and transposes into per-node waveforms once at the end -- a
+    # per-name python append loop per step is measurable against the
+    # solver hot path.  An attached scope session with replace_dense
+    # skips this entirely: the session's bounded windows are then the
+    # only waveform storage (the scalar time axis is always kept).
+    record_dense = scope is None or not scope.replace_dense
     times = [0.0]
-    samples = [x.copy()]
+    samples = [x.copy()] if record_dense else []
+    if scope is not None:
+        scope._bind(compiled.node_index, circuit.name, tspan)
+        scope._on_sample(0.0, x)
     # Only voltage-defined elements own an MNA branch current; with
     # record_currents set, exactly the independent VoltageSource
     # branches are recorded (CurrentSource currents are their waveform
@@ -513,7 +539,10 @@ def _transient_run(circuit: Circuit, t_stop: float,
         times.append(t)
         # x_new is never mutated in place downstream (_newton copies
         # its start vector), so recording it unaliased needs no copy.
-        samples.append(x_new)
+        if record_dense:
+            samples.append(x_new)
+        if scope is not None:
+            scope._on_sample(t, x_new)
 
         if legacy:
             # Adapt: the accepted step may have been shortened by a
@@ -562,14 +591,27 @@ def _transient_run(circuit: Circuit, t_stop: float,
                    newton_rejections=step_log.newton_rejections,
                    lte_rejections=step_log.lte_rejections,
                    newton_iterations=step_log.newton_iterations)
-    trace = np.asarray(samples)
+    if scope is not None:
+        scope._finish()
+    if not record_dense:
+        return TranResult(time=np.asarray(times), voltages={},
+                          branch_currents={}, telemetry=step_log)
+    # Transpose the step vectors into ONE (unknowns, steps) store and
+    # hand out contiguous row views.  Each step vector is released the
+    # moment it is copied, so peak waveform memory is ~2x the final
+    # footprint (the old per-node ascontiguousarray materialisation
+    # held samples + a stacked trace + the growing copies: ~3x).
+    n_samples = len(samples)
+    store = np.empty((samples[0].size, n_samples))
+    for k in range(n_samples):
+        store[:, k] = samples[k]
+        samples[k] = None
     return TranResult(
         time=np.asarray(times),
-        voltages={name: np.ascontiguousarray(trace[:, idx])
+        voltages={name: store[idx]
                   for name, idx in compiled.node_index.items()},
         branch_currents=(
-            {e.name: np.ascontiguousarray(
-                trace[:, compiled.aux_index[e.name][0]])
+            {e.name: store[compiled.aux_index[e.name][0]]
              for e in recorded_sources}
             if options.record_currents else {}),
         telemetry=step_log)

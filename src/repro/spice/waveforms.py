@@ -16,14 +16,35 @@ from ..errors import ModelError
 
 @dataclass(frozen=True)
 class Waveform:
-    """A time-dependent source value."""
+    """A time-dependent source value.
+
+    ``breakpoints`` is the static corner list; periodic waveforms with
+    an unbounded corner sequence supply ``breakpoint_fn`` instead,
+    which generates the corners intersecting a given run window on
+    demand (so no fixed-length corner table can run out on long
+    transients, the way :func:`pulse_wave`'s old 64-period table did).
+    """
 
     func: Callable[[float], float]
     breakpoints: tuple[float, ...] = ()
     description: str = "waveform"
+    breakpoint_fn: Callable[[float], tuple[float, ...]] | None = None
 
     def __call__(self, t: float) -> float:
         return self.func(t)
+
+    def breakpoints_within(self, t_stop: float) -> tuple[float, ...]:
+        """Corners strictly inside ``(0, t_stop)``, sorted.
+
+        Corners at or beyond ``t_stop`` are dropped *here*, before the
+        transient engine's breakpoint merge, so a pulse whose later
+        periods extend past the stop time can never force a spurious
+        pre-edge ``dt`` shrink on the final step.
+        """
+        corners = (self.breakpoint_fn(t_stop)
+                   if self.breakpoint_fn is not None
+                   else self.breakpoints)
+        return tuple(sorted(t for t in corners if 0.0 < t < t_stop))
 
 
 def dc_wave(value: float) -> Waveform:
@@ -71,15 +92,27 @@ def pulse_wave(low: float, high: float, delay: float, rise: float,
             return high + (low - high) * frac
         return low
 
-    # Breakpoints for the first few periods; the engine also restarts the
-    # step size at every period via the modulo corner list below.
-    corners = []
-    for k in range(64):
-        t0 = delay + k * period
-        corners.extend([t0, t0 + rise, t0 + rise + width,
-                        t0 + rise + width + fall])
-    return Waveform(func=value, breakpoints=tuple(corners),
-                    description=f"pulse({low},{high},T={period})")
+    def corners_within(t_stop: float) -> tuple[float, ...]:
+        # Every period whose start lies inside the window contributes
+        # its four corners; corners past t_stop are filtered by
+        # breakpoints_within.  Generated on demand so arbitrarily long
+        # runs land every edge (a static table has a last entry).
+        corners = []
+        k = 0
+        while True:
+            t0 = delay + k * period
+            if t0 >= t_stop:
+                break
+            corners.extend([t0, t0 + rise, t0 + rise + width,
+                            t0 + rise + width + fall])
+            k += 1
+        return tuple(corners)
+
+    # The static table keeps the historical first-64-period corners
+    # for direct consumers; the engine uses corners_within.
+    return Waveform(func=value, breakpoints=corners_within(delay + 64 * period),
+                    description=f"pulse({low},{high},T={period})",
+                    breakpoint_fn=corners_within)
 
 
 def sine_wave(offset: float, amplitude: float, frequency: float,

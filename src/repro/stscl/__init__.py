@@ -38,6 +38,13 @@ from .netlist_gen import (
     stscl_latch_circuit,
     stscl_ring_oscillator_circuit,
 )
+from .testbench import (
+    GateCharacterization,
+    buffer_chain_capture,
+    characterize_gate,
+    measure_gate_delay,
+    measure_ring_period,
+)
 from .adder import PipelinedAdder, full_adder_cells
 from .loading import LoadBreakdown, estimate_load, supported_fanout
 from .thermal import (
@@ -59,6 +66,8 @@ __all__ = [
     "replica_bias_circuit", "stscl_majority_circuit",
     "stscl_tree_circuit", "stscl_latch_circuit",
     "stscl_ring_oscillator_circuit",
+    "GateCharacterization", "buffer_chain_capture", "characterize_gate",
+    "measure_gate_delay", "measure_ring_period",
     "PipelinedAdder", "full_adder_cells",
     "LoadBreakdown", "estimate_load", "supported_fanout",
     "ThermalPoint", "delay_spread", "gain_over_temperature",

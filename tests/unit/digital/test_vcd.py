@@ -67,12 +67,32 @@ class TestValueChanges:
         assert len(changes) == 10
         assert [c[0] for c in changes[:4]] == ["1", "0", "1", "0"]
 
-    def test_timescale_uses_design_rate(self):
+    def test_timescale_uses_design_rate_exactly(self):
+        """One cycle of the dump spans exactly the design's clock
+        period -- at whatever (possibly sub-ns) timescale represents
+        the non-integer period without rounding."""
+        from repro.scope.vcd import parse_vcd, timescale_seconds
+
         netlist = build_binary_counter(2)
         design = StsclGateDesign.default(1e-9)  # f_max ~103 kHz
         text = dump_vcd(netlist, [{"en": True}] * 2, design=design)
-        period_ns = int(round(1e9 / design.max_frequency(1)))
-        assert f"#{period_ns}\n" in text
+        document = parse_vcd(text)
+        period_s = 1.0 / design.max_frequency(1)
+        ticks = {t for t, _i, _v in document.changes if t > 0}
+        assert len(ticks) == 1
+        scale = timescale_seconds(document.timescale)
+        # Exact to the writer's 1 ppb representation tolerance (the
+        # old exporter's integer-ns round was off by ~3e-5 relative).
+        assert next(iter(ticks)) * scale == pytest.approx(
+            period_s, rel=2e-9)
+
+    def test_fractional_ns_period_keeps_cursor_accuracy(self):
+        """A 0.5 ns clock dumps at 100ps x 5 (the old exporter rounded
+        the timescale to 1ns: a 2x cursor error)."""
+        from repro.digital.vcd import cycle_timescale
+
+        label, ticks = cycle_timescale(0.5e-9)
+        assert (label, ticks) == ("100ps", 5)
 
     def test_net_filter(self):
         netlist = build_binary_counter(3)

@@ -431,3 +431,85 @@ class TestWallClockBudget:
             transient(rc_circuit(), 4e-6,
                       TransientOptions(max_wall_time=0.0))
         assert excinfo.value.stage == "wall-clock"
+
+
+class TestRecordingMemory:
+    """The dense recorder must not materialize a contiguous copy per
+    node: waveforms are row views into one shared store, and the
+    finalization peak stays well under the old stack-then-copy path
+    (which held the sample list, the stacked trace AND the growing
+    per-node copies at once: >= 3x the final waveform bytes)."""
+
+    def _chain(self, n=30):
+        ckt = Circuit("rc_chain")
+        ckt.add_vsource("V1", "in", "0", step_wave(0.0, 1.0, 1e-6))
+        for k in range(n):
+            ckt.add_resistor(f"R{k}", "in" if k == 0 else f"n{k - 1}",
+                             f"n{k}", 1e5)
+            ckt.add_capacitor(f"C{k}", f"n{k}", "0", 1e-12)
+        return ckt
+
+    def test_node_waveforms_share_one_base(self):
+        result = transient(self._chain(), 4e-6,
+                           TransientOptions(dt_max=1e-8))
+        bases = {id(v.base) for v in result.voltages.values()}
+        assert bases == {id(next(iter(result.voltages.values())).base)}
+        for v in result.voltages.values():
+            assert v.base is not None          # a view, not a copy
+            assert v.flags["C_CONTIGUOUS"]     # but still contiguous
+
+    def test_finalization_peak_is_bounded(self):
+        import tracemalloc
+
+        # Untraced warmup populates compile caches outside the trace.
+        transient(self._chain(), 40e-6, TransientOptions(dt_max=2e-9))
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        before = tracemalloc.get_traced_memory()[0]
+        result = transient(self._chain(), 40e-6,
+                           TransientOptions(dt_max=2e-9))
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        final_bytes = result.time.nbytes + sum(
+            v.nbytes for v in result.voltages.values())
+        assert result.time.size > 10_000  # big enough to be meaningful
+        # Store + per-step sample list (freed incrementally while the
+        # store fills) land near 2x + per-array overhead; the old
+        # ascontiguousarray-per-node path exceeded 3x.
+        assert peak - before < 3.0 * final_bytes
+
+
+class TestBreakpointsPastStop:
+    """Waveform corners at or beyond t_stop are dropped before the
+    breakpoint merge -- a pulse train extending past the run window
+    must not perturb the LTE controller near the end of the run."""
+
+    def _run(self, t_stop):
+        ckt = Circuit("pulse_past_stop")
+        ckt.add_vsource("V1", "in", "0",
+                        pulse_wave(0.0, 1.0, delay=1e-6, rise=1e-9,
+                                   fall=1e-9, width=2e-6, period=4e-6))
+        ckt.add_resistor("R1", "in", "out", 1e6)
+        ckt.add_capacitor("C1", "out", "0", 1e-12)
+        return transient(ckt, t_stop, TransientOptions(reltol=1e-3))
+
+    def test_lte_step_count_is_pinned(self):
+        """t_stop lands mid-period: the remaining corners of that and
+        all later periods are outside the window.  The accepted-step
+        count is pinned (like TestLteController) so any change to the
+        corner-dropping protocol shows up as a changed integer."""
+        result = self._run(9.2e-6)
+        assert result.telemetry.steps_accepted == 120
+        assert result.telemetry.steps_rejected == 0
+
+    def test_no_sample_lands_at_or_beyond_t_stop(self):
+        result = self._run(9.2e-6)
+        assert result.time[-1] == pytest.approx(9.2e-6, abs=1e-18)
+        assert np.all(result.time <= 9.2e-6)
+
+    def test_edges_inside_the_window_are_still_landed(self):
+        """Corner dropping must only affect corners outside the run:
+        every pulse edge inside it still gets a sample."""
+        result = self._run(9.2e-6)
+        for edge in (1e-6, 3e-6 + 1e-9, 5e-6, 7e-6 + 1e-9, 9e-6):
+            assert np.min(np.abs(result.time - edge)) < 2e-9

@@ -94,3 +94,59 @@ class TestPwl:
     def test_breakpoints_are_the_corners(self):
         wave = pwl_wave([(0.0, 0.0), (1.0, 2.0)])
         assert wave.breakpoints == (0.0, 1.0)
+
+
+class TestBreakpointsWithin:
+    """The run-window corner protocol behind the transient engine's
+    breakpoint merge."""
+
+    def test_corners_at_or_beyond_t_stop_are_dropped(self):
+        wave = pulse_wave(0.0, 1.0, delay=1e-6, rise=1e-9, fall=1e-9,
+                          width=2e-6, period=10e-6)
+        t_stop = 3.0015e-6  # between the fall start and fall end
+        corners = wave.breakpoints_within(t_stop)
+        # Only the first period's corners up to the fall start fit; the
+        # fall end (~3.002 us) and every later period are out.
+        assert len(corners) == 3
+        assert corners == tuple(sorted(corners))
+        assert all(0.0 < c < t_stop for c in corners)
+
+    def test_corner_exactly_at_t_stop_is_dropped(self):
+        wave = step_wave(0.0, 1.0, 2e-6)
+        assert wave.breakpoints_within(2e-6) == ()
+        assert wave.breakpoints_within(2e-6 + 1e-12) == (2e-6,)
+
+    def test_static_waveforms_filter_their_table(self):
+        wave = pwl_wave([(0.0, 0.0), (1e-6, 1.0), (2e-6, 0.0)])
+        assert wave.breakpoints_within(1.5e-6) == (1e-6,)
+
+    def test_pulse_corners_beyond_64_periods_are_generated(self):
+        """The old static table silently capped at 64 periods -- a long
+        run lost every later edge landing.  The generator keeps going."""
+        wave = pulse_wave(0.0, 1.0, delay=0.0, rise=1e-9, fall=1e-9,
+                          width=2e-6, period=10e-6)
+        t_stop = 100.5 * 10e-6
+        corners = wave.breakpoints_within(t_stop)
+        assert max(corners) > 64 * 10e-6
+        assert 100 * 10e-6 in corners
+        # Static table (compatibility view) still ends at 64 periods.
+        assert max(wave.breakpoints) < 64.1 * 10e-6
+
+    def test_generated_corners_match_the_static_table_bitwise(self):
+        """Inside the first 64 periods the generator must reproduce the
+        table floats exactly -- the LTE step-count pins depend on the
+        engine landing on identical corner values."""
+        wave = pulse_wave(0.3, 0.7, delay=1.7e-7, rise=3e-9, fall=2e-9,
+                          width=1.1e-6, period=4.3e-6)
+        t_stop = 64 * 4.3e-6
+        generated = wave.breakpoints_within(t_stop)
+        table = tuple(sorted(t for t in wave.breakpoints
+                             if 0.0 < t < t_stop))
+        assert generated == table
+
+    def test_sorted_even_when_generator_is_not(self):
+        from repro.spice.waveforms import Waveform
+
+        wave = Waveform(func=lambda t: 0.0,
+                        breakpoint_fn=lambda t_stop: (3.0, 1.0, 2.0))
+        assert wave.breakpoints_within(10.0) == (1.0, 2.0, 3.0)
