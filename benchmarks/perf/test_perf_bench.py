@@ -17,7 +17,9 @@ from repro.errors import AnalysisError
 
 ALL_CASES = {"op_chain", "dc_sweep", "transient", "transient_lte",
              "ac_sweep", "montecarlo", "batched_montecarlo",
-             "batched_sweep", "sparse_adder_chain"}
+             "batched_sweep", "sparse_adder_chain",
+             "sparse_batched_montecarlo", "shm_montecarlo",
+             "scope_capture"}
 
 
 def test_quick_benchmarks_produce_all_cases(tmp_path):
@@ -43,25 +45,43 @@ def test_quick_benchmarks_produce_all_cases(tmp_path):
     assert (report["results"]["dc_sweep"]["trace_counters"]
             ["compile_cache_misses"] == 1)
     # The batched cases record their lane counts and touched the
-    # stacked path (batch_lanes counter from repro.spice.batch).
+    # stacked path (batch_lanes counter from repro.spice.batch).  The
+    # Monte-Carlo backend warm-starts from a one-lane pilot solve, so
+    # its campaign counts one extra lane.
     for name in ("batched_montecarlo", "batched_sweep"):
         entry = report["results"][name]
         assert entry["meta"]["batch"] > 1
-        assert entry["trace_counters"]["batch_lanes"] == \
-            entry["meta"]["batch"]
+        assert entry["trace_counters"]["batch_lanes"] in (
+            entry["meta"]["batch"], entry["meta"]["batch"] + 1)
     # The batched Monte Carlo times the same population as the serial
     # case: identical seeds, identical draws, identical mean.
     by_name = {r.name: r for r in results}
     serial_mc = by_name["montecarlo"]
     batched_mc = by_name["batched_montecarlo"]
     assert serial_mc.meta["n_seeds"] <= batched_mc.meta["n_seeds"]
-    # Schema v5: every case records the solver backend that ran it and
+    # Schema v5: every solver case records the backend that ran it and
     # the MNA system size, and the adder chain is big enough that auto
-    # picked sparse even in quick mode.
-    for name in names:
+    # picked sparse even in quick mode.  (scope_capture times the
+    # capture layer, not a solve, and carries no solver meta.)
+    for name in names - {"scope_capture"}:
         meta = report["results"][name]["meta"]
         assert meta["backend"] in ("dense", "sparse")
         assert meta["n_unknowns"] > 0
+    # Schema v7: the sparse batched ensemble shares one symbolic
+    # factorization across the whole campaign, decodes the exact sum
+    # on every seed, and the shared-memory parallel case compiles once
+    # for the whole fleet with a >= 10x per-task payload shrink.
+    smc = report["results"]["sparse_batched_montecarlo"]["meta"]
+    assert smc["backend"] == "sparse"
+    assert smc["campaign_counters"]["sparse_symbolic_factorizations"] == 1
+    assert smc["sum_mean"] == smc["sum_expected"]
+    assert smc["n_failed"] == 0
+    shm_entry = report["results"]["shm_montecarlo"]
+    assert shm_entry["meta"]["bit_identical_to_serial"] is True
+    assert shm_entry["meta"]["payload_ratio"] >= 10.0
+    assert shm_entry["trace_counters"]["compile_cache_misses"] == 1
+    assert shm_entry["trace_counters"]["shm_plan_misses"] >= 1
+    assert shm_entry["trace_counters"]["shm_plan_hits"] >= 1
     adder = report["results"]["sparse_adder_chain"]["meta"]
     assert adder["backend"] == "sparse"
     assert adder["headline_s"] > 0.0
@@ -106,6 +126,47 @@ def test_compare_flags_only_regressed_cases():
     assert by_name["new"].baseline_s is None and not by_name["new"].regressed
     assert by_name["gone"].fresh_s is None and not by_name["gone"].regressed
     assert "REGRESSED" in report.describe()
+
+
+def test_compare_require_cases_fails_on_missing_baseline_case():
+    baseline = {"a": 0.010, "gone": 0.010}
+    results = [_result("a", 0.011), _result("new", 0.005)]
+    # Default: a baseline-only case is benignly "retired".
+    lenient = compare_results(results, baseline, max_ratio=2.0)
+    assert lenient.passed and not lenient.missing_cases
+    # --require-cases: the same drop fails the gate; new cases still
+    # pass (they have no baseline to be missing from).
+    strict = compare_results(results, baseline, max_ratio=2.0,
+                             require_cases=True)
+    assert not strict.passed
+    assert [c.name for c in strict.missing_cases] == ["gone"]
+    assert "MISSING" in strict.describe()
+    assert "gate FAILED" in strict.describe()
+    by_name = {c.name: c for c in strict.cases}
+    assert not by_name["new"].missing
+
+
+def test_sparse_batched_mc_full_case_meets_acceptance():
+    """Acceptance pin for the sparse batched ensemble: on the
+    1164-unknown 32-bit adder the campaign runs >= 3x faster per seed
+    than one cold serial sparse solve, shares exactly one symbolic
+    factorization, and every seed decodes the exact arithmetic sum."""
+    from repro import telemetry
+    from repro.bench.perf import _bench_sparse_batched_montecarlo
+
+    with telemetry.tracing("sparse-batched-mc-acceptance"):
+        meta = _bench_sparse_batched_montecarlo(quick=False)()
+    assert meta["n_unknowns"] >= 1000
+    assert meta["backend"] == "sparse"
+    assert meta["n_failed"] == 0
+    assert meta["sum_mean"] == meta["sum_expected"]
+    counters = meta["campaign_counters"]
+    assert counters["sparse_symbolic_factorizations"] == 1
+    assert counters["lu_reuses"] > 0
+    assert meta["per_seed_speedup"] >= 3.0, (
+        f"batched {meta['batched_per_seed_s'] * 1e3:.1f} ms/seed vs "
+        f"serial {meta['serial_seed_s'] * 1e3:.1f} ms/seed = "
+        f"{meta['per_seed_speedup']:.2f}x, expected >= 3x")
 
 
 def test_compare_rejects_bad_inputs(tmp_path):

@@ -104,7 +104,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench.compare import (compare_results, load_baseline,
                                 regression_allowed)
     report = compare_results(results, load_baseline(args.compare),
-                             max_ratio=args.max_ratio)
+                             max_ratio=args.max_ratio,
+                             require_cases=args.require_cases)
     print(report.describe())
     if report.passed:
         return 0
@@ -302,6 +303,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "exit 1 when any shared case got more than "
                               "--max-ratio slower (escape hatch: set "
                               "REPRO_BENCH_ALLOW_REGRESSION=1)")
+    p_bench.add_argument("--require-cases", action="store_true",
+                         help="fail --compare when a baseline case is "
+                              "missing from the fresh run (a dropped "
+                              "case is a dropped regression check)")
     p_bench.add_argument("--max-ratio", type=float, default=2.0,
                          help="slowdown factor tolerated by --compare "
                               "(default 2.0)")

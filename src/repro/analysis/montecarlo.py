@@ -16,7 +16,8 @@ import numpy as np
 
 from .. import telemetry
 from ..errors import AnalysisError, ReproError
-from .parallel import ensure_picklable, run_ordered, validate_workers
+from .parallel import (PlanToken, ensure_picklable, fetch_plan,
+                       publish_plan, run_ordered, validate_workers)
 
 
 def _mc_eval(metric_fn: Callable[[int], dict[str, float]],
@@ -50,6 +51,25 @@ def _mc_worker(metric_fn: Callable[[int], dict[str, float]],
         return outcome + (trace.root.to_dict(),)
     with telemetry.span(f"seed-{seed}", seed=seed):
         return _mc_eval(metric_fn, seed)
+
+
+def _mc_worker_shm(token: PlanToken, seed: int,
+                   capture_trace: bool = False) -> tuple:
+    """Shared-memory twin of :func:`_mc_worker`.
+
+    The task carries only a :class:`~repro.analysis.parallel.PlanToken`
+    plus the seed; the metric function itself is resolved through the
+    worker-local plan cache.  The fetch happens *inside* the traced
+    region so ``shm_plan_hits`` / ``shm_plan_misses`` ride back to the
+    parent with the rest of the seed's counters.
+    """
+    if capture_trace:
+        telemetry.reset()
+        with telemetry.tracing(f"seed-{seed}", seed=seed) as trace:
+            outcome = _mc_eval(fetch_plan(token), seed)
+        return outcome + (trace.root.to_dict(),)
+    with telemetry.span(f"seed-{seed}", seed=seed):
+        return _mc_eval(fetch_plan(token), seed)
 
 
 @dataclass(frozen=True)
@@ -147,6 +167,18 @@ class MonteCarlo:
     seed order -- just wall-clock faster.  ``metric_fn`` must then be
     picklable (a module-level function, not a lambda).
 
+    ``shm`` controls how the metric function reaches the workers when
+    parallel: ``"auto"`` (default) publishes it once as a read-only
+    ``multiprocessing.shared_memory`` segment so each task ships only a
+    tiny token plus its seed -- falling back to classic per-task
+    pickling when shared memory is unavailable; ``"off"`` always
+    pickles per task; ``"on"`` requires shared memory and raises when
+    the platform cannot provide it.  Either way the outcome stream --
+    summaries, failed-seed records, ordering -- is bit-identical to the
+    serial loop.  Pair with :meth:`~repro.spice.batch.BatchedOpMetric.
+    plan` so the published plan carries a pre-compiled circuit and the
+    whole fleet compiles exactly once.
+
     ``backend="batched"`` solves the whole population as one stacked
     tensor instead of one Newton solve per seed; ``metric_fn`` must
     then be a :class:`~repro.spice.batch.BatchedOpMetric` spec (which
@@ -162,12 +194,17 @@ class MonteCarlo:
                  n_runs: int = 25, seed_base: int = 0,
                  on_error: str = "raise",
                  n_workers: int | None = None,
-                 backend: str = "serial") -> None:
+                 backend: str = "serial",
+                 matrix_backend: str | None = None,
+                 shm: str = "auto") -> None:
         if n_runs < 1:
             raise AnalysisError(f"n_runs must be >= 1: {n_runs}")
         if on_error not in ("raise", "skip"):
             raise AnalysisError(
                 f"on_error must be 'raise' or 'skip', got {on_error!r}")
+        if shm not in ("auto", "on", "off"):
+            raise AnalysisError(
+                f"shm must be 'auto', 'on' or 'off', got {shm!r}")
         if backend not in ("serial", "batched"):
             raise AnalysisError(
                 f"backend must be 'serial' or 'batched', got {backend!r}")
@@ -175,12 +212,17 @@ class MonteCarlo:
             raise AnalysisError(
                 "backend='batched' replaces the process pool; "
                 "leave n_workers unset")
+        if matrix_backend is not None and backend != "batched":
+            raise AnalysisError(
+                "matrix_backend overrides apply to backend='batched' only")
         self.metric_fn = metric_fn
         self.n_runs = n_runs
         self.seed_base = seed_base
         self.on_error = on_error
         self.n_workers = validate_workers(n_workers)
         self.backend = backend
+        self.matrix_backend = matrix_backend
+        self.shm = shm
 
     def _seeds(self) -> list[int]:
         return [self.seed_base + k for k in range(self.n_runs)]
@@ -191,22 +233,42 @@ class MonteCarlo:
         for seed in self._seeds():
             yield seed, _mc_worker(self.metric_fn, seed)
 
-    def _outcomes_parallel(self):
+    def _outcomes_parallel(self, tspan):
         """Same outcome stream, evaluated on a process pool.
 
         Futures are collected in seed-submission order, so the
         reduction sees the exact sequence of the serial loop -- and,
         when tracing, the per-worker spans merge in that same order.
+        Under ``shm="auto"`` / ``"on"`` the metric function travels as
+        one published shared-memory plan instead of riding every task
+        tuple; the worker function changes, the work does not.
         """
         ensure_picklable(self.metric_fn, "metric_fn")
-        results = run_ordered(_mc_worker,
-                              [(self.metric_fn, seed,
-                                telemetry.is_enabled())
-                               for seed in self._seeds()],
-                              self.n_workers)
+        trace_on = telemetry.is_enabled()
+        plan = (publish_plan(self.metric_fn)
+                if self.shm in ("auto", "on") else None)
+        if plan is None:
+            if self.shm == "on":
+                raise AnalysisError(
+                    "shm='on' but shared memory is unavailable on this "
+                    "platform; use shm='auto' to fall back to per-task "
+                    "pickling")
+            results = run_ordered(_mc_worker,
+                                  [(self.metric_fn, seed, trace_on)
+                                   for seed in self._seeds()],
+                                  self.n_workers)
+            return zip(self._seeds(), results)
+        try:
+            tspan.event("shm-plan-published", bytes=plan.nbytes)
+            results = run_ordered(_mc_worker_shm,
+                                  [(plan.token, seed, trace_on)
+                                   for seed in self._seeds()],
+                                  self.n_workers)
+        finally:
+            plan.close()
         return zip(self._seeds(), results)
 
-    def _outcomes_batched(self):
+    def _outcomes_batched(self, tspan):
         """Same (seed, outcome) stream, produced by one stacked solve.
 
         Each seed's lane draw is a pure function of the seed (the
@@ -214,6 +276,15 @@ class MonteCarlo:
         population is the one the serial loop would have evaluated;
         lanes that fail every strategy surface as the same
         ``("error", ConvergenceError)`` records, in seed order.
+
+        Populations larger than one lane warm-start from a pilot solve
+        of the first seed's lane (the sweep backend's pattern): every
+        seed is a small perturbation of the same circuit, so the
+        pilot's operating point puts the whole stack in the converged
+        basin -- which is what lets circuits only the full homotopy
+        ladder can solve cold (the bistable adder latches, say) run as
+        stacked ensembles at all.  A failed pilot degrades to the flat
+        nodeset start instead of poisoning the population.
         """
         from ..spice.batch import BatchedOpMetric, batch_operating_point
         spec = self.metric_fn
@@ -225,9 +296,22 @@ class MonteCarlo:
         circuit = spec.build()
         seeds = self._seeds()
         lanes = [spec.draw(seed, circuit) for seed in seeds]
+        x0 = None
+        if len(lanes) > 1:
+            pilot = batch_operating_point(
+                circuit, lanes[:1], options=spec.options,
+                strategies=spec.strategies, on_error="skip",
+                matrix_backend=self.matrix_backend)
+            if not pilot.failures:
+                x0 = pilot.points[0].x
+                tspan.event("pilot-warm-start", seed=seeds[0])
+            else:
+                tspan.event("pilot-failed-flat-start",
+                            why=str(pilot.failures[0][1]))
         batch = batch_operating_point(circuit, lanes, options=spec.options,
                                       strategies=spec.strategies,
-                                      on_error="skip")
+                                      on_error="skip", x0=x0,
+                                      matrix_backend=self.matrix_backend)
         failed = dict(batch.failures)
         outcomes = []
         for index, seed in enumerate(seeds):
@@ -254,9 +338,9 @@ class MonteCarlo:
 
     def _run(self, tspan) -> MonteCarloRun:
         if self.backend == "batched":
-            outcomes = self._outcomes_batched()
+            outcomes = self._outcomes_batched(tspan)
         elif self.n_workers > 1:
-            outcomes = self._outcomes_parallel()
+            outcomes = self._outcomes_parallel(tspan)
         else:
             outcomes = self._outcomes_serial()
         collected: dict[str, list[float]] = {}

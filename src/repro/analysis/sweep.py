@@ -70,7 +70,8 @@ def _sweep_rows_serial(values_array, metric_fn, on_error, tspan):
     return rows, failures
 
 
-def _sweep_rows_batched(values_array, metric_fn, on_error, tspan):
+def _sweep_rows_batched(values_array, metric_fn, on_error, tspan,
+                        matrix_backend=None):
     """Same (rows, failures), produced by one stacked multi-lane solve.
 
     ``metric_fn`` must be a :class:`~repro.spice.batch.BatchedOpSweep`
@@ -99,7 +100,8 @@ def _sweep_rows_batched(values_array, metric_fn, on_error, tspan):
         # the flat start rather than poisoning the whole sweep.
         pilot = batch_operating_point(
             circuit, lanes[:1], options=spec.options,
-            strategies=spec.strategies, on_error="skip")
+            strategies=spec.strategies, on_error="skip",
+            matrix_backend=matrix_backend)
         if not pilot.failures:
             x0 = pilot.points[0].x
             tspan.event("pilot-warm-start", value=float(values_array[0]))
@@ -108,7 +110,8 @@ def _sweep_rows_batched(values_array, metric_fn, on_error, tspan):
                         why=str(pilot.failures[0][1]))
     batch = batch_operating_point(circuit, lanes, options=spec.options,
                                   strategies=spec.strategies,
-                                  on_error="skip", x0=x0)
+                                  on_error="skip", x0=x0,
+                                  matrix_backend=matrix_backend)
     failed = dict(batch.failures)
     rows: list[dict[str, float] | None] = []
     failures: list[tuple[int, str]] = []
@@ -138,7 +141,8 @@ def _sweep_rows_batched(values_array, metric_fn, on_error, tspan):
 def sweep_1d(parameter: str, values: Sequence[float],
              metric_fn: Callable[[float], dict[str, float]],
              on_error: str = "raise",
-             backend: str = "serial") -> SweepTable:
+             backend: str = "serial",
+             matrix_backend: str | None = None) -> SweepTable:
     """Evaluate ``metric_fn`` at each value; collect aligned columns.
 
     ``on_error="skip"`` records a point whose evaluation raises a
@@ -148,7 +152,10 @@ def sweep_1d(parameter: str, values: Sequence[float],
     ``backend="batched"`` solves every point as one lane of a stacked
     ensemble Newton solve (``metric_fn`` must then be a
     :class:`~repro.spice.batch.BatchedOpSweep` spec, which is also a
-    plain callable for the serial path).
+    plain callable for the serial path).  ``matrix_backend`` overrides
+    the built circuit's dense/sparse preference for the stacked solve
+    (``"sparse"``/``"auto"`` route thousand-unknown sweeps through the
+    shared-pattern sparse ensemble path).
     """
     if on_error not in ("raise", "skip"):
         raise AnalysisError(
@@ -156,6 +163,9 @@ def sweep_1d(parameter: str, values: Sequence[float],
     if backend not in ("serial", "batched"):
         raise AnalysisError(
             f"backend must be 'serial' or 'batched', got {backend!r}")
+    if matrix_backend is not None and backend != "batched":
+        raise AnalysisError(
+            "matrix_backend overrides apply to backend='batched' only")
     values_array = np.asarray(list(values), dtype=float)
     if values_array.size == 0:
         raise AnalysisError("empty sweep")
@@ -164,7 +174,8 @@ def sweep_1d(parameter: str, values: Sequence[float],
                         n_points=int(values_array.size)) as tspan:
         if backend == "batched":
             rows, failures = _sweep_rows_batched(values_array, metric_fn,
-                                                 on_error, tspan)
+                                                 on_error, tspan,
+                                                 matrix_backend)
         else:
             rows, failures = _sweep_rows_serial(values_array, metric_fn,
                                                 on_error, tspan)

@@ -9,8 +9,13 @@ next person profiling.
 The gate compares *per-case* wall times, not the total: a 10x
 regression in one solver path must not hide behind a case that got
 faster.  Cases present on only one side (added or retired benchmarks)
-are reported but never fail the gate -- otherwise every new benchmark
-would need a same-commit baseline refresh to go green.
+are reported but by default never fail the gate -- otherwise every new
+benchmark would need a same-commit baseline refresh to go green.  CI,
+however, passes ``--require-cases``: there, a case that the baseline
+carries but the fresh run silently dropped (a bench that crashed out,
+a case list that quietly shrank in quick mode) **fails** the gate --
+a missing case is a missing regression check, which is itself a
+regression.  New cases still pass either way.
 
 Escape hatch: set ``REPRO_BENCH_ALLOW_REGRESSION=1`` (for instance in
 a PR that knowingly trades speed for a fix) and the gate reports but
@@ -41,6 +46,9 @@ class CaseComparison:
         fresh_s: Just-measured wall time [s] (None: case was retired).
         ratio: fresh / baseline (None when either side is missing).
         regressed: True when ``ratio`` exceeded the gate's threshold.
+        missing: True when the baseline carries the case but the fresh
+            run did not produce it *and* the gate ran with
+            ``require_cases`` -- a gate failure in its own right.
     """
 
     name: str
@@ -48,12 +56,14 @@ class CaseComparison:
     fresh_s: float | None
     ratio: float | None
     regressed: bool
+    missing: bool = False
 
     def describe(self) -> str:
         if self.baseline_s is None:
             return f"{self.name}: new case ({self.fresh_s * 1e3:.1f} ms)"
         if self.fresh_s is None:
-            return f"{self.name}: retired (baseline " \
+            verdict = "MISSING from fresh run" if self.missing else "retired"
+            return f"{self.name}: {verdict} (baseline " \
                    f"{self.baseline_s * 1e3:.1f} ms)"
         flag = "  REGRESSED" if self.regressed else ""
         return (f"{self.name}: {self.baseline_s * 1e3:8.1f} ms -> "
@@ -72,15 +82,22 @@ class ComparisonReport:
         return [case for case in self.cases if case.regressed]
 
     @property
+    def missing_cases(self) -> list[CaseComparison]:
+        """Baseline cases the fresh run failed to produce (populated
+        only under ``require_cases``)."""
+        return [case for case in self.cases if case.missing]
+
+    @property
     def passed(self) -> bool:
-        return not self.regressions
+        return not self.regressions and not self.missing_cases
 
     def describe(self) -> str:
         lines = [case.describe() for case in self.cases]
         if self.passed:
             lines.append(f"gate passed (threshold x{self.max_ratio:g})")
         else:
-            names = ", ".join(c.name for c in self.regressions)
+            names = ", ".join(c.name for c in
+                              self.regressions + self.missing_cases)
             lines.append(f"gate FAILED (threshold x{self.max_ratio:g}): "
                          f"{names}")
         return "\n".join(lines)
@@ -111,8 +128,14 @@ def load_baseline(path: str | Path) -> dict[str, float]:
 
 def compare_results(results: list[BenchResult],
                     baseline: dict[str, float],
-                    max_ratio: float = 2.0) -> ComparisonReport:
-    """Gate ``results`` against a committed baseline mapping."""
+                    max_ratio: float = 2.0,
+                    require_cases: bool = False) -> ComparisonReport:
+    """Gate ``results`` against a committed baseline mapping.
+
+    With ``require_cases`` set, every case the baseline carries must
+    appear in the fresh run; a baseline-only case then fails the gate
+    instead of being reported as benignly "retired".
+    """
     if max_ratio <= 1.0:
         raise AnalysisError(
             f"max_ratio must be > 1.0 (it is fresh/baseline): {max_ratio}")
@@ -130,9 +153,10 @@ def compare_results(results: list[BenchResult],
                     f"{baseline_s}")
             ratio = fresh_s / baseline_s
             regressed = ratio > max_ratio
+        missing = require_cases and fresh_s is None
         cases.append(CaseComparison(name=name, baseline_s=baseline_s,
                                     fresh_s=fresh_s, ratio=ratio,
-                                    regressed=regressed))
+                                    regressed=regressed, missing=missing))
     return ComparisonReport(cases=tuple(cases), max_ratio=max_ratio)
 
 

@@ -42,8 +42,12 @@ from ..stscl.netlist_gen import (
 #: cases; v5: per-case ``backend`` + ``n_unknowns`` meta and the
 #: ``sparse_adder_chain`` case with its dense-vs-sparse crossover
 #: ladder; v6: the ``scope_capture`` triggered-capture case with its
-#: samples-seen/stored and window-memory meta).
-BENCH_SCHEMA = "repro-bench-perf/v6"
+#: samples-seen/stored and window-memory meta; v7: the
+#: ``sparse_batched_montecarlo`` thousand-unknown ensemble case with
+#: its campaign counters and per-seed speedup, and the
+#: ``shm_montecarlo`` shared-memory parallel case with its payload
+#: ratio and fleet-wide compile accounting).
+BENCH_SCHEMA = "repro-bench-perf/v7"
 
 #: Environment variables that pin BLAS/OpenMP thread pools.  Recorded
 #: in the report (and pinned in CI) because an unpinned BLAS spawning a
@@ -348,6 +352,116 @@ def _bench_sparse_adder_chain(quick: bool) -> Callable[[], dict]:
     return case
 
 
+def _bench_sparse_batched_montecarlo(quick: bool) -> Callable[[], dict]:
+    """Full-bank mismatch Monte-Carlo on the thousand-unknown adder,
+    solved as one sparse stacked ensemble.
+
+    Every seed perturbs the VT of *every* transistor in the hierarchy
+    (the full device bank, not just top-level elements), and all lanes
+    share one COLAMD symbolic factorization -- the campaign counters in
+    the meta pin that down (``sparse_symbolic_factorizations == 1``).
+    The per-seed speedup compares the whole campaign wall time (pilot
+    included) against one cold serial sparse solve of the same spec.
+    """
+    width = 16 if quick else 32
+    n_seeds = 4 if quick else 8
+
+    def case() -> dict:
+        from ..spice.batch import BatchedOpMetric, LaneSpec
+        from ..stscl.adder import adder_chain_circuit
+        design = _design()
+        mask = (1 << width) - 1
+        a, b = 0xDEADBEEF & mask, 0x12345678 & mask
+        circuit, ports = adder_chain_circuit(design, _VDD, width=width,
+                                             a=a, b=b, carry_in=True)
+        expected = (a + b + 1) & mask
+
+        def build():
+            # One shared circuit: apply_lane's undo contract restores
+            # it exactly, so reuse is results-neutral and keeps the
+            # compile (and the symbolic factorization) per-campaign.
+            return circuit
+
+        def draw(seed, target):
+            bank = target.compile().assembler._mos_bank
+            rng = np.random.default_rng(seed)
+            return LaneSpec.mismatch(
+                rng.normal(0.0, 2e-3, bank.n_devices),
+                label=f"seed-{seed}")
+
+        def measure(result):
+            total = 0
+            for i in range(width):
+                p, n = ports[f"s{i}"]
+                if result.voltages[p] - result.voltages[n] > 0:
+                    total |= 1 << i
+            return {"sum": float(total)}
+
+        spec = BatchedOpMetric(build=build, draw=draw, measure=measure)
+        with telemetry.span("sparse-batched-campaign") as cspan:
+            t0 = time.perf_counter()
+            run = MonteCarlo(spec, n_runs=n_seeds,
+                             backend="batched").run()
+            batched_s = time.perf_counter() - t0
+        counters = cspan.total_counters()
+        t0 = time.perf_counter()
+        spec(0)
+        serial_s = time.perf_counter() - t0
+        return {"width": width, "n_seeds": n_seeds,
+                "sum_expected": expected, "sum_mean": run["sum"].mean,
+                "n_failed": run.n_failed,
+                "serial_seed_s": serial_s,
+                "batched_per_seed_s": batched_s / n_seeds,
+                "per_seed_speedup": serial_s * n_seeds / batched_s,
+                "campaign_counters": {
+                    key: counters.get(key, 0) for key in
+                    ("sparse_symbolic_factorizations",
+                     "sparse_numeric_refactorizations",
+                     "jacobian_factorizations", "lu_reuses")},
+                **_solver_meta(circuit)}
+    return case
+
+
+def _bench_shm_montecarlo(n_seeds: int) -> Callable[[], dict]:
+    """Parallel Monte-Carlo over the shared-memory plan cache.
+
+    The :meth:`~repro.spice.batch.BatchedOpMetric.plan` call inside the
+    traced region is the *only* circuit compile of the whole fleet
+    (``compile_cache_misses == 1`` in the case's trace counters); the
+    published plan reaches the workers as one shared segment, so each
+    task ships a token instead of the compiled circuit -- the
+    ``payload_ratio`` meta records the per-task byte shrink, and the
+    summaries are checked bit-identical against the serial loop over
+    the same plan.
+    """
+    def case() -> dict:
+        import pickle
+
+        from ..analysis.parallel import PLAN_PREFIX, PlanToken
+        from ..spice.batch import BatchedOpMetric
+        spec = BatchedOpMetric(build=_batched_mc_build,
+                               draw=_batched_mc_draw,
+                               measure=_batched_mc_measure)
+        plan = spec.plan()
+        serial = MonteCarlo(plan, n_runs=n_seeds).run()
+        parallel = MonteCarlo(plan, n_runs=n_seeds, n_workers=2).run()
+        identical = bool(np.array_equal(serial["v_diff"].values,
+                                        parallel["v_diff"].values))
+        classic_task = len(pickle.dumps((plan, 0, False)))
+        # A representative token (real names embed the parent pid).
+        token = PlanToken(name=f"{PLAN_PREFIX}{os.getpid()}_0",
+                          size=classic_task)
+        shm_task = len(pickle.dumps((token, 0, False)))
+        return {"n_seeds": n_seeds, "n_workers": 2,
+                "v_diff_mean": parallel["v_diff"].mean,
+                "bit_identical_to_serial": identical,
+                "classic_task_bytes": classic_task,
+                "shm_task_bytes": shm_task,
+                "payload_ratio": classic_task / shm_task,
+                **_solver_meta(plan.circuit)}
+    return case
+
+
 def _bench_scope_capture(quick: bool) -> Callable[[], dict]:
     """Triggered streaming capture on the buffer-chain testbench.
 
@@ -389,6 +503,8 @@ def default_cases(quick: bool = False,
         "batched_montecarlo": _bench_batched_montecarlo(n_lanes),
         "batched_sweep": _bench_batched_sweep(n_points),
         "sparse_adder_chain": _bench_sparse_adder_chain(quick),
+        "sparse_batched_montecarlo": _bench_sparse_batched_montecarlo(quick),
+        "shm_montecarlo": _bench_shm_montecarlo(n_seeds),
         "scope_capture": _bench_scope_capture(quick),
     }
 

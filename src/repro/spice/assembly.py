@@ -448,6 +448,30 @@ class CircuitAssembler:
         backend."""
         return not self._fallback
 
+    def _sparse_segments(self) -> dict:
+        """The triplet segment patterns of :meth:`sparse_system`, as a
+        fresh (ordered) dict -- the batched assembler extends it with
+        per-lane overlay segments before building its own system."""
+        size = self.size
+        empty = np.zeros(0, dtype=np.intp)
+
+        def unflat(flat: np.ndarray):
+            return flat // size, flat % size
+
+        diode_pat = (unflat(self._diode_flat)
+                     if self._diode_bank is not None else (empty, empty))
+        n_nodes = len(self.compiled.node_index)
+        diag = np.arange(n_nodes)
+        return {
+            "lin": (self._lin_rows, self._lin_cols),
+            "mos": (unflat(self._mos_flat)
+                    if self._mos_bank is not None else (empty, empty)),
+            "dio": diode_pat,
+            "cap": unflat(self._cap_flat),
+            "diocap": diode_pat,
+            "diag": (diag, diag),
+        }
+
     def sparse_system(self) -> SparseSystem:
         """The circuit's triplet->CSC scatter (built once, cached).
 
@@ -459,25 +483,8 @@ class CircuitAssembler:
         to the dense Jacobian.
         """
         if self._sparse_system is None:
-            size = self.size
-            empty = np.zeros(0, dtype=np.intp)
-
-            def unflat(flat: np.ndarray):
-                return flat // size, flat % size
-
-            diode_pat = (unflat(self._diode_flat)
-                         if self._diode_bank is not None else (empty, empty))
-            n_nodes = len(self.compiled.node_index)
-            diag = np.arange(n_nodes)
-            self._sparse_system = SparseSystem(size, {
-                "lin": (self._lin_rows, self._lin_cols),
-                "mos": (unflat(self._mos_flat)
-                        if self._mos_bank is not None else (empty, empty)),
-                "dio": diode_pat,
-                "cap": unflat(self._cap_flat),
-                "diocap": diode_pat,
-                "diag": (diag, diag),
-            })
+            self._sparse_system = SparseSystem(self.size,
+                                               self._sparse_segments())
         return self._sparse_system
 
     # -- hot path -------------------------------------------------------

@@ -35,6 +35,20 @@ a lane's trajectory matches its serial solve to LAPACK rounding --
 population summaries agree with the serial backend far inside 1e-9
 relative tolerance.
 
+Circuits that resolve to the sparse backend
+(:meth:`~repro.spice.netlist.CompiledCircuit.solver_backend`) swap the
+dense ``(B, N, N)`` tensor for a shared-pattern sparse path: every lane
+of an ensemble has the *same* sparsity structure, so the symbolic work
+(triplet dedup, CSC ``indices``/``indptr``, the structure COLAMD orders
+on) is computed **once** per campaign and each Newton iteration only
+refactors per-active-lane numeric data rows ``(B, nnz)`` over it --
+with the serial kernel's chord/LU-reuse discipline applied per lane
+(reused SuperLU handles under the ``lu_contraction`` monitor, fresh
+full-Newton step required before convergence is accepted).  That is
+what makes thousand-unknown mismatch campaigns (the 32-bit adder, the
+transistor-level ADC slices) feasible as ensembles instead of
+one-lane-at-a-time serial solves.
+
 :class:`BatchedOpMetric` and :class:`BatchedOpSweep` package the
 pattern for the analysis layer: one spec object is both a plain
 callable (the serial path: build, perturb, solve, measure) and the
@@ -56,6 +70,8 @@ import numpy as np
 from .. import telemetry
 from ..errors import AnalysisError, ConvergenceError, NetlistError
 from .elements import CurrentSource, Resistor, VoltageSource
+from .sparse import (SparseSystem, coo_to_csr, sparse_available,
+                     sparse_factorize)
 from .strategies import (DEFAULT_LADDER, GminSteppingStrategy,
                          NewtonOptions, SolverDiagnostics, StageReport,
                          run_ladder, step_converged)
@@ -119,6 +135,49 @@ class LaneSpec:
         return cls(source_values=((name, float(value)),), label=label)
 
 
+def _expand_bank_arrays(lane: LaneSpec, n_top: int, n_bank: int,
+                        circuit_name: str) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize a lane's mismatch arrays to full-bank ``(n_bank,)``
+    shape: top-level-length arrays land on the bank's head (top-level
+    elements lead the bank), full-bank arrays pass through, anything
+    else is a spec error."""
+    vt = np.zeros(n_bank)
+    beta = np.ones(n_bank)
+    for label, arr, out in (("vt_delta", lane.vt_delta, vt),
+                            ("beta_scale", lane.beta_scale, beta)):
+        if arr is None:
+            continue
+        arr = np.asarray(arr, dtype=float)
+        if arr.size == n_bank:
+            out[:] = arr
+        elif arr.size == n_top:
+            out[:n_top] = arr
+        else:
+            raise AnalysisError(
+                f"lane {lane.label!r}: {label} has {arr.size} entries "
+                f"for {n_top} top-level / {n_bank} total MOS devices "
+                f"of {circuit_name!r} (bank order)")
+    return vt, beta
+
+
+def _overlay_bank_lane(circuit: "Circuit", lane: LaneSpec,
+                       n_top: int) -> Callable[[], None]:
+    """Realize a full-bank mismatch lane on the compiled assembler's
+    device bank; returns the undo restoring the original bank."""
+    compiled = circuit.compile()
+    asm = compiled.assembler
+    asm.sync()
+    bank = asm._mos_bank
+    n_bank = bank.n_devices if bank is not None else 0
+    vt, beta = _expand_bank_arrays(lane, n_top, n_bank, circuit.name)
+    saved = bank
+    asm._mos_bank = bank.overlay(bank.vt + vt, bank.i_spec * beta)
+
+    def undo() -> None:
+        asm._mos_bank = saved
+    return undo
+
+
 def apply_lane(circuit: "Circuit", lane: LaneSpec) -> Callable[[], None]:
     """Mutate ``circuit`` into the lane's perturbed twin; return an undo.
 
@@ -128,33 +187,44 @@ def apply_lane(circuit: "Circuit", lane: LaneSpec) -> Callable[[], None]:
     identically.  Devices are replaced (never mutated in place): MOS
     device objects are commonly shared between elements and only the
     addressed element must move.
+
+    Mismatch arrays address the top-level ``circuit.mos_elements()``
+    by default; on hierarchical circuits they may instead cover the
+    *full device bank* (top-level elements followed by every
+    subcircuit instance's devices, in bank order -- the order
+    ``compiled.assembler._mos_names`` lists).  Full-bank lanes are
+    realized as a :meth:`~repro.devices.mosfet.MosBank.overlay` on the
+    compiled assembler's bank (per-instance devices share template
+    element objects, so device replacement cannot address them
+    individually), and the undo restores the original bank.
     """
     mos = circuit.mos_elements()
-    if lane.vt_delta is not None and len(lane.vt_delta) != len(mos):
-        raise AnalysisError(
-            f"lane vt_delta has {len(lane.vt_delta)} entries for "
-            f"{len(mos)} MOS elements in {circuit.name!r}")
-    if lane.beta_scale is not None and len(lane.beta_scale) != len(mos):
-        raise AnalysisError(
-            f"lane beta_scale has {len(lane.beta_scale)} entries for "
-            f"{len(mos)} MOS elements in {circuit.name!r}")
-    undos: list[Callable[[], None]] = []
+    n_top = len(mos)
+    bank_wide = any(
+        arr is not None and len(arr) != n_top
+        for arr in (lane.vt_delta, lane.beta_scale))
+    if bank_wide:
+        undos = [_overlay_bank_lane(circuit, lane, n_top)]
+    else:
+        undos = []
 
-    def _restore_device(element, device):
-        def undo():
-            element.device = device
-        return undo
+        def _restore_device(element, device):
+            def undo():
+                element.device = device
+            return undo
 
-    for k, element in enumerate(mos):
-        vt = 0.0 if lane.vt_delta is None else float(lane.vt_delta[k])
-        beta = 1.0 if lane.beta_scale is None else float(lane.beta_scale[k])
-        if vt == 0.0 and beta == 1.0:
-            continue
-        undos.append(_restore_device(element, element.device))
-        element.device = dataclasses.replace(
-            element.device,
-            vt_shift=element.device.vt_shift + vt,
-            beta_factor=element.device.beta_factor * beta)
+        for k, element in enumerate(mos):
+            vt = (0.0 if lane.vt_delta is None
+                  else float(lane.vt_delta[k]))
+            beta = (1.0 if lane.beta_scale is None
+                    else float(lane.beta_scale[k]))
+            if vt == 0.0 and beta == 1.0:
+                continue
+            undos.append(_restore_device(element, element.device))
+            element.device = dataclasses.replace(
+                element.device,
+                vt_shift=element.device.vt_shift + vt,
+                beta_factor=element.device.beta_factor * beta)
     for name, factor in lane.resistor_scale:
         element = circuit.element(name)
         if not isinstance(element, Resistor):
@@ -212,56 +282,35 @@ class BatchAssembler(CircuitAssembler):
         self.batch = len(self.lanes)
         if self.batch == 0:
             raise AnalysisError("empty lane list")
+        #: Whether the stacked Newton loop solves lanes through the
+        #: shared-pattern sparse backend (set by :meth:`enable_sparse`).
+        self.use_sparse = False
+        self._batch_sparse_system: SparseSystem | None = None
         self._build_lane_overlays()
 
     # -- lane overlays --------------------------------------------------
 
     def _build_lane_overlays(self) -> None:
         n_mos = len(self._mos)
-        mos_names = [m.name for m in self._mos]
+        n_bank = len(self._mos_all)
         vt_rows, beta_rows = [], []
         any_mos = False
         for lane in self.lanes:
-            vt = np.zeros(n_mos)
-            beta = np.ones(n_mos)
-            if lane.vt_delta is not None:
-                if len(lane.vt_delta) != n_mos:
-                    raise AnalysisError(
-                        f"lane {lane.label!r}: vt_delta has "
-                        f"{len(lane.vt_delta)} entries for {n_mos} MOS "
-                        f"elements")
-                vt = np.asarray(lane.vt_delta, dtype=float)
-                any_mos = True
-            if lane.beta_scale is not None:
-                if len(lane.beta_scale) != n_mos:
-                    raise AnalysisError(
-                        f"lane {lane.label!r}: beta_scale has "
-                        f"{len(lane.beta_scale)} entries for {n_mos} MOS "
-                        f"elements")
-                beta = np.asarray(lane.beta_scale, dtype=float)
-                any_mos = True
+            # Lanes may address the top-level elements (head of the
+            # bank, instance tail untouched) or the full device bank --
+            # the hierarchical-mismatch contract apply_lane shares.
+            vt, beta = _expand_bank_arrays(
+                lane, n_mos, n_bank, self.compiled.circuit.name)
+            any_mos |= (lane.vt_delta is not None
+                        or lane.beta_scale is not None)
             vt_rows.append(vt)
             beta_rows.append(beta)
         self._mos_vt_b = None
         self._mos_ispec_b = None
         if any_mos and self._mos_bank is not None:
             bank = self._mos_bank
-            vt_b = np.vstack(vt_rows)
-            beta_b = np.vstack(beta_rows)
-            n_bank = len(self._mos_all)
-            if n_bank > n_mos:
-                # Hierarchy: the bank also carries every subcircuit
-                # instance's devices, but lane overlays address
-                # top-level MOS elements only (the documented
-                # ``circuit.mos_elements()`` contract) -- pad the
-                # instance tail with identity perturbations.
-                vt_b = np.hstack(
-                    [vt_b, np.zeros((self.batch, n_bank - n_mos))])
-                beta_b = np.hstack(
-                    [beta_b, np.ones((self.batch, n_bank - n_mos))])
-            self._mos_vt_b = bank.vt[None, :] + vt_b
-            self._mos_ispec_b = bank.i_spec[None, :] * beta_b
-        del mos_names
+            self._mos_vt_b = bank.vt[None, :] + np.vstack(vt_rows)
+            self._mos_ispec_b = bank.i_spec[None, :] * np.vstack(beta_rows)
 
         # Resistor overlays: one column per resistor any lane scales.
         over_names: list[str] = []
@@ -351,14 +400,10 @@ class BatchAssembler(CircuitAssembler):
         Xg[:, -1] = 0.0
         return Xg
 
-    def assemble_batch(self, jac: np.ndarray, res: np.ndarray,
-                       X: np.ndarray, lane_idx: np.ndarray,
-                       time: float | None = None) -> None:
-        """Overwrite ``jac`` (A, N, N) / ``res`` (A, N) with the full
-        static system of lanes ``lane_idx`` at solutions ``X`` (A, N)."""
-        n_active = X.shape[0]
-        jac[:] = self._g_const
-        np.matmul(X, self._g_const.T, out=res)
+    def _batch_source_rhs(self, res: np.ndarray, lane_idx: np.ndarray,
+                          time: float | None) -> None:
+        """Independent-source excitations into the stacked residual,
+        honouring per-lane value overrides."""
         for element, row, over in zip(self._vsrc_elements,
                                       self._vsrc_branch_rows,
                                       self._vsrc_over):
@@ -375,6 +420,66 @@ class BatchAssembler(CircuitAssembler):
                 res[:, p] += value
             if n >= 0:
                 res[:, n] -= value
+
+    def _batch_mos_scatter(self, res: np.ndarray, Xg: np.ndarray,
+                           lane_idx: np.ndarray) -> np.ndarray:
+        """One lane-overlaid MOS bank evaluation: drain/source currents
+        accumulated into the stacked residual, masked Jacobian scatter
+        values (A, n_valid) returned -- the same array both the dense
+        flat scatter and the sparse ``mos`` segment consume, so the two
+        backends agree bit for bit."""
+        d, g, s, b = self._mos_terms
+        all_rows = (slice(None),)
+        bank = self._lane_mos_bank(lane_idx)
+        r = bank.evaluate(Xg[:, d], Xg[:, g], Xg[:, s], Xg[:, b])
+        np.add.at(res, all_rows + (d[self._mos_d_mask],),
+                  r.ids[:, self._mos_d_mask])
+        np.add.at(res, all_rows + (s[self._mos_s_mask],),
+                  -r.ids[:, self._mos_s_mask])
+        partials = np.concatenate(
+            [r.p_d, r.p_g, r.p_s, r.p_b,
+             r.p_d, r.p_g, r.p_s, r.p_b], axis=1)
+        return (self._mos_sign * partials)[:, self._mos_valid]
+
+    def _batch_diode_scatter(self, res: np.ndarray,
+                             Xg: np.ndarray) -> np.ndarray:
+        """Diode bank twin of :meth:`_batch_mos_scatter`."""
+        a, c = self._diode_terms
+        all_rows = (slice(None),)
+        current, conductance = self._diode_bank.current(
+            Xg[:, a] - Xg[:, c])
+        np.add.at(res, all_rows + (a[self._diode_a_mask],),
+                  current[:, self._diode_a_mask])
+        np.add.at(res, all_rows + (c[self._diode_c_mask],),
+                  -current[:, self._diode_c_mask])
+        values = self._diode_sign * np.tile(conductance, (1, 4))
+        return values[:, self._diode_valid]
+
+    def _batch_rov_scatter(self, res: np.ndarray, Xg: np.ndarray,
+                           lane_idx: np.ndarray) -> np.ndarray:
+        """Per-lane resistor-overlay delta conductances: currents into
+        the stacked residual, scatter values returned."""
+        dg = self._rov_dg[lane_idx]
+        all_rows = (slice(None),)
+        va = Xg[:, self._rov_a]
+        vb = Xg[:, self._rov_b]
+        i = dg * (va - vb)
+        np.add.at(res, all_rows + (self._rov_a[self._rov_a_mask],),
+                  i[:, self._rov_a_mask])
+        np.add.at(res, all_rows + (self._rov_b[self._rov_b_mask],),
+                  -i[:, self._rov_b_mask])
+        values = self._rov_sign * np.tile(dg, (1, 4))
+        return values[:, self._rov_valid]
+
+    def assemble_batch(self, jac: np.ndarray, res: np.ndarray,
+                       X: np.ndarray, lane_idx: np.ndarray,
+                       time: float | None = None) -> None:
+        """Overwrite ``jac`` (A, N, N) / ``res`` (A, N) with the full
+        static system of lanes ``lane_idx`` at solutions ``X`` (A, N)."""
+        n_active = X.shape[0]
+        jac[:] = self._g_const
+        np.matmul(X, self._g_const.T, out=res)
+        self._batch_source_rhs(res, lane_idx, time)
         if telemetry.is_enabled():
             span = telemetry.current_span()
             if self._mos_bank is not None:
@@ -385,41 +490,94 @@ class BatchAssembler(CircuitAssembler):
         jac_flat = jac.reshape(n_active, -1)
         all_rows = (slice(None),)
         if self._mos_bank is not None:
-            d, g, s, b = self._mos_terms
-            bank = self._lane_mos_bank(lane_idx)
-            r = bank.evaluate(Xg[:, d], Xg[:, g], Xg[:, s], Xg[:, b])
-            np.add.at(res, all_rows + (d[self._mos_d_mask],),
-                      r.ids[:, self._mos_d_mask])
-            np.add.at(res, all_rows + (s[self._mos_s_mask],),
-                      -r.ids[:, self._mos_s_mask])
-            partials = np.concatenate(
-                [r.p_d, r.p_g, r.p_s, r.p_b,
-                 r.p_d, r.p_g, r.p_s, r.p_b], axis=1)
-            values = (self._mos_sign * partials)[:, self._mos_valid]
-            np.add.at(jac_flat, all_rows + (self._mos_flat,), values)
+            np.add.at(jac_flat, all_rows + (self._mos_flat,),
+                      self._batch_mos_scatter(res, Xg, lane_idx))
         if self._diode_bank is not None:
-            a, c = self._diode_terms
-            current, conductance = self._diode_bank.current(
-                Xg[:, a] - Xg[:, c])
-            np.add.at(res, all_rows + (a[self._diode_a_mask],),
-                      current[:, self._diode_a_mask])
-            np.add.at(res, all_rows + (c[self._diode_c_mask],),
-                      -current[:, self._diode_c_mask])
-            values = self._diode_sign * np.tile(conductance, (1, 4))
             np.add.at(jac_flat, all_rows + (self._diode_flat,),
-                      values[:, self._diode_valid])
+                      self._batch_diode_scatter(res, Xg))
         if self._rov_dg is not None:
-            dg = self._rov_dg[lane_idx]
-            va = Xg[:, self._rov_a]
-            vb = Xg[:, self._rov_b]
-            i = dg * (va - vb)
-            np.add.at(res, all_rows + (self._rov_a[self._rov_a_mask],),
-                      i[:, self._rov_a_mask])
-            np.add.at(res, all_rows + (self._rov_b[self._rov_b_mask],),
-                      -i[:, self._rov_b_mask])
-            values = self._rov_sign * np.tile(dg, (1, 4))
             np.add.at(jac_flat, all_rows + (self._rov_flat,),
-                      values[:, self._rov_valid])
+                      self._batch_rov_scatter(res, Xg, lane_idx))
+
+    # -- shared-pattern sparse path --------------------------------------
+
+    def enable_sparse(self) -> None:
+        """Switch the stacked Newton loop to the shared-pattern sparse
+        backend: the symbolic structure (triplet dedup, CSC
+        ``indices``/``indptr``, COLAMD ordering input) is computed once
+        here and reused by every lane's numeric refactorization across
+        every Newton iteration."""
+        if not sparse_available():  # pragma: no cover - guarded upstream
+            raise AnalysisError(
+                "sparse batched backend requires scipy.sparse")
+        self.use_sparse = True
+        self.sparse_batch_system()
+
+    def sparse_batch_system(self) -> SparseSystem:
+        """The ensemble's shared triplet->CSC scatter (built once).
+
+        Lanes of an ensemble differ only in *values* (device overlays,
+        source overrides, resistor-scale deltas), never in structure,
+        so one symbolic build serves all B lanes.  Ensembles that scale
+        resistors get one extra ``rov`` segment appended to the serial
+        segment sequence -- the per-lane delta conductances land on
+        entries the ``lin`` segment already owns, so the pattern (and
+        its factorization structure) is lane-independent either way.
+        """
+        if self._batch_sparse_system is None:
+            if self._rov_dg is None:
+                # Identical pattern to the serial assembler's (both are
+                # derived from the same compiled structure), so borrow
+                # its cached system: pilot solves, per-lane serial
+                # fallbacks and repeated ensembles over one compile all
+                # share a single symbolic factorization.
+                self._batch_sparse_system = \
+                    self.compiled.assembler.sparse_system()
+            else:
+                segments = self._sparse_segments()
+                segments["rov"] = (self._rov_flat // self.size,
+                                   self._rov_flat % self.size)
+                self._batch_sparse_system = SparseSystem(self.size,
+                                                         segments)
+        return self._batch_sparse_system
+
+    def assemble_batch_sparse(self, vals: np.ndarray, res: np.ndarray,
+                              X: np.ndarray, lane_idx: np.ndarray,
+                              time: float | None = None) -> None:
+        """Sparse twin of :meth:`assemble_batch`: overwrite ``vals``
+        (A, n_triplets) / ``res`` (A, N) with per-lane triplet values
+        over the shared pattern of :meth:`sparse_batch_system`.
+
+        Segment values are produced by the same bank evaluations and
+        scatter-value expressions as the dense stacked path, and the
+        linear part rides the same cached CSR matvec as the serial
+        sparse assembler -- so per-lane assembled entries are
+        bit-identical to both.
+        """
+        system = self.sparse_batch_system()
+        sl = system.segment_slices
+        if self._lin_csr is None:
+            self._lin_csr = coo_to_csr(self._lin_rows, self._lin_cols,
+                                       self._lin_vals, self.size)
+        vals.fill(0.0)
+        vals[:, sl["lin"]] = self._lin_vals
+        res[:] = self._lin_csr.dot(X.T).T
+        self._batch_source_rhs(res, lane_idx, time)
+        if telemetry.is_enabled():
+            span = telemetry.current_span()
+            if self._mos_bank is not None:
+                span.inc("device_bank_evals")
+            if self._diode_bank is not None:
+                span.inc("device_bank_evals")
+        Xg = self._grounded_batch(X)
+        if self._mos_bank is not None:
+            vals[:, sl["mos"]] = self._batch_mos_scatter(res, Xg,
+                                                         lane_idx)
+        if self._diode_bank is not None:
+            vals[:, sl["dio"]] = self._batch_diode_scatter(res, Xg)
+        if self._rov_dg is not None:
+            vals[:, sl["rov"]] = self._batch_rov_scatter(res, Xg,
+                                                         lane_idx)
 
     def _lane_mos_bank(self, lane_idx):
         """A bank view whose VT / I_spec rows are the selected lanes'.
@@ -556,6 +714,11 @@ def _newton_rounds(assembler: BatchAssembler, X: np.ndarray,
     B, N = X.shape
     n_nodes = len(compiled.node_index)
     diag = np.arange(n_nodes)
+    use_sparse = assembler.use_sparse
+    system = assembler.sparse_batch_system() if use_sparse else None
+    diag_slice = system.segment_slices["diag"] if use_sparse else None
+    chord = (_SparseChordState()
+             if use_sparse and options.lu_reuse else None)
     converged = np.zeros(B, dtype=bool)
     iterations = np.zeros(B, dtype=int)
     stall_checkpoint = np.full(B, np.inf)
@@ -588,21 +751,37 @@ def _newton_rounds(assembler: BatchAssembler, X: np.ndarray,
             active = active[:0]
             break
         active_history.append(n_active)
-        jac = np.empty((n_active, N, N))
         res = np.empty((n_active, N))
-        assembler.assemble_batch(jac, res, X[active], active)
-        if gmin > 0.0:
-            jac[:, diag, diag] += gmin
-            res[:, :n_nodes] += gmin * X[active][:, :n_nodes]
-        if tspan is not None:
-            tspan.inc("jacobian_factorizations", n_active)
+        if use_sparse:
+            vals = np.empty((n_active, system.n_triplets))
+            assembler.assemble_batch_sparse(vals, res, X[active], active)
+            if gmin > 0.0:
+                vals[:, diag_slice] += gmin
+                res[:, :n_nodes] += gmin * X[active][:, :n_nodes]
+        else:
+            jac = np.empty((n_active, N, N))
+            assembler.assemble_batch(jac, res, X[active], active)
+            if gmin > 0.0:
+                jac[:, diag, diag] += gmin
+                res[:, :n_nodes] += gmin * X[active][:, :n_nodes]
+            if tspan is not None:
+                # The dense stacked solve factors every active lane;
+                # the sparse path counts per-lane inside the solver so
+                # chord reuse shows up as fewer factorizations.
+                tspan.inc("jacobian_factorizations", n_active)
         # Per-lane residual norms feed the stall detector (mirroring
         # the serial kernel); only window boundaries read them.
         res_norm = None
         if iteration == 1 or (options.stall_window > 0 and
                               iteration % options.stall_window == 0):
             res_norm = np.abs(res).max(axis=1)
-        dX = _solve_stacked(jac, res)
+        if use_sparse:
+            dX, fresh = _solve_stacked_sparse(system, vals, res, active,
+                                              n_nodes, options, chord,
+                                              tspan)
+        else:
+            dX = _solve_stacked(jac, res)
+            fresh = None
         finite = np.all(np.isfinite(dX), axis=1)
         if not finite.all():
             for lane in active[~finite]:
@@ -611,6 +790,8 @@ def _newton_rounds(assembler: BatchAssembler, X: np.ndarray,
                 iterations[lane] = iteration
             active = active[finite]
             dX = dX[finite]
+            if fresh is not None:
+                fresh = fresh[finite]
             if res_norm is not None:
                 res_norm = res_norm[finite]
             if active.size == 0:
@@ -635,6 +816,15 @@ def _newton_rounds(assembler: BatchAssembler, X: np.ndarray,
         v_max = (np.abs(X[active][:, :n_nodes]).max(axis=1) if n_nodes
                  else np.zeros(active.size))
         conv = step_converged(step_norm, v_max, options) & (scale == 1.0)
+        if chord is not None:
+            # Never declare victory on a stale (chord) Jacobian: drop
+            # the lane's cached factorization and let the next
+            # iteration take -- and re-check -- a fresh full-Newton
+            # step, exactly like the serial kernel.
+            for lane in active[conv & ~fresh]:
+                chord.handles.pop(int(lane), None)
+            conv &= fresh
+            chord.note_norms(active, step_norm)
         if tspan is not None:
             tspan.event("batch-iter", i=iteration,
                         n_active=int(active.size),
@@ -744,6 +934,88 @@ def _solve_stacked(jac: np.ndarray, res: np.ndarray) -> np.ndarray:
         return dX
 
 
+class _SparseChordState:
+    """Per-lane chord-Newton bookkeeping for one batched sparse solve.
+
+    Scoped to a single :func:`_newton_rounds` call, so a gmin-rung
+    change can never serve a factorization of the previous rung's
+    shunted Jacobian.
+    """
+
+    __slots__ = ("handles", "prev_norm")
+
+    def __init__(self) -> None:
+        self.handles: dict[int, object] = {}
+        self.prev_norm: dict[int, float] = {}
+
+    def note_norms(self, active: np.ndarray,
+                   step_norm: np.ndarray) -> None:
+        for lane, norm in zip(active, step_norm):
+            self.prev_norm[int(lane)] = float(norm)
+
+
+def _solve_stacked_sparse(system: SparseSystem, vals: np.ndarray,
+                          res: np.ndarray, active: np.ndarray,
+                          n_nodes: int, options: NewtonOptions,
+                          chord: _SparseChordState | None,
+                          tspan) -> tuple[np.ndarray, np.ndarray]:
+    """Per-lane sparse solves over the shared symbolic pattern.
+
+    Mirrors the serial sparse kernel lane by lane: a lane with a cached
+    SuperLU handle first tries a chord step, accepted only under the
+    ``lu_contraction`` monitor; otherwise its CSC data row is
+    numerically refactorized on the shared ``indices``/``indptr``
+    structure (the symbolic phase never repeats).  Exactly-singular and
+    non-finite lanes degrade to dense least squares; a NaN-parameter
+    lane produces a NaN row that flows into the caller's non-finite
+    kick-out, i.e. the per-lane serial-ladder fallback.
+
+    Returns ``(dX, fresh)``; ``fresh`` flags lanes whose step came from
+    a fresh factorization -- the caller refuses convergence on stale
+    chord steps exactly like the serial kernel.
+    """
+    data = system.batch_data(vals)
+    dX = np.empty_like(res)
+    fresh = np.zeros(active.size, dtype=bool)
+    for k in range(active.size):
+        lane = int(active[k])
+        rhs = -res[k]
+        if chord is not None:
+            handle = chord.handles.get(lane)
+            if handle is not None:
+                candidate = handle.solve(rhs)
+                if np.all(np.isfinite(candidate)):
+                    biggest = (float(np.abs(candidate[:n_nodes]).max())
+                               if n_nodes else 0.0)
+                    scale = (1.0 if biggest <= options.max_step
+                             else options.max_step / max(biggest, 1e-300))
+                    prev = chord.prev_norm.get(lane, np.inf)
+                    if biggest * scale <= options.lu_contraction * prev:
+                        dX[k] = candidate
+                        if tspan is not None:
+                            tspan.inc("lu_reuses")
+                        continue
+        a_csc = system.matrix_from_data(data[k])
+        handle = sparse_factorize(a_csc)
+        fresh[k] = True
+        if chord is not None:
+            chord.handles[lane] = handle
+        if tspan is not None:
+            tspan.inc("jacobian_factorizations")
+            tspan.inc("sparse_factorizations")
+            if chord is not None:
+                tspan.inc("lu_refactorizations")
+        if handle is not None:
+            dX[k] = handle.solve(rhs)
+        else:
+            try:
+                dX[k], *_ = np.linalg.lstsq(a_csc.toarray(), rhs,
+                                            rcond=None)
+            except np.linalg.LinAlgError:
+                dX[k] = np.nan
+    return dX, fresh
+
+
 # -- orchestration --------------------------------------------------------
 
 
@@ -775,7 +1047,9 @@ def batch_operating_point(circuit: "Circuit",
                           options: NewtonOptions | None = None,
                           strategies=None,
                           on_error: str = "raise",
-                          x0: np.ndarray | None = None) -> BatchOpResult:
+                          x0: np.ndarray | None = None,
+                          matrix_backend: str | None = None,
+                          ) -> BatchOpResult:
     """Solve one DC operating point per lane, stacked.
 
     Every lane starts from the circuit's nodeset initial guess (or
@@ -787,6 +1061,13 @@ def batch_operating_point(circuit: "Circuit",
     forensic diagnostics of lanes that fail everything -- is identical
     to the serial path.
 
+    ``matrix_backend``, when given, overrides the circuit's own
+    setting before backend resolution (same ``"auto"``/``"dense"``/
+    ``"sparse"`` vocabulary as :class:`~repro.spice.netlist.Circuit`);
+    a circuit resolving to the sparse backend runs the stacked Newton
+    loop over one shared COLAMD symbolic pattern with per-lane numeric
+    refactorization, instead of dense ``(B, N, N)`` tensors.
+
     ``on_error="raise"`` propagates the first failed lane's
     :class:`~repro.errors.ConvergenceError`; ``"skip"`` records NaN
     placeholder points and keeps going.
@@ -794,6 +1075,18 @@ def batch_operating_point(circuit: "Circuit",
     if on_error not in ("raise", "skip"):
         raise NetlistError(
             f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    if matrix_backend is not None:
+        if matrix_backend not in circuit.MATRIX_BACKENDS:
+            raise NetlistError(
+                f"unknown matrix backend {matrix_backend!r}, expected "
+                f"one of {circuit.MATRIX_BACKENDS}")
+        if matrix_backend != circuit.matrix_backend:
+            circuit.matrix_backend = matrix_backend
+            if circuit._compiled is not None:
+                # Backend resolution is cached on the compiled artifact;
+                # a changed preference must re-resolve without forcing a
+                # full recompile of unchanged structure.
+                circuit._compiled._solver_backend = None
     options = options or NewtonOptions()
     lanes = list(lanes)
     with telemetry.span("batch-operating-point", circuit=circuit.name,
@@ -829,6 +1122,9 @@ def _batch_op(circuit: "Circuit", lanes: list[LaneSpec],
             options, deadline=start + options.max_wall_time)
     compiled = circuit.compile()
     assembler = BatchAssembler(compiled, lanes)
+    if compiled.solver_backend() == "sparse":
+        assembler.enable_sparse()
+        tspan.annotate(matrix_backend="sparse")
     guess = (circuit.initial_guess(compiled) if x0 is None else
              np.asarray(x0, dtype=float))
     if guess.shape != (compiled.size,):
@@ -1003,6 +1299,55 @@ class BatchedOpMetric:
         undo = apply_lane(circuit, lane)
         try:
             result = operating_point(circuit, self.options,
+                                     strategies=self.strategies)
+            return {name: float(value)
+                    for name, value in self.measure(result).items()}
+        finally:
+            undo()
+
+    def plan(self) -> "PlannedOpMetric":
+        """Materialize the spec into a reusable, shippable plan.
+
+        Builds the base circuit and compiles it **once**; the returned
+        :class:`PlannedOpMetric` carries the compiled circuit along, so
+        every later evaluation -- in this process or in a worker that
+        received the plan through the shared-memory cache -- reuses the
+        assembler instead of rebuilding and recompiling per seed.  This
+        is what makes ``compile_cache_misses == 1`` across a whole
+        parallel Monte-Carlo fleet.
+        """
+        circuit = self.build()
+        circuit.compile()
+        return PlannedOpMetric(circuit=circuit, draw=self.draw,
+                               measure=self.measure, options=self.options,
+                               strategies=self.strategies)
+
+
+@dataclass(frozen=True)
+class PlannedOpMetric:
+    """A :class:`BatchedOpMetric` with its circuit built and compiled.
+
+    Evaluation applies the seed's lane to the *shared* prebuilt circuit
+    and undoes it afterwards -- :func:`apply_lane`'s undo contract
+    restores the circuit exactly, and every solve cold-starts from the
+    circuit's nodesets, so per-seed results are bit-identical to the
+    fresh-build :class:`BatchedOpMetric` path.  The plan pickles whole
+    (compiled assembler included), which is the payload the
+    shared-memory Monte-Carlo publishes once per campaign.
+    """
+
+    circuit: "Circuit"
+    draw: Callable[[int, "Circuit"], LaneSpec]
+    measure: Callable[["OpResult"], Mapping[str, float]]
+    options: NewtonOptions | None = None
+    strategies: tuple | None = None
+
+    def __call__(self, seed: int) -> dict[str, float]:
+        from .dc import operating_point
+        lane = self.draw(seed, self.circuit)
+        undo = apply_lane(self.circuit, lane)
+        try:
+            result = operating_point(self.circuit, self.options,
                                      strategies=self.strategies)
             return {name: float(value)
                     for name, value in self.measure(result).items()}

@@ -134,7 +134,8 @@ def _dc_sweep_batched(circuit: Circuit, source_name: str,
                       values: list[float],
                       options: NewtonOptions,
                       strategies: Sequence[SolveStrategy] | None,
-                      on_error: str) -> SweepResult:
+                      on_error: str,
+                      matrix_backend: str | None = None) -> SweepResult:
     """Stacked-sweep backend: every point is one lane of a batched
     ensemble solve.
 
@@ -161,7 +162,7 @@ def _dc_sweep_batched(circuit: Circuit, source_name: str,
         undo()
     batch = batch_operating_point(circuit, lanes, options=options,
                                   strategies=strategies, on_error="skip",
-                                  x0=x0)
+                                  x0=x0, matrix_backend=matrix_backend)
     if batch.failures and on_error == "raise":
         raise batch.failures[0][1]
     return SweepResult(parameter=source_name,
@@ -176,7 +177,8 @@ def dc_sweep(circuit: Circuit, source_name: str,
              options: NewtonOptions | None = None,
              strategies: Sequence[SolveStrategy] | None = None,
              on_error: str = "raise",
-             backend: str = "serial") -> SweepResult:
+             backend: str = "serial",
+             matrix_backend: str | None = None) -> SweepResult:
     """Sweep the DC value of an independent source.
 
     Each point warm-starts from the previous solution, which is both
@@ -200,7 +202,9 @@ def dc_sweep(circuit: Circuit, source_name: str,
     (see :mod:`repro.spice.batch`): every point becomes a lane of one
     multi-lane Newton solve with per-point convergence masking, and
     points the stacked loop cannot converge fall back to the serial
-    strategy ladder individually.
+    strategy ladder individually.  ``matrix_backend`` (batched only)
+    overrides the circuit's dense/sparse preference for the stacked
+    solve.
     """
     if on_error not in ("raise", "skip"):
         raise NetlistError(
@@ -208,6 +212,9 @@ def dc_sweep(circuit: Circuit, source_name: str,
     if backend not in ("serial", "batched"):
         raise NetlistError(
             f"backend must be 'serial' or 'batched', got {backend!r}")
+    if matrix_backend is not None and backend != "batched":
+        raise NetlistError(
+            "matrix_backend overrides apply to backend='batched' only")
     options = options or NewtonOptions()
     element = circuit.element(source_name)
     if not isinstance(element, (VoltageSource, CurrentSource)):
@@ -216,7 +223,7 @@ def dc_sweep(circuit: Circuit, source_name: str,
     if backend == "batched":
         return _dc_sweep_batched(circuit, source_name,
                                  [float(v) for v in values], options,
-                                 strategies, on_error)
+                                 strategies, on_error, matrix_backend)
     saved = element.waveform
     points: list[OpResult] = []
     failures: list[tuple[int, str]] = []

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ConvergenceError
 
 try:  # pragma: no cover - scipy is a declared dependency
@@ -113,6 +114,13 @@ class SparseSystem:
         counts = np.bincount(unique_cols, minlength=size)
         self.indptr = np.zeros(size + 1, dtype=np.int32)
         np.cumsum(counts, out=self.indptr[1:])
+        # One SparseSystem build is the *symbolic* phase shared by every
+        # numeric factorization over this pattern (COLAMD depends only
+        # on the fixed structure).  Counting builds here lets campaigns
+        # assert the "one symbolic factorization per ensemble" contract
+        # from trace counters alone.
+        if telemetry.is_enabled():
+            telemetry.current_span().inc("sparse_symbolic_factorizations")
 
     def matrix(self, values: np.ndarray):
         """CSC matrix from a full triplet-values vector.
@@ -120,9 +128,31 @@ class SparseSystem:
         ``bincount`` accumulates duplicate triplets in input order --
         the same left-to-right association as the dense ``+=`` scatter.
         """
-        data = np.bincount(self.slot, weights=values, minlength=self.nnz)
+        return self.matrix_from_data(
+            np.bincount(self.slot, weights=values, minlength=self.nnz))
+
+    def matrix_from_data(self, data: np.ndarray):
+        """CSC matrix over the shared ``indices``/``indptr`` structure
+        from one precomputed nonzero-data row (no copies: every lane of
+        a batched ensemble shares the symbolic arrays)."""
         return _csc_matrix((data, self.indices, self.indptr),
                            shape=(self.size, self.size))
+
+    def batch_data(self, values_b: np.ndarray) -> np.ndarray:
+        """Stacked ``(B, nnz)`` CSC data rows from ``(B, n_triplets)``
+        stacked triplet values.
+
+        Each row replays the exact per-lane :meth:`matrix` scatter
+        (bincount over the shared slot map, summing duplicates in
+        segment order), so a lane's data row is bit-identical to what a
+        serial assembly of that lane would produce.
+        """
+        values_b = np.asarray(values_b)
+        data = np.empty((values_b.shape[0], self.nnz))
+        for k in range(values_b.shape[0]):
+            data[k] = np.bincount(self.slot, weights=values_b[k],
+                                  minlength=self.nnz)
+        return data
 
 
 class SparseStamper:
@@ -175,9 +205,17 @@ def coo_to_csr(rows: np.ndarray, cols: np.ndarray, vals: np.ndarray,
 def sparse_factorize(a_csc):
     """SuperLU-factor a CSC matrix; None when singular or non-finite
     (the caller then falls back to dense least squares, mirroring the
-    dense backend's degraded path)."""
+    dense backend's degraded path).
+
+    Every call is one *numeric* (re)factorization over an existing
+    symbolic structure, counted as ``sparse_numeric_refactorizations``
+    -- the twin of the build-time ``sparse_symbolic_factorizations``
+    counter on :class:`SparseSystem`.
+    """
     if not np.all(np.isfinite(a_csc.data)):
         return None
+    if telemetry.is_enabled():
+        telemetry.current_span().inc("sparse_numeric_refactorizations")
     try:
         return _splu(a_csc, permc_spec="COLAMD")
     except RuntimeError:  # exactly singular

@@ -27,7 +27,9 @@ strategy therefore takes an optional ``max_iterations`` override.
 from __future__ import annotations
 
 import abc
+import os
 import time as _time
+import weakref
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
@@ -139,13 +141,24 @@ class LuReuseState:
     change.  DC solves that do not pass a state get a fresh private one
     per :func:`newton_solve` call, limiting reuse to iterations of one
     solve.
+
+    The cached handle may be a SuperLU object (sparse backend) --
+    C-level state that is neither picklable nor valid across a
+    ``fork``.  The state therefore **degrades instead of travelling**:
+    pickling one (``__reduce__``) ships a fresh empty state, and every
+    live instance is invalidated in forked children via an
+    ``os.register_at_fork`` hook over a weak registry, so a worker
+    process can never back-substitute against factors whose underlying
+    C memory belongs to the parent.  Losing the cache merely costs one
+    refactorization; using a stale one would be memory-unsafe.
     """
 
-    __slots__ = ("lu", "key")
+    __slots__ = ("lu", "key", "__weakref__")
 
     def __init__(self) -> None:
         self.lu = None
         self.key = None
+        _live_lu_states.add(self)
 
     def invalidate(self) -> None:
         self.lu = None
@@ -155,6 +168,28 @@ class LuReuseState:
         if key != self.key:
             self.key = key
             self.lu = None
+
+    def __reduce__(self):
+        # Never pickle the handle: SuperLU objects cannot be serialized,
+        # and dense (lu, piv) factors are stale bulk data the receiving
+        # process would have to distrust anyway.  A round-tripped state
+        # is simply empty.
+        return (LuReuseState, ())
+
+
+#: Weak registry of every live state, so the fork hook can invalidate
+#: them all without keeping any alive.
+_live_lu_states: "weakref.WeakSet[LuReuseState]" = weakref.WeakSet()
+
+
+def _invalidate_lu_states_after_fork() -> None:  # pragma: no cover
+    for state in list(_live_lu_states):
+        state.lu = None
+        state.key = None
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=_invalidate_lu_states_after_fork)
 
 
 def _factorize(jac: np.ndarray):

@@ -7,6 +7,7 @@ transient engine must land a timestep on exactly.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -47,9 +48,18 @@ class Waveform:
         return tuple(sorted(t for t in corners if 0.0 < t < t_stop))
 
 
+def _const_value(value: float, t: float) -> float:
+    """Module-level constant evaluator: a ``functools.partial`` of this
+    pickles, where the obvious lambda would not -- and DC circuits (the
+    shared-memory Monte-Carlo plans above all) must ship to worker
+    processes whole."""
+    return value
+
+
 def dc_wave(value: float) -> Waveform:
     """A constant source."""
-    return Waveform(func=lambda t: value, description=f"dc({value})")
+    return Waveform(func=functools.partial(_const_value, value),
+                    description=f"dc({value})")
 
 
 def step_wave(before: float, after: float, t_step: float,

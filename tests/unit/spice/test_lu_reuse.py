@@ -147,3 +147,56 @@ class TestRungIsolation:
         x2, _ = newton_solve(compiled, x1, None, options, options.gmin,
                              lu_state=state)
         np.testing.assert_allclose(x2, x1, atol=1e-9)
+
+
+class TestWorkerBoundaries:
+    """The cached handle is C-level state (possibly a SuperLU object):
+    it must never travel into a worker payload or survive a fork --
+    the state degrades to empty instead."""
+
+    def test_pickle_round_trip_ships_an_empty_state(self):
+        import pickle
+
+        state = LuReuseState()
+        state.ensure_key(("dt", 1e-9))
+        state.lu = object()  # stand-in for an unpicklable SuperLU handle
+        restored = pickle.loads(pickle.dumps(state))
+        assert isinstance(restored, LuReuseState)
+        assert restored.lu is None
+        assert restored.key is None
+        # The original is untouched: degradation happens in the copy.
+        assert state.lu is not None
+
+    def test_unpicklable_handle_never_blocks_the_payload(self):
+        """Pickling must succeed *regardless* of what the handle is --
+        __reduce__ drops it before the pickler ever sees it."""
+        import pickle
+
+        class _Unpicklable:
+            def __reduce__(self):
+                raise TypeError("C-level handle")
+
+        state = LuReuseState()
+        state.lu = _Unpicklable()
+        pickle.dumps(state)  # must not raise
+
+    @pytest.mark.skipif(not hasattr(__import__("os"), "fork"),
+                        reason="fork-only semantics")
+    def test_forked_child_sees_invalidated_states(self):
+        """A live state's handle points at parent-owned memory; the
+        after-fork hook must clear every registered instance in the
+        child before any solve can back-substitute against it."""
+        import os
+
+        state = LuReuseState()
+        state.ensure_key("parent-key")
+        state.lu = ("lu", "piv")  # dense-style factor stand-in
+        pid = os.fork()
+        if pid == 0:  # child
+            ok = state.lu is None and state.key is None
+            os._exit(0 if ok else 1)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        # The parent keeps its cache: only the child was reset.
+        assert state.lu == ("lu", "piv")
+        assert state.key == "parent-key"
