@@ -19,7 +19,8 @@ ALL_CASES = {"op_chain", "dc_sweep", "transient", "transient_lte",
              "ac_sweep", "montecarlo", "batched_montecarlo",
              "batched_sweep", "sparse_adder_chain",
              "sparse_batched_montecarlo", "shm_montecarlo",
-             "scope_capture"}
+             "scope_capture", "batched_transient_montecarlo",
+             "fai_adc_yield_smoke"}
 
 
 def test_quick_benchmarks_produce_all_cases(tmp_path):
@@ -82,6 +83,19 @@ def test_quick_benchmarks_produce_all_cases(tmp_path):
     assert shm_entry["trace_counters"]["compile_cache_misses"] == 1
     assert shm_entry["trace_counters"]["shm_plan_misses"] >= 1
     assert shm_entry["trace_counters"]["shm_plan_hits"] >= 1
+    # Schema v8: the lockstep transient ensemble integrates every seed
+    # on one shared grid (batch_transient_steps in its campaign
+    # counters), the serial Monte-Carlo case reuses one compiled chip
+    # across the population, and the FAI yield case's batched INL/DNL
+    # is bit-identical to the serial loop on the shared fixed grid.
+    btm = report["results"]["batched_transient_montecarlo"]["meta"]
+    assert btm["n_failed"] == 0
+    assert btm["campaign_counters"]["batch_transient_steps"] > 0
+    assert (report["results"]["montecarlo"]["trace_counters"]
+            ["compile_cache_misses"] == 1)
+    fai = report["results"]["fai_adc_yield_smoke"]["meta"]
+    assert fai["bit_identical_to_serial"] is True
+    assert fai["inl_max_mean"] >= 0.0
     adder = report["results"]["sparse_adder_chain"]["meta"]
     assert adder["backend"] == "sparse"
     assert adder["headline_s"] > 0.0
@@ -167,6 +181,60 @@ def test_sparse_batched_mc_full_case_meets_acceptance():
         f"batched {meta['batched_per_seed_s'] * 1e3:.1f} ms/seed vs "
         f"serial {meta['serial_seed_s'] * 1e3:.1f} ms/seed = "
         f"{meta['per_seed_speedup']:.2f}x, expected >= 3x")
+
+
+def test_batched_transient_mc_full_case_meets_acceptance():
+    """Acceptance pin for the lockstep transient ensemble: the D-latch
+    Monte-Carlo population integrates >= 3x faster per seed than one
+    serial transient of the same spec, with no lane falling off the
+    shared grid."""
+    from repro import telemetry
+    from repro.bench.perf import _bench_batched_transient_montecarlo
+
+    with telemetry.tracing("batched-tran-mc-acceptance"):
+        meta = _bench_batched_transient_montecarlo(quick=False)()
+    assert meta["n_seeds"] >= 8
+    assert meta["n_failed"] == 0
+    counters = meta["campaign_counters"]
+    assert counters["batch_transient_steps"] > 0
+    assert counters["batch_lane_fallbacks"] == 0
+    assert meta["per_seed_speedup"] >= 3.0, (
+        f"batched {meta['batched_per_seed_s'] * 1e3:.1f} ms/seed vs "
+        f"serial {meta['serial_seed_s'] * 1e3:.1f} ms/seed = "
+        f"{meta['per_seed_speedup']:.2f}x, expected >= 3x")
+
+
+def test_fai_adc_yield_full_case_is_bit_identical():
+    """Acceptance pin for the yield-surface workload: on the shared
+    fixed grid every lane's sampled codes -- and therefore the INL/DNL
+    surface -- must match the serial loop bit for bit."""
+    from repro.bench.perf import _bench_fai_adc_yield_smoke
+
+    meta = _bench_fai_adc_yield_smoke(quick=False)()
+    assert meta["n_seeds"] >= 6
+    assert meta["bit_identical_to_serial"] is True
+    assert meta["n_grid_steps"] >= 512
+
+
+def test_compare_wall_floor_exempts_sub_floor_cases():
+    """Cases where both sides run under the absolute floor report their
+    ratio but never regress; crossing the floor still gates."""
+    baseline = {"tiny": 0.0004, "crossed": 0.015, "big": 0.050}
+    results = [_result("tiny", 0.0011),    # 2.75x but sub-floor: exempt
+               _result("crossed", 0.045),  # 3x and fresh over floor
+               _result("big", 0.055)]      # 1.1x: fine
+    report = compare_results(results, baseline, max_ratio=2.0,
+                             min_wall_s=0.02)
+    assert [c.name for c in report.regressions] == ["crossed"]
+    by_name = {c.name: c for c in report.cases}
+    assert by_name["tiny"].under_floor and not by_name["tiny"].regressed
+    assert "under floor" in by_name["tiny"].describe()
+    # Floor disabled: the sub-floor blip regresses again.
+    strict = compare_results(results, baseline, max_ratio=2.0,
+                             min_wall_s=0.0)
+    assert {c.name for c in strict.regressions} == {"tiny", "crossed"}
+    with pytest.raises(AnalysisError):
+        compare_results(results, baseline, min_wall_s=-1.0)
 
 
 def test_compare_rejects_bad_inputs(tmp_path):

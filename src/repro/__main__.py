@@ -105,7 +105,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                                 regression_allowed)
     report = compare_results(results, load_baseline(args.compare),
                              max_ratio=args.max_ratio,
-                             require_cases=args.require_cases)
+                             require_cases=args.require_cases,
+                             min_wall_s=args.min_wall_ms / 1e3)
     print(report.describe())
     if report.passed:
         return 0
@@ -117,9 +118,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 #: Scenarios the ``trace`` subcommand can run (bench cases + faults;
-#: ``ac`` is the stacked-frequency ``ac_sweep`` bench case).
+#: ``ac`` is the stacked-frequency ``ac_sweep`` bench case,
+#: ``batched_tran`` the lockstep ``batched_transient_montecarlo`` one).
 TRACE_SCENARIOS = ("op_chain", "dc_sweep", "transient", "transient_lte",
-                   "ac", "montecarlo", "faults")
+                   "ac", "montecarlo", "batched_tran", "faults")
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -139,6 +141,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     scenarios["faults"] = faults_case
     scenarios["ac"] = scenarios["ac_sweep"]
+    scenarios["batched_tran"] = scenarios["batched_transient_montecarlo"]
     case = scenarios[args.scenario]
     with telemetry.tracing(f"scenario-{args.scenario}",
                            scenario=args.scenario) as trace:
@@ -310,6 +313,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--max-ratio", type=float, default=2.0,
                          help="slowdown factor tolerated by --compare "
                               "(default 2.0)")
+    p_bench.add_argument("--min-wall-ms", type=float, default=20.0,
+                         help="absolute floor for --compare: cases where "
+                              "both sides run under this many ms are "
+                              "reported but never fail the ratio gate "
+                              "(default 20; 0 gates everything)")
     p_bench.add_argument("--output", default="BENCH_perf.json",
                          help="report path (default: BENCH_perf.json)")
     p_bench.set_defaults(func=_cmd_bench)

@@ -32,7 +32,8 @@ from .metrics import (
     enob_from_sndr,
     coherent_frequency,
 )
-from .testbench import ramp_codes, linearity_test, dynamic_test
+from .testbench import (ramp_codes, linearity_test, dynamic_test,
+                        sampled_transient_codes)
 
 __all__ = [
     "FaiAdcConfig", "SampleHold", "CoarseFlash", "FineFoldingPath",
@@ -41,4 +42,5 @@ __all__ = [
     "code_transition_levels", "LinearityReport",
     "sine_test", "SineTestReport", "enob_from_sndr", "coherent_frequency",
     "ramp_codes", "linearity_test", "dynamic_test",
+    "sampled_transient_codes",
 ]

@@ -45,6 +45,40 @@ def linearity_test(adc: FaiAdc,
     return inl_dnl_from_codes(codes, adc.config.n_bits)
 
 
+def sampled_transient_codes(adc: FaiAdc, result, node_pos: str,
+                            node_neg: str | None = None, *,
+                            sample_times: np.ndarray,
+                            center: float | None = None,
+                            gain: float = 1.0) -> np.ndarray:
+    """Codes from a simulated transient waveform sampled at given instants.
+
+    The bridge between the SPICE layer and the converter metrology: a
+    :class:`~repro.spice.results.TranResult` waveform (``node_pos``, or
+    the ``node_pos - node_neg`` differential) is linearly interpolated
+    at ``sample_times`` -- an ideal track/hold, deliberately, so Monte
+    Carlo lanes that share a time grid produce *bit-identical* codes
+    whenever their waveforms match -- mapped into the converter's input
+    range as ``center + gain * v`` (``center`` defaults to mid-scale),
+    and converted through the noiseless batch path.
+    """
+    sample_times = np.asarray(sample_times, dtype=float)
+    time = np.asarray(result.time, dtype=float)
+    if sample_times.size == 0:
+        raise AnalysisError("sampled_transient_codes: no sample instants")
+    if sample_times.min() < time[0] or sample_times.max() > time[-1]:
+        raise AnalysisError(
+            f"sample instants [{sample_times.min():g}, "
+            f"{sample_times.max():g}] fall outside the simulated span "
+            f"[{time[0]:g}, {time[-1]:g}]")
+    wave = result.voltage(node_pos)
+    if node_neg is not None:
+        wave = wave - result.voltage(node_neg)
+    cfg = adc.config
+    mid = 0.5 * (cfg.v_low + cfg.v_high) if center is None else center
+    held = mid + gain * np.interp(sample_times, time, wave)
+    return adc.convert_batch(held)
+
+
 def dynamic_test(adc: FaiAdc, f_sample: float,
                  n_samples: int = 4096, cycles: int = 67,
                  amplitude_fraction: float = 0.95,

@@ -188,6 +188,16 @@ class MonteCarlo:
     loop cannot converge fall back to the serial strategy ladder, so
     summaries, failed-seed records and their ordering match the serial
     backend (to float tolerance far inside 1e-9).
+
+    ``analysis="transient"`` evaluates each seed as a waveform instead
+    of a DC point: ``metric_fn`` is then a
+    :class:`~repro.spice.batch.BatchedTranMetric` spec measuring a
+    :class:`~repro.spice.results.TranResult`.  Under
+    ``backend="batched"`` the whole population integrates as **one**
+    lockstep :func:`~repro.spice.batch.batch_transient` campaign
+    (shared adaptive grid, per-lane LTE, serial fallback for lanes
+    that leave the grid); under ``backend="serial"`` the spec is
+    simply called per seed.
     """
 
     def __init__(self, metric_fn: Callable[[int], dict[str, float]],
@@ -195,6 +205,7 @@ class MonteCarlo:
                  on_error: str = "raise",
                  n_workers: int | None = None,
                  backend: str = "serial",
+                 analysis: str = "op",
                  matrix_backend: str | None = None,
                  shm: str = "auto") -> None:
         if n_runs < 1:
@@ -208,6 +219,9 @@ class MonteCarlo:
         if backend not in ("serial", "batched"):
             raise AnalysisError(
                 f"backend must be 'serial' or 'batched', got {backend!r}")
+        if analysis not in ("op", "transient"):
+            raise AnalysisError(
+                f"analysis must be 'op' or 'transient', got {analysis!r}")
         if backend == "batched" and n_workers not in (None, 1):
             raise AnalysisError(
                 "backend='batched' replaces the process pool; "
@@ -221,6 +235,7 @@ class MonteCarlo:
         self.on_error = on_error
         self.n_workers = validate_workers(n_workers)
         self.backend = backend
+        self.analysis = analysis
         self.matrix_backend = matrix_backend
         self.shm = shm
 
@@ -286,8 +301,14 @@ class MonteCarlo:
         stacked ensembles at all.  A failed pilot degrades to the flat
         nodeset start instead of poisoning the population.
         """
-        from ..spice.batch import BatchedOpMetric, batch_operating_point
+        from ..spice.batch import (BatchedOpMetric, BatchedTranMetric,
+                                   batch_operating_point)
         spec = self.metric_fn
+        if isinstance(spec, BatchedTranMetric):
+            raise AnalysisError(
+                "metric_fn is a BatchedTranMetric (a waveform metric); "
+                "pass analysis='transient' to run it as a lockstep "
+                "transient campaign")
         if not isinstance(spec, BatchedOpMetric):
             raise AnalysisError(
                 "backend='batched' needs a BatchedOpMetric spec as "
@@ -327,18 +348,62 @@ class MonteCarlo:
             outcomes.append((seed, ("ok", metrics)))
         return outcomes
 
+    def _outcomes_batched_tran(self, tspan):
+        """The transient twin of :meth:`_outcomes_batched`: one
+        lockstep :func:`~repro.spice.batch.batch_transient` campaign
+        produces the whole population's waveforms.
+
+        No pilot warm start here -- every lane's t = 0 point is its own
+        stacked DC solve inside the engine, and lanes that leave the
+        shared grid rerun the full serial ladder + serial transient, so
+        failures surface as the same ``("error", ConvergenceError)``
+        records the serial loop would record, in seed order.
+        """
+        from ..spice.batch import BatchedTranMetric, batch_transient
+        spec = self.metric_fn
+        if not isinstance(spec, BatchedTranMetric):
+            raise AnalysisError(
+                "analysis='transient' with backend='batched' needs a "
+                "BatchedTranMetric spec as metric_fn, got "
+                f"{type(spec).__name__}; wrap the build/draw/measure "
+                "triple in repro.spice.batch.BatchedTranMetric")
+        circuit = spec.build()
+        seeds = self._seeds()
+        lanes = [spec.draw(seed, circuit) for seed in seeds]
+        batch = batch_transient(circuit, lanes, spec.t_stop,
+                                spec.options, on_error="skip",
+                                matrix_backend=self.matrix_backend)
+        failed = dict(batch.failures)
+        outcomes = []
+        for index, seed in enumerate(seeds):
+            if index in failed:
+                outcomes.append((seed, ("error", failed[index])))
+                continue
+            try:
+                metrics = {name: float(value) for name, value in
+                           spec.measure(batch.results[index]).items()}
+            except ReproError as error:
+                outcomes.append((seed, ("error", error)))
+                continue
+            outcomes.append((seed, ("ok", metrics)))
+        return outcomes
+
     def run(self) -> MonteCarloRun:
         """Execute all runs; returns per-metric summaries (a dict) with
         the failed-seed record attached."""
         with telemetry.span("montecarlo", n_runs=self.n_runs,
                             n_workers=self.n_workers,
                             backend=self.backend,
+                            analysis=self.analysis,
                             seed_base=self.seed_base) as tspan:
             return self._run(tspan)
 
     def _run(self, tspan) -> MonteCarloRun:
         if self.backend == "batched":
-            outcomes = self._outcomes_batched(tspan)
+            if self.analysis == "transient":
+                outcomes = self._outcomes_batched_tran(tspan)
+            else:
+                outcomes = self._outcomes_batched(tspan)
         elif self.n_workers > 1:
             outcomes = self._outcomes_parallel(tspan)
         else:

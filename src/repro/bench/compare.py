@@ -49,6 +49,10 @@ class CaseComparison:
         missing: True when the baseline carries the case but the fresh
             run did not produce it *and* the gate ran with
             ``require_cases`` -- a gate failure in its own right.
+        under_floor: True when both sides ran faster than the gate's
+            absolute wall-time floor, so the ratio was reported but not
+            gated (sub-millisecond cases flip by integer factors on
+            scheduler noise alone).
     """
 
     name: str
@@ -57,6 +61,7 @@ class CaseComparison:
     ratio: float | None
     regressed: bool
     missing: bool = False
+    under_floor: bool = False
 
     def describe(self) -> str:
         if self.baseline_s is None:
@@ -66,6 +71,8 @@ class CaseComparison:
             return f"{self.name}: {verdict} (baseline " \
                    f"{self.baseline_s * 1e3:.1f} ms)"
         flag = "  REGRESSED" if self.regressed else ""
+        if self.under_floor:
+            flag = "  (under floor, ratio not gated)"
         return (f"{self.name}: {self.baseline_s * 1e3:8.1f} ms -> "
                 f"{self.fresh_s * 1e3:8.1f} ms  (x{self.ratio:.2f}){flag}")
 
@@ -129,16 +136,28 @@ def load_baseline(path: str | Path) -> dict[str, float]:
 def compare_results(results: list[BenchResult],
                     baseline: dict[str, float],
                     max_ratio: float = 2.0,
-                    require_cases: bool = False) -> ComparisonReport:
+                    require_cases: bool = False,
+                    min_wall_s: float = 0.02) -> ComparisonReport:
     """Gate ``results`` against a committed baseline mapping.
 
     With ``require_cases`` set, every case the baseline carries must
     appear in the fresh run; a baseline-only case then fails the gate
     instead of being reported as benignly "retired".
+
+    ``min_wall_s`` is an absolute floor under the ratio gate: when both
+    the fresh and the baseline time are below it, the case's ratio is
+    reported but cannot regress -- a 0.4 ms case that lands on 1.1 ms
+    under scheduler noise is not a 2.7x solver regression.  A case
+    either side of the floor is gated normally (genuinely crossing the
+    floor is exactly the signal the gate exists for).  Set 0 to gate
+    every case on ratio alone.
     """
     if max_ratio <= 1.0:
         raise AnalysisError(
             f"max_ratio must be > 1.0 (it is fresh/baseline): {max_ratio}")
+    if min_wall_s < 0.0:
+        raise AnalysisError(
+            f"min_wall_s must be >= 0: {min_wall_s}")
     fresh = {result.name: result.wall_s for result in results}
     cases = []
     for name in sorted(set(fresh) | set(baseline)):
@@ -146,17 +165,21 @@ def compare_results(results: list[BenchResult],
         baseline_s = baseline.get(name)
         ratio = None
         regressed = False
+        under_floor = False
         if fresh_s is not None and baseline_s is not None:
             if baseline_s <= 0.0:
                 raise AnalysisError(
                     f"baseline wall time for {name!r} is not positive: "
                     f"{baseline_s}")
             ratio = fresh_s / baseline_s
-            regressed = ratio > max_ratio
+            under_floor = (fresh_s < min_wall_s
+                           and baseline_s < min_wall_s)
+            regressed = ratio > max_ratio and not under_floor
         missing = require_cases and fresh_s is None
         cases.append(CaseComparison(name=name, baseline_s=baseline_s,
                                     fresh_s=fresh_s, ratio=ratio,
-                                    regressed=regressed, missing=missing))
+                                    regressed=regressed, missing=missing,
+                                    under_floor=under_floor))
     return ComparisonReport(cases=tuple(cases), max_ratio=max_ratio)
 
 

@@ -222,6 +222,16 @@ class FaultCampaign:
             token plus their fault; ``"off"`` forces classic per-task
             pickling, ``"on"`` errors when shared memory is missing.
             Reports are identical either way.
+        analysis: ``"op"`` (default) measures DC operating points.
+            ``"transient"`` (``backend="batched"`` only) integrates the
+            baseline and every lane-expressible fault as one lockstep
+            :func:`~repro.spice.batch.batch_transient` campaign to
+            ``t_stop``; ``metric_fn`` then receives solved
+            :class:`~repro.spice.results.TranResult` waveforms, and
+            structural faults rebuild-and-integrate serially under the
+            same contract.
+        t_stop / tran_options: The transient window and options,
+            required for / honoured by ``analysis="transient"``.
     """
 
     def __init__(self, build: Callable[[], object],
@@ -230,7 +240,10 @@ class FaultCampaign:
                  n_workers: int | None = None,
                  backend: str = "serial",
                  matrix_backend: str | None = None,
-                 shm: str = "auto") -> None:
+                 shm: str = "auto",
+                 analysis: str = "op",
+                 t_stop: float | None = None,
+                 tran_options=None) -> None:
         if not faults:
             raise AnalysisError("campaign needs at least one fault")
         if shm not in ("auto", "on", "off"):
@@ -239,6 +252,17 @@ class FaultCampaign:
         if backend not in ("serial", "batched"):
             raise AnalysisError(
                 f"backend must be 'serial' or 'batched', got {backend!r}")
+        if analysis not in ("op", "transient"):
+            raise AnalysisError(
+                f"analysis must be 'op' or 'transient', got {analysis!r}")
+        if analysis == "transient":
+            if backend != "batched":
+                raise AnalysisError(
+                    "analysis='transient' campaigns run on the batched "
+                    "backend; pass backend='batched'")
+            if t_stop is None or t_stop <= 0.0:
+                raise AnalysisError(
+                    "analysis='transient' needs a positive t_stop")
         if backend == "batched" and n_workers not in (None, 1):
             raise AnalysisError(
                 "backend='batched' replaces the process pool; "
@@ -253,6 +277,9 @@ class FaultCampaign:
         self.backend = backend
         self.matrix_backend = matrix_backend
         self.shm = shm
+        self.analysis = analysis
+        self.t_stop = t_stop
+        self.tran_options = tran_options
 
     def _evaluate(self, target) -> dict[str, float]:
         return _coerce_metrics(self.metric_fn(target))
@@ -344,15 +371,73 @@ class FaultCampaign:
                     outcomes.append(("error", metric_error))
         return baseline, outcomes
 
+    def _batched_tran_outcomes(self) -> tuple[dict[str, float],
+                                              list[tuple[str, object]]]:
+        """The transient twin of :meth:`_batched_outcomes`: baseline
+        plus every lane-expressible fault integrate in lockstep on one
+        shared grid; ``metric_fn`` measures the per-lane waveforms.
+        Structural faults rebuild and integrate serially, same
+        TranResult contract."""
+        from ..spice.batch import LaneSpec, batch_transient
+        from ..spice.netlist import Circuit
+        from ..spice.transient import transient
+
+        circuit = self.build()
+        if not isinstance(circuit, Circuit):
+            raise AnalysisError(
+                "backend='batched' needs build() to return a Circuit, "
+                f"got {type(circuit).__name__}")
+        lanes = [LaneSpec(label="baseline")]
+        lane_of_fault: dict[int, int] = {}
+        for index, fault in enumerate(self.faults):
+            lane = fault.lane_spec(circuit)
+            if lane is not None:
+                lane_of_fault[index] = len(lanes)
+                lanes.append(lane)
+        batch = batch_transient(circuit, lanes, self.t_stop,
+                                self.tran_options, on_error="skip",
+                                matrix_backend=self.matrix_backend)
+        lane_errors = dict(batch.failures)
+        if 0 in lane_errors:
+            raise lane_errors[0]  # baseline failures always propagate
+        baseline = self._evaluate(batch.results[0])
+
+        def solve_tran(faulted):
+            return transient(faulted, self.t_stop, self.tran_options)
+
+        outcomes: list[tuple[str, object]] = []
+        for index, fault in enumerate(self.faults):
+            lane_index = lane_of_fault.get(index)
+            with telemetry.span(f"fault-{fault.name}", fault=fault.name,
+                                batched=lane_index is not None):
+                if lane_index is None:
+                    outcomes.append(_fault_eval(
+                        self.build, self.metric_fn,
+                        _OpResultFault(fault, solve_tran)))
+                    continue
+                error = lane_errors.get(lane_index)
+                if error is not None:
+                    outcomes.append(("error", error))
+                    continue
+                try:
+                    outcomes.append(("ok", _coerce_metrics(
+                        self.metric_fn(batch.results[lane_index]))))
+                except ReproError as metric_error:
+                    outcomes.append(("error", metric_error))
+        return baseline, outcomes
+
     def run(self) -> CampaignReport:
         """Baseline plus one outcome per fault."""
         with telemetry.span("fault-campaign", n_faults=len(self.faults),
                             n_workers=self.n_workers,
-                            backend=self.backend) as tspan:
+                            backend=self.backend,
+                            analysis=self.analysis) as tspan:
             return self._run(tspan)
 
     def _run(self, tspan) -> CampaignReport:
-        if self.backend == "batched":
+        if self.backend == "batched" and self.analysis == "transient":
+            baseline, outcomes = self._batched_tran_outcomes()
+        elif self.backend == "batched":
             baseline, outcomes = self._batched_outcomes()
         else:
             with telemetry.span("baseline"):

@@ -1,8 +1,9 @@
 """The converge-or-diagnose fuzz harness.
 
 Every generated circuit is driven through the full analysis gauntlet --
-``op -> dc_sweep -> short transient -> fault campaign`` -- under hard
-per-phase iteration and wall-clock budgets.  The invariant under test:
+``op -> dc_sweep -> short transient -> batched transient -> fault
+campaign`` -- under hard per-phase iteration and wall-clock budgets.
+The invariant under test:
 
     Every circuit either converges or raises a
     :class:`~repro.errors.ReproError` subclass carrying its forensic
@@ -49,7 +50,8 @@ from ..spice.transient import TransientOptions, transient
 from .generator import GeneratorConfig, generate
 
 #: Phase names, in gauntlet order.
-PHASES = ("op", "dc_sweep", "transient", "faults", "characterize")
+PHASES = ("op", "dc_sweep", "transient", "batched_transient", "faults",
+          "characterize")
 
 #: A phase exceeding ``budget * HANG_GRACE`` wall-clock is a violation
 #: even if it eventually returned: the deadline plumbing failed.
@@ -189,6 +191,43 @@ def _phase_transient(circuit: Circuit, budgets: FuzzBudgets) -> None:
         _check_finite(wave, f"transient waveform {name}")
 
 
+def _phase_batched_transient(circuit: Circuit,
+                             budgets: FuzzBudgets) -> None:
+    """Three perturbed twins of the case integrate in lockstep.
+
+    Exercises the batched transient engine's own converge-or-diagnose
+    contract: lanes that leave the shared grid must surface as recorded
+    clean failures (never a hang -- the wall budget threads into the
+    stacked Newton loop and the serial fallbacks alike), and every lane
+    that does converge must return finite waveforms.  Circuits the
+    batched assembler rejects (foreign or controlled-source elements)
+    skip the phase; the serial transient phase already covered them.
+    """
+    from ..errors import AnalysisError
+    from ..spice.batch import LaneSpec, batch_transient
+
+    n_mos = len(circuit.mos_elements())
+    lanes = [LaneSpec(label="nominal")]
+    for shift in (-0.01, 0.01):
+        lanes.append(LaneSpec(
+            vt_delta=(np.full(n_mos, shift) if n_mos else None),
+            label=f"vt{shift:+g}"))
+    options = TransientOptions(
+        newton=NewtonOptions(max_iterations=budgets.max_iterations),
+        max_rejections=budgets.max_rejections,
+        max_wall_time=budgets.tran_wall)
+    try:
+        batch = batch_transient(circuit, lanes, budgets.t_stop, options,
+                                on_error="skip")
+    except AnalysisError:
+        return
+    for result in batch.results:
+        if result is None:  # a recorded clean per-lane failure
+            continue
+        for name, wave in result.voltages.items():
+            _check_finite(wave, f"batched transient waveform {name}")
+
+
 def _fault_metric(circuit: Circuit, options: NewtonOptions) -> dict:
     """Campaign metric: solve the faulted twin's operating point."""
     result = operating_point(circuit, options)
@@ -287,6 +326,7 @@ _PHASE_FUNCS = {
     "op": _phase_op,
     "dc_sweep": _phase_dc_sweep,
     "transient": _phase_transient,
+    "batched_transient": _phase_batched_transient,
     "faults": _phase_faults,
     "characterize": characterize_survivor,
 }
@@ -303,6 +343,7 @@ def run_case(circuit: Circuit, budgets: FuzzBudgets | None = None,
     start = _time.perf_counter()
     wall_limits = {"op": budgets.op_wall, "dc_sweep": budgets.sweep_wall,
                    "transient": budgets.tran_wall,
+                   "batched_transient": budgets.tran_wall,
                    "faults": budgets.fault_wall,
                    "characterize": budgets.op_wall}
 

@@ -457,6 +457,25 @@ class ScopeSession:
             self.decimation.reset()
         self._reset_state()
 
+    def clone(self) -> "ScopeSession":
+        """A fresh, unused session with this one's capture plan.
+
+        Trigger and decimator are deep-copied (they carry per-run
+        state), so clones never share mutable pieces -- the way the
+        batched transient engine replicates one plan into a per-lane
+        session list (:func:`~repro.spice.batch.batch_transient` needs
+        an independent single-use session per lane).
+        """
+        import copy
+        return ScopeSession(self.probes,
+                            trigger=copy.deepcopy(self.trigger),
+                            pre_samples=self.pre_samples,
+                            post_samples=self.post_samples,
+                            decimation=copy.deepcopy(self.decimation),
+                            mode=self.mode,
+                            max_segments=self.max_segments,
+                            replace_dense=self.replace_dense)
+
     def _bind(self, node_index: dict[str, int], circuit_name: str,
               tspan) -> None:
         """Resolve probe node names against a compiled circuit."""

@@ -43,11 +43,15 @@ from .batch import (
     BatchAssembler,
     BatchDiagnostics,
     BatchOpResult,
+    BatchTranDiagnostics,
+    BatchTranResult,
     BatchedOpMetric,
     BatchedOpSweep,
+    BatchedTranMetric,
     LaneSpec,
     apply_lane,
     batch_operating_point,
+    batch_transient,
 )
 from .ac import ac_analysis
 from .transient import transient, TransientOptions, TransientTelemetry
@@ -66,6 +70,8 @@ __all__ = [
     "LaneSpec", "BatchAssembler", "BatchOpResult", "BatchDiagnostics",
     "batch_operating_point", "BatchedOpMetric", "BatchedOpSweep",
     "apply_lane",
+    "batch_transient", "BatchTranResult", "BatchTranDiagnostics",
+    "BatchedTranMetric",
     "ac_analysis",
     "transient", "TransientOptions", "TransientTelemetry",
     "OpResult", "SweepResult", "AcResult", "TranResult",

@@ -681,6 +681,89 @@ class CircuitAssembler:
                 np.add.at(jac_flat, self._diode_flat,
                           values[self._diode_valid])
 
+    # -- stacked charge system (batched transient companions) -----------
+
+    def _grounded_rows(self, X: np.ndarray) -> np.ndarray:
+        """``X`` (A, N) padded with a zero column so index -1 reads 0.
+        Freshly allocated (unlike :meth:`_grounded`'s shared scratch):
+        the batched callers hold several lane-axis gathers at once."""
+        Xg = np.empty((X.shape[0], self.size + 1))
+        Xg[:, :-1] = X
+        Xg[:, -1] = 0.0
+        return Xg
+
+    def charge_vector_batch(self, X: np.ndarray) -> np.ndarray:
+        """Stacked twin of :meth:`charge_vector`: all dynamic charges at
+        every row of ``X`` (A, N), returned as (A, n_charge_terms).
+
+        Charge parameters (capacitances, diode junction constants) are
+        lane-independent -- :class:`~repro.spice.batch.LaneSpec`
+        perturbs VT/beta, resistors and sources only -- so the lane
+        axis broadcasts straight through the term expressions and each
+        row is bit-identical to a serial ``charge_vector`` call at that
+        lane's solution.
+        """
+        q = np.zeros((X.shape[0], self.n_charge_terms))
+        if self.n_charge_terms == 0:
+            return q
+        Xg = self._grounded_rows(X)
+        if self._cap_slots.size:
+            q[:, self._cap_slots] = self._cap_c * (
+                Xg[:, self._cap_pos] - Xg[:, self._cap_neg])
+        if self._dio_slots.size:
+            a, c = self._diode_terms
+            q[:, self._dio_slots] = self._diode_bank.charge(
+                Xg[:, a] - Xg[:, c])
+        return q
+
+    def stamp_charges_batch(self, target: np.ndarray, res: np.ndarray,
+                            X: np.ndarray, c0: float, rhs: np.ndarray,
+                            segment_slices: dict | None = None) -> None:
+        """Stacked twin of :meth:`stamp_charges`: companion currents
+        ``i = c0 q(x) + rhs`` and conductances ``c0 dq/dv`` for every
+        lane row at once.
+
+        ``rhs`` is per-lane, shape (A, n_charge_terms) -- each lane
+        carries its own charge history.  Dense mode
+        (``segment_slices=None``): ``target`` is the stacked (A, N, N)
+        Jacobian, scattered through the same flat-index patterns as the
+        serial path.  Sparse mode: ``target`` is the (A, n_triplets)
+        data-row array and the values land in the ``cap``/``diocap``
+        segments (zeroed by the preceding ``assemble_batch_sparse``).
+        """
+        sparse = segment_slices is not None
+        q = self.charge_vector_batch(X)
+        i = c0 * q + rhs
+        jac_flat = None if sparse else target.reshape(X.shape[0], -1)
+        all_rows = (slice(None),)
+        if self._cap_slots.size:
+            i_cap = i[:, self._cap_slots]
+            np.add.at(res, all_rows + (self._cap_pos_idx,),
+                      i_cap[:, self._cap_pos_mask])
+            np.add.at(res, all_rows + (self._cap_neg_idx,),
+                      -i_cap[:, self._cap_neg_mask])
+            if sparse:
+                target[:, segment_slices["cap"]] = c0 * self._cap_jac_base
+            else:
+                np.add.at(jac_flat, all_rows + (self._cap_flat,),
+                          c0 * self._cap_jac_base)
+        if self._dio_slots.size:
+            a, c = self._diode_terms
+            Xg = self._grounded_rows(X)
+            cap = self._diode_bank.capacitance(Xg[:, a] - Xg[:, c])
+            i_dio = i[:, self._dio_slots]
+            np.add.at(res, all_rows + (self._diode_a_idx,),
+                      i_dio[:, self._diode_a_mask])
+            np.add.at(res, all_rows + (self._diode_c_idx,),
+                      -i_dio[:, self._diode_c_mask])
+            values = self._diode_sign * np.tile(c0 * cap, (1, 4))
+            if sparse:
+                target[:, segment_slices["diocap"]] = \
+                    values[:, self._diode_valid]
+            else:
+                np.add.at(jac_flat, all_rows + (self._diode_flat,),
+                          values[:, self._diode_valid])
+
     def susceptance_matrix(self, x: np.ndarray) -> np.ndarray:
         """Dense small-signal C matrix (dq/dv of every charge term) at
         ``x`` -- the ``jωC`` part of the AC system, assembled by the

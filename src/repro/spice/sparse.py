@@ -108,6 +108,12 @@ class SparseSystem:
         self.slot = np.empty(order.size, dtype=np.intp)
         self.slot[order] = slot_sorted
         self.nnz = int(slot_sorted[-1]) + 1 if order.size else 0
+        # One-entry cache of the stacked-scatter flat index (lane k's
+        # triplets land at ``k * nnz + slot``), keyed by the lane count
+        # of the last :meth:`batch_data` call -- the batched Newton
+        # loop's active set is stable for long runs of iterations, so
+        # the rebuild is amortised away.
+        self._flat_slot: tuple[int, np.ndarray] | None = None
         unique_rows = sorted_rows[new_entry]
         unique_cols = sorted_cols[new_entry]
         self.indices = unique_rows.astype(np.int32)
@@ -138,20 +144,33 @@ class SparseSystem:
         return _csc_matrix((data, self.indices, self.indptr),
                            shape=(self.size, self.size))
 
-    def batch_data(self, values_b: np.ndarray) -> np.ndarray:
+    def batch_data(self, values_b: np.ndarray,
+                   out: np.ndarray | None = None) -> np.ndarray:
         """Stacked ``(B, nnz)`` CSC data rows from ``(B, n_triplets)``
         stacked triplet values.
 
         Each row replays the exact per-lane :meth:`matrix` scatter
         (bincount over the shared slot map, summing duplicates in
         segment order), so a lane's data row is bit-identical to what a
-        serial assembly of that lane would produce.
+        serial assembly of that lane would produce -- but all lanes
+        scatter through **one** flattened bincount over per-lane offset
+        slots instead of a per-lane python loop.  ``out``, when given,
+        receives the result in place.
         """
         values_b = np.asarray(values_b)
-        data = np.empty((values_b.shape[0], self.nnz))
-        for k in range(values_b.shape[0]):
-            data[k] = np.bincount(self.slot, weights=values_b[k],
-                                  minlength=self.nnz)
+        B = values_b.shape[0]
+        if self.nnz == 0:
+            return (np.empty((B, 0)) if out is None else out)
+        if self._flat_slot is None or self._flat_slot[0] != B:
+            flat = (np.arange(B, dtype=np.intp)[:, None] * self.nnz
+                    + self.slot[None, :]).ravel()
+            self._flat_slot = (B, flat)
+        data = np.bincount(self._flat_slot[1],
+                           weights=values_b.ravel(),
+                           minlength=B * self.nnz).reshape(B, self.nnz)
+        if out is not None:
+            np.copyto(out, data)
+            return out
         return data
 
 

@@ -254,6 +254,30 @@ def _lte_factor(err_norm: float, order: int) -> float:
     return _LTE_SAFETY * err_norm ** (-1.0 / (order + 1))
 
 
+def _lte_norms_batch(t_new: float, X_new: np.ndarray,
+                     X_pred: np.ndarray, hist_t: list[float],
+                     X_last: np.ndarray, n_nodes: int, order: int,
+                     options: TransientOptions) -> np.ndarray:
+    """Per-lane twin of :func:`_lte_norm` for the batched transient
+    engine: one normalised error norm per lane row of ``X_new`` (A, N),
+    against the shared-grid history times ``hist_t`` and the last
+    accepted solutions ``X_last`` (A, N).  Row ``k`` equals a serial
+    ``_lte_norm`` call on lane ``k``'s vectors."""
+    if n_nodes == 0:
+        return np.zeros(X_new.shape[0])
+    err = np.abs(X_new[:, :n_nodes] - X_pred[:, :n_nodes])
+    dt = t_new - hist_t[-1]
+    if order == 2:
+        w = (dt * (t_new - hist_t[-2]) * (t_new - hist_t[-3]))
+        lte = err * (dt ** 3) / (2.0 * w)
+    else:
+        w = dt * (t_new - hist_t[-2])
+        lte = err * (dt ** 2) / w
+    tol = options.abstol + options.reltol * np.maximum(
+        np.abs(X_new[:, :n_nodes]), np.abs(X_last[:, :n_nodes]))
+    return np.max(lte / (options.trtol * tol), axis=1)
+
+
 def transient(circuit: Circuit, t_stop: float,
               options: TransientOptions | None = None,
               initial_op: OpResult | None = None,

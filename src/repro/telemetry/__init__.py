@@ -6,6 +6,16 @@ counters (device-bank evaluations, Jacobian factorizations, rejected
 transient steps, compile-cache hits/misses) -- with a module-level
 no-op fast path so disabled tracing costs nothing measurable.
 
+Counters are free-form names incremented via ``span.inc``; the batched
+engines add population-level ones that reconcile against their serial
+twins: ``batch_transient_steps`` counts accepted *shared* lockstep
+steps (each worth ``lanes_lockstep`` lane-samples, so
+``lane_samples == batch_transient_steps * lanes_lockstep +
+fallback_serial_steps`` where the fallback steps surface as nested
+serial ``transient_steps_accepted``), and
+``batch_transient_lane_rejections`` counts per-lane attributed
+rejections of the shared grid (the kick-out budget's currency).
+
 Quick taste::
 
     from repro import telemetry

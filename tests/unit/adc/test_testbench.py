@@ -50,3 +50,62 @@ class TestDynamicHarness:
         report = dynamic_test(ideal_adc, f_sample=80e3, n_samples=256,
                               cycles=33, use_sample_hold=True)
         assert report.enob > 5.0
+
+
+class _FakeTran:
+    """Minimal TranResult stand-in: a recorded ramp on two nodes."""
+
+    def __init__(self):
+        self.time = np.linspace(0.0, 1e-3, 501)
+        self._waves = {"out": np.linspace(0.0, 1.0, 501),
+                       "ref": np.full(501, 0.25)}
+
+    def voltage(self, node):
+        return self._waves[node]
+
+
+class TestSampledTransientCodes:
+    def test_codes_match_held_convert_batch(self, ideal_adc):
+        from repro.adc.testbench import sampled_transient_codes
+
+        result = _FakeTran()
+        sample_times = np.linspace(1e-4, 9e-4, 32)
+        cfg = ideal_adc.config
+        # gain keeps the held ramp inside [v_low, v_high]: beyond
+        # full scale the folding converter folds the codes back.
+        codes = sampled_transient_codes(
+            ideal_adc, result, "out", sample_times=sample_times,
+            center=cfg.v_low, gain=0.5)
+        held = cfg.v_low + 0.5 * np.interp(sample_times, result.time,
+                                           result.voltage("out"))
+        assert np.array_equal(codes, ideal_adc.convert_batch(held))
+        # The held ramp is monotone, so the codes are too.
+        assert (np.diff(codes) >= 0).all()
+
+    def test_differential_input_subtracts_reference(self, ideal_adc):
+        from repro.adc.testbench import sampled_transient_codes
+
+        result = _FakeTran()
+        sample_times = np.array([2e-4, 5e-4, 8e-4])
+        diff = sampled_transient_codes(
+            ideal_adc, result, "out", "ref",
+            sample_times=sample_times, center=0.5)
+        held = 0.5 + np.interp(sample_times, result.time,
+                               result.voltage("out")
+                               - result.voltage("ref"))
+        assert np.array_equal(diff, ideal_adc.convert_batch(held))
+
+    def test_rejects_empty_sample_times(self, ideal_adc):
+        from repro.adc.testbench import sampled_transient_codes
+
+        with pytest.raises(AnalysisError, match="no sample instants"):
+            sampled_transient_codes(ideal_adc, _FakeTran(), "out",
+                                    sample_times=np.array([]))
+
+    def test_rejects_samples_outside_the_record(self, ideal_adc):
+        from repro.adc.testbench import sampled_transient_codes
+
+        with pytest.raises(AnalysisError):
+            sampled_transient_codes(
+                ideal_adc, _FakeTran(), "out",
+                sample_times=np.array([5e-4, 2e-3]))

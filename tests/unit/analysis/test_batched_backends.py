@@ -237,3 +237,66 @@ class TestSingularLaneBackend:
                 == [seed for seed, _ in run.failed_seeds])
         np.testing.assert_allclose(run["v_a"].values,
                                    serial["v_a"].values, rtol=1e-9)
+
+
+def _pulse_build() -> Circuit:
+    from repro.spice import pulse_wave
+
+    circuit = Circuit("pulse_rc")
+    circuit.add_vsource("V1", "in", "0",
+                        waveform=pulse_wave(0.0, 1.0, 1e-6, 1e-7, 1e-7,
+                                            2e-6, 4e-6))
+    circuit.add_resistor("RS", "in", "a", 1e3)
+    circuit.add_capacitor("C1", "a", "0", 1e-9)
+    circuit.add_diode("D1", "a", "0", DIODE)
+    return circuit
+
+
+def _tran_draw(seed, circuit):
+    factor = 1.0 + 0.1 * ((seed % 7) - 3)
+    return LaneSpec(resistor_scale=(("RS", factor),),
+                    label=f"seed-{seed}")
+
+
+def _tran_measure(result):
+    wave = result.voltage("a")
+    return {"v_final": float(wave[-1]), "v_peak": float(wave.max())}
+
+
+def _tran_spec():
+    from repro.spice import TransientOptions
+    from repro.spice.batch import BatchedTranMetric
+
+    dt = 8e-6 / 200
+    return BatchedTranMetric(
+        build=_pulse_build, draw=_tran_draw, measure=_tran_measure,
+        t_stop=8e-6,
+        options=TransientOptions(dt_initial=dt, dt_min=dt, dt_max=dt))
+
+
+class TestMonteCarloTransient:
+    """analysis="transient": waveform metrics per seed, lockstep."""
+
+    def test_fixed_grid_summaries_match_serial_within_1e9(self):
+        spec = _tran_spec()
+        serial = MonteCarlo(spec, n_runs=6, analysis="transient").run()
+        batched = MonteCarlo(spec, n_runs=6, analysis="transient",
+                             backend="batched").run()
+        for name in serial:
+            np.testing.assert_allclose(batched[name].values,
+                                       serial[name].values, rtol=1e-9)
+        assert serial.failed_seeds == batched.failed_seeds == []
+
+    def test_op_backend_rejects_tran_spec_with_guidance(self):
+        with pytest.raises(AnalysisError,
+                           match="analysis='transient'"):
+            MonteCarlo(_tran_spec(), n_runs=2, backend="batched").run()
+
+    def test_tran_backend_rejects_op_spec_with_guidance(self):
+        with pytest.raises(AnalysisError, match="BatchedTranMetric"):
+            MonteCarlo(FLAKY_SPEC, n_runs=2, analysis="transient",
+                       backend="batched").run()
+
+    def test_analysis_validated(self):
+        with pytest.raises(AnalysisError, match="analysis"):
+            MonteCarlo(_tran_spec(), n_runs=2, analysis="ac")

@@ -238,3 +238,90 @@ class TestShmCampaign:
         with pytest.raises(AnalysisError, match="shm"):
             FaultCampaign(build=divider, metric_fn=mid_voltage,
                           faults=self.FAULTS, shm="sideways")
+
+
+def pulse_divider() -> Circuit:
+    """The DC divider with a pulse drive and a hold cap: dynamics."""
+    from repro.spice import pulse_wave
+
+    circuit = Circuit("pulse_divider")
+    circuit.add_vsource("V1", "in", "0",
+                        waveform=pulse_wave(0.0, 1.0, 1e-6, 1e-7, 1e-7,
+                                            2e-6, 4e-6))
+    circuit.add_resistor("R1", "in", "mid", 10e3)
+    circuit.add_resistor("R2", "mid", "0", 10e3)
+    circuit.add_capacitor("C1", "mid", "0", 1e-10)
+    return circuit
+
+
+def tran_mid_metrics(result) -> dict[str, float]:
+    """Transient-contract metric: reads a solved TranResult."""
+    wave = result.voltage("mid")
+    return {"v_final": float(wave[-1]), "v_peak": float(wave.max())}
+
+
+class TestTransientCampaign:
+    """analysis="transient": lockstep waveform campaign over faults."""
+
+    T_STOP = 8e-6
+    FAULTS = [ResistorDrift("R2", 3.0),
+              BridgedNodes("mid", "0", resistance=1e3)]  # structural
+
+    @staticmethod
+    def _grid():
+        from repro.spice import TransientOptions
+
+        dt = TestTransientCampaign.T_STOP / 200
+        return TransientOptions(dt_initial=dt, dt_min=dt, dt_max=dt)
+
+    def test_report_matches_serial_references(self):
+        """On a fixed shared grid each fault's waveform metrics match a
+        hand-applied serial transient to solver precision -- the lane
+        fault through the lockstep path, the bridge through the
+        structural rebuild path."""
+        from repro.spice import apply_lane, transient
+
+        report = FaultCampaign(
+            build=pulse_divider, metric_fn=tran_mid_metrics,
+            faults=self.FAULTS, backend="batched",
+            analysis="transient", t_stop=self.T_STOP,
+            tran_options=self._grid()).run()
+
+        baseline_ref = tran_mid_metrics(
+            transient(pulse_divider(), self.T_STOP, self._grid()))
+        circuit = pulse_divider()
+        undo = apply_lane(circuit, self.FAULTS[0].lane_spec(circuit))
+        try:
+            drift_ref = tran_mid_metrics(
+                transient(circuit, self.T_STOP, self._grid()))
+        finally:
+            undo()
+        bridged = self.FAULTS[1].apply(pulse_divider())
+        bridge_ref = tran_mid_metrics(
+            transient(bridged, self.T_STOP, self._grid()))
+
+        for key in ("v_final", "v_peak"):
+            assert report.baseline[key] == pytest.approx(
+                baseline_ref[key], abs=1e-9)
+            assert report.outcome("r-drift-R2-x3").metrics[key] == \
+                pytest.approx(drift_ref[key], abs=1e-9)
+            assert report.outcome("bridge-mid-0").metrics[key] == \
+                pytest.approx(bridge_ref[key], abs=1e-9)
+        assert all(o.evaluated for o in report.outcomes)
+
+    def test_transient_requires_batched_backend(self):
+        with pytest.raises(AnalysisError, match="batched"):
+            FaultCampaign(build=pulse_divider, metric_fn=tran_mid_metrics,
+                          faults=self.FAULTS, analysis="transient",
+                          t_stop=self.T_STOP)
+
+    def test_transient_requires_positive_t_stop(self):
+        with pytest.raises(AnalysisError, match="t_stop"):
+            FaultCampaign(build=pulse_divider, metric_fn=tran_mid_metrics,
+                          faults=self.FAULTS, backend="batched",
+                          analysis="transient")
+
+    def test_analysis_validated(self):
+        with pytest.raises(AnalysisError, match="analysis"):
+            FaultCampaign(build=pulse_divider, metric_fn=tran_mid_metrics,
+                          faults=self.FAULTS, analysis="ac")

@@ -153,3 +153,30 @@ class TestRunCampaign:
         text = report.describe()
         assert "1 invariant violations" in text
         assert "VIOLATION" in text
+
+
+class TestBatchedTransientPhase:
+    def test_phase_is_in_the_gauntlet(self):
+        assert "batched_transient" in harness_mod.PHASES
+        assert "batched_transient" in harness_mod._PHASE_FUNCS
+
+    def test_phase_runs_and_counts_lockstep_steps(self):
+        """A clean case drives the lockstep engine: the run increments
+        ``batch_transient_steps`` and records a positive lane count."""
+        with telemetry.tracing("fuzz-batched") as trace:
+            result = run_case(divider(), QUICK)
+        assert result.status == "ok"
+        totals = trace.total_counters()
+        assert totals["batch_transient_steps"] > 0
+        assert totals["batch_lanes"] >= 3
+
+    def test_phase_failure_is_classified_not_fatal(self, monkeypatch):
+        def raise_clean(circuit, budgets):
+            raise ConvergenceError("lockstep wall", iterations=7,
+                                   stage="newton", diagnostics=object())
+
+        monkeypatch.setitem(harness_mod._PHASE_FUNCS,
+                            "batched_transient", raise_clean)
+        result = run_case(divider(), QUICK)
+        assert result.status == "diagnosed"
+        assert result.phase == "batched_transient"

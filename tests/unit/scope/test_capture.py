@@ -353,3 +353,34 @@ class TestTelemetryCounters:
         assert counters["scope_samples_stored"] == session.samples_stored
         assert counters["scope_triggers"] == 1
         assert session.samples_stored < session.samples_seen
+
+
+class TestClone:
+    def test_clone_is_fresh_and_shares_no_trigger_state(self):
+        """The batched engine replicates one plan into per-lane
+        sessions; a clone must be usable while the original is spent,
+        and arming the clone must not arm the original's trigger."""
+        proto = ScopeSession(probes=[Probe("out")],
+                             trigger=EdgeTrigger("out", level=0.5),
+                             pre_samples=4, post_samples=4)
+        run_scoped(proto)
+        clone = proto.clone()
+        run_scoped(clone)  # the spent proto would raise here
+        assert np.array_equal(proto.segment().time,
+                              clone.segment().time)
+        assert np.array_equal(proto.segment().signal("out"),
+                              clone.segment().signal("out"))
+        with pytest.raises(AnalysisError, match="reset"):
+            run_scoped(proto)
+
+    def test_clone_copies_the_full_plan(self):
+        proto = ScopeSession(probes=[Probe("out")],
+                             trigger=EdgeTrigger("out", level=0.5),
+                             pre_samples=8, post_samples=2,
+                             mode="single", max_segments=3)
+        clone = proto.clone()
+        assert clone.pre_samples == proto.pre_samples
+        assert clone.post_samples == proto.post_samples
+        assert clone.mode == proto.mode
+        assert clone.max_segments == proto.max_segments
+        assert clone.trigger is not proto.trigger
